@@ -1,0 +1,380 @@
+//! Point-to-point communication: blocking and non-blocking sends and
+//! receives with MPI tag/source matching, including wildcards.
+//!
+//! Matching runs inside the receiving rank against its unexpected-message
+//! queue in arrival order, which gives MPI's non-overtaking guarantee for
+//! any fixed `(source, tag, comm)` triple.
+
+use crate::comm::CommId;
+use crate::envelope::{Envelope, Kind};
+use crate::{Ampi, Incoming};
+use bytes::Bytes;
+
+/// `MPI_ANY_SOURCE`.
+pub const ANY_SOURCE: Option<usize> = None;
+/// `MPI_ANY_TAG`.
+pub const ANY_TAG: Option<u32> = None;
+
+/// Completed-receive metadata (`MPI_Status`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Source rank, local to the receive's communicator.
+    pub source: usize,
+    pub tag: u32,
+    pub bytes: usize,
+}
+
+/// A non-blocking operation handle (`MPI_Request`).
+#[derive(Debug)]
+pub enum Request {
+    /// Buffered sends complete at post time.
+    SendDone,
+    /// A pending receive.
+    Recv {
+        comm: CommId,
+        src: Option<usize>,
+        tag: Option<u32>,
+        done: Option<(Bytes, Status)>,
+    },
+}
+
+impl Request {
+    pub fn is_complete(&self) -> bool {
+        match self {
+            Request::SendDone => true,
+            Request::Recv { done, .. } => done.is_some(),
+        }
+    }
+}
+
+impl Ampi {
+    fn p2p_pred(
+        &self,
+        comm: CommId,
+        src: Option<usize>,
+        tag: Option<u32>,
+    ) -> impl FnMut(&Incoming) -> bool + '_ {
+        let src_global = src.map(|local| self.to_global(comm, local));
+        move |m: &Incoming| {
+            m.env.kind == Kind::PointToPoint
+                && m.env.comm == comm.0
+                && src_global.map_or(true, |g| m.src_global == g)
+                && tag.map_or(true, |t| m.env.tag == t)
+        }
+    }
+
+    fn status_of(&self, comm: CommId, m: &Incoming) -> Status {
+        Status {
+            source: self
+                .to_local(comm, m.src_global)
+                .expect("sender must be a communicator member"),
+            tag: m.env.tag,
+            bytes: m.payload.len(),
+        }
+    }
+
+    /// `MPI_Send` (buffered): never blocks in this model, like AMPI's
+    /// eager path for reasonable message sizes.
+    pub fn send_bytes(&self, comm: CommId, dest: usize, tag: u32, payload: Bytes) {
+        let to_global = self.to_global(comm, dest);
+        self.raw_send(to_global, Envelope::p2p(comm.0, tag), payload);
+    }
+
+    /// `MPI_Recv` with optional wildcards.
+    pub fn recv_bytes(
+        &self,
+        comm: CommId,
+        src: Option<usize>,
+        tag: Option<u32>,
+    ) -> (Bytes, Status) {
+        let mut pred = self.p2p_pred(comm, src, tag);
+        let m = self.recv_matching(&mut pred);
+        drop(pred);
+        let status = self.status_of(comm, &m);
+        (m.payload, status)
+    }
+
+    /// `MPI_Iprobe`-then-receive: non-blocking.
+    pub fn try_recv_bytes(
+        &self,
+        comm: CommId,
+        src: Option<usize>,
+        tag: Option<u32>,
+    ) -> Option<(Bytes, Status)> {
+        let mut pred = self.p2p_pred(comm, src, tag);
+        let m = self.try_recv_matching(&mut pred)?;
+        drop(pred);
+        let status = self.status_of(comm, &m);
+        Some((m.payload, status))
+    }
+
+    /// `MPI_Isend` — buffered, so complete at post time.
+    pub fn isend_bytes(&self, comm: CommId, dest: usize, tag: u32, payload: Bytes) -> Request {
+        self.send_bytes(comm, dest, tag, payload);
+        Request::SendDone
+    }
+
+    /// `MPI_Irecv`: matching is deferred to `wait`/`test`.
+    pub fn irecv(&self, comm: CommId, src: Option<usize>, tag: Option<u32>) -> Request {
+        Request::Recv {
+            comm,
+            src,
+            tag,
+            done: None,
+        }
+    }
+
+    /// `MPI_Test`.
+    pub fn test(&self, req: &mut Request) -> bool {
+        match req {
+            Request::SendDone => true,
+            Request::Recv {
+                comm,
+                src,
+                tag,
+                done,
+            } => {
+                if done.is_some() {
+                    return true;
+                }
+                let (comm, src, tag) = (*comm, *src, *tag);
+                let mut pred = self.p2p_pred(comm, src, tag);
+                if let Some(m) = self.try_recv_matching(&mut pred) {
+                    drop(pred);
+                    let status = self.status_of(comm, &m);
+                    *done = Some((m.payload, status));
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// `MPI_Wait`: blocks until the request completes; returns receive
+    /// data for receive requests.
+    pub fn wait(&self, req: &mut Request) -> Option<(Bytes, Status)> {
+        match req {
+            Request::SendDone => None,
+            Request::Recv {
+                comm,
+                src,
+                tag,
+                done,
+            } => {
+                if let Some(d) = done.take() {
+                    return Some(d);
+                }
+                let (comm, src, tag) = (*comm, *src, *tag);
+                let mut pred = self.p2p_pred(comm, src, tag);
+                let m = self.recv_matching(&mut pred);
+                drop(pred);
+                let status = self.status_of(comm, &m);
+                Some((m.payload, status))
+            }
+        }
+    }
+
+    /// `MPI_Waitall`: receive results in request order.
+    pub fn waitall(&self, reqs: &mut [Request]) -> Vec<Option<(Bytes, Status)>> {
+        reqs.iter_mut().map(|r| self.wait(r)).collect()
+    }
+
+    /// `MPI_Sendrecv` — the halo-exchange workhorse; deadlock-free
+    /// because sends are buffered.
+    pub fn sendrecv(
+        &self,
+        comm: CommId,
+        dest: usize,
+        send_tag: u32,
+        payload: Bytes,
+        src: Option<usize>,
+        recv_tag: Option<u32>,
+    ) -> (Bytes, Status) {
+        self.send_bytes(comm, dest, send_tag, payload);
+        self.recv_bytes(comm, src, recv_tag)
+    }
+
+    // -- typed convenience wrappers --------------------------------------
+
+    pub fn send_f64s(&self, comm: CommId, dest: usize, tag: u32, data: &[f64]) {
+        self.send_bytes(comm, dest, tag, crate::util::f64s_to_bytes(data));
+    }
+
+    pub fn recv_f64s(
+        &self,
+        comm: CommId,
+        src: Option<usize>,
+        tag: Option<u32>,
+    ) -> (Vec<f64>, Status) {
+        let (b, s) = self.recv_bytes(comm, src, tag);
+        (crate::util::bytes_to_f64s(&b), s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_spmd;
+    use crate::COMM_WORLD;
+
+    #[test]
+    fn tagged_send_recv() {
+        run_spmd(2, 1, |mpi| {
+            if mpi.rank() == 0 {
+                mpi.send_bytes(COMM_WORLD, 1, 7, Bytes::from_static(b"seven"));
+                mpi.send_bytes(COMM_WORLD, 1, 8, Bytes::from_static(b"eight"));
+            } else {
+                // receive out of order by tag: 8 first, then 7
+                let (b8, s8) = mpi.recv_bytes(COMM_WORLD, Some(0), Some(8));
+                assert_eq!(&b8[..], b"eight");
+                assert_eq!(s8.tag, 8);
+                let (b7, s7) = mpi.recv_bytes(COMM_WORLD, Some(0), Some(7));
+                assert_eq!(&b7[..], b"seven");
+                assert_eq!(s7.source, 0);
+            }
+        });
+    }
+
+    #[test]
+    fn wildcard_source_and_tag() {
+        run_spmd(3, 1, |mpi| {
+            if mpi.rank() == 2 {
+                let mut froms = Vec::new();
+                for _ in 0..2 {
+                    let (b, s) = mpi.recv_bytes(COMM_WORLD, ANY_SOURCE, ANY_TAG);
+                    assert_eq!(b.len(), 1);
+                    froms.push(s.source);
+                }
+                froms.sort_unstable();
+                assert_eq!(froms, vec![0, 1]);
+            } else {
+                mpi.send_bytes(
+                    COMM_WORLD,
+                    2,
+                    mpi.rank() as u32,
+                    Bytes::from(vec![mpi.rank() as u8]),
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn non_overtaking_order_preserved() {
+        run_spmd(2, 1, |mpi| {
+            if mpi.rank() == 0 {
+                for i in 0..10u8 {
+                    mpi.send_bytes(COMM_WORLD, 1, 1, Bytes::from(vec![i]));
+                }
+            } else {
+                for i in 0..10u8 {
+                    let (b, _) = mpi.recv_bytes(COMM_WORLD, Some(0), Some(1));
+                    assert_eq!(b[0], i, "same (src,tag,comm) must arrive in order");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn self_send_works() {
+        run_spmd(1, 1, |mpi| {
+            mpi.send_bytes(COMM_WORLD, 0, 5, Bytes::from_static(b"me"));
+            let (b, s) = mpi.recv_bytes(COMM_WORLD, Some(0), Some(5));
+            assert_eq!(&b[..], b"me");
+            assert_eq!(s.source, 0);
+        });
+    }
+
+    #[test]
+    fn irecv_wait_and_test() {
+        run_spmd(2, 1, |mpi| {
+            if mpi.rank() == 0 {
+                // request posted before the message exists
+                let mut req = mpi.irecv(COMM_WORLD, Some(1), Some(3));
+                assert!(!mpi.test(&mut req));
+                mpi.send_bytes(COMM_WORLD, 1, 2, Bytes::from_static(b"go"));
+                let (b, s) = mpi.wait(&mut req).unwrap();
+                assert_eq!(&b[..], b"answer");
+                assert_eq!(s.tag, 3);
+            } else {
+                let (b, _) = mpi.recv_bytes(COMM_WORLD, Some(0), Some(2));
+                assert_eq!(&b[..], b"go");
+                let mut sreq = mpi.isend_bytes(COMM_WORLD, 0, 3, Bytes::from_static(b"answer"));
+                assert!(sreq.is_complete());
+                assert!(mpi.wait(&mut sreq).is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn waitall_multiple_receives() {
+        run_spmd(3, 1, |mpi| {
+            if mpi.rank() == 0 {
+                let mut reqs = vec![
+                    mpi.irecv(COMM_WORLD, Some(1), ANY_TAG),
+                    mpi.irecv(COMM_WORLD, Some(2), ANY_TAG),
+                ];
+                let results = mpi.waitall(&mut reqs);
+                let (b1, _) = results[0].as_ref().unwrap();
+                let (b2, _) = results[1].as_ref().unwrap();
+                assert_eq!(&b1[..], &[1]);
+                assert_eq!(&b2[..], &[2]);
+            } else {
+                mpi.send_bytes(COMM_WORLD, 0, 0, Bytes::from(vec![mpi.rank() as u8]));
+            }
+        });
+    }
+
+    #[test]
+    fn sendrecv_ring_shift() {
+        run_spmd(2, 2, |mpi| {
+            let p = mpi.size();
+            let me = mpi.rank();
+            let right = (me + 1) % p;
+            let (b, s) = mpi.sendrecv(
+                COMM_WORLD,
+                right,
+                9,
+                Bytes::from(vec![me as u8]),
+                ANY_SOURCE,
+                Some(9),
+            );
+            assert_eq!(b[0] as usize, (me + p - 1) % p);
+            assert_eq!(s.source, (me + p - 1) % p);
+        });
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        run_spmd(1, 2, |mpi| {
+            if mpi.rank() == 0 {
+                assert!(mpi.try_recv_bytes(COMM_WORLD, ANY_SOURCE, ANY_TAG).is_none());
+                mpi.barrier(COMM_WORLD);
+                // partner has now sent
+                loop {
+                    if let Some((b, _)) = mpi.try_recv_bytes(COMM_WORLD, Some(1), Some(4)) {
+                        assert_eq!(&b[..], b"late");
+                        break;
+                    }
+                    mpi.ctx().yield_now();
+                }
+            } else {
+                mpi.barrier(COMM_WORLD);
+                mpi.send_bytes(COMM_WORLD, 0, 4, Bytes::from_static(b"late"));
+            }
+        });
+    }
+
+    #[test]
+    fn typed_f64_roundtrip() {
+        run_spmd(2, 1, |mpi| {
+            if mpi.rank() == 0 {
+                mpi.send_f64s(COMM_WORLD, 1, 0, &[1.5, -2.5, 3.25]);
+            } else {
+                let (v, s) = mpi.recv_f64s(COMM_WORLD, Some(0), Some(0));
+                assert_eq!(v, vec![1.5, -2.5, 3.25]);
+                assert_eq!(s.bytes, 24);
+            }
+        });
+    }
+}

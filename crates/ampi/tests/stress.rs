@@ -1,0 +1,174 @@
+//! Stress and randomized-schedule tests for the MPI layer.
+//!
+//! These generate message storms and shuffled communication orders and
+//! check that matching, ordering, and collectives stay correct under
+//! pressure — the situations that break matching engines in practice.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use pvr_ampi::{Ampi, Op, ANY_SOURCE, ANY_TAG, COMM_WORLD};
+use pvr_privatize::Method;
+use pvr_progimage::{link, ImageSpec};
+use pvr_rts::{MachineBuilder, RankCtx, Topology};
+use std::sync::Arc;
+
+fn run_spmd(pes: usize, vp: usize, body: impl Fn(&Ampi) + Send + Sync + 'static) {
+    let bin = link(ImageSpec::builder("stress").global("g", 8).build());
+    let mut machine = MachineBuilder::new(bin)
+        .method(Method::PieGlobals)
+        .topology(Topology::non_smp(pes))
+        .vp_ratio(vp)
+        .stack_size(256 * 1024)
+        .build(Arc::new(move |ctx: RankCtx| {
+            let mpi = Ampi::init(ctx);
+            body(&mpi);
+        }))
+        .unwrap();
+    machine.run().unwrap();
+}
+
+#[test]
+fn message_storm_all_to_one_with_wildcards() {
+    // every rank floods rank 0 with tagged bursts; rank 0 drains with
+    // wildcards and verifies counts and per-sender ordering
+    const PER_SENDER: usize = 50;
+    run_spmd(2, 4, move |mpi| {
+        let p = mpi.size();
+        if mpi.rank() == 0 {
+            let mut next_seq = vec![0u8; p];
+            for _ in 0..(p - 1) * PER_SENDER {
+                let (b, s) = mpi.recv_bytes(COMM_WORLD, ANY_SOURCE, ANY_TAG);
+                assert_eq!(
+                    b[0], next_seq[s.source],
+                    "per-sender FIFO violated for sender {}",
+                    s.source
+                );
+                next_seq[s.source] += 1;
+            }
+            for (sender, &n) in next_seq.iter().enumerate().skip(1) {
+                assert_eq!(n as usize, PER_SENDER, "sender {sender} shortchanged");
+            }
+        } else {
+            for i in 0..PER_SENDER {
+                mpi.send_bytes(
+                    COMM_WORLD,
+                    0,
+                    (mpi.rank() * 1000 + i) as u32,
+                    Bytes::from(vec![i as u8]),
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn interleaved_tags_matched_out_of_order() {
+    // sender emits tags in one order; receiver consumes them in a
+    // deterministic shuffled order; everything must match exactly
+    const N: u32 = 40;
+    run_spmd(1, 2, move |mpi| {
+        if mpi.rank() == 0 {
+            for tag in 0..N {
+                mpi.send_bytes(COMM_WORLD, 1, tag, Bytes::from(vec![tag as u8; 3]));
+            }
+        } else {
+            // deterministic shuffle: stride walk coprime with N
+            let mut tag = 0u32;
+            for _ in 0..N {
+                tag = (tag + 17) % N;
+                let (b, s) = mpi.recv_bytes(COMM_WORLD, Some(0), Some(tag));
+                assert_eq!(s.tag, tag);
+                assert_eq!(&b[..], &[tag as u8; 3]);
+            }
+        }
+    });
+}
+
+#[test]
+fn many_outstanding_irecvs() {
+    run_spmd(2, 1, |mpi| {
+        const N: usize = 30;
+        if mpi.rank() == 0 {
+            let mut reqs: Vec<_> = (0..N)
+                .map(|i| mpi.irecv(COMM_WORLD, Some(1), Some(i as u32)))
+                .collect();
+            // nothing has arrived yet
+            assert!(reqs.iter_mut().all(|r| !r.is_complete()));
+            mpi.send_bytes(COMM_WORLD, 1, 999, Bytes::new()); // go signal
+            let results = mpi.waitall(&mut reqs);
+            for (i, r) in results.iter().enumerate() {
+                let (b, s) = r.as_ref().unwrap();
+                assert_eq!(s.tag, i as u32);
+                assert_eq!(b.len(), i % 7);
+            }
+        } else {
+            let _ = mpi.recv_bytes(COMM_WORLD, Some(0), Some(999));
+            // send in reverse order: posted-receive order must not matter
+            for i in (0..N).rev() {
+                mpi.send_bytes(COMM_WORLD, 0, i as u32, Bytes::from(vec![0u8; i % 7]));
+            }
+        }
+    });
+}
+
+#[test]
+fn concurrent_collectives_on_disjoint_subcomms() {
+    run_spmd(2, 2, |mpi| {
+        let me = mpi.rank();
+        // split into {0,1} and {2,3}; run different collective sequences
+        let sub = mpi.comm_split(COMM_WORLD, (me / 2) as i64, me as i64);
+        if me / 2 == 0 {
+            let s = mpi.allreduce_comm(sub, &[me as f64], Op::Sum)[0];
+            assert_eq!(s, 1.0);
+            mpi.barrier(sub);
+            let s = mpi.allreduce_comm(sub, &[1.0], Op::Sum)[0];
+            assert_eq!(s, 2.0);
+        } else {
+            // a different number of collectives on the other subcomm
+            for k in 0..4 {
+                let s = mpi.allreduce_comm(sub, &[k as f64], Op::Max)[0];
+                assert_eq!(s, k as f64);
+            }
+        }
+        // then everyone meets on the world communicator
+        let total = mpi.allreduce(&[1.0], Op::Sum)[0];
+        assert_eq!(total, 4.0);
+    });
+}
+
+#[test]
+fn large_payload_integrity() {
+    run_spmd(2, 1, |mpi| {
+        const MB: usize = 4 << 20;
+        if mpi.rank() == 0 {
+            let data: Vec<u8> = (0..MB).map(|i| (i * 31 % 251) as u8).collect();
+            mpi.send_bytes(COMM_WORLD, 1, 0, Bytes::from(data));
+        } else {
+            let (b, s) = mpi.recv_bytes(COMM_WORLD, Some(0), Some(0));
+            assert_eq!(s.bytes, MB);
+            assert!(b.iter().enumerate().all(|(i, &x)| x == (i * 31 % 251) as u8));
+        }
+    });
+}
+
+#[test]
+fn ring_pipeline_with_many_vps_per_pe() {
+    // deep overdecomposition: 16 ranks on 2 PEs passing a token around
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let l2 = log.clone();
+    run_spmd(2, 8, move |mpi| {
+        let p = mpi.size();
+        let me = mpi.rank();
+        if me == 0 {
+            mpi.send_bytes(COMM_WORLD, 1, 0, Bytes::from(vec![0u8]));
+            let (b, _) = mpi.recv_bytes(COMM_WORLD, Some(p - 1), Some(0));
+            assert_eq!(b[0] as usize, p - 1);
+            l2.lock().push(p);
+        } else {
+            let (b, _) = mpi.recv_bytes(COMM_WORLD, Some(me - 1), Some(0));
+            assert_eq!(b[0] as usize, me - 1);
+            mpi.send_bytes(COMM_WORLD, (me + 1) % p, 0, Bytes::from(vec![me as u8]));
+        }
+    });
+    assert_eq!(*log.lock(), vec![16]);
+}

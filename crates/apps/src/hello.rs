@@ -1,0 +1,130 @@
+//! The paper's Fig. 2 program: MPI hello world with mutable globals.
+//!
+//! ```c
+//! int my_rank;            // unsafe: mutable global
+//! int num_ranks;          // safe: same value written by all ranks
+//! MPI_Comm_rank(MPI_COMM_WORLD, &my_rank);
+//! MPI_Barrier(MPI_COMM_WORLD);
+//! printf("rank: %d\n", my_rank);
+//! ```
+//!
+//! Virtualized without privatization, both ranks print the *last
+//! writer's* number (Fig. 3: `rank: 1` twice). Privatized, each prints
+//! its own. [`run`] returns what the rank "printed" so callers can check
+//! either outcome.
+
+use pvr_ampi::{Ampi, COMM_WORLD};
+use pvr_progimage::{link, ImageSpec, ProgramBinary};
+use std::sync::Arc;
+
+/// The program's image: `my_rank` (unsafe) and `num_ranks` (write-same,
+/// safe to share per §2.2).
+pub fn image_spec() -> ImageSpec {
+    ImageSpec::builder("hello_world")
+        .global("my_rank", 8)
+        .global("num_ranks", 8)
+        .code_padding(64 * 1024)
+        .build()
+}
+
+pub fn binary() -> Arc<ProgramBinary> {
+    link(image_spec())
+}
+
+/// What one rank observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelloOutput {
+    /// The value of `my_rank` printed after the barrier.
+    pub printed_rank: u64,
+    /// What a correct MPI execution would print.
+    pub expected_rank: u64,
+    pub num_ranks: u64,
+}
+
+/// The Fig. 2 program body.
+pub fn run(mpi: &Ampi) -> HelloOutput {
+    let inst = mpi.ctx().instance();
+    let my_rank = inst.access("my_rank");
+    let num_ranks = inst.access("num_ranks");
+
+    // MPI_Comm_rank / MPI_Comm_size "write" their outputs to globals
+    my_rank.write_u64(mpi.rank() as u64);
+    num_ranks.write_u64(mpi.size() as u64);
+
+    // MPI_Barrier: every rank suspends; under virtualization other ranks
+    // run meanwhile and overwrite shared globals.
+    mpi.barrier(COMM_WORLD);
+
+    HelloOutput {
+        printed_rank: my_rank.read_u64(),
+        expected_rank: mpi.rank() as u64,
+        num_ranks: num_ranks.read_u64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use pvr_privatize::Method;
+    use pvr_rts::{MachineBuilder, Topology};
+
+    fn run_with(method: Method, vps: usize) -> Vec<HelloOutput> {
+        let outputs = Arc::new(Mutex::new(Vec::new()));
+        let out2 = outputs.clone();
+        let mut m = MachineBuilder::new(binary())
+            .method(method)
+            .topology(Topology::smp(1))
+            .vp_ratio(vps)
+            .build(Arc::new(move |ctx| {
+                let mpi = Ampi::init(ctx);
+                let o = run(&mpi);
+                out2.lock().push(o);
+            }))
+            .unwrap();
+        m.run().unwrap();
+        let v = outputs.lock().clone();
+        v
+    }
+
+    #[test]
+    fn unprivatized_reproduces_fig3() {
+        // "+vp 2" in one process: both ranks print the last writer's id.
+        let outs = run_with(Method::Unprivatized, 2);
+        assert_eq!(outs.len(), 2);
+        let printed: Vec<u64> = outs.iter().map(|o| o.printed_rank).collect();
+        // both printed the same (wrong) value — the Fig. 3 output
+        assert_eq!(printed[0], printed[1]);
+        assert!(outs.iter().any(|o| o.printed_rank != o.expected_rank));
+        // num_ranks is safe despite being a global: all wrote 2
+        assert!(outs.iter().all(|o| o.num_ranks == 2));
+    }
+
+    #[test]
+    fn every_real_method_fixes_it() {
+        for method in [
+            Method::ManualRefactor,
+            Method::TlsGlobals,
+            Method::PipGlobals,
+            Method::FsGlobals,
+            Method::PieGlobals,
+        ] {
+            let outs = run_with(method, 2);
+            for o in &outs {
+                assert_eq!(
+                    o.printed_rank, o.expected_rank,
+                    "{method} must privatize my_rank"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn higher_virtualization_ratios() {
+        let outs = run_with(Method::PieGlobals, 8);
+        assert_eq!(outs.len(), 8);
+        let mut printed: Vec<u64> = outs.iter().map(|o| o.printed_rank).collect();
+        printed.sort_unstable();
+        assert_eq!(printed, (0..8).collect::<Vec<u64>>());
+    }
+}

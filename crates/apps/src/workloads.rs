@@ -1,0 +1,175 @@
+//! Synthetic load-imbalance generators for load-balancer studies.
+//!
+//! The paper's ADCIRC experiment has one specific imbalance shape (a
+//! moving flood front); these generators provide the standard shapes LB
+//! strategies are evaluated against, used by the `ablation_lb` bench to
+//! show where GreedyRefineLB's migration thrift pays off.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A per-rank, per-step work schedule (seconds of compute).
+#[derive(Debug, Clone)]
+pub struct WorkSchedule {
+    /// `work[step][rank]` in seconds.
+    pub work: Vec<Vec<f64>>,
+}
+
+impl WorkSchedule {
+    pub fn n_steps(&self) -> usize {
+        self.work.len()
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.work.first().map_or(0, |w| w.len())
+    }
+
+    /// Total work across all ranks and steps.
+    pub fn total(&self) -> f64 {
+        self.work.iter().flatten().sum()
+    }
+
+    /// max/avg imbalance of one step.
+    pub fn imbalance_at(&self, step: usize) -> f64 {
+        let w = &self.work[step];
+        let max = w.iter().copied().fold(0.0, f64::max);
+        let avg = w.iter().sum::<f64>() / w.len() as f64;
+        if avg == 0.0 {
+            1.0
+        } else {
+            max / avg
+        }
+    }
+}
+
+/// Perfectly uniform: LB should do (and cost) nothing.
+pub fn uniform(n_ranks: usize, steps: usize, per_step: f64) -> WorkSchedule {
+    WorkSchedule {
+        work: vec![vec![per_step; n_ranks]; steps],
+    }
+}
+
+/// Static skew: a fixed subset of ranks is `factor`× heavier. One LB
+/// step fixes it forever — the best case for aggressive balancers.
+pub fn static_skew(n_ranks: usize, steps: usize, base: f64, factor: f64) -> WorkSchedule {
+    let work = (0..steps)
+        .map(|_| {
+            (0..n_ranks)
+                .map(|r| if r < n_ranks / 4 { base * factor } else { base })
+                .collect()
+        })
+        .collect();
+    WorkSchedule { work }
+}
+
+/// Moving hotspot: a contiguous band of heavy ranks sweeps across the
+/// rank space (the ADCIRC flood-front shape). Persistent rebalancing
+/// required; migration cost matters.
+pub fn moving_hotspot(
+    n_ranks: usize,
+    steps: usize,
+    base: f64,
+    factor: f64,
+    band: usize,
+) -> WorkSchedule {
+    let work = (0..steps)
+        .map(|s| {
+            let center = (s * n_ranks) / steps.max(1);
+            (0..n_ranks)
+                .map(|r| {
+                    let dist = (r as i64 - center as i64).unsigned_abs() as usize;
+                    if dist <= band {
+                        base * factor
+                    } else {
+                        base
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    WorkSchedule { work }
+}
+
+/// Random per-step loads with a Zipf-like tail: a few ranks are much
+/// heavier each step, but *which* ranks changes — the worst case for
+/// history-based balancers (measured load stops predicting future load).
+pub fn shuffled_zipf(n_ranks: usize, steps: usize, base: f64, seed: u64) -> WorkSchedule {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let work = (0..steps)
+        .map(|_| {
+            let mut weights: Vec<f64> = (1..=n_ranks).map(|k| base * 4.0 / k as f64).collect();
+            // Fisher-Yates shuffle
+            for i in (1..weights.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                weights.swap(i, j);
+            }
+            weights
+        })
+        .collect();
+    WorkSchedule { work }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_balanced() {
+        let w = uniform(8, 5, 0.01);
+        assert_eq!(w.n_steps(), 5);
+        assert_eq!(w.n_ranks(), 8);
+        for s in 0..5 {
+            assert_eq!(w.imbalance_at(s), 1.0);
+        }
+        assert!((w.total() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_skew_is_imbalanced_every_step() {
+        let w = static_skew(8, 3, 0.01, 10.0);
+        for s in 0..3 {
+            assert!(w.imbalance_at(s) > 2.0);
+            assert_eq!(w.work[s], w.work[0], "skew is static");
+        }
+    }
+
+    #[test]
+    fn hotspot_moves() {
+        let w = moving_hotspot(16, 8, 0.001, 20.0, 1);
+        // heavy band at the start covers low ranks, at the end high ranks
+        let heavy_at = |s: usize| {
+            w.work[s]
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0
+        };
+        assert!(heavy_at(0) < 4);
+        assert!(heavy_at(7) > 10);
+        for s in 0..8 {
+            assert!(w.imbalance_at(s) > 1.5);
+        }
+    }
+
+    #[test]
+    fn zipf_is_heavy_tailed_and_deterministic() {
+        let a = shuffled_zipf(16, 4, 0.001, 7);
+        let b = shuffled_zipf(16, 4, 0.001, 7);
+        assert_eq!(a.work, b.work);
+        for s in 0..4 {
+            assert!(a.imbalance_at(s) > 2.0, "step {s} should be skewed");
+        }
+        // the heavy rank moves between steps (with overwhelming probability)
+        let heavy_at = |s: usize| {
+            a.work[s]
+                .iter()
+                .enumerate()
+                .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+                .unwrap()
+                .0
+        };
+        let positions: std::collections::HashSet<usize> = (0..4).map(heavy_at).collect();
+        assert!(positions.len() > 1, "hot rank should move: {positions:?}");
+    }
+}

@@ -1,0 +1,58 @@
+//! Ablation: why user-level threads? asm-switched ULTs vs parked OS
+//! threads carrying the same coroutine interface.
+//!
+//! DESIGN.md decision 1: everything the paper measures within one address
+//! space is real. This bench quantifies the gap that justifies ULTs —
+//! the paper's ~100 ns switches vs multi-microsecond pthread handoffs —
+//! and the cost of the privatization register installs on top.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pvr_privatize::{regs, CtxAction, RankInstance};
+use pvr_ult::{Backend, StackMem, Ult};
+use std::collections::HashMap;
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/ult_backend");
+    for &backend in Backend::available() {
+        let name = match backend {
+            Backend::Asm => "asm_context_switch",
+            Backend::Thread => "os_thread_handoff",
+        };
+        group.bench_function(name, |b| {
+            let mut ult = Ult::with_backend(backend, StackMem::new(64 * 1024), || loop {
+                pvr_ult::yield_now();
+            });
+            b.iter(|| ult.resume());
+        });
+    }
+    group.finish();
+}
+
+fn bench_ctx_actions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/ctx_action");
+    let mut tls_block = [0u8; 64];
+    let mut got = [0u64; 4];
+    let none = RankInstance::new(0, pvr_privatize::Method::PipGlobals, HashMap::new(), CtxAction::None, 0);
+    let tls = RankInstance::new(
+        0,
+        pvr_privatize::Method::TlsGlobals,
+        HashMap::new(),
+        CtxAction::SetTls(tls_block.as_mut_ptr()),
+        0,
+    );
+    let swap = RankInstance::new(
+        0,
+        pvr_privatize::Method::Swapglobals,
+        HashMap::new(),
+        CtxAction::SetGot(got.as_mut_ptr()),
+        0,
+    );
+    group.bench_function("none (PIP/FS)", |b| b.iter(|| none.activate()));
+    group.bench_function("set_tls (TLS/PIE)", |b| b.iter(|| tls.activate()));
+    group.bench_function("set_got (Swapglobals)", |b| b.iter(|| swap.activate()));
+    group.finish();
+    regs::clear();
+}
+
+criterion_group!(benches, bench_backends, bench_ctx_actions);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Ablation: load-balancing strategies across imbalance shapes.
+//!
+//! DESIGN.md asks why the paper's ADCIRC runs use GreedyRefineLB rather
+//! than plain greedy or refinement: this bench drives each strategy over
+//! the canonical imbalance shapes (static skew, moving hotspot, shuffled
+//! zipf) in virtual time — so "time" includes the migration traffic each
+//! strategy generates under PIEglobals' code-carrying migrations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pvr_apps::workloads::{self, WorkSchedule};
+use pvr_des::SimDuration;
+use pvr_privatize::Method;
+use pvr_rts::lb::{GreedyLb, GreedyRefineLb, NullLb, RefineLb};
+use pvr_rts::{ClockMode, LoadBalancer, MachineBuilder, RankCtx, Topology};
+use std::sync::Arc;
+
+/// Run a schedule under a balancer; the measured quantity is the
+/// *virtual* makespan (deterministic), so criterion's statistics reflect
+/// harness overhead while the printed value is the interesting one.
+fn run_schedule(schedule: &WorkSchedule, balancer: Option<Box<dyn LoadBalancer>>) -> f64 {
+    let sched = schedule.clone();
+    let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(move |ctx: RankCtx| {
+        let me = ctx.rank();
+        for step in 0..sched.n_steps() {
+            ctx.compute(SimDuration::from_secs_f64(sched.work[step][me]));
+            ctx.at_sync();
+        }
+    });
+    let mut builder = MachineBuilder::new(pvr_apps::surge::binary_with_code(256 * 1024))
+        .method(Method::PieGlobals)
+        .topology(Topology::non_smp(4))
+        .vp_ratio(schedule.n_ranks() / 4)
+        .clock(ClockMode::Virtual);
+    if let Some(b) = balancer {
+        builder = builder.balancer(b);
+    }
+    let mut machine = builder.build(body).unwrap();
+    machine.run().unwrap().sim_elapsed.as_secs_f64()
+}
+
+fn bench_lb_strategies(c: &mut Criterion) {
+    let shapes: Vec<(&str, WorkSchedule)> = vec![
+        ("uniform", workloads::uniform(16, 10, 0.002)),
+        ("static_skew", workloads::static_skew(16, 10, 0.001, 12.0)),
+        (
+            "moving_hotspot",
+            workloads::moving_hotspot(16, 10, 0.001, 12.0, 1),
+        ),
+        ("shuffled_zipf", workloads::shuffled_zipf(16, 10, 0.002, 42)),
+    ];
+    let mut group = c.benchmark_group("ablation/lb_strategies");
+    group.sample_size(10);
+    for (shape_name, schedule) in &shapes {
+        for strategy in ["none", "greedy", "refine", "greedy_refine"] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy, shape_name),
+                schedule,
+                |b, schedule| {
+                    b.iter(|| {
+                        let balancer: Option<Box<dyn LoadBalancer>> = match strategy {
+                            "none" => Some(Box::new(NullLb)),
+                            "greedy" => Some(Box::new(GreedyLb)),
+                            "refine" => Some(Box::new(RefineLb::default())),
+                            "greedy_refine" => Some(Box::new(GreedyRefineLb::default())),
+                            _ => unreachable!(),
+                        };
+                        criterion::black_box(run_schedule(schedule, balancer))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // print the virtual-time comparison once (the quantity of interest)
+    eprintln!("\nvirtual makespans (s):");
+    eprintln!(
+        "{:>16} {:>10} {:>10} {:>10} {:>14}",
+        "shape", "none", "greedy", "refine", "greedy_refine"
+    );
+    for (shape_name, schedule) in &shapes {
+        let t = |b: Option<Box<dyn LoadBalancer>>| run_schedule(schedule, b);
+        eprintln!(
+            "{:>16} {:>10.4} {:>10.4} {:>10.4} {:>14.4}",
+            shape_name,
+            t(Some(Box::new(NullLb))),
+            t(Some(Box::new(GreedyLb))),
+            t(Some(Box::new(RefineLb::default()))),
+            t(Some(Box::new(GreedyRefineLb::default()))),
+        );
+    }
+}
+
+criterion_group!(benches, bench_lb_strategies);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Ablation: PIEglobals pointer-fixup strategies (DESIGN.md decision 2).
+//!
+//! `ConservativeScan` re-discovers pointers by scanning the whole data
+//! segment for values inside the original ranges (the shipping approach);
+//! `Relocations` applies exact records (the paper's planned "more robust
+//! method"). Scan cost grows with data-segment size; relocation cost with
+//! pointer count. Also measures the `dedup_readonly` future-work option.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pvr_isomalloc::RankMemory;
+use pvr_privatize::methods::{PieGlobals, PieOptions, ScanPolicy};
+use pvr_privatize::{PrivatizeEnv, Privatizer};
+use pvr_progimage::{link, CtorSpec, FunctionSpec, GlobalSpec, ImageSpec, VarClass};
+use std::sync::Arc;
+
+fn binary_with(data_kb: usize, ptr_count: usize) -> Arc<pvr_progimage::ProgramBinary> {
+    let mut b = ImageSpec::builder("scan-subject")
+        .function(FunctionSpec::new("f", 4096))
+        .code_padding(1 << 20);
+    // bulk data
+    b = b.var(GlobalSpec::new("bulk", data_kb * 1024, VarClass::Global).with_align(8));
+    // pointer-holding globals written by a ctor
+    let mut ctor = CtorSpec::new("init");
+    for i in 0..ptr_count {
+        let name = format!("p{i}");
+        b = b.var(GlobalSpec::new(&name, 8, VarClass::Global));
+        ctor = if i % 2 == 0 {
+            ctor.fn_ptr_into(&name, "f")
+        } else {
+            ctor.alloc_into(64, &name)
+        };
+    }
+    link(b.ctor(ctor).build())
+}
+
+fn bench_scan_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/pie_fixup");
+    group.sample_size(10);
+    for &data_kb in &[64usize, 1024] {
+        for policy in [ScanPolicy::ConservativeScan, ScanPolicy::Relocations] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{policy:?}"), format!("{data_kb}KB_data")),
+                &data_kb,
+                |b, &data_kb| {
+                    let binary = binary_with(data_kb, 16);
+                    b.iter_custom(|iters| {
+                        let mut total = std::time::Duration::ZERO;
+                        let mut p = PieGlobals::new(
+                            PrivatizeEnv::new(binary.clone()),
+                            PieOptions {
+                                scan: policy,
+                                dedup_readonly: false,
+                            },
+                        )
+                        .unwrap();
+                        for rank in 0..iters as usize {
+                            let mut mem = RankMemory::new();
+                            let t0 = std::time::Instant::now();
+                            let _ = p.instantiate_rank(rank, &mut mem).unwrap();
+                            total += t0.elapsed();
+                        }
+                        total
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_policies);
+criterion_main!(benches);

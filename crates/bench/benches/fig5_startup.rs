@@ -1,0 +1,38 @@
+//! Fig. 5 (Criterion): startup/initialization cost per method.
+//!
+//! Times `MachineBuilder::build()` — privatizer setup plus all per-rank
+//! instantiation (segment copies, loader calls, pointer fixups) — with 8
+//! virtual ranks, on the Jacobi-sized binary to keep bench runtime sane
+//! (the `repro` harness uses the ADCIRC-sized one).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pvr_apps::jacobi3d;
+use pvr_privatize::Method;
+use pvr_rts::{MachineBuilder, RankCtx};
+use std::sync::Arc;
+
+fn bench_startup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5/startup_8vp");
+    group.sample_size(10);
+    let noop: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(|_ctx| {});
+    for &method in Method::EVALUATED {
+        let noop = noop.clone();
+        group.bench_function(method.name(), |b| {
+            b.iter_batched(
+                || noop.clone(),
+                |body| {
+                    MachineBuilder::new(jacobi3d::binary())
+                        .method(method)
+                        .vp_ratio(8)
+                        .build(body)
+                        .unwrap()
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_startup);
+criterion_main!(benches);

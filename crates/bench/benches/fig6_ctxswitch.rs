@@ -1,0 +1,74 @@
+//! Fig. 6 (Criterion): ULT context-switch time per privatization method.
+//!
+//! Measures the raw resume/yield pair plus the method's context-switch
+//! action (TLS-pointer or GOT install), the same quantity the paper
+//! reports in nanoseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pvr_privatize::{Method, Toolchain};
+use pvr_rts::{MachineBuilder, RankCtx};
+use pvr_ult::{Backend, StackMem, Ult};
+use std::sync::Arc;
+
+/// Raw ULT ping-pong without any privatization machinery: the floor.
+fn bench_raw_ult(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6/raw_ult");
+    group.bench_function("yield_resume_pair", |b| {
+        let mut ult = Ult::new(64 * 1024, || loop {
+            pvr_ult::yield_now();
+        });
+        b.iter(|| {
+            ult.resume();
+        });
+    });
+    group.finish();
+}
+
+/// Full-scheduler switch per method (two ranks yielding through the
+/// machine, as deployed).
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6/methods");
+    group.sample_size(20);
+    for &method in Method::EVALUATED {
+        group.bench_function(method.name(), |b| {
+            b.iter_custom(|iters| {
+                let yields = iters as usize;
+                let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(move |ctx: RankCtx| {
+                    for _ in 0..yields {
+                        ctx.yield_now();
+                    }
+                });
+                let mut machine = MachineBuilder::new(pvr_apps::hello::binary())
+                    .method(method)
+                    .toolchain(Toolchain::bridges2())
+                    .vp_ratio(2)
+                    .build(body)
+                    .unwrap();
+                let t0 = std::time::Instant::now();
+                let report = machine.run().unwrap();
+                // normalize to per-switch cost times requested iters
+                let per_switch = t0.elapsed() / report.context_switches as u32;
+                per_switch * iters as u32
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The OS-thread ablation: what each switch would cost on pthreads.
+fn bench_thread_backend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6/ablation");
+    group.sample_size(10);
+    group.bench_function("pthread_handoff", |b| {
+        let mut ult = Ult::with_backend(Backend::Thread, StackMem::new(64 * 1024), || loop {
+            pvr_ult::yield_now();
+        });
+        b.iter(|| {
+            ult.resume();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_raw_ult, bench_methods, bench_thread_backend);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Fig. 7 (Criterion): Jacobi-3D iteration time with privatized
+//! innermost-loop variables, per method.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::Mutex;
+use pvr_ampi::Ampi;
+use pvr_apps::jacobi3d::{self, JacobiConfig};
+use pvr_privatize::Method;
+use pvr_rts::{MachineBuilder, RankCtx};
+use std::sync::Arc;
+
+fn bench_jacobi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7/jacobi_iter");
+    group.sample_size(10);
+    let cfg = JacobiConfig {
+        nx: 32,
+        ny: 32,
+        nz: 16,
+        iters: 10,
+    };
+    for &method in Method::EVALUATED {
+        group.bench_function(method.name(), |b| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let residual = Arc::new(Mutex::new(0.0));
+                    let r2 = residual.clone();
+                    let body: Arc<dyn Fn(RankCtx) + Send + Sync> =
+                        Arc::new(move |ctx: RankCtx| {
+                            let mpi = Ampi::init(ctx);
+                            let stats = jacobi3d::run(&mpi, cfg);
+                            *r2.lock() = stats.residual;
+                        });
+                    let mut machine = MachineBuilder::new(jacobi3d::binary())
+                        .method(method)
+                        .vp_ratio(2)
+                        .stack_size(256 * 1024)
+                        .build(body)
+                        .unwrap();
+                    let t0 = std::time::Instant::now();
+                    machine.run().unwrap();
+                    // charge per-iteration cost
+                    total += t0.elapsed() / cfg.iters as u32;
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Isolated per-access cost of each addressing mode — the microscopic
+/// version of Fig. 7.
+fn bench_access_paths(c: &mut Criterion) {
+    use pvr_privatize::{regs, VarAccess};
+    let mut group = c.benchmark_group("fig7/raw_access");
+    let mut direct_storage = 0u64;
+    let direct = VarAccess::Direct(&mut direct_storage as *mut u64 as *mut u8);
+    let mut tls_block = [0u8; 64];
+    regs::set_tls_base(tls_block.as_mut_ptr());
+    let tls = VarAccess::Tls { offset: 8 };
+    let mut got_storage = 0u64;
+    let got_table = [&mut got_storage as *mut u64 as u64];
+    regs::set_got_base(got_table.as_ptr());
+    let got = VarAccess::Got { slot: 0 };
+
+    group.bench_function("direct (baseline/PIP/FS/PIE)", |b| {
+        b.iter(|| criterion::black_box(direct.read_u64()));
+    });
+    group.bench_function("tls_register (TLSglobals)", |b| {
+        b.iter(|| criterion::black_box(tls.read_u64()));
+    });
+    group.bench_function("got_slot (Swapglobals)", |b| {
+        b.iter(|| criterion::black_box(got.read_u64()));
+    });
+    group.finish();
+    regs::clear();
+}
+
+criterion_group!(benches, bench_jacobi, bench_access_paths);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Fig. 8 (Criterion): rank migration time, TLSglobals vs PIEglobals,
+//! across heap sizes. The PIEglobals rows additionally move the 14 MB
+//! ADCIRC-sized code segment.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pvr_apps::surge;
+use pvr_privatize::Method;
+use pvr_rts::{MachineBuilder, RankCtx, RtsMessage, Topology};
+use std::sync::Arc;
+
+fn bench_migration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8/migration");
+    group.sample_size(10);
+    for &method in &[Method::TlsGlobals, Method::PieGlobals] {
+        for &heap_mb in &[1usize, 10, 100] {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), format!("{heap_mb}MB")),
+                &heap_mb,
+                |b, &heap_mb| {
+                    let heap_bytes = heap_mb << 20;
+                    let body: Arc<dyn Fn(RankCtx) + Send + Sync> =
+                        Arc::new(move |ctx: RankCtx| {
+                            if ctx.rank() == 0 {
+                                let buf = ctx.heap_alloc(heap_bytes, 8);
+                                unsafe { std::ptr::write_bytes(buf, 0xA5, heap_bytes) };
+                                let _ = ctx.recv();
+                            }
+                        });
+                    let mut machine = MachineBuilder::new(surge::binary())
+                        .method(method)
+                        .topology(Topology::non_smp(2))
+                        .build(body)
+                        .unwrap();
+                    machine.drive_rank(0).unwrap();
+                    let mut k = 0usize;
+                    b.iter(|| {
+                        let to = (k + 1) % 2;
+                        k += 1;
+                        machine.migrate_now(0, to).unwrap()
+                    });
+                    machine.inject_message(RtsMessage::new(1, 0, 0, Bytes::new()));
+                    machine.run().unwrap();
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_migration);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! §4.5 — instruction-cache misses: shared vs duplicated code segments.
+//!
+//! The paper's PAPI counters disagreed across machines (PIEglobals 22%
+//! *fewer* L1I misses on EPYC, 15% *more* on Ice Lake) and drew no
+//! conclusion. We sweep workload shapes on both cache geometries and
+//! report the model's view: a pure LRU L1I ranges from "duplication is
+//! free" (small hot loops) to "duplication thrashes" (hot footprint ×
+//! ranks exceeding capacity) — and can never make duplication *win*,
+//! which means the EPYC result implicates structures outside a plain
+//! instruction cache (µop cache, BTB, prefetchers). That asymmetry is
+//! exactly why the paper's measurement was inconclusive.
+
+use crate::render_table;
+use pvr_icache::{compare_shared_vs_duplicated, CacheConfig, TraceConfig};
+
+pub struct IcacheRow {
+    pub machine: &'static str,
+    pub scenario: &'static str,
+    pub shared_rate: f64,
+    pub dup_rate: f64,
+    pub change_pct: f64,
+}
+
+pub fn run() -> Vec<IcacheRow> {
+    // EPYC 7742 (Zen 2) and Ice Lake both ship 32 KiB / 8-way / 64 B
+    // L1I caches — identical first-order geometry, which is itself part
+    // of the evidence that the paper's opposite-sign PAPI readings come
+    // from structures a plain L1I model does not capture. We add a
+    // halved-geometry sensitivity row to show how strongly the outcome
+    // depends on capacity.
+    let machines = [
+        ("EPYC/IceLake L1I (32K/8w)", CacheConfig::epyc_l1i()),
+        (
+            "sensitivity: half-size L1I",
+            CacheConfig {
+                size: 16 * 1024,
+                line: 64,
+                assoc: 4,
+            },
+        ),
+    ];
+    let scenarios = [
+        (
+            "hot loops fit per-rank (Jacobi-like)",
+            TraceConfig {
+                code_size: 3 << 20,
+                hot_fraction: 0.002,
+                fetches: 60_000,
+                loop_len: 256,
+            },
+            4usize,
+        ),
+        (
+            "large hot footprint (ADCIRC-like)",
+            TraceConfig {
+                code_size: 14 << 20,
+                hot_fraction: 0.002, // ~28 KiB hot per rank
+                fetches: 60_000,
+                loop_len: 512,
+            },
+            8,
+        ),
+        (
+            "pathological: whole binary hot",
+            TraceConfig {
+                code_size: 16 * 1024,
+                hot_fraction: 1.0,
+                fetches: 60_000,
+                loop_len: 512,
+            },
+            8,
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (mname, mcfg) in machines {
+        for (sname, tcfg, ranks) in scenarios {
+            let cmp = compare_shared_vs_duplicated(mcfg, tcfg, ranks, 256, 1234);
+            rows.push(IcacheRow {
+                machine: mname,
+                scenario: sname,
+                shared_rate: cmp.shared_misses as f64 / cmp.accesses as f64,
+                dup_rate: cmp.duplicated_misses as f64 / cmp.accesses as f64,
+                change_pct: cmp.relative_change_pct(),
+            });
+        }
+    }
+    rows
+}
+
+pub fn report() -> String {
+    let rows = run();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.machine.to_string(),
+                r.scenario.to_string(),
+                format!("{:.3}%", r.shared_rate * 100.0),
+                format!("{:.3}%", r.dup_rate * 100.0),
+                format!("{:+.0}%", r.change_pct),
+            ]
+        })
+        .collect();
+    let mut s = render_table(
+        "Sec. 4.5: L1I miss rate — shared code (TLSglobals) vs per-rank copies (PIEglobals)",
+        &[
+            "cache",
+            "workload",
+            "shared miss rate",
+            "dup miss rate",
+            "rel. change",
+        ],
+        &table,
+    );
+    s.push_str(
+        "\nModel note: a pure LRU L1I can never favor duplication (duplicated\n\
+         footprint ⊇ shared), so the paper's 22%-fewer-misses EPYC reading must\n\
+         involve µop caches/BTB/prefetch — consistent with the paper's own\n\
+         'unable to draw a strong conclusion'.\n",
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn experiment_produces_all_rows() {
+        let rows = super::run();
+        assert_eq!(rows.len(), 6);
+        // the pathological scenario must show heavy thrashing
+        let path = rows
+            .iter()
+            .find(|r| r.scenario.starts_with("pathological"))
+            .unwrap();
+        assert!(path.change_pct > 100.0);
+        // the Jacobi-like scenario stays tame
+        let tame = rows
+            .iter()
+            .find(|r| r.scenario.contains("Jacobi"))
+            .unwrap();
+        assert!(tame.dup_rate - tame.shared_rate < 0.05);
+    }
+}

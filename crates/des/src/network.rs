@@ -1,0 +1,191 @@
+//! Network cost model.
+//!
+//! Three hop classes with distinct latency/bandwidth, shaped after the
+//! paper's platform (AMD EPYC nodes on Mellanox InfiniBand):
+//!
+//! * intra-process — ranks in one address space: a memcpy through shared
+//!   memory (this is what AMPI's SMP-mode optimizations win);
+//! * intra-node — different processes, same node: shared-memory transport
+//!   with a kernel hop;
+//! * inter-node — the interconnect.
+
+use crate::time::SimDuration;
+use crate::topology::{PeId, Topology};
+
+/// Classification of a message's path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HopClass {
+    IntraProcess,
+    IntraNode,
+    InterNode,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LinkParams {
+    latency: SimDuration,
+    bandwidth_bps: f64,
+}
+
+/// Latency/bandwidth model per hop class.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkModel {
+    intra_process: LinkParams,
+    intra_node: LinkParams,
+    inter_node: LinkParams,
+}
+
+impl NetworkModel {
+    /// Defaults shaped after an InfiniBand HDR cluster.
+    pub fn infiniband() -> NetworkModel {
+        NetworkModel {
+            intra_process: LinkParams {
+                latency: SimDuration::from_nanos(250),
+                bandwidth_bps: 20e9,
+            },
+            intra_node: LinkParams {
+                latency: SimDuration::from_nanos(900),
+                bandwidth_bps: 16e9,
+            },
+            inter_node: LinkParams {
+                latency: SimDuration::from_micros(2),
+                bandwidth_bps: 12.5e9,
+            },
+        }
+    }
+
+    /// An idealized zero-cost network (for isolating scheduler effects in
+    /// tests and ablations).
+    pub fn ideal() -> NetworkModel {
+        let p = LinkParams {
+            latency: SimDuration::ZERO,
+            bandwidth_bps: f64::INFINITY,
+        };
+        NetworkModel {
+            intra_process: p,
+            intra_node: p,
+            inter_node: p,
+        }
+    }
+
+    /// Override one hop class (builder-style).
+    pub fn with_class(
+        mut self,
+        class: HopClass,
+        latency: SimDuration,
+        bandwidth_bps: f64,
+    ) -> NetworkModel {
+        let p = LinkParams {
+            latency,
+            bandwidth_bps,
+        };
+        match class {
+            HopClass::IntraProcess => self.intra_process = p,
+            HopClass::IntraNode => self.intra_node = p,
+            HopClass::InterNode => self.inter_node = p,
+        }
+        self
+    }
+
+    /// Classify the hop between two PEs.
+    pub fn classify(topo: &Topology, from: PeId, to: PeId) -> HopClass {
+        if topo.same_process(from, to) {
+            HopClass::IntraProcess
+        } else if topo.same_node(from, to) {
+            HopClass::IntraNode
+        } else {
+            HopClass::InterNode
+        }
+    }
+
+    fn params(&self, class: HopClass) -> LinkParams {
+        match class {
+            HopClass::IntraProcess => self.intra_process,
+            HopClass::IntraNode => self.intra_node,
+            HopClass::InterNode => self.inter_node,
+        }
+    }
+
+    /// Time for `bytes` over one hop of `class`.
+    pub fn transfer_time(&self, class: HopClass, bytes: usize) -> SimDuration {
+        let p = self.params(class);
+        if p.bandwidth_bps.is_infinite() {
+            return p.latency;
+        }
+        p.latency + SimDuration::from_secs_f64(bytes as f64 / p.bandwidth_bps)
+    }
+
+    /// Convenience: transfer time between two PEs of a topology.
+    pub fn cost(&self, topo: &Topology, from: PeId, to: PeId, bytes: usize) -> SimDuration {
+        self.transfer_time(Self::classify(topo, from, to), bytes)
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel::infiniband()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let t = Topology::new(2, 2, 2); // 8 PEs
+        assert_eq!(
+            NetworkModel::classify(&t, 0, 1),
+            HopClass::IntraProcess
+        );
+        assert_eq!(NetworkModel::classify(&t, 0, 2), HopClass::IntraNode);
+        assert_eq!(NetworkModel::classify(&t, 0, 4), HopClass::InterNode);
+    }
+
+    #[test]
+    fn costs_ordered_by_distance() {
+        let m = NetworkModel::infiniband();
+        let bytes = 64 * 1024;
+        let ip = m.transfer_time(HopClass::IntraProcess, bytes);
+        let in_ = m.transfer_time(HopClass::IntraNode, bytes);
+        let xn = m.transfer_time(HopClass::InterNode, bytes);
+        assert!(ip < in_, "{ip:?} < {in_:?}");
+        assert!(in_ < xn, "{in_:?} < {xn:?}");
+    }
+
+    #[test]
+    fn bigger_messages_cost_more() {
+        let m = NetworkModel::infiniband();
+        assert!(
+            m.transfer_time(HopClass::InterNode, 1 << 20)
+                > m.transfer_time(HopClass::InterNode, 1 << 10)
+        );
+    }
+
+    #[test]
+    fn ideal_network_is_free() {
+        let m = NetworkModel::ideal();
+        assert_eq!(
+            m.transfer_time(HopClass::InterNode, 100 << 20),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn override_one_class() {
+        let m = NetworkModel::infiniband().with_class(
+            HopClass::InterNode,
+            SimDuration::from_millis(1),
+            1e9,
+        );
+        let t = m.transfer_time(HopClass::InterNode, 0);
+        assert_eq!(t, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        let m = NetworkModel::infiniband();
+        let small = m.transfer_time(HopClass::InterNode, 8);
+        assert!(small >= SimDuration::from_micros(2));
+        assert!(small < SimDuration::from_micros(3));
+    }
+}

@@ -1,0 +1,111 @@
+//! Composite discrete-event tests: the queue, clocks, network model and
+//! topology working together as a store-and-forward message simulation —
+//! the exact pattern `pvr-rts`'s virtual-time mode is built on.
+
+use pvr_des::{EventQueue, HopClass, NetworkModel, SimDuration, SimTime, Topology};
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Deliver { to_pe: usize, hops_left: Vec<usize>, bytes: usize },
+    Compute { pe: usize, work: SimDuration },
+}
+
+/// Drive a message along a multi-hop route with per-hop costs; PEs
+/// interleave compute events. Checks global time ordering and final
+/// clock values.
+#[test]
+fn store_and_forward_pipeline() {
+    let topo = Topology::new(2, 1, 2); // 2 nodes x 2 PEs
+    let net = NetworkModel::infiniband();
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    let mut pe_clock = vec![SimTime::ZERO; topo.total_pes()];
+
+    // message route: PE 0 -> PE 1 (intra-process) -> PE 2 (inter-node)
+    let bytes = 64 * 1024;
+    let first_cost = net.cost(&topo, 0, 1, bytes);
+    q.schedule(SimTime::ZERO + first_cost, Ev::Deliver {
+        to_pe: 1,
+        hops_left: vec![2],
+        bytes,
+    });
+    // independent compute on PE 3
+    q.schedule(SimTime::ZERO, Ev::Compute {
+        pe: 3,
+        work: SimDuration::from_micros(50),
+    });
+
+    let mut deliveries = Vec::new();
+    while let Some((t, ev)) = q.pop() {
+        match ev {
+            Ev::Deliver { to_pe, mut hops_left, bytes } => {
+                pe_clock[to_pe] = pe_clock[to_pe].max_of(t);
+                deliveries.push((t, to_pe));
+                if let Some(next) = hops_left.pop() {
+                    let cost = net.cost(&topo, to_pe, next, bytes);
+                    q.schedule(pe_clock[to_pe] + cost, Ev::Deliver {
+                        to_pe: next,
+                        hops_left,
+                        bytes,
+                    });
+                }
+            }
+            Ev::Compute { pe, work } => {
+                pe_clock[pe] = pe_clock[pe].max_of(t) + work;
+            }
+        }
+    }
+
+    assert_eq!(deliveries.len(), 2);
+    let (t1, pe1) = deliveries[0];
+    let (t2, pe2) = deliveries[1];
+    assert_eq!((pe1, pe2), (1, 2));
+    assert!(t2 > t1, "second hop strictly later");
+    // the second hop crossed nodes: it must cost at least the inter-node
+    // latency more than the first delivery time
+    let min_inter = net.transfer_time(HopClass::InterNode, bytes);
+    assert!(t2 - t1 >= min_inter);
+    // PE 3's independent compute finished at exactly its work time
+    assert_eq!(pe_clock[3], SimTime::ZERO + SimDuration::from_micros(50));
+}
+
+/// Many producers scheduling into one queue: pop order must be a stable
+/// merge, and per-producer FIFO must hold for equal timestamps.
+#[test]
+fn deterministic_merge_of_event_streams() {
+    let mut q: EventQueue<(usize, usize)> = EventQueue::new();
+    for step in 0..10u64 {
+        for producer in 0..4usize {
+            q.schedule(SimTime(step * 100), (producer, step as usize));
+        }
+    }
+    let mut last_step_per_producer = vec![-1i64; 4];
+    let mut count = 0;
+    while let Some((_, (producer, step))) = q.pop() {
+        assert!(last_step_per_producer[producer] < step as i64);
+        last_step_per_producer[producer] = step as i64;
+        count += 1;
+    }
+    assert_eq!(count, 40);
+}
+
+/// The latency/bandwidth split: tiny messages are latency-bound, huge
+/// messages bandwidth-bound, and the crossover is where it should be.
+#[test]
+fn latency_bandwidth_regimes() {
+    let net = NetworkModel::infiniband();
+    let lat = net.transfer_time(HopClass::InterNode, 0);
+    // doubling a tiny message barely changes cost
+    let a = net.transfer_time(HopClass::InterNode, 64);
+    let b = net.transfer_time(HopClass::InterNode, 128);
+    assert!((b.nanos() as f64) < a.nanos() as f64 * 1.1);
+    // doubling a huge message nearly doubles cost
+    let c = net.transfer_time(HopClass::InterNode, 64 << 20);
+    let d = net.transfer_time(HopClass::InterNode, 128 << 20);
+    let ratio = d.nanos() as f64 / c.nanos() as f64;
+    assert!((1.9..2.1).contains(&ratio), "bandwidth-bound ratio {ratio}");
+    // and the crossover point is bandwidth * latency
+    let crossover_bytes = 12.5e9 * lat.as_secs_f64();
+    let at = net.transfer_time(HopClass::InterNode, crossover_bytes as usize);
+    let ratio = at.nanos() as f64 / lat.nanos() as f64;
+    assert!((1.8..2.2).contains(&ratio), "crossover ratio {ratio}");
+}

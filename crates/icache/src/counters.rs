@@ -1,0 +1,40 @@
+//! PAPI-style hardware counters (the subset the experiment reads).
+
+/// Counter block, after PAPI's `PAPI_L1_ICM` / access counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    pub accesses: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+impl Counters {
+    pub fn hits(&self) -> u64 {
+        self.accesses - self.misses
+    }
+
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let c = Counters {
+            accesses: 100,
+            misses: 25,
+            evictions: 10,
+        };
+        assert_eq!(c.hits(), 75);
+        assert_eq!(c.miss_rate(), 0.25);
+        assert_eq!(Counters::default().miss_rate(), 0.0);
+    }
+}

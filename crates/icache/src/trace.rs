@@ -1,0 +1,173 @@
+//! Synthetic instruction-fetch traces.
+//!
+//! A rank's execution is modeled as mostly-sequential fetches within hot
+//! loop bodies, with jumps between loops — a shape that captures what
+//! matters for the shared-vs-duplicated question: the *footprint* of hot
+//! code per rank and the *addresses* it occupies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of one rank's code-execution behavior.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Total code-segment size in bytes.
+    pub code_size: usize,
+    /// Fraction of the code that is hot (executed in loops).
+    pub hot_fraction: f64,
+    /// Number of instruction fetches to generate.
+    pub fetches: usize,
+    /// Fetches spent inside one loop before jumping to another.
+    pub loop_len: usize,
+}
+
+/// One rank's fetch-address sequence.
+#[derive(Debug, Clone)]
+pub struct RankTrace {
+    pub addrs: Vec<u64>,
+}
+
+impl RankTrace {
+    /// Generate a trace for code based at `base`. Two ranks given the
+    /// same seed and base produce identical traces (SPMD symmetry); the
+    /// per-rank seed perturbation models slight divergence.
+    pub fn generate(cfg: &TraceConfig, base: u64, seed: u64) -> RankTrace {
+        assert!(cfg.code_size >= 64);
+        let hot_bytes = ((cfg.code_size as f64 * cfg.hot_fraction) as usize).max(64);
+        let n_loops = (hot_bytes / 256).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut addrs = Vec::with_capacity(cfg.fetches);
+        let mut fetched = 0usize;
+        while fetched < cfg.fetches {
+            // pick a loop body within the hot region
+            let loop_start =
+                base + (rng.gen_range(0..n_loops) * 256) as u64 % cfg.code_size as u64;
+            let body_len = 256u64.min(cfg.code_size as u64);
+            let iters = cfg.loop_len / 64 + 1;
+            for _ in 0..iters {
+                let mut pc = loop_start;
+                for _ in 0..(body_len / 4).min(64) {
+                    addrs.push(pc);
+                    pc += 4; // one instruction
+                    fetched += 1;
+                    if fetched >= cfg.fetches {
+                        return RankTrace { addrs };
+                    }
+                }
+            }
+        }
+        RankTrace { addrs }
+    }
+
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+}
+
+/// Interleave rank traces round-robin in `quantum`-fetch slices —
+/// modeling ULT context switches between co-scheduled ranks on one PE.
+pub fn interleave_round_robin(traces: &[RankTrace], quantum: usize) -> Vec<u64> {
+    assert!(quantum > 0);
+    let total: usize = traces.iter().map(|t| t.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut cursors = vec![0usize; traces.len()];
+    let mut remaining = total;
+    while remaining > 0 {
+        for (t, cur) in traces.iter().zip(cursors.iter_mut()) {
+            let take = quantum.min(t.len() - *cur);
+            out.extend_from_slice(&t.addrs[*cur..*cur + take]);
+            *cur += take;
+            remaining -= take;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cfg() -> TraceConfig {
+        TraceConfig {
+            code_size: 64 * 1024,
+            hot_fraction: 0.2,
+            fetches: 1000,
+            loop_len: 128,
+        }
+    }
+
+    #[test]
+    fn trace_respects_bounds_and_length() {
+        let t = RankTrace::generate(&cfg(), 0x1000, 1);
+        assert_eq!(t.len(), 1000);
+        for &a in &t.addrs {
+            assert!(a >= 0x1000);
+            assert!(a < 0x1000 + 64 * 1024 + 256);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = RankTrace::generate(&cfg(), 0, 5);
+        let b = RankTrace::generate(&cfg(), 0, 5);
+        let c = RankTrace::generate(&cfg(), 0, 6);
+        assert_eq!(a.addrs, b.addrs);
+        assert_ne!(a.addrs, c.addrs);
+    }
+
+    #[test]
+    fn base_shifts_addresses() {
+        let a = RankTrace::generate(&cfg(), 0, 5);
+        let b = RankTrace::generate(&cfg(), 1 << 20, 5);
+        for (x, y) in a.addrs.iter().zip(&b.addrs) {
+            assert_eq!(x + (1 << 20), *y);
+        }
+    }
+
+    #[test]
+    fn interleave_preserves_all_fetches() {
+        let traces: Vec<RankTrace> = (0..4)
+            .map(|i| RankTrace::generate(&cfg(), 0, i))
+            .collect();
+        let merged = interleave_round_robin(&traces, 64);
+        assert_eq!(merged.len(), 4000);
+    }
+
+    #[test]
+    fn interleave_slices_in_quanta() {
+        let t0 = RankTrace {
+            addrs: vec![1; 10],
+        };
+        let t1 = RankTrace {
+            addrs: vec![2; 10],
+        };
+        let merged = interleave_round_robin(&[t0, t1], 5);
+        assert_eq!(&merged[0..5], &[1; 5]);
+        assert_eq!(&merged[5..10], &[2; 5]);
+        assert_eq!(&merged[10..15], &[1; 5]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_interleave_is_permutation(
+            lens in proptest::collection::vec(1usize..50, 1..6),
+            quantum in 1usize..32,
+        ) {
+            let traces: Vec<RankTrace> = lens
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| RankTrace { addrs: vec![i as u64; l] })
+                .collect();
+            let merged = interleave_round_robin(&traces, quantum);
+            prop_assert_eq!(merged.len(), lens.iter().sum::<usize>());
+            for (i, &l) in lens.iter().enumerate() {
+                prop_assert_eq!(merged.iter().filter(|&&a| a == i as u64).count(), l);
+            }
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! First-fit arena allocator over pinned chunks.
+//!
+//! Each virtual rank's user heap is an `Arena`. Chunks are [`Region`]s
+//! (pinned), so every pointer handed out stays valid for the rank's
+//! lifetime — including across migration, because migration transfers the
+//! chunks themselves (see [`crate::RankMemory`]).
+
+use crate::region::{Region, RegionKind};
+use std::fmt;
+
+/// A pointer into arena-owned memory, with its allocation size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IsoPtr {
+    pub ptr: *mut u8,
+    pub size: usize,
+}
+
+impl IsoPtr {
+    pub fn addr(&self) -> usize {
+        self.ptr as usize
+    }
+
+    /// View the allocation as a byte slice.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure no aliasing mutable access exists.
+    pub unsafe fn as_slice<'a>(&self) -> &'a [u8] {
+        std::slice::from_raw_parts(self.ptr, self.size)
+    }
+
+    /// View the allocation as a mutable byte slice.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure exclusive access.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn as_mut_slice<'a>(&self) -> &'a mut [u8] {
+        std::slice::from_raw_parts_mut(self.ptr, self.size)
+    }
+}
+
+/// Why an allocation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// A configured capacity limit would be exceeded (failure-injection
+    /// hook; real Isomalloc fails when its reserved VA slice is full).
+    CapacityExceeded { requested: usize, limit: usize },
+    /// Zero-size allocation.
+    ZeroSize,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::CapacityExceeded { requested, limit } => write!(
+                f,
+                "isomalloc capacity exceeded: requested {requested} B, limit {limit} B"
+            ),
+            AllocError::ZeroSize => write!(f, "zero-size allocation"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Allocation statistics for one arena.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Bytes currently handed out to live allocations.
+    pub live_bytes: usize,
+    /// Total bytes of backing chunks.
+    pub capacity_bytes: usize,
+    /// Number of live allocations.
+    pub live_allocs: usize,
+    /// Total allocations ever made.
+    pub total_allocs: u64,
+    /// Number of chunks.
+    pub chunks: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FreeBlock {
+    offset: usize,
+    size: usize,
+}
+
+struct Chunk {
+    region: Region,
+    /// Sorted-by-offset free list; adjacent blocks are coalesced.
+    free: Vec<FreeBlock>,
+}
+
+impl Chunk {
+    fn new(size: usize) -> Chunk {
+        Chunk {
+            region: Region::new_zeroed(RegionKind::HeapChunk, size),
+            free: vec![FreeBlock {
+                offset: 0,
+                size,
+            }],
+        }
+    }
+
+    fn try_alloc(&mut self, size: usize, align: usize) -> Option<*mut u8> {
+        let base = self.region.base() as usize;
+        for i in 0..self.free.len() {
+            let blk = self.free[i];
+            let start = base + blk.offset;
+            let aligned = (start + align - 1) & !(align - 1);
+            let pad = aligned - start;
+            if blk.size >= pad + size {
+                // carve [pad, pad+size) out of the block
+                let remaining_front = pad;
+                let remaining_back = blk.size - pad - size;
+                let back_offset = blk.offset + pad + size;
+                // replace block i
+                if remaining_front > 0 && remaining_back > 0 {
+                    self.free[i] = FreeBlock {
+                        offset: blk.offset,
+                        size: remaining_front,
+                    };
+                    self.free.insert(
+                        i + 1,
+                        FreeBlock {
+                            offset: back_offset,
+                            size: remaining_back,
+                        },
+                    );
+                } else if remaining_front > 0 {
+                    self.free[i] = FreeBlock {
+                        offset: blk.offset,
+                        size: remaining_front,
+                    };
+                } else if remaining_back > 0 {
+                    self.free[i] = FreeBlock {
+                        offset: back_offset,
+                        size: remaining_back,
+                    };
+                } else {
+                    self.free.remove(i);
+                }
+                return Some(aligned as *mut u8);
+            }
+        }
+        None
+    }
+
+    fn free(&mut self, offset: usize, size: usize) {
+        // insert sorted and coalesce with neighbours
+        let pos = self
+            .free
+            .partition_point(|b| b.offset < offset);
+        self.free.insert(pos, FreeBlock { offset, size });
+        // coalesce backwards
+        if pos > 0 && self.free[pos - 1].offset + self.free[pos - 1].size == offset {
+            self.free[pos - 1].size += size;
+            self.free.remove(pos);
+            self.coalesce_forward(pos - 1);
+        } else {
+            self.coalesce_forward(pos);
+        }
+    }
+
+    fn coalesce_forward(&mut self, i: usize) {
+        if i + 1 < self.free.len()
+            && self.free[i].offset + self.free[i].size == self.free[i + 1].offset
+        {
+            self.free[i].size += self.free[i + 1].size;
+            self.free.remove(i + 1);
+        }
+    }
+
+    fn free_bytes(&self) -> usize {
+        self.free.iter().map(|b| b.size).sum()
+    }
+}
+
+/// Default chunk granularity: 1 MiB, like Isomalloc's slot granularity.
+pub const DEFAULT_CHUNK_SIZE: usize = 1 << 20;
+
+/// A growable heap arena built from pinned chunks.
+pub struct Arena {
+    chunks: Vec<Chunk>,
+    chunk_size: usize,
+    /// Optional total-capacity limit for failure injection.
+    limit: Option<usize>,
+    stats: ArenaStats,
+}
+
+impl Arena {
+    pub fn new() -> Arena {
+        Arena::with_chunk_size(DEFAULT_CHUNK_SIZE)
+    }
+
+    pub fn with_chunk_size(chunk_size: usize) -> Arena {
+        assert!(chunk_size >= 4096, "chunk size too small");
+        Arena {
+            chunks: Vec::new(),
+            chunk_size,
+            limit: None,
+            stats: ArenaStats::default(),
+        }
+    }
+
+    /// Impose a total-capacity limit (failure-injection hook used by the
+    /// test suite; models exhaustion of the reserved VA slice).
+    pub fn set_limit(&mut self, limit: Option<usize>) {
+        self.limit = limit;
+    }
+
+    /// Allocate `size` bytes with `align` alignment (power of two).
+    pub fn alloc(&mut self, size: usize, align: usize) -> Result<IsoPtr, AllocError> {
+        if size == 0 {
+            return Err(AllocError::ZeroSize);
+        }
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        for chunk in &mut self.chunks {
+            if let Some(ptr) = chunk.try_alloc(size, align) {
+                self.stats.live_bytes += size;
+                self.stats.live_allocs += 1;
+                self.stats.total_allocs += 1;
+                return Ok(IsoPtr { ptr, size });
+            }
+        }
+        // need a new chunk
+        let new_chunk_size = self.chunk_size.max(size + align);
+        if let Some(limit) = self.limit {
+            if self.stats.capacity_bytes + new_chunk_size > limit {
+                return Err(AllocError::CapacityExceeded {
+                    requested: size,
+                    limit,
+                });
+            }
+        }
+        let mut chunk = Chunk::new(new_chunk_size);
+        let ptr = chunk
+            .try_alloc(size, align)
+            .expect("fresh chunk must satisfy its sizing allocation");
+        self.stats.capacity_bytes += new_chunk_size;
+        self.stats.live_bytes += size;
+        self.stats.live_allocs += 1;
+        self.stats.total_allocs += 1;
+        self.chunks.push(chunk);
+        Ok(IsoPtr { ptr, size })
+    }
+
+    /// Convenience: allocate a zeroed `[T]` slice and return a raw slice
+    /// pointer into arena memory (valid until `dealloc` or arena drop).
+    pub fn alloc_zeroed_slice<T: Copy + Default>(
+        &mut self,
+        len: usize,
+    ) -> Result<*mut T, AllocError> {
+        let p = self.alloc(len * std::mem::size_of::<T>(), std::mem::align_of::<T>())?;
+        Ok(p.ptr as *mut T)
+    }
+
+    /// Return an allocation to the arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` was not allocated from this arena (or was already
+    /// freed, when the double-free lands outside any chunk's bounds —
+    /// exact double-free detection is a debug-build scan).
+    pub fn dealloc(&mut self, p: IsoPtr) {
+        let addr = p.ptr as usize;
+        for chunk in &mut self.chunks {
+            let base = chunk.region.base() as usize;
+            if addr >= base && addr + p.size <= base + chunk.region.len() {
+                #[cfg(debug_assertions)]
+                {
+                    let offset = addr - base;
+                    for b in &chunk.free {
+                        assert!(
+                            offset + p.size <= b.offset || offset >= b.offset + b.size,
+                            "double free or overlapping free in isomalloc arena"
+                        );
+                    }
+                }
+                chunk.free(addr - base, p.size);
+                self.stats.live_bytes -= p.size;
+                self.stats.live_allocs -= 1;
+                return;
+            }
+        }
+        panic!("IsoPtr does not belong to this arena");
+    }
+
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            chunks: self.chunks.len(),
+            ..self.stats
+        }
+    }
+
+    /// Iterate over the pinned chunk regions (used by migration packing).
+    pub fn regions(&self) -> impl Iterator<Item = &Region> {
+        self.chunks.iter().map(|c| &c.region)
+    }
+
+    /// Total free bytes across all chunks (for tests).
+    pub fn free_bytes(&self) -> usize {
+        self.chunks.iter().map(|c| c.free_bytes()).sum()
+    }
+
+    /// Whether `addr` lies in any chunk of this arena.
+    pub fn contains(&self, addr: usize) -> bool {
+        self.chunks.iter().any(|c| c.region.contains(addr))
+    }
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Arena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Arena").field("stats", &self.stats()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_write() {
+        let mut a = Arena::with_chunk_size(4096);
+        let p = a.alloc(128, 8).unwrap();
+        unsafe {
+            p.as_mut_slice().fill(0xAB);
+            assert!(p.as_slice().iter().all(|&b| b == 0xAB));
+        }
+        assert_eq!(a.stats().live_bytes, 128);
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let mut a = Arena::new();
+        assert_eq!(a.alloc(0, 1), Err(AllocError::ZeroSize));
+    }
+
+    #[test]
+    fn alignment_honored() {
+        let mut a = Arena::with_chunk_size(4096);
+        let _pad = a.alloc(3, 1).unwrap();
+        for align in [1usize, 2, 4, 8, 16, 64, 256] {
+            let p = a.alloc(10, align).unwrap();
+            assert_eq!(p.addr() % align, 0, "align {align}");
+        }
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let mut a = Arena::with_chunk_size(4096);
+        let p1 = a.alloc(1024, 8).unwrap();
+        let addr1 = p1.addr();
+        a.dealloc(p1);
+        let p2 = a.alloc(1024, 8).unwrap();
+        assert_eq!(p2.addr(), addr1, "freed space must be reused");
+        assert_eq!(a.stats().live_allocs, 1);
+    }
+
+    #[test]
+    fn coalescing_allows_big_realloc() {
+        let mut a = Arena::with_chunk_size(8192);
+        let p1 = a.alloc(2048, 8).unwrap();
+        let p2 = a.alloc(2048, 8).unwrap();
+        let p3 = a.alloc(2048, 8).unwrap();
+        a.dealloc(p2);
+        a.dealloc(p1);
+        a.dealloc(p3);
+        // all three coalesced back: one chunk-sized allocation fits
+        let big = a.alloc(8192, 8).unwrap();
+        assert_eq!(a.stats().chunks, 1, "no new chunk needed");
+        a.dealloc(big);
+    }
+
+    #[test]
+    fn grows_with_new_chunks() {
+        let mut a = Arena::with_chunk_size(4096);
+        let mut ptrs = Vec::new();
+        for _ in 0..10 {
+            ptrs.push(a.alloc(3000, 8).unwrap());
+        }
+        assert!(a.stats().chunks >= 5);
+        // no overlap between allocations
+        let mut ranges: Vec<(usize, usize)> =
+            ptrs.iter().map(|p| (p.addr(), p.addr() + p.size)).collect();
+        ranges.sort();
+        for w in ranges.windows(2) {
+            assert!(w[0].1 <= w[1].0, "allocations overlap");
+        }
+    }
+
+    #[test]
+    fn capacity_limit_enforced() {
+        let mut a = Arena::with_chunk_size(4096);
+        a.set_limit(Some(8192));
+        let _p1 = a.alloc(3000, 8).unwrap();
+        let _p2 = a.alloc(3000, 8).unwrap();
+        match a.alloc(3000, 8) {
+            Err(AllocError::CapacityExceeded { .. }) => {}
+            other => panic!("expected capacity error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_allocation_gets_own_chunk() {
+        let mut a = Arena::with_chunk_size(4096);
+        let p = a.alloc(1 << 20, 8).unwrap();
+        assert_eq!(p.size, 1 << 20);
+        unsafe { p.as_mut_slice()[1 << 19] = 1 };
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn foreign_pointer_rejected() {
+        let mut a = Arena::new();
+        let mut x = [0u8; 16];
+        a.dealloc(IsoPtr {
+            ptr: x.as_mut_ptr(),
+            size: 16,
+        });
+    }
+}

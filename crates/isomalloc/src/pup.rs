@@ -1,0 +1,480 @@
+//! PUP — Pack/UnPack, after Charm++'s serialization framework.
+//!
+//! Isomalloc removes the need for user PUP code for *rank memory* (stacks
+//! and heaps move as raw bytes), but the runtime itself still moves typed
+//! values across simulated address spaces by value: messages, load
+//! balancing statistics, checkpoint metadata. Those implement [`Puppable`].
+//!
+//! The format is a simple little-endian, length-prefixed byte stream with
+//! no self-description — both sides must agree on the type, exactly like
+//! Charm++'s `PUP::er`.
+
+use bytes::{Buf, BufMut, BytesMut};
+use std::fmt;
+
+/// Errors produced while unpacking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PupError {
+    /// The buffer ended before the value was complete.
+    Truncated { needed: usize, remaining: usize },
+    /// An enum discriminant or validity tag was out of range.
+    BadTag { what: &'static str, tag: u64 },
+    /// A declared length is implausible for the remaining buffer.
+    BadLength { what: &'static str, len: usize },
+    /// Non-UTF-8 data where a string was expected.
+    BadUtf8,
+}
+
+impl fmt::Display for PupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PupError::Truncated { needed, remaining } => {
+                write!(f, "pup: truncated buffer (needed {needed}, had {remaining})")
+            }
+            PupError::BadTag { what, tag } => write!(f, "pup: bad tag {tag} for {what}"),
+            PupError::BadLength { what, len } => write!(f, "pup: bad length {len} for {what}"),
+            PupError::BadUtf8 => write!(f, "pup: invalid utf-8"),
+        }
+    }
+}
+
+impl std::error::Error for PupError {}
+
+/// Computes the exact packed size of a value without writing it.
+#[derive(Debug, Default)]
+pub struct Sizer {
+    bytes: usize,
+}
+
+impl Sizer {
+    pub fn new() -> Sizer {
+        Sizer::default()
+    }
+
+    pub fn add(&mut self, n: usize) {
+        self.bytes += n;
+    }
+
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// Writes values into a wire buffer.
+pub struct Packer {
+    buf: BytesMut,
+}
+
+impl Packer {
+    pub fn new() -> Packer {
+        Packer {
+            buf: BytesMut::new(),
+        }
+    }
+
+    pub fn with_capacity(n: usize) -> Packer {
+        Packer {
+            buf: BytesMut::with_capacity(n),
+        }
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.put_i64_le(v);
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.put_slice(v);
+    }
+
+    pub fn finish(self) -> BytesMut {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl Default for Packer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Reads values back out of a wire buffer.
+pub struct Unpacker<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Unpacker<'a> {
+    pub fn new(buf: &'a [u8]) -> Unpacker<'a> {
+        Unpacker { buf }
+    }
+
+    fn need(&self, n: usize) -> Result<(), PupError> {
+        if self.buf.remaining() < n {
+            Err(PupError::Truncated {
+                needed: n,
+                remaining: self.buf.remaining(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, PupError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, PupError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, PupError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    pub fn get_i64(&mut self) -> Result<i64, PupError> {
+        self.need(8)?;
+        Ok(self.buf.get_i64_le())
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64, PupError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], PupError> {
+        self.need(n)?;
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+}
+
+/// A value that can be packed into / unpacked from a wire buffer.
+pub trait Puppable: Sized {
+    /// Exact number of bytes `pack` will write.
+    fn pup_size(&self) -> usize;
+    fn pack(&self, p: &mut Packer);
+    fn unpack(u: &mut Unpacker<'_>) -> Result<Self, PupError>;
+
+    /// Convenience: pack into a fresh buffer.
+    fn to_packed(&self) -> BytesMut {
+        let mut p = Packer::with_capacity(self.pup_size());
+        self.pack(&mut p);
+        p.finish()
+    }
+
+    /// Convenience: unpack a full buffer, requiring it be fully consumed.
+    fn from_packed(buf: &[u8]) -> Result<Self, PupError> {
+        let mut u = Unpacker::new(buf);
+        let v = Self::unpack(&mut u)?;
+        if u.remaining() != 0 {
+            return Err(PupError::BadLength {
+                what: "trailing bytes",
+                len: u.remaining(),
+            });
+        }
+        Ok(v)
+    }
+}
+
+macro_rules! pup_uint {
+    ($t:ty, $put:ident, $get:ident, $n:expr) => {
+        impl Puppable for $t {
+            fn pup_size(&self) -> usize {
+                $n
+            }
+            fn pack(&self, p: &mut Packer) {
+                p.$put(*self as _);
+            }
+            fn unpack(u: &mut Unpacker<'_>) -> Result<Self, PupError> {
+                Ok(u.$get()? as $t)
+            }
+        }
+    };
+}
+
+pup_uint!(u8, put_u8, get_u8, 1);
+pup_uint!(u32, put_u32, get_u32, 4);
+pup_uint!(u64, put_u64, get_u64, 8);
+pup_uint!(i64, put_i64, get_i64, 8);
+pup_uint!(usize, put_u64, get_u64, 8);
+
+impl Puppable for i32 {
+    fn pup_size(&self) -> usize {
+        4
+    }
+    fn pack(&self, p: &mut Packer) {
+        p.put_u32(*self as u32);
+    }
+    fn unpack(u: &mut Unpacker<'_>) -> Result<Self, PupError> {
+        Ok(u.get_u32()? as i32)
+    }
+}
+
+impl Puppable for f64 {
+    fn pup_size(&self) -> usize {
+        8
+    }
+    fn pack(&self, p: &mut Packer) {
+        p.put_f64(*self);
+    }
+    fn unpack(u: &mut Unpacker<'_>) -> Result<Self, PupError> {
+        u.get_f64()
+    }
+}
+
+impl Puppable for bool {
+    fn pup_size(&self) -> usize {
+        1
+    }
+    fn pack(&self, p: &mut Packer) {
+        p.put_u8(*self as u8);
+    }
+    fn unpack(u: &mut Unpacker<'_>) -> Result<Self, PupError> {
+        match u.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(PupError::BadTag {
+                what: "bool",
+                tag: t as u64,
+            }),
+        }
+    }
+}
+
+impl Puppable for String {
+    fn pup_size(&self) -> usize {
+        8 + self.len()
+    }
+    fn pack(&self, p: &mut Packer) {
+        p.put_u64(self.len() as u64);
+        p.put_bytes(self.as_bytes());
+    }
+    fn unpack(u: &mut Unpacker<'_>) -> Result<Self, PupError> {
+        let len = u.get_u64()? as usize;
+        if len > u.remaining() {
+            return Err(PupError::BadLength {
+                what: "string",
+                len,
+            });
+        }
+        let bytes = u.get_bytes(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| PupError::BadUtf8)
+    }
+}
+
+impl<T: Puppable> Puppable for Vec<T> {
+    fn pup_size(&self) -> usize {
+        8 + self.iter().map(|v| v.pup_size()).sum::<usize>()
+    }
+    fn pack(&self, p: &mut Packer) {
+        p.put_u64(self.len() as u64);
+        for v in self {
+            v.pack(p);
+        }
+    }
+    fn unpack(u: &mut Unpacker<'_>) -> Result<Self, PupError> {
+        let len = u.get_u64()? as usize;
+        // each element needs at least 1 byte; reject absurd lengths early
+        if len > u.remaining() {
+            return Err(PupError::BadLength { what: "vec", len });
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::unpack(u)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Puppable> Puppable for Option<T> {
+    fn pup_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, |v| v.pup_size())
+    }
+    fn pack(&self, p: &mut Packer) {
+        match self {
+            None => p.put_u8(0),
+            Some(v) => {
+                p.put_u8(1);
+                v.pack(p);
+            }
+        }
+    }
+    fn unpack(u: &mut Unpacker<'_>) -> Result<Self, PupError> {
+        match u.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::unpack(u)?)),
+            t => Err(PupError::BadTag {
+                what: "option",
+                tag: t as u64,
+            }),
+        }
+    }
+}
+
+impl<A: Puppable, B: Puppable> Puppable for (A, B) {
+    fn pup_size(&self) -> usize {
+        self.0.pup_size() + self.1.pup_size()
+    }
+    fn pack(&self, p: &mut Packer) {
+        self.0.pack(p);
+        self.1.pack(p);
+    }
+    fn unpack(u: &mut Unpacker<'_>) -> Result<Self, PupError> {
+        Ok((A::unpack(u)?, B::unpack(u)?))
+    }
+}
+
+impl<A: Puppable, B: Puppable, C: Puppable> Puppable for (A, B, C) {
+    fn pup_size(&self) -> usize {
+        self.0.pup_size() + self.1.pup_size() + self.2.pup_size()
+    }
+    fn pack(&self, p: &mut Packer) {
+        self.0.pack(p);
+        self.1.pack(p);
+        self.2.pack(p);
+    }
+    fn unpack(u: &mut Unpacker<'_>) -> Result<Self, PupError> {
+        Ok((A::unpack(u)?, B::unpack(u)?, C::unpack(u)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip<T: Puppable + PartialEq + std::fmt::Debug>(v: T) {
+        let buf = v.to_packed();
+        assert_eq!(buf.len(), v.pup_size(), "pup_size must be exact");
+        let back = T::from_packed(&buf).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(123456u32);
+        roundtrip(u64::MAX);
+        roundtrip(-42i64);
+        roundtrip(-1i32);
+        roundtrip(3.14159f64);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(String::from("hello pup"));
+        roundtrip(String::new());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(Some(7u32));
+        roundtrip(Option::<u32>::None);
+        roundtrip((1u32, String::from("x")));
+        roundtrip((1u32, 2u64, vec![3u8]));
+        roundtrip(vec![Some((1u32, String::from("nested"))), None]);
+    }
+
+    #[test]
+    fn truncated_detected() {
+        let buf = 12345678u64.to_packed();
+        let err = u64::from_packed(&buf[..4]).unwrap_err();
+        assert!(matches!(err, PupError::Truncated { .. }));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut buf = 1u32.to_packed();
+        buf.extend_from_slice(&[0]);
+        let err = u32::from_packed(&buf).unwrap_err();
+        assert!(matches!(err, PupError::BadLength { .. }));
+    }
+
+    #[test]
+    fn bad_bool_tag() {
+        let err = bool::from_packed(&[2]).unwrap_err();
+        assert!(matches!(err, PupError::BadTag { what: "bool", .. }));
+    }
+
+    #[test]
+    fn hostile_vec_length_rejected() {
+        // length prefix claims 2^60 elements
+        let mut p = Packer::new();
+        p.put_u64(1 << 60);
+        let buf = p.finish();
+        let err = Vec::<u8>::from_packed(&buf).unwrap_err();
+        assert!(matches!(err, PupError::BadLength { .. }));
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut p = Packer::new();
+        p.put_u64(2);
+        p.put_bytes(&[0xFF, 0xFE]);
+        let buf = p.finish();
+        assert_eq!(String::from_packed(&buf).unwrap_err(), PupError::BadUtf8);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_u64_roundtrip(v: u64) {
+            roundtrip(v);
+        }
+
+        #[test]
+        fn prop_string_roundtrip(s in ".{0,64}") {
+            roundtrip(s.to_string());
+        }
+
+        #[test]
+        fn prop_vec_f64_roundtrip(v in proptest::collection::vec(any::<f64>().prop_filter("no NaN", |x| !x.is_nan()), 0..32)) {
+            roundtrip(v);
+        }
+
+        #[test]
+        fn prop_nested_roundtrip(v in proptest::collection::vec((any::<u32>(), ".{0,8}"), 0..16)) {
+            let v: Vec<(u32, String)> = v.into_iter().map(|(a, b)| (a, b.to_string())).collect();
+            roundtrip(v);
+        }
+
+        #[test]
+        fn prop_arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+            // Unpacking arbitrary garbage must fail gracefully, never panic.
+            let _ = Vec::<String>::from_packed(&bytes);
+            let _ = Option::<(u64, String)>::from_packed(&bytes);
+            let _ = bool::from_packed(&bytes);
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! The complete migratable memory image of one virtual rank.
+//!
+//! A rank owns: its user heap (an [`Arena`] of pinned chunks), its ULT
+//! stack, its private TLS segment copy (under TLSglobals/PIEglobals), and —
+//! under PIEglobals — private copies of the program's code and data
+//! segments. All of it lives in pinned [`Region`]s, so migration is:
+//!
+//! 1. [`RankMemory::pack`] — memcpy every region into one contiguous wire
+//!    buffer (this is the real byte movement whose cost Fig. 8 measures),
+//! 2. ship the buffer through the (simulated) network,
+//! 3. [`RankMemory::unpack_into`] — memcpy the bytes back into the rank's
+//!    regions at the destination.
+//!
+//! Because all simulated nodes share one OS address space, the regions'
+//! base addresses are identical before and after — exactly the invariant
+//! Isomalloc buys with its mirrored virtual-address reservations, which is
+//! what makes interior pointers (stack frames, heap links) survive.
+
+use crate::arena::Arena;
+use crate::region::{Region, RegionKind};
+use bytes::{Buf, BufMut, BytesMut};
+use std::fmt;
+
+/// Identifies a non-heap region within a [`RankMemory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionId(usize);
+
+/// Byte counts by kind for one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RankMemoryStats {
+    pub heap_bytes: usize,
+    pub stack_bytes: usize,
+    pub tls_bytes: usize,
+    pub code_bytes: usize,
+    pub data_bytes: usize,
+}
+
+impl RankMemoryStats {
+    pub fn total(&self) -> usize {
+        self.heap_bytes + self.stack_bytes + self.tls_bytes + self.code_bytes + self.data_bytes
+    }
+}
+
+/// The packed wire form of a rank's memory.
+pub struct MigrationBuffer {
+    buf: BytesMut,
+}
+
+impl MigrationBuffer {
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// FNV-1a checksum of the payload, for integrity tests.
+    pub fn checksum(&self) -> u64 {
+        fnv1a(&self.buf)
+    }
+}
+
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+const MAGIC: u32 = 0x50_56_52_4D; // "PVRM"
+
+/// Errors from unpacking a migration buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnpackError {
+    BadMagic,
+    /// The buffer's region layout does not match this rank's regions —
+    /// migration must land on a memory image with identical shape.
+    LayoutMismatch { expected: usize, got: usize },
+    Truncated,
+}
+
+impl fmt::Display for UnpackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnpackError::BadMagic => write!(f, "migration buffer: bad magic"),
+            UnpackError::LayoutMismatch { expected, got } => {
+                write!(f, "migration buffer: layout mismatch ({expected} vs {got})")
+            }
+            UnpackError::Truncated => write!(f, "migration buffer: truncated"),
+        }
+    }
+}
+
+impl std::error::Error for UnpackError {}
+
+/// Full migratable memory of one rank.
+pub struct RankMemory {
+    heap: Arena,
+    regions: Vec<Region>,
+}
+
+impl RankMemory {
+    pub fn new() -> RankMemory {
+        RankMemory {
+            heap: Arena::new(),
+            regions: Vec::new(),
+        }
+    }
+
+    pub fn with_heap(heap: Arena) -> RankMemory {
+        RankMemory {
+            heap,
+            regions: Vec::new(),
+        }
+    }
+
+    pub fn heap(&mut self) -> &mut Arena {
+        &mut self.heap
+    }
+
+    pub fn heap_ref(&self) -> &Arena {
+        &self.heap
+    }
+
+    /// Add a pinned region (stack, TLS segment, code/data segment copy).
+    pub fn add_region(&mut self, region: Region) -> RegionId {
+        self.regions.push(region);
+        RegionId(self.regions.len() - 1)
+    }
+
+    pub fn region(&self, id: RegionId) -> &Region {
+        &self.regions[id.0]
+    }
+
+    pub fn region_mut(&mut self, id: RegionId) -> &mut Region {
+        &mut self.regions[id.0]
+    }
+
+    pub fn regions(&self) -> impl Iterator<Item = &Region> {
+        self.regions.iter()
+    }
+
+    pub fn stats(&self) -> RankMemoryStats {
+        let mut s = RankMemoryStats {
+            heap_bytes: self.heap.stats().capacity_bytes,
+            ..Default::default()
+        };
+        for r in &self.regions {
+            match r.kind() {
+                RegionKind::HeapChunk => s.heap_bytes += r.len(),
+                RegionKind::Stack => s.stack_bytes += r.len(),
+                RegionKind::TlsSegment => s.tls_bytes += r.len(),
+                RegionKind::CodeSegment => s.code_bytes += r.len(),
+                RegionKind::DataSegment => s.data_bytes += r.len(),
+            }
+        }
+        s
+    }
+
+    /// Total bytes a migration of this rank must move.
+    pub fn migration_bytes(&self) -> usize {
+        self.stats().total()
+    }
+
+    /// Migration bytes when regions failing `include` are skipped.
+    pub fn migration_bytes_with(&self, include: impl Fn(RegionKind) -> bool) -> usize {
+        self.all_regions()
+            .filter(|r| include(r.kind()))
+            .map(|r| r.len())
+            .sum()
+    }
+
+    /// Serialize all rank memory into a wire buffer (real memcpy).
+    pub fn pack(&self) -> MigrationBuffer {
+        self.pack_with(|_| true)
+    }
+
+    /// Serialize only the regions whose kind passes `include`.
+    ///
+    /// This is the paper's future-work optimization "changing Isomalloc
+    /// to only migrate segments of code that differ across different
+    /// ranks": under PIEglobals every rank's code copy is bitwise
+    /// identical (fixups land in the data segment and GOT), so migration
+    /// can skip `CodeSegment` regions and rebuild them from the local
+    /// image at the destination.
+    pub fn pack_with(&self, include: impl Fn(RegionKind) -> bool) -> MigrationBuffer {
+        let total = self.migration_bytes_with(&include);
+        let mut buf = BytesMut::with_capacity(total + 64 + self.region_count() * 16);
+        buf.put_u32(MAGIC);
+        let n = self.all_regions().filter(|r| include(r.kind())).count();
+        buf.put_u64(n as u64);
+        for r in self.all_regions() {
+            if !include(r.kind()) {
+                continue;
+            }
+            buf.put_u8(kind_tag(r.kind()));
+            buf.put_u64(r.len() as u64);
+            buf.put_slice(r.as_slice());
+        }
+        MigrationBuffer { buf }
+    }
+
+    /// Copy a packed buffer's bytes back into this rank's regions.
+    ///
+    /// The region layout (count, kinds, sizes, order) must match what was
+    /// packed; migration in `pvr` always unpacks into the same logical
+    /// memory image whose ownership travelled with the message.
+    pub fn unpack_into(&mut self, buf: &MigrationBuffer) -> Result<(), UnpackError> {
+        self.unpack_into_with(buf, |_| true)
+    }
+
+    /// Unpack a buffer produced by [`RankMemory::pack_with`] using the
+    /// same `include` filter (skipped regions keep their current bytes).
+    pub fn unpack_into_with(
+        &mut self,
+        buf: &MigrationBuffer,
+        include: impl Fn(RegionKind) -> bool,
+    ) -> Result<(), UnpackError> {
+        let mut b: &[u8] = &buf.buf;
+        if b.remaining() < 12 {
+            return Err(UnpackError::Truncated);
+        }
+        if b.get_u32() != MAGIC {
+            return Err(UnpackError::BadMagic);
+        }
+        let expected = self
+            .all_regions()
+            .filter(|r| include(r.kind()))
+            .count();
+        let n = b.get_u64() as usize;
+        if n != expected {
+            return Err(UnpackError::LayoutMismatch { expected, got: n });
+        }
+        // Collect target (ptr, len, kind) triples first to appease the
+        // borrow checker; the pointers are pinned so this is sound.
+        let targets: Vec<(*mut u8, usize, u8)> = self
+            .all_regions()
+            .filter(|r| include(r.kind()))
+            .map(|r| (r.base_mut(), r.len(), kind_tag(r.kind())))
+            .collect();
+        for (ptr, len, tag) in targets {
+            if b.remaining() < 9 {
+                return Err(UnpackError::Truncated);
+            }
+            let got_tag = b.get_u8();
+            let got_len = b.get_u64() as usize;
+            if got_tag != tag || got_len != len {
+                return Err(UnpackError::LayoutMismatch {
+                    expected: len,
+                    got: got_len,
+                });
+            }
+            if b.remaining() < len {
+                return Err(UnpackError::Truncated);
+            }
+            unsafe {
+                std::ptr::copy_nonoverlapping(b.chunk().as_ptr(), ptr, len.min(b.chunk().len()));
+                // BytesMut from a contiguous Packer is one chunk, but be
+                // robust to segmented buffers:
+                if b.chunk().len() < len {
+                    let mut copied = b.chunk().len();
+                    b.advance(copied);
+                    while copied < len {
+                        let take = (len - copied).min(b.chunk().len());
+                        std::ptr::copy_nonoverlapping(
+                            b.chunk().as_ptr(),
+                            ptr.add(copied),
+                            take,
+                        );
+                        copied += take;
+                        b.advance(take);
+                    }
+                } else {
+                    b.advance(len);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn region_count(&self) -> usize {
+        self.heap.regions().count() + self.regions.len()
+    }
+
+    fn all_regions(&self) -> impl Iterator<Item = &Region> {
+        self.heap.regions().chain(self.regions.iter())
+    }
+}
+
+impl Default for RankMemory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for RankMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RankMemory")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+fn kind_tag(k: RegionKind) -> u8 {
+    match k {
+        RegionKind::HeapChunk => 0,
+        RegionKind::Stack => 1,
+        RegionKind::TlsSegment => 2,
+        RegionKind::CodeSegment => 3,
+        RegionKind::DataSegment => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rank() -> RankMemory {
+        let mut rm = RankMemory::new();
+        let p = rm.heap().alloc(1000, 8).unwrap();
+        unsafe { p.as_mut_slice().fill(0x5A) };
+        let mut stack = Region::new_zeroed(RegionKind::Stack, 8192);
+        stack.as_mut_slice()[100..200].fill(0xC3);
+        rm.add_region(stack);
+        rm.add_region(Region::from_bytes(RegionKind::TlsSegment, &[1, 2, 3, 4]));
+        rm
+    }
+
+    #[test]
+    fn stats_by_kind() {
+        let rm = sample_rank();
+        let s = rm.stats();
+        assert!(s.heap_bytes >= 1000);
+        assert_eq!(s.stack_bytes, 8192);
+        assert_eq!(s.tls_bytes, 4);
+        assert_eq!(s.code_bytes, 0);
+        assert_eq!(s.total(), rm.migration_bytes());
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_preserves_bytes() {
+        let mut rm = sample_rank();
+        let before = rm.pack();
+        let sum_before = before.checksum();
+        // scribble over the memory (simulates the bytes being "elsewhere")
+        let stack_id = RegionId(0);
+        rm.region_mut(stack_id).as_mut_slice().fill(0);
+        // restore from the packed image
+        rm.unpack_into(&before).unwrap();
+        let after = rm.pack();
+        assert_eq!(after.checksum(), sum_before);
+        assert_eq!(rm.region(stack_id).as_slice()[150], 0xC3);
+    }
+
+    #[test]
+    fn addresses_stable_across_roundtrip() {
+        let mut rm = sample_rank();
+        let base_before = rm.region(RegionId(0)).base() as usize;
+        let img = rm.pack();
+        rm.unpack_into(&img).unwrap();
+        assert_eq!(rm.region(RegionId(0)).base() as usize, base_before);
+    }
+
+    #[test]
+    fn layout_mismatch_detected() {
+        let rm1 = sample_rank();
+        let img = rm1.pack();
+        let mut rm2 = RankMemory::new();
+        rm2.add_region(Region::new_zeroed(RegionKind::Stack, 8192));
+        let err = rm2.unpack_into(&img).unwrap_err();
+        assert!(matches!(err, UnpackError::LayoutMismatch { .. }));
+    }
+
+    #[test]
+    fn truncated_detected() {
+        let rm = sample_rank();
+        let img = rm.pack();
+        let cut = MigrationBuffer {
+            buf: BytesMut::from(&img.as_slice()[..img.len() / 2]),
+        };
+        let mut rm = sample_rank();
+        let err = rm.unpack_into(&cut).unwrap_err();
+        assert!(matches!(
+            err,
+            UnpackError::Truncated | UnpackError::LayoutMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut rm = sample_rank();
+        let mut img = rm.pack();
+        img.buf[0] ^= 0xFF;
+        assert_eq!(rm.unpack_into(&img).unwrap_err(), UnpackError::BadMagic);
+    }
+
+    #[test]
+    fn migration_bytes_grow_with_heap() {
+        let mut rm = RankMemory::new();
+        let before = rm.migration_bytes();
+        let _ = rm.heap().alloc(10 << 20, 8).unwrap();
+        assert!(rm.migration_bytes() >= before + (10 << 20));
+    }
+}
+
+#[cfg(test)]
+mod filter_tests {
+    use super::*;
+
+    fn rank_with_code() -> RankMemory {
+        let mut rm = RankMemory::new();
+        let p = rm.heap().alloc(512, 8).unwrap();
+        unsafe { p.as_mut_slice().fill(0x11) };
+        rm.add_region(Region::from_bytes(RegionKind::Stack, &[0x22; 4096]));
+        rm.add_region(Region::from_bytes(RegionKind::CodeSegment, &[0x33; 1 << 20]));
+        rm.add_region(Region::from_bytes(RegionKind::DataSegment, &[0x44; 256]));
+        rm
+    }
+
+    #[test]
+    fn code_dedup_pack_is_smaller() {
+        let rm = rank_with_code();
+        let full = rm.pack();
+        let no_code = rm.pack_with(|k| k != RegionKind::CodeSegment);
+        assert!(full.len() >= no_code.len() + (1 << 20));
+        assert_eq!(
+            rm.migration_bytes_with(|k| k != RegionKind::CodeSegment) + (1 << 20),
+            rm.migration_bytes()
+        );
+    }
+
+    #[test]
+    fn filtered_roundtrip_preserves_included_and_skips_excluded() {
+        let mut rm = rank_with_code();
+        let snapshot = rm.pack_with(|k| k != RegionKind::CodeSegment);
+        // scribble over everything
+        let ids: Vec<_> = (0..3).map(RegionId).collect();
+        for id in &ids {
+            rm.region_mut(*id).as_mut_slice().fill(0xFF);
+        }
+        rm.unpack_into_with(&snapshot, |k| k != RegionKind::CodeSegment)
+            .unwrap();
+        // stack and data restored; code untouched by the unpack
+        assert_eq!(rm.region(RegionId(0)).as_slice()[0], 0x22);
+        assert_eq!(rm.region(RegionId(2)).as_slice()[0], 0x44);
+        assert_eq!(rm.region(RegionId(1)).as_slice()[0], 0xFF);
+    }
+
+    #[test]
+    fn filter_mismatch_detected() {
+        let mut rm = rank_with_code();
+        let no_code = rm.pack_with(|k| k != RegionKind::CodeSegment);
+        // unpacking with the full filter must notice the missing region
+        assert!(matches!(
+            rm.unpack_into(&no_code),
+            Err(UnpackError::LayoutMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,146 @@
+//! Pinned, tagged memory regions — the unit of rank-owned memory.
+
+use std::fmt;
+
+/// What a region holds; used by migration accounting and by the
+/// privatization methods to decide what must travel with a rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// A chunk of the rank's user heap (managed by [`crate::Arena`]).
+    HeapChunk,
+    /// The rank's user-level thread stack.
+    Stack,
+    /// The rank's private TLS segment copy (TLSglobals / PIEglobals).
+    TlsSegment,
+    /// A private copy of the program's code segment (PIEglobals).
+    CodeSegment,
+    /// A private copy of the program's data segment (PIEglobals, and the
+    /// namespace copies made by PIPglobals/FSglobals — those are *not*
+    /// rank memory and hence not migratable; see `pvr-privatize`).
+    DataSegment,
+}
+
+impl RegionKind {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RegionKind::HeapChunk => "heap",
+            RegionKind::Stack => "stack",
+            RegionKind::TlsSegment => "tls",
+            RegionKind::CodeSegment => "code",
+            RegionKind::DataSegment => "data",
+        }
+    }
+}
+
+/// A pinned allocation: the base address is stable for the whole lifetime
+/// of the `Region` (the backing `Box` is never reallocated), which is the
+/// in-process equivalent of Isomalloc's reserved virtual-address ranges.
+pub struct Region {
+    buf: Box<[u8]>,
+    kind: RegionKind,
+}
+
+impl Region {
+    /// Allocate a zeroed pinned region.
+    pub fn new_zeroed(kind: RegionKind, size: usize) -> Region {
+        Region {
+            buf: vec![0u8; size].into_boxed_slice(),
+            kind,
+        }
+    }
+
+    /// Allocate a region initialized with a copy of `bytes` (used when a
+    /// privatization method duplicates a program segment for a rank).
+    pub fn from_bytes(kind: RegionKind, bytes: &[u8]) -> Region {
+        Region {
+            buf: bytes.to_vec().into_boxed_slice(),
+            kind,
+        }
+    }
+
+    pub fn kind(&self) -> RegionKind {
+        self.kind
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Stable base address.
+    pub fn base(&self) -> *const u8 {
+        self.buf.as_ptr()
+    }
+
+    /// Stable mutable base address.
+    ///
+    /// Note: this takes `&self` and returns a raw pointer on purpose — the
+    /// region is shared mutable state between a suspended ULT (whose stack
+    /// frames live inside it) and the runtime; all real aliasing discipline
+    /// is enforced by the scheduler (a rank's memory is only touched while
+    /// the rank is not running).
+    pub fn base_mut(&self) -> *mut u8 {
+        self.buf.as_ptr() as *mut u8
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+
+    /// Whether `addr` points inside this region.
+    pub fn contains(&self, addr: usize) -> bool {
+        let base = self.base() as usize;
+        addr >= base && addr < base + self.len()
+    }
+}
+
+impl fmt::Debug for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Region")
+            .field("kind", &self.kind)
+            .field("base", &self.base())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_is_stable_across_moves() {
+        let r = Region::new_zeroed(RegionKind::HeapChunk, 4096);
+        let base = r.base() as usize;
+        let moved = r; // move the Region value
+        assert_eq!(moved.base() as usize, base);
+        let boxed = Box::new(moved);
+        assert_eq!(boxed.base() as usize, base);
+    }
+
+    #[test]
+    fn from_bytes_copies() {
+        let src = vec![7u8; 128];
+        let r = Region::from_bytes(RegionKind::CodeSegment, &src);
+        assert_eq!(r.as_slice(), &src[..]);
+        assert_ne!(r.base(), src.as_ptr());
+    }
+
+    #[test]
+    fn contains_bounds() {
+        let r = Region::new_zeroed(RegionKind::Stack, 64);
+        let b = r.base() as usize;
+        assert!(r.contains(b));
+        assert!(r.contains(b + 63));
+        assert!(!r.contains(b + 64));
+        assert!(!r.contains(b.wrapping_sub(1)));
+    }
+}

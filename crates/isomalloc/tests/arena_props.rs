@@ -1,0 +1,91 @@
+//! Property tests for the Isomalloc arena: random alloc/free sequences
+//! must never hand out overlapping memory, must reuse freed space, and
+//! must keep statistics consistent.
+
+use proptest::prelude::*;
+use pvr_isomalloc::Arena;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { size: usize, align_pow: u8 },
+    FreeOldest,
+    FreeNewest,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1usize..5000, 0u8..7).prop_map(|(size, align_pow)| Op::Alloc { size, align_pow }),
+        1 => Just(Op::FreeOldest),
+        1 => Just(Op::FreeNewest),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn no_overlap_and_consistent_stats(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut arena = Arena::with_chunk_size(8192);
+        let mut live: Vec<pvr_isomalloc::IsoPtr> = Vec::new();
+        let mut live_bytes = 0usize;
+
+        for op in ops {
+            match op {
+                Op::Alloc { size, align_pow } => {
+                    let align = 1usize << align_pow;
+                    let p = arena.alloc(size, align).unwrap();
+                    prop_assert_eq!(p.addr() % align, 0, "alignment");
+                    // no overlap with any live allocation
+                    for q in &live {
+                        let disjoint = p.addr() + p.size <= q.addr()
+                            || q.addr() + q.size <= p.addr();
+                        prop_assert!(disjoint, "overlap: {:?} vs {:?}", p, q);
+                    }
+                    live_bytes += size;
+                    live.push(p);
+                }
+                Op::FreeOldest if !live.is_empty() => {
+                    let p = live.remove(0);
+                    live_bytes -= p.size;
+                    arena.dealloc(p);
+                }
+                Op::FreeNewest if !live.is_empty() => {
+                    let p = live.pop().unwrap();
+                    live_bytes -= p.size;
+                    arena.dealloc(p);
+                }
+                _ => {}
+            }
+            let stats = arena.stats();
+            prop_assert_eq!(stats.live_bytes, live_bytes);
+            prop_assert_eq!(stats.live_allocs, live.len());
+            prop_assert!(stats.capacity_bytes >= stats.live_bytes);
+        }
+
+        // free everything: all space coalesces back
+        for p in live.drain(..) {
+            arena.dealloc(p);
+        }
+        let stats = arena.stats();
+        prop_assert_eq!(stats.live_bytes, 0);
+        prop_assert_eq!(stats.live_allocs, 0);
+        prop_assert_eq!(arena.free_bytes(), stats.capacity_bytes);
+    }
+
+    #[test]
+    fn writes_to_one_allocation_never_leak_into_another(
+        sizes in proptest::collection::vec(8usize..512, 2..20),
+    ) {
+        let mut arena = Arena::with_chunk_size(4096);
+        let ptrs: Vec<_> = sizes.iter().map(|&s| arena.alloc(s, 8).unwrap()).collect();
+        // fill each with its index pattern
+        for (i, p) in ptrs.iter().enumerate() {
+            unsafe { p.as_mut_slice().fill(i as u8) };
+        }
+        // verify none was clobbered
+        for (i, p) in ptrs.iter().enumerate() {
+            let slice = unsafe { p.as_slice() };
+            prop_assert!(slice.iter().all(|&b| b == i as u8), "allocation {i} clobbered");
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! FSglobals (§3.2): copy the PIE binary per rank onto a shared
+//! filesystem, then `dlopen` (POSIX-standard) each copy.
+//!
+//! Same segment-duplication idea as PIPglobals, but the duplication
+//! vehicle is the filesystem instead of linker namespaces:
+//!
+//! * **pro**: portable beyond GNU/Linux (no `dlmopen`), no namespace cap;
+//! * **con**: needs a shared filesystem with space for one binary copy per
+//!   rank, and startup pays real I/O that *scales with rank count and
+//!   node count* (Fig. 5's outlier);
+//! * **con**: shared objects are not supported (copying every dependency
+//!   per rank while avoiding system components was deemed impractical);
+//! * **con**: no migration, same interception problem as PIPglobals.
+
+use super::Common;
+use crate::access::VarAccess;
+use crate::env::PrivatizeEnv;
+use crate::rank::{CtxAction, RankInstance};
+use crate::{Method, PrivatizeError, Privatizer};
+use pvr_isomalloc::RankMemory;
+use pvr_progimage::spec::Callable;
+use pvr_progimage::{LoadedImage, VarClass};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+pub struct FsGlobals {
+    common: Common,
+    rank_images: Vec<Arc<LoadedImage>>,
+    rank_tls: Vec<Box<[u8]>>,
+    io_cost: Duration,
+    copied_bytes: usize,
+    deployed_path: String,
+}
+
+impl FsGlobals {
+    pub fn new(env: PrivatizeEnv) -> Result<FsGlobals, PrivatizeError> {
+        if env.shared_fs.is_none() {
+            return Err(PrivatizeError::Unsupported {
+                method: Method::FsGlobals,
+                reason: "no shared filesystem mounted".to_string(),
+            });
+        }
+        if env.binary.spec.uses_shared_objects {
+            return Err(PrivatizeError::Unsupported {
+                method: Method::FsGlobals,
+                reason: "shared objects are not supported by FSglobals (each rank's \
+                         dependency set would have to be copied and isolated)"
+                    .to_string(),
+            });
+        }
+        let common = Common::new(env)?;
+
+        // Deploy the original binary to the shared FS (once per job).
+        let deployed_path = format!("/scratch/{}", common.env.binary.spec.name);
+        let file_size = common.env.binary.file_size();
+        let mut io_cost = Duration::ZERO;
+        {
+            let fs_arc = common.env.shared_fs.as_ref().unwrap().clone();
+            let mut fs = fs_arc.lock();
+            if !fs.exists(&deployed_path) {
+                io_cost += fs
+                    .write_file(
+                        &deployed_path,
+                        vec![0x7Fu8; file_size],
+                        common.env.concurrent_processes,
+                    )
+                    .map_err(PrivatizeError::Fs)?;
+            }
+        }
+
+        let copied_bytes =
+            common.env.binary.layout.code_size + common.env.binary.layout.data_size;
+        Ok(FsGlobals {
+            common,
+            rank_images: Vec::new(),
+            rank_tls: Vec::new(),
+            io_cost,
+            copied_bytes,
+            deployed_path,
+        })
+    }
+}
+
+impl Privatizer for FsGlobals {
+    fn method(&self) -> Method {
+        Method::FsGlobals
+    }
+
+    fn instantiate_rank(
+        &mut self,
+        rank: usize,
+        _mem: &mut RankMemory,
+    ) -> Result<RankInstance, PrivatizeError> {
+        let binary = self.common.env.binary.clone();
+        let clients = self.common.env.concurrent_processes;
+
+        // 1. copy the binary on the shared FS (the expensive part)
+        let copy_path = format!("{}.vp{rank}", self.deployed_path);
+        {
+            let fs_arc = self.common.env.shared_fs.as_ref().unwrap().clone();
+            let mut fs = fs_arc.lock();
+            self.io_cost += fs
+                .copy_file(&self.deployed_path, &copy_path, clients)
+                .map_err(PrivatizeError::Fs)?;
+            // the loader reads the copy back in
+            let (_, read_cost) = fs.read_file(&copy_path, clients).map_err(PrivatizeError::Fs)?;
+            self.io_cost += read_cost;
+        }
+
+        // 2. dlopen the distinct file: a distinct image, plain POSIX.
+        let copy = binary.copy_as(&copy_path);
+        let img = self.common.env.loader.dlopen(&copy)?;
+
+        let tls: Box<[u8]> = {
+            let tpl = img.tls_template();
+            if tpl.is_empty() {
+                vec![0u8; 8].into_boxed_slice()
+            } else {
+                tpl.to_vec().into_boxed_slice()
+            }
+        };
+        let tls_base = tls.as_ptr() as *mut u8;
+
+        let mut accesses: HashMap<String, VarAccess> = HashMap::new();
+        for v in &binary.spec.vars {
+            let acc = match v.class {
+                VarClass::Global | VarClass::Static => {
+                    VarAccess::Direct(img.data_addr_of(&v.name).unwrap())
+                }
+                VarClass::ThreadLocal => {
+                    let off = img.tls_offset_of(&v.name).unwrap();
+                    VarAccess::Direct(unsafe { tls_base.add(off) })
+                }
+            };
+            accesses.insert(v.name.clone(), acc);
+        }
+
+        let code_base = img.segment_addrs().code_base;
+        self.rank_images.push(img);
+        self.rank_tls.push(tls);
+
+        Ok(RankInstance::new(
+            rank,
+            Method::FsGlobals,
+            accesses,
+            CtxAction::None,
+            code_base,
+        ))
+    }
+
+    fn supports_migration(&self) -> bool {
+        false
+    }
+
+    fn simulated_startup_cost(&self) -> Duration {
+        self.io_cost
+    }
+
+    fn fn_offset_of(&self, name: &str) -> Option<usize> {
+        self.common.fn_offset_of(name)
+    }
+
+    fn callable_for_offset(&self, offset: usize) -> Option<Callable> {
+        self.common.callable_for_offset(offset)
+    }
+
+    fn per_rank_copied_bytes(&self) -> usize {
+        self.copied_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use pvr_progimage::{link, ImageSpec, SharedFs};
+
+    fn bin() -> Arc<pvr_progimage::ProgramBinary> {
+        link(
+            ImageSpec::builder("app")
+                .global("g", 8)
+                .static_var("s", 8)
+                .code_padding(1 << 20)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn privatizes_with_io_cost() {
+        let mut p = FsGlobals::new(PrivatizeEnv::new(bin())).unwrap();
+        let mut m0 = RankMemory::new();
+        let mut m1 = RankMemory::new();
+        let r0 = p.instantiate_rank(0, &mut m0).unwrap();
+        let r1 = p.instantiate_rank(1, &mut m1).unwrap();
+        r0.access("g").write_u64(1);
+        r1.access("g").write_u64(2);
+        assert_eq!(r0.access("g").read_u64(), 1);
+        r0.access("s").write_u64(7);
+        r1.access("s").write_u64(8);
+        assert_eq!(r0.access("s").read_u64(), 7, "statics privatized");
+        // startup paid real simulated I/O, growing with ranks
+        let two_ranks = p.simulated_startup_cost();
+        assert!(two_ranks > Duration::ZERO);
+        let mut m2 = RankMemory::new();
+        let _ = p.instantiate_rank(2, &mut m2).unwrap();
+        assert!(p.simulated_startup_cost() > two_ranks);
+    }
+
+    #[test]
+    fn no_shared_fs_rejected() {
+        let env = PrivatizeEnv::new(bin()).with_shared_fs(None);
+        assert!(matches!(
+            FsGlobals::new(env),
+            Err(PrivatizeError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_objects_rejected() {
+        let b = link(
+            ImageSpec::builder("app")
+                .global("g", 8)
+                .uses_shared_objects(true)
+                .build(),
+        );
+        assert!(matches!(
+            FsGlobals::new(PrivatizeEnv::new(b)),
+            Err(PrivatizeError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn fs_out_of_space_fails_startup() {
+        let fs = Arc::new(Mutex::new(SharedFs::new()));
+        fs.lock().set_capacity(Some(2 << 20)); // fits original only
+        let env = PrivatizeEnv::new(bin()).with_shared_fs(Some(fs));
+        let mut p = FsGlobals::new(env).unwrap();
+        let mut mem = RankMemory::new();
+        match p.instantiate_rank(0, &mut mem) {
+            Err(PrivatizeError::Fs(pvr_progimage::FsError::NoSpace { .. })) => {}
+            other => panic!("expected NoSpace, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn many_ranks_no_namespace_limit() {
+        // unlike PIPglobals, FSglobals scales past 12 VPs per process
+        let mut p = FsGlobals::new(PrivatizeEnv::new(bin())).unwrap();
+        for rank in 0..20 {
+            let mut mem = RankMemory::new();
+            p.instantiate_rank(rank, &mut mem).unwrap();
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The privatization method implementations.
+
+mod fsglobals;
+mod manual;
+mod pieglobals;
+mod pipglobals;
+mod swapglobals;
+mod tlsglobals;
+mod unprivatized;
+
+pub use fsglobals::FsGlobals;
+pub use tlsglobals::HlsLevel;
+pub use manual::ManualRefactor;
+pub use pieglobals::{PieGlobals, PieOptions, ScanPolicy};
+pub use pipglobals::PipGlobals;
+pub use swapglobals::Swapglobals;
+pub use tlsglobals::{TagPolicy, TlsGlobals};
+pub use unprivatized::Unprivatized;
+
+use crate::env::PrivatizeEnv;
+use crate::{Method, PrivatizeError, Privatizer};
+use pvr_progimage::spec::Callable;
+use pvr_progimage::{LoadedImage, VarClass};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-method knobs (defaults are the paper's shipping configuration).
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    /// Which variables the user tagged `thread_local` (TLSglobals only).
+    pub tls_tags: TagPolicy,
+    /// Pointer-fixup strategy (PIEglobals only).
+    pub pie: PieOptions,
+    /// MPC hierarchical-local-storage levels \[21\]: privatize each listed
+    /// variable at Process/PE/Rank granularity instead of the default
+    /// per-rank copy, to reduce memory overhead (TLSglobals and
+    /// -fmpc-privatize).
+    pub hls_levels: HashMap<String, HlsLevel>,
+}
+
+/// Build a privatizer for `method` in environment `env`.
+///
+/// Fails with [`PrivatizeError::Unsupported`] when the environment lacks
+/// the method's prerequisites — the portability story Tables 1/3 rate.
+pub fn create_privatizer(
+    method: Method,
+    env: PrivatizeEnv,
+    opts: Options,
+) -> Result<Box<dyn Privatizer>, PrivatizeError> {
+    match method {
+        Method::Unprivatized => Ok(Box::new(Unprivatized::new(env)?)),
+        Method::ManualRefactor => Ok(Box::new(ManualRefactor::new(env, Method::ManualRefactor)?)),
+        Method::Photran => Ok(Box::new(ManualRefactor::new(env, Method::Photran)?)),
+        Method::Swapglobals => Ok(Box::new(Swapglobals::new(env)?)),
+        Method::TlsGlobals => Ok(Box::new(TlsGlobals::with_hls(
+            env,
+            opts.tls_tags,
+            false,
+            opts.hls_levels,
+        )?)),
+        Method::MpcPrivatize => Ok(Box::new(TlsGlobals::with_hls(
+            env,
+            TagPolicy::All,
+            true,
+            opts.hls_levels,
+        )?)),
+        Method::PipGlobals => Ok(Box::new(PipGlobals::new(env)?)),
+        Method::FsGlobals => Ok(Box::new(FsGlobals::new(env)?)),
+        Method::PieGlobals => Ok(Box::new(PieGlobals::new(env, opts.pie)?)),
+    }
+}
+
+/// State shared by all method implementations: the base image and the
+/// symbol machinery for function-pointer offsets.
+pub(crate) struct Common {
+    pub env: PrivatizeEnv,
+    pub base_image: Arc<LoadedImage>,
+}
+
+impl Common {
+    pub fn new(mut env: PrivatizeEnv) -> Result<Common, PrivatizeError> {
+        let base_image = env.loader.dlopen(&env.binary.clone())?;
+        Ok(Common { env, base_image })
+    }
+
+    pub fn fn_offset_of(&self, name: &str) -> Option<usize> {
+        self.env
+            .binary
+            .layout
+            .fn_syms
+            .get(name)
+            .map(|s| s.offset)
+    }
+
+    pub fn callable_for_offset(&self, offset: usize) -> Option<Callable> {
+        self.base_image.callable_at_offset(offset)
+    }
+
+    /// Accesses for the *unprivatized* view: every data var resolves to
+    /// the shared base image; TLS vars resolve into `process_tls`.
+    pub fn shared_accesses(&self, process_tls: *mut u8) -> HashMap<String, crate::VarAccess> {
+        let mut m = HashMap::new();
+        for v in &self.env.binary.spec.vars {
+            let acc = match v.class {
+                VarClass::Global | VarClass::Static => crate::VarAccess::Direct(
+                    self.base_image
+                        .data_addr_of(&v.name)
+                        .expect("symbol in layout"),
+                ),
+                VarClass::ThreadLocal => {
+                    let off = self.base_image.tls_offset_of(&v.name).unwrap();
+                    crate::VarAccess::Direct(unsafe { process_tls.add(off) })
+                }
+            };
+            m.insert(v.name.clone(), acc);
+        }
+        m
+    }
+}
+
+/// A process-wide TLS block built from the image's TLS template — what
+/// unprivatized execution gives every rank on a PE (shared, i.e. wrong,
+/// when ranks expect private values).
+pub(crate) fn process_tls_block(image: &LoadedImage) -> Box<[u8]> {
+    let tpl = image.tls_template();
+    if tpl.is_empty() {
+        vec![0u8; 8].into_boxed_slice()
+    } else {
+        tpl.to_vec().into_boxed_slice()
+    }
+}

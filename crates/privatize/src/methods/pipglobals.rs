@@ -1,0 +1,209 @@
+//! PIPglobals (§3.1): `dlmopen` the PIE binary into a fresh linker
+//! namespace per virtual rank.
+//!
+//! Concepts borrowed from the Process-in-Process library, reimplemented
+//! inside the runtime: the application is built as a PIE and linked
+//! against a function-pointer shim (so the *runtime* is not privatized
+//! along with it); at startup a loader calls `dlmopen` with a new
+//! namespace per rank, `dlsym`s the entry point, and jumps in. Globals
+//! appear privatized with **zero per-access and per-context-switch cost**
+//! because PIE data is reached IP-relatively within each namespace's
+//! segment copy.
+//!
+//! Reproduced limitations:
+//! * at most 12 namespaces on stock glibc (→ [`DlError::NamespaceExhausted`]
+//!   surfaces as a startup failure for high virtualization ratios, which
+//!   particularly hobbles SMP mode);
+//! * **no migration**: the segment copies are made by `ld-linux.so`'s own
+//!   `mmap`s, which cannot be routed through Isomalloc;
+//! * GNU/Linux only (`dlmopen` is not POSIX).
+
+use super::Common;
+use crate::access::VarAccess;
+use crate::env::PrivatizeEnv;
+use crate::rank::{CtxAction, RankInstance};
+use crate::{Method, PrivatizeError, Privatizer};
+use pvr_isomalloc::RankMemory;
+use pvr_progimage::spec::Callable;
+use pvr_progimage::{LoadedImage, VarClass};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+pub struct PipGlobals {
+    common: Common,
+    /// Per-rank namespace images — owned by the *process* (ld.so state),
+    /// not by rank memory; this is exactly why migration is impossible.
+    rank_images: Vec<Arc<LoadedImage>>,
+    /// Per-rank TLS blocks (each namespace has its own TLS image).
+    rank_tls: Vec<Box<[u8]>>,
+    copied_bytes: usize,
+}
+
+impl PipGlobals {
+    pub fn new(env: PrivatizeEnv) -> Result<PipGlobals, PrivatizeError> {
+        if !env.toolchain.has_glibc {
+            return Err(PrivatizeError::Unsupported {
+                method: Method::PipGlobals,
+                reason: "dlmopen is a glibc extension (GNU/Linux only)".to_string(),
+            });
+        }
+        let common = Common::new(env)?;
+        let copied_bytes =
+            common.env.binary.layout.code_size + common.env.binary.layout.data_size;
+        Ok(PipGlobals {
+            common,
+            rank_images: Vec::new(),
+            rank_tls: Vec::new(),
+            copied_bytes,
+        })
+    }
+
+    pub fn namespaces_in_use(&self) -> usize {
+        self.common.env.loader.namespaces_in_use()
+    }
+}
+
+impl Privatizer for PipGlobals {
+    fn method(&self) -> Method {
+        Method::PipGlobals
+    }
+
+    fn instantiate_rank(
+        &mut self,
+        rank: usize,
+        _mem: &mut RankMemory,
+    ) -> Result<RankInstance, PrivatizeError> {
+        // dlmopen(LM_ID_NEWLM, app.so): duplicates code+data segments.
+        // NamespaceExhausted propagates on stock glibc past 12 ranks.
+        let binary = self.common.env.binary.clone();
+        let img = self.common.env.loader.dlmopen_newlm(&binary)?;
+
+        // The namespace's own TLS image.
+        let tls: Box<[u8]> = {
+            let tpl = img.tls_template();
+            if tpl.is_empty() {
+                vec![0u8; 8].into_boxed_slice()
+            } else {
+                tpl.to_vec().into_boxed_slice()
+            }
+        };
+        let tls_base = tls.as_ptr() as *mut u8;
+
+        let mut accesses: HashMap<String, VarAccess> = HashMap::new();
+        for v in &binary.spec.vars {
+            let acc = match v.class {
+                VarClass::Global | VarClass::Static => {
+                    VarAccess::Direct(img.data_addr_of(&v.name).unwrap())
+                }
+                VarClass::ThreadLocal => {
+                    let off = img.tls_offset_of(&v.name).unwrap();
+                    VarAccess::Direct(unsafe { tls_base.add(off) })
+                }
+            };
+            accesses.insert(v.name.clone(), acc);
+        }
+
+        let code_base = img.segment_addrs().code_base;
+        self.rank_images.push(img);
+        self.rank_tls.push(tls);
+
+        Ok(RankInstance::new(
+            rank,
+            Method::PipGlobals,
+            accesses,
+            CtxAction::None, // IP-relative: nothing to swap
+            code_base,
+        ))
+    }
+
+    fn supports_migration(&self) -> bool {
+        // "we cannot intercept the mmap calls that happen from inside
+        // ld-linux.so in order to allocate them via Isomalloc"
+        false
+    }
+
+    fn fn_offset_of(&self, name: &str) -> Option<usize> {
+        self.common.fn_offset_of(name)
+    }
+
+    fn callable_for_offset(&self, offset: usize) -> Option<Callable> {
+        self.common.callable_for_offset(offset)
+    }
+
+    fn per_rank_copied_bytes(&self) -> usize {
+        self.copied_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Toolchain;
+    use pvr_progimage::loader::GLIBC_USABLE_NAMESPACES;
+    use pvr_progimage::{link, DlError, ImageSpec};
+
+    fn bin() -> Arc<pvr_progimage::ProgramBinary> {
+        link(
+            ImageSpec::builder("app")
+                .global("g", 8)
+                .static_var("s", 8)
+                .thread_local("t", 8)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn everything_privatized_no_ctx_work() {
+        let mut p = PipGlobals::new(PrivatizeEnv::new(bin())).unwrap();
+        let mut mems: Vec<RankMemory> = (0..2).map(|_| RankMemory::new()).collect();
+        let r0 = p.instantiate_rank(0, &mut mems[0]).unwrap();
+        let r1 = p.instantiate_rank(1, &mut mems[1]).unwrap();
+        assert!(!r0.has_ctx_work());
+        for name in ["g", "s", "t"] {
+            r0.access(name).write_u64(100);
+            r1.access(name).write_u64(200);
+            assert_eq!(r0.access(name).read_u64(), 100, "{name} must be private");
+        }
+    }
+
+    #[test]
+    fn namespace_limit_bites_without_patched_glibc() {
+        let mut p = PipGlobals::new(PrivatizeEnv::new(bin())).unwrap();
+        let mut ok = 0;
+        for rank in 0..GLIBC_USABLE_NAMESPACES + 4 {
+            let mut mem = RankMemory::new();
+            match p.instantiate_rank(rank, &mut mem) {
+                Ok(_) => ok += 1,
+                Err(PrivatizeError::Dl(DlError::NamespaceExhausted { .. })) => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(ok, GLIBC_USABLE_NAMESPACES);
+    }
+
+    #[test]
+    fn patched_glibc_lifts_limit() {
+        let env = PrivatizeEnv::new(bin()).with_toolchain(Toolchain::with_patched_glibc());
+        let mut p = PipGlobals::new(env).unwrap();
+        for rank in 0..32 {
+            let mut mem = RankMemory::new();
+            p.instantiate_rank(rank, &mut mem).unwrap();
+        }
+    }
+
+    #[test]
+    fn rejected_without_glibc() {
+        let env = PrivatizeEnv::new(bin()).with_toolchain(Toolchain::macos());
+        assert!(matches!(
+            PipGlobals::new(env),
+            Err(PrivatizeError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn no_migration_support() {
+        let p = PipGlobals::new(PrivatizeEnv::new(bin())).unwrap();
+        assert!(!p.supports_migration());
+        assert!(p.per_rank_copied_bytes() > 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Shared-filesystem model for FSglobals.
+//!
+//! FSglobals copies the PIE binary once per virtual rank onto a shared
+//! filesystem and `dlopen`s each copy. Its startup cost is therefore
+//! dominated by filesystem I/O, and — unlike the other methods — it
+//! *scales with node count*, because every process on every node writes
+//! and reads its ranks' copies through the same shared filesystem servers.
+//!
+//! This model charges a per-operation latency plus a bandwidth term, with
+//! an optional contention factor for concurrent clients, and actually
+//! stores the file bytes (so copy sizes and capacity limits are real).
+//! Costs are returned as simulated [`Duration`]s; callers decide whether
+//! to sleep them (real-time runs) or account them (reported totals).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Duration;
+
+/// Cost parameters; defaults approximate a busy Lustre-like parallel FS.
+#[derive(Debug, Clone, Copy)]
+pub struct FsCostModel {
+    /// Fixed cost per metadata operation (create/open/stat).
+    pub op_latency: Duration,
+    /// Streaming bandwidth per client, bytes/second.
+    pub bandwidth_bps: f64,
+    /// Additional per-client slowdown factor applied when `clients`
+    /// concurrent clients hammer the FS: effective_bw = bw / (1 +
+    /// contention * (clients - 1)).
+    pub contention: f64,
+}
+
+impl Default for FsCostModel {
+    fn default() -> Self {
+        FsCostModel {
+            op_latency: Duration::from_micros(500),
+            bandwidth_bps: 1.2e9,
+            contention: 0.35,
+        }
+    }
+}
+
+impl FsCostModel {
+    /// Cost of transferring `bytes` with `clients` concurrent clients.
+    pub fn transfer_cost(&self, bytes: usize, clients: usize) -> Duration {
+        let slow = 1.0 + self.contention * (clients.saturating_sub(1)) as f64;
+        let secs = bytes as f64 / (self.bandwidth_bps / slow);
+        self.op_latency + Duration::from_secs_f64(secs)
+    }
+}
+
+/// Filesystem errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Capacity limit would be exceeded — FSglobals needs space for one
+    /// binary copy per rank, which is a real deployment constraint.
+    NoSpace { requested: usize, available: usize },
+    NotFound { path: String },
+    AlreadyExists { path: String },
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NoSpace {
+                requested,
+                available,
+            } => write!(f, "shared fs: no space ({requested} B requested, {available} B free)"),
+            FsError::NotFound { path } => write!(f, "shared fs: {path}: not found"),
+            FsError::AlreadyExists { path } => write!(f, "shared fs: {path}: already exists"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[derive(Debug)]
+struct FileEntry {
+    bytes: Vec<u8>,
+}
+
+/// The shared filesystem visible to all simulated nodes.
+pub struct SharedFs {
+    files: HashMap<String, FileEntry>,
+    cost: FsCostModel,
+    capacity: Option<usize>,
+    used: usize,
+    /// Total simulated I/O time charged so far (for reports).
+    total_cost: Duration,
+    ops: u64,
+}
+
+impl SharedFs {
+    pub fn new() -> SharedFs {
+        SharedFs::with_cost_model(FsCostModel::default())
+    }
+
+    pub fn with_cost_model(cost: FsCostModel) -> SharedFs {
+        SharedFs {
+            files: HashMap::new(),
+            cost,
+            capacity: None,
+            used: 0,
+            total_cost: Duration::ZERO,
+            ops: 0,
+        }
+    }
+
+    /// Impose a capacity limit (failure injection).
+    pub fn set_capacity(&mut self, cap: Option<usize>) {
+        self.capacity = cap;
+    }
+
+    /// Write a file; returns the simulated cost of doing so.
+    pub fn write_file(
+        &mut self,
+        path: &str,
+        bytes: Vec<u8>,
+        clients: usize,
+    ) -> Result<Duration, FsError> {
+        if self.files.contains_key(path) {
+            return Err(FsError::AlreadyExists {
+                path: path.to_string(),
+            });
+        }
+        if let Some(cap) = self.capacity {
+            let available = cap.saturating_sub(self.used);
+            if bytes.len() > available {
+                return Err(FsError::NoSpace {
+                    requested: bytes.len(),
+                    available,
+                });
+            }
+        }
+        let cost = self.cost.transfer_cost(bytes.len(), clients);
+        self.used += bytes.len();
+        self.files.insert(path.to_string(), FileEntry { bytes });
+        self.total_cost += cost;
+        self.ops += 1;
+        Ok(cost)
+    }
+
+    /// Read a file's size (models the loader reading the copy); returns
+    /// (size, simulated cost).
+    pub fn read_file(&mut self, path: &str, clients: usize) -> Result<(usize, Duration), FsError> {
+        let entry = self.files.get(path).ok_or_else(|| FsError::NotFound {
+            path: path.to_string(),
+        })?;
+        let cost = self.cost.transfer_cost(entry.bytes.len(), clients);
+        self.total_cost += cost;
+        self.ops += 1;
+        Ok((entry.bytes.len(), cost))
+    }
+
+    /// Copy a file server-side; returns the simulated cost (a read + a
+    /// write through the client).
+    pub fn copy_file(
+        &mut self,
+        src: &str,
+        dst: &str,
+        clients: usize,
+    ) -> Result<Duration, FsError> {
+        let bytes = self
+            .files
+            .get(src)
+            .ok_or_else(|| FsError::NotFound {
+                path: src.to_string(),
+            })?
+            .bytes
+            .clone();
+        let read_cost = self.cost.transfer_cost(bytes.len(), clients);
+        self.total_cost += read_cost;
+        self.ops += 1;
+        let write_cost = self.write_file(dst, bytes, clients)?;
+        Ok(read_cost + write_cost)
+    }
+
+    pub fn delete_file(&mut self, path: &str) -> Result<(), FsError> {
+        match self.files.remove(path) {
+            Some(e) => {
+                self.used -= e.bytes.len();
+                Ok(())
+            }
+            None => Err(FsError::NotFound {
+                path: path.to_string(),
+            }),
+        }
+    }
+
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    pub fn bytes_used(&self) -> usize {
+        self.used
+    }
+
+    /// Total simulated I/O time charged so far.
+    pub fn total_cost(&self) -> Duration {
+        self.total_cost
+    }
+
+    pub fn op_count(&self) -> u64 {
+        self.ops
+    }
+}
+
+impl Default for SharedFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for SharedFs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedFs")
+            .field("files", &self.files.len())
+            .field("bytes_used", &self.used)
+            .field("total_cost", &self.total_cost)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip_with_costs() {
+        let mut fs = SharedFs::new();
+        let c1 = fs.write_file("/a", vec![0u8; 1 << 20], 1).unwrap();
+        assert!(c1 > Duration::ZERO);
+        let (size, c2) = fs.read_file("/a", 1).unwrap();
+        assert_eq!(size, 1 << 20);
+        assert!(c2 > Duration::ZERO);
+        assert_eq!(fs.total_cost(), c1 + c2);
+        assert_eq!(fs.op_count(), 2);
+    }
+
+    #[test]
+    fn bigger_files_cost_more() {
+        let m = FsCostModel::default();
+        assert!(m.transfer_cost(100 << 20, 1) > m.transfer_cost(1 << 20, 1));
+    }
+
+    #[test]
+    fn contention_slows_transfers() {
+        let m = FsCostModel::default();
+        assert!(m.transfer_cost(10 << 20, 64) > m.transfer_cost(10 << 20, 1));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut fs = SharedFs::new();
+        fs.set_capacity(Some(1000));
+        fs.write_file("/a", vec![0u8; 600], 1).unwrap();
+        match fs.write_file("/b", vec![0u8; 600], 1) {
+            Err(FsError::NoSpace { available, .. }) => assert_eq!(available, 400),
+            other => panic!("expected NoSpace, got {other:?}"),
+        }
+        // deleting frees space
+        fs.delete_file("/a").unwrap();
+        fs.write_file("/b", vec![0u8; 600], 1).unwrap();
+    }
+
+    #[test]
+    fn duplicate_write_rejected() {
+        let mut fs = SharedFs::new();
+        fs.write_file("/a", vec![1], 1).unwrap();
+        assert!(matches!(
+            fs.write_file("/a", vec![2], 1),
+            Err(FsError::AlreadyExists { .. })
+        ));
+    }
+
+    #[test]
+    fn copy_file_duplicates_bytes() {
+        let mut fs = SharedFs::new();
+        fs.write_file("/bin", vec![7u8; 4096], 1).unwrap();
+        let cost = fs.copy_file("/bin", "/bin.rank0", 8).unwrap();
+        assert!(cost > Duration::ZERO);
+        assert!(fs.exists("/bin.rank0"));
+        assert_eq!(fs.bytes_used(), 8192);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let mut fs = SharedFs::new();
+        assert!(matches!(
+            fs.read_file("/nope", 1),
+            Err(FsError::NotFound { .. })
+        ));
+        assert!(matches!(
+            fs.copy_file("/nope", "/x", 1),
+            Err(FsError::NotFound { .. })
+        ));
+        assert!(matches!(fs.delete_file("/nope"), Err(FsError::NotFound { .. })));
+    }
+}

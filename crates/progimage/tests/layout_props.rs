@@ -1,0 +1,84 @@
+//! Property tests for the linker: random image specs must produce
+//! non-overlapping, aligned, fully covered segment layouts; loading must
+//! place every symbol where the layout says.
+
+use proptest::prelude::*;
+use pvr_progimage::{link, GlobalSpec, ImageSpec, LoadedImage, NamespaceId, VarClass};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn layout_is_sound(var_specs in proptest::collection::vec((1usize..64, 0u8..3), 1..24)) {
+        let mut b = ImageSpec::builder("prop");
+        for (i, (size, class)) in var_specs.iter().enumerate() {
+            let class = match class {
+                0 => VarClass::Global,
+                1 => VarClass::Static,
+                _ => VarClass::ThreadLocal,
+            };
+            b = b.var(GlobalSpec::new(&format!("v{i}"), *size, class));
+        }
+        let bin = link(b.build());
+        let layout = &bin.layout;
+
+        // data symbols: in-bounds, aligned, disjoint
+        let mut spans: Vec<(usize, usize)> = layout
+            .data_syms
+            .values()
+            .map(|s| (s.offset, s.offset + s.size))
+            .collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "data symbols overlap");
+        }
+        if let Some(&(_, end)) = spans.last() {
+            prop_assert!(layout.data_size >= end);
+        }
+        // ditto TLS
+        let mut tspans: Vec<(usize, usize)> = layout
+            .tls_syms
+            .values()
+            .map(|s| (s.offset, s.offset + s.size))
+            .collect();
+        tspans.sort_unstable();
+        for w in tspans.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "tls symbols overlap");
+        }
+        // GOT slots: distinct, dense
+        let mut slots: Vec<usize> = layout.got_slots.values().copied().collect();
+        slots.extend(layout.got_fn_slots.values().copied());
+        slots.sort_unstable();
+        for w in slots.windows(2) {
+            prop_assert!(w[0] != w[1], "duplicate GOT slot");
+        }
+        prop_assert_eq!(slots.len(), layout.got_len);
+
+        // loading places every symbol at layout-promised offsets, and
+        // statics never appear in the GOT
+        let img = LoadedImage::load(bin.clone(), NamespaceId::BASE);
+        let seg = img.segment_addrs();
+        for (name, sym) in &layout.data_syms {
+            let addr = img.data_addr_of(name).unwrap() as usize;
+            prop_assert_eq!(addr, seg.data_base + sym.offset);
+            if sym.class == VarClass::Static {
+                prop_assert!(!layout.got_slots.contains_key(name));
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_loads_are_isolated(n_vars in 1usize..10, sizes in proptest::collection::vec(1usize..64, 10)) {
+        let mut b = ImageSpec::builder("iso");
+        for i in 0..n_vars {
+            b = b.var(GlobalSpec::new(&format!("x{i}"), sizes[i], VarClass::Global));
+        }
+        let bin = link(b.build());
+        let a = LoadedImage::load(bin.clone(), NamespaceId::BASE);
+        let bimg = LoadedImage::load(bin, NamespaceId(1));
+        unsafe {
+            std::ptr::write_bytes(a.data_region().base_mut(), 0xEE, a.data_region().len());
+        }
+        prop_assert!(bimg.data_region().as_slice().iter().all(|&x| x == 0));
+    }
+}

@@ -1,0 +1,251 @@
+//! The rank ⇄ scheduler protocol and the rank-side API ([`RankCtx`]).
+//!
+//! A virtual rank is a ULT. Every effectful operation (send, receive,
+//! declaring computed work, reaching a load-balancing sync point) is
+//! performed by writing a [`Command`] into the rank's slot and yielding;
+//! the PE scheduler handles it and resumes the rank with a [`Response`].
+//! This is exactly the shape of AMPI: blocking MPI calls trap into the
+//! scheduler, which may context-switch to another ready rank.
+
+use crate::message::RtsMessage;
+use crate::{PeId, RankId};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use pvr_des::SimDuration;
+use pvr_privatize::RankInstance;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// What a rank asks of its scheduler.
+#[derive(Debug)]
+pub enum Command {
+    /// Post a message; completes immediately (buffered send).
+    Send {
+        to: RankId,
+        tag: u64,
+        payload: Bytes,
+    },
+    /// Block until *any* message for this rank arrives (MPI matching
+    /// happens inside the rank, in `pvr-ampi`).
+    Recv,
+    /// Non-blocking receive.
+    TryRecv,
+    /// Declare `work` of computation (advances the PE's virtual clock;
+    /// no-op in real-time mode where the work physically happened).
+    Compute(SimDuration),
+    /// Cooperative yield: stay ready, let other ranks run.
+    Yield,
+    /// Load-balancing sync point (AMPI's `MPI_Migrate`): blocks until all
+    /// ranks arrive, then the runtime may migrate ranks.
+    AtSync,
+    /// Allocate from the rank's Isomalloc heap (so the memory migrates
+    /// with the rank).
+    AllocHeap { size: usize, align: usize },
+}
+
+/// The scheduler's reply.
+#[derive(Debug)]
+pub enum Response {
+    Ack,
+    Message(RtsMessage),
+    NoMessage,
+    /// Address of a fresh heap allocation.
+    Addr(usize),
+}
+
+/// Mailbox-sized shared cell between one rank and the scheduler. The two
+/// never run concurrently (cooperative, single OS thread), but the mutex
+/// keeps the types honest and is uncontended.
+#[derive(Default)]
+pub struct Slot {
+    pub cmd: Option<Command>,
+    pub resp: Option<Response>,
+}
+
+/// Live, lock-free-readable facts about a rank that change as it runs.
+pub struct RankShared {
+    /// Where the rank currently lives (updated on migration).
+    pub current_pe: AtomicUsize,
+    /// The rank's view of "now", nanoseconds (virtual clock in virtual
+    /// mode; updated before each resume).
+    pub now_ns: AtomicU64,
+}
+
+/// Converts application work (flops, bytes touched) into virtual time.
+///
+/// Used by apps to declare `compute()` durations that reflect the real
+/// kernels they just executed; defaults approximate one EPYC-7742 core.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkModel {
+    pub flops_per_sec: f64,
+    pub mem_bytes_per_sec: f64,
+}
+
+impl Default for WorkModel {
+    fn default() -> Self {
+        WorkModel {
+            flops_per_sec: 3.0e9,
+            mem_bytes_per_sec: 20e9,
+        }
+    }
+}
+
+impl WorkModel {
+    /// Cost of a kernel doing `flops` floating-point ops over `bytes` of
+    /// memory traffic: max of the compute and memory roofline terms.
+    pub fn kernel_cost(&self, flops: f64, bytes: f64) -> SimDuration {
+        let t = (flops / self.flops_per_sec).max(bytes / self.mem_bytes_per_sec);
+        SimDuration::from_secs_f64(t.max(0.0))
+    }
+}
+
+/// The rank-side handle: everything a rank body may do.
+///
+/// Cloneable so an app can hand it to helper layers (`pvr-ampi` wraps it).
+///
+/// # Locking hazard
+///
+/// Ranks are cooperatively scheduled on one OS thread. Never hold a
+/// process-wide lock (e.g. a `Mutex` shared with other ranks) across a
+/// blocking call ([`RankCtx::recv`], [`RankCtx::at_sync`], any
+/// collective): the scheduler will switch to another rank on the same
+/// thread, and if that rank takes the same lock the whole process
+/// deadlocks — the moral equivalent of calling a blocking MPI function
+/// inside a critical section.
+#[derive(Clone)]
+pub struct RankCtx {
+    pub(crate) rank: RankId,
+    pub(crate) n_ranks: usize,
+    pub(crate) slot: Arc<Mutex<Slot>>,
+    pub(crate) shared: Arc<RankShared>,
+    pub(crate) instance: Arc<RankInstance>,
+    pub(crate) work_model: WorkModel,
+    pub(crate) virtual_mode: bool,
+    pub(crate) binary: std::sync::Arc<pvr_progimage::ProgramBinary>,
+}
+
+impl RankCtx {
+    /// This rank's global index.
+    pub fn rank(&self) -> RankId {
+        self.rank
+    }
+
+    /// Total virtual ranks in the job.
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// The PE the rank is currently scheduled on (changes after
+    /// migration — ranks need never be aware of their placement, but the
+    /// test suite and demos like to observe it).
+    pub fn my_pe(&self) -> PeId {
+        self.shared.current_pe.load(Ordering::Relaxed)
+    }
+
+    /// Current time in seconds (virtual in virtual mode).
+    pub fn wtime(&self) -> f64 {
+        self.shared.now_ns.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Access to this rank's privatized globals.
+    pub fn instance(&self) -> &RankInstance {
+        &self.instance
+    }
+
+    /// The work model for converting kernel op counts into virtual time.
+    pub fn work_model(&self) -> WorkModel {
+        self.work_model
+    }
+
+    pub fn is_virtual_time(&self) -> bool {
+        self.virtual_mode
+    }
+
+    /// The program binary this job runs — layout queries (function
+    /// offsets, callables) for `MPI_Op` resolution.
+    pub fn binary(&self) -> &std::sync::Arc<pvr_progimage::ProgramBinary> {
+        &self.binary
+    }
+
+    fn call(&self, cmd: Command) -> Response {
+        {
+            let mut s = self.slot.lock();
+            debug_assert!(s.cmd.is_none(), "re-entrant rank command");
+            s.cmd = Some(cmd);
+        }
+        pvr_ult::yield_now();
+        self.slot
+            .lock()
+            .resp
+            .take()
+            .expect("scheduler must respond before resuming a rank")
+    }
+
+    /// Post a message to another rank (buffered; returns immediately).
+    pub fn send(&self, to: RankId, tag: u64, payload: Bytes) {
+        match self.call(Command::Send { to, tag, payload }) {
+            Response::Ack => {}
+            r => panic!("unexpected response to Send: {r:?}"),
+        }
+    }
+
+    /// Block until any message arrives.
+    pub fn recv(&self) -> RtsMessage {
+        match self.call(Command::Recv) {
+            Response::Message(m) => m,
+            r => panic!("unexpected response to Recv: {r:?}"),
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<RtsMessage> {
+        match self.call(Command::TryRecv) {
+            Response::Message(m) => Some(m),
+            Response::NoMessage => None,
+            r => panic!("unexpected response to TryRecv: {r:?}"),
+        }
+    }
+
+    /// Declare computed work (virtual mode; free no-op in real time).
+    pub fn compute(&self, work: SimDuration) {
+        match self.call(Command::Compute(work)) {
+            Response::Ack => {}
+            r => panic!("unexpected response to Compute: {r:?}"),
+        }
+    }
+
+    /// Cooperatively yield to other ranks on this PE.
+    pub fn yield_now(&self) {
+        match self.call(Command::Yield) {
+            Response::Ack => {}
+            r => panic!("unexpected response to Yield: {r:?}"),
+        }
+    }
+
+    /// Load-balancing sync point: blocks until every rank arrives, then
+    /// the configured balancer may migrate ranks before all resume.
+    pub fn at_sync(&self) {
+        match self.call(Command::AtSync) {
+            Response::Ack => {}
+            r => panic!("unexpected response to AtSync: {r:?}"),
+        }
+    }
+
+    /// Allocate zeroed memory from this rank's migratable (Isomalloc)
+    /// heap. Freed only when the rank is torn down — matching how the
+    /// apps use per-rank grids for the lifetime of a run.
+    pub fn heap_alloc(&self, size: usize, align: usize) -> *mut u8 {
+        match self.call(Command::AllocHeap { size, align }) {
+            Response::Addr(a) => a as *mut u8,
+            r => panic!("unexpected response to AllocHeap: {r:?}"),
+        }
+    }
+
+    /// Allocate a zeroed `f64` slice on the rank's migratable heap. The
+    /// returned slice lives until rank teardown; it stays valid across
+    /// migrations (Isomalloc invariant).
+    pub fn heap_alloc_f64s(&self, len: usize) -> &'static mut [f64] {
+        let p = self.heap_alloc(len * 8, 8) as *mut f64;
+        unsafe { std::slice::from_raw_parts_mut(p, len) }
+    }
+}

@@ -1,0 +1,60 @@
+//! # pvr-rts — the adaptive runtime system
+//!
+//! The Charm++-style substrate AMPI runs on: virtual ranks are stackful
+//! user-level threads, cooperatively scheduled per PE in a message-driven
+//! fashion. A rank that blocks on communication yields to its PE's
+//! scheduler, which switches (~tens of ns) to another ready rank instead
+//! of busy-waiting — the latency-hiding payoff of overdecomposition.
+//!
+//! ## Execution modes
+//!
+//! * **Real time** ([`ClockMode::RealTime`]): ranks run their actual code
+//!   and wall-clock time is the measurement. Used by the startup, context
+//!   switch, variable access and migration experiments (Figs. 5–8).
+//! * **Virtual time** ([`ClockMode::Virtual`]): a deterministic
+//!   discrete-event loop advances per-PE clocks by declared work
+//!   ([`RankCtx::compute`]) and delivers messages through the
+//!   [`pvr_des::NetworkModel`]. This is how the 64-core strong-scaling
+//!   experiments (Fig. 9 / Table 2) run on one physical core: all code,
+//!   messages, LB decisions and migrations are real; only *time* is
+//!   modeled.
+//!
+//! In both modes the entire machine is driven by one OS thread: with a
+//! single physical core, true thread-parallelism buys nothing, and
+//! cooperative single-threading makes runs deterministic. SMP mode
+//! (multiple PEs per process) retains its *semantic* consequences —
+//! shared address space, privatizer constraints, intra-process message
+//! costs — through the topology and the privatization layer.
+//!
+//! ## Structure
+//!
+//! * [`machine::Machine`] — the whole simulated job: topology, PEs,
+//!   ranks, scheduler, migration, LB.
+//! * [`command`] — the rank ⇄ scheduler protocol: a rank performs
+//!   communication by writing a [`command::Command`] into its slot and
+//!   yielding; the scheduler responds and resumes it. This mirrors how
+//!   blocking MPI calls trap into AMPI's scheduler.
+//! * [`lb`] — load balancing strategies (GreedyLB, RefineLB,
+//!   GreedyRefineLB — the paper's choice for ADCIRC — RotateLB, RandomLB).
+//! * [`location`] — rank → PE directory (Charm++'s distributed location
+//!   manager, centralized here).
+
+pub mod command;
+pub mod lb;
+pub mod location;
+pub mod machine;
+pub mod message;
+pub mod pe;
+pub mod rank;
+pub mod stats;
+
+pub use command::{RankCtx, WorkModel};
+pub use lb::{LbStats, LoadBalancer};
+pub use machine::{ClockMode, Machine, MachineBuilder, MigrationRecord, RtsError, RunReport};
+pub use message::RtsMessage;
+pub use pvr_des::{SimDuration, SimTime, Topology};
+
+/// Global index of a virtual rank.
+pub type RankId = usize;
+/// Index of a PE (scheduler), global across the job.
+pub type PeId = usize;

@@ -1,0 +1,1659 @@
+//! The machine: topology + PEs + ranks + scheduler + migration + LB.
+//!
+//! One `Machine` is a whole simulated job (possibly many nodes/processes/
+//! PEs), driven deterministically by one OS thread. See the crate docs
+//! for the real-time vs virtual-time distinction.
+
+use crate::command::{Command, RankCtx, RankShared, Response, Slot, WorkModel};
+use crate::lb::{LbStats, LoadBalancer};
+use crate::location::LocationManager;
+use crate::message::RtsMessage;
+use crate::pe::PeState;
+use crate::rank::{RankState, RankStatus};
+pub use crate::stats::{LbRecord, MigrationRecord, RunReport};
+use crate::{PeId, RankId};
+use parking_lot::Mutex;
+use pvr_des::{EventQueue, NetworkModel, SimDuration, SimTime, Topology};
+use pvr_isomalloc::{RankMemory, Region, RegionKind};
+use pvr_privatize::methods::Options as MethodOptions;
+use pvr_privatize::{
+    create_privatizer, Method, PrivatizeEnv, PrivatizeError, Privatizer, Toolchain,
+};
+use pvr_progimage::{ProgramBinary, SharedFs};
+use pvr_ult::{Backend, StackMem, Ult};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How time passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockMode {
+    /// Wall-clock: real execution, measured externally (Figs. 5–8).
+    RealTime,
+    /// Discrete-event virtual time (Fig. 9 / Table 2 scaling runs).
+    Virtual,
+}
+
+/// Runtime errors.
+#[derive(Debug)]
+pub enum RtsError {
+    Privatize(PrivatizeError),
+    /// All live ranks are blocked and no event can wake them.
+    Deadlock { waiting: Vec<RankId> },
+    /// A rank's body panicked.
+    RankPanicked { rank: RankId, message: String },
+    /// A rank yielded outside the command protocol.
+    Protocol { rank: RankId, detail: String },
+    /// Invalid migration request.
+    BadMigration { rank: RankId, detail: String },
+    /// A user reduction operator had to be applied on a PE hosting no
+    /// virtual ranks — under PIEglobals there is no image base to anchor
+    /// the function-pointer offset (§3.3's documented runtime error).
+    EmptyPeReduction { pe: PeId },
+}
+
+impl fmt::Display for RtsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtsError::Privatize(e) => write!(f, "privatization: {e}"),
+            RtsError::Deadlock { waiting } => {
+                write!(f, "deadlock: ranks {waiting:?} blocked forever")
+            }
+            RtsError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+            RtsError::Protocol { rank, detail } => write!(f, "rank {rank}: {detail}"),
+            RtsError::BadMigration { rank, detail } => {
+                write!(f, "cannot migrate rank {rank}: {detail}")
+            }
+            RtsError::EmptyPeReduction { pe } => write!(
+                f,
+                "PE {pe} has no resident virtual ranks: cannot translate a user \
+                 reduction operator's offset to an address under PIEglobals"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RtsError {}
+
+impl From<PrivatizeError> for RtsError {
+    fn from(e: PrivatizeError) -> Self {
+        RtsError::Privatize(e)
+    }
+}
+
+/// Virtual-mode events.
+enum Event {
+    Deliver {
+        msg: RtsMessage,
+        dest_pe: PeId,
+        forwarded: bool,
+    },
+    PeWake {
+        pe: PeId,
+    },
+}
+
+/// Builder for a [`Machine`].
+pub struct MachineBuilder {
+    topology: Topology,
+    method: Method,
+    options: MethodOptions,
+    binary: Arc<ProgramBinary>,
+    toolchain: Toolchain,
+    shared_fs: Option<Arc<Mutex<SharedFs>>>,
+    vp_ratio: usize,
+    clock: ClockMode,
+    network: NetworkModel,
+    balancer: Option<Box<dyn LoadBalancer>>,
+    stack_size: usize,
+    work_model: WorkModel,
+    ult_backend: Backend,
+    code_dedup_migration: bool,
+    checkpoint_period: u32,
+    inject_fault_at_lb_step: Option<u32>,
+}
+
+impl MachineBuilder {
+    pub fn new(binary: Arc<ProgramBinary>) -> MachineBuilder {
+        MachineBuilder {
+            topology: Topology::smp(1),
+            method: Method::PieGlobals,
+            options: MethodOptions::default(),
+            binary,
+            toolchain: Toolchain::default(),
+            shared_fs: Some(Arc::new(Mutex::new(SharedFs::new()))),
+            vp_ratio: 1,
+            clock: ClockMode::RealTime,
+            network: NetworkModel::infiniband(),
+            balancer: None,
+            stack_size: 128 * 1024,
+            work_model: WorkModel::default(),
+            ult_backend: Backend::native(),
+            code_dedup_migration: false,
+            checkpoint_period: 0,
+            inject_fault_at_lb_step: None,
+        }
+    }
+
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = t;
+        self
+    }
+
+    pub fn method(mut self, m: Method) -> Self {
+        self.method = m;
+        self
+    }
+
+    pub fn method_options(mut self, o: MethodOptions) -> Self {
+        self.options = o;
+        self
+    }
+
+    pub fn toolchain(mut self, t: Toolchain) -> Self {
+        self.toolchain = t;
+        self
+    }
+
+    /// Virtual ranks per PE (overdecomposition ratio).
+    pub fn vp_ratio(mut self, r: usize) -> Self {
+        assert!(r > 0);
+        self.vp_ratio = r;
+        self
+    }
+
+    pub fn clock(mut self, c: ClockMode) -> Self {
+        self.clock = c;
+        self
+    }
+
+    pub fn network(mut self, n: NetworkModel) -> Self {
+        self.network = n;
+        self
+    }
+
+    /// Mount (or unmount) a shared filesystem for this job.
+    pub fn shared_fs(mut self, fs: Option<Arc<Mutex<SharedFs>>>) -> Self {
+        self.shared_fs = fs;
+        self
+    }
+
+    pub fn balancer(mut self, b: Box<dyn LoadBalancer>) -> Self {
+        self.balancer = Some(b);
+        self
+    }
+
+    pub fn stack_size(mut self, s: usize) -> Self {
+        self.stack_size = s.max(16 * 1024);
+        self
+    }
+
+    pub fn work_model(mut self, w: WorkModel) -> Self {
+        self.work_model = w;
+        self
+    }
+
+    pub fn ult_backend(mut self, b: Backend) -> Self {
+        self.ult_backend = b;
+        self
+    }
+
+    /// The paper's future-work migration optimization: skip the rank's
+    /// code-segment copies when migrating (they are bitwise identical
+    /// across ranks and can be re-duplicated from the local image).
+    pub fn code_dedup_migration(mut self, on: bool) -> Self {
+        self.code_dedup_migration = on;
+        self
+    }
+
+    /// Take a coordinated checkpoint of every rank's memory at every
+    /// `n`-th load-balancing sync point (0 = off). This is the
+    /// checkpoint/restart fault-tolerance scheme Isomalloc migratability
+    /// enables (§2.1): rank memory is packed exactly like a migration.
+    pub fn checkpoint_period(mut self, n: u32) -> Self {
+        self.checkpoint_period = n;
+        self
+    }
+
+    /// Failure injection: at LB step `k`, simulate a soft memory fault
+    /// (all rank memories corrupted) and recover from the most recent
+    /// checkpoint. Requires `checkpoint_period > 0`.
+    pub fn inject_fault_at_lb_step(mut self, k: u32) -> Self {
+        self.inject_fault_at_lb_step = Some(k);
+        self
+    }
+
+    /// Instantiate the job: one privatizer per OS process, then all
+    /// ranks. This is the unit the startup experiment (Fig. 5) times.
+    pub fn build(
+        self,
+        body: Arc<dyn Fn(RankCtx) + Send + Sync + 'static>,
+    ) -> Result<Machine, RtsError> {
+        let topo = self.topology;
+        let n_pes = topo.total_pes();
+        let n_ranks = n_pes * self.vp_ratio;
+
+        // One privatizer per simulated OS process.
+        let mut privatizers: Vec<Box<dyn Privatizer>> = Vec::new();
+        for _proc in 0..topo.total_processes() {
+            let env = PrivatizeEnv::new(self.binary.clone())
+                .with_toolchain(self.toolchain)
+                .with_pes(topo.pes_per_process)
+                .with_shared_fs(self.shared_fs.clone())
+                .with_concurrent_processes(topo.total_processes());
+            privatizers.push(create_privatizer(self.method, env, self.options.clone())?);
+        }
+
+        let location = LocationManager::new_block(n_ranks, n_pes);
+        let mut ranks: Vec<RankState> = Vec::with_capacity(n_ranks);
+        for r in 0..n_ranks {
+            let pe = location.lookup(r);
+            let proc = topo.process_of_pe(pe);
+            let mut mem = RankMemory::new();
+            let instance = Arc::new(privatizers[proc].instantiate_rank(r, &mut mem)?);
+
+            // ULT stack inside rank memory → packed on migration.
+            let stack_region = Region::new_zeroed(RegionKind::Stack, self.stack_size);
+            let stack_ptr = stack_region.base_mut();
+            mem.add_region(stack_region);
+            let stack = unsafe { StackMem::from_raw(stack_ptr, self.stack_size) };
+
+            let slot = Arc::new(Mutex::new(Slot::default()));
+            let shared = Arc::new(RankShared {
+                current_pe: AtomicUsize::new(pe),
+                now_ns: AtomicU64::new(0),
+            });
+            let ctx = RankCtx {
+                rank: r,
+                n_ranks,
+                slot: slot.clone(),
+                shared: shared.clone(),
+                instance: instance.clone(),
+                work_model: self.work_model,
+                virtual_mode: self.clock == ClockMode::Virtual,
+                binary: self.binary.clone(),
+            };
+            let body = body.clone();
+            let ult = Ult::with_backend(self.ult_backend, stack, move || body(ctx));
+
+            ranks.push(RankState {
+                ult: Some(ult),
+                memory: mem,
+                instance,
+                slot,
+                shared,
+                status: RankStatus::Ready,
+                location: pe,
+                mailbox: Default::default(),
+                load_since_lb: SimDuration::ZERO,
+                total_load: SimDuration::ZERO,
+                messages_sent: 0,
+                messages_received: 0,
+                migrations: 0,
+            });
+        }
+
+        let mut pes: Vec<PeState> = (0..n_pes).map(|_| PeState::default()).collect();
+        for r in 0..n_ranks {
+            pes[location.lookup(r)].ready.push_back(r);
+        }
+
+        // Per-PE hierarchical-local-storage blocks (MPC HLS): resolved
+        // once so the context-switch path pays a plain load.
+        let pe_hls_blocks: Vec<*mut u8> = (0..n_pes)
+            .map(|pe| {
+                let proc = topo.process_of_pe(pe);
+                let local = pe - topo.pes_of_process(proc).start;
+                privatizers[proc]
+                    .pe_block(local)
+                    .unwrap_or(std::ptr::null_mut())
+            })
+            .collect();
+
+        Ok(Machine {
+            topology: topo,
+            clock: self.clock,
+            network: self.network,
+            balancer: self.balancer,
+            privatizers,
+            location,
+            ranks,
+            pes,
+            queue: EventQueue::new(),
+            done_count: 0,
+            at_sync_count: 0,
+            total_switches: 0,
+            messages_delivered: 0,
+            lb_steps: 0,
+            migrations: Vec::new(),
+            epoch: Instant::now(),
+            pe_hls_blocks,
+            lb_history: Vec::new(),
+            comm_bytes: std::collections::HashMap::new(),
+            code_dedup_migration: self.code_dedup_migration,
+            checkpoint_period: self.checkpoint_period,
+            inject_fault_at_lb_step: self.inject_fault_at_lb_step,
+            last_checkpoint: None,
+            checkpoints_taken: 0,
+            recoveries: 0,
+        })
+    }
+}
+
+enum StopReason {
+    BlockedRecv,
+    AtSync,
+    Yielded,
+    Done,
+}
+
+/// A running (or runnable) job.
+pub struct Machine {
+    pub topology: Topology,
+    clock: ClockMode,
+    network: NetworkModel,
+    balancer: Option<Box<dyn LoadBalancer>>,
+    privatizers: Vec<Box<dyn Privatizer>>,
+    location: LocationManager,
+    ranks: Vec<RankState>,
+    pes: Vec<PeState>,
+    queue: EventQueue<Event>,
+    done_count: usize,
+    at_sync_count: usize,
+    total_switches: u64,
+    messages_delivered: u64,
+    lb_steps: u32,
+    migrations: Vec<MigrationRecord>,
+    epoch: Instant,
+    /// Per-PE HLS block (null when the method has none); installed at
+    /// each context switch alongside the rank's registers.
+    pe_hls_blocks: Vec<*mut u8>,
+    code_dedup_migration: bool,
+    checkpoint_period: u32,
+    inject_fault_at_lb_step: Option<u32>,
+    /// Bytes exchanged per (from, to) rank pair since the last LB step.
+    comm_bytes: std::collections::HashMap<(RankId, RankId), u64>,
+    lb_history: Vec<LbRecord>,
+    /// Most recent coordinated checkpoint: one (packed memory image,
+    /// suspended stack pointer) pair per rank.
+    last_checkpoint: Option<Vec<(pvr_isomalloc::MigrationBuffer, Option<usize>)>>,
+    checkpoints_taken: u32,
+    recoveries: u32,
+}
+
+impl Machine {
+    pub fn n_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    pub fn n_pes(&self) -> usize {
+        self.pes.len()
+    }
+
+    pub fn method(&self) -> Method {
+        self.privatizers[0].method()
+    }
+
+    /// Simulated I/O charged during startup (FSglobals) — add to measured
+    /// build time for the Fig. 5 startup comparison.
+    pub fn simulated_startup_cost(&self) -> Duration {
+        self.privatizers
+            .iter()
+            .map(|p| p.simulated_startup_cost())
+            .sum()
+    }
+
+    /// Bytes of segment copies per rank (startup accounting).
+    pub fn per_rank_copied_bytes(&self) -> usize {
+        self.privatizers[0].per_rank_copied_bytes()
+    }
+
+    pub fn location_of(&self, rank: RankId) -> PeId {
+        self.location.lookup(rank)
+    }
+
+    pub fn resident_count(&self, pe: PeId) -> usize {
+        self.location.resident_count(pe)
+    }
+
+    /// Rank memory footprint (for reports/tests).
+    pub fn rank_migration_bytes(&self, rank: RankId) -> usize {
+        self.ranks[rank].migration_bytes()
+    }
+
+    /// Access a privatizer (e.g. for `pieglobalsfind` queries).
+    pub fn privatizer(&self, process: usize) -> &dyn Privatizer {
+        self.privatizers[process].as_ref()
+    }
+
+    /// A rank's privatization instance (demos/tests: resolving the
+    /// rank's view of a global from outside the rank).
+    pub fn rank_instance(&self, rank: RankId) -> &Arc<pvr_privatize::RankInstance> {
+        &self.ranks[rank].instance
+    }
+
+    /// Resolve a user reduction operator (encoded as a code-segment
+    /// offset) for application *on a specific PE* — what the runtime does
+    /// when combining reduction messages. Under PIEglobals every rank has
+    /// a distinct code copy, so the offset must be anchored to the base
+    /// of some rank resident on `pe`; a PE hosting no ranks raises the
+    /// runtime error the paper describes instead of silently forwarding.
+    pub fn resolve_op_on_pe(
+        &self,
+        pe: PeId,
+        offset: usize,
+    ) -> Result<pvr_progimage::spec::Callable, RtsError> {
+        if self.method() == Method::PieGlobals && self.location.resident_count(pe) == 0 {
+            return Err(RtsError::EmptyPeReduction { pe });
+        }
+        let proc = self.topology.process_of_pe(pe);
+        self.privatizers[proc]
+            .callable_for_offset(offset)
+            .ok_or(RtsError::Protocol {
+                rank: usize::MAX,
+                detail: format!("no callable at code offset {offset}"),
+            })
+    }
+
+    /// Drive one rank until it blocks, parks, yields, or completes —
+    /// used by benchmark harnesses that need a rank in a known state
+    /// (e.g. parked in `Recv`) before migrating it.
+    pub fn drive_rank(&mut self, rank: RankId) -> Result<(), RtsError> {
+        self.run_rank_slice(rank).map(|_| ())
+    }
+
+    /// Deliver a raw runtime message (harness use: waking a parked rank).
+    pub fn inject_message(&mut self, msg: RtsMessage) {
+        self.deposit(msg);
+    }
+
+    /// Explicitly migrate a suspended rank (the Fig. 8 harness; LB uses
+    /// the same path).
+    pub fn migrate_now(&mut self, rank: RankId, to_pe: PeId) -> Result<MigrationRecord, RtsError> {
+        if to_pe >= self.pes.len() {
+            return Err(RtsError::BadMigration {
+                rank,
+                detail: format!("destination PE {to_pe} out of range"),
+            });
+        }
+        if !self.privatizers[0].supports_migration() {
+            return Err(RtsError::BadMigration {
+                rank,
+                detail: format!(
+                    "{} does not support migration (segments not allocated via Isomalloc)",
+                    self.method()
+                ),
+            });
+        }
+        let from_pe = self.ranks[rank].location;
+        if self.ranks[rank].status == RankStatus::Done {
+            return Err(RtsError::BadMigration {
+                rank,
+                detail: "rank already completed".into(),
+            });
+        }
+
+        // Pack (real memcpy) → "transfer" → unpack (real memcpy). The
+        // region ownership never leaves this address space, preserving
+        // the Isomalloc same-VA invariant; the byte movement is real.
+        // With code-dedup on, the bitwise-identical code segment copies
+        // are skipped (re-duplicated from the destination's local image
+        // in the real system).
+        let dedup = self.code_dedup_migration;
+        let include = move |k: pvr_isomalloc::RegionKind| {
+            !(dedup && k == pvr_isomalloc::RegionKind::CodeSegment)
+        };
+        let t0 = Instant::now();
+        let buf = self.ranks[rank].memory.pack_with(include);
+        let bytes = buf.len();
+        self.ranks[rank]
+            .memory
+            .unpack_into_with(&buf, include)
+            .expect("self-roundtrip cannot fail");
+        let real_time = t0.elapsed();
+        let sim_cost = self
+            .network
+            .cost(&self.topology, from_pe, to_pe, bytes);
+
+        // Commit location.
+        self.location.update(rank, to_pe);
+        self.ranks[rank].location = to_pe;
+        self.ranks[rank]
+            .shared
+            .current_pe
+            .store(to_pe, Ordering::Relaxed);
+        self.ranks[rank].migrations += 1;
+        if self.ranks[rank].status == RankStatus::Ready {
+            self.pes[from_pe].ready.retain(|&x| x != rank);
+            self.pes[to_pe].ready.push_back(rank);
+            if self.clock == ClockMode::Virtual {
+                let at = self.queue.now().max_of(self.pes[to_pe].clock);
+                self.queue.schedule(at, Event::PeWake { pe: to_pe });
+            }
+        }
+
+        let rec = MigrationRecord {
+            rank,
+            from_pe,
+            to_pe,
+            bytes,
+            real_time,
+            sim_cost,
+        };
+        self.migrations.push(rec);
+        Ok(rec)
+    }
+
+    fn respond(&mut self, rank: RankId, resp: Response) {
+        self.ranks[rank].slot.lock().resp = Some(resp);
+    }
+
+    /// Route a message (immediately in real time; as an event in virtual
+    /// time).
+    fn route(&mut self, from_pe: PeId, msg: RtsMessage) {
+        match self.clock {
+            ClockMode::RealTime => self.deposit(msg),
+            ClockMode::Virtual => {
+                let dest_pe = self.location.lookup(msg.to);
+                let cost = self
+                    .network
+                    .cost(&self.topology, from_pe, dest_pe, msg.wire_bytes());
+                let at = self.pes[from_pe].clock + cost;
+                self.queue.schedule(
+                    at.max_of(self.queue.now()),
+                    Event::Deliver {
+                        msg,
+                        dest_pe,
+                        forwarded: false,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Put a message in its target's mailbox, waking the target. A rank
+    /// parked in `Recv` gets its pending command answered right here, so
+    /// it can be resumed directly.
+    fn deposit(&mut self, msg: RtsMessage) {
+        let to = msg.to;
+        self.messages_delivered += 1;
+        self.ranks[to].messages_received += 1;
+        self.ranks[to].mailbox.push_back(msg);
+        if self.ranks[to].status == RankStatus::Waiting {
+            let m = self.ranks[to]
+                .mailbox
+                .pop_front()
+                .expect("just deposited");
+            self.respond(to, Response::Message(m));
+            self.ranks[to].status = RankStatus::Ready;
+            let pe = self.ranks[to].location;
+            self.pes[pe].ready.push_back(to);
+            if self.clock == ClockMode::Virtual {
+                let at = self.queue.now().max_of(self.pes[pe].clock);
+                self.queue.schedule(at, Event::PeWake { pe });
+            }
+        }
+    }
+
+    /// Drive one rank until it blocks, parks, yields, or completes.
+    fn run_rank_slice(&mut self, r: RankId) -> Result<StopReason, RtsError> {
+        loop {
+            let pe = self.ranks[r].location;
+            // Context switch: install the rank's privatization registers
+            // and this PE's hierarchical-local-storage block.
+            self.ranks[r].instance.activate();
+            let hls = self.pe_hls_blocks[pe];
+            if !hls.is_null() {
+                pvr_privatize::regs::set_pe_base(hls);
+            }
+            let now_ns = match self.clock {
+                ClockMode::Virtual => self.pes[pe].clock.nanos(),
+                ClockMode::RealTime => self.epoch.elapsed().as_nanos() as u64,
+            };
+            self.ranks[r].shared.now_ns.store(now_ns, Ordering::Relaxed);
+            self.pes[pe].switches += 1;
+            self.total_switches += 1;
+
+            let mut ult = self.ranks[r].ult.take().expect("rank ULT present");
+            let t0 = Instant::now();
+            let outcome = ult.try_resume();
+            let wall = t0.elapsed();
+            self.ranks[r].ult = Some(ult);
+
+            if self.clock == ClockMode::RealTime {
+                let d: SimDuration = wall.into();
+                self.ranks[r].load_since_lb += d;
+                self.ranks[r].total_load += d;
+            }
+
+            match outcome {
+                Ok(pvr_ult::UltState::Complete) => {
+                    self.ranks[r].status = RankStatus::Done;
+                    self.done_count += 1;
+                    return Ok(StopReason::Done);
+                }
+                Err(e) => {
+                    self.ranks[r].status = RankStatus::Done;
+                    self.done_count += 1;
+                    let message = match e {
+                        pvr_ult::ResumeError::Panicked(p) => p
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| p.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "<non-string panic>".into()),
+                        pvr_ult::ResumeError::Completed => "resume after completion".into(),
+                    };
+                    return Err(RtsError::RankPanicked { rank: r, message });
+                }
+                Ok(pvr_ult::UltState::Suspended) => {}
+            }
+
+            let cmd = self.ranks[r].slot.lock().cmd.take();
+            let Some(cmd) = cmd else {
+                return Err(RtsError::Protocol {
+                    rank: r,
+                    detail: "rank yielded without issuing a command".into(),
+                });
+            };
+
+            match cmd {
+                Command::Send { to, tag, payload } => {
+                    if to >= self.ranks.len() {
+                        return Err(RtsError::Protocol {
+                            rank: r,
+                            detail: format!("send to nonexistent rank {to}"),
+                        });
+                    }
+                    self.ranks[r].messages_sent += 1;
+                    let msg = RtsMessage::new(r, to, tag, payload);
+                    *self.comm_bytes.entry((r, to)).or_default() += msg.wire_bytes() as u64;
+                    self.respond(r, Response::Ack);
+                    self.route(pe, msg);
+                }
+                Command::Recv => {
+                    if let Some(m) = self.ranks[r].mailbox.pop_front() {
+                        self.respond(r, Response::Message(m));
+                    } else {
+                        self.ranks[r].status = RankStatus::Waiting;
+                        // response delivered when a message arrives and
+                        // the rank is rescheduled
+                        return Ok(StopReason::BlockedRecv);
+                    }
+                }
+                Command::TryRecv => {
+                    let resp = match self.ranks[r].mailbox.pop_front() {
+                        Some(m) => Response::Message(m),
+                        None => Response::NoMessage,
+                    };
+                    self.respond(r, resp);
+                }
+                Command::Compute(d) => {
+                    if self.clock == ClockMode::Virtual {
+                        self.pes[pe].work(d);
+                        self.ranks[r].load_since_lb += d;
+                        self.ranks[r].total_load += d;
+                        self.ranks[r]
+                            .shared
+                            .now_ns
+                            .store(self.pes[pe].clock.nanos(), Ordering::Relaxed);
+                    }
+                    self.respond(r, Response::Ack);
+                }
+                Command::Yield => {
+                    self.respond(r, Response::Ack);
+                    self.pes[pe].ready.push_back(r);
+                    return Ok(StopReason::Yielded);
+                }
+                Command::AtSync => {
+                    self.respond(r, Response::Ack);
+                    self.ranks[r].status = RankStatus::AtSync;
+                    self.at_sync_count += 1;
+                    return Ok(StopReason::AtSync);
+                }
+                Command::AllocHeap { size, align } => {
+                    let ptr = self.ranks[r]
+                        .memory
+                        .heap()
+                        .alloc(size, align)
+                        .map_err(|e| RtsError::Privatize(PrivatizeError::Alloc(e)))?;
+                    self.respond(r, Response::Addr(ptr.ptr as usize));
+                }
+            }
+        }
+    }
+
+    fn live_count(&self) -> usize {
+        self.ranks.len() - self.done_count
+    }
+
+    fn lb_due(&self) -> bool {
+        self.at_sync_count > 0 && self.at_sync_count == self.live_count()
+    }
+
+    /// Take a coordinated checkpoint: pack every live rank's memory
+    /// (valid at an LB barrier, where all live ranks are parked at
+    /// `AtSync` with drained mailboxes).
+    fn take_checkpoint(&mut self) {
+        let images: Vec<(pvr_isomalloc::MigrationBuffer, Option<usize>)> = self
+            .ranks
+            .iter()
+            .map(|r| {
+                let sp = r.ult.as_ref().and_then(|u| u.suspended_sp());
+                (r.memory.pack(), sp)
+            })
+            .collect();
+        self.last_checkpoint = Some(images);
+        self.checkpoints_taken += 1;
+    }
+
+    /// Restore every rank's memory from the last checkpoint. Ranks
+    /// resume from the sync point at which the checkpoint was taken and
+    /// recompute forward — classic coordinated rollback.
+    fn restore_checkpoint(&mut self) -> Result<(), RtsError> {
+        let Some(images) = self.last_checkpoint.take() else {
+            return Err(RtsError::Protocol {
+                rank: usize::MAX,
+                detail: "fault injected with no checkpoint available".into(),
+            });
+        };
+        // Restore is two-phase per rank: stack/heap/segment bytes, then
+        // the suspension point (stack pointer) those bytes belong to.
+        for (rank, (img, sp)) in images.iter().enumerate() {
+            self.ranks[rank]
+                .memory
+                .unpack_into(img)
+                .map_err(|e| RtsError::Protocol {
+                    rank,
+                    detail: format!("checkpoint restore failed: {e}"),
+                })?;
+            if let Some(sp) = *sp {
+                // SAFETY: the stack bytes were just restored to exactly
+                // the state observed together with this sp.
+                unsafe {
+                    self.ranks[rank]
+                        .ult
+                        .as_mut()
+                        .expect("rank ULT present")
+                        .restore_suspended_sp(sp);
+                }
+            }
+        }
+        self.last_checkpoint = Some(images);
+        self.recoveries += 1;
+        Ok(())
+    }
+
+    /// Checkpoint/restart totals: (checkpoints taken, recoveries done).
+    pub fn fault_tolerance_stats(&self) -> (u32, u32) {
+        (self.checkpoints_taken, self.recoveries)
+    }
+
+    /// Run one LB step: measure, rebalance, migrate, release.
+    fn do_lb_step(&mut self) -> Result<(), RtsError> {
+        self.lb_steps += 1;
+
+        // Coordinated checkpointing and fault injection happen at the
+        // barrier, where every live rank is quiescent.
+        if self.checkpoint_period > 0
+            && self.done_count == 0
+            && self.lb_steps % self.checkpoint_period == 1 % self.checkpoint_period.max(1)
+        {
+            self.take_checkpoint();
+        }
+        if self.inject_fault_at_lb_step == Some(self.lb_steps) {
+            // refuse before destroying anything if recovery is impossible
+            if self.last_checkpoint.is_none() {
+                return Err(RtsError::Protocol {
+                    rank: usize::MAX,
+                    detail: "fault injected with no checkpoint available".into(),
+                });
+            }
+            // soft fault: scribble over every rank's memory...
+            for r in 0..self.ranks.len() {
+                let regions: Vec<(*mut u8, usize)> = self.ranks[r]
+                    .memory
+                    .regions()
+                    .map(|reg| (reg.base_mut(), reg.len()))
+                    .collect();
+                for (ptr, len) in regions {
+                    unsafe { std::ptr::write_bytes(ptr, 0xDE, len) };
+                }
+            }
+            // ...and recover from the checkpoint before anything runs.
+            self.restore_checkpoint()?;
+            self.inject_fault_at_lb_step = None;
+        }
+
+        // Virtual mode: the sync point is a barrier — all PEs meet at the
+        // max clock.
+        if self.clock == ClockMode::Virtual {
+            let max_clock = self
+                .pes
+                .iter()
+                .map(|p| p.clock)
+                .max()
+                .unwrap_or(SimTime::ZERO);
+            for pe in &mut self.pes {
+                pe.advance_to(max_clock);
+            }
+        }
+
+        if let Some(balancer) = self.balancer.take() {
+            let stats = LbStats {
+                loads: self
+                    .ranks
+                    .iter()
+                    .map(|r| r.load_since_lb.as_secs_f64())
+                    .collect(),
+                placement: self.location.placements(),
+                n_pes: self.pes.len(),
+                migration_bytes: self.ranks.iter().map(|r| r.migration_bytes()).collect(),
+                comm_bytes: self
+                    .comm_bytes
+                    .iter()
+                    .map(|(&(a, b), &v)| (a, b, v))
+                    .collect(),
+            };
+            let new_placement = balancer.rebalance(&stats);
+            self.balancer = Some(balancer);
+            assert_eq!(new_placement.len(), self.ranks.len());
+
+            // LB database entry
+            self.lb_history.push(LbRecord {
+                step: self.lb_steps,
+                at: self.pes.iter().map(|p| p.clock).max().unwrap_or(SimTime::ZERO),
+                pe_loads_before: stats.pe_loads(&stats.placement),
+                pe_loads_after: stats.pe_loads(&new_placement),
+                migrations: stats.migration_count(&new_placement),
+                comm_bytes: stats.comm_bytes.iter().map(|&(_, _, b)| b).sum(),
+            });
+
+            for (r, &new_pe) in new_placement.iter().enumerate() {
+                if self.ranks[r].status == RankStatus::Done {
+                    continue;
+                }
+                if new_pe != self.ranks[r].location {
+                    let rec = self.migrate_now(r, new_pe)?;
+                    if self.clock == ClockMode::Virtual {
+                        // both endpoints pay the transfer
+                        let from = rec.from_pe;
+                        let to = rec.to_pe;
+                        self.pes[from].work(rec.sim_cost);
+                        self.pes[to].work(rec.sim_cost);
+                    }
+                }
+            }
+        }
+
+        // reset loads, the comm graph, and release everyone
+        self.comm_bytes.clear();
+        for r in 0..self.ranks.len() {
+            self.ranks[r].load_since_lb = SimDuration::ZERO;
+            if self.ranks[r].status == RankStatus::AtSync {
+                self.ranks[r].status = RankStatus::Ready;
+                let pe = self.ranks[r].location;
+                self.pes[pe].ready.push_back(r);
+                if self.clock == ClockMode::Virtual {
+                    let at = self.queue.now().max_of(self.pes[pe].clock);
+                    self.queue.schedule(at, Event::PeWake { pe });
+                }
+            }
+        }
+        self.at_sync_count = 0;
+        Ok(())
+    }
+
+    /// Run the job to completion.
+    pub fn run(&mut self) -> Result<RunReport, RtsError> {
+        let t0 = Instant::now();
+        match self.clock {
+            ClockMode::RealTime => self.run_real()?,
+            ClockMode::Virtual => self.run_virtual()?,
+        }
+        let real_elapsed = t0.elapsed();
+        Ok(RunReport {
+            sim_elapsed: self
+                .pes
+                .iter()
+                .map(|p| p.clock)
+                .max()
+                .unwrap_or(SimTime::ZERO)
+                - SimTime::ZERO,
+            real_elapsed,
+            pe_busy_idle: self.pes.iter().map(|p| (p.busy, p.idle)).collect(),
+            context_switches: self.total_switches,
+            messages_delivered: self.messages_delivered,
+            lb_steps: self.lb_steps,
+            migrations: self.migrations.clone(),
+            pe_clocks: self.pes.iter().map(|p| p.clock).collect(),
+            lb_history: self.lb_history.clone(),
+        })
+    }
+
+    fn run_real(&mut self) -> Result<(), RtsError> {
+        while self.done_count < self.ranks.len() {
+            let mut progressed = false;
+            for pe in 0..self.pes.len() {
+                while let Some(r) = self.pes[pe].ready.pop_front() {
+                    if self.ranks[r].status == RankStatus::Done {
+                        continue;
+                    }
+                    progressed = true;
+                    self.run_rank_slice(r)?;
+                    if self.lb_due() {
+                        self.do_lb_step()?;
+                    }
+                }
+            }
+            if !progressed {
+                if self.lb_due() {
+                    self.do_lb_step()?;
+                    continue;
+                }
+                let waiting: Vec<RankId> = self
+                    .ranks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| !r.is_done())
+                    .map(|(i, _)| i)
+                    .collect();
+                if waiting.is_empty() {
+                    break;
+                }
+                return Err(RtsError::Deadlock { waiting });
+            }
+        }
+        Ok(())
+    }
+
+    fn run_virtual(&mut self) -> Result<(), RtsError> {
+        // all PEs start at t=0
+        for pe in 0..self.pes.len() {
+            self.queue.schedule(SimTime::ZERO, Event::PeWake { pe });
+        }
+        while self.done_count < self.ranks.len() {
+            let Some((t, ev)) = self.queue.pop() else {
+                if self.lb_due() {
+                    self.do_lb_step()?;
+                    continue;
+                }
+                let waiting: Vec<RankId> = self
+                    .ranks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| !r.is_done())
+                    .map(|(i, _)| i)
+                    .collect();
+                if waiting.is_empty() {
+                    break;
+                }
+                return Err(RtsError::Deadlock { waiting });
+            };
+            match ev {
+                Event::Deliver {
+                    msg,
+                    dest_pe,
+                    forwarded,
+                } => {
+                    let actual_pe = self.location.lookup(msg.to);
+                    if actual_pe != dest_pe && !forwarded {
+                        // stale location: forward one extra hop
+                        self.location.note_forward();
+                        let cost = self.network.cost(
+                            &self.topology,
+                            dest_pe,
+                            actual_pe,
+                            msg.wire_bytes(),
+                        );
+                        self.queue.schedule(
+                            t + cost,
+                            Event::Deliver {
+                                msg,
+                                dest_pe: actual_pe,
+                                forwarded: true,
+                            },
+                        );
+                    } else {
+                        self.deposit(msg);
+                    }
+                }
+                Event::PeWake { pe } => {
+                    self.pes[pe].advance_to(t);
+                    while let Some(r) = self.pes[pe].ready.pop_front() {
+                        if self.ranks[r].status == RankStatus::Done {
+                            continue;
+                        }
+                        if self.ranks[r].location != pe {
+                            // migrated while queued; its new PE owns it
+                            continue;
+                        }
+                        self.run_rank_slice(r)?;
+                        if self.lb_due() {
+                            self.do_lb_step()?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("method", &self.method())
+            .field("pes", &self.pes.len())
+            .field("ranks", &self.ranks.len())
+            .field("clock", &self.clock)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use pvr_progimage::{link, ImageSpec};
+
+    fn test_binary() -> Arc<ProgramBinary> {
+        link(
+            ImageSpec::builder("rts-test")
+                .global("my_rank", 8)
+                .static_var("round", 8)
+                .build(),
+        )
+    }
+
+    fn builder() -> MachineBuilder {
+        MachineBuilder::new(test_binary())
+    }
+
+    #[test]
+    fn single_rank_runs_to_completion() {
+        let mut m = builder()
+            .build(Arc::new(|ctx: RankCtx| {
+                assert_eq!(ctx.rank(), 0);
+                assert_eq!(ctx.n_ranks(), 1);
+            }))
+            .unwrap();
+        let report = m.run().unwrap();
+        assert!(report.context_switches >= 1);
+    }
+
+    #[test]
+    fn ping_pong_between_two_ranks() {
+        let mut m = builder()
+            .topology(Topology::smp(1))
+            .vp_ratio(2)
+            .build(Arc::new(|ctx: RankCtx| {
+                if ctx.rank() == 0 {
+                    ctx.send(1, 42, Bytes::from_static(b"ping"));
+                    let m = ctx.recv();
+                    assert_eq!(&m.payload[..], b"pong");
+                    assert_eq!(m.from, 1);
+                } else {
+                    let m = ctx.recv();
+                    assert_eq!(&m.payload[..], b"ping");
+                    assert_eq!(m.tag, 42);
+                    ctx.send(0, 43, Bytes::from_static(b"pong"));
+                }
+            }))
+            .unwrap();
+        let report = m.run().unwrap();
+        assert_eq!(report.messages_delivered, 2);
+    }
+
+    #[test]
+    fn virtual_time_advances_with_compute() {
+        let mut m = builder()
+            .clock(ClockMode::Virtual)
+            .vp_ratio(2)
+            .build(Arc::new(|ctx: RankCtx| {
+                ctx.compute(SimDuration::from_millis(5));
+                let t = ctx.wtime();
+                assert!(t >= 0.005, "clock should show computed time, got {t}");
+            }))
+            .unwrap();
+        let report = m.run().unwrap();
+        // both ranks on one PE: serial in virtual time
+        assert_eq!(report.sim_elapsed, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn virtual_time_parallel_pes_overlap() {
+        let mut m = builder()
+            .clock(ClockMode::Virtual)
+            .topology(Topology::non_smp(4))
+            .vp_ratio(1)
+            .build(Arc::new(|ctx: RankCtx| {
+                ctx.compute(SimDuration::from_millis(5));
+            }))
+            .unwrap();
+        let report = m.run().unwrap();
+        // 4 PEs work in parallel in virtual time
+        assert_eq!(report.sim_elapsed, SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn virtual_messages_charge_network_latency() {
+        let mut m = builder()
+            .clock(ClockMode::Virtual)
+            .topology(Topology::non_smp(2))
+            .build(Arc::new(|ctx: RankCtx| {
+                if ctx.rank() == 0 {
+                    ctx.send(1, 0, Bytes::from_static(b"x"));
+                } else {
+                    let _ = ctx.recv();
+                    // inter-node latency is 2us minimum
+                    assert!(ctx.wtime() >= 2e-6);
+                }
+            }))
+            .unwrap();
+        let report = m.run().unwrap();
+        assert!(report.sim_elapsed >= SimDuration::from_micros(2));
+    }
+
+    #[test]
+    fn overdecomposition_hides_latency() {
+        // The core AMPI claim: with blocking ranks, more VPs per PE
+        // overlap communication gaps with other ranks' compute.
+        let body = |ctx: RankCtx| {
+            // each rank: compute, exchange with partner on other node,
+            // compute again
+            let me = ctx.rank();
+            let n = ctx.n_ranks();
+            let partner = (me + n / 2) % n;
+            for _ in 0..4 {
+                ctx.compute(SimDuration::from_micros(10));
+                ctx.send(partner, 0, Bytes::from(vec![0u8; 10_000]));
+                let _ = ctx.recv();
+            }
+        };
+        let run = |ratio: usize| -> SimDuration {
+            let mut m = builder()
+                .clock(ClockMode::Virtual)
+                .topology(Topology::non_smp(2))
+                .vp_ratio(ratio)
+                .build(Arc::new(body))
+                .unwrap();
+            m.run().unwrap().sim_elapsed
+        };
+        let t1 = run(1);
+        let t8 = run(8);
+        // per-rank work grows 8x but elapsed should grow far less than 8x
+        // because communication overlaps with other ranks' compute.
+        let per_rank_t1 = t1.as_secs_f64();
+        let per_rank_t8 = t8.as_secs_f64() / 8.0;
+        assert!(
+            per_rank_t8 < per_rank_t1 * 0.9,
+            "overdecomposition should hide latency: t1={t1}, t8={t8}"
+        );
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut m = builder()
+            .vp_ratio(2)
+            .build(Arc::new(|ctx: RankCtx| {
+                let _ = ctx.recv(); // everyone waits, nobody sends
+            }))
+            .unwrap();
+        match m.run() {
+            Err(RtsError::Deadlock { waiting }) => assert_eq!(waiting, vec![0, 1]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadlock_detected_virtual() {
+        let mut m = builder()
+            .clock(ClockMode::Virtual)
+            .vp_ratio(2)
+            .build(Arc::new(|ctx: RankCtx| {
+                if ctx.rank() == 1 {
+                    let _ = ctx.recv();
+                }
+            }))
+            .unwrap();
+        match m.run() {
+            Err(RtsError::Deadlock { waiting }) => assert_eq!(waiting, vec![1]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rank_panic_surfaces_with_rank_id() {
+        let mut m = builder()
+            .vp_ratio(2)
+            .build(Arc::new(|ctx: RankCtx| {
+                if ctx.rank() == 1 {
+                    panic!("sabotage");
+                }
+            }))
+            .unwrap();
+        match m.run() {
+            Err(RtsError::RankPanicked { rank, message }) => {
+                assert_eq!(rank, 1);
+                assert!(message.contains("sabotage"));
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn globals_are_privatized_through_the_machine() {
+        // The Fig. 2/3 scenario end-to-end: write rank id to a global,
+        // exchange messages (forcing interleaving), read it back.
+        let body = |ctx: RankCtx| {
+            let me = ctx.rank();
+            let acc = ctx.instance().access("my_rank");
+            acc.write_u64(me as u64);
+            // force a context switch to the other rank
+            ctx.yield_now();
+            ctx.yield_now();
+            let observed = acc.read_u64();
+            // under PIEglobals the value must still be ours
+            assert_eq!(observed, me as u64, "global leaked across ranks");
+        };
+        let mut m = builder()
+            .method(Method::PieGlobals)
+            .vp_ratio(2)
+            .build(Arc::new(body))
+            .unwrap();
+        m.run().unwrap();
+    }
+
+    #[test]
+    fn unprivatized_exhibits_the_bug() {
+        use std::sync::atomic::AtomicU64;
+        let observed = Arc::new(AtomicU64::new(u64::MAX));
+        let obs = observed.clone();
+        let body = move |ctx: RankCtx| {
+            let me = ctx.rank();
+            let acc = ctx.instance().access("my_rank");
+            acc.write_u64(me as u64);
+            ctx.yield_now();
+            ctx.yield_now();
+            if me == 0 {
+                obs.store(acc.read_u64(), Ordering::SeqCst);
+            }
+        };
+        let mut m = builder()
+            .method(Method::Unprivatized)
+            .vp_ratio(2)
+            .build(Arc::new(body))
+            .unwrap();
+        m.run().unwrap();
+        // rank 0 sees rank 1's value — the paper's Fig. 3 output
+        assert_eq!(observed.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn migration_moves_rank_and_preserves_state() {
+        let mut m = builder()
+            .method(Method::PieGlobals)
+            .topology(Topology::non_smp(2))
+            .vp_ratio(1)
+            .build(Arc::new(|ctx: RankCtx| {
+                if ctx.rank() != 0 {
+                    return; // only rank 0 participates
+                }
+                let acc = ctx.instance().access("my_rank");
+                acc.write_u64(7777);
+                let _ = ctx.recv(); // park so the driver can migrate us
+                assert_eq!(acc.read_u64(), 7777, "state must survive migration");
+            }))
+            .unwrap();
+        // run rank 0 until it parks in recv: drive manually
+        assert!(matches!(
+            m.run_rank_slice(0),
+            Ok(StopReason::BlockedRecv)
+        ));
+        let rec = m.migrate_now(0, 1).unwrap();
+        assert_eq!(rec.from_pe, 0);
+        assert_eq!(rec.to_pe, 1);
+        assert!(rec.bytes > 128 * 1024, "stack+heap+segments must move");
+        assert_eq!(m.location_of(0), 1);
+        // wake it up and finish
+        m.deposit(RtsMessage::new(1, 0, 0, Bytes::new()));
+        m.run().unwrap();
+    }
+
+    #[test]
+    fn migration_rejected_for_non_migratable_methods() {
+        let mut m = builder()
+            .method(Method::PipGlobals)
+            .topology(Topology::non_smp(2))
+            .build(Arc::new(|_ctx: RankCtx| {}))
+            .unwrap();
+        match m.migrate_now(0, 1) {
+            Err(RtsError::BadMigration { detail, .. }) => {
+                assert!(detail.contains("Isomalloc"))
+            }
+            other => panic!("expected BadMigration, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn at_sync_with_greedy_lb_rebalances() {
+        use crate::lb::GreedyLb;
+        // 4 ranks on 2 PEs; ranks 0,1 (PE 0) are heavy. After AtSync+LB,
+        // heavy ranks should be split across PEs.
+        let mut m = builder()
+            .method(Method::PieGlobals)
+            .clock(ClockMode::Virtual)
+            .topology(Topology::non_smp(2))
+            .vp_ratio(2)
+            .balancer(Box::new(GreedyLb))
+            .build(Arc::new(|ctx: RankCtx| {
+                for _round in 0..2 {
+                    let work = if ctx.rank() < 2 { 80 } else { 1 };
+                    ctx.compute(SimDuration::from_millis(work));
+                    ctx.at_sync();
+                }
+            }))
+            .unwrap();
+        let report = m.run().unwrap();
+        assert_eq!(report.lb_steps, 2);
+        assert!(!report.migrations.is_empty(), "LB must move ranks");
+        // after LB the heavy ranks are on different PEs
+        assert_ne!(m.location_of(0), m.location_of(1));
+        // and the run is faster than the unbalanced serial 2*160ms
+        assert!(report.sim_elapsed < SimDuration::from_millis(250));
+    }
+
+    #[test]
+    fn lb_history_records_imbalance_reduction() {
+        use crate::lb::GreedyLb;
+        let mut m = builder()
+            .method(Method::PieGlobals)
+            .clock(ClockMode::Virtual)
+            .topology(Topology::non_smp(2))
+            .vp_ratio(4)
+            .balancer(Box::new(GreedyLb))
+            .build(Arc::new(|ctx: RankCtx| {
+                for _ in 0..2 {
+                    // ranks 0..4 (all on PE 0 initially) are heavy
+                    let work = if ctx.rank() < 4 { 50 } else { 1 };
+                    ctx.compute(SimDuration::from_millis(work));
+                    ctx.at_sync();
+                }
+            }))
+            .unwrap();
+        let report = m.run().unwrap();
+        assert_eq!(report.lb_history.len(), 2);
+        let first = &report.lb_history[0];
+        assert!(first.imbalance_before() > 1.5, "block map is imbalanced");
+        assert!(
+            first.imbalance_after() < first.imbalance_before(),
+            "greedy must reduce imbalance: {} -> {}",
+            first.imbalance_before(),
+            first.imbalance_after()
+        );
+        assert!(first.migrations > 0);
+        assert_eq!(first.step, 1);
+    }
+
+    #[test]
+    fn lb_improves_makespan_vs_null() {
+        use crate::lb::GreedyRefineLb;
+        let body = |ctx: RankCtx| {
+            for _round in 0..4 {
+                // all the heavy ranks start block-mapped onto PE 0
+                let work = if ctx.rank() < 4 { 40 } else { 1 };
+                ctx.compute(SimDuration::from_millis(work));
+                ctx.at_sync();
+            }
+        };
+        let run = |lb: Option<Box<dyn LoadBalancer>>| {
+            let mut b = builder()
+                .method(Method::PieGlobals)
+                .clock(ClockMode::Virtual)
+                .topology(Topology::non_smp(4))
+                .vp_ratio(4);
+            if let Some(lb) = lb {
+                b = b.balancer(lb);
+            }
+            let mut m = b.build(Arc::new(body)).unwrap();
+            m.run().unwrap().sim_elapsed
+        };
+        let without = run(None);
+        let with = run(Some(Box::new(GreedyRefineLb::default())));
+        assert!(
+            with < without,
+            "LB should improve imbalanced run: {with} !< {without}"
+        );
+    }
+
+    #[test]
+    fn startup_reports_costs() {
+        let m = builder()
+            .method(Method::FsGlobals)
+            .vp_ratio(4)
+            .build(Arc::new(|_ctx: RankCtx| {}))
+            .unwrap();
+        assert!(m.simulated_startup_cost() > Duration::ZERO);
+        assert!(m.per_rank_copied_bytes() > 0);
+    }
+
+    #[test]
+    fn pip_namespace_exhaustion_at_build_time() {
+        // 16 VPs on one PE needs 16 namespaces: stock glibc caps at 12.
+        let err = builder()
+            .method(Method::PipGlobals)
+            .vp_ratio(16)
+            .build(Arc::new(|_ctx: RankCtx| {}));
+        match err {
+            Err(RtsError::Privatize(PrivatizeError::Dl(
+                pvr_progimage::DlError::NamespaceExhausted { .. },
+            ))) => {}
+            other => panic!("expected namespace exhaustion, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn wildcard_timer_monotone() {
+        let mut m = builder()
+            .clock(ClockMode::Virtual)
+            .build(Arc::new(|ctx: RankCtx| {
+                let t0 = ctx.wtime();
+                ctx.compute(SimDuration::from_millis(1));
+                let t1 = ctx.wtime();
+                assert!(t1 >= t0 + 0.001);
+            }))
+            .unwrap();
+        m.run().unwrap();
+    }
+
+    #[test]
+    fn empty_pe_reduction_error_under_pieglobals() {
+        use pvr_progimage::FunctionSpec;
+        let bin = link(
+            ImageSpec::builder("op-test")
+                .global("g", 8)
+                .function(FunctionSpec::new("combine", 64).with_callable(Arc::new(|_i, _o| {})))
+                .build(),
+        );
+        let mut m = MachineBuilder::new(bin)
+            .method(Method::PieGlobals)
+            .topology(Topology::non_smp(2))
+            .vp_ratio(1)
+            .build(Arc::new(|ctx: RankCtx| {
+                if ctx.rank() == 0 {
+                    let _ = ctx.recv();
+                }
+            }))
+            .unwrap();
+        let offset = m.privatizer(0).fn_offset_of("combine").unwrap();
+        // both PEs have a rank: resolution works everywhere
+        assert!(m.resolve_op_on_pe(0, offset).is_ok());
+        assert!(m.resolve_op_on_pe(1, offset).is_ok());
+        // park rank 0, move it away: PE 0 becomes empty
+        assert!(matches!(m.run_rank_slice(0), Ok(StopReason::BlockedRecv)));
+        m.migrate_now(0, 1).unwrap();
+        match m.resolve_op_on_pe(0, offset) {
+            Err(RtsError::EmptyPeReduction { pe }) => assert_eq!(pe, 0),
+            other => panic!("expected EmptyPeReduction, got {:?}", other.map(|_| ())),
+        }
+        // under TLSglobals the same situation is fine (shared code)
+        let bin2 = link(
+            ImageSpec::builder("op-test2")
+                .global("g", 8)
+                .function(FunctionSpec::new("combine", 64).with_callable(Arc::new(|_i, _o| {})))
+                .build(),
+        );
+        let m2 = MachineBuilder::new(bin2)
+            .method(Method::TlsGlobals)
+            .topology(Topology::non_smp(2))
+            .vp_ratio(1)
+            .build(Arc::new(|_ctx: RankCtx| {}))
+            .unwrap();
+        assert!(m2.resolve_op_on_pe(0, offset).is_ok());
+    }
+
+    #[test]
+    fn code_dedup_migration_skips_code_segments() {
+        let build = |dedup: bool| {
+            let mut m = builder()
+                .method(Method::PieGlobals)
+                .topology(Topology::non_smp(2))
+                .code_dedup_migration(dedup)
+                .build(Arc::new(|ctx: RankCtx| {
+                    if ctx.rank() == 0 {
+                        let _ = ctx.recv();
+                    }
+                }))
+                .unwrap();
+            m.drive_rank(0).unwrap();
+            let rec = m.migrate_now(0, 1).unwrap();
+            m.inject_message(RtsMessage::new(1, 0, 0, Bytes::new()));
+            m.run().unwrap();
+            rec.bytes
+        };
+        let full = build(false);
+        let dedup = build(true);
+        // test binary has a small code segment, but the delta must be
+        // exactly visible
+        assert!(
+            dedup < full,
+            "dedup migration must move fewer bytes: {dedup} vs {full}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_restart_recovers_from_soft_fault() {
+        use parking_lot::Mutex;
+        // A checkpoint-compliant body: cross-sync state lives in the rank
+        // heap and in stack scalars (as Isomalloc requires), and the
+        // network is quiescent at every sync point.
+        let finals: Arc<Mutex<Vec<(usize, f64, f64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let body_for = |finals: Arc<Mutex<Vec<(usize, f64, f64)>>>| -> Arc<dyn Fn(RankCtx) + Send + Sync> {
+            Arc::new(move |ctx: RankCtx| {
+                let data = ctx.heap_alloc_f64s(64);
+                let mut acc: f64 = ctx.rank() as f64 + 1.0;
+                for step in 0..6u64 {
+                    for v in data.iter_mut() {
+                        *v += acc;
+                    }
+                    // lock-step ring exchange (fully drained before sync)
+                    let partner = (ctx.rank() + 1) % ctx.n_ranks();
+                    ctx.send(
+                        partner,
+                        step,
+                        bytes::Bytes::copy_from_slice(&acc.to_le_bytes()),
+                    );
+                    let m = ctx.recv();
+                    acc = acc * 1.25 + f64::from_le_bytes(m.payload[..8].try_into().unwrap());
+                    ctx.at_sync();
+                }
+                let sum: f64 = data.iter().sum();
+                finals.lock().push((ctx.rank(), acc, sum));
+            })
+        };
+
+        // reference run: no faults
+        let f1 = finals.clone();
+        let mut m = builder()
+            .method(Method::PieGlobals)
+            .topology(Topology::non_smp(2))
+            .vp_ratio(2)
+            .checkpoint_period(1)
+            .build(body_for(f1))
+            .unwrap();
+        m.run().unwrap();
+        let mut reference = finals.lock().clone();
+        reference.sort_by(|a, b| a.0.cmp(&b.0));
+        finals.lock().clear();
+        let (ckpts, recov) = m.fault_tolerance_stats();
+        assert!(ckpts >= 5);
+        assert_eq!(recov, 0);
+
+        // faulty run: memory scribbled at LB step 3, recovered from the
+        // step-3 checkpoint, recomputes forward
+        let f2 = finals.clone();
+        let mut m = builder()
+            .method(Method::PieGlobals)
+            .topology(Topology::non_smp(2))
+            .vp_ratio(2)
+            .checkpoint_period(1)
+            .inject_fault_at_lb_step(3)
+            .build(body_for(f2))
+            .unwrap();
+        m.run().unwrap();
+        let (_, recov) = m.fault_tolerance_stats();
+        assert_eq!(recov, 1, "the injected fault must trigger one recovery");
+        let mut faulty = finals.lock().clone();
+        faulty.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(
+            faulty, reference,
+            "recovered run must produce identical results"
+        );
+    }
+
+    #[test]
+    fn fault_without_checkpoint_is_an_error() {
+        let mut m = builder()
+            .vp_ratio(2)
+            .method(Method::PieGlobals)
+            .inject_fault_at_lb_step(1)
+            .build(Arc::new(|ctx: RankCtx| {
+                ctx.at_sync();
+            }))
+            .unwrap();
+        match m.run() {
+            Err(RtsError::Protocol { detail, .. }) => {
+                assert!(detail.contains("no checkpoint"))
+            }
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn smp_topology_message_costs_cheaper_than_internode() {
+        let run = |topo: Topology| -> SimDuration {
+            let mut m = builder()
+                .clock(ClockMode::Virtual)
+                .topology(topo)
+                .vp_ratio(1)
+                .build(Arc::new(|ctx: RankCtx| {
+                    if ctx.rank() == 0 {
+                        ctx.send(1, 0, Bytes::from(vec![0u8; 1 << 20]));
+                    } else {
+                        let _ = ctx.recv();
+                    }
+                }))
+                .unwrap();
+            m.run().unwrap().sim_elapsed
+        };
+        let smp = run(Topology::smp(2)); // same process
+        let non_smp = run(Topology::non_smp(2)); // different nodes
+        assert!(
+            smp < non_smp,
+            "SMP-mode shared-memory path must be cheaper: {smp} vs {non_smp}"
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Runtime-level messages between ranks.
+//!
+//! The RTS transports opaque payloads addressed by rank; MPI semantics
+//! (communicators, tag matching, wildcards, collectives) are layered on
+//! top in `pvr-ampi`, *inside* the receiving rank — which is also how the
+//! tag survives migration: messages are addressed to ranks, not PEs.
+
+use crate::RankId;
+use bytes::Bytes;
+
+#[derive(Debug, Clone)]
+pub struct RtsMessage {
+    pub from: RankId,
+    pub to: RankId,
+    /// Opaque to the RTS; `pvr-ampi` packs its envelope here.
+    pub tag: u64,
+    pub payload: Bytes,
+}
+
+impl RtsMessage {
+    pub fn new(from: RankId, to: RankId, tag: u64, payload: Bytes) -> RtsMessage {
+        RtsMessage {
+            from,
+            to,
+            tag,
+            payload,
+        }
+    }
+
+    /// Wire size for network cost purposes (payload + header).
+    pub fn wire_bytes(&self) -> usize {
+        self.payload.len() + 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_includes_header() {
+        let m = RtsMessage::new(0, 1, 7, Bytes::from_static(b"hello"));
+        assert_eq!(m.wire_bytes(), 5 + 32);
+    }
+}

@@ -1,0 +1,178 @@
+//! Run-level reporting.
+
+use pvr_des::{SimDuration, SimTime};
+use std::time::Duration;
+
+/// One load-balancing step's record — the "LB database" entry the
+/// runtime keeps for introspection (the §2.1 metrics: execution time per
+/// rank, idle time per PE, communication volume).
+#[derive(Debug, Clone)]
+pub struct LbRecord {
+    /// 1-based LB step number.
+    pub step: u32,
+    /// Virtual time of the sync barrier.
+    pub at: SimTime,
+    /// Per-PE load (seconds) measured since the previous step, before
+    /// rebalancing.
+    pub pe_loads_before: Vec<f64>,
+    /// Per-PE load under the new placement (same measurements, new map).
+    pub pe_loads_after: Vec<f64>,
+    pub migrations: usize,
+    /// Bytes tracked on the communication graph this period.
+    pub comm_bytes: u64,
+}
+
+impl LbRecord {
+    fn imbalance(loads: &[f64]) -> f64 {
+        let max = loads.iter().copied().fold(0.0, f64::max);
+        let avg = loads.iter().sum::<f64>() / loads.len().max(1) as f64;
+        if avg == 0.0 {
+            1.0
+        } else {
+            max / avg
+        }
+    }
+
+    /// max/avg PE load before rebalancing (1.0 = perfectly balanced).
+    pub fn imbalance_before(&self) -> f64 {
+        Self::imbalance(&self.pe_loads_before)
+    }
+
+    pub fn imbalance_after(&self) -> f64 {
+        Self::imbalance(&self.pe_loads_after)
+    }
+}
+
+/// One migration's accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct MigrationRecord {
+    pub rank: usize,
+    pub from_pe: usize,
+    pub to_pe: usize,
+    /// Bytes actually packed and moved (heap + stack + TLS + segments).
+    pub bytes: usize,
+    /// Wall time of pack + transfer + unpack (real in both modes).
+    pub real_time: Duration,
+    /// Virtual network cost charged (virtual mode).
+    pub sim_cost: SimDuration,
+}
+
+/// What a completed run reports.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Virtual makespan: max PE clock at completion (virtual mode).
+    pub sim_elapsed: SimDuration,
+    /// Wall-clock time of the run loop.
+    pub real_elapsed: Duration,
+    /// Per-PE (busy, idle) virtual time.
+    pub pe_busy_idle: Vec<(SimDuration, SimDuration)>,
+    /// Total ULT context switches performed.
+    pub context_switches: u64,
+    pub messages_delivered: u64,
+    pub lb_steps: u32,
+    pub migrations: Vec<MigrationRecord>,
+    /// Final virtual clock per PE.
+    pub pe_clocks: Vec<SimTime>,
+    /// Per-LB-step records (empty when no balancer is configured).
+    pub lb_history: Vec<LbRecord>,
+}
+
+impl RunReport {
+    pub fn total_migration_bytes(&self) -> usize {
+        self.migrations.iter().map(|m| m.bytes).sum()
+    }
+
+    /// Human-readable run summary (examples and demos).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "virtual time: {}   wall: {:.3} s",
+            self.sim_elapsed,
+            self.real_elapsed.as_secs_f64()
+        );
+        let _ = writeln!(
+            out,
+            "context switches: {}   messages: {}   LB steps: {}",
+            self.context_switches, self.messages_delivered, self.lb_steps
+        );
+        let _ = writeln!(
+            out,
+            "migrations: {} ({:.1} MB moved)   mean PE utilization: {:.0}%",
+            self.migrations.len(),
+            self.total_migration_bytes() as f64 / 1e6,
+            self.mean_utilization() * 100.0
+        );
+        for (pe, (busy, idle)) in self.pe_busy_idle.iter().enumerate() {
+            let _ = writeln!(out, "  PE {pe}: busy {busy} / idle {idle}");
+        }
+        out
+    }
+
+    /// Mean PE utilization over the run (virtual mode).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.pe_busy_idle.is_empty() {
+            return 0.0;
+        }
+        let us: Vec<f64> = self
+            .pe_busy_idle
+            .iter()
+            .map(|(b, i)| {
+                let t = b.as_secs_f64() + i.as_secs_f64();
+                if t == 0.0 {
+                    0.0
+                } else {
+                    b.as_secs_f64() / t
+                }
+            })
+            .collect();
+        us.iter().sum::<f64>() / us.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_renders() {
+        let r = RunReport {
+            sim_elapsed: SimDuration::from_millis(12),
+            real_elapsed: Duration::from_millis(3),
+            pe_busy_idle: vec![
+                (SimDuration::from_millis(10), SimDuration::from_millis(2)),
+                (SimDuration::from_millis(6), SimDuration::from_millis(6)),
+            ],
+            context_switches: 42,
+            messages_delivered: 7,
+            lb_steps: 2,
+            migrations: vec![MigrationRecord {
+                rank: 0,
+                from_pe: 0,
+                to_pe: 1,
+                bytes: 1 << 20,
+                real_time: Duration::from_micros(500),
+                sim_cost: SimDuration::from_micros(90),
+            }],
+            pe_clocks: vec![SimTime(12_000_000), SimTime(12_000_000)],
+            lb_history: vec![LbRecord {
+                step: 1,
+                at: SimTime(5_000_000),
+                pe_loads_before: vec![0.010, 0.002],
+                pe_loads_after: vec![0.006, 0.006],
+                migrations: 2,
+                comm_bytes: 1024,
+            }],
+        };
+        let s = r.summary();
+        assert!(s.contains("context switches: 42"));
+        assert!(s.contains("migrations: 1"));
+        assert!(s.contains("PE 1"));
+        assert!((r.mean_utilization() - (10.0 / 12.0 + 0.5) / 2.0).abs() < 1e-9);
+        assert_eq!(r.total_migration_bytes(), 1 << 20);
+        let rec = &r.lb_history[0];
+        assert!((rec.imbalance_before() - 10.0 / 6.0).abs() < 1e-9);
+        assert!((rec.imbalance_after() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,231 @@
+//! The production ULT backend: stackful coroutines switched with the
+//! hand-written x86-64 context switch in [`crate::arch`].
+
+use crate::arch::{self, Context};
+use crate::stack::StackMem;
+use crate::RawOutcome;
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Sentinel panic payload used to unwind a suspended coroutine when its
+/// owner drops it before completion, so stack-resident destructors run.
+struct CancelToken;
+
+/// Control block shared between the owner (`AsmUlt`) and the coroutine
+/// itself (reached through the thread-local [`CURRENT`] while running).
+struct Shared {
+    /// Where the *resumer* parks its own context while the child runs.
+    parent_ctx: Context,
+    /// Where the child parks its context when yielding / before running.
+    child_ctx: Context,
+    /// The user closure, consumed on first entry.
+    closure: Option<Box<dyn FnOnce() + Send + 'static>>,
+    /// Outcome communicated from child to parent at each switch back.
+    finished: bool,
+    panic_payload: Option<Box<dyn Any + Send + 'static>>,
+    /// Set by the owner to request cancellation-by-unwind on next resume.
+    cancel: bool,
+}
+
+thread_local! {
+    /// The control block of the ULT currently executing on this OS thread,
+    /// or null. Saved/restored around resume to support nested ULTs.
+    static CURRENT: Cell<*mut Shared> = const { Cell::new(std::ptr::null_mut()) };
+}
+
+pub(crate) fn in_asm_ult() -> bool {
+    CURRENT.with(|c| !c.get().is_null())
+}
+
+/// Suspend the currently running asm-backend ULT.
+pub(crate) fn yield_current() {
+    let shared = CURRENT.with(|c| c.get());
+    assert!(
+        !shared.is_null(),
+        "asm_backend::yield_current outside of ULT"
+    );
+    unsafe {
+        // Swap back to the resumer. When somebody resumes us again,
+        // execution continues right here (possibly on another OS thread).
+        arch::pvr_ult_swap_context(&mut (*shared).child_ctx, &(*shared).parent_ctx);
+        // NOTE: no thread-local access before re-reading through `shared`:
+        // the pointer itself (not TLS) is the source of truth after a swap.
+        if (*shared).cancel {
+            // resume_unwind (not panic_any): run the stack's destructors
+            // without tripping the global panic hook — rank teardown is
+            // not an error.
+            std::panic::resume_unwind(Box::new(CancelToken));
+        }
+    }
+}
+
+/// Rust-side entry shim, tail-called by `pvr_ult_bootstrap` with the
+/// control-block pointer as its single argument. Never returns.
+#[no_mangle]
+extern "C" fn pvr_ult_entry(shared: *mut Shared) -> ! {
+    unsafe {
+        let closure = (*shared)
+            .closure
+            .take()
+            .expect("ULT entered twice or without a closure");
+        let result = catch_unwind(AssertUnwindSafe(closure));
+        match result {
+            Ok(()) => {}
+            Err(payload) => {
+                if !payload.is::<CancelToken>() {
+                    (*shared).panic_payload = Some(payload);
+                }
+            }
+        }
+        (*shared).finished = true;
+        // Final switch back to the owner; this context is dead afterwards.
+        arch::pvr_ult_swap_context(&mut (*shared).child_ctx, &(*shared).parent_ctx);
+    }
+    unreachable!("completed ULT was resumed");
+}
+
+pub(crate) struct AsmUlt {
+    shared: Box<Shared>,
+    stack: StackMem,
+    /// True until first resume (fresh seeded stack) — only used for drop
+    /// bookkeeping: a never-started ULT has no live frames to unwind.
+    started: bool,
+}
+
+// SAFETY: the coroutine's stack and control block are exclusively owned by
+// the AsmUlt and only touched while `resume` has control; the closure is
+// required to be Send.
+unsafe impl Send for AsmUlt {}
+
+impl AsmUlt {
+    pub(crate) fn new(stack: StackMem, closure: Box<dyn FnOnce() + Send + 'static>) -> AsmUlt {
+        assert!(
+            cfg!(target_arch = "x86_64"),
+            "Backend::Asm requires x86_64; use Backend::Thread"
+        );
+        let mut shared = Box::new(Shared {
+            parent_ctx: Context::null(),
+            child_ctx: Context::null(),
+            closure: Some(closure),
+            finished: false,
+            panic_payload: None,
+            cancel: false,
+        });
+
+        // Seed the fresh stack with a register frame that "returns" into
+        // the bootstrap shim, carrying the control block in the r12 slot.
+        let top = stack.top();
+        let top = (top as usize & !15) as *mut u8; // 16-align downward
+        unsafe {
+            let frame = top.sub(arch::FRAME_WORDS * 8) as *mut u64;
+            for i in 0..arch::FRAME_WORDS {
+                frame.add(i).write(0);
+            }
+            frame
+                .add(arch::SLOT_R12)
+                .write(&mut *shared as *mut Shared as u64);
+            frame
+                .add(arch::SLOT_RET)
+                .write(arch::pvr_ult_bootstrap as *const () as usize as u64);
+            shared.child_ctx.rsp = frame as *mut u8;
+        }
+
+        AsmUlt {
+            shared,
+            stack,
+            started: false,
+        }
+    }
+
+    pub(crate) fn resume(&mut self) -> RawOutcome {
+        self.started = true;
+        let shared: *mut Shared = &mut *self.shared;
+        let prev = CURRENT.with(|c| c.replace(shared));
+        unsafe {
+            arch::pvr_ult_swap_context(&mut (*shared).parent_ctx, &(*shared).child_ctx);
+        }
+        CURRENT.with(|c| c.set(prev));
+        if self.shared.finished {
+            if let Some(p) = self.shared.panic_payload.take() {
+                RawOutcome::Panicked(p)
+            } else {
+                RawOutcome::Finished
+            }
+        } else {
+            RawOutcome::Yielded
+        }
+    }
+
+    pub(crate) fn stack_size(&self) -> usize {
+        self.stack.size()
+    }
+
+    pub(crate) fn suspended_sp(&self) -> Option<usize> {
+        if self.started && !self.shared.finished {
+            Some(self.shared.child_ctx.rsp as usize)
+        } else {
+            None
+        }
+    }
+
+    pub(crate) unsafe fn restore_suspended_sp(&mut self, sp: usize) {
+        assert!(
+            self.started && !self.shared.finished,
+            "can only restore a suspended ULT"
+        );
+        let base = self.stack.base() as usize;
+        let top = self.stack.top() as usize;
+        assert!(sp >= base && sp < top, "restored sp outside this stack");
+        self.shared.child_ctx.rsp = sp as *mut u8;
+    }
+}
+
+impl Drop for AsmUlt {
+    fn drop(&mut self) {
+        // If the coroutine is suspended mid-execution, unwind it so that
+        // destructors on its stack run (mirrors AMPI tearing down a rank).
+        if self.started && !self.shared.finished {
+            self.shared.cancel = true;
+            let _ = self.resume();
+            debug_assert!(self.shared.finished);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn drop_suspended_runs_destructors() {
+        struct SetOnDrop(Arc<AtomicBool>);
+        impl Drop for SetOnDrop {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+        let dropped = Arc::new(AtomicBool::new(false));
+        let d = dropped.clone();
+        let mut u = AsmUlt::new(
+            StackMem::new(64 * 1024),
+            Box::new(move || {
+                let _guard = SetOnDrop(d);
+                crate::yield_now();
+                // never reached: owner drops us while suspended
+                unreachable!();
+            }),
+        );
+        assert!(matches!(u.resume(), RawOutcome::Yielded));
+        drop(u);
+        assert!(dropped.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn drop_unstarted_is_fine() {
+        let u = AsmUlt::new(StackMem::new(32 * 1024), Box::new(|| {}));
+        drop(u);
+    }
+}

@@ -1,0 +1,474 @@
+//! # pvr-ult — stackful user-level threads
+//!
+//! Adaptive MPI virtualizes MPI ranks as *user-level threads* (ULTs): each
+//! rank owns a private stack and is cooperatively scheduled by the runtime.
+//! When a rank blocks in a communication call, its ULT *yields* back to the
+//! scheduler instead of busy-waiting; the scheduler resumes another ready
+//! rank. The paper reports ULT context switches of ~100 ns — orders of
+//! magnitude below network latency — which is what makes overdecomposition
+//! profitable.
+//!
+//! This crate provides the ULT primitive used by the rest of the `pvr`
+//! workspace:
+//!
+//! * [`Ult`] — a stackful coroutine with an explicit, caller-provided stack
+//!   (so the runtime can allocate stacks from the Isomalloc migratable
+//!   allocator and migrate suspended ULTs between schedulers).
+//! * [`yield_now`] — called from *inside* a ULT to suspend back to whoever
+//!   resumed it.
+//! * Two interchangeable backends (see [`Backend`]):
+//!   * [`Backend::Asm`] — a hand-written x86-64 System V context switch
+//!     (save/restore of callee-saved registers and the stack pointer). This
+//!     is the production backend; a switch costs tens of nanoseconds.
+//!   * [`Backend::Thread`] — a portable fallback that maps each ULT onto a
+//!     parked OS thread. Functionally identical, but a "context switch" is
+//!     a park/unpark pair (microseconds). It exists for non-x86-64 targets
+//!     and as the ablation baseline for the Fig. 6 benchmark.
+//!
+//! ## Cross-thread migration
+//!
+//! A *suspended* `Ult` may be resumed from a different OS thread than the
+//! one that created or previously ran it. This mirrors AMPI rank migration
+//! between PEs. The user closure must therefore be `Send`. (Within one OS
+//! process this is always sound for the asm backend: the stack memory is
+//! valid process-wide and the switch code itself touches no TLS.)
+//!
+//! ## Example
+//!
+//! ```
+//! use pvr_ult::{Ult, UltState, yield_now};
+//!
+//! let mut ult = Ult::new(64 * 1024, || {
+//!     for _ in 0..3 {
+//!         yield_now();
+//!     }
+//! });
+//! assert_eq!(ult.resume(), UltState::Suspended);
+//! assert_eq!(ult.resume(), UltState::Suspended);
+//! assert_eq!(ult.resume(), UltState::Suspended);
+//! assert_eq!(ult.resume(), UltState::Complete);
+//! ```
+
+mod arch;
+mod asm_backend;
+mod stack;
+mod thread_backend;
+
+pub use stack::StackMem;
+
+use std::any::Any;
+use std::fmt;
+
+/// Which implementation carries the coroutine.
+///
+/// `Asm` is the fast path measured in the paper's Fig. 6; `Thread` is the
+/// portable fallback and the ablation baseline showing why real ULTs matter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Hand-written x86-64 SysV context switch. Only available on x86-64.
+    Asm,
+    /// Parked OS threads. Portable, ~100x slower per switch.
+    Thread,
+}
+
+impl Backend {
+    /// The preferred backend for the current target.
+    pub fn native() -> Backend {
+        if cfg!(target_arch = "x86_64") {
+            Backend::Asm
+        } else {
+            Backend::Thread
+        }
+    }
+
+    /// All backends usable on the current target.
+    pub fn available() -> &'static [Backend] {
+        if cfg!(target_arch = "x86_64") {
+            &[Backend::Asm, Backend::Thread]
+        } else {
+            &[Backend::Thread]
+        }
+    }
+}
+
+/// State of a ULT as observed by its owner after a [`Ult::resume`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UltState {
+    /// The ULT called [`yield_now`] and can be resumed again.
+    Suspended,
+    /// The ULT's closure returned; the ULT may not be resumed again.
+    Complete,
+}
+
+/// Error resuming a ULT.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The ULT already completed.
+    Completed,
+    /// The ULT panicked; the payload is carried here exactly once.
+    Panicked(Box<dyn Any + Send + 'static>),
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::Completed => write!(f, "resume called on completed ULT"),
+            ResumeError::Panicked(_) => write!(f, "ULT panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+enum Inner {
+    Asm(asm_backend::AsmUlt),
+    Thread(thread_backend::ThreadUlt),
+}
+
+/// A stackful user-level thread.
+///
+/// See the crate-level docs. `Ult` is `Send`: a suspended ULT may be handed
+/// to another scheduler thread, which is how rank migration between PEs is
+/// realized.
+pub struct Ult {
+    inner: Inner,
+    state: LifeCycle,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LifeCycle {
+    Ready,
+    Done,
+}
+
+impl Ult {
+    /// Create a ULT with a freshly allocated stack of `stack_size` bytes,
+    /// using the native backend.
+    pub fn new<F>(stack_size: usize, f: F) -> Ult
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        Self::with_backend(Backend::native(), StackMem::new(stack_size), f)
+    }
+
+    /// Create a ULT on an explicit stack (e.g. Isomalloc-backed memory so
+    /// the suspended stack can be migrated) and an explicit backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `Backend::Asm` is requested on a non-x86-64 target.
+    pub fn with_backend<F>(backend: Backend, stack: StackMem, f: F) -> Ult
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let inner = match backend {
+            Backend::Asm => Inner::Asm(asm_backend::AsmUlt::new(stack, Box::new(f))),
+            Backend::Thread => Inner::Thread(thread_backend::ThreadUlt::new(stack, Box::new(f))),
+        };
+        Ult {
+            inner,
+            state: LifeCycle::Ready,
+        }
+    }
+
+    /// Run the ULT until it yields or completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ULT already completed, or re-raises a panic that
+    /// escaped the ULT's closure. Use [`Ult::try_resume`] for the
+    /// non-panicking variant.
+    pub fn resume(&mut self) -> UltState {
+        match self.try_resume() {
+            Ok(s) => s,
+            Err(ResumeError::Completed) => panic!("resume called on completed ULT"),
+            Err(ResumeError::Panicked(payload)) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// Run the ULT until it yields or completes, reporting errors instead
+    /// of panicking.
+    pub fn try_resume(&mut self) -> Result<UltState, ResumeError> {
+        if self.state == LifeCycle::Done {
+            return Err(ResumeError::Completed);
+        }
+        let outcome = match &mut self.inner {
+            Inner::Asm(u) => u.resume(),
+            Inner::Thread(u) => u.resume(),
+        };
+        match outcome {
+            RawOutcome::Yielded => Ok(UltState::Suspended),
+            RawOutcome::Finished => {
+                self.state = LifeCycle::Done;
+                Ok(UltState::Complete)
+            }
+            RawOutcome::Panicked(p) => {
+                self.state = LifeCycle::Done;
+                Err(ResumeError::Panicked(p))
+            }
+        }
+    }
+
+    /// True once the closure has returned (or panicked).
+    pub fn is_complete(&self) -> bool {
+        self.state == LifeCycle::Done
+    }
+
+    /// Which backend this ULT runs on.
+    pub fn backend(&self) -> Backend {
+        match self.inner {
+            Inner::Asm(_) => Backend::Asm,
+            Inner::Thread(_) => Backend::Thread,
+        }
+    }
+
+    /// Size in bytes of the ULT's stack.
+    pub fn stack_size(&self) -> usize {
+        match &self.inner {
+            Inner::Asm(u) => u.stack_size(),
+            Inner::Thread(u) => u.stack_size(),
+        }
+    }
+
+    /// The saved stack pointer of a *suspended* coroutine — the one piece
+    /// of execution context that lives outside the stack memory itself.
+    /// Checkpoint/restart (see `pvr-rts`) snapshots it together with the
+    /// stack bytes. Asm backend only; `None` for fresh/completed ULTs and
+    /// for the thread backend (whose context is kernel-side).
+    pub fn suspended_sp(&self) -> Option<usize> {
+        match &self.inner {
+            Inner::Asm(u) => u.suspended_sp(),
+            Inner::Thread(_) => None,
+        }
+    }
+
+    /// Restore a suspension point previously observed with
+    /// [`Ult::suspended_sp`].
+    ///
+    /// # Safety
+    ///
+    /// The stack memory must have been restored to *exactly* the bytes it
+    /// held when `sp` was observed (same ULT, same stack region), and the
+    /// ULT must currently be suspended. Resuming after a mismatched
+    /// restore is undefined behavior.
+    pub unsafe fn restore_suspended_sp(&mut self, sp: usize) {
+        match &mut self.inner {
+            Inner::Asm(u) => u.restore_suspended_sp(sp),
+            Inner::Thread(_) => {
+                panic!("checkpoint/restore requires the asm ULT backend")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Ult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ult")
+            .field("backend", &self.backend())
+            .field("complete", &self.is_complete())
+            .finish()
+    }
+}
+
+pub(crate) enum RawOutcome {
+    Yielded,
+    Finished,
+    Panicked(Box<dyn Any + Send + 'static>),
+}
+
+/// Suspend the *current* ULT, returning control to whoever resumed it.
+///
+/// # Panics
+///
+/// Panics when called from outside any ULT (i.e. from a plain OS thread
+/// that is not currently running a coroutine).
+pub fn yield_now() {
+    if asm_backend::in_asm_ult() {
+        asm_backend::yield_current();
+    } else if thread_backend::in_thread_ult() {
+        thread_backend::yield_current();
+    } else {
+        panic!("pvr_ult::yield_now() called outside of a ULT");
+    }
+}
+
+/// True when the calling code is executing inside any ULT.
+pub fn in_ult() -> bool {
+    asm_backend::in_asm_ult() || thread_backend::in_thread_ult()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn backends() -> &'static [Backend] {
+        Backend::available()
+    }
+
+    #[test]
+    fn runs_to_completion_without_yield() {
+        for &b in backends() {
+            let hit = Arc::new(AtomicUsize::new(0));
+            let h = hit.clone();
+            let mut u = Ult::with_backend(b, StackMem::new(32 * 1024), move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(u.resume(), UltState::Complete);
+            assert_eq!(hit.load(Ordering::SeqCst), 1);
+            assert!(u.is_complete());
+        }
+    }
+
+    #[test]
+    fn yields_roundtrip() {
+        for &b in backends() {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let c = counter.clone();
+            let mut u = Ult::with_backend(b, StackMem::new(32 * 1024), move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                yield_now();
+                c.fetch_add(10, Ordering::SeqCst);
+                yield_now();
+                c.fetch_add(100, Ordering::SeqCst);
+            });
+            assert_eq!(u.resume(), UltState::Suspended);
+            assert_eq!(counter.load(Ordering::SeqCst), 1);
+            assert_eq!(u.resume(), UltState::Suspended);
+            assert_eq!(counter.load(Ordering::SeqCst), 11);
+            assert_eq!(u.resume(), UltState::Complete);
+            assert_eq!(counter.load(Ordering::SeqCst), 111);
+        }
+    }
+
+    #[test]
+    fn resume_after_complete_errors() {
+        for &b in backends() {
+            let mut u = Ult::with_backend(b, StackMem::new(32 * 1024), || {});
+            assert_eq!(u.resume(), UltState::Complete);
+            assert!(matches!(u.try_resume(), Err(ResumeError::Completed)));
+        }
+    }
+
+    #[test]
+    fn panic_is_captured_and_rethrowable() {
+        for &b in backends() {
+            let mut u = Ult::with_backend(b, StackMem::new(64 * 1024), || {
+                panic!("boom in ult");
+            });
+            match u.try_resume() {
+                Err(ResumeError::Panicked(p)) => {
+                    let msg = p.downcast_ref::<&str>().copied().unwrap_or("");
+                    assert_eq!(msg, "boom in ult");
+                }
+                other => panic!("expected panic outcome, got {:?}", other.map(|_| ())),
+            }
+            assert!(u.is_complete());
+        }
+    }
+
+    #[test]
+    fn many_ults_interleaved() {
+        for &b in backends() {
+            let n = 16;
+            let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let mut ults: Vec<Ult> = (0..n)
+                .map(|i| {
+                    let log = log.clone();
+                    Ult::with_backend(b, StackMem::new(32 * 1024), move || {
+                        for round in 0..3 {
+                            log.lock().push((i, round));
+                            yield_now();
+                        }
+                    })
+                })
+                .collect();
+            // round-robin until all complete
+            let mut live = n;
+            while live > 0 {
+                for u in ults.iter_mut() {
+                    if !u.is_complete() {
+                        if u.resume() == UltState::Complete {
+                            live -= 1;
+                        }
+                    }
+                }
+            }
+            let log = log.lock();
+            assert_eq!(log.len(), n * 3);
+            // each round is fully interleaved: entries 0..n are round 0 etc.
+            for (idx, &(_, round)) in log.iter().enumerate() {
+                assert_eq!(round, idx / n);
+            }
+        }
+    }
+
+    #[test]
+    fn deep_recursion_on_custom_stack() {
+        // A 1 MiB stack must comfortably hold a recursion that a tiny stack
+        // could not; this verifies the ULT really runs on its own stack.
+        fn recurse(depth: usize) -> usize {
+            let pad = [depth as u8; 128];
+            if depth == 0 {
+                pad[0] as usize
+            } else {
+                recurse(depth - 1) + 1
+            }
+        }
+        for &b in backends() {
+            let mut u = Ult::with_backend(b, StackMem::new(1024 * 1024), || {
+                assert_eq!(recurse(2000), 2000);
+            });
+            assert_eq!(u.resume(), UltState::Complete);
+        }
+    }
+
+    #[test]
+    fn resume_from_other_os_thread() {
+        for &b in backends() {
+            let mut u = Ult::with_backend(b, StackMem::new(64 * 1024), move || {
+                yield_now();
+            });
+            assert_eq!(u.resume(), UltState::Suspended);
+            // migrate: resume the suspended ULT from a different OS thread
+            let u = std::thread::spawn(move || {
+                let mut u = u;
+                assert_eq!(u.resume(), UltState::Complete);
+                u
+            })
+            .join()
+            .unwrap();
+            assert!(u.is_complete());
+        }
+    }
+
+    #[test]
+    fn nested_ults() {
+        // A ULT that itself drives an inner ULT.
+        for &b in backends() {
+            let mut outer = Ult::with_backend(b, StackMem::new(256 * 1024), move || {
+                let mut inner = Ult::with_backend(b, StackMem::new(64 * 1024), || {
+                    yield_now();
+                });
+                assert_eq!(inner.resume(), UltState::Suspended);
+                yield_now(); // outer yields while inner is suspended
+                assert_eq!(inner.resume(), UltState::Complete);
+            });
+            assert_eq!(outer.resume(), UltState::Suspended);
+            assert_eq!(outer.resume(), UltState::Complete);
+        }
+    }
+
+    #[test]
+    fn in_ult_flag() {
+        assert!(!in_ult());
+        for &b in backends() {
+            let mut u = Ult::with_backend(b, StackMem::new(32 * 1024), || {
+                assert!(in_ult());
+            });
+            u.resume();
+            assert!(!in_ult());
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! ULT stack memory.
+//!
+//! Stacks are plain heap allocations with a fixed base address for their
+//! whole lifetime — the property Isomalloc guarantees across migrations
+//! ("same virtual address on every node"). Because every simulated node in
+//! `pvr` shares one OS address space, keeping the allocation pinned (the
+//! buffer is never reallocated) preserves that invariant: a suspended
+//! ULT's frame pointers remain valid after the ULT is handed to another
+//! scheduler.
+
+/// Owned, pinned stack memory for one ULT.
+pub struct StackMem {
+    repr: Repr,
+}
+
+enum Repr {
+    /// Stack memory owned by this StackMem (pinned: the box never moves).
+    Owned(Box<[u64]>),
+    /// Stack memory borrowed from an external pinned region — in `pvr`
+    /// this is Isomalloc-managed rank memory, so that a suspended ULT's
+    /// stack bytes are packed and shipped on migration like any other
+    /// rank-owned memory.
+    Raw { ptr: *mut u8, size: usize },
+}
+
+// SAFETY: the Raw variant's pointee is required (by `from_raw`'s contract)
+// to be valid for the StackMem's lifetime and exclusively used by it; the
+// Owned variant is plain owned memory.
+unsafe impl Send for StackMem {}
+
+impl StackMem {
+    /// Allocate a zeroed stack of at least `size` bytes (rounded up to a
+    /// multiple of 8; a minimum of 4 KiB is enforced so the bootstrap
+    /// frame and Rust prologue always fit).
+    pub fn new(size: usize) -> StackMem {
+        let size = size.max(4096);
+        let words = size.div_ceil(8);
+        StackMem {
+            repr: Repr::Owned(vec![0u64; words].into_boxed_slice()),
+        }
+    }
+
+    /// Wrap an externally owned pinned region as stack memory.
+    ///
+    /// # Safety
+    ///
+    /// * `ptr` must be valid for reads and writes of `size` bytes for the
+    ///   entire lifetime of the returned `StackMem` (and of any `Ult` built
+    ///   on it), must be 8-byte aligned, and must not be accessed by
+    ///   anything else while the ULT can run.
+    /// * `size` must be at least 4096.
+    pub unsafe fn from_raw(ptr: *mut u8, size: usize) -> StackMem {
+        assert!(size >= 4096, "stack region too small");
+        assert_eq!(ptr as usize % 8, 0, "stack region must be 8-byte aligned");
+        StackMem {
+            repr: Repr::Raw { ptr, size },
+        }
+    }
+
+    /// Highest address of the stack (stacks grow downward from here).
+    pub fn top(&self) -> *mut u8 {
+        unsafe { (self.base() as *mut u8).add(self.size()) }
+    }
+
+    /// Lowest address of the stack.
+    pub fn base(&self) -> *const u8 {
+        match &self.repr {
+            Repr::Owned(buf) => buf.as_ptr() as *const u8,
+            Repr::Raw { ptr, .. } => *ptr,
+        }
+    }
+
+    /// Usable size in bytes.
+    pub fn size(&self) -> usize {
+        match &self.repr {
+            Repr::Owned(buf) => buf.len() * 8,
+            Repr::Raw { size, .. } => *size & !7,
+        }
+    }
+
+    /// Bytes of the stack that have ever been written (non-zero high-water
+    /// heuristic): used by migration accounting and tests. Scans from the
+    /// low end for the first non-zero word.
+    pub fn high_water_bytes(&self) -> usize {
+        let words = self.size() / 8;
+        let base = self.base() as *const u64;
+        for i in 0..words {
+            if unsafe { base.add(i).read() } != 0 {
+                return (words - i) * 8;
+            }
+        }
+        0
+    }
+}
+
+impl std::fmt::Debug for StackMem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StackMem")
+            .field("size", &self.size())
+            .field("base", &self.base())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimum_size_enforced() {
+        let s = StackMem::new(16);
+        assert!(s.size() >= 4096);
+    }
+
+    #[test]
+    fn top_is_base_plus_size() {
+        let s = StackMem::new(8192);
+        assert_eq!(s.top() as usize, s.base() as usize + s.size());
+    }
+
+    #[test]
+    fn alignment() {
+        let s = StackMem::new(8192);
+        assert_eq!(s.base() as usize % 8, 0);
+    }
+
+    #[test]
+    fn high_water_zero_when_untouched() {
+        let s = StackMem::new(8192);
+        assert_eq!(s.high_water_bytes(), 0);
+    }
+
+    #[test]
+    fn raw_region_backs_a_stack() {
+        let mut buf = vec![0u64; 8192 / 8].into_boxed_slice();
+        let s = unsafe { StackMem::from_raw(buf.as_mut_ptr() as *mut u8, 8192) };
+        assert_eq!(s.size(), 8192);
+        assert_eq!(s.base() as usize, buf.as_ptr() as usize);
+        // a ULT actually runs on it
+        let mut u = crate::Ult::with_backend(crate::Backend::native(), s, || {
+            crate::yield_now();
+        });
+        assert_eq!(u.resume(), crate::UltState::Suspended);
+        assert_eq!(u.resume(), crate::UltState::Complete);
+        // the region was really used as the execution stack
+        let s2 = unsafe { StackMem::from_raw(buf.as_mut_ptr() as *mut u8, 8192) };
+        assert!(s2.high_water_bytes() > 0 || cfg!(not(target_arch = "x86_64")));
+    }
+}

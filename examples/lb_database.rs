@@ -1,0 +1,77 @@
+//! Load-balancing introspection: watch the runtime's LB database as the
+//! storm-surge flood front moves across the machine.
+//!
+//! §2.1: "The runtime can monitor performance metrics such as execution
+//! time per rank, idle time per PE, the communication graph, and more in
+//! order to make rebalancing decisions." This example prints those
+//! records: per-step imbalance before/after rebalancing, migration
+//! counts, and communication volume.
+//!
+//! ```text
+//! cargo run --release -p pvr-bench --example lb_database [cores] [ratio]
+//! ```
+
+use pvr_ampi::Ampi;
+use pvr_apps::surge::{self, SurgeConfig};
+use pvr_privatize::Method;
+use pvr_rts::lb::GreedyRefineLb;
+use pvr_rts::{ClockMode, MachineBuilder, Topology};
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let cores = args.first().copied().unwrap_or(4);
+    let ratio = args.get(1).copied().unwrap_or(4);
+    let cfg = SurgeConfig {
+        nx: 96,
+        ny: 256,
+        steps: 80,
+        lb_period: 8,
+        storm_speed: 3.0,
+        flops_per_wet_cell: 400.0,
+    };
+
+    let body: Arc<dyn Fn(pvr_rts::RankCtx) + Send + Sync> = Arc::new(move |ctx| {
+        let mpi = Ampi::init(ctx);
+        let _ = surge::run(&mpi, cfg);
+    });
+    let mut machine = MachineBuilder::new(surge::binary_with_code(2 << 20))
+        .method(Method::PieGlobals)
+        .topology(Topology::non_smp(cores))
+        .vp_ratio(ratio)
+        .clock(ClockMode::Virtual)
+        .stack_size(192 * 1024)
+        .balancer(Box::new(GreedyRefineLb::default()))
+        .build(body)
+        .expect("machine builds");
+    let report = machine.run().expect("run succeeds");
+
+    println!(
+        "storm surge on {cores} cores x {ratio} VPs, GreedyRefineLB every {} steps\n",
+        cfg.lb_period
+    );
+    println!(
+        "{:>5} {:>12} {:>18} {:>17} {:>11} {:>12}",
+        "LB#", "virt time", "imbalance before", "imbalance after", "migrations", "comm bytes"
+    );
+    for rec in &report.lb_history {
+        println!(
+            "{:>5} {:>12} {:>17.2}x {:>16.2}x {:>11} {:>12}",
+            rec.step,
+            rec.at.to_string(),
+            rec.imbalance_before(),
+            rec.imbalance_after(),
+            rec.migrations,
+            rec.comm_bytes,
+        );
+    }
+    println!("\n{}", report.summary());
+    println!(
+        "The imbalance-before column tracks the flood front concentrating work;\n\
+         each LB step flattens it (imbalance-after ≈ 1), at the cost of the\n\
+         migrations column — PIEglobals ships code segments with each one."
+    );
+}

@@ -1,0 +1,87 @@
+//! Storm-surge proxy with dynamic load balancing (the Fig. 9 workload).
+//!
+//! Runs the ADCIRC-like flood simulation in virtual time on a simulated
+//! multi-core machine, once without and once with virtualization +
+//! GreedyRefineLB, and prints the flood-front timeline and the speedup.
+//!
+//! ```text
+//! cargo run --release -p pvr-bench --example storm_surge [cores] [ratio]
+//! ```
+
+use parking_lot::Mutex;
+use pvr_ampi::Ampi;
+use pvr_apps::surge::{self, SurgeConfig};
+use pvr_privatize::Method;
+use pvr_rts::lb::GreedyRefineLb;
+use pvr_rts::{ClockMode, MachineBuilder, Topology};
+use std::sync::Arc;
+
+fn run_once(cores: usize, ratio: usize, with_lb: bool, cfg: SurgeConfig) -> (f64, usize, Vec<Vec<usize>>) {
+    let cfg = SurgeConfig {
+        lb_period: if with_lb { cfg.lb_period } else { 0 },
+        ..cfg
+    };
+    let hist = Arc::new(Mutex::new(Vec::new()));
+    let h2 = hist.clone();
+    let mut builder = MachineBuilder::new(surge::binary_with_code(2 << 20))
+        .method(Method::PieGlobals)
+        .topology(Topology::non_smp(cores))
+        .vp_ratio(ratio)
+        .clock(ClockMode::Virtual)
+        .stack_size(192 * 1024);
+    if with_lb {
+        builder = builder.balancer(Box::new(GreedyRefineLb::default()));
+    }
+    let mut machine = builder
+        .build(Arc::new(move |ctx| {
+            let rank = ctx.rank();
+            let mpi = Ampi::init(ctx);
+            let stats = surge::run(&mpi, cfg);
+            h2.lock().push((rank, stats.wet_history));
+        }))
+        .expect("machine builds");
+    let report = machine.run().expect("run succeeds");
+    let mut h = hist.lock().clone();
+    h.sort_by_key(|(r, _)| *r);
+    (
+        report.sim_elapsed.as_secs_f64(),
+        report.migrations.len(),
+        h.into_iter().map(|(_, w)| w).collect(),
+    )
+}
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let cores = args.first().copied().unwrap_or(4);
+    let ratio = args.get(1).copied().unwrap_or(4);
+    let cfg = SurgeConfig {
+        nx: 64,
+        ny: 256,
+        steps: 80,
+        lb_period: 10,
+        storm_speed: 3.0,
+        flops_per_wet_cell: 400.0,
+    };
+
+    println!("Storm-surge proxy: {}x{} grid, {} steps, {cores} cores\n", cfg.nx, cfg.ny, cfg.steps);
+
+    let (t_base, _, hist) = run_once(cores, 1, false, cfg);
+    println!("flood front timeline (wet cells per rank, baseline run):");
+    println!("{:>6} {}", "step", (0..cores).map(|r| format!("{:>7}", format!("rank{r}"))).collect::<String>());
+    for step in (0..cfg.steps).step_by(cfg.steps / 8) {
+        print!("{:>6} ", step);
+        for h in &hist {
+            print!("{:>7}", h[step]);
+        }
+        println!();
+    }
+    println!("\nThe computational load follows the water inland — block-mapped PEs sit idle.\n");
+
+    let (t_lb, migrations, _) = run_once(cores, ratio, true, cfg);
+    println!("baseline (no virtualization, no LB): {t_base:.3} s (virtual)");
+    println!("{ratio}x virtualization + GreedyRefineLB: {t_lb:.3} s (virtual), {migrations} migrations");
+    println!("speedup: {:.0}%", (t_base / t_lb - 1.0) * 100.0);
+}

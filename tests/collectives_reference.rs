@@ -1,0 +1,171 @@
+//! Integration: every collective checked against a serial reference
+//! computation, across communicator sizes, overdecomposition ratios,
+//! and privatization methods — including under forced migrations, since
+//! AMPI collectives must be placement-oblivious.
+
+use parking_lot::Mutex;
+use pvr_ampi::{util, Ampi, Op, COMM_WORLD};
+use pvr_apps::hello;
+use pvr_privatize::Method;
+use pvr_rts::lb::RotateLb;
+use pvr_rts::{MachineBuilder, RankCtx, Topology};
+use std::sync::Arc;
+
+/// Deterministic per-rank data: rank r contributes f(r, i).
+fn contrib(rank: usize, i: usize) -> f64 {
+    ((rank * 31 + i * 7) % 17) as f64 - 8.0
+}
+
+fn run_spmd(
+    pes: usize,
+    vp: usize,
+    method: Method,
+    body: impl Fn(&Ampi) + Send + Sync + 'static,
+) {
+    let mut machine = MachineBuilder::new(hello::binary())
+        .method(method)
+        .topology(Topology::non_smp(pes))
+        .vp_ratio(vp)
+        .build(Arc::new(move |ctx| {
+            let mpi = Ampi::init(ctx);
+            body(&mpi);
+        }))
+        .unwrap();
+    machine.run().unwrap();
+}
+
+#[test]
+fn allreduce_matches_serial_for_all_ops() {
+    for (pes, vp) in [(1usize, 1usize), (2, 1), (2, 2), (3, 2), (4, 2)] {
+        run_spmd(pes, vp, Method::PieGlobals, move |mpi| {
+            let n = 5;
+            let p = mpi.size();
+            let mine: Vec<f64> = (0..n).map(|i| contrib(mpi.rank(), i)).collect();
+            for op in [Op::Sum, Op::Min, Op::Max, Op::Prod] {
+                let got = mpi.allreduce(&mine, op);
+                for i in 0..n {
+                    let vals = (0..p).map(|r| contrib(r, i));
+                    let expect = match op {
+                        Op::Sum => vals.sum::<f64>(),
+                        Op::Prod => vals.product::<f64>(),
+                        Op::Min => vals.fold(f64::INFINITY, f64::min),
+                        Op::Max => vals.fold(f64::NEG_INFINITY, f64::max),
+                        Op::User(_) => unreachable!(),
+                    };
+                    assert!(
+                        (got[i] - expect).abs() < 1e-9,
+                        "{op:?} p={p} i={i}: {} vs {}",
+                        got[i],
+                        expect
+                    );
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn scan_and_exscan_match_serial_prefixes() {
+    run_spmd(2, 3, Method::PieGlobals, |mpi| {
+        let me = mpi.rank();
+        let mine = [contrib(me, 0), contrib(me, 1)];
+        let inclusive = mpi.scan(COMM_WORLD, &mine, Op::Sum);
+        let exclusive = mpi.exscan(COMM_WORLD, &mine, Op::Sum, &[0.0, 0.0]);
+        for i in 0..2 {
+            let incl: f64 = (0..=me).map(|r| contrib(r, i)).sum();
+            let excl: f64 = (0..me).map(|r| contrib(r, i)).sum();
+            assert!((inclusive[i] - incl).abs() < 1e-9, "scan rank {me} idx {i}");
+            assert!(
+                (exclusive[i] - excl).abs() < 1e-9,
+                "exscan rank {me} idx {i}: {} vs {excl}",
+                exclusive[i]
+            );
+        }
+    });
+}
+
+#[test]
+fn reduce_scatter_block_matches_serial() {
+    run_spmd(2, 2, Method::PieGlobals, |mpi| {
+        let p = mpi.size();
+        let n = 3; // block length
+        let me = mpi.rank();
+        let mine: Vec<f64> = (0..p * n).map(|i| contrib(me, i)).collect();
+        let got = mpi.reduce_scatter_block(COMM_WORLD, &mine, Op::Sum);
+        assert_eq!(got.len(), n);
+        for j in 0..n {
+            let idx = me * n + j;
+            let expect: f64 = (0..p).map(|r| contrib(r, idx)).sum();
+            assert!((got[j] - expect).abs() < 1e-9);
+        }
+    });
+}
+
+#[test]
+fn collectives_survive_forced_migrations() {
+    // RotateLB moves every rank at every sync; collectives interleaved
+    // with syncs must still agree with the serial reference.
+    let sums = Arc::new(Mutex::new(Vec::new()));
+    let s2 = sums.clone();
+    let mut machine = MachineBuilder::new(hello::binary())
+        .method(Method::PieGlobals)
+        .topology(Topology::non_smp(3))
+        .vp_ratio(2)
+        .balancer(Box::new(RotateLb))
+        .build(Arc::new(move |ctx| {
+            let mpi = Ampi::init(ctx);
+            let mut acc = 0.0;
+            for round in 0..5 {
+                let v = contrib(mpi.rank(), round);
+                acc += mpi.allreduce(&[v], Op::Sum)[0];
+                mpi.migrate(); // forced rotation
+            }
+            s2.lock().push(acc);
+        }))
+        .unwrap();
+    let report = machine.run().unwrap();
+    assert!(!report.migrations.is_empty(), "RotateLB must migrate");
+    let sums = sums.lock();
+    let expect: f64 = (0..5)
+        .map(|round| (0..6).map(|r| contrib(r, round)).sum::<f64>())
+        .sum();
+    for &s in sums.iter() {
+        assert!((s - expect).abs() < 1e-9, "{s} vs {expect}");
+    }
+}
+
+#[test]
+fn gather_scatter_bytes_roundtrip_across_methods() {
+    for method in [Method::TlsGlobals, Method::PieGlobals, Method::ManualRefactor] {
+        run_spmd(2, 2, method, |mpi| {
+            let me = mpi.rank();
+            let payload: Vec<u8> = (0..(me + 1) * 3).map(|i| (me * 10 + i) as u8).collect();
+            let gathered = mpi.gather_bytes(COMM_WORLD, 0, payload.clone().into());
+            let redistributed = if me == 0 {
+                let g = gathered.unwrap();
+                // root reverses the parts and scatters them back
+                Some(g.into_iter().rev().collect::<Vec<_>>())
+            } else {
+                None
+            };
+            let got = mpi.scatter_bytes(COMM_WORLD, 0, redistributed);
+            // rank r receives what rank (p-1-r) contributed
+            let src = mpi.size() - 1 - me;
+            assert_eq!(got.len(), (src + 1) * 3);
+            assert!(got.iter().enumerate().all(|(i, &b)| b == (src * 10 + i) as u8));
+        });
+    }
+}
+
+#[test]
+fn typed_u64_helpers_roundtrip() {
+    run_spmd(2, 1, Method::PieGlobals, |mpi| {
+        if mpi.rank() == 0 {
+            let data = vec![u64::MAX, 0, 42];
+            mpi.send_bytes(COMM_WORLD, 1, 9, util::u64s_to_bytes(&data));
+        } else {
+            let (b, _) = mpi.recv_bytes(COMM_WORLD, Some(0), Some(9));
+            assert_eq!(util::bytes_to_u64s(&b), vec![u64::MAX, 0, 42]);
+        }
+    });
+}

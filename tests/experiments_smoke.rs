@@ -1,0 +1,77 @@
+//! Integration: every experiment harness runs end to end (down-scaled)
+//! and produces a report with the paper's qualitative shape. The full
+//! sweeps live behind `cargo run --release -p pvr-bench --bin repro`.
+
+use pvr_bench::{fig5, fig6, fig7, fig8, icache_exp, scaling, tables};
+
+#[test]
+fn tables_match_paper_rows() {
+    let t1 = tables::table1();
+    for name in [
+        "Manual refactoring",
+        "Photran",
+        "Swapglobals",
+        "TLSglobals",
+        "-fmpc-privatize",
+    ] {
+        assert!(t1.contains(name), "Table 1 missing {name}");
+    }
+    let t3 = tables::table3();
+    for name in ["PIPglobals", "FSglobals", "PIEglobals"] {
+        assert!(t3.contains(name), "Table 3 missing {name}");
+    }
+}
+
+#[test]
+fn fig5_report_renders() {
+    let report = fig5::report(4);
+    assert!(report.contains("fsglobals"));
+    assert!(report.contains("vs baseline"));
+}
+
+#[test]
+fn fig6_report_renders() {
+    let report = fig6::report(5_000);
+    assert!(report.contains("pthread ablation"));
+    assert!(report.contains("swapglobals"));
+}
+
+#[test]
+fn fig7_report_renders_and_methods_agree() {
+    // report() internally asserts numerical agreement across methods
+    let report = fig7::report();
+    assert!(report.contains("pieglobals"));
+}
+
+#[test]
+fn fig8_smoke() {
+    use pvr_privatize::Method;
+    let tls = fig8::measure(Method::TlsGlobals, 1 << 20, 2);
+    let pie = fig8::measure(Method::PieGlobals, 1 << 20, 2);
+    assert!(pie.migrated_bytes > tls.migrated_bytes);
+}
+
+#[test]
+fn icache_report_renders() {
+    let report = icache_exp::report();
+    assert!(report.contains("EPYC"));
+    assert!(report.contains("inconclusive") || report.contains("conclusion"));
+}
+
+#[test]
+fn scaling_quick_sweep_has_paper_shape() {
+    let cfg = scaling::ScalingConfig::quick();
+    let result = scaling::run(&cfg);
+    // Table 2's property: positive speedup from virtualization+LB
+    for &c in &cfg.cores {
+        let sp = result.speedup_pct(c);
+        assert!(
+            sp > -5.0,
+            "virtualization should never badly hurt, got {sp:.1}% at {c} cores"
+        );
+    }
+    let t2 = scaling::report_table2(&result, &cfg);
+    let f9 = scaling::report_fig9(&result, &cfg);
+    assert!(t2.contains("Speedup %"));
+    assert!(f9.contains("GreedyRefineLB"));
+}

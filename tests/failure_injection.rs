@@ -1,0 +1,182 @@
+//! Integration: failure injection — every documented limitation must
+//! fail loudly, with the paper's failure mode, not corrupt silently.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use pvr_ampi::{Ampi, COMM_WORLD};
+use pvr_apps::hello;
+use pvr_privatize::{Method, PrivatizeError};
+use pvr_progimage::{DlError, FsError, SharedFs};
+use pvr_rts::{MachineBuilder, RankCtx, RtsError, Topology};
+use std::sync::Arc;
+
+#[test]
+fn pip_namespace_exhaustion_is_a_clean_startup_error() {
+    let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(|_ctx| {});
+    let err = MachineBuilder::new(hello::binary())
+        .method(Method::PipGlobals)
+        .vp_ratio(13)
+        .build(body)
+        .unwrap_err();
+    match err {
+        RtsError::Privatize(PrivatizeError::Dl(DlError::NamespaceExhausted { limit })) => {
+            assert_eq!(limit, 12)
+        }
+        other => panic!("expected namespace exhaustion, got {other}"),
+    }
+}
+
+#[test]
+fn patched_glibc_unlocks_high_virtualization() {
+    use pvr_privatize::Toolchain;
+    let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(|_ctx| {});
+    let mut machine = MachineBuilder::new(hello::binary())
+        .method(Method::PipGlobals)
+        .toolchain(Toolchain::with_patched_glibc())
+        .vp_ratio(24)
+        .build(body)
+        .unwrap();
+    machine.run().unwrap();
+}
+
+#[test]
+fn fsglobals_out_of_quota_fails_startup() {
+    let fs = Arc::new(Mutex::new(SharedFs::new()));
+    fs.lock().set_capacity(Some(20 << 20)); // fits the binary once + a little
+    let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(|_ctx| {});
+    let err = MachineBuilder::new(pvr_apps::surge::binary()) // 14 MB binary
+        .method(Method::FsGlobals)
+        .shared_fs(Some(fs))
+        .vp_ratio(8)
+        .build(body)
+        .unwrap_err();
+    match err {
+        RtsError::Privatize(PrivatizeError::Fs(FsError::NoSpace { .. })) => {}
+        other => panic!("expected FS quota failure, got {other}"),
+    }
+}
+
+#[test]
+fn message_to_nonexistent_rank_is_a_protocol_error() {
+    let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(|ctx| {
+        ctx.send(99, 0, Bytes::new());
+    });
+    let mut machine = MachineBuilder::new(hello::binary()).build(body).unwrap();
+    match machine.run() {
+        Err(RtsError::Protocol { detail, .. }) => assert!(detail.contains("nonexistent")),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+}
+
+#[test]
+fn cross_rank_deadlock_reported_with_culprits() {
+    let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(|ctx| {
+        let mpi = Ampi::init(ctx);
+        if mpi.rank() == 0 {
+            // rank 0 waits for a tag nobody sends
+            let _ = mpi.recv_bytes(COMM_WORLD, Some(1), Some(42));
+        }
+    });
+    let mut machine = MachineBuilder::new(hello::binary())
+        .vp_ratio(2)
+        .build(body)
+        .unwrap();
+    match machine.run() {
+        Err(RtsError::Deadlock { waiting }) => assert_eq!(waiting, vec![0]),
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn rank_panic_identifies_the_rank() {
+    let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(|ctx| {
+        if ctx.rank() == 2 {
+            panic!("numerical blowup at step 7");
+        }
+    });
+    let mut machine = MachineBuilder::new(hello::binary())
+        .vp_ratio(4)
+        .build(body)
+        .unwrap();
+    match machine.run() {
+        Err(RtsError::RankPanicked { rank, message }) => {
+            assert_eq!(rank, 2);
+            assert!(message.contains("numerical blowup"));
+        }
+        other => panic!("expected rank panic, got {other:?}"),
+    }
+}
+
+#[test]
+fn migration_refused_for_pip_and_fs_at_runtime() {
+    for method in [Method::PipGlobals, Method::FsGlobals] {
+        let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(|ctx| {
+            if ctx.rank() == 0 {
+                let _ = ctx.recv();
+            }
+        });
+        let mut machine = MachineBuilder::new(hello::binary())
+            .method(method)
+            .topology(Topology::non_smp(2))
+            .build(body)
+            .unwrap();
+        machine.drive_rank(0).unwrap();
+        match machine.migrate_now(0, 1) {
+            Err(RtsError::BadMigration { detail, .. }) => {
+                assert!(detail.contains("Isomalloc"), "{method}: {detail}")
+            }
+            other => panic!("{method}: expected BadMigration, got {other:?}"),
+        }
+        machine.inject_message(pvr_rts::RtsMessage::new(1, 0, 0, Bytes::new()));
+        machine.run().unwrap();
+    }
+}
+
+#[test]
+fn empty_pe_reduction_restriction_is_enforced() {
+    // Covered at unit level in pvr-rts; here end-to-end: migrate the only
+    // rank off PE 0, then ask PE 0 to combine a user reduction.
+    use pvr_progimage::{link, FunctionSpec, ImageSpec};
+    let bin = link(
+        ImageSpec::builder("red")
+            .global("g", 8)
+            .function(FunctionSpec::new("combine", 64).with_callable(Arc::new(|_i, _o| {})))
+            .build(),
+    );
+    let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(|ctx| {
+        if ctx.rank() == 0 {
+            let _ = ctx.recv();
+        }
+    });
+    let mut machine = MachineBuilder::new(bin)
+        .method(Method::PieGlobals)
+        .topology(Topology::non_smp(2))
+        .build(body)
+        .unwrap();
+    let offset = machine.privatizer(0).fn_offset_of("combine").unwrap();
+    machine.drive_rank(0).unwrap();
+    machine.migrate_now(0, 1).unwrap();
+    match machine.resolve_op_on_pe(0, offset) {
+        Err(RtsError::EmptyPeReduction { pe }) => assert_eq!(pe, 0),
+        other => panic!("expected EmptyPeReduction, got {:?}", other.map(|_| ())),
+    }
+    machine.inject_message(pvr_rts::RtsMessage::new(1, 0, 0, Bytes::new()));
+    machine.run().unwrap();
+}
+
+#[test]
+fn non_pie_binary_rejected_by_runtime_methods() {
+    use pvr_progimage::{link, ImageSpec};
+    let bin = link(ImageSpec::builder("legacy").pie(false).global("g", 8).build());
+    let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(|_ctx| {});
+    for method in [Method::PipGlobals, Method::FsGlobals, Method::PieGlobals] {
+        let err = MachineBuilder::new(bin.clone())
+            .method(method)
+            .build(body.clone())
+            .unwrap_err();
+        match err {
+            RtsError::Privatize(PrivatizeError::Dl(DlError::NotPie { .. })) => {}
+            other => panic!("{method}: expected NotPie, got {other}"),
+        }
+    }
+}

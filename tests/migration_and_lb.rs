@@ -1,0 +1,263 @@
+//! Integration: migration transparency and load balancing across the
+//! full stack.
+//!
+//! The AMPI promise under test: dynamic rank migration is invisible to
+//! application code — same answers, no user serialization — while the
+//! runtime moves ranks (and, under PIEglobals, their code segments)
+//! between PEs.
+
+use parking_lot::Mutex;
+use pvr_ampi::Ampi;
+use pvr_apps::surge::{self, SurgeConfig};
+use pvr_privatize::Method;
+use pvr_rts::lb::{GreedyLb, GreedyRefineLb, RandomLb, RotateLb};
+use pvr_rts::{ClockMode, LoadBalancer, MachineBuilder, RankCtx, Topology};
+use std::sync::Arc;
+
+fn surge_run(
+    method: Method,
+    cores: usize,
+    ratio: usize,
+    balancer: Option<Box<dyn LoadBalancer>>,
+    lb_period: usize,
+) -> (Vec<Vec<usize>>, usize, f64) {
+    let cfg = SurgeConfig {
+        nx: 24,
+        ny: 48,
+        steps: 30,
+        lb_period,
+        storm_speed: 1.5,
+        flops_per_wet_cell: 200.0,
+    };
+    let hist = Arc::new(Mutex::new(Vec::new()));
+    let h2 = hist.clone();
+    let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(move |ctx| {
+        let rank = ctx.rank();
+        let mpi = Ampi::init(ctx);
+        let stats = surge::run(&mpi, cfg);
+        h2.lock().push((rank, stats.wet_history));
+    });
+    let mut builder = MachineBuilder::new(surge::binary_with_code(1 << 20))
+        .method(method)
+        .topology(Topology::non_smp(cores))
+        .vp_ratio(ratio)
+        .clock(ClockMode::Virtual)
+        .stack_size(192 * 1024);
+    if let Some(b) = balancer {
+        builder = builder.balancer(b);
+    }
+    let mut machine = builder.build(body).unwrap();
+    let report = machine.run().unwrap();
+    let mut h = hist.lock().clone();
+    h.sort_by_key(|(r, _)| *r);
+    (
+        h.into_iter().map(|(_, w)| w).collect(),
+        report.migrations.len(),
+        report.sim_elapsed.as_secs_f64(),
+    )
+}
+
+#[test]
+fn lb_is_transparent_to_results() {
+    // identical wet-cell histories with and without aggressive LB
+    let (no_lb, m0, _) = surge_run(Method::PieGlobals, 2, 4, None, 0);
+    let (rotate, m1, _) =
+        surge_run(Method::PieGlobals, 2, 4, Some(Box::new(RotateLb)), 5);
+    let (greedy, m2, _) =
+        surge_run(Method::PieGlobals, 2, 4, Some(Box::new(GreedyLb)), 5);
+    assert_eq!(m0, 0);
+    assert!(m1 > 0, "RotateLB must migrate every rank at every sync");
+    assert_eq!(no_lb, rotate, "RotateLB changed the physics!");
+    assert_eq!(no_lb, greedy, "GreedyLB changed the physics!");
+    let _ = m2;
+}
+
+#[test]
+fn rotate_lb_stress_many_migrations() {
+    // every sync migrates all ranks, repeatedly — a migration soak test
+    let (_, migrations, _) =
+        surge_run(Method::PieGlobals, 4, 2, Some(Box::new(RotateLb)), 3);
+    // 30 steps / period 3 = 10 LB steps (minus the final step landing on
+    // completion), 8 ranks each
+    assert!(
+        migrations >= 8 * 8,
+        "expected a migration storm, got {migrations}"
+    );
+}
+
+#[test]
+fn random_lb_deterministic_and_transparent() {
+    let (a, am, _) = surge_run(
+        Method::PieGlobals,
+        3,
+        2,
+        Some(Box::new(RandomLb { seed: 9 })),
+        5,
+    );
+    let (b, bm, _) = surge_run(
+        Method::PieGlobals,
+        3,
+        2,
+        Some(Box::new(RandomLb { seed: 9 })),
+        5,
+    );
+    assert_eq!(a, b);
+    assert_eq!(am, bm);
+}
+
+#[test]
+fn lb_beats_no_lb_on_imbalanced_flood() {
+    // The workload must be coarse enough that the imbalance dwarfs the
+    // migration cost — the paper's own caveat about fine-grained apps.
+    let cfg = SurgeConfig {
+        nx: 64,
+        ny: 128,
+        steps: 40,
+        lb_period: 10,
+        storm_speed: 2.0,
+        flops_per_wet_cell: 2000.0,
+    };
+    let run = |balancer: Option<Box<dyn LoadBalancer>>| {
+        let c = SurgeConfig {
+            lb_period: if balancer.is_some() { cfg.lb_period } else { 0 },
+            ..cfg
+        };
+        let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(move |ctx| {
+            let mpi = Ampi::init(ctx);
+            let _ = surge::run(&mpi, c);
+        });
+        let mut builder = MachineBuilder::new(surge::binary_with_code(1 << 20))
+            .method(Method::PieGlobals)
+            .topology(Topology::non_smp(4))
+            .vp_ratio(4)
+            .clock(ClockMode::Virtual)
+            .stack_size(192 * 1024);
+        if let Some(b) = balancer {
+            builder = builder.balancer(b);
+        }
+        let mut machine = builder.build(body).unwrap();
+        let report = machine.run().unwrap();
+        (report.migrations.len(), report.sim_elapsed.as_secs_f64())
+    };
+    let (_, t_none) = run(None);
+    let (migs, t_lb) = run(Some(Box::new(GreedyRefineLb::default())));
+    assert!(migs > 0);
+    assert!(
+        t_lb < t_none,
+        "LB must help the moving flood front: {t_lb} !< {t_none}"
+    );
+}
+
+#[test]
+fn fine_grained_workload_makes_lb_unprofitable() {
+    // The converse — the paper: "this migration cost could potentially
+    // limit performance for fine-grained applications". With tiny work
+    // quanta, shipping code segments around costs more than it saves.
+    let (_, _, t_none) = surge_run(Method::PieGlobals, 4, 4, None, 10);
+    let (_, migs, t_lb) = surge_run(
+        Method::PieGlobals,
+        4,
+        4,
+        Some(Box::new(GreedyRefineLb::default())),
+        10,
+    );
+    assert!(migs > 0);
+    assert!(
+        t_lb > t_none,
+        "fine-grained + heavy segments should make LB net-negative here: {t_lb} vs {t_none}"
+    );
+}
+
+#[test]
+fn migration_under_manual_refactor_too() {
+    // migratability is not PIE-specific: manually refactored codes
+    // migrate as well (Table 1)
+    let (no_lb, _, _) = surge_run(Method::ManualRefactor, 2, 2, None, 0);
+    let (with_lb, migs, _) =
+        surge_run(Method::ManualRefactor, 2, 2, Some(Box::new(RotateLb)), 4);
+    assert!(migs > 0);
+    assert_eq!(no_lb, with_lb);
+}
+
+#[test]
+fn pie_migrations_carry_code_segments() {
+    let cfg = SurgeConfig {
+        nx: 16,
+        ny: 32,
+        steps: 12,
+        lb_period: 4,
+        storm_speed: 1.0,
+        flops_per_wet_cell: 100.0,
+    };
+    let run = |method: Method| {
+        let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(move |ctx| {
+            let mpi = Ampi::init(ctx);
+            let _ = surge::run(&mpi, cfg);
+        });
+        let mut machine = MachineBuilder::new(surge::binary_with_code(2 << 20))
+            .method(method)
+            .topology(Topology::non_smp(2))
+            .vp_ratio(2)
+            .clock(ClockMode::Virtual)
+            .stack_size(192 * 1024)
+            .balancer(Box::new(RotateLb))
+            .build(body)
+            .unwrap();
+        let report = machine.run().unwrap();
+        assert!(!report.migrations.is_empty());
+        report.migrations.iter().map(|m| m.bytes).max().unwrap()
+    };
+    let pie_bytes = run(Method::PieGlobals);
+    let manual_bytes = run(Method::ManualRefactor);
+    assert!(
+        pie_bytes > manual_bytes + (2 << 20),
+        "PIE migration must include the ~2MB code segment: {pie_bytes} vs {manual_bytes}"
+    );
+}
+
+#[test]
+fn comm_aware_lb_colocates_chatty_pairs() {
+    // 8 equal-load ranks on 2 nodes; rank i exchanges a large message
+    // with partner i±4 every step — with block mapping every pair spans
+    // the interconnect. CommLB should co-locate pairs, converting the
+    // traffic to intra-process transfers; load-only GreedyLB has no
+    // reason to.
+    use bytes::Bytes;
+    use pvr_des::SimDuration;
+    use pvr_rts::lb::{CommLb, NullLb};
+
+    let run = |balancer: Box<dyn LoadBalancer>| -> f64 {
+        let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(|ctx| {
+            let me = ctx.rank();
+            let n = ctx.n_ranks();
+            let partner = (me + n / 2) % n;
+            // latency-bound: big messages, tiny compute — the regime
+            // where converting interconnect traffic into shared-memory
+            // transfers (Fig. 1's SMP-mode payoff) dominates
+            for step in 0..12u64 {
+                ctx.compute(SimDuration::from_micros(20));
+                ctx.send(partner, step, Bytes::from(vec![0u8; 4 << 20]));
+                let _ = ctx.recv();
+                if step % 3 == 2 {
+                    ctx.at_sync();
+                }
+            }
+        });
+        let mut machine = MachineBuilder::new(surge::binary_with_code(64 * 1024))
+            .method(Method::PieGlobals)
+            .topology(Topology::non_smp(2))
+            .vp_ratio(4)
+            .clock(ClockMode::Virtual)
+            .balancer(balancer)
+            .build(body)
+            .unwrap();
+        machine.run().unwrap().sim_elapsed.as_secs_f64()
+    };
+
+    let baseline = run(Box::new(NullLb));
+    let comm_aware = run(Box::new(CommLb::default()));
+    assert!(
+        comm_aware < baseline * 0.9,
+        "CommLB should cut cross-node traffic: {comm_aware} vs {baseline}"
+    );
+}

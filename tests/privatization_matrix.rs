@@ -1,0 +1,188 @@
+//! Integration: correctness expectations for every privatization method,
+//! across the full stack (progimage → privatize → rts → ampi → app).
+//!
+//! This is the paper's Table 1/3 in executable form: which methods make
+//! the Fig. 2 hello-world correct, which leave documented holes
+//! (Swapglobals' statics, TLSglobals' untagged variables), and which
+//! refuse their unsupported environments.
+
+use parking_lot::Mutex;
+use pvr_ampi::Ampi;
+use pvr_apps::hello;
+use pvr_privatize::methods::{Options, TagPolicy};
+use pvr_privatize::{Method, Toolchain};
+use pvr_progimage::{link, ImageSpec};
+use pvr_rts::{MachineBuilder, RankCtx, Topology};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+fn hello_outputs(method: Method, toolchain: Toolchain, vps: usize) -> Vec<hello::HelloOutput> {
+    let outputs = Arc::new(Mutex::new(Vec::new()));
+    let out = outputs.clone();
+    let mut machine = MachineBuilder::new(hello::binary())
+        .method(method)
+        .toolchain(toolchain)
+        .topology(Topology::smp(1))
+        .vp_ratio(vps)
+        .build(Arc::new(move |ctx| {
+            let mpi = Ampi::init(ctx);
+            // run first, lock after: holding the lock across the barrier
+            // inside hello::run would deadlock the cooperative scheduler
+            let o = hello::run(&mpi);
+            out.lock().push(o);
+        }))
+        .unwrap();
+    machine.run().unwrap();
+    let mut v = outputs.lock().clone();
+    v.sort_by_key(|o| o.expected_rank);
+    v
+}
+
+#[test]
+fn correct_methods_fix_hello_world() {
+    for (method, toolchain) in [
+        (Method::ManualRefactor, Toolchain::bridges2()),
+        (Method::TlsGlobals, Toolchain::bridges2()),
+        (Method::PipGlobals, Toolchain::bridges2()),
+        (Method::FsGlobals, Toolchain::bridges2()),
+        (Method::PieGlobals, Toolchain::bridges2()),
+        (Method::Swapglobals, Toolchain::legacy_ld()),
+    ] {
+        for o in hello_outputs(method, toolchain, 4) {
+            assert_eq!(
+                o.printed_rank, o.expected_rank,
+                "{method}: my_rank is a Global — every method here must privatize it"
+            );
+        }
+    }
+}
+
+#[test]
+fn unprivatized_is_wrong_with_multiple_vps_but_fine_with_one() {
+    let outs = hello_outputs(Method::Unprivatized, Toolchain::bridges2(), 1);
+    assert_eq!(outs[0].printed_rank, 0);
+    let outs = hello_outputs(Method::Unprivatized, Toolchain::bridges2(), 3);
+    assert!(outs.iter().any(|o| o.printed_rank != o.expected_rank));
+}
+
+#[test]
+fn swapglobals_leaves_statics_shared() {
+    // A variant of hello using a *static* — Swapglobals can't see it.
+    let bin = link(
+        ImageSpec::builder("hello_static")
+            .static_var("my_rank", 8)
+            .build(),
+    );
+    let results = Arc::new(Mutex::new(Vec::new()));
+    let r2 = results.clone();
+    let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(move |ctx| {
+        let mpi = Ampi::init(ctx);
+        let acc = mpi.ctx().instance().access("my_rank");
+        acc.write_u64(mpi.rank() as u64);
+        mpi.barrier(pvr_ampi::COMM_WORLD);
+        r2.lock().push((mpi.rank(), acc.read_u64()));
+    });
+    let mut machine = MachineBuilder::new(bin)
+        .method(Method::Swapglobals)
+        .toolchain(Toolchain::legacy_ld())
+        .vp_ratio(2)
+        .build(body)
+        .unwrap();
+    machine.run().unwrap();
+    let v = results.lock().clone();
+    assert!(
+        v.iter().any(|&(rank, seen)| seen != rank as u64),
+        "statics must remain shared under Swapglobals (the documented hole): {v:?}"
+    );
+}
+
+#[test]
+fn tlsglobals_partial_tagging_leaks() {
+    // User tags `num_ranks` but forgets `my_rank`.
+    let tags = TagPolicy::Set(HashSet::from(["num_ranks".to_string()]));
+    let opts = Options {
+        tls_tags: tags,
+        ..Default::default()
+    };
+    let results = Arc::new(Mutex::new(Vec::new()));
+    let r2 = results.clone();
+    let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(move |ctx| {
+        let mpi = Ampi::init(ctx);
+        let o = hello::run(&mpi);
+        r2.lock().push(o);
+    });
+    let mut machine = MachineBuilder::new(hello::binary())
+        .method(Method::TlsGlobals)
+        .method_options(opts)
+        .vp_ratio(2)
+        .build(body)
+        .unwrap();
+    machine.run().unwrap();
+    let v = results.lock().clone();
+    assert!(
+        v.iter().any(|o| o.printed_rank != o.expected_rank),
+        "an untagged mutable global must still exhibit the bug"
+    );
+}
+
+#[test]
+fn environment_gates_enforced_end_to_end() {
+    let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(|_ctx| {});
+    // Swapglobals on the paper's Bridges-2 toolchain: refused.
+    assert!(MachineBuilder::new(hello::binary())
+        .method(Method::Swapglobals)
+        .toolchain(Toolchain::bridges2())
+        .build(body.clone())
+        .is_err());
+    // PIP/PIE need glibc.
+    for m in [Method::PipGlobals, Method::PieGlobals] {
+        assert!(MachineBuilder::new(hello::binary())
+            .method(m)
+            .toolchain(Toolchain::macos())
+            .build(body.clone())
+            .is_err());
+    }
+    // MPC needs a patched compiler.
+    assert!(MachineBuilder::new(hello::binary())
+        .method(Method::MpcPrivatize)
+        .toolchain(Toolchain::bridges2())
+        .build(body.clone())
+        .is_err());
+    // ...but works (sans migration) with one.
+    let mut t = Toolchain::bridges2();
+    t.compiler.mpc_patched = true;
+    let m = MachineBuilder::new(hello::binary())
+        .method(Method::MpcPrivatize)
+        .toolchain(t)
+        .vp_ratio(2)
+        .build(body)
+        .unwrap();
+    assert!(!m.privatizer(0).supports_migration());
+}
+
+#[test]
+fn mpc_privatize_fixes_hello_given_patched_compiler() {
+    let mut t = Toolchain::bridges2();
+    t.compiler.mpc_patched = true;
+    for o in hello_outputs(Method::MpcPrivatize, t, 4) {
+        assert_eq!(o.printed_rank, o.expected_rank);
+    }
+}
+
+#[test]
+fn photran_works_on_fortran_programs_end_to_end() {
+    // surge is declared Fortran; Photran applies.
+    let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(|ctx| {
+        let inst = ctx.instance();
+        let acc = inst.access("s_step");
+        acc.write_u64(ctx.rank() as u64 + 100);
+        ctx.yield_now();
+        assert_eq!(acc.read_u64(), ctx.rank() as u64 + 100);
+    });
+    let mut machine = MachineBuilder::new(pvr_apps::surge::binary_with_code(1 << 20))
+        .method(Method::Photran)
+        .vp_ratio(2)
+        .build(body)
+        .unwrap();
+    machine.run().unwrap();
+}
