@@ -1,0 +1,457 @@
+//! Offline stand-in for the [`bytes`](https://docs.rs/bytes) crate.
+//!
+//! The build environment has no network access, so the real crate cannot
+//! be fetched. This shim implements the (small) subset of the `bytes` API
+//! the workspace actually uses, with the same semantics:
+//!
+//! - [`Bytes`]: cheaply clonable, immutable byte buffer (`Arc<[u8]>`).
+//! - [`BytesMut`]: growable byte buffer (`Vec<u8>` underneath).
+//! - [`Buf`] / [`BufMut`]: cursor-style read/write traits; big-endian
+//!   `get_u32`/`put_u32` etc. plus `_le` variants, exactly like upstream.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Cheaply clonable immutable contiguous byte buffer.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates a new empty `Bytes`.
+    pub fn new() -> Bytes {
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
+    }
+
+    /// Creates `Bytes` from a static slice (no copy in upstream; we copy
+    /// once into an `Arc`, which preserves semantics).
+    pub fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes { data: Arc::from(s) }
+    }
+
+    /// Copies `s` into a new `Bytes`.
+    pub fn copy_from_slice(s: &[u8]) -> Bytes {
+        Bytes { data: Arc::from(s) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns a new `Bytes` covering `range` of this one.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        Bytes::copy_from_slice(&self.data[start..end])
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for c in std::ascii::escape_default(b) {
+                write!(f, "{}", c as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Bytes {
+        Bytes::from(b.data)
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_ref() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_ref() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_ref() == *other
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Bytes {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+/// Growable mutable byte buffer.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut { data: Vec::new() }
+    }
+
+    pub fn with_capacity(n: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(n),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.data.resize(new_len, value);
+    }
+
+    /// Splits the buffer at `at`, returning the tail and keeping the head.
+    pub fn split_off(&mut self, at: usize) -> BytesMut {
+        BytesMut {
+            data: self.data.split_off(at),
+        }
+    }
+
+    /// Splits the buffer at `at`, returning the head and keeping the tail.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let tail = self.data.split_off(at);
+        let head = std::mem::replace(&mut self.data, tail);
+        BytesMut { data: head }
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.data.len())
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> BytesMut {
+        BytesMut { data: s.to_vec() }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> BytesMut {
+        BytesMut { data: v }
+    }
+}
+
+macro_rules! buf_get {
+    ($name:ident, $name_le:ident, $t:ty, $n:expr) => {
+        /// Reads a big-endian value, advancing the cursor. Panics if the
+        /// buffer is exhausted (same contract as upstream `bytes`).
+        fn $name(&mut self) -> $t {
+            let mut raw = [0u8; $n];
+            self.copy_to_slice(&mut raw);
+            <$t>::from_be_bytes(raw)
+        }
+
+        /// Little-endian variant of the above.
+        fn $name_le(&mut self) -> $t {
+            let mut raw = [0u8; $n];
+            self.copy_to_slice(&mut raw);
+            <$t>::from_le_bytes(raw)
+        }
+    };
+}
+
+/// Read side of a byte cursor.
+pub trait Buf {
+    /// Bytes remaining to be read.
+    fn remaining(&self) -> usize;
+    /// Contiguous view of the unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Advances the cursor by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            self.remaining() >= dst.len(),
+            "buffer exhausted: need {}, have {}",
+            dst.len(),
+            self.remaining()
+        );
+        let mut off = 0;
+        while off < dst.len() {
+            let chunk = self.chunk();
+            let take = chunk.len().min(dst.len() - off);
+            dst[off..off + take].copy_from_slice(&chunk[..take]);
+            off += take;
+            self.advance(take);
+        }
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let mut raw = [0u8; 1];
+        self.copy_to_slice(&mut raw);
+        raw[0]
+    }
+
+    fn get_i8(&mut self) -> i8 {
+        self.get_u8() as i8
+    }
+
+    buf_get!(get_u16, get_u16_le, u16, 2);
+    buf_get!(get_u32, get_u32_le, u32, 4);
+    buf_get!(get_u64, get_u64_le, u64, 8);
+    buf_get!(get_i16, get_i16_le, i16, 2);
+    buf_get!(get_i32, get_i32_le, i32, 4);
+    buf_get!(get_i64, get_i64_le, i64, 8);
+    buf_get!(get_f32, get_f32_le, f32, 4);
+    buf_get!(get_f64, get_f64_le, f64, 8);
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        // a Bytes cursor would need an offset; support read-only use
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = self.slice(cnt..);
+    }
+}
+
+macro_rules! buf_put {
+    ($name:ident, $name_le:ident, $t:ty) => {
+        /// Writes a big-endian value.
+        fn $name(&mut self, v: $t) {
+            self.put_slice(&v.to_be_bytes());
+        }
+
+        /// Little-endian variant of the above.
+        fn $name_le(&mut self, v: $t) {
+            self.put_slice(&v.to_le_bytes());
+        }
+    };
+}
+
+/// Write side of a byte cursor.
+pub trait BufMut {
+    /// Appends `src` to the buffer.
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_i8(&mut self, v: i8) {
+        self.put_u8(v as u8);
+    }
+
+    buf_put!(put_u16, put_u16_le, u16);
+    buf_put!(put_u32, put_u32_le, u32);
+    buf_put!(put_u64, put_u64_le, u64);
+    buf_put!(put_i16, put_i16_le, i16);
+    buf_put!(put_i32, put_i32_le, i32);
+    buf_put!(put_i64, put_i64_le, i64);
+    buf_put!(put_f32, put_f32_le, f32);
+    buf_put!(put_f64, put_f64_le, f64);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_endianness() {
+        let mut b = BytesMut::new();
+        b.put_u32(0xAABBCCDD);
+        b.put_u32_le(0xAABBCCDD);
+        assert_eq!(&b[..4], &[0xAA, 0xBB, 0xCC, 0xDD]);
+        assert_eq!(&b[4..], &[0xDD, 0xCC, 0xBB, 0xAA]);
+        let mut r: &[u8] = &b;
+        assert_eq!(r.get_u32(), 0xAABBCCDD);
+        assert_eq!(r.get_u32_le(), 0xAABBCCDD);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_semantics() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert_eq!(b, [1u8, 2, 3]);
+        assert_eq!(b.slice(1..).as_ref(), &[2, 3]);
+        assert_eq!(Bytes::new().len(), 0);
+        let m = BytesMut::from(&b"hello"[..]);
+        assert_eq!(m.freeze(), *b"hello");
+    }
+
+    #[test]
+    fn split_off_and_to() {
+        let mut m = BytesMut::from(&b"abcdef"[..]);
+        let tail = m.split_off(4);
+        assert_eq!(m.as_slice(), b"abcd");
+        assert_eq!(tail.as_slice(), b"ef");
+        let mut m = BytesMut::from(&b"abcdef"[..]);
+        let head = m.split_to(2);
+        assert_eq!(head.as_slice(), b"ab");
+        assert_eq!(m.as_slice(), b"cdef");
+    }
+}

@@ -28,6 +28,7 @@ impl Ampi {
 
     /// `MPI_Barrier` — dissemination algorithm, ⌈log2 p⌉ rounds.
     pub fn barrier(&self, comm: CommId) {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall { name: "MPI_Barrier" });
         let p = self.comm_size(comm);
         if p <= 1 {
             return;
@@ -49,6 +50,7 @@ impl Ampi {
 
     /// `MPI_Bcast` — binomial tree from `root`.
     pub fn bcast_bytes(&self, comm: CommId, root: usize, data: Option<Bytes>) -> Bytes {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall { name: "MPI_Bcast" });
         let p = self.comm_size(comm);
         let me = self.comm_rank(comm);
         let seq = self.next_coll_seq(comm);
@@ -92,6 +94,7 @@ impl Ampi {
     /// `MPI_Reduce` — binomial tree onto `root`; returns `Some(result)`
     /// on root, `None` elsewhere.
     pub fn reduce(&self, comm: CommId, root: usize, data: &[f64], op: Op) -> Option<Vec<f64>> {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall { name: "MPI_Reduce" });
         let p = self.comm_size(comm);
         let me = self.comm_rank(comm);
         let seq = self.next_coll_seq(comm);
@@ -123,6 +126,7 @@ impl Ampi {
     }
 
     pub fn allreduce_comm(&self, comm: CommId, data: &[f64], op: Op) -> Vec<f64> {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall { name: "MPI_Allreduce" });
         let result = self.reduce(comm, 0, data, op);
         let bytes = self.bcast_bytes(comm, 0, result.map(|r| f64s_to_bytes(&r)));
         bytes_to_f64s(&bytes)
@@ -130,15 +134,16 @@ impl Ampi {
 
     /// `MPI_Gather` (variable-size payloads allowed, like `Gatherv`).
     pub fn gather_bytes(&self, comm: CommId, root: usize, mine: Bytes) -> Option<Vec<Bytes>> {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall { name: "MPI_Gather" });
         let p = self.comm_size(comm);
         let me = self.comm_rank(comm);
         let seq = self.next_coll_seq(comm);
         if me == root {
             let mut parts: Vec<Option<Bytes>> = vec![None; p];
             parts[me] = Some(mine);
-            for i in 0..p {
+            for (i, part) in parts.iter_mut().enumerate() {
                 if i != me {
-                    parts[i] = Some(self.coll_recv(comm, i, Self::coll_tag(seq, 0)));
+                    *part = Some(self.coll_recv(comm, i, Self::coll_tag(seq, 0)));
                 }
             }
             Some(parts.into_iter().map(|b| b.unwrap()).collect())
@@ -150,6 +155,7 @@ impl Ampi {
 
     /// `MPI_Scatter(v)` — root supplies one part per rank.
     pub fn scatter_bytes(&self, comm: CommId, root: usize, parts: Option<Vec<Bytes>>) -> Bytes {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall { name: "MPI_Scatter" });
         let p = self.comm_size(comm);
         let me = self.comm_rank(comm);
         let seq = self.next_coll_seq(comm);
@@ -169,6 +175,7 @@ impl Ampi {
 
     /// `MPI_Allgather` — ring algorithm, p−1 steps.
     pub fn allgather_bytes(&self, comm: CommId, mine: Bytes) -> Vec<Bytes> {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall { name: "MPI_Allgather" });
         let p = self.comm_size(comm);
         let me = self.comm_rank(comm);
         let seq = self.next_coll_seq(comm);
@@ -195,6 +202,7 @@ impl Ampi {
 
     /// `MPI_Alltoall(v)` — pairwise exchange.
     pub fn alltoall_bytes(&self, comm: CommId, parts: Vec<Bytes>) -> Vec<Bytes> {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall { name: "MPI_Alltoall" });
         let p = self.comm_size(comm);
         let me = self.comm_rank(comm);
         assert_eq!(parts.len(), p);
@@ -225,6 +233,7 @@ impl Ampi {
     /// `MPI_Exscan` — exclusive prefix: rank r gets the combination of
     /// ranks 0..r (rank 0 gets `identity`).
     pub fn exscan(&self, comm: CommId, data: &[f64], op: Op, identity: &[f64]) -> Vec<f64> {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall { name: "MPI_Exscan" });
         let p = self.comm_size(comm);
         let me = self.comm_rank(comm);
         let seq = self.next_coll_seq(comm);
@@ -251,13 +260,16 @@ impl Ampi {
     /// `MPI_Reduce_scatter_block`: elementwise-reduce a `p * n` array,
     /// then scatter block `r` (length `n`) to rank `r`.
     pub fn reduce_scatter_block(&self, comm: CommId, data: &[f64], op: Op) -> Vec<f64> {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall {
+            name: "MPI_Reduce_scatter_block",
+        });
         let p = self.comm_size(comm);
         assert_eq!(data.len() % p, 0, "data must be p equal blocks");
         let n = data.len() / p;
         let total = self.reduce(comm, 0, data, op);
         let parts = total.map(|t| {
             t.chunks(n)
-                .map(|c| crate::util::f64s_to_bytes(c))
+                .map(crate::util::f64s_to_bytes)
                 .collect::<Vec<_>>()
         });
         bytes_to_f64s(&self.scatter_bytes(comm, 0, parts))
@@ -265,6 +277,7 @@ impl Ampi {
 
     /// `MPI_Scan` — inclusive prefix along the rank order (linear chain).
     pub fn scan(&self, comm: CommId, data: &[f64], op: Op) -> Vec<f64> {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall { name: "MPI_Scan" });
         let p = self.comm_size(comm);
         let me = self.comm_rank(comm);
         let seq = self.next_coll_seq(comm);

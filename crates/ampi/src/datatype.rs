@@ -194,7 +194,7 @@ mod tests {
 
     #[test]
     fn vector_scatter_into_column() {
-        let mut m = vec![0.0f64; 12];
+        let mut m = [0.0f64; 12];
         let col = Datatype::vector(3, 1, 4);
         let wire = Datatype::contiguous(3).pack(&[7.0, 8.0, 9.0]);
         col.unpack(&wire, &mut m[1..]);

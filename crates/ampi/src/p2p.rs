@@ -58,8 +58,8 @@ impl Ampi {
         move |m: &Incoming| {
             m.env.kind == Kind::PointToPoint
                 && m.env.comm == comm.0
-                && src_global.map_or(true, |g| m.src_global == g)
-                && tag.map_or(true, |t| m.env.tag == t)
+                && src_global.is_none_or(|g| m.src_global == g)
+                && tag.is_none_or(|t| m.env.tag == t)
         }
     }
 
@@ -76,6 +76,7 @@ impl Ampi {
     /// `MPI_Send` (buffered): never blocks in this model, like AMPI's
     /// eager path for reasonable message sizes.
     pub fn send_bytes(&self, comm: CommId, dest: usize, tag: u32, payload: Bytes) {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall { name: "MPI_Send" });
         let to_global = self.to_global(comm, dest);
         self.raw_send(to_global, Envelope::p2p(comm.0, tag), payload);
     }
@@ -87,6 +88,7 @@ impl Ampi {
         src: Option<usize>,
         tag: Option<u32>,
     ) -> (Bytes, Status) {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall { name: "MPI_Recv" });
         let mut pred = self.p2p_pred(comm, src, tag);
         let m = self.recv_matching(&mut pred);
         drop(pred);
@@ -101,6 +103,7 @@ impl Ampi {
         src: Option<usize>,
         tag: Option<u32>,
     ) -> Option<(Bytes, Status)> {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall { name: "MPI_Iprobe" });
         let mut pred = self.p2p_pred(comm, src, tag);
         let m = self.try_recv_matching(&mut pred)?;
         drop(pred);
@@ -110,12 +113,14 @@ impl Ampi {
 
     /// `MPI_Isend` — buffered, so complete at post time.
     pub fn isend_bytes(&self, comm: CommId, dest: usize, tag: u32, payload: Bytes) -> Request {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall { name: "MPI_Isend" });
         self.send_bytes(comm, dest, tag, payload);
         Request::SendDone
     }
 
     /// `MPI_Irecv`: matching is deferred to `wait`/`test`.
     pub fn irecv(&self, comm: CommId, src: Option<usize>, tag: Option<u32>) -> Request {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall { name: "MPI_Irecv" });
         Request::Recv {
             comm,
             src,
@@ -154,6 +159,7 @@ impl Ampi {
     /// `MPI_Wait`: blocks until the request completes; returns receive
     /// data for receive requests.
     pub fn wait(&self, req: &mut Request) -> Option<(Bytes, Status)> {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall { name: "MPI_Wait" });
         match req {
             Request::SendDone => None,
             Request::Recv {
@@ -191,6 +197,9 @@ impl Ampi {
         src: Option<usize>,
         recv_tag: Option<u32>,
     ) -> (Bytes, Status) {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall {
+            name: "MPI_Sendrecv",
+        });
         self.send_bytes(comm, dest, send_tag, payload);
         self.recv_bytes(comm, src, recv_tag)
     }

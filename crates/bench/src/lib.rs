@@ -15,6 +15,9 @@
 //! | Fig. 8 migration time | [`fig8`] | `repro -- fig8` |
 //! | §4.5 L1I misses | [`icache_exp`] | `repro -- icache` |
 //! | Table 2 + Fig. 9 ADCIRC scaling | [`scaling`] | `repro -- table2` / `fig9` |
+//!
+//! Beyond the paper's artifacts, [`tracing_exp`] demonstrates the
+//! `pvr-trace` observability layer (`repro -- trace`).
 
 pub mod fig5;
 pub mod fig6;
@@ -23,6 +26,7 @@ pub mod fig8;
 pub mod icache_exp;
 pub mod scaling;
 pub mod tables;
+pub mod tracing_exp;
 
 /// Render a simple aligned text table.
 pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {

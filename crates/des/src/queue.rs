@@ -158,6 +158,35 @@ mod tests {
         assert!(q.is_empty());
     }
 
+    #[test]
+    fn same_time_fifo_survives_interleaved_push_pop() {
+        // Regression pin for the scheduler's determinism guarantee: a
+        // PeWake and a Deliver scheduled for the same instant must pop in
+        // scheduling order even when other events are popped in between
+        // (the heap is reorganized by every pop, and the global `seq`
+        // keeps counting — the tie-break must still hold).
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), "early-a");
+        q.schedule(SimTime(50), "tie-1");
+        q.schedule(SimTime(10), "early-b");
+        assert_eq!(q.pop().unwrap().1, "early-a");
+        // now() == 10; schedule more ties for t=50 after a pop
+        q.schedule(SimTime(50), "tie-2");
+        assert_eq!(q.pop().unwrap().1, "early-b");
+        q.schedule(SimTime(50), "tie-3");
+        q.schedule(SimTime(20), "mid");
+        assert_eq!(q.pop().unwrap().1, "mid");
+        // a final same-time arrival right at the pop boundary
+        q.schedule(SimTime(50), "tie-4");
+        let ties: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(
+            ties,
+            vec!["tie-1", "tie-2", "tie-3", "tie-4"],
+            "same-timestamp events must pop in scheduling order"
+        );
+        assert_eq!(q.now(), SimTime(50));
+    }
+
     proptest! {
         #[test]
         fn prop_monotone_pops(times in proptest::collection::vec(0u64..1_000, 1..200)) {

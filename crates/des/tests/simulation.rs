@@ -78,7 +78,7 @@ fn deterministic_merge_of_event_streams() {
             q.schedule(SimTime(step * 100), (producer, step as usize));
         }
     }
-    let mut last_step_per_producer = vec![-1i64; 4];
+    let mut last_step_per_producer = [-1i64; 4];
     let mut count = 0;
     while let Some((_, (producer, step))) = q.pop() {
         assert!(last_step_per_producer[producer] < step as i64);

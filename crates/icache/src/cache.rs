@@ -113,12 +113,10 @@ impl Cache {
         let tag = line_addr / self.sets.len() as u64;
         let set = &mut self.sets[set_idx];
 
-        for way in set.ways.iter_mut() {
-            if let Some((t, used)) = way {
-                if *t == tag {
-                    *used = self.tick;
-                    return true;
-                }
+        for (t, used) in set.ways.iter_mut().flatten() {
+            if *t == tag {
+                *used = self.tick;
+                return true;
             }
         }
         self.counters.misses += 1;

@@ -389,7 +389,7 @@ mod tests {
         roundtrip(u64::MAX);
         roundtrip(-42i64);
         roundtrip(-1i32);
-        roundtrip(3.14159f64);
+        roundtrip(std::f64::consts::PI);
         roundtrip(true);
         roundtrip(false);
         roundtrip(String::from("hello pup"));

@@ -204,6 +204,11 @@ impl RankMemory {
             buf.put_u64(r.len() as u64);
             buf.put_slice(r.as_slice());
         }
+        pvr_trace::emit(pvr_trace::EventKind::RegionCopy {
+            dir: pvr_trace::CopyDir::Pack,
+            regions: n as u32,
+            bytes: buf.len() as u64,
+        });
         MigrationBuffer { buf }
     }
 
@@ -282,6 +287,11 @@ impl RankMemory {
                 }
             }
         }
+        pvr_trace::emit(pvr_trace::EventKind::RegionCopy {
+            dir: pvr_trace::CopyDir::Unpack,
+            regions: n as u32,
+            bytes: buf.buf.len() as u64,
+        });
         Ok(())
     }
 

@@ -181,6 +181,14 @@ impl Privatizer for PieGlobals {
         let new_data = data_copy.base() as usize;
         let data_ptr = data_copy.base_mut();
         let data_len = data_copy.len();
+        pvr_trace::emit(pvr_trace::EventKind::SegmentCopy {
+            segment: pvr_trace::Segment::Code,
+            bytes: code_copy.len() as u64,
+        });
+        pvr_trace::emit(pvr_trace::EventKind::SegmentCopy {
+            segment: pvr_trace::Segment::Data,
+            bytes: data_len as u64,
+        });
         mem.add_region(code_copy);
         mem.add_region(data_copy);
 
@@ -260,12 +268,19 @@ impl Privatizer for PieGlobals {
                     .unwrap_or(entry);
             }
         }
+        pvr_trace::emit(pvr_trace::EventKind::GotFixup {
+            entries: got_len as u32,
+        });
 
         // Step 5: per-rank TLS block (TLSglobals combination).
         let mut tls_block = Region::new_zeroed(RegionKind::TlsSegment, self.tls_block_size);
         let tpl = image.tls_template();
         tls_block.as_mut_slice()[..tpl.len()].copy_from_slice(tpl);
         let tls_base = tls_block.base_mut();
+        pvr_trace::emit(pvr_trace::EventKind::SegmentCopy {
+            segment: pvr_trace::Segment::Tls,
+            bytes: self.tls_block_size as u64,
+        });
         mem.add_region(tls_block);
 
         // Resolve accesses: data vars → direct into the rank's data copy;

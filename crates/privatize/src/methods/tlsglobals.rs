@@ -266,6 +266,10 @@ impl Privatizer for TlsGlobals {
             block.as_mut_slice()[e.offset..e.offset + len].copy_from_slice(&e.init[..len]);
         }
         let base = block.base_mut();
+        pvr_trace::emit(pvr_trace::EventKind::SegmentCopy {
+            segment: pvr_trace::Segment::Tls,
+            bytes: self.block_size as u64,
+        });
         mem.add_region(block);
 
         let mut accesses: HashMap<String, VarAccess> = HashMap::new();

@@ -92,8 +92,18 @@ impl RankInstance {
     pub fn activate(&self) {
         match self.ctx {
             CtxAction::None => {}
-            CtxAction::SetTls(p) => regs::set_tls_base(p),
-            CtxAction::SetGot(g) => regs::set_got_base(g),
+            CtxAction::SetTls(p) => {
+                regs::set_tls_base(p);
+                pvr_trace::emit(pvr_trace::EventKind::PrivInstall {
+                    reg: pvr_trace::PrivReg::Tls,
+                });
+            }
+            CtxAction::SetGot(g) => {
+                regs::set_got_base(g);
+                pvr_trace::emit(pvr_trace::EventKind::PrivInstall {
+                    reg: pvr_trace::PrivReg::Got,
+                });
+            }
         }
     }
 

@@ -83,8 +83,7 @@ proptest! {
         // rank memories must outlive the queries (as in the real runtime,
         // where RankState owns them for the whole job)
         let mut mems: Vec<RankMemory> = (0..3).map(|_| RankMemory::new()).collect();
-        for rank in 0..3 {
-            let mem = &mut mems[rank];
+        for (rank, mem) in mems.iter_mut().enumerate() {
             let inst = p.instantiate_rank(rank, mem).unwrap();
 
             // every ctor-written pointer must now point into rank memory

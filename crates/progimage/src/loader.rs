@@ -158,7 +158,7 @@ impl DynLoader {
                 binary: binary.path.clone(),
             });
         }
-        if self.namespaces.len() - 1 >= self.max_dlmopen_namespaces {
+        if self.namespaces.len() > self.max_dlmopen_namespaces {
             return Err(DlError::NamespaceExhausted {
                 limit: self.max_dlmopen_namespaces,
             });

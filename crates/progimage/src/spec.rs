@@ -53,7 +53,7 @@ impl GlobalSpec {
         GlobalSpec {
             name: name.to_string(),
             size,
-            align: size.next_power_of_two().min(16).max(1),
+            align: size.next_power_of_two().clamp(1, 16),
             init: Vec::new(),
             class,
             mutability: Mutability::Mutable,

@@ -70,8 +70,8 @@ proptest! {
     #[test]
     fn distinct_loads_are_isolated(n_vars in 1usize..10, sizes in proptest::collection::vec(1usize..64, 10)) {
         let mut b = ImageSpec::builder("iso");
-        for i in 0..n_vars {
-            b = b.var(GlobalSpec::new(&format!("x{i}"), sizes[i], VarClass::Global));
+        for (i, &size) in sizes.iter().enumerate().take(n_vars) {
+            b = b.var(GlobalSpec::new(&format!("x{i}"), size, VarClass::Global));
         }
         let bin = link(b.build());
         let a = LoadedImage::load(bin.clone(), NamespaceId::BASE);

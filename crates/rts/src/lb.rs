@@ -32,10 +32,18 @@ pub struct LbStats {
 
 impl LbStats {
     /// Per-PE total load under `placement`.
+    ///
+    /// Defensive against malformed input from a buggy strategy: entries
+    /// addressing a PE outside `0..n_pes` and placements longer than the
+    /// load vector contribute nothing instead of panicking — LB is
+    /// advisory, and the runtime must not crash on a bad placement it is
+    /// only *evaluating*.
     pub fn pe_loads(&self, placement: &[PeId]) -> Vec<f64> {
         let mut v = vec![0.0; self.n_pes];
-        for (r, &pe) in placement.iter().enumerate() {
-            v[pe] += self.loads[r];
+        for (&pe, &load) in placement.iter().zip(&self.loads) {
+            if let Some(slot) = v.get_mut(pe) {
+                *slot += load;
+            }
         }
         v
     }
@@ -48,10 +56,13 @@ impl LbStats {
 
     /// Lower bound on any placement's makespan.
     pub fn lower_bound(&self) -> f64 {
-        let total: f64 = self.loads.iter().sum();
-        let avg = total / self.n_pes as f64;
         let max = self.loads.iter().copied().fold(0.0, f64::max);
-        avg.max(max)
+        if self.n_pes == 0 {
+            // degenerate: no PEs to spread over — avoid the 0/0 NaN
+            return max;
+        }
+        let total: f64 = self.loads.iter().sum();
+        (total / self.n_pes as f64).max(max)
     }
 
     /// How many ranks `new` moves relative to the current placement.
@@ -293,9 +304,9 @@ impl LoadBalancer for CommLb {
             // partners
             let mut best_pe = 0;
             let mut best_score = f64::INFINITY;
-            for pe in 0..stats.n_pes {
+            for (pe, &load_on_pe) in pe_load.iter().enumerate() {
                 // refuse to overload a PE for the sake of affinity
-                if pe_load[pe] + stats.loads[r] > avg * 1.5 && pe_load[pe] > 0.0 {
+                if load_on_pe + stats.loads[r] > avg * 1.5 && load_on_pe > 0.0 {
                     continue;
                 }
                 let mut affinity = 0.0;
@@ -305,7 +316,7 @@ impl LoadBalancer for CommLb {
                         affinity += traffic.get(&key).copied().unwrap_or(0.0);
                     }
                 }
-                let score = pe_load[pe] - affinity * self.secs_per_byte;
+                let score = load_on_pe - affinity * self.secs_per_byte;
                 if score < best_score {
                     best_score = score;
                     best_pe = pe;
@@ -441,6 +452,48 @@ mod tests {
     fn null_lb_is_identity() {
         let s = stats(vec![3.0, 1.0], 2);
         assert_eq!(NullLb.rebalance(&s), s.placement);
+    }
+
+    #[test]
+    fn pe_loads_tolerates_malformed_placements() {
+        let s = stats(vec![2.0, 3.0, 5.0], 2);
+        // a PE index out of range must not panic; in-range entries
+        // still accumulate
+        let v = s.pe_loads(&[0, 9, 1]);
+        assert_eq!(v, vec![2.0, 5.0]);
+        // placement longer than the load vector: extra entries ignored
+        let v = s.pe_loads(&[0, 1, 1, 0, 1]);
+        assert_eq!(v, vec![2.0, 8.0]);
+        // shorter placement: unplaced ranks contribute nothing
+        let v = s.pe_loads(&[1]);
+        assert_eq!(v, vec![0.0, 2.0]);
+        // empty everything stays finite and sane
+        let empty = LbStats {
+            loads: vec![],
+            placement: vec![],
+            n_pes: 0,
+            migration_bytes: vec![],
+            comm_bytes: vec![],
+        };
+        assert!(empty.pe_loads(&[]).is_empty());
+        assert_eq!(empty.makespan(&[]), 0.0);
+    }
+
+    #[test]
+    fn lower_bound_defined_for_degenerate_stats() {
+        // zero PEs: no division by zero / NaN
+        let s = LbStats {
+            loads: vec![4.0, 1.0],
+            placement: vec![],
+            n_pes: 0,
+            migration_bytes: vec![],
+            comm_bytes: vec![],
+        };
+        assert!(s.lower_bound().is_finite());
+        assert_eq!(s.lower_bound(), 4.0);
+        // no ranks: bound is zero
+        let s = stats(vec![], 3);
+        assert_eq!(s.lower_bound(), 0.0);
     }
 
     proptest! {

@@ -20,6 +20,7 @@ use pvr_privatize::{
     create_privatizer, Method, PrivatizeEnv, PrivatizeError, Privatizer, Toolchain,
 };
 use pvr_progimage::{ProgramBinary, SharedFs};
+use pvr_trace::{EventKind, Tracer, NO_RANK};
 use pvr_ult::{Backend, StackMem, Ult};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -114,6 +115,7 @@ pub struct MachineBuilder {
     code_dedup_migration: bool,
     checkpoint_period: u32,
     inject_fault_at_lb_step: Option<u32>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl MachineBuilder {
@@ -135,6 +137,7 @@ impl MachineBuilder {
             code_dedup_migration: false,
             checkpoint_period: 0,
             inject_fault_at_lb_step: None,
+            tracer: None,
         }
     }
 
@@ -226,6 +229,14 @@ impl MachineBuilder {
         self
     }
 
+    /// Attach an event recorder (see `pvr-trace`). The tracer still has
+    /// to be enabled to record; with no tracer attached — the default —
+    /// every instrumentation hook reduces to a branch on `None`.
+    pub fn tracer(mut self, t: Arc<Tracer>) -> Self {
+        self.tracer = Some(t);
+        self
+    }
+
     /// Instantiate the job: one privatizer per OS process, then all
     /// ranks. This is the unit the startup experiment (Fig. 5) times.
     pub fn build(
@@ -249,8 +260,17 @@ impl MachineBuilder {
 
         let location = LocationManager::new_block(n_ranks, n_pes);
         let mut ranks: Vec<RankState> = Vec::with_capacity(n_ranks);
+        // Scope the tracer over instantiation so privatizer startup work
+        // (segment copies, GOT fixups) lands in the trace.
+        let trace_scope = self
+            .tracer
+            .as_ref()
+            .map(|t| pvr_trace::ThreadScope::install(t.clone()));
         for r in 0..n_ranks {
             let pe = location.lookup(r);
+            if trace_scope.is_some() {
+                pvr_trace::set_context(pe, r as u32, 0);
+            }
             let proc = topo.process_of_pe(pe);
             let mut mem = RankMemory::new();
             let instance = Arc::new(privatizers[proc].instantiate_rank(r, &mut mem)?);
@@ -295,6 +315,7 @@ impl MachineBuilder {
                 migrations: 0,
             });
         }
+        drop(trace_scope);
 
         let mut pes: Vec<PeState> = (0..n_pes).map(|_| PeState::default()).collect();
         for r in 0..n_ranks {
@@ -339,6 +360,7 @@ impl MachineBuilder {
             last_checkpoint: None,
             checkpoints_taken: 0,
             recoveries: 0,
+            tracer: self.tracer,
         })
     }
 }
@@ -382,6 +404,7 @@ pub struct Machine {
     last_checkpoint: Option<Vec<(pvr_isomalloc::MigrationBuffer, Option<usize>)>>,
     checkpoints_taken: u32,
     recoveries: u32,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Machine {
@@ -395,6 +418,38 @@ impl Machine {
 
     pub fn method(&self) -> Method {
         self.privatizers[0].method()
+    }
+
+    /// The attached event recorder, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// Nanosecond timestamp for trace events on `pe`: the virtual clock
+    /// in virtual mode, wall time since the machine epoch otherwise.
+    fn trace_now_ns(&self, pe: PeId) -> u64 {
+        match self.clock {
+            ClockMode::Virtual => self.pes[pe].clock.nanos(),
+            ClockMode::RealTime => self.epoch.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Record a scheduler-side trace event. Free (one `Option` branch)
+    /// when no tracer is attached.
+    #[inline]
+    fn trace(&self, pe: PeId, rank: u32, kind: EventKind) {
+        if let Some(t) = &self.tracer {
+            t.record(pe, rank, self.trace_now_ns(pe), kind);
+        }
+    }
+
+    /// Install the tracer as this thread's emission target for the
+    /// duration of a public entry point, so hooks in the library crates
+    /// (`pvr-ampi`, `pvr-privatize`, `pvr-isomalloc`) reach it.
+    fn trace_scope(&self) -> Option<pvr_trace::ThreadScope> {
+        self.tracer
+            .as_ref()
+            .map(|t| pvr_trace::ThreadScope::install(t.clone()))
     }
 
     /// Simulated I/O charged during startup (FSglobals) — add to measured
@@ -462,6 +517,7 @@ impl Machine {
     /// used by benchmark harnesses that need a rank in a known state
     /// (e.g. parked in `Recv`) before migrating it.
     pub fn drive_rank(&mut self, rank: RankId) -> Result<(), RtsError> {
+        let _scope = self.trace_scope();
         self.run_rank_slice(rank).map(|_| ())
     }
 
@@ -494,6 +550,11 @@ impl Machine {
                 rank,
                 detail: "rank already completed".into(),
             });
+        }
+        // Region-copy events from pack/unpack land against this rank.
+        let trace_scope = self.trace_scope();
+        if trace_scope.is_some() {
+            pvr_trace::set_context(from_pe, rank as u32, self.trace_now_ns(from_pe));
         }
 
         // Pack (real memcpy) → "transfer" → unpack (real memcpy). The
@@ -543,6 +604,16 @@ impl Machine {
             real_time,
             sim_cost,
         };
+        self.trace(
+            from_pe,
+            rank as u32,
+            EventKind::Migration {
+                from_pe: from_pe as u32,
+                to_pe: to_pe as u32,
+                bytes: bytes as u64,
+            },
+        );
+        drop(trace_scope);
         self.migrations.push(rec);
         Ok(rec)
     }
@@ -581,6 +652,18 @@ impl Machine {
         let to = msg.to;
         self.messages_delivered += 1;
         self.ranks[to].messages_received += 1;
+        if self.tracer.is_some() {
+            let pe = self.ranks[to].location;
+            self.trace(
+                pe,
+                to as u32,
+                EventKind::MsgRecv {
+                    from: msg.from as u32,
+                    tag: msg.tag,
+                    bytes: msg.wire_bytes() as u32,
+                },
+            );
+        }
         self.ranks[to].mailbox.push_back(msg);
         if self.ranks[to].status == RankStatus::Waiting {
             let m = self.ranks[to]
@@ -590,6 +673,7 @@ impl Machine {
             self.respond(to, Response::Message(m));
             self.ranks[to].status = RankStatus::Ready;
             let pe = self.ranks[to].location;
+            self.trace(pe, to as u32, EventKind::Unblock);
             self.pes[pe].ready.push_back(to);
             if self.clock == ClockMode::Virtual {
                 let at = self.queue.now().max_of(self.pes[pe].clock);
@@ -616,6 +700,16 @@ impl Machine {
             self.ranks[r].shared.now_ns.store(now_ns, Ordering::Relaxed);
             self.pes[pe].switches += 1;
             self.total_switches += 1;
+            if self.tracer.is_some() {
+                pvr_trace::set_context(pe, r as u32, now_ns);
+                self.trace(
+                    pe,
+                    r as u32,
+                    EventKind::CtxSwitchIn {
+                        ctx_work: self.ranks[r].instance.has_ctx_work(),
+                    },
+                );
+            }
 
             let mut ult = self.ranks[r].ult.take().expect("rank ULT present");
             let t0 = Instant::now();
@@ -670,6 +764,15 @@ impl Machine {
                     self.ranks[r].messages_sent += 1;
                     let msg = RtsMessage::new(r, to, tag, payload);
                     *self.comm_bytes.entry((r, to)).or_default() += msg.wire_bytes() as u64;
+                    self.trace(
+                        pe,
+                        r as u32,
+                        EventKind::MsgSend {
+                            to: to as u32,
+                            tag,
+                            bytes: msg.wire_bytes() as u32,
+                        },
+                    );
                     self.respond(r, Response::Ack);
                     self.route(pe, msg);
                 }
@@ -678,6 +781,7 @@ impl Machine {
                         self.respond(r, Response::Message(m));
                     } else {
                         self.ranks[r].status = RankStatus::Waiting;
+                        self.trace(pe, r as u32, EventKind::Block);
                         // response delivered when a message arrives and
                         // the rank is rescheduled
                         return Ok(StopReason::BlockedRecv);
@@ -794,6 +898,7 @@ impl Machine {
     /// Run one LB step: measure, rebalance, migrate, release.
     fn do_lb_step(&mut self) -> Result<(), RtsError> {
         self.lb_steps += 1;
+        let migrations_before = self.migrations.len();
 
         // Coordinated checkpointing and fault injection happen at the
         // barrier, where every live rank is quiescent.
@@ -903,17 +1008,31 @@ impl Machine {
             }
         }
         self.at_sync_count = 0;
+        self.trace(
+            0,
+            NO_RANK,
+            EventKind::LbStep {
+                step: self.lb_steps,
+                migrations: (self.migrations.len() - migrations_before) as u32,
+            },
+        );
         Ok(())
     }
 
     /// Run the job to completion.
     pub fn run(&mut self) -> Result<RunReport, RtsError> {
+        let _scope = self.trace_scope();
         let t0 = Instant::now();
         match self.clock {
             ClockMode::RealTime => self.run_real()?,
             ClockMode::Virtual => self.run_virtual()?,
         }
         let real_elapsed = t0.elapsed();
+        if let Some(t) = &self.tracer {
+            for (pe, p) in self.pes.iter().enumerate() {
+                t.set_pe_clock(pe, p.busy.nanos(), p.idle.nanos());
+            }
+        }
         Ok(RunReport {
             sim_elapsed: self
                 .pes
@@ -1586,7 +1705,7 @@ mod tests {
             .unwrap();
         m.run().unwrap();
         let mut reference = finals.lock().clone();
-        reference.sort_by(|a, b| a.0.cmp(&b.0));
+        reference.sort_by_key(|a| a.0);
         finals.lock().clear();
         let (ckpts, recov) = m.fault_tolerance_stats();
         assert!(ckpts >= 5);
@@ -1607,7 +1726,7 @@ mod tests {
         let (_, recov) = m.fault_tolerance_stats();
         assert_eq!(recov, 1, "the injected fault must trigger one recovery");
         let mut faulty = finals.lock().clone();
-        faulty.sort_by(|a, b| a.0.cmp(&b.0));
+        faulty.sort_by_key(|a| a.0);
         assert_eq!(
             faulty, reference,
             "recovered run must produce identical results"

@@ -24,10 +24,15 @@ pub struct LbRecord {
 
 impl LbRecord {
     fn imbalance(loads: &[f64]) -> f64 {
+        if loads.is_empty() {
+            return 0.0;
+        }
         let max = loads.iter().copied().fold(0.0, f64::max);
-        let avg = loads.iter().sum::<f64>() / loads.len().max(1) as f64;
+        let avg = loads.iter().sum::<f64>() / loads.len() as f64;
         if avg == 0.0 {
-            1.0
+            // an all-idle step carries no imbalance (and must not report
+            // the "perfectly balanced" 1.0 either)
+            0.0
         } else {
             max / avg
         }
@@ -174,5 +179,35 @@ mod tests {
         let rec = &r.lb_history[0];
         assert!((rec.imbalance_before() - 10.0 / 6.0).abs() < 1e-9);
         assert!((rec.imbalance_after() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_of_empty_or_idle_step_is_zero() {
+        let rec = LbRecord {
+            step: 1,
+            at: SimTime(0),
+            pe_loads_before: vec![],
+            pe_loads_after: vec![0.0, 0.0, 0.0],
+            migrations: 0,
+            comm_bytes: 0,
+        };
+        // empty load vector: no PEs measured, no imbalance — and no NaN
+        assert_eq!(rec.imbalance_before(), 0.0);
+        // all-idle step: must not claim "perfectly balanced" (1.0)
+        assert_eq!(rec.imbalance_after(), 0.0);
+        assert!(rec.imbalance_before().is_finite());
+    }
+
+    #[test]
+    fn imbalance_single_pe_is_balanced() {
+        let rec = LbRecord {
+            step: 1,
+            at: SimTime(0),
+            pe_loads_before: vec![0.25],
+            pe_loads_after: vec![0.25],
+            migrations: 0,
+            comm_bytes: 0,
+        };
+        assert!((rec.imbalance_before() - 1.0).abs() < 1e-12);
     }
 }

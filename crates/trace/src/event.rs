@@ -1,0 +1,135 @@
+//! Trace event vocabulary.
+//!
+//! Every event is a fixed-size `Copy` value so the recorder's hot path
+//! never allocates: variable-length information (MPI call names) is
+//! carried as `&'static str`.
+
+/// Sentinel rank for events not attributable to a virtual rank (LB steps,
+/// scheduler-side bookkeeping).
+pub const NO_RANK: u32 = u32::MAX;
+
+/// Which program segment a privatizer copied for a rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Segment {
+    Code,
+    Data,
+    Tls,
+}
+
+impl Segment {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Segment::Code => "code",
+            Segment::Data => "data",
+            Segment::Tls => "tls",
+        }
+    }
+}
+
+/// Direction of an Isomalloc rank-memory copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyDir {
+    /// Regions → wire buffer (migration/checkpoint pack).
+    Pack,
+    /// Wire buffer → regions (migration/checkpoint unpack).
+    Unpack,
+}
+
+impl CopyDir {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CopyDir::Pack => "pack",
+            CopyDir::Unpack => "unpack",
+        }
+    }
+}
+
+/// Which privatization register a context switch installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrivReg {
+    Tls,
+    Got,
+}
+
+impl PrivReg {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PrivReg::Tls => "tls",
+            PrivReg::Got => "got",
+        }
+    }
+}
+
+/// One traced runtime occurrence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// The scheduler switched a PE to a rank's ULT.
+    CtxSwitchIn {
+        /// Whether the rank's privatization method performs register
+        /// work on activation (Fig. 6's differentiator).
+        ctx_work: bool,
+    },
+    /// A rank blocked on communication (parked in `Recv`).
+    Block,
+    /// A message arrival woke a blocked rank.
+    Unblock,
+    /// A rank posted a message.
+    MsgSend { to: u32, tag: u64, bytes: u32 },
+    /// A message reached its destination rank's mailbox.
+    MsgRecv { from: u32, tag: u64, bytes: u32 },
+    /// A rank's memory moved between PEs.
+    Migration { from_pe: u32, to_pe: u32, bytes: u64 },
+    /// One load-balancing sync step completed.
+    LbStep { step: u32, migrations: u32 },
+    /// A privatizer copied a program segment for a rank (startup).
+    SegmentCopy { segment: Segment, bytes: u64 },
+    /// A privatizer rebased a rank's GOT entries (startup).
+    GotFixup { entries: u32 },
+    /// A context switch installed a privatization register (TLS/GOT).
+    PrivInstall { reg: PrivReg },
+    /// Isomalloc packed/unpacked a rank's regions (migration,
+    /// checkpoint, or restore).
+    RegionCopy {
+        dir: CopyDir,
+        regions: u32,
+        bytes: u64,
+    },
+    /// An MPI-level entry point ran (AMPI layer).
+    MpiCall { name: &'static str },
+}
+
+impl EventKind {
+    /// Stable lowercase tag used by the JSON export and summaries.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::CtxSwitchIn { .. } => "ctx_switch_in",
+            EventKind::Block => "block",
+            EventKind::Unblock => "unblock",
+            EventKind::MsgSend { .. } => "msg_send",
+            EventKind::MsgRecv { .. } => "msg_recv",
+            EventKind::Migration { .. } => "migration",
+            EventKind::LbStep { .. } => "lb_step",
+            EventKind::SegmentCopy { .. } => "segment_copy",
+            EventKind::GotFixup { .. } => "got_fixup",
+            EventKind::PrivInstall { .. } => "priv_install",
+            EventKind::RegionCopy { .. } => "region_copy",
+            EventKind::MpiCall { .. } => "mpi_call",
+        }
+    }
+}
+
+/// A recorded event: what happened, where, and when.
+///
+/// `seq` is a tracer-wide monotonic sequence number, so merged per-PE
+/// streams have a total order even when timestamps tie.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    pub seq: u64,
+    /// Nanoseconds: virtual clock in virtual mode, wall time since the
+    /// machine epoch in real-time mode.
+    pub t_ns: u64,
+    pub pe: u32,
+    /// The rank involved, or [`NO_RANK`].
+    pub rank: u32,
+    pub kind: EventKind,
+}

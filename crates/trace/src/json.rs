@@ -1,0 +1,228 @@
+//! Hand-rolled JSON export (the workspace carries no serde).
+//!
+//! The format is stable and flat so external tooling (or a test) can
+//! consume it with any JSON parser:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "n_pes": 2,
+//!   "dropped": 0,
+//!   "counts": { "ctx_switches": 12, ... },
+//!   "pes": [
+//!     { "pe": 0, "busy_ns": 10, "idle_ns": 2, "events": [
+//!       { "seq": 0, "t_ns": 0, "pe": 0, "rank": 0,
+//!         "kind": "ctx_switch_in", "ctx_work": true }, ... ] } ]
+//! }
+//! ```
+//!
+//! `counts` are exact even when rings wrapped; `events` are the retained
+//! (most recent) events per PE. Events carried by no rank (LB steps)
+//! have `"rank": null`.
+
+use crate::event::{Event, EventKind, NO_RANK};
+use crate::recorder::TraceSnapshot;
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn event_json(e: &Event) -> String {
+    let mut s = format!(
+        "{{\"seq\": {}, \"t_ns\": {}, \"pe\": {}, \"rank\": {}, \"kind\": \"{}\"",
+        e.seq,
+        e.t_ns,
+        e.pe,
+        if e.rank == NO_RANK {
+            "null".to_string()
+        } else {
+            e.rank.to_string()
+        },
+        e.kind.tag()
+    );
+    match e.kind {
+        EventKind::CtxSwitchIn { ctx_work } => {
+            s.push_str(&format!(", \"ctx_work\": {ctx_work}"));
+        }
+        EventKind::Block | EventKind::Unblock => {}
+        EventKind::MsgSend { to, tag, bytes } => {
+            s.push_str(&format!(", \"to\": {to}, \"tag\": {tag}, \"bytes\": {bytes}"));
+        }
+        EventKind::MsgRecv { from, tag, bytes } => {
+            s.push_str(&format!(
+                ", \"from\": {from}, \"tag\": {tag}, \"bytes\": {bytes}"
+            ));
+        }
+        EventKind::Migration {
+            from_pe,
+            to_pe,
+            bytes,
+        } => {
+            s.push_str(&format!(
+                ", \"from_pe\": {from_pe}, \"to_pe\": {to_pe}, \"bytes\": {bytes}"
+            ));
+        }
+        EventKind::LbStep { step, migrations } => {
+            s.push_str(&format!(", \"step\": {step}, \"migrations\": {migrations}"));
+        }
+        EventKind::SegmentCopy { segment, bytes } => {
+            s.push_str(&format!(
+                ", \"segment\": \"{}\", \"bytes\": {bytes}",
+                segment.as_str()
+            ));
+        }
+        EventKind::GotFixup { entries } => {
+            s.push_str(&format!(", \"entries\": {entries}"));
+        }
+        EventKind::PrivInstall { reg } => {
+            s.push_str(&format!(", \"reg\": \"{}\"", reg.as_str()));
+        }
+        EventKind::RegionCopy { dir, regions, bytes } => {
+            s.push_str(&format!(
+                ", \"dir\": \"{}\", \"regions\": {regions}, \"bytes\": {bytes}",
+                dir.as_str()
+            ));
+        }
+        EventKind::MpiCall { name } => {
+            s.push_str(&format!(", \"name\": \"{}\"", escape(name)));
+        }
+    }
+    s.push('}');
+    s
+}
+
+impl TraceSnapshot {
+    /// Serialize the snapshot. See the module docs for the schema.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let c = &self.counts;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"version\": 1,\n  \"n_pes\": {},\n  \"dropped\": {},\n",
+            self.n_pes(),
+            self.dropped
+        );
+        let _ = writeln!(
+            out,
+            "  \"counts\": {{\"ctx_switches\": {}, \"blocks\": {}, \"unblocks\": {}, \
+             \"msgs_sent\": {}, \"msgs_recv\": {}, \"send_bytes\": {}, \"recv_bytes\": {}, \
+             \"migrations\": {}, \"migration_bytes\": {}, \"lb_steps\": {}, \
+             \"segment_copies\": {}, \"segment_copy_bytes\": {}, \"got_fixups\": {}, \
+             \"priv_installs\": {}, \"region_copies\": {}, \"region_copy_bytes\": {}, \
+             \"mpi_calls\": {}}},",
+            c.ctx_switches,
+            c.blocks,
+            c.unblocks,
+            c.msgs_sent,
+            c.msgs_recv,
+            c.send_bytes,
+            c.recv_bytes,
+            c.migrations,
+            c.migration_bytes,
+            c.lb_steps,
+            c.segment_copies,
+            c.segment_copy_bytes,
+            c.got_fixups,
+            c.priv_installs,
+            c.region_copies,
+            c.region_copy_bytes,
+            c.mpi_calls
+        );
+        out.push_str("  \"pes\": [\n");
+        for (i, p) in self.per_pe.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"pe\": {}, \"busy_ns\": {}, \"idle_ns\": {}, \"events\": [",
+                p.pe, p.busy_ns, p.idle_ns
+            );
+            for (j, e) in p.events.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str("\n      ");
+                out.push_str(&event_json(e));
+            }
+            if !p.events.is_empty() {
+                out.push_str("\n    ");
+            }
+            out.push_str("]}");
+            if i + 1 < self.per_pe.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Pull an integer field out of exported JSON by key, e.g.
+/// `json_u64(&json, "ctx_switches")`. First occurrence wins — intended
+/// for the top-level `counts` object, whose keys are unique. Returns
+/// `None` if the key is absent or not followed by an integer.
+pub fn json_u64(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventKind, Tracer};
+
+    #[test]
+    fn export_and_readback() {
+        let t = Tracer::new(2);
+        t.enable();
+        t.record(0, 0, 5, EventKind::CtxSwitchIn { ctx_work: true });
+        t.record(0, 0, 6, EventKind::MsgSend { to: 1, tag: 9, bytes: 32 });
+        t.record(1, 1, 7, EventKind::MsgRecv { from: 0, tag: 9, bytes: 32 });
+        t.record(
+            0,
+            crate::NO_RANK,
+            8,
+            EventKind::LbStep { step: 1, migrations: 2 },
+        );
+        t.record(0, 0, 9, EventKind::MpiCall { name: "MPI_Send" });
+        let json = t.snapshot().to_json();
+        assert_eq!(json_u64(&json, "ctx_switches"), Some(1));
+        assert_eq!(json_u64(&json, "msgs_sent"), Some(1));
+        assert_eq!(json_u64(&json, "send_bytes"), Some(32));
+        assert_eq!(json_u64(&json, "lb_steps"), Some(1));
+        assert!(json.contains("\"rank\": null"));
+        assert!(json.contains("\"kind\": \"mpi_call\", \"name\": \"MPI_Send\""));
+        // structurally sane: balanced braces/brackets
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_u64_misses_cleanly() {
+        assert_eq!(json_u64("{}", "nope"), None);
+        assert_eq!(json_u64("{\"k\": \"str\"}", "k"), None);
+    }
+
+    #[test]
+    fn escape_control_chars() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,433 @@
+//! The recorder: per-PE ring buffers plus exact event counters.
+//!
+//! Design constraints (all load-bearing for Fig. 6):
+//!
+//! * **Disabled is free.** [`Tracer::record`] starts with one relaxed
+//!   atomic load; a disabled tracer costs a predictable branch.
+//! * **Enabled never allocates on the hot path.** Every ring buffer is
+//!   allocated to full capacity up front; recording into a full ring
+//!   overwrites the oldest event instead of growing.
+//! * **Counts stay exact.** A fixed array of counters is bumped on every
+//!   record, so aggregate numbers (context switches, migrations, LB
+//!   steps…) remain correct even after rings wrap — that is what lets
+//!   the integration tests reconcile a trace against a `RunReport`.
+
+use crate::event::{Event, EventKind};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default ring capacity per PE (events). At 48 bytes per event this is
+/// under 1 MB per PE.
+pub const DEFAULT_PE_CAPACITY: usize = 16 * 1024;
+
+/// Aggregate counters, bumped on every recorded event.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCounts {
+    pub ctx_switches: u64,
+    pub blocks: u64,
+    pub unblocks: u64,
+    pub msgs_sent: u64,
+    pub msgs_recv: u64,
+    pub send_bytes: u64,
+    pub recv_bytes: u64,
+    pub migrations: u64,
+    pub migration_bytes: u64,
+    pub lb_steps: u64,
+    pub segment_copies: u64,
+    pub segment_copy_bytes: u64,
+    pub got_fixups: u64,
+    pub priv_installs: u64,
+    pub region_copies: u64,
+    pub region_copy_bytes: u64,
+    pub mpi_calls: u64,
+}
+
+impl TraceCounts {
+    /// Total events recorded (one per counted occurrence; byte counters
+    /// excluded).
+    pub fn total_events(&self) -> u64 {
+        self.ctx_switches
+            + self.blocks
+            + self.unblocks
+            + self.msgs_sent
+            + self.msgs_recv
+            + self.migrations
+            + self.lb_steps
+            + self.segment_copies
+            + self.got_fixups
+            + self.priv_installs
+            + self.region_copies
+            + self.mpi_calls
+    }
+}
+
+const N_COUNTERS: usize = 17;
+
+// Counter slot indices (mirrors TraceCounts field order).
+const C_CTX: usize = 0;
+const C_BLOCK: usize = 1;
+const C_UNBLOCK: usize = 2;
+const C_SEND: usize = 3;
+const C_RECV: usize = 4;
+const C_SEND_BYTES: usize = 5;
+const C_RECV_BYTES: usize = 6;
+const C_MIG: usize = 7;
+const C_MIG_BYTES: usize = 8;
+const C_LB: usize = 9;
+const C_SEG: usize = 10;
+const C_SEG_BYTES: usize = 11;
+const C_GOT: usize = 12;
+const C_PRIV: usize = 13;
+const C_REGION: usize = 14;
+const C_REGION_BYTES: usize = 15;
+const C_MPI: usize = 16;
+
+/// Fixed-capacity ring of the most recent events on one PE.
+struct PeRing {
+    buf: Vec<Event>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    capacity: usize,
+}
+
+impl PeRing {
+    fn new(capacity: usize) -> PeRing {
+        PeRing {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            capacity,
+        }
+    }
+
+    /// Append, overwriting the oldest event when full. Returns whether an
+    /// event was overwritten. Never allocates: `buf` was reserved to
+    /// `capacity` at construction.
+    fn push(&mut self, e: Event) -> bool {
+        if self.buf.len() < self.capacity {
+            self.buf.push(e);
+            false
+        } else {
+            self.buf[self.head] = e;
+            self.head = (self.head + 1) % self.capacity;
+            true
+        }
+    }
+
+    /// Events in chronological (sequence) order.
+    fn ordered(&self) -> Vec<Event> {
+        let mut v = Vec::with_capacity(self.buf.len());
+        v.extend_from_slice(&self.buf[self.head..]);
+        v.extend_from_slice(&self.buf[..self.head]);
+        v
+    }
+}
+
+/// The per-job event recorder. Cheap to consult when disabled; shared
+/// between the machine and whoever wants the trace afterwards.
+pub struct Tracer {
+    enabled: AtomicBool,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    counters: [AtomicU64; N_COUNTERS],
+    pes: Vec<Mutex<PeRing>>,
+    /// Final (busy_ns, idle_ns) per PE, filled by the machine at run end
+    /// so summaries can report utilization without a `RunReport`.
+    pe_clocks: Mutex<Vec<(u64, u64)>>,
+}
+
+impl Tracer {
+    /// A tracer for `n_pes` PEs with the default per-PE ring capacity,
+    /// created **disabled**.
+    pub fn new(n_pes: usize) -> Arc<Tracer> {
+        Tracer::with_capacity(n_pes, DEFAULT_PE_CAPACITY)
+    }
+
+    /// A tracer with `capacity` ring slots per PE.
+    pub fn with_capacity(n_pes: usize, capacity: usize) -> Arc<Tracer> {
+        let capacity = capacity.max(1);
+        Arc::new(Tracer {
+            enabled: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            pes: (0..n_pes.max(1)).map(|_| Mutex::new(PeRing::new(capacity))).collect(),
+            pe_clocks: Mutex::new(vec![(0, 0); n_pes.max(1)]),
+        })
+    }
+
+    pub fn n_pes(&self) -> usize {
+        self.pes.len()
+    }
+
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Record one event. The first instruction is the enabled check —
+    /// this is the whole cost when tracing is off.
+    #[inline]
+    pub fn record(&self, pe: usize, rank: u32, t_ns: u64, kind: EventKind) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.record_enabled(pe, rank, t_ns, kind);
+    }
+
+    #[cold]
+    fn record_enabled(&self, pe: usize, rank: u32, t_ns: u64, kind: EventKind) {
+        self.count(kind);
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let pe_slot = pe.min(self.pes.len() - 1);
+        let e = Event {
+            seq,
+            t_ns,
+            pe: pe as u32,
+            rank,
+            kind,
+        };
+        if self.pes[pe_slot].lock().push(e) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn count(&self, kind: EventKind) {
+        let bump = |i: usize, by: u64| {
+            self.counters[i].fetch_add(by, Ordering::Relaxed);
+        };
+        match kind {
+            EventKind::CtxSwitchIn { .. } => bump(C_CTX, 1),
+            EventKind::Block => bump(C_BLOCK, 1),
+            EventKind::Unblock => bump(C_UNBLOCK, 1),
+            EventKind::MsgSend { bytes, .. } => {
+                bump(C_SEND, 1);
+                bump(C_SEND_BYTES, bytes as u64);
+            }
+            EventKind::MsgRecv { bytes, .. } => {
+                bump(C_RECV, 1);
+                bump(C_RECV_BYTES, bytes as u64);
+            }
+            EventKind::Migration { bytes, .. } => {
+                bump(C_MIG, 1);
+                bump(C_MIG_BYTES, bytes);
+            }
+            EventKind::LbStep { .. } => bump(C_LB, 1),
+            EventKind::SegmentCopy { bytes, .. } => {
+                bump(C_SEG, 1);
+                bump(C_SEG_BYTES, bytes);
+            }
+            EventKind::GotFixup { .. } => bump(C_GOT, 1),
+            EventKind::PrivInstall { .. } => bump(C_PRIV, 1),
+            EventKind::RegionCopy { bytes, .. } => {
+                bump(C_REGION, 1);
+                bump(C_REGION_BYTES, bytes);
+            }
+            EventKind::MpiCall { .. } => bump(C_MPI, 1),
+        }
+    }
+
+    /// Store a PE's final busy/idle clocks (the machine calls this when
+    /// a run completes).
+    pub fn set_pe_clock(&self, pe: usize, busy_ns: u64, idle_ns: u64) {
+        let mut clocks = self.pe_clocks.lock();
+        if let Some(slot) = clocks.get_mut(pe) {
+            *slot = (busy_ns, idle_ns);
+        }
+    }
+
+    /// Exact aggregate counts so far.
+    pub fn counts(&self) -> TraceCounts {
+        let c = |i: usize| self.counters[i].load(Ordering::Relaxed);
+        TraceCounts {
+            ctx_switches: c(C_CTX),
+            blocks: c(C_BLOCK),
+            unblocks: c(C_UNBLOCK),
+            msgs_sent: c(C_SEND),
+            msgs_recv: c(C_RECV),
+            send_bytes: c(C_SEND_BYTES),
+            recv_bytes: c(C_RECV_BYTES),
+            migrations: c(C_MIG),
+            migration_bytes: c(C_MIG_BYTES),
+            lb_steps: c(C_LB),
+            segment_copies: c(C_SEG),
+            segment_copy_bytes: c(C_SEG_BYTES),
+            got_fixups: c(C_GOT),
+            priv_installs: c(C_PRIV),
+            region_copies: c(C_REGION),
+            region_copy_bytes: c(C_REGION_BYTES),
+            mpi_calls: c(C_MPI),
+        }
+    }
+
+    /// Events overwritten because a PE's ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copy out the current state for reporting.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let per_pe: Vec<PeTrace> = self
+            .pes
+            .iter()
+            .enumerate()
+            .map(|(pe, ring)| {
+                let (busy_ns, idle_ns) = self.pe_clocks.lock()[pe];
+                PeTrace {
+                    pe,
+                    events: ring.lock().ordered(),
+                    busy_ns,
+                    idle_ns,
+                }
+            })
+            .collect();
+        TraceSnapshot {
+            counts: self.counts(),
+            dropped: self.dropped(),
+            per_pe,
+        }
+    }
+}
+
+/// One PE's slice of a snapshot.
+#[derive(Debug, Clone)]
+pub struct PeTrace {
+    pub pe: usize,
+    /// Most recent events on this PE, oldest first.
+    pub events: Vec<Event>,
+    pub busy_ns: u64,
+    pub idle_ns: u64,
+}
+
+impl PeTrace {
+    pub fn utilization(&self) -> f64 {
+        let total = self.busy_ns + self.idle_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / total as f64
+        }
+    }
+}
+
+/// A consistent copy of the trace: exact counts plus the retained events.
+#[derive(Debug, Clone)]
+pub struct TraceSnapshot {
+    pub counts: TraceCounts,
+    pub dropped: u64,
+    pub per_pe: Vec<PeTrace>,
+}
+
+impl TraceSnapshot {
+    pub fn n_pes(&self) -> usize {
+        self.per_pe.len()
+    }
+
+    /// All retained events merged across PEs, in global sequence order.
+    pub fn events_sorted(&self) -> Vec<Event> {
+        let mut all: Vec<Event> = self.per_pe.iter().flat_map(|p| p.events.iter().copied()).collect();
+        all.sort_by_key(|e| e.seq);
+        all
+    }
+
+    /// (from, to) → (messages, bytes) aggregated over retained send
+    /// events, heaviest edge first. Truncated if rings wrapped.
+    pub fn message_edges(&self) -> Vec<((u32, u32), (u64, u64))> {
+        let mut edges: std::collections::HashMap<(u32, u32), (u64, u64)> = Default::default();
+        for p in &self.per_pe {
+            for e in &p.events {
+                if let EventKind::MsgSend { to, bytes, .. } = e.kind {
+                    let slot = edges.entry((e.rank, to)).or_default();
+                    slot.0 += 1;
+                    slot.1 += bytes as u64;
+                }
+            }
+        }
+        let mut v: Vec<_> = edges.into_iter().collect();
+        v.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NO_RANK;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let t = Tracer::new(2);
+        t.record(0, 0, 0, EventKind::Block);
+        assert_eq!(t.counts(), TraceCounts::default());
+        assert!(t.snapshot().per_pe[0].events.is_empty());
+    }
+
+    #[test]
+    fn counts_and_events_agree() {
+        let t = Tracer::new(2);
+        t.enable();
+        t.record(0, 0, 10, EventKind::CtxSwitchIn { ctx_work: true });
+        t.record(1, 1, 20, EventKind::MsgSend { to: 0, tag: 7, bytes: 64 });
+        t.record(0, 0, 30, EventKind::MsgRecv { from: 1, tag: 7, bytes: 64 });
+        t.record(0, NO_RANK, 40, EventKind::LbStep { step: 1, migrations: 0 });
+        let c = t.counts();
+        assert_eq!(c.ctx_switches, 1);
+        assert_eq!(c.msgs_sent, 1);
+        assert_eq!(c.send_bytes, 64);
+        assert_eq!(c.msgs_recv, 1);
+        assert_eq!(c.lb_steps, 1);
+        assert_eq!(c.total_events(), 4);
+        let snap = t.snapshot();
+        let merged = snap.events_sorted();
+        assert_eq!(merged.len(), 4);
+        // sequence numbers are strictly increasing across PEs
+        for w in merged.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+
+    #[test]
+    fn ring_wraps_without_losing_counts() {
+        let t = Tracer::with_capacity(1, 8);
+        t.enable();
+        for i in 0..20 {
+            t.record(0, 0, i, EventKind::Block);
+        }
+        assert_eq!(t.counts().blocks, 20);
+        assert_eq!(t.dropped(), 12);
+        let snap = t.snapshot();
+        assert_eq!(snap.per_pe[0].events.len(), 8);
+        // retained events are the most recent, oldest first
+        let ts: Vec<u64> = snap.per_pe[0].events.iter().map(|e| e.t_ns).collect();
+        assert_eq!(ts, (12..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn message_edges_aggregate() {
+        let t = Tracer::new(1);
+        t.enable();
+        for _ in 0..3 {
+            t.record(0, 2, 0, EventKind::MsgSend { to: 5, tag: 1, bytes: 100 });
+        }
+        t.record(0, 5, 0, EventKind::MsgSend { to: 2, tag: 1, bytes: 10 });
+        let edges = t.snapshot().message_edges();
+        assert_eq!(edges[0], ((2, 5), (3, 300)));
+        assert_eq!(edges[1], ((5, 2), (1, 10)));
+    }
+
+    #[test]
+    fn pe_clock_utilization() {
+        let t = Tracer::new(2);
+        t.set_pe_clock(0, 75, 25);
+        let snap = t.snapshot();
+        assert!((snap.per_pe[0].utilization() - 0.75).abs() < 1e-12);
+        assert_eq!(snap.per_pe[1].utilization(), 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Projections-style plain-text summary of a trace snapshot.
+
+use crate::recorder::TraceSnapshot;
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 10 << 20 {
+        format!("{:.1} MB", b as f64 / 1e6)
+    } else if b >= 10 << 10 {
+        format!("{:.1} KB", b as f64 / 1e3)
+    } else {
+        format!("{b} B")
+    }
+}
+
+impl TraceSnapshot {
+    /// Human-readable overview: totals, per-PE utilization/idle/switch
+    /// table, and the top-`k` heaviest rank→rank message edges.
+    pub fn summary(&self, top_k: usize) -> String {
+        use std::fmt::Write;
+        let c = &self.counts;
+        let mut out = String::new();
+        let retained: usize = self.per_pe.iter().map(|p| p.events.len()).sum();
+        let _ = writeln!(
+            out,
+            "trace summary: {} PEs, {} events ({} retained, {} overwritten)",
+            self.n_pes(),
+            c.total_events(),
+            retained,
+            self.dropped
+        );
+        let _ = writeln!(
+            out,
+            "  context switches: {}   blocks/unblocks: {}/{}",
+            c.ctx_switches, c.blocks, c.unblocks
+        );
+        let _ = writeln!(
+            out,
+            "  messages: {} sent ({}) / {} delivered ({})",
+            c.msgs_sent,
+            fmt_bytes(c.send_bytes),
+            c.msgs_recv,
+            fmt_bytes(c.recv_bytes)
+        );
+        let _ = writeln!(
+            out,
+            "  migrations: {} ({})   LB steps: {}   region copies: {} ({})",
+            c.migrations,
+            fmt_bytes(c.migration_bytes),
+            c.lb_steps,
+            c.region_copies,
+            fmt_bytes(c.region_copy_bytes)
+        );
+        let _ = writeln!(
+            out,
+            "  privatizer: {} segment copies ({}), {} GOT fixups, {} register installs   MPI calls: {}",
+            c.segment_copies,
+            fmt_bytes(c.segment_copy_bytes),
+            c.got_fixups,
+            c.priv_installs,
+            c.mpi_calls
+        );
+
+        // per-PE table: switch counts come from retained events so the
+        // column stays meaningful even without a RunReport
+        let _ = writeln!(out, "   PE   util%   idle%   switches   events");
+        for p in &self.per_pe {
+            let util = p.utilization();
+            let idle = if p.busy_ns + p.idle_ns == 0 {
+                0.0
+            } else {
+                1.0 - util
+            };
+            let switches = p
+                .events
+                .iter()
+                .filter(|e| matches!(e.kind, crate::EventKind::CtxSwitchIn { .. }))
+                .count();
+            let _ = writeln!(
+                out,
+                "  {:>3}   {:>5.1}   {:>5.1}   {:>8}   {:>6}",
+                p.pe,
+                util * 100.0,
+                idle * 100.0,
+                switches,
+                p.events.len()
+            );
+        }
+
+        let edges = self.message_edges();
+        if !edges.is_empty() {
+            let _ = writeln!(out, "  top message edges (rank -> rank):");
+            for ((from, to), (msgs, bytes)) in edges.iter().take(top_k.max(1)) {
+                let _ = writeln!(
+                    out,
+                    "    {from:>4} -> {to:<4}  {} in {} msgs",
+                    fmt_bytes(*bytes),
+                    msgs
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{EventKind, Tracer};
+
+    #[test]
+    fn summary_renders_all_sections() {
+        let t = Tracer::new(2);
+        t.enable();
+        t.record(0, 0, 0, EventKind::CtxSwitchIn { ctx_work: false });
+        t.record(0, 0, 1, EventKind::MsgSend { to: 1, tag: 3, bytes: 2048 });
+        t.record(1, 1, 2, EventKind::MsgRecv { from: 0, tag: 3, bytes: 2048 });
+        t.record(
+            0,
+            0,
+            3,
+            EventKind::Migration {
+                from_pe: 0,
+                to_pe: 1,
+                bytes: 1 << 20,
+            },
+        );
+        t.set_pe_clock(0, 90, 10);
+        t.set_pe_clock(1, 50, 50);
+        let s = t.snapshot().summary(5);
+        assert!(s.contains("2 PEs"));
+        assert!(s.contains("context switches: 1"));
+        assert!(s.contains("migrations: 1"));
+        assert!(s.contains("top message edges"));
+        assert!(s.contains("0 -> 1"));
+        assert!(s.contains("90.0"), "PE 0 utilization missing:\n{s}");
+    }
+}

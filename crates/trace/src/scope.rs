@@ -1,0 +1,157 @@
+//! Thread-scoped emission for library crates.
+//!
+//! The scheduler owns the [`Tracer`](crate::Tracer), but several hooks
+//! live in crates that have no handle to it (Isomalloc region copies,
+//! privatizer segment copies and register installs, AMPI entry points).
+//! Those call [`emit`], which resolves the tracer through a thread-local
+//! scope the machine installs around rank execution — the same "current
+//! rank" bookkeeping AMPI itself keeps.
+//!
+//! When no scope is installed anywhere in the process — every run
+//! without tracing — [`emit`] is a single relaxed atomic load and a
+//! predicted branch, so instrumented hot paths (e.g. the privatizer's
+//! per-switch register install) stay at their Fig. 6 cost.
+
+use crate::event::EventKind;
+use crate::recorder::Tracer;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of thread scopes installed process-wide; the fast gate.
+static ACTIVE_SCOPES: AtomicUsize = AtomicUsize::new(0);
+
+struct ScopeState {
+    tracer: Arc<Tracer>,
+    pe: usize,
+    rank: u32,
+    now_ns: u64,
+}
+
+thread_local! {
+    static SCOPE: RefCell<Option<ScopeState>> = const { RefCell::new(None) };
+}
+
+/// RAII installation of a tracer as this thread's emission target.
+/// Nests: dropping restores the previously installed scope.
+pub struct ThreadScope {
+    prev: Option<ScopeState>,
+    restored: bool,
+    /// Scopes bind to the installing thread.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl ThreadScope {
+    pub fn install(tracer: Arc<Tracer>) -> ThreadScope {
+        let prev = SCOPE.with(|s| {
+            s.borrow_mut().replace(ScopeState {
+                tracer,
+                pe: 0,
+                rank: crate::event::NO_RANK,
+                now_ns: 0,
+            })
+        });
+        ACTIVE_SCOPES.fetch_add(1, Ordering::Relaxed);
+        ThreadScope {
+            prev,
+            restored: false,
+            _not_send: std::marker::PhantomData,
+        }
+    }
+}
+
+impl Drop for ThreadScope {
+    fn drop(&mut self) {
+        if !self.restored {
+            self.restored = true;
+            ACTIVE_SCOPES.fetch_sub(1, Ordering::Relaxed);
+            SCOPE.with(|s| *s.borrow_mut() = self.prev.take());
+        }
+    }
+}
+
+/// Update the current (pe, rank, time) attribution for [`emit`] calls on
+/// this thread. No-op when no scope is installed.
+#[inline]
+pub fn set_context(pe: usize, rank: u32, now_ns: u64) {
+    if ACTIVE_SCOPES.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    SCOPE.with(|s| {
+        if let Some(st) = s.borrow_mut().as_mut() {
+            st.pe = pe;
+            st.rank = rank;
+            st.now_ns = now_ns;
+        }
+    });
+}
+
+/// Record `kind` against the thread's current scope, if any.
+///
+/// This is the hook entry point for library crates. With no tracing
+/// anywhere in the process it costs one relaxed load.
+#[inline]
+pub fn emit(kind: EventKind) {
+    if ACTIVE_SCOPES.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    emit_scoped(kind);
+}
+
+#[cold]
+fn emit_scoped(kind: EventKind) {
+    SCOPE.with(|s| {
+        if let Some(st) = s.borrow().as_ref() {
+            st.tracer.record(st.pe, st.rank, st.now_ns, kind);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_without_scope_is_a_noop() {
+        emit(EventKind::Block);
+        set_context(3, 1, 99);
+    }
+
+    #[test]
+    fn scoped_emission_attributes_context() {
+        let t = Tracer::new(4);
+        t.enable();
+        {
+            let _scope = ThreadScope::install(t.clone());
+            set_context(2, 7, 1234);
+            emit(EventKind::GotFixup { entries: 3 });
+        }
+        // scope gone: this must not record
+        emit(EventKind::GotFixup { entries: 9 });
+        let snap = t.snapshot();
+        assert_eq!(snap.counts.got_fixups, 1);
+        let e = &snap.per_pe[2].events[0];
+        assert_eq!(e.rank, 7);
+        assert_eq!(e.t_ns, 1234);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let outer = Tracer::new(1);
+        let inner = Tracer::new(1);
+        outer.enable();
+        inner.enable();
+        let _a = ThreadScope::install(outer.clone());
+        set_context(0, 1, 1);
+        {
+            let _b = ThreadScope::install(inner.clone());
+            set_context(0, 2, 2);
+            emit(EventKind::Block);
+        }
+        // back to the outer scope, with its context intact
+        emit(EventKind::Unblock);
+        assert_eq!(inner.counts().blocks, 1);
+        assert_eq!(outer.counts().blocks, 0);
+        assert_eq!(outer.counts().unblocks, 1);
+    }
+}

@@ -100,10 +100,9 @@ unsafe impl Send for AsmUlt {}
 
 impl AsmUlt {
     pub(crate) fn new(stack: StackMem, closure: Box<dyn FnOnce() + Send + 'static>) -> AsmUlt {
-        assert!(
-            cfg!(target_arch = "x86_64"),
-            "Backend::Asm requires x86_64; use Backend::Thread"
-        );
+        if !cfg!(target_arch = "x86_64") {
+            panic!("Backend::Asm requires x86_64; use Backend::Thread");
+        }
         let mut shared = Box::new(Shared {
             parent_ctx: Context::null(),
             child_ctx: Context::null(),

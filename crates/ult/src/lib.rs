@@ -388,10 +388,8 @@ mod tests {
             let mut live = n;
             while live > 0 {
                 for u in ults.iter_mut() {
-                    if !u.is_complete() {
-                        if u.resume() == UltState::Complete {
-                            live -= 1;
-                        }
+                    if !u.is_complete() && u.resume() == UltState::Complete {
+                        live -= 1;
                     }
                 }
             }

@@ -1,0 +1,29 @@
+//! Observability: trace a virtualized Jacobi-3D run and print the
+//! Projections-style summary plus the JSON export.
+//!
+//! ```text
+//! cargo run --release -p pvr-bench --example trace_summary [--json]
+//! ```
+//!
+//! With `--json` the machine-readable trace goes to stdout (pipe it to a
+//! file or `python3 -m json.tool`); otherwise the human summary and the
+//! trace-vs-RunReport reconciliation are printed.
+
+use pvr_bench::tracing_exp::{self, TraceRunConfig};
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let cfg = TraceRunConfig::default();
+    let run = tracing_exp::run(&cfg);
+    if json {
+        println!("{}", run.snapshot.to_json());
+    } else {
+        println!(
+            "Traced Jacobi-3D: {} PEs x {} ranks/PE, {} iterations, {} LB rounds\n",
+            cfg.cores, cfg.vp_ratio, cfg.jacobi.iters, cfg.lb_rounds
+        );
+        println!("{}", run.snapshot.summary(8));
+        println!("{}", tracing_exp::reconciliation(&run));
+        println!("(re-run with --json for the machine-readable trace)");
+    }
+}

@@ -8,7 +8,7 @@ use pvr_ampi::{util, Ampi, Op, COMM_WORLD};
 use pvr_apps::hello;
 use pvr_privatize::Method;
 use pvr_rts::lb::RotateLb;
-use pvr_rts::{MachineBuilder, RankCtx, Topology};
+use pvr_rts::{MachineBuilder, Topology};
 use std::sync::Arc;
 
 /// Deterministic per-rank data: rank r contributes f(r, i).
@@ -43,7 +43,7 @@ fn allreduce_matches_serial_for_all_ops() {
             let mine: Vec<f64> = (0..n).map(|i| contrib(mpi.rank(), i)).collect();
             for op in [Op::Sum, Op::Min, Op::Max, Op::Prod] {
                 let got = mpi.allreduce(&mine, op);
-                for i in 0..n {
+                for (i, &got_i) in got.iter().enumerate().take(n) {
                     let vals = (0..p).map(|r| contrib(r, i));
                     let expect = match op {
                         Op::Sum => vals.sum::<f64>(),
@@ -53,10 +53,8 @@ fn allreduce_matches_serial_for_all_ops() {
                         Op::User(_) => unreachable!(),
                     };
                     assert!(
-                        (got[i] - expect).abs() < 1e-9,
-                        "{op:?} p={p} i={i}: {} vs {}",
-                        got[i],
-                        expect
+                        (got_i - expect).abs() < 1e-9,
+                        "{op:?} p={p} i={i}: {got_i} vs {expect}"
                     );
                 }
             }
@@ -93,10 +91,10 @@ fn reduce_scatter_block_matches_serial() {
         let mine: Vec<f64> = (0..p * n).map(|i| contrib(me, i)).collect();
         let got = mpi.reduce_scatter_block(COMM_WORLD, &mine, Op::Sum);
         assert_eq!(got.len(), n);
-        for j in 0..n {
+        for (j, &got_j) in got.iter().enumerate() {
             let idx = me * n + j;
             let expect: f64 = (0..p).map(|r| contrib(r, idx)).sum();
-            assert!((got[j] - expect).abs() < 1e-9);
+            assert!((got_j - expect).abs() < 1e-9);
         }
     });
 }

@@ -255,7 +255,7 @@ fn comm_aware_lb_colocates_chatty_pairs() {
     };
 
     let baseline = run(Box::new(NullLb));
-    let comm_aware = run(Box::new(CommLb::default()));
+    let comm_aware = run(Box::<CommLb>::default());
     assert!(
         comm_aware < baseline * 0.9,
         "CommLB should cut cross-node traffic: {comm_aware} vs {baseline}"

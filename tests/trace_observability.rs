@@ -1,0 +1,119 @@
+//! Acceptance test for the `pvr-trace` observability layer: a traced
+//! virtual-time Jacobi-3D run (overdecomposed, with load balancing)
+//! must produce a JSON trace whose event counts reconcile exactly with
+//! the scheduler's own `RunReport` — and a machine with no tracer must
+//! record nothing anywhere.
+
+use pvr_bench::tracing_exp::{self, TraceRunConfig};
+use pvr_trace::{json_u64, Tracer};
+
+fn cfg() -> TraceRunConfig {
+    TraceRunConfig::default()
+}
+
+#[test]
+fn traced_jacobi_counts_match_run_report() {
+    let run = tracing_exp::run(&cfg());
+    let c = &run.snapshot.counts;
+    let r = &run.report;
+
+    assert_eq!(c.ctx_switches, r.context_switches, "context switches");
+    assert_eq!(c.msgs_recv, r.messages_delivered, "messages delivered");
+    assert_eq!(c.migrations as usize, r.migrations.len(), "migrations");
+    assert_eq!(c.lb_steps, u64::from(r.lb_steps), "LB steps");
+    assert!(r.lb_steps >= 1, "AMPI_Migrate rounds must drive LB");
+
+    // sends and deliveries balance (no in-flight messages at exit)
+    assert_eq!(c.msgs_sent, c.msgs_recv);
+    assert_eq!(c.send_bytes, c.recv_bytes);
+    // every block has a matching wake
+    assert_eq!(c.blocks, c.unblocks);
+    // each migration is one pack + one unpack of the rank's regions
+    assert_eq!(c.region_copies, 2 * c.migrations as u64);
+    // migrated bytes agree with the scheduler's migration records
+    let report_bytes: u64 = r.migrations.iter().map(|m| m.bytes as u64).sum();
+    assert_eq!(c.migration_bytes, report_bytes);
+    // PIEglobals context switches install the GOT register every time
+    assert_eq!(c.priv_installs, c.ctx_switches);
+    // instantiation: code+data+TLS segment copies and a GOT fixup per rank
+    let n_ranks = (cfg().cores * cfg().vp_ratio) as u64;
+    assert_eq!(c.got_fixups, n_ranks);
+    assert_eq!(c.segment_copies, 3 * n_ranks);
+    assert!(c.mpi_calls > 0, "AMPI entry points must be traced");
+}
+
+#[test]
+fn json_export_reconciles_with_run_report() {
+    let run = tracing_exp::run(&cfg());
+    let json = run.snapshot.to_json();
+
+    // the acceptance check goes through the *serialized* trace: the
+    // numbers a consumer reads back must match the RunReport
+    assert_eq!(
+        json_u64(&json, "ctx_switches"),
+        Some(run.report.context_switches)
+    );
+    assert_eq!(
+        json_u64(&json, "msgs_recv"),
+        Some(run.report.messages_delivered)
+    );
+    assert_eq!(
+        json_u64(&json, "migrations"),
+        Some(run.report.migrations.len() as u64)
+    );
+    assert_eq!(json_u64(&json, "lb_steps"), Some(run.report.lb_steps as u64));
+    assert_eq!(json_u64(&json, "n_pes"), Some(cfg().cores as u64));
+    assert_eq!(json_u64(&json, "dropped"), Some(run.snapshot.dropped));
+
+    // structural sanity: balanced braces/brackets, no NaN/Infinity
+    let opens = json.matches('{').count();
+    let closes = json.matches('}').count();
+    assert_eq!(opens, closes);
+    assert!(!json.contains("NaN") && !json.contains("inf"));
+}
+
+#[test]
+fn trace_is_deterministic_in_virtual_time() {
+    // virtual-time scheduling is deterministic, so two identical runs
+    // must produce identical aggregate counts
+    let a = tracing_exp::run(&cfg());
+    let b = tracing_exp::run(&cfg());
+    assert_eq!(a.snapshot.counts, b.snapshot.counts);
+    assert_eq!(a.report.context_switches, b.report.context_switches);
+}
+
+#[test]
+fn disabled_tracer_records_nothing() {
+    // attached but never enabled: hooks must stay silent
+    use pvr_ampi::Ampi;
+    use pvr_apps::jacobi3d::{self, JacobiConfig};
+    use pvr_privatize::Method;
+    use pvr_rts::{ClockMode, MachineBuilder, RankCtx, Topology};
+    use std::sync::Arc;
+
+    let tracer = Tracer::new(2);
+    let jcfg = JacobiConfig {
+        nx: 8,
+        ny: 8,
+        nz: 2,
+        iters: 2,
+    };
+    let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(move |ctx: RankCtx| {
+        let mpi = Ampi::init(ctx);
+        let _ = jacobi3d::run(&mpi, jcfg);
+    });
+    let mut machine = MachineBuilder::new(jacobi3d::binary())
+        .method(Method::PieGlobals)
+        .topology(Topology::non_smp(2))
+        .vp_ratio(2)
+        .clock(ClockMode::Virtual)
+        .stack_size(256 * 1024)
+        .tracer(tracer.clone())
+        .build(body)
+        .expect("machine builds");
+    let report = machine.run().expect("run succeeds");
+    assert!(report.context_switches > 0);
+    let snap = tracer.snapshot();
+    assert_eq!(snap.counts.total_events(), 0, "disabled tracer must be silent");
+    assert_eq!(snap.dropped, 0);
+}
