@@ -6,7 +6,7 @@
 //! cargo run --release -p pvr-bench --bin repro -- table2 --quick   # down-scaled sweep
 //! ```
 
-use pvr_bench::{fig5, fig6, fig7, fig8, icache_exp, scaling, tables, tracing_exp};
+use pvr_bench::{faults_exp, fig5, fig6, fig7, fig8, icache_exp, scaling, tables, tracing_exp};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +51,7 @@ fn main() {
             "fig8" => println!("{}\n", fig8::report(if quick { 3 } else { 7 })),
             "icache" => println!("{}\n", icache_exp::report()),
             "trace" => println!("{}\n", tracing_exp::report()),
+            "faults" => println!("{}\n", faults_exp::report()),
             "table2" => {
                 let (res, cfg) = scaling_result.as_ref().unwrap();
                 println!("{}\n", scaling::report_table2(res, cfg));
@@ -61,7 +62,9 @@ fn main() {
             }
             other => {
                 eprintln!("unknown experiment `{other}`");
-                eprintln!("known: table1 table3 fig5 fig6 fig7 fig8 icache trace table2 fig9 all");
+                eprintln!(
+                    "known: table1 table3 fig5 fig6 fig7 fig8 icache trace faults table2 fig9 all"
+                );
                 std::process::exit(2);
             }
         }

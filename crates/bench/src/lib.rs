@@ -19,6 +19,7 @@
 //! Beyond the paper's artifacts, [`tracing_exp`] demonstrates the
 //! `pvr-trace` observability layer (`repro -- trace`).
 
+pub mod faults_exp;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;

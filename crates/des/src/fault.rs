@@ -1,0 +1,392 @@
+//! Deterministic, seed-driven network fault injection.
+//!
+//! A [`FaultPlan`] attaches to a [`NetworkModel`](crate::NetworkModel)
+//! and decides, per transmitted message copy, whether that copy is
+//! dropped, duplicated, corrupted (payload bit-flip at the receiver's
+//! checksum layer), or delayed by extra jitter. Decisions are *pure
+//! functions* of `(seed, key)` — there is no mutable RNG state — so the
+//! same seed produces the same fault schedule regardless of how the
+//! caller interleaves queries, and two runs with the same seed see
+//! byte-identical fault behavior. Callers derive the `key` from stable
+//! message identity (src, dst, sequence number, attempt, stream) via
+//! [`FaultPlan::message_key`].
+//!
+//! Probabilities are configured per [`HopClass`]: a plan can make the
+//! interconnect lossy while intra-node transport stays clean, matching
+//! how real clusters fail. `NetworkModel::ideal()` and
+//! `::infiniband()` carry no plan and stay fault-free by default.
+
+use crate::network::HopClass;
+use crate::time::SimDuration;
+
+/// splitmix64 — tiny, high-quality 64-bit mixer (public domain,
+/// Sebastiano Vigna). Used both to derive keys and to expand one
+/// `(seed, key)` pair into the per-decision random stream.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Map a u64 to a uniform f64 in [0, 1).
+#[inline]
+fn unit_f64(x: u64) -> f64 {
+    // 53 mantissa bits.
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Which protocol stream a message copy belongs to. Different streams
+/// draw from independent decision sequences so e.g. acks can be lossy
+/// without re-using the data copy's randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultStream {
+    /// Application payload copies (originals, duplicates, retransmits).
+    Data,
+    /// Acknowledgements of the reliable-delivery layer.
+    Ack,
+}
+
+impl FaultStream {
+    fn salt(self) -> u64 {
+        match self {
+            FaultStream::Data => 0x00da_7a00,
+            FaultStream::Ack => 0x00ac_6b00,
+        }
+    }
+}
+
+/// Per-hop-class fault probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultParams {
+    /// Probability a copy is silently dropped in transit.
+    pub drop_p: f64,
+    /// Probability a copy is duplicated (a second, independently
+    /// faulted copy is injected).
+    pub dup_p: f64,
+    /// Probability a copy arrives with a flipped payload bit.
+    pub corrupt_p: f64,
+    /// Maximum extra delivery delay; actual jitter is uniform in
+    /// `[0, jitter_max]`.
+    pub jitter_max: SimDuration,
+}
+
+impl FaultParams {
+    /// No faults at all (the default for every hop class).
+    pub const CLEAN: FaultParams = FaultParams {
+        drop_p: 0.0,
+        dup_p: 0.0,
+        corrupt_p: 0.0,
+        jitter_max: SimDuration::ZERO,
+    };
+
+    fn is_clean(&self) -> bool {
+        self.drop_p <= 0.0
+            && self.dup_p <= 0.0
+            && self.corrupt_p <= 0.0
+            && self.jitter_max == SimDuration::ZERO
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("drop_p", self.drop_p),
+            ("dup_p", self.dup_p),
+            ("corrupt_p", self.corrupt_p),
+        ] {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(format!("{name} = {p} is not a probability in [0, 1]"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultParams {
+    fn default() -> Self {
+        FaultParams::CLEAN
+    }
+}
+
+/// The outcome of one fault decision for one message copy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultDecision {
+    /// The copy never arrives.
+    pub drop: bool,
+    /// A second copy is injected (decided independently).
+    pub duplicate: bool,
+    /// The copy arrives with a flipped payload bit. Mutually exclusive
+    /// with `drop` (a dropped copy has no arrival to corrupt).
+    pub corrupt: bool,
+    /// Extra delivery delay for this copy.
+    pub jitter: SimDuration,
+}
+
+impl FaultDecision {
+    /// The fault-free outcome.
+    pub const CLEAN: FaultDecision = FaultDecision {
+        drop: false,
+        duplicate: false,
+        corrupt: false,
+        jitter: SimDuration::ZERO,
+    };
+}
+
+/// A deterministic fault schedule keyed by seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    intra_process: FaultParams,
+    intra_node: FaultParams,
+    inter_node: FaultParams,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults on any hop class.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            intra_process: FaultParams::CLEAN,
+            intra_node: FaultParams::CLEAN,
+            inter_node: FaultParams::CLEAN,
+        }
+    }
+
+    /// Convenience: a plan that drops and duplicates inter-node copies
+    /// (the common "flaky interconnect" scenario).
+    pub fn lossy_internode(seed: u64, drop_p: f64, dup_p: f64) -> FaultPlan {
+        FaultPlan::new(seed).with_class(
+            HopClass::InterNode,
+            FaultParams {
+                drop_p,
+                dup_p,
+                ..FaultParams::CLEAN
+            },
+        )
+    }
+
+    /// Override the fault parameters for one hop class (builder-style).
+    pub fn with_class(mut self, class: HopClass, params: FaultParams) -> FaultPlan {
+        match class {
+            HopClass::IntraProcess => self.intra_process = params,
+            HopClass::IntraNode => self.intra_node = params,
+            HopClass::InterNode => self.inter_node = params,
+        }
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(self) -> u64 {
+        self.seed
+    }
+
+    /// The parameters applied to `class`.
+    pub fn params(&self, class: HopClass) -> FaultParams {
+        match class {
+            HopClass::IntraProcess => self.intra_process,
+            HopClass::IntraNode => self.intra_node,
+            HopClass::InterNode => self.inter_node,
+        }
+    }
+
+    /// True when no hop class can fault (the plan is a no-op).
+    pub fn is_clean(&self) -> bool {
+        self.intra_process.is_clean() && self.intra_node.is_clean() && self.inter_node.is_clean()
+    }
+
+    /// Check all probabilities are in range. Surfaced by the RTS at
+    /// machine-build time so misconfiguration fails before the run.
+    pub fn validate(&self) -> Result<(), String> {
+        for (class, p) in [
+            ("intra-process", &self.intra_process),
+            ("intra-node", &self.intra_node),
+            ("inter-node", &self.inter_node),
+        ] {
+            p.validate().map_err(|e| format!("{class}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Derive a stable fault key for one transmitted message copy.
+    ///
+    /// `attempt` is the transmission attempt (0 = original), `copy`
+    /// distinguishes a duplicate from the copy that spawned it, and
+    /// `stream` separates data copies from acks.
+    pub fn message_key(
+        from: u64,
+        to: u64,
+        seq: u64,
+        attempt: u32,
+        copy: u32,
+        stream: FaultStream,
+    ) -> u64 {
+        let mut s = stream.salt() ^ 0x5157_4d4f_4445_4c21;
+        for word in [from, to, seq, attempt as u64, copy as u64] {
+            // Chain through the mixer's *output* so every input word
+            // avalanches into all 64 bits (folding words in with xor
+            // alone leaves nearby (src, dst, seq) tuples colliding).
+            let mut state = s ^ word;
+            s = splitmix64(&mut state);
+        }
+        s
+    }
+
+    /// Decide the fate of one message copy. Pure in `(self, class, key)`.
+    pub fn decide(&self, class: HopClass, key: u64) -> FaultDecision {
+        let p = self.params(class);
+        if p.is_clean() {
+            return FaultDecision::CLEAN;
+        }
+        let mut state = self.seed ^ key.rotate_left(17);
+        // Fixed draw order: drop, dup, corrupt, jitter. Every decision
+        // consumes exactly one draw so adding knobs later can extend the
+        // tail without disturbing existing schedules.
+        let drop = unit_f64(splitmix64(&mut state)) < p.drop_p;
+        let duplicate = unit_f64(splitmix64(&mut state)) < p.dup_p;
+        let corrupt = !drop && unit_f64(splitmix64(&mut state)) < p.corrupt_p;
+        let jitter = if p.jitter_max == SimDuration::ZERO {
+            SimDuration::ZERO
+        } else {
+            let frac = unit_f64(splitmix64(&mut state));
+            SimDuration::from_nanos((p.jitter_max.nanos() as f64 * frac) as u64)
+        };
+        FaultDecision {
+            drop,
+            duplicate,
+            corrupt,
+            jitter,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossy_all(seed: u64) -> FaultPlan {
+        let p = FaultParams {
+            drop_p: 0.2,
+            dup_p: 0.1,
+            corrupt_p: 0.05,
+            jitter_max: SimDuration::from_micros(1),
+        };
+        FaultPlan::new(seed)
+            .with_class(HopClass::IntraProcess, p)
+            .with_class(HopClass::IntraNode, p)
+            .with_class(HopClass::InterNode, p)
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = lossy_all(42);
+        let b = lossy_all(42);
+        for k in 0..1000u64 {
+            let key = FaultPlan::message_key(1, 2, k, 0, 0, FaultStream::Data);
+            assert_eq!(
+                a.decide(HopClass::InterNode, key),
+                b.decide(HopClass::InterNode, key)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = lossy_all(1);
+        let b = lossy_all(2);
+        let mut same = 0;
+        for k in 0..1000u64 {
+            let key = FaultPlan::message_key(0, 1, k, 0, 0, FaultStream::Data);
+            if a.decide(HopClass::InterNode, key) == b.decide(HopClass::InterNode, key) {
+                same += 1;
+            }
+        }
+        assert!(same < 1000, "seeds 1 and 2 produced identical schedules");
+    }
+
+    #[test]
+    fn empirical_rates_track_configuration() {
+        let plan = FaultPlan::new(7).with_class(
+            HopClass::InterNode,
+            FaultParams {
+                drop_p: 0.10,
+                dup_p: 0.05,
+                corrupt_p: 0.02,
+                jitter_max: SimDuration::from_micros(2),
+            },
+        );
+        let n = 20_000u64;
+        let (mut drops, mut dups, mut corrupts) = (0u64, 0u64, 0u64);
+        let mut max_jitter = SimDuration::ZERO;
+        for k in 0..n {
+            let key = FaultPlan::message_key(3, 4, k, 0, 0, FaultStream::Data);
+            let d = plan.decide(HopClass::InterNode, key);
+            drops += d.drop as u64;
+            dups += d.duplicate as u64;
+            corrupts += d.corrupt as u64;
+            if d.jitter > max_jitter {
+                max_jitter = d.jitter;
+            }
+        }
+        let frac = |c: u64| c as f64 / n as f64;
+        assert!((0.08..0.12).contains(&frac(drops)), "drop {}", frac(drops));
+        assert!((0.035..0.065).contains(&frac(dups)), "dup {}", frac(dups));
+        // corrupt_p applies to non-dropped copies only.
+        assert!(
+            (0.01..0.03).contains(&frac(corrupts)),
+            "corrupt {}",
+            frac(corrupts)
+        );
+        assert!(max_jitter <= SimDuration::from_micros(2));
+        assert!(max_jitter > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn clean_classes_never_fault() {
+        let plan = FaultPlan::lossy_internode(9, 0.5, 0.5);
+        for k in 0..200u64 {
+            let key = FaultPlan::message_key(0, 1, k, 0, 0, FaultStream::Data);
+            assert_eq!(plan.decide(HopClass::IntraProcess, key), FaultDecision::CLEAN);
+            assert_eq!(plan.decide(HopClass::IntraNode, key), FaultDecision::CLEAN);
+        }
+    }
+
+    #[test]
+    fn streams_and_attempts_are_independent() {
+        let data = FaultPlan::message_key(1, 2, 3, 0, 0, FaultStream::Data);
+        let ack = FaultPlan::message_key(1, 2, 3, 0, 0, FaultStream::Ack);
+        let retry = FaultPlan::message_key(1, 2, 3, 1, 0, FaultStream::Data);
+        let dup = FaultPlan::message_key(1, 2, 3, 0, 1, FaultStream::Data);
+        assert_ne!(data, ack);
+        assert_ne!(data, retry);
+        assert_ne!(data, dup);
+        assert_ne!(ack, retry);
+    }
+
+    #[test]
+    fn validation_rejects_bad_probabilities() {
+        let bad = FaultPlan::new(0).with_class(
+            HopClass::InterNode,
+            FaultParams {
+                drop_p: 1.5,
+                ..FaultParams::CLEAN
+            },
+        );
+        assert!(bad.validate().is_err());
+        assert!(lossy_all(0).validate().is_ok());
+        let nan = FaultPlan::new(0).with_class(
+            HopClass::IntraNode,
+            FaultParams {
+                corrupt_p: f64::NAN,
+                ..FaultParams::CLEAN
+            },
+        );
+        assert!(nan.validate().is_err());
+    }
+
+    #[test]
+    fn clean_plan_reports_clean() {
+        assert!(FaultPlan::new(5).is_clean());
+        assert!(!FaultPlan::lossy_internode(5, 0.01, 0.0).is_clean());
+    }
+}

@@ -19,11 +19,13 @@
 //! * [`Topology`] — maps PEs to processes and nodes so the network model
 //!   can classify a message's hop.
 
+pub mod fault;
 pub mod network;
 pub mod queue;
 pub mod time;
 pub mod topology;
 
+pub use fault::{FaultDecision, FaultParams, FaultPlan, FaultStream};
 pub use network::{HopClass, NetworkModel};
 pub use queue::EventQueue;
 pub use time::{SimDuration, SimTime};

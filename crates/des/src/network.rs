@@ -9,6 +9,7 @@
 //!   with a kernel hop;
 //! * inter-node — the interconnect.
 
+use crate::fault::FaultPlan;
 use crate::time::SimDuration;
 use crate::topology::{PeId, Topology};
 
@@ -26,12 +27,17 @@ struct LinkParams {
     bandwidth_bps: f64,
 }
 
-/// Latency/bandwidth model per hop class.
+/// Latency/bandwidth model per hop class, optionally carrying a
+/// deterministic [`FaultPlan`]. The stock constructors
+/// ([`infiniband`](NetworkModel::infiniband), [`ideal`](NetworkModel::ideal))
+/// are fault-free; attach faults explicitly with
+/// [`with_faults`](NetworkModel::with_faults).
 #[derive(Debug, Clone, Copy)]
 pub struct NetworkModel {
     intra_process: LinkParams,
     intra_node: LinkParams,
     inter_node: LinkParams,
+    faults: Option<FaultPlan>,
 }
 
 impl NetworkModel {
@@ -50,6 +56,7 @@ impl NetworkModel {
                 latency: SimDuration::from_micros(2),
                 bandwidth_bps: 12.5e9,
             },
+            faults: None,
         }
     }
 
@@ -64,7 +71,20 @@ impl NetworkModel {
             intra_process: p,
             intra_node: p,
             inter_node: p,
+            faults: None,
         }
+    }
+
+    /// Attach a deterministic fault plan (builder-style). The RTS's
+    /// reliable-delivery layer activates when a plan is present.
+    pub fn with_faults(mut self, plan: FaultPlan) -> NetworkModel {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// Override one hop class (builder-style).

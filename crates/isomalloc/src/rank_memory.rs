@@ -42,6 +42,11 @@ impl RankMemoryStats {
 }
 
 /// The packed wire form of a rank's memory.
+///
+/// `Clone` supports buddy checkpointing: a rank's image is held both at
+/// its home PE and at that PE's buddy, so losing one PE cannot lose the
+/// image.
+#[derive(Clone)]
 pub struct MigrationBuffer {
     buf: BytesMut,
 }
@@ -210,6 +215,45 @@ impl RankMemory {
             bytes: buf.len() as u64,
         });
         MigrationBuffer { buf }
+    }
+
+    /// Check that `buf` can be unpacked into this rank's regions
+    /// **without mutating anything**: header magic, region count, and
+    /// every region's kind/size/byte coverage are validated exactly as
+    /// [`unpack_into`](RankMemory::unpack_into) would. A restore that
+    /// verifies every rank first and only then unpacks is failure-atomic
+    /// — verification failure leaves all memory untouched.
+    pub fn verify_layout(&self, buf: &MigrationBuffer) -> Result<(), UnpackError> {
+        let mut b: &[u8] = &buf.buf;
+        if b.remaining() < 12 {
+            return Err(UnpackError::Truncated);
+        }
+        if b.get_u32() != MAGIC {
+            return Err(UnpackError::BadMagic);
+        }
+        let expected = self.all_regions().count();
+        let n = b.get_u64() as usize;
+        if n != expected {
+            return Err(UnpackError::LayoutMismatch { expected, got: n });
+        }
+        for r in self.all_regions() {
+            if b.remaining() < 9 {
+                return Err(UnpackError::Truncated);
+            }
+            let got_tag = b.get_u8();
+            let got_len = b.get_u64() as usize;
+            if got_tag != kind_tag(r.kind()) || got_len != r.len() {
+                return Err(UnpackError::LayoutMismatch {
+                    expected: r.len(),
+                    got: got_len,
+                });
+            }
+            if b.remaining() < got_len {
+                return Err(UnpackError::Truncated);
+            }
+            b.advance(got_len);
+        }
+        Ok(())
     }
 
     /// Copy a packed buffer's bytes back into this rank's regions.
@@ -409,6 +453,39 @@ mod tests {
         let mut img = rm.pack();
         img.buf[0] ^= 0xFF;
         assert_eq!(rm.unpack_into(&img).unwrap_err(), UnpackError::BadMagic);
+    }
+
+    #[test]
+    fn verify_layout_matches_unpack_judgement() {
+        let mut rm = sample_rank();
+        let img = rm.pack();
+        assert_eq!(rm.verify_layout(&img), Ok(()));
+        // verification does not consume or mutate anything
+        assert_eq!(rm.verify_layout(&img), Ok(()));
+        let cut = MigrationBuffer {
+            buf: BytesMut::from(&img.as_slice()[..img.len() - 1]),
+        };
+        assert!(rm.verify_layout(&cut).is_err());
+        let mut bad = img.clone();
+        bad.buf[0] ^= 0xFF;
+        assert_eq!(rm.verify_layout(&bad), Err(UnpackError::BadMagic));
+        // a foreign layout is rejected without touching memory
+        let other = RankMemory::new().pack();
+        assert!(matches!(
+            rm.verify_layout(&other),
+            Err(UnpackError::LayoutMismatch { .. })
+        ));
+        // memory unchanged: unpack of the good image still succeeds
+        rm.unpack_into(&img).unwrap();
+    }
+
+    #[test]
+    fn cloned_buffer_is_identical() {
+        let rm = sample_rank();
+        let img = rm.pack();
+        let copy = img.clone();
+        assert_eq!(copy.len(), img.len());
+        assert_eq!(copy.checksum(), img.checksum());
     }
 
     #[test]

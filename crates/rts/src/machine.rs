@@ -10,10 +10,10 @@ use crate::location::LocationManager;
 use crate::message::RtsMessage;
 use crate::pe::PeState;
 use crate::rank::{RankState, RankStatus};
-pub use crate::stats::{LbRecord, MigrationRecord, RunReport};
+pub use crate::stats::{FaultTallies, LbRecord, MigrationRecord, RunReport};
 use crate::{PeId, RankId};
 use parking_lot::Mutex;
-use pvr_des::{EventQueue, NetworkModel, SimDuration, SimTime, Topology};
+use pvr_des::{EventQueue, FaultPlan, FaultStream, NetworkModel, SimDuration, SimTime, Topology};
 use pvr_isomalloc::{RankMemory, Region, RegionKind};
 use pvr_privatize::methods::Options as MethodOptions;
 use pvr_privatize::{
@@ -52,6 +52,16 @@ pub enum RtsError {
     /// virtual ranks — under PIEglobals there is no image base to anchor
     /// the function-pointer offset (§3.3's documented runtime error).
     EmptyPeReduction { pe: PeId },
+    /// Invalid machine configuration, caught at build time.
+    Config { detail: String },
+    /// The reliable-delivery layer exhausted its retransmit budget for a
+    /// message that was never delivered.
+    DeliveryFailed {
+        from: RankId,
+        to: RankId,
+        seq: u64,
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for RtsError {
@@ -72,6 +82,16 @@ impl fmt::Display for RtsError {
                 f,
                 "PE {pe} has no resident virtual ranks: cannot translate a user \
                  reduction operator's offset to an address under PIEglobals"
+            ),
+            RtsError::Config { detail } => write!(f, "invalid configuration: {detail}"),
+            RtsError::DeliveryFailed {
+                from,
+                to,
+                seq,
+                attempts,
+            } => write!(
+                f,
+                "message {from}->{to} seq {seq} undeliverable after {attempts} attempts"
             ),
         }
     }
@@ -95,6 +115,84 @@ enum Event {
     PeWake {
         pe: PeId,
     },
+    /// Reliable delivery: an acknowledgement for `(from, to, seq)`
+    /// arrived back at the sender.
+    Ack {
+        from: RankId,
+        to: RankId,
+        seq: u64,
+    },
+    /// Reliable delivery: the retransmit timer armed at transmission
+    /// `attempt` of `(from, to, seq)` fired.
+    Retransmit {
+        from: RankId,
+        to: RankId,
+        seq: u64,
+        attempt: u32,
+    },
+}
+
+/// Per-(src,dst) receive state of the reliable-delivery layer: in-order
+/// exactly-once delivery via a reorder buffer keyed by sequence number.
+struct PairRecv {
+    /// Next sequence number to release to the application (seqs are
+    /// assigned from 1).
+    next_expected: u64,
+    /// Out-of-order arrivals awaiting the gap to fill.
+    pending: std::collections::BTreeMap<u64, RtsMessage>,
+}
+
+impl Default for PairRecv {
+    fn default() -> Self {
+        PairRecv {
+            next_expected: 1,
+            pending: Default::default(),
+        }
+    }
+}
+
+/// Sender/receiver state of the reliable-delivery layer, active when a
+/// [`FaultPlan`] is attached to the network model (virtual clock only).
+///
+/// This state intentionally lives *outside* rank memory: it rolls
+/// forward across checkpoint rollback, so replayed application sends get
+/// fresh sequence numbers and both endpoints stay consistent.
+struct ReliableState {
+    plan: FaultPlan,
+    /// Base retransmission timeout added on top of the modeled path cost.
+    base_rto: SimDuration,
+    /// Total transmission attempts allowed per message (1 original +
+    /// `max_attempts - 1` retransmits).
+    max_attempts: u32,
+    /// Next sequence number per (src, dst) pair.
+    send_seq: std::collections::HashMap<(RankId, RankId), u64>,
+    /// Unacknowledged messages by (src, dst, seq).
+    inflight: std::collections::HashMap<(RankId, RankId, u64), RtsMessage>,
+    /// Receive-side dedup/reorder state per (src, dst) pair.
+    recv: std::collections::HashMap<(RankId, RankId), PairRecv>,
+    /// Monotonic ack instance counter (keys ack fault decisions).
+    ack_counter: u64,
+}
+
+/// One rank's entry in a coordinated checkpoint. The image is held
+/// twice — at the rank's home PE and at that PE's buddy — so a single
+/// PE failure cannot lose it.
+struct CheckpointEntry {
+    image: pvr_isomalloc::MigrationBuffer,
+    buddy_image: pvr_isomalloc::MigrationBuffer,
+    /// Suspended stack pointer observed together with the image.
+    sp: Option<usize>,
+    /// Checksum of the image at pack time, verified before restore.
+    checksum: u64,
+    /// PE holding `image`.
+    primary_pe: PeId,
+    /// PE holding `buddy_image`.
+    buddy_pe: PeId,
+}
+
+/// A coordinated checkpoint: one entry per rank, taken at an LB barrier.
+struct Checkpoint {
+    entries: Vec<CheckpointEntry>,
 }
 
 /// Builder for a [`Machine`].
@@ -115,6 +213,9 @@ pub struct MachineBuilder {
     code_dedup_migration: bool,
     checkpoint_period: u32,
     inject_fault_at_lb_step: Option<u32>,
+    inject_pe_failure: Option<(u32, PeId)>,
+    retransmit_base: SimDuration,
+    retransmit_max_attempts: u32,
     tracer: Option<Arc<Tracer>>,
 }
 
@@ -137,6 +238,9 @@ impl MachineBuilder {
             code_dedup_migration: false,
             checkpoint_period: 0,
             inject_fault_at_lb_step: None,
+            inject_pe_failure: None,
+            retransmit_base: SimDuration::from_micros(20),
+            retransmit_max_attempts: 10,
             tracer: None,
         }
     }
@@ -229,6 +333,27 @@ impl MachineBuilder {
         self
     }
 
+    /// Failure injection: at LB step `k`, kill PE `pe` outright. The
+    /// PE's resident ranks lose their memory; buddy checkpointing
+    /// restores them onto surviving PEs and the job shrinks to the
+    /// remaining PEs. Requires `checkpoint_period > 0`, a migratable
+    /// privatization method, and at least two PEs.
+    pub fn inject_pe_failure_at_lb_step(mut self, k: u32, pe: PeId) -> Self {
+        self.inject_pe_failure = Some((k, pe));
+        self
+    }
+
+    /// Tune the reliable-delivery layer (active when the network model
+    /// carries a fault plan): `base_timeout` is added to the modeled
+    /// round-trip estimate for the first retransmit timer (doubling each
+    /// attempt), and `max_attempts` bounds total transmissions per
+    /// message before the run fails with [`RtsError::DeliveryFailed`].
+    pub fn retransmit_params(mut self, base_timeout: SimDuration, max_attempts: u32) -> Self {
+        self.retransmit_base = base_timeout;
+        self.retransmit_max_attempts = max_attempts;
+        self
+    }
+
     /// Attach an event recorder (see `pvr-trace`). The tracer still has
     /// to be enabled to record; with no tracer attached — the default —
     /// every instrumentation hook reduces to a branch on `None`.
@@ -247,6 +372,55 @@ impl MachineBuilder {
         let n_pes = topo.total_pes();
         let n_ranks = n_pes * self.vp_ratio;
 
+        // Fault-injection configuration is rejected here, at build time,
+        // instead of surfacing as a mid-run failure.
+        let config_err = |detail: String| Err(RtsError::Config { detail });
+        if (self.inject_fault_at_lb_step.is_some() || self.inject_pe_failure.is_some())
+            && self.checkpoint_period == 0
+        {
+            return config_err(
+                "fault injection requires checkpoint_period > 0 (no checkpoint would be \
+                 available to recover from)"
+                    .into(),
+            );
+        }
+        if let Some(k) = self.inject_fault_at_lb_step {
+            if k == 0 {
+                return config_err("inject_fault_at_lb_step: LB steps are 1-based".into());
+            }
+        }
+        if let Some((k, pe)) = self.inject_pe_failure {
+            if k == 0 {
+                return config_err("inject_pe_failure_at_lb_step: LB steps are 1-based".into());
+            }
+            if pe >= n_pes {
+                return config_err(format!(
+                    "inject_pe_failure_at_lb_step: PE {pe} out of range (job has {n_pes} PEs)"
+                ));
+            }
+            if n_pes < 2 {
+                return config_err(
+                    "inject_pe_failure_at_lb_step: surviving on fewer PEs needs at least 2 PEs"
+                        .into(),
+                );
+            }
+        }
+        if let Some(plan) = self.network.fault_plan() {
+            if let Err(e) = plan.validate() {
+                return config_err(format!("network fault plan: {e}"));
+            }
+            if self.clock == ClockMode::RealTime {
+                return config_err(
+                    "a network fault plan requires ClockMode::Virtual (reliable delivery \
+                     is event-driven)"
+                        .into(),
+                );
+            }
+            if self.retransmit_max_attempts == 0 {
+                return config_err("retransmit_params: max_attempts must be >= 1".into());
+            }
+        }
+
         // One privatizer per simulated OS process.
         let mut privatizers: Vec<Box<dyn Privatizer>> = Vec::new();
         for _proc in 0..topo.total_processes() {
@@ -256,6 +430,15 @@ impl MachineBuilder {
                 .with_shared_fs(self.shared_fs.clone())
                 .with_concurrent_processes(topo.total_processes());
             privatizers.push(create_privatizer(self.method, env, self.options.clone())?);
+        }
+        if self.inject_pe_failure.is_some() && !privatizers[0].supports_migration() {
+            return Err(RtsError::Config {
+                detail: format!(
+                    "inject_pe_failure_at_lb_step: {} does not support migration, so the \
+                     failed PE's ranks cannot be restored onto survivors",
+                    self.method
+                ),
+            });
         }
 
         let location = LocationManager::new_block(n_ranks, n_pes);
@@ -357,9 +540,19 @@ impl MachineBuilder {
             code_dedup_migration: self.code_dedup_migration,
             checkpoint_period: self.checkpoint_period,
             inject_fault_at_lb_step: self.inject_fault_at_lb_step,
+            inject_pe_failure: self.inject_pe_failure,
             last_checkpoint: None,
-            checkpoints_taken: 0,
-            recoveries: 0,
+            alive: vec![true; n_pes],
+            reliable: self.network.fault_plan().map(|plan| ReliableState {
+                plan: *plan,
+                base_rto: self.retransmit_base,
+                max_attempts: self.retransmit_max_attempts,
+                send_seq: Default::default(),
+                inflight: Default::default(),
+                recv: Default::default(),
+                ack_counter: 0,
+            }),
+            tallies: FaultTallies::default(),
             tracer: self.tracer,
         })
     }
@@ -396,14 +589,19 @@ pub struct Machine {
     code_dedup_migration: bool,
     checkpoint_period: u32,
     inject_fault_at_lb_step: Option<u32>,
+    inject_pe_failure: Option<(u32, PeId)>,
     /// Bytes exchanged per (from, to) rank pair since the last LB step.
     comm_bytes: std::collections::HashMap<(RankId, RankId), u64>,
     lb_history: Vec<LbRecord>,
-    /// Most recent coordinated checkpoint: one (packed memory image,
-    /// suspended stack pointer) pair per rank.
-    last_checkpoint: Option<Vec<(pvr_isomalloc::MigrationBuffer, Option<usize>)>>,
-    checkpoints_taken: u32,
-    recoveries: u32,
+    /// Most recent coordinated checkpoint (buddy-replicated per rank).
+    last_checkpoint: Option<Checkpoint>,
+    /// Liveness per PE; a failed PE stays dead for the rest of the run.
+    alive: Vec<bool>,
+    /// Reliable-delivery state, present when the network carries a
+    /// fault plan.
+    reliable: Option<ReliableState>,
+    /// Fault/recovery tallies, mirrored into the [`RunReport`].
+    tallies: FaultTallies,
     tracer: Option<Arc<Tracer>>,
 }
 
@@ -535,6 +733,12 @@ impl Machine {
                 detail: format!("destination PE {to_pe} out of range"),
             });
         }
+        if !self.alive[to_pe] {
+            return Err(RtsError::BadMigration {
+                rank,
+                detail: format!("destination PE {to_pe} has failed"),
+            });
+        }
         if !self.privatizers[0].supports_migration() {
             return Err(RtsError::BadMigration {
                 rank,
@@ -623,10 +827,12 @@ impl Machine {
     }
 
     /// Route a message (immediately in real time; as an event in virtual
-    /// time).
+    /// time, through the reliable-delivery layer when the network is
+    /// lossy).
     fn route(&mut self, from_pe: PeId, msg: RtsMessage) {
         match self.clock {
             ClockMode::RealTime => self.deposit(msg),
+            ClockMode::Virtual if self.reliable.is_some() => self.send_reliable(from_pe, msg),
             ClockMode::Virtual => {
                 let dest_pe = self.location.lookup(msg.to);
                 let cost = self
@@ -643,6 +849,204 @@ impl Machine {
                 );
             }
         }
+    }
+
+    /// Assign a per-(src,dst) sequence number, stamp the checksum,
+    /// record the message in-flight, and transmit attempt 0.
+    fn send_reliable(&mut self, from_pe: PeId, mut msg: RtsMessage) {
+        let rel = self.reliable.as_mut().expect("reliable layer active");
+        let counter = rel.send_seq.entry((msg.from, msg.to)).or_insert(0);
+        *counter += 1;
+        msg.seq = *counter;
+        msg.seal();
+        rel.inflight
+            .insert((msg.from, msg.to, msg.seq), msg.clone());
+        let t_send = self.pes[from_pe].clock.max_of(self.queue.now());
+        self.transmit(t_send, msg, 0);
+    }
+
+    /// Transmit one attempt of an in-flight message: apply the fault
+    /// plan per copy (drop/duplicate/corrupt/jitter), schedule surviving
+    /// copies for delivery, and arm the retransmit timer.
+    fn transmit(&mut self, t_send: SimTime, msg: RtsMessage, attempt: u32) {
+        let (from, to, seq) = (msg.from, msg.to, msg.seq);
+        let from_pe = self.ranks[from].location;
+        let dest_pe = self.location.lookup(to);
+        let class = NetworkModel::classify(&self.topology, from_pe, dest_pe);
+        let cost = self
+            .network
+            .cost(&self.topology, from_pe, dest_pe, msg.wire_bytes());
+        let rel = self.reliable.as_ref().expect("reliable layer active");
+        let plan = rel.plan;
+        let base_rto = rel.base_rto;
+
+        let primary =
+            plan.decide(class, FaultPlan::message_key(from as u64, to as u64, seq, attempt, 0, FaultStream::Data));
+        let mut copies = vec![primary];
+        if primary.duplicate {
+            self.tallies.duplicates_injected += 1;
+            // The duplicate's own fate is decided independently; its
+            // `duplicate` flag is ignored to prevent cascades.
+            copies.push(plan.decide(
+                class,
+                FaultPlan::message_key(from as u64, to as u64, seq, attempt, 1, FaultStream::Data),
+            ));
+        }
+        for d in copies {
+            if d.drop {
+                self.tallies.msgs_dropped += 1;
+                self.trace(
+                    from_pe,
+                    from as u32,
+                    EventKind::MsgDrop {
+                        from: from as u32,
+                        to: to as u32,
+                        seq,
+                        ack: false,
+                    },
+                );
+                continue;
+            }
+            let mut copy = msg.clone();
+            if d.corrupt {
+                Self::corrupt_in_flight(&mut copy);
+            }
+            let at = (t_send + cost + d.jitter).max_of(self.queue.now());
+            self.queue.schedule(
+                at,
+                Event::Deliver {
+                    msg: copy,
+                    dest_pe,
+                    forwarded: false,
+                },
+            );
+        }
+
+        // Retransmit timer: a generous multiple of the modeled round
+        // trip plus the configured base, doubling per attempt.
+        let rtt_estimate = SimDuration::from_nanos(cost.nanos().saturating_mul(4));
+        let rto = SimDuration::from_nanos(
+            (base_rto.nanos() + rtt_estimate.nanos()) << attempt.min(20),
+        );
+        self.queue.schedule(
+            (t_send + rto).max_of(self.queue.now()),
+            Event::Retransmit {
+                from,
+                to,
+                seq,
+                attempt,
+            },
+        );
+    }
+
+    /// Flip one payload bit (or a checksum bit for empty payloads) —
+    /// the receiver's integrity check is what detects this.
+    fn corrupt_in_flight(msg: &mut RtsMessage) {
+        if msg.payload.is_empty() {
+            msg.checksum ^= 1;
+        } else {
+            let mut bytes = msg.payload.as_ref().to_vec();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x01;
+            msg.payload = bytes::Bytes::from(bytes);
+        }
+    }
+
+    /// Receive one arriving copy under reliable delivery: verify
+    /// integrity, acknowledge, dedup/reorder, and deposit newly in-order
+    /// messages to the application.
+    fn receive_transport(&mut self, msg: RtsMessage, t: SimTime) {
+        let (from, to, seq) = (msg.from, msg.to, msg.seq);
+        let recv_pe = self.ranks[to].location;
+        if !msg.intact() {
+            self.tallies.msgs_corrupted += 1;
+            self.trace(
+                recv_pe,
+                to as u32,
+                EventKind::MsgCorrupt {
+                    from: from as u32,
+                    to: to as u32,
+                    seq,
+                },
+            );
+            // no ack: the sender's retransmit timer recovers the message
+            return;
+        }
+        // Ack every intact arrival (duplicates re-ack so a sender whose
+        // earlier ack was dropped stops retransmitting).
+        self.send_ack(from, to, seq, t);
+
+        let (is_dup, ready) = {
+            let rel = self.reliable.as_mut().expect("reliable layer active");
+            let pair = rel.recv.entry((from, to)).or_default();
+            if seq < pair.next_expected || pair.pending.contains_key(&seq) {
+                (true, Vec::new())
+            } else {
+                pair.pending.insert(seq, msg);
+                let mut ready = Vec::new();
+                while let Some(m) = pair.pending.remove(&pair.next_expected) {
+                    pair.next_expected += 1;
+                    ready.push(m);
+                }
+                (false, ready)
+            }
+        };
+        if is_dup {
+            self.tallies.duplicates_suppressed += 1;
+            self.trace(
+                recv_pe,
+                to as u32,
+                EventKind::MsgDupSuppressed {
+                    from: from as u32,
+                    to: to as u32,
+                    seq,
+                },
+            );
+            return;
+        }
+        for m in ready {
+            self.deposit(m);
+        }
+    }
+
+    /// Send an acknowledgement back to the sender's PE, itself subject
+    /// to the fault plan's drop and jitter on the reverse path.
+    fn send_ack(&mut self, from: RankId, to: RankId, seq: u64, t: SimTime) {
+        let recv_pe = self.ranks[to].location;
+        let send_pe = self.ranks[from].location;
+        let class = NetworkModel::classify(&self.topology, recv_pe, send_pe);
+        let cost = self.network.cost(&self.topology, recv_pe, send_pe, 32);
+        let rel = self.reliable.as_mut().expect("reliable layer active");
+        rel.ack_counter += 1;
+        let instance = rel.ack_counter;
+        let plan = rel.plan;
+        let d = plan.decide(
+            class,
+            FaultPlan::message_key(
+                from as u64,
+                to as u64,
+                seq,
+                instance as u32,
+                0,
+                FaultStream::Ack,
+            ),
+        );
+        if d.drop {
+            self.tallies.acks_dropped += 1;
+            self.trace(
+                recv_pe,
+                NO_RANK,
+                EventKind::MsgDrop {
+                    from: from as u32,
+                    to: to as u32,
+                    seq,
+                    ack: true,
+                },
+            );
+            return;
+        }
+        let at = (t + cost + d.jitter).max_of(self.queue.now());
+        self.queue.schedule(at, Event::Ack { from, to, seq });
     }
 
     /// Put a message in its target's mailbox, waking the target. A rank
@@ -837,43 +1241,122 @@ impl Machine {
         self.at_sync_count > 0 && self.at_sync_count == self.live_count()
     }
 
+    /// The buddy PE that holds a second copy of `pe`'s checkpoint
+    /// images: the next alive PE cyclically (or `pe` itself when it is
+    /// the only survivor).
+    fn buddy_of(&self, pe: PeId) -> PeId {
+        let n = self.pes.len();
+        (1..n)
+            .map(|off| (pe + off) % n)
+            .find(|&p| self.alive[p])
+            .unwrap_or(pe)
+    }
+
     /// Take a coordinated checkpoint: pack every live rank's memory
     /// (valid at an LB barrier, where all live ranks are parked at
-    /// `AtSync` with drained mailboxes).
+    /// `AtSync` with drained mailboxes). Each image is replicated to the
+    /// home PE's buddy so one PE failure cannot lose it.
     fn take_checkpoint(&mut self) {
-        let images: Vec<(pvr_isomalloc::MigrationBuffer, Option<usize>)> = self
-            .ranks
-            .iter()
+        let entries: Vec<CheckpointEntry> = (0..self.ranks.len())
             .map(|r| {
-                let sp = r.ult.as_ref().and_then(|u| u.suspended_sp());
-                (r.memory.pack(), sp)
+                let rank = &self.ranks[r];
+                let sp = rank.ult.as_ref().and_then(|u| u.suspended_sp());
+                let image = rank.memory.pack();
+                let checksum = image.checksum();
+                let primary_pe = rank.location;
+                CheckpointEntry {
+                    buddy_image: image.clone(),
+                    image,
+                    sp,
+                    checksum,
+                    primary_pe,
+                    buddy_pe: self.buddy_of(primary_pe),
+                }
             })
             .collect();
-        self.last_checkpoint = Some(images);
-        self.checkpoints_taken += 1;
+        let bytes: u64 = entries.iter().map(|e| e.image.len() as u64).sum();
+        self.last_checkpoint = Some(Checkpoint { entries });
+        self.tallies.checkpoints += 1;
+        self.trace(
+            0,
+            NO_RANK,
+            EventKind::CheckpointTaken {
+                step: self.lb_steps,
+                bytes,
+            },
+        );
     }
 
     /// Restore every rank's memory from the last checkpoint. Ranks
     /// resume from the sync point at which the checkpoint was taken and
     /// recompute forward — classic coordinated rollback.
+    ///
+    /// Failure-atomic: every image is selected (from a live holder),
+    /// checksummed, and layout-verified before any rank is mutated, so a
+    /// restore that cannot succeed leaves all rank memory untouched and
+    /// the checkpoint still in place.
     fn restore_checkpoint(&mut self) -> Result<(), RtsError> {
-        let Some(images) = self.last_checkpoint.take() else {
+        let Some(ckpt) = self.last_checkpoint.take() else {
             return Err(RtsError::Protocol {
                 rank: usize::MAX,
                 detail: "fault injected with no checkpoint available".into(),
             });
         };
-        // Restore is two-phase per rank: stack/heap/segment bytes, then
-        // the suspension point (stack pointer) those bytes belong to.
-        for (rank, (img, sp)) in images.iter().enumerate() {
+
+        // Phase 1: verify everything, mutating nothing.
+        let verify = || -> Result<Vec<bool>, RtsError> {
+            let mut use_buddy = Vec::with_capacity(ckpt.entries.len());
+            for (rank, e) in ckpt.entries.iter().enumerate() {
+                let from_buddy = if self.alive[e.primary_pe] {
+                    false
+                } else if self.alive[e.buddy_pe] {
+                    true
+                } else {
+                    return Err(RtsError::Protocol {
+                        rank,
+                        detail: format!(
+                            "checkpoint lost: both holders (PE {} and buddy PE {}) are dead",
+                            e.primary_pe, e.buddy_pe
+                        ),
+                    });
+                };
+                let img = if from_buddy { &e.buddy_image } else { &e.image };
+                if img.checksum() != e.checksum {
+                    return Err(RtsError::Protocol {
+                        rank,
+                        detail: "checkpoint image checksum mismatch".into(),
+                    });
+                }
+                self.ranks[rank]
+                    .memory
+                    .verify_layout(img)
+                    .map_err(|e| RtsError::Protocol {
+                        rank,
+                        detail: format!("checkpoint restore failed: {e}"),
+                    })?;
+                use_buddy.push(from_buddy);
+            }
+            Ok(use_buddy)
+        };
+        let use_buddy = match verify() {
+            Ok(v) => v,
+            Err(e) => {
+                // nothing was touched; keep the checkpoint for later
+                self.last_checkpoint = Some(ckpt);
+                return Err(e);
+            }
+        };
+
+        // Phase 2: restore is two-phase per rank — stack/heap/segment
+        // bytes, then the suspension point (stack pointer) those bytes
+        // belong to.
+        for (rank, (e, &from_buddy)) in ckpt.entries.iter().zip(&use_buddy).enumerate() {
+            let img = if from_buddy { &e.buddy_image } else { &e.image };
             self.ranks[rank]
                 .memory
                 .unpack_into(img)
-                .map_err(|e| RtsError::Protocol {
-                    rank,
-                    detail: format!("checkpoint restore failed: {e}"),
-                })?;
-            if let Some(sp) = *sp {
+                .expect("layout verified before unpack");
+            if let Some(sp) = e.sp {
                 // SAFETY: the stack bytes were just restored to exactly
                 // the state observed together with this sp.
                 unsafe {
@@ -885,14 +1368,125 @@ impl Machine {
                 }
             }
         }
-        self.last_checkpoint = Some(images);
-        self.recoveries += 1;
+        let ranks = ckpt.entries.len() as u32;
+        self.last_checkpoint = Some(ckpt);
+        self.tallies.recoveries += 1;
+        self.trace(0, NO_RANK, EventKind::Recovery { ranks });
         Ok(())
     }
 
     /// Checkpoint/restart totals: (checkpoints taken, recoveries done).
     pub fn fault_tolerance_stats(&self) -> (u32, u32) {
-        (self.checkpoints_taken, self.recoveries)
+        (self.tallies.checkpoints, self.tallies.recoveries)
+    }
+
+    /// Kill PE `pe`: its resident ranks lose their memory, the machine
+    /// rolls every rank back to the last coordinated checkpoint, and the
+    /// dead PE's ranks are adopted by the surviving PEs (buddy images
+    /// make the rollback possible even though the primary copy died with
+    /// the PE).
+    fn fail_pe(&mut self, pe: PeId) -> Result<(), RtsError> {
+        if !self.alive[pe] {
+            return Ok(());
+        }
+        if self.alive.iter().filter(|a| **a).count() < 2 {
+            return Err(RtsError::Protocol {
+                rank: usize::MAX,
+                detail: format!("cannot fail PE {pe}: it is the last alive PE"),
+            });
+        }
+        if self.done_count > 0 {
+            return Err(RtsError::Protocol {
+                rank: usize::MAX,
+                detail: "PE failure after rank completion is unsupported \
+                         (completed ranks cannot roll back)"
+                    .into(),
+            });
+        }
+        if self.last_checkpoint.is_none() {
+            return Err(RtsError::Protocol {
+                rank: usize::MAX,
+                detail: "fault injected with no checkpoint available".into(),
+            });
+        }
+        let lost: Vec<RankId> = self.location.residents(pe).collect();
+        self.tallies.pe_failures += 1;
+        self.trace(
+            pe,
+            NO_RANK,
+            EventKind::PeFail {
+                pe: pe as u32,
+                ranks_lost: lost.len() as u32,
+            },
+        );
+        self.alive[pe] = false;
+        self.pes[pe].ready.clear();
+        // The dead PE's rank images are gone: scribble them so any read
+        // of un-restored state is loud.
+        for &r in &lost {
+            let regions: Vec<(*mut u8, usize)> = self.ranks[r]
+                .memory
+                .regions()
+                .map(|reg| (reg.base_mut(), reg.len()))
+                .collect();
+            for (ptr, len) in regions {
+                unsafe { std::ptr::write_bytes(ptr, 0xDE, len) };
+            }
+        }
+        // Coordinated rollback of every rank (survivors included).
+        if let Err(e) = self.restore_checkpoint() {
+            // The scribbled stacks can never be unwound safely; abandon
+            // those ULTs so Machine teardown doesn't resume onto them.
+            self.abandon_ranks(&lost);
+            return Err(e);
+        }
+        // Survivors adopt the dead PE's ranks (least-loaded first).
+        for r in lost {
+            let target = self.least_loaded_alive_pe();
+            let rec = self.migrate_now(r, target)?;
+            if self.clock == ClockMode::Virtual {
+                self.pes[target].work(rec.sim_cost);
+            }
+        }
+        Ok(())
+    }
+
+    /// The alive PE with the smallest resident load (sum of its ranks'
+    /// load since the last LB step), ties broken by PE id.
+    fn least_loaded_alive_pe(&self) -> PeId {
+        (0..self.pes.len())
+            .filter(|&p| self.alive[p])
+            .min_by(|&a, &b| {
+                let load = |pe: PeId| -> SimDuration {
+                    self.location
+                        .residents(pe)
+                        .map(|r| self.ranks[r].load_since_lb)
+                        .fold(SimDuration::ZERO, |acc, d| acc + d)
+                };
+                load(a).cmp(&load(b)).then(a.cmp(&b))
+            })
+            .expect("at least one alive PE")
+    }
+
+    /// First alive PE at or cyclically after `p` (placement repair after
+    /// a PE death).
+    fn first_alive_from(&self, p: PeId) -> PeId {
+        let n = self.pes.len();
+        (0..n)
+            .map(|off| (p + off) % n)
+            .find(|&q| self.alive[q])
+            .expect("at least one alive PE")
+    }
+
+    /// Write off ranks whose memory was scribbled by an injected fault and
+    /// could not be restored: their suspended stacks must never be resumed
+    /// (not even for cancellation-unwind at drop), so the ULTs leak.
+    fn abandon_ranks(&mut self, ranks: &[RankId]) {
+        for &r in ranks {
+            if let Some(ult) = self.ranks[r].ult.as_mut() {
+                ult.abandon();
+            }
+        }
     }
 
     /// Run one LB step: measure, rebalance, migrate, release.
@@ -928,21 +1522,37 @@ impl Machine {
                 }
             }
             // ...and recover from the checkpoint before anything runs.
-            self.restore_checkpoint()?;
+            if let Err(e) = self.restore_checkpoint() {
+                // Every stack is scribbled; abandon all ULTs so teardown
+                // doesn't unwind onto garbage frames.
+                let all: Vec<RankId> = (0..self.ranks.len()).collect();
+                self.abandon_ranks(&all);
+                return Err(e);
+            }
             self.inject_fault_at_lb_step = None;
         }
+        if let Some((step, pe)) = self.inject_pe_failure {
+            if step == self.lb_steps {
+                self.fail_pe(pe)?;
+                self.inject_pe_failure = None;
+            }
+        }
 
-        // Virtual mode: the sync point is a barrier — all PEs meet at the
-        // max clock.
+        // Virtual mode: the sync point is a barrier — all alive PEs meet
+        // at the max alive clock.
         if self.clock == ClockMode::Virtual {
             let max_clock = self
                 .pes
                 .iter()
-                .map(|p| p.clock)
+                .zip(&self.alive)
+                .filter(|(_, alive)| **alive)
+                .map(|(p, _)| p.clock)
                 .max()
                 .unwrap_or(SimTime::ZERO);
-            for pe in &mut self.pes {
-                pe.advance_to(max_clock);
+            for (pe, alive) in self.pes.iter_mut().zip(&self.alive) {
+                if *alive {
+                    pe.advance_to(max_clock);
+                }
             }
         }
 
@@ -962,9 +1572,16 @@ impl Machine {
                     .map(|(&(a, b), &v)| (a, b, v))
                     .collect(),
             };
-            let new_placement = balancer.rebalance(&stats);
+            let mut new_placement = balancer.rebalance(&stats);
             self.balancer = Some(balancer);
             assert_eq!(new_placement.len(), self.ranks.len());
+            // A balancer unaware of PE deaths may target a dead PE;
+            // repair by shifting such ranks to the next alive PE.
+            for p in new_placement.iter_mut() {
+                if !self.alive[*p] {
+                    *p = self.first_alive_from(*p);
+                }
+            }
 
             // LB database entry
             self.lb_history.push(LbRecord {
@@ -1049,6 +1666,7 @@ impl Machine {
             migrations: self.migrations.clone(),
             pe_clocks: self.pes.iter().map(|p| p.clock).collect(),
             lb_history: self.lb_history.clone(),
+            faults: self.tallies,
         })
     }
 
@@ -1135,11 +1753,85 @@ impl Machine {
                                 forwarded: true,
                             },
                         );
+                    } else if self.reliable.is_some() {
+                        self.receive_transport(msg, t);
                     } else {
                         self.deposit(msg);
                     }
                 }
+                Event::Ack { from, to, seq } => {
+                    if let Some(rel) = self.reliable.as_mut() {
+                        rel.inflight.remove(&(from, to, seq));
+                    }
+                }
+                Event::Retransmit {
+                    from,
+                    to,
+                    seq,
+                    attempt,
+                } => {
+                    let key = (from, to, seq);
+                    let in_flight = self
+                        .reliable
+                        .as_ref()
+                        .is_some_and(|rel| rel.inflight.contains_key(&key));
+                    if !in_flight {
+                        continue; // acked since the timer was armed
+                    }
+                    let next = attempt + 1;
+                    let (max_attempts, delivered) = {
+                        let rel = self.reliable.as_ref().expect("reliable layer active");
+                        let delivered = rel
+                            .recv
+                            .get(&(from, to))
+                            .is_some_and(|p| p.next_expected > seq);
+                        (rel.max_attempts, delivered)
+                    };
+                    if next >= max_attempts {
+                        if delivered {
+                            // The receiver released it; only the acks
+                            // were lost. Stop retransmitting quietly.
+                            self.reliable
+                                .as_mut()
+                                .expect("reliable layer active")
+                                .inflight
+                                .remove(&key);
+                        } else {
+                            return Err(RtsError::DeliveryFailed {
+                                from,
+                                to,
+                                seq,
+                                attempts: next,
+                            });
+                        }
+                    } else {
+                        let msg = self
+                            .reliable
+                            .as_ref()
+                            .expect("reliable layer active")
+                            .inflight
+                            .get(&key)
+                            .expect("checked in_flight")
+                            .clone();
+                        self.tallies.retransmits += 1;
+                        let pe = self.ranks[from].location;
+                        self.trace(
+                            pe,
+                            from as u32,
+                            EventKind::MsgRetransmit {
+                                from: from as u32,
+                                to: to as u32,
+                                seq,
+                                attempt: next,
+                            },
+                        );
+                        self.transmit(t, msg, next);
+                    }
+                }
                 Event::PeWake { pe } => {
+                    if !self.alive[pe] {
+                        continue;
+                    }
                     self.pes[pe].advance_to(t);
                     while let Some(r) = self.pes[pe].ready.pop_front() {
                         if self.ranks[r].status == RankStatus::Done {
@@ -1735,19 +2427,68 @@ mod tests {
 
     #[test]
     fn fault_without_checkpoint_is_an_error() {
-        let mut m = builder()
+        // caught at build time now: a fault schedule with no checkpoint
+        // period can never recover, so the configuration is rejected
+        // before any rank runs
+        match builder()
             .vp_ratio(2)
             .method(Method::PieGlobals)
             .inject_fault_at_lb_step(1)
             .build(Arc::new(|ctx: RankCtx| {
                 ctx.at_sync();
-            }))
-            .unwrap();
-        match m.run() {
-            Err(RtsError::Protocol { detail, .. }) => {
-                assert!(detail.contains("no checkpoint"))
+            })) {
+            Err(RtsError::Config { detail }) => {
+                assert!(detail.contains("checkpoint_period"), "{detail}")
             }
-            other => panic!("expected protocol error, got {other:?}"),
+            other => panic!("expected Config error, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn pe_failure_without_checkpoint_is_an_error() {
+        match builder()
+            .clock(ClockMode::Virtual)
+            .topology(Topology::non_smp(2))
+            .inject_pe_failure_at_lb_step(1, 1)
+            .build(Arc::new(|ctx: RankCtx| {
+                ctx.at_sync();
+            })) {
+            Err(RtsError::Config { detail }) => {
+                assert!(detail.contains("checkpoint_period"), "{detail}")
+            }
+            other => panic!("expected Config error, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn pe_failure_target_must_exist() {
+        match builder()
+            .clock(ClockMode::Virtual)
+            .topology(Topology::non_smp(2))
+            .checkpoint_period(1)
+            .inject_pe_failure_at_lb_step(1, 7)
+            .build(Arc::new(|ctx: RankCtx| {
+                ctx.at_sync();
+            })) {
+            Err(RtsError::Config { detail }) => {
+                assert!(detail.contains("out of range"), "{detail}")
+            }
+            other => panic!("expected Config error, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn fault_plan_requires_virtual_clock() {
+        use pvr_des::FaultPlan;
+        let net = NetworkModel::infiniband().with_faults(FaultPlan::lossy_internode(1, 0.1, 0.0));
+        match builder()
+            .network(net)
+            .checkpoint_period(1)
+            .build(Arc::new(|_ctx: RankCtx| {})) {
+            Err(RtsError::Config { detail }) => {
+                assert!(detail.contains("Virtual"), "{detail}")
+            }
+            other => panic!("expected Config error, got {:?}", other.map(|_| ())),
         }
     }
 

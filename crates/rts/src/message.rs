@@ -15,6 +15,14 @@ pub struct RtsMessage {
     /// Opaque to the RTS; `pvr-ampi` packs its envelope here.
     pub tag: u64,
     pub payload: Bytes,
+    /// Per-(src,dst)-pair sequence number assigned by the reliable
+    /// delivery layer (0 on the fault-free fast path, where it is
+    /// unused).
+    pub seq: u64,
+    /// FNV-1a checksum over the header fields and payload, stamped at
+    /// transmit time by the reliable delivery layer so the receiver can
+    /// detect in-flight corruption. 0 on the fault-free fast path.
+    pub checksum: u64,
 }
 
 impl RtsMessage {
@@ -24,12 +32,44 @@ impl RtsMessage {
             to,
             tag,
             payload,
+            seq: 0,
+            checksum: 0,
         }
     }
 
     /// Wire size for network cost purposes (payload + header).
     pub fn wire_bytes(&self) -> usize {
         self.payload.len() + 32
+    }
+
+    /// FNV-1a over (from, to, tag, seq, payload) — what `checksum`
+    /// should hold for an uncorrupted message.
+    pub fn integrity(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        for word in [self.from as u64, self.to as u64, self.tag, self.seq] {
+            for b in word.to_le_bytes() {
+                eat(b);
+            }
+        }
+        for &b in self.payload.as_ref() {
+            eat(b);
+        }
+        h
+    }
+
+    /// Stamp `checksum` from the current contents.
+    pub fn seal(&mut self) {
+        self.checksum = self.integrity();
+    }
+
+    /// True when the checksum matches the contents (no in-flight
+    /// corruption).
+    pub fn intact(&self) -> bool {
+        self.checksum == self.integrity()
     }
 }
 
@@ -41,5 +81,25 @@ mod tests {
     fn wire_size_includes_header() {
         let m = RtsMessage::new(0, 1, 7, Bytes::from_static(b"hello"));
         assert_eq!(m.wire_bytes(), 5 + 32);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let mut m = RtsMessage::new(0, 1, 7, Bytes::from(vec![1, 2, 3, 4]));
+        m.seq = 9;
+        m.seal();
+        assert!(m.intact());
+        let mut bytes = m.payload.as_ref().to_vec();
+        bytes[2] ^= 0x10; // single bit flip
+        m.payload = Bytes::from(bytes);
+        assert!(!m.intact());
+    }
+
+    #[test]
+    fn checksum_covers_header() {
+        let mut m = RtsMessage::new(0, 1, 7, Bytes::from_static(b"x"));
+        m.seal();
+        m.seq = 1;
+        assert!(!m.intact());
     }
 }

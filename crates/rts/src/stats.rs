@@ -62,6 +62,40 @@ pub struct MigrationRecord {
     pub sim_cost: SimDuration,
 }
 
+/// Exact tallies of fault-injection and recovery activity during a run.
+///
+/// Every field increments at the same site that emits the corresponding
+/// `pvr-trace` event, so integration tests can reconcile the two exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultTallies {
+    /// Data-message copies dropped in transit by the fault plan.
+    pub msgs_dropped: u64,
+    /// Ack copies dropped in transit.
+    pub acks_dropped: u64,
+    /// Copies discarded at the receiver for checksum mismatch.
+    pub msgs_corrupted: u64,
+    /// Extra copies injected by network duplication.
+    pub duplicates_injected: u64,
+    /// Copies discarded by receive-side dedup (network duplicates and
+    /// spurious retransmits).
+    pub duplicates_suppressed: u64,
+    /// Retransmissions issued by the reliable delivery layer.
+    pub retransmits: u64,
+    /// Coordinated checkpoints taken at LB steps.
+    pub checkpoints: u32,
+    /// Coordinated rollback/restore operations performed.
+    pub recoveries: u32,
+    /// PEs killed by fault injection.
+    pub pe_failures: u32,
+}
+
+impl FaultTallies {
+    /// True when the run saw no fault or recovery activity at all.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultTallies::default()
+    }
+}
+
 /// What a completed run reports.
 #[derive(Debug)]
 pub struct RunReport {
@@ -80,6 +114,8 @@ pub struct RunReport {
     pub pe_clocks: Vec<SimTime>,
     /// Per-LB-step records (empty when no balancer is configured).
     pub lb_history: Vec<LbRecord>,
+    /// Fault-injection and recovery activity (all-zero on clean runs).
+    pub faults: FaultTallies,
 }
 
 impl RunReport {
@@ -109,6 +145,24 @@ impl RunReport {
             self.total_migration_bytes() as f64 / 1e6,
             self.mean_utilization() * 100.0
         );
+        if !self.faults.is_clean() {
+            let f = &self.faults;
+            let _ = writeln!(
+                out,
+                "faults: {} drops ({} ack), {} corrupt, {} dups injected/{} suppressed, {} retransmits",
+                f.msgs_dropped + f.acks_dropped,
+                f.acks_dropped,
+                f.msgs_corrupted,
+                f.duplicates_injected,
+                f.duplicates_suppressed,
+                f.retransmits
+            );
+            let _ = writeln!(
+                out,
+                "recovery: {} checkpoints, {} PE failures, {} rollbacks",
+                f.checkpoints, f.pe_failures, f.recoveries
+            );
+        }
         for (pe, (busy, idle)) in self.pe_busy_idle.iter().enumerate() {
             let _ = writeln!(out, "  PE {pe}: busy {busy} / idle {idle}");
         }
@@ -169,9 +223,11 @@ mod tests {
                 migrations: 2,
                 comm_bytes: 1024,
             }],
+            faults: FaultTallies::default(),
         };
         let s = r.summary();
         assert!(s.contains("context switches: 42"));
+        assert!(!s.contains("faults:"), "clean run must omit fault lines");
         assert!(s.contains("migrations: 1"));
         assert!(s.contains("PE 1"));
         assert!((r.mean_utilization() - (10.0 / 12.0 + 0.5) / 2.0).abs() < 1e-9);
@@ -179,6 +235,33 @@ mod tests {
         let rec = &r.lb_history[0];
         assert!((rec.imbalance_before() - 10.0 / 6.0).abs() < 1e-9);
         assert!((rec.imbalance_after() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_renders_fault_lines_when_active() {
+        let r = RunReport {
+            sim_elapsed: SimDuration::from_millis(1),
+            real_elapsed: Duration::from_millis(1),
+            pe_busy_idle: vec![],
+            context_switches: 0,
+            messages_delivered: 0,
+            lb_steps: 1,
+            migrations: vec![],
+            pe_clocks: vec![],
+            lb_history: vec![],
+            faults: FaultTallies {
+                msgs_dropped: 3,
+                acks_dropped: 1,
+                retransmits: 4,
+                checkpoints: 2,
+                recoveries: 1,
+                pe_failures: 1,
+                ..Default::default()
+            },
+        };
+        let s = r.summary();
+        assert!(s.contains("faults: 4 drops (1 ack)"), "{s}");
+        assert!(s.contains("recovery: 2 checkpoints, 1 PE failures, 1 rollbacks"), "{s}");
     }
 
     #[test]

@@ -96,6 +96,37 @@ pub enum EventKind {
     },
     /// An MPI-level entry point ran (AMPI layer).
     MpiCall { name: &'static str },
+    /// The lossy network dropped a message copy in transit (`ack` marks
+    /// acknowledgement copies of the reliable-delivery layer).
+    MsgDrop {
+        from: u32,
+        to: u32,
+        seq: u64,
+        ack: bool,
+    },
+    /// A message copy arrived with a checksum mismatch and was discarded
+    /// (the retransmit path recovers it).
+    MsgCorrupt { from: u32, to: u32, seq: u64 },
+    /// The reliable-delivery layer retransmitted an unacknowledged
+    /// message (`attempt` counts transmissions; 1 = first retransmit).
+    MsgRetransmit {
+        from: u32,
+        to: u32,
+        seq: u64,
+        attempt: u32,
+    },
+    /// The receiver discarded a duplicate copy of an already-delivered
+    /// message (network duplication or a spurious retransmit).
+    MsgDupSuppressed { from: u32, to: u32, seq: u64 },
+    /// A PE was killed by fault injection; `ranks_lost` ranks resided
+    /// there.
+    PeFail { pe: u32, ranks_lost: u32 },
+    /// A coordinated checkpoint was taken at an LB step (`bytes` is the
+    /// total primary image size).
+    CheckpointTaken { step: u32, bytes: u64 },
+    /// A coordinated rollback restored `ranks` ranks from checkpoint
+    /// images.
+    Recovery { ranks: u32 },
 }
 
 impl EventKind {
@@ -114,6 +145,13 @@ impl EventKind {
             EventKind::PrivInstall { .. } => "priv_install",
             EventKind::RegionCopy { .. } => "region_copy",
             EventKind::MpiCall { .. } => "mpi_call",
+            EventKind::MsgDrop { .. } => "msg_drop",
+            EventKind::MsgCorrupt { .. } => "msg_corrupt",
+            EventKind::MsgRetransmit { .. } => "msg_retransmit",
+            EventKind::MsgDupSuppressed { .. } => "msg_dup_suppressed",
+            EventKind::PeFail { .. } => "pe_fail",
+            EventKind::CheckpointTaken { .. } => "checkpoint_taken",
+            EventKind::Recovery { .. } => "recovery",
         }
     }
 }

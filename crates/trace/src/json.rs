@@ -97,6 +97,40 @@ fn event_json(e: &Event) -> String {
         EventKind::MpiCall { name } => {
             s.push_str(&format!(", \"name\": \"{}\"", escape(name)));
         }
+        EventKind::MsgDrop { from, to, seq, ack } => {
+            s.push_str(&format!(
+                ", \"from\": {from}, \"to\": {to}, \"msg_seq\": {seq}, \"ack\": {ack}"
+            ));
+        }
+        EventKind::MsgCorrupt { from, to, seq } => {
+            s.push_str(&format!(
+                ", \"from\": {from}, \"to\": {to}, \"msg_seq\": {seq}"
+            ));
+        }
+        EventKind::MsgRetransmit {
+            from,
+            to,
+            seq,
+            attempt,
+        } => {
+            s.push_str(&format!(
+                ", \"from\": {from}, \"to\": {to}, \"msg_seq\": {seq}, \"attempt\": {attempt}"
+            ));
+        }
+        EventKind::MsgDupSuppressed { from, to, seq } => {
+            s.push_str(&format!(
+                ", \"from\": {from}, \"to\": {to}, \"msg_seq\": {seq}"
+            ));
+        }
+        EventKind::PeFail { pe, ranks_lost } => {
+            s.push_str(&format!(", \"failed_pe\": {pe}, \"ranks_lost\": {ranks_lost}"));
+        }
+        EventKind::CheckpointTaken { step, bytes } => {
+            s.push_str(&format!(", \"step\": {step}, \"bytes\": {bytes}"));
+        }
+        EventKind::Recovery { ranks } => {
+            s.push_str(&format!(", \"ranks\": {ranks}"));
+        }
     }
     s.push('}');
     s
@@ -121,7 +155,9 @@ impl TraceSnapshot {
              \"migrations\": {}, \"migration_bytes\": {}, \"lb_steps\": {}, \
              \"segment_copies\": {}, \"segment_copy_bytes\": {}, \"got_fixups\": {}, \
              \"priv_installs\": {}, \"region_copies\": {}, \"region_copy_bytes\": {}, \
-             \"mpi_calls\": {}}},",
+             \"mpi_calls\": {}, \"msg_drops\": {}, \"ack_drops\": {}, \"msg_corrupts\": {}, \
+             \"msg_retransmits\": {}, \"dup_suppressed\": {}, \"pe_fails\": {}, \
+             \"checkpoints\": {}, \"checkpoint_bytes\": {}, \"recoveries\": {}}},",
             c.ctx_switches,
             c.blocks,
             c.unblocks,
@@ -138,7 +174,16 @@ impl TraceSnapshot {
             c.priv_installs,
             c.region_copies,
             c.region_copy_bytes,
-            c.mpi_calls
+            c.mpi_calls,
+            c.msg_drops,
+            c.ack_drops,
+            c.msg_corrupts,
+            c.msg_retransmits,
+            c.dup_suppressed,
+            c.pe_fails,
+            c.checkpoints,
+            c.checkpoint_bytes,
+            c.recoveries
         );
         out.push_str("  \"pes\": [\n");
         for (i, p) in self.per_pe.iter().enumerate() {
@@ -213,6 +258,65 @@ mod tests {
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn fault_events_export() {
+        let t = Tracer::new(2);
+        t.enable();
+        t.record(
+            0,
+            crate::NO_RANK,
+            1,
+            EventKind::MsgDrop { from: 2, to: 3, seq: 7, ack: false },
+        );
+        t.record(
+            0,
+            crate::NO_RANK,
+            2,
+            EventKind::MsgDrop { from: 3, to: 2, seq: 9, ack: true },
+        );
+        t.record(
+            0,
+            crate::NO_RANK,
+            3,
+            EventKind::MsgRetransmit { from: 2, to: 3, seq: 7, attempt: 1 },
+        );
+        t.record(
+            0,
+            crate::NO_RANK,
+            4,
+            EventKind::MsgCorrupt { from: 2, to: 3, seq: 8 },
+        );
+        t.record(
+            0,
+            crate::NO_RANK,
+            5,
+            EventKind::MsgDupSuppressed { from: 2, to: 3, seq: 7 },
+        );
+        t.record(1, crate::NO_RANK, 6, EventKind::PeFail { pe: 1, ranks_lost: 3 });
+        t.record(
+            0,
+            crate::NO_RANK,
+            7,
+            EventKind::CheckpointTaken { step: 2, bytes: 1024 },
+        );
+        t.record(0, crate::NO_RANK, 8, EventKind::Recovery { ranks: 6 });
+        let json = t.snapshot().to_json();
+        assert_eq!(json_u64(&json, "msg_drops"), Some(1));
+        assert_eq!(json_u64(&json, "ack_drops"), Some(1));
+        assert_eq!(json_u64(&json, "msg_corrupts"), Some(1));
+        assert_eq!(json_u64(&json, "msg_retransmits"), Some(1));
+        assert_eq!(json_u64(&json, "dup_suppressed"), Some(1));
+        assert_eq!(json_u64(&json, "pe_fails"), Some(1));
+        assert_eq!(json_u64(&json, "checkpoints"), Some(1));
+        assert_eq!(json_u64(&json, "checkpoint_bytes"), Some(1024));
+        assert_eq!(json_u64(&json, "recoveries"), Some(1));
+        assert!(json.contains("\"kind\": \"msg_drop\", \"from\": 2, \"to\": 3, \"msg_seq\": 7, \"ack\": false"));
+        assert!(json.contains("\"kind\": \"msg_retransmit\", \"from\": 2, \"to\": 3, \"msg_seq\": 7, \"attempt\": 1"));
+        assert!(json.contains("\"kind\": \"pe_fail\", \"failed_pe\": 1, \"ranks_lost\": 3"));
+        assert!(json.contains("\"kind\": \"checkpoint_taken\", \"step\": 2, \"bytes\": 1024"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -41,6 +41,24 @@ pub struct TraceCounts {
     pub region_copies: u64,
     pub region_copy_bytes: u64,
     pub mpi_calls: u64,
+    /// Data-message copies dropped in transit by the fault plan.
+    pub msg_drops: u64,
+    /// Ack copies dropped in transit by the fault plan.
+    pub ack_drops: u64,
+    /// Copies discarded at the receiver for checksum mismatch.
+    pub msg_corrupts: u64,
+    /// Retransmissions issued by the reliable-delivery layer.
+    pub msg_retransmits: u64,
+    /// Duplicate copies suppressed by receive-side dedup.
+    pub dup_suppressed: u64,
+    /// PEs killed by fault injection.
+    pub pe_fails: u64,
+    /// Coordinated checkpoints taken.
+    pub checkpoints: u64,
+    /// Total bytes of primary checkpoint images.
+    pub checkpoint_bytes: u64,
+    /// Coordinated rollback/restore operations.
+    pub recoveries: u64,
 }
 
 impl TraceCounts {
@@ -59,10 +77,18 @@ impl TraceCounts {
             + self.priv_installs
             + self.region_copies
             + self.mpi_calls
+            + self.msg_drops
+            + self.ack_drops
+            + self.msg_corrupts
+            + self.msg_retransmits
+            + self.dup_suppressed
+            + self.pe_fails
+            + self.checkpoints
+            + self.recoveries
     }
 }
 
-const N_COUNTERS: usize = 17;
+const N_COUNTERS: usize = 26;
 
 // Counter slot indices (mirrors TraceCounts field order).
 const C_CTX: usize = 0;
@@ -82,6 +108,15 @@ const C_PRIV: usize = 13;
 const C_REGION: usize = 14;
 const C_REGION_BYTES: usize = 15;
 const C_MPI: usize = 16;
+const C_MSG_DROP: usize = 17;
+const C_ACK_DROP: usize = 18;
+const C_CORRUPT: usize = 19;
+const C_RETRANSMIT: usize = 20;
+const C_DUP_SUPPRESSED: usize = 21;
+const C_PE_FAIL: usize = 22;
+const C_CHECKPOINT: usize = 23;
+const C_CHECKPOINT_BYTES: usize = 24;
+const C_RECOVERY: usize = 25;
 
 /// Fixed-capacity ring of the most recent events on one PE.
 struct PeRing {
@@ -231,6 +266,18 @@ impl Tracer {
                 bump(C_REGION_BYTES, bytes);
             }
             EventKind::MpiCall { .. } => bump(C_MPI, 1),
+            EventKind::MsgDrop { ack, .. } => {
+                bump(if ack { C_ACK_DROP } else { C_MSG_DROP }, 1)
+            }
+            EventKind::MsgCorrupt { .. } => bump(C_CORRUPT, 1),
+            EventKind::MsgRetransmit { .. } => bump(C_RETRANSMIT, 1),
+            EventKind::MsgDupSuppressed { .. } => bump(C_DUP_SUPPRESSED, 1),
+            EventKind::PeFail { .. } => bump(C_PE_FAIL, 1),
+            EventKind::CheckpointTaken { bytes, .. } => {
+                bump(C_CHECKPOINT, 1);
+                bump(C_CHECKPOINT_BYTES, bytes);
+            }
+            EventKind::Recovery { .. } => bump(C_RECOVERY, 1),
         }
     }
 
@@ -264,6 +311,15 @@ impl Tracer {
             region_copies: c(C_REGION),
             region_copy_bytes: c(C_REGION_BYTES),
             mpi_calls: c(C_MPI),
+            msg_drops: c(C_MSG_DROP),
+            ack_drops: c(C_ACK_DROP),
+            msg_corrupts: c(C_CORRUPT),
+            msg_retransmits: c(C_RETRANSMIT),
+            dup_suppressed: c(C_DUP_SUPPRESSED),
+            pe_fails: c(C_PE_FAIL),
+            checkpoints: c(C_CHECKPOINT),
+            checkpoint_bytes: c(C_CHECKPOINT_BYTES),
+            recoveries: c(C_RECOVERY),
         }
     }
 

@@ -59,6 +59,33 @@ impl TraceSnapshot {
             c.priv_installs,
             c.mpi_calls
         );
+        let fault_total = c.msg_drops
+            + c.ack_drops
+            + c.msg_corrupts
+            + c.msg_retransmits
+            + c.dup_suppressed
+            + c.pe_fails
+            + c.checkpoints
+            + c.recoveries;
+        if fault_total > 0 {
+            let _ = writeln!(
+                out,
+                "  faults: {} drops ({} ack), {} corrupt, {} retransmits, {} dups suppressed",
+                c.msg_drops + c.ack_drops,
+                c.ack_drops,
+                c.msg_corrupts,
+                c.msg_retransmits,
+                c.dup_suppressed
+            );
+            let _ = writeln!(
+                out,
+                "  recovery: {} checkpoints ({}), {} PE failures, {} rollbacks",
+                c.checkpoints,
+                fmt_bytes(c.checkpoint_bytes),
+                c.pe_fails,
+                c.recoveries
+            );
+        }
 
         // per-PE table: switch counts come from retained events so the
         // column stays meaningful even without a RunReport
@@ -132,5 +159,37 @@ mod tests {
         assert!(s.contains("top message edges"));
         assert!(s.contains("0 -> 1"));
         assert!(s.contains("90.0"), "PE 0 utilization missing:\n{s}");
+        // no fault activity → no fault section
+        assert!(!s.contains("faults:"), "unexpected fault section:\n{s}");
+    }
+
+    #[test]
+    fn summary_renders_fault_section_when_active() {
+        let t = Tracer::new(1);
+        t.enable();
+        t.record(
+            0,
+            crate::NO_RANK,
+            0,
+            EventKind::MsgDrop { from: 0, to: 1, seq: 4, ack: false },
+        );
+        t.record(
+            0,
+            crate::NO_RANK,
+            1,
+            EventKind::MsgRetransmit { from: 0, to: 1, seq: 4, attempt: 1 },
+        );
+        t.record(
+            0,
+            crate::NO_RANK,
+            2,
+            EventKind::CheckpointTaken { step: 1, bytes: 4096 },
+        );
+        t.record(0, crate::NO_RANK, 3, EventKind::PeFail { pe: 0, ranks_lost: 2 });
+        t.record(0, crate::NO_RANK, 4, EventKind::Recovery { ranks: 4 });
+        let s = t.snapshot().summary(3);
+        assert!(s.contains("faults: 1 drops (0 ack), 0 corrupt, 1 retransmits"), "{s}");
+        assert!(s.contains("recovery: 1 checkpoints"), "{s}");
+        assert!(s.contains("1 PE failures, 1 rollbacks"), "{s}");
     }
 }

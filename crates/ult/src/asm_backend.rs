@@ -160,6 +160,12 @@ impl AsmUlt {
         self.stack.size()
     }
 
+    pub(crate) fn abandon(&mut self) {
+        // The stack contents are presumed corrupt; unwinding them (what
+        // Drop would do) is unsound. Frames and their destructors leak.
+        self.shared.finished = true;
+    }
+
     pub(crate) fn suspended_sp(&self) -> Option<usize> {
         if self.started && !self.shared.finished {
             Some(self.shared.child_ctx.rsp as usize)

@@ -209,6 +209,20 @@ impl Ult {
         }
     }
 
+    /// Mark this ULT finished without ever resuming it again.
+    ///
+    /// For teardown after the rank's memory has been corrupted (e.g. an
+    /// injected fault whose checkpoint restore failed): unwinding the
+    /// suspended stack — what `Drop` normally does — would execute on
+    /// garbage frames. Abandoning leaks whatever the stack owned instead.
+    pub fn abandon(&mut self) {
+        match &mut self.inner {
+            Inner::Asm(u) => u.abandon(),
+            Inner::Thread(u) => u.abandon(),
+        }
+        self.state = LifeCycle::Done;
+    }
+
     /// True once the closure has returned (or panicked).
     pub fn is_complete(&self) -> bool {
         self.state == LifeCycle::Done

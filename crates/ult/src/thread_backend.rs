@@ -155,6 +155,14 @@ impl ThreadUlt {
         RawOutcome::Finished
     }
 
+    pub(crate) fn abandon(&mut self) {
+        // Detach without the cancel handshake: unwinding would run
+        // destructors that may chase pointers into corrupted rank memory.
+        // The carrier thread stays parked until process exit.
+        self.finished = true;
+        drop(self.handle.take());
+    }
+
     fn join(&mut self) {
         if let Some(h) = self.handle.take() {
             let _ = h.join();

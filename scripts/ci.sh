@@ -9,6 +9,9 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> seeded fault-sweep smoke (determinism gate)"
+cargo test -q -p pvr-bench --test fault_recovery seeded_fault_sweep_is_deterministic
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -165,6 +165,114 @@ fn empty_pe_reduction_restriction_is_enforced() {
 }
 
 #[test]
+fn fault_injection_without_checkpoints_rejected_at_build_time() {
+    // Both failure-injection knobs require a checkpoint to recover from;
+    // the builder rejects the configuration before any rank exists.
+    let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(|_ctx| {});
+    for build in [
+        MachineBuilder::new(hello::binary()).inject_fault_at_lb_step(2),
+        MachineBuilder::new(hello::binary())
+            .topology(Topology::non_smp(2))
+            .inject_pe_failure_at_lb_step(2, 1),
+    ] {
+        match build.build(body.clone()) {
+            Err(RtsError::Config { detail }) => {
+                assert!(detail.contains("checkpoint_period"), "{detail}")
+            }
+            other => panic!("expected Config error, got {:?}", other.map(|_| ())),
+        }
+    }
+}
+
+/// Checkpoint/restart across every migratable privatization method: a
+/// run whose memory is scribbled mid-flight and rolled back must finish
+/// bit-identical to the clean run — under PIEglobals, TLSglobals, and
+/// Swapglobals alike (the checkpoint packs the method's privatized
+/// segments exactly like a migration).
+#[test]
+fn checkpoint_restart_is_bit_identical_across_methods() {
+    let body = |out: Arc<Mutex<Vec<(usize, f64, f64)>>>| -> Arc<dyn Fn(RankCtx) + Send + Sync> {
+        Arc::new(move |ctx: RankCtx| {
+            let data = ctx.heap_alloc_f64s(48);
+            let mut acc: f64 = ctx.rank() as f64 + 1.0;
+            for step in 0..5u64 {
+                for v in data.iter_mut() {
+                    *v += acc * 0.5;
+                }
+                let partner = (ctx.rank() + 1) % ctx.n_ranks();
+                ctx.send(partner, step, Bytes::copy_from_slice(&acc.to_le_bytes()));
+                let m = ctx.recv();
+                acc = acc * 1.25 + f64::from_le_bytes(m.payload[..8].try_into().unwrap());
+                ctx.at_sync();
+            }
+            out.lock().push((ctx.rank(), acc, data.iter().sum()));
+        })
+    };
+    let run = |method: Method, fault_step: Option<u32>| -> Vec<(usize, f64, f64)> {
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let mut b = MachineBuilder::new(hello::binary())
+            .method(method)
+            .topology(Topology::non_smp(2))
+            .vp_ratio(2)
+            .checkpoint_period(1);
+        if method == Method::Swapglobals {
+            // Swapglobals needs a GOT-preserving linker (Table 1)
+            b = b.toolchain(pvr_privatize::Toolchain::legacy_ld());
+        }
+        if let Some(k) = fault_step {
+            b = b.inject_fault_at_lb_step(k);
+        }
+        let mut m = b.build(body(out.clone())).unwrap();
+        m.run().unwrap();
+        let (ckpts, recov) = m.fault_tolerance_stats();
+        assert!(ckpts >= 4, "{method}: checkpoints not taken");
+        assert_eq!(recov, u32::from(fault_step.is_some()), "{method}");
+        let mut v = out.lock().clone();
+        v.sort_by_key(|r| r.0);
+        v
+    };
+    for method in [Method::PieGlobals, Method::TlsGlobals, Method::Swapglobals] {
+        let clean = run(method, None);
+        let recovered = run(method, Some(3));
+        assert_eq!(recovered, clean, "{method}: rollback diverged");
+    }
+}
+
+/// Failure atomicity: when the only checkpoint predates a heap-layout
+/// change (a new arena chunk), restore must detect the mismatch during
+/// verification and fail cleanly — no rank memory half-unpacked, no
+/// recovery counted, and the error names the cause.
+#[test]
+fn unrestorable_checkpoint_fails_atomically() {
+    let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(|ctx| {
+        ctx.at_sync(); // LB step 1: the only checkpoint (period 99)
+        if ctx.rank() == 0 {
+            // >1 MiB forces a fresh arena chunk: the layout no longer
+            // matches the step-1 checkpoint image
+            let big = ctx.heap_alloc_f64s(200_000);
+            big[0] = 1.0;
+        }
+        ctx.at_sync(); // LB step 2
+        ctx.at_sync(); // LB step 3: fault injected here
+    });
+    let mut m = MachineBuilder::new(hello::binary())
+        .vp_ratio(2)
+        .checkpoint_period(99) // checkpoints at steps 1, 100, ...
+        .inject_fault_at_lb_step(3)
+        .build(body)
+        .unwrap();
+    match m.run() {
+        Err(RtsError::Protocol { detail, .. }) => {
+            assert!(detail.contains("checkpoint restore failed"), "{detail}")
+        }
+        other => panic!("expected Protocol error, got {:?}", other.map(|_| ())),
+    }
+    let (ckpts, recov) = m.fault_tolerance_stats();
+    assert_eq!(ckpts, 1, "only the step-1 checkpoint exists");
+    assert_eq!(recov, 0, "failed restore must not count as a recovery");
+}
+
+#[test]
 fn non_pie_binary_rejected_by_runtime_methods() {
     use pvr_progimage::{link, ImageSpec};
     let bin = link(ImageSpec::builder("legacy").pie(false).global("g", 8).build());
