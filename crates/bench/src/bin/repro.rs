@@ -6,7 +6,9 @@
 //! cargo run --release -p pvr-bench --bin repro -- table2 --quick   # down-scaled sweep
 //! ```
 
-use pvr_bench::{faults_exp, fig5, fig6, fig7, fig8, icache_exp, scaling, tables, tracing_exp};
+use pvr_bench::{
+    degrade_exp, faults_exp, fig5, fig6, fig7, fig8, icache_exp, scaling, tables, tracing_exp,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +54,7 @@ fn main() {
             "icache" => println!("{}\n", icache_exp::report()),
             "trace" => println!("{}\n", tracing_exp::report()),
             "faults" => println!("{}\n", faults_exp::report()),
+            "degrade" => println!("{}\n", degrade_exp::report()),
             "table2" => {
                 let (res, cfg) = scaling_result.as_ref().unwrap();
                 println!("{}\n", scaling::report_table2(res, cfg));
@@ -63,7 +66,7 @@ fn main() {
             other => {
                 eprintln!("unknown experiment `{other}`");
                 eprintln!(
-                    "known: table1 table3 fig5 fig6 fig7 fig8 icache trace faults table2 fig9 all"
+                    "known: table1 table3 fig5 fig6 fig7 fig8 icache trace faults degrade table2 fig9 all"
                 );
                 std::process::exit(2);
             }

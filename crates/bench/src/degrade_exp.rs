@@ -1,0 +1,372 @@
+//! Graceful-degradation sweep — the `repro -- degrade` experiment.
+//!
+//! Two tables:
+//!
+//! 1. **Fallback frequency.** Virtual-time Jacobi-3D requested under each
+//!    privatization method, crossed with environment scenarios (stock vs
+//!    PiP-patched glibc, roomy vs cramped shared FS), with the fallback
+//!    chain enabled. Each cell reports which method actually *landed*,
+//!    how many probes/fallbacks it took, and whether the degraded run's
+//!    residuals are bit-identical to a direct run of the landed method —
+//!    degradation must change the mechanism, never the answer.
+//! 2. **Guard overhead.** The same app per method with the memory-safety
+//!    guards (stack red zones, arena poisoning, segment audits) off vs
+//!    on, wall-clock, so the cost of `guards(true)` is visible.
+
+use parking_lot::Mutex;
+use pvr_ampi::Ampi;
+use pvr_apps::jacobi3d::{self, JacobiConfig};
+use pvr_des::Topology;
+use pvr_privatize::{Method, Toolchain};
+use pvr_progimage::SharedFs;
+use pvr_rts::{ClockMode, MachineBuilder, RankCtx, RunReport};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shape of the sweep.
+#[derive(Debug, Clone)]
+pub struct DegradeSweepConfig {
+    /// PEs for the fallback-frequency table (1 process ⇒ ranks/process =
+    /// `fallback_vp`).
+    pub fallback_cores: usize,
+    pub fallback_vp: usize,
+    /// PEs × ranks/PE for the guard-overhead table.
+    pub guard_cores: usize,
+    pub guard_vp: usize,
+    pub jacobi: JacobiConfig,
+    /// `AMPI_Migrate` rounds after each solve (each is one LB step, i.e.
+    /// one barrier audit when guards are on).
+    pub lb_rounds: usize,
+    pub methods: Vec<Method>,
+}
+
+impl Default for DegradeSweepConfig {
+    fn default() -> Self {
+        DegradeSweepConfig {
+            fallback_cores: 1,
+            fallback_vp: 16, // > the 12-namespace stock-glibc budget
+            guard_cores: 2,
+            guard_vp: 4,
+            jacobi: JacobiConfig {
+                nx: 8,
+                ny: 8,
+                nz: 2,
+                iters: 4,
+            },
+            lb_rounds: 2,
+            methods: vec![Method::PipGlobals, Method::FsGlobals, Method::PieGlobals],
+        }
+    }
+}
+
+/// One environment the fallback chain is exercised against.
+#[derive(Debug, Clone)]
+pub struct DegradeScenario {
+    pub name: &'static str,
+    pub toolchain: Toolchain,
+    /// `Some(bytes)` caps the shared FS; `None` leaves it unbounded.
+    pub fs_capacity: Option<usize>,
+}
+
+/// The default scenario grid: glibc × shared-FS room.
+pub fn scenarios() -> Vec<DegradeScenario> {
+    vec![
+        DegradeScenario {
+            name: "stock glibc, roomy fs",
+            toolchain: Toolchain::bridges2(),
+            fs_capacity: None,
+        },
+        DegradeScenario {
+            name: "stock glibc, cramped fs",
+            toolchain: Toolchain::bridges2(),
+            fs_capacity: Some(1), // not even the deploy copy fits
+        },
+        DegradeScenario {
+            name: "patched glibc, roomy fs",
+            toolchain: Toolchain::with_patched_glibc(),
+            fs_capacity: None,
+        },
+    ]
+}
+
+/// One (scenario, requested method) cell of the fallback table.
+#[derive(Debug)]
+pub struct DegradeCell {
+    pub scenario: &'static str,
+    pub requested: Method,
+    pub landed: Method,
+    pub report: RunReport,
+    /// Residuals bit-identical to a *direct* run of the landed method?
+    pub bit_identical: bool,
+}
+
+/// One method row of the guard-overhead table.
+#[derive(Debug)]
+pub struct GuardCell {
+    pub method: Method,
+    pub plain: Duration,
+    pub guarded: Duration,
+    pub report: RunReport,
+}
+
+type Residuals = Vec<(usize, Vec<f64>)>;
+
+fn body_for(
+    cfg: &DegradeSweepConfig,
+    sink: Arc<Mutex<Residuals>>,
+) -> Arc<dyn Fn(RankCtx) + Send + Sync> {
+    let jcfg = cfg.jacobi;
+    let rounds = cfg.lb_rounds;
+    Arc::new(move |ctx: RankCtx| {
+        let mpi = Ampi::init(ctx);
+        let mut residuals = Vec::new();
+        for _ in 0..rounds {
+            let stats = jacobi3d::run(&mpi, jcfg);
+            residuals.push(stats.residual);
+            mpi.migrate();
+        }
+        sink.lock().push((mpi.rank(), residuals));
+    })
+}
+
+/// Run one job; `fallback` selects degraded vs strict mode, `guards`
+/// turns the memory-safety guards on. Returns what landed, the report,
+/// sorted residuals and the wall-clock spent inside `Machine::run`.
+fn run_one(
+    cfg: &DegradeSweepConfig,
+    scenario: &DegradeScenario,
+    method: Method,
+    cores: usize,
+    vp: usize,
+    fallback: bool,
+    guards: bool,
+) -> Result<(Method, RunReport, Residuals, Duration), String> {
+    let out: Arc<Mutex<Residuals>> = Arc::new(Mutex::new(Vec::new()));
+    let fs = Arc::new(Mutex::new(match scenario.fs_capacity {
+        Some(cap) => SharedFs::with_capacity(cap),
+        None => SharedFs::new(),
+    }));
+    let mut b = MachineBuilder::new(jacobi3d::binary())
+        .method(method)
+        .toolchain(scenario.toolchain)
+        .shared_fs(Some(fs))
+        .topology(Topology::non_smp(cores))
+        .vp_ratio(vp)
+        .clock(ClockMode::Virtual)
+        .stack_size(256 * 1024)
+        .guards(guards);
+    if fallback {
+        b = b.fallback(true);
+    }
+    let mut machine = b
+        .build(body_for(cfg, out.clone()))
+        .map_err(|e| e.to_string())?;
+    let t0 = Instant::now();
+    let report = machine.run().map_err(|e| e.to_string())?;
+    let wall = t0.elapsed();
+    let landed = machine.method();
+    let mut residuals = out.lock().clone();
+    residuals.sort_by_key(|r| r.0);
+    Ok((landed, report, residuals, wall))
+}
+
+/// The scenario × requested-method fallback sweep.
+pub fn run_fallback(cfg: &DegradeSweepConfig) -> Vec<DegradeCell> {
+    let mut cells = Vec::new();
+    for scenario in scenarios() {
+        for &requested in &cfg.methods {
+            let (landed, report, residuals, _) = run_one(
+                cfg,
+                &scenario,
+                requested,
+                cfg.fallback_cores,
+                cfg.fallback_vp,
+                true,
+                false,
+            )
+            .expect("a full chain always lands somewhere");
+            // reference: the landed method requested directly, no fallback
+            let (_, _, direct, _) = run_one(
+                cfg,
+                &scenario,
+                landed,
+                cfg.fallback_cores,
+                cfg.fallback_vp,
+                false,
+                false,
+            )
+            .expect("direct run of the landed method");
+            cells.push(DegradeCell {
+                scenario: scenario.name,
+                requested,
+                landed,
+                report,
+                bit_identical: residuals == direct,
+            });
+        }
+    }
+    cells
+}
+
+/// The guards-off vs guards-on overhead sweep (patched glibc so every
+/// method can land directly).
+pub fn run_guards(cfg: &DegradeSweepConfig) -> Vec<GuardCell> {
+    let scenario = DegradeScenario {
+        name: "patched glibc, roomy fs",
+        toolchain: Toolchain::with_patched_glibc(),
+        fs_capacity: None,
+    };
+    let mut cells = Vec::new();
+    for &method in &cfg.methods {
+        let (_, _, _, plain) = run_one(
+            cfg,
+            &scenario,
+            method,
+            cfg.guard_cores,
+            cfg.guard_vp,
+            false,
+            false,
+        )
+        .expect("plain run");
+        let (_, report, _, guarded) = run_one(
+            cfg,
+            &scenario,
+            method,
+            cfg.guard_cores,
+            cfg.guard_vp,
+            false,
+            true,
+        )
+        .expect("guarded run");
+        cells.push(GuardCell {
+            method,
+            plain,
+            guarded,
+            report,
+        });
+    }
+    cells
+}
+
+/// Render both tables.
+pub fn render(cfg: &DegradeSweepConfig, fallback: &[DegradeCell], guards: &[GuardCell]) -> String {
+    let mut out = format!(
+        "Degradation sweep: Jacobi-3D {}x{}x{} x {} iters x {} rounds, \
+         fallback chain pipglobals -> fsglobals -> pieglobals\n\
+         {} PE x {} ranks for fallback cells; degraded results must be \
+         bit-identical to a direct run of the landed method\n\n",
+        cfg.jacobi.nx,
+        cfg.jacobi.ny,
+        cfg.jacobi.nz,
+        cfg.jacobi.iters,
+        cfg.lb_rounds,
+        cfg.fallback_cores,
+        cfg.fallback_vp,
+    );
+    out.push_str(&format!(
+        "{:<26} {:<12} {:<12} {:>7} {:>10} {:>14}\n",
+        "scenario", "requested", "landed", "probes", "fallbacks", "bit-identical"
+    ));
+    for c in fallback {
+        out.push_str(&format!(
+            "{:<26} {:<12} {:<12} {:>7} {:>10} {:>14}\n",
+            c.scenario,
+            format!("{}", c.requested),
+            format!("{}", c.landed),
+            c.report.hardening.probes,
+            c.report.hardening.fallbacks,
+            if c.bit_identical { "yes" } else { "NO" },
+        ));
+    }
+    out.push_str(&format!(
+        "\nGuard overhead ({} PEs x {} ranks/PE, patched glibc, wall clock):\n\
+         {:<12} {:>10} {:>10} {:>9} {:>8} {:>7}\n",
+        cfg.guard_cores, cfg.guard_vp, "method", "plain", "guarded", "overhead", "audits", "trips"
+    ));
+    for c in guards {
+        let over = if c.plain.as_nanos() > 0 {
+            (c.guarded.as_secs_f64() / c.plain.as_secs_f64() - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        let h = &c.report.hardening;
+        out.push_str(&format!(
+            "{:<12} {:>8.2}ms {:>8.2}ms {:>8.1}% {:>8} {:>7}\n",
+            format!("{}", c.method),
+            c.plain.as_secs_f64() * 1e3,
+            c.guarded.as_secs_f64() * 1e3,
+            over,
+            h.segment_audits,
+            h.stack_guard_trips + h.arena_guard_trips,
+        ));
+    }
+    out
+}
+
+/// The `repro -- degrade` experiment: sweep both tables and render.
+pub fn report() -> String {
+    let cfg = DegradeSweepConfig::default();
+    let fallback = run_fallback(&cfg);
+    let guards = run_guards(&cfg);
+    render(&cfg, &fallback, &guards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fallback_cells_land_where_the_environment_allows() {
+        let cfg = DegradeSweepConfig {
+            lb_rounds: 1,
+            jacobi: JacobiConfig {
+                nx: 6,
+                ny: 6,
+                nz: 2,
+                iters: 3,
+            },
+            ..DegradeSweepConfig::default()
+        };
+        let cells = run_fallback(&cfg);
+        assert_eq!(cells.len(), 9);
+        assert!(cells.iter().all(|c| c.bit_identical), "degradation changed results");
+        let landed = |scenario: &str, requested: Method| {
+            cells
+                .iter()
+                .find(|c| c.scenario == scenario && c.requested == requested)
+                .map(|c| c.landed)
+                .unwrap()
+        };
+        // stock glibc can't hold 16 namespaces; a roomy FS catches pip
+        assert_eq!(landed("stock glibc, roomy fs", Method::PipGlobals), Method::FsGlobals);
+        assert_eq!(landed("stock glibc, roomy fs", Method::PieGlobals), Method::PieGlobals);
+        // with the FS also cramped, everything degrades to pieglobals
+        assert_eq!(landed("stock glibc, cramped fs", Method::PipGlobals), Method::PieGlobals);
+        assert_eq!(landed("stock glibc, cramped fs", Method::FsGlobals), Method::PieGlobals);
+        // the patched loader lets pipglobals run as requested
+        assert_eq!(landed("patched glibc, roomy fs", Method::PipGlobals), Method::PipGlobals);
+    }
+
+    #[test]
+    fn guarded_runs_stay_clean_and_audit_barriers() {
+        let cfg = DegradeSweepConfig {
+            methods: vec![Method::PieGlobals],
+            lb_rounds: 2,
+            jacobi: JacobiConfig {
+                nx: 6,
+                ny: 6,
+                nz: 2,
+                iters: 3,
+            },
+            ..DegradeSweepConfig::default()
+        };
+        let cells = run_guards(&cfg);
+        assert_eq!(cells.len(), 1);
+        let h = &cells[0].report.hardening;
+        assert_eq!(h.stack_guard_trips, 0);
+        assert_eq!(h.arena_guard_trips, 0);
+        assert_eq!(h.segment_audits, 2, "one audit per LB barrier");
+        let text = render(&cfg, &[], &cells);
+        assert!(text.contains("pieglobals"));
+    }
+}

@@ -17,8 +17,12 @@
 //! | Table 2 + Fig. 9 ADCIRC scaling | [`scaling`] | `repro -- table2` / `fig9` |
 //!
 //! Beyond the paper's artifacts, [`tracing_exp`] demonstrates the
-//! `pvr-trace` observability layer (`repro -- trace`).
+//! `pvr-trace` observability layer (`repro -- trace`), [`faults_exp`]
+//! the fault-injection/recovery stack (`repro -- faults`), and
+//! [`degrade_exp`] the capability-probe fallback chain and memory-safety
+//! guards (`repro -- degrade`).
 
+pub mod degrade_exp;
 pub mod faults_exp;
 pub mod fig5;
 pub mod fig6;

@@ -64,6 +64,49 @@ impl fmt::Display for AllocError {
 
 impl std::error::Error for AllocError {}
 
+/// Byte written over every freed allocation while the arena guard is on.
+/// Chosen distinct from zeroed memory, the 0xDE fault-injection scribble,
+/// and common small integers, so stale reads are loud.
+pub const POISON: u8 = 0xF5;
+
+/// A memory-safety violation detected by the arena guard (see
+/// [`Arena::set_guard`]). Unlike the corresponding C bugs, these are
+/// ordinary values a runtime can attribute to a rank and surface cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GuardViolation {
+    /// The range being freed overlaps a block already on the free list.
+    DoubleFree { addr: usize, size: usize },
+    /// The pointer does not belong to any chunk of this arena.
+    ForeignPointer { addr: usize },
+    /// A poisoned (freed) byte was overwritten before the memory was
+    /// ever reallocated: something wrote through a stale pointer.
+    UseAfterFree {
+        /// Base address of the freed allocation.
+        addr: usize,
+        /// Offset of the first clobbered byte within it.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for GuardViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardViolation::DoubleFree { addr, size } => {
+                write!(f, "double free of {size} B at {addr:#x}")
+            }
+            GuardViolation::ForeignPointer { addr } => {
+                write!(f, "free of {addr:#x}, which does not belong to this arena")
+            }
+            GuardViolation::UseAfterFree { addr, offset } => write!(
+                f,
+                "use-after-free: freed allocation at {addr:#x} written at offset {offset}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GuardViolation {}
+
 /// Allocation statistics for one arena.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ArenaStats {
@@ -186,6 +229,11 @@ pub struct Arena {
     /// Optional total-capacity limit for failure injection.
     limit: Option<usize>,
     stats: ArenaStats,
+    /// Poison-on-free + double-free/use-after-free detection.
+    guard: bool,
+    /// Freed-and-poisoned ranges `(addr, size)` not yet reallocated;
+    /// audited for stale writes by [`Arena::audit_quarantine`].
+    quarantine: Vec<(usize, usize)>,
 }
 
 impl Arena {
@@ -200,6 +248,8 @@ impl Arena {
             chunk_size,
             limit: None,
             stats: ArenaStats::default(),
+            guard: false,
+            quarantine: Vec::new(),
         }
     }
 
@@ -207,6 +257,23 @@ impl Arena {
     /// test suite; models exhaustion of the reserved VA slice).
     pub fn set_limit(&mut self, limit: Option<usize>) {
         self.limit = limit;
+    }
+
+    /// Enable the memory-safety guard: frees poison their bytes with
+    /// [`POISON`] and enter a quarantine that detects use-after-free
+    /// writes ([`Arena::audit_quarantine`]); double frees and foreign
+    /// pointers come back as [`GuardViolation`]s from
+    /// [`Arena::try_dealloc`] instead of silent free-list corruption.
+    /// Costs one memset per free and one scan per audit.
+    pub fn set_guard(&mut self, on: bool) {
+        self.guard = on;
+        if !on {
+            self.quarantine.clear();
+        }
+    }
+
+    pub fn guard_enabled(&self) -> bool {
+        self.guard
     }
 
     /// Allocate `size` bytes with `align` alignment (power of two).
@@ -220,6 +287,7 @@ impl Arena {
                 self.stats.live_bytes += size;
                 self.stats.live_allocs += 1;
                 self.stats.total_allocs += 1;
+                self.release_from_quarantine(ptr as usize, size);
                 return Ok(IsoPtr { ptr, size });
             }
         }
@@ -259,31 +327,95 @@ impl Arena {
     ///
     /// # Panics
     ///
-    /// Panics if `p` was not allocated from this arena (or was already
-    /// freed, when the double-free lands outside any chunk's bounds —
-    /// exact double-free detection is a debug-build scan).
+    /// Panics if `p` was not allocated from this arena or was already
+    /// freed. Use [`Arena::try_dealloc`] to get the violation as a value
+    /// instead (the rts guard path does, so it can name the rank).
     pub fn dealloc(&mut self, p: IsoPtr) {
+        match self.try_dealloc(p) {
+            Ok(()) => {}
+            Err(GuardViolation::ForeignPointer { .. }) => {
+                panic!("IsoPtr does not belong to this arena")
+            }
+            Err(GuardViolation::DoubleFree { .. }) => {
+                panic!("double free or overlapping free in isomalloc arena")
+            }
+            Err(v) => panic!("{v}"),
+        }
+    }
+
+    /// Return an allocation to the arena, reporting double frees and
+    /// foreign pointers as values. With the guard on, the freed bytes
+    /// are poisoned and quarantined for later stale-write audits.
+    pub fn try_dealloc(&mut self, p: IsoPtr) -> Result<(), GuardViolation> {
         let addr = p.ptr as usize;
         for chunk in &mut self.chunks {
             let base = chunk.region.base() as usize;
             if addr >= base && addr + p.size <= base + chunk.region.len() {
-                #[cfg(debug_assertions)]
-                {
-                    let offset = addr - base;
-                    for b in &chunk.free {
-                        assert!(
-                            offset + p.size <= b.offset || offset >= b.offset + b.size,
-                            "double free or overlapping free in isomalloc arena"
-                        );
+                let offset = addr - base;
+                for b in &chunk.free {
+                    if offset + p.size > b.offset && offset < b.offset + b.size {
+                        return Err(GuardViolation::DoubleFree { addr, size: p.size });
                     }
                 }
-                chunk.free(addr - base, p.size);
+                chunk.free(offset, p.size);
                 self.stats.live_bytes -= p.size;
                 self.stats.live_allocs -= 1;
-                return;
+                if self.guard {
+                    unsafe { std::ptr::write_bytes(p.ptr, POISON, p.size) };
+                    self.quarantine.push((addr, p.size));
+                }
+                return Ok(());
             }
         }
-        panic!("IsoPtr does not belong to this arena");
+        Err(GuardViolation::ForeignPointer { addr })
+    }
+
+    /// Verify that no quarantined (freed, poisoned, never-reallocated)
+    /// byte has been overwritten — i.e. nothing wrote through a stale
+    /// pointer since the free. Cheap enough to run at barriers.
+    pub fn audit_quarantine(&self) -> Result<(), GuardViolation> {
+        for &(addr, size) in &self.quarantine {
+            let bytes = unsafe { std::slice::from_raw_parts(addr as *const u8, size) };
+            if let Some(offset) = bytes.iter().position(|&b| b != POISON) {
+                return Err(GuardViolation::UseAfterFree { addr, offset });
+            }
+        }
+        Ok(())
+    }
+
+    /// Quarantined ranges currently tracked (guard diagnostics).
+    pub fn quarantine_len(&self) -> usize {
+        self.quarantine.len()
+    }
+
+    /// An allocation reused space: drop the overlapping quarantine
+    /// coverage and hand the bytes back zeroed (they hold poison, and
+    /// callers are promised zeroed fresh memory).
+    fn release_from_quarantine(&mut self, addr: usize, size: usize) {
+        if !self.guard || self.quarantine.is_empty() {
+            return;
+        }
+        let (a0, a1) = (addr, addr + size);
+        let mut overlapped = false;
+        let mut next = Vec::with_capacity(self.quarantine.len());
+        for &(e_addr, e_size) in &self.quarantine {
+            let (e0, e1) = (e_addr, e_addr + e_size);
+            if e0 >= a1 || e1 <= a0 {
+                next.push((e_addr, e_size));
+                continue;
+            }
+            overlapped = true;
+            if e0 < a0 {
+                next.push((e0, a0 - e0));
+            }
+            if e1 > a1 {
+                next.push((a1, e1 - a1));
+            }
+        }
+        self.quarantine = next;
+        if overlapped {
+            unsafe { std::ptr::write_bytes(addr as *mut u8, 0, size) };
+        }
     }
 
     pub fn stats(&self) -> ArenaStats {
@@ -413,6 +545,74 @@ mod tests {
         let p = a.alloc(1 << 20, 8).unwrap();
         assert_eq!(p.size, 1 << 20);
         unsafe { p.as_mut_slice()[1 << 19] = 1 };
+    }
+
+    #[test]
+    fn guard_detects_double_free_as_value() {
+        let mut a = Arena::with_chunk_size(4096);
+        a.set_guard(true);
+        let p = a.alloc(256, 8).unwrap();
+        let addr = p.addr();
+        assert!(a.try_dealloc(p).is_ok());
+        match a.try_dealloc(p) {
+            Err(GuardViolation::DoubleFree { addr: d, size }) => {
+                assert_eq!((d, size), (addr, 256));
+            }
+            other => panic!("expected DoubleFree, got {other:?}"),
+        }
+        // arena stats untouched by the rejected free
+        assert_eq!(a.stats().live_allocs, 0);
+    }
+
+    #[test]
+    fn guard_poisons_freed_memory_and_audits_stale_writes() {
+        let mut a = Arena::with_chunk_size(4096);
+        a.set_guard(true);
+        let p = a.alloc(64, 8).unwrap();
+        let ptr = p.ptr;
+        a.try_dealloc(p).unwrap();
+        unsafe {
+            assert!(p.as_slice().iter().all(|&b| b == POISON), "freed bytes poisoned");
+        }
+        assert!(a.audit_quarantine().is_ok());
+        // a stale write through the dangling pointer
+        unsafe { ptr.add(5).write(42) };
+        match a.audit_quarantine() {
+            Err(GuardViolation::UseAfterFree { offset, .. }) => assert_eq!(offset, 5),
+            other => panic!("expected UseAfterFree, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guarded_realloc_releases_quarantine_and_zeroes() {
+        let mut a = Arena::with_chunk_size(4096);
+        a.set_guard(true);
+        let p = a.alloc(512, 8).unwrap();
+        let addr = p.addr();
+        a.try_dealloc(p).unwrap();
+        assert_eq!(a.quarantine_len(), 1);
+        let q = a.alloc(512, 8).unwrap();
+        assert_eq!(q.addr(), addr, "freed space reused");
+        assert_eq!(a.quarantine_len(), 0, "reused range left quarantine");
+        unsafe {
+            assert!(q.as_slice().iter().all(|&b| b == 0), "reused memory zeroed");
+        }
+        // auditing after reuse must not flag the recycled range
+        assert!(a.audit_quarantine().is_ok());
+    }
+
+    #[test]
+    fn guard_reports_foreign_pointer_as_value() {
+        let mut a = Arena::new();
+        a.set_guard(true);
+        let mut x = [0u8; 16];
+        match a.try_dealloc(IsoPtr {
+            ptr: x.as_mut_ptr(),
+            size: 16,
+        }) {
+            Err(GuardViolation::ForeignPointer { .. }) => {}
+            other => panic!("expected ForeignPointer, got {other:?}"),
+        }
     }
 
     #[test]

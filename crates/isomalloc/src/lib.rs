@@ -37,7 +37,7 @@ pub mod pup;
 pub mod rank_memory;
 pub mod region;
 
-pub use arena::{AllocError, Arena, ArenaStats, IsoPtr};
+pub use arena::{AllocError, Arena, ArenaStats, GuardViolation, IsoPtr, POISON};
 pub use pup::{PupError, Puppable, Sizer, Unpacker, Packer};
 pub use rank_memory::{MigrationBuffer, RankMemory, RankMemoryStats};
 pub use region::{Region, RegionKind};

@@ -31,12 +31,14 @@ pub mod access;
 pub mod env;
 pub mod matrix;
 pub mod methods;
+pub mod probe;
 pub mod rank;
 pub mod regs;
 
 pub use access::VarAccess;
 pub use env::{Compiler, CompilerFamily, Linker, LinkerFamily, PrivatizeEnv, Toolchain};
 pub use methods::create_privatizer;
+pub use probe::{probe_method, Capability, ProbeReport, RunShape};
 pub use rank::{CtxAction, RankInstance};
 
 use pvr_progimage::spec::Callable;
@@ -230,6 +232,15 @@ pub trait Privatizer: Send {
     /// The scheduler installs it alongside the rank's registers at each
     /// context switch.
     fn pe_block(&self, _local_pe: usize) -> Option<*mut u8> {
+        None
+    }
+
+    /// The privatized data-segment copy backing `rank`'s globals, if the
+    /// method duplicates whole segments (PIP/FS/PIEglobals). The runtime's
+    /// segment-integrity audit checksums this range at barriers to detect
+    /// cross-rank global bleed. `None` for methods without a per-rank
+    /// segment copy (or an unknown rank).
+    fn rank_data_segment(&self, _rank: usize) -> Option<(*const u8, usize)> {
         None
     }
 }

@@ -27,10 +27,17 @@ use std::time::Duration;
 pub struct FsGlobals {
     common: Common,
     rank_images: Vec<Arc<LoadedImage>>,
+    /// Global rank id instantiated at the same index in `rank_images`.
+    rank_ids: Vec<usize>,
     rank_tls: Vec<Box<[u8]>>,
     io_cost: Duration,
     copied_bytes: usize,
     deployed_path: String,
+    /// Every file THIS privatizer wrote to the shared FS (the deployed
+    /// original if we deployed it, plus one copy per instantiated rank).
+    /// Deleted on drop so a torn-down startup (method fallback, error)
+    /// releases its FS footprint instead of leaking it.
+    created_paths: Vec<String>,
 }
 
 impl FsGlobals {
@@ -55,6 +62,7 @@ impl FsGlobals {
         let deployed_path = format!("/scratch/{}", common.env.binary.spec.name);
         let file_size = common.env.binary.file_size();
         let mut io_cost = Duration::ZERO;
+        let mut created_paths = Vec::new();
         {
             let fs_arc = common.env.shared_fs.as_ref().unwrap().clone();
             let mut fs = fs_arc.lock();
@@ -66,6 +74,7 @@ impl FsGlobals {
                         common.env.concurrent_processes,
                     )
                     .map_err(PrivatizeError::Fs)?;
+                created_paths.push(deployed_path.clone());
             }
         }
 
@@ -74,11 +83,27 @@ impl FsGlobals {
         Ok(FsGlobals {
             common,
             rank_images: Vec::new(),
+            rank_ids: Vec::new(),
             rank_tls: Vec::new(),
             io_cost,
             copied_bytes,
             deployed_path,
+            created_paths,
         })
+    }
+}
+
+impl Drop for FsGlobals {
+    fn drop(&mut self) {
+        // Release this process's FS footprint. Without this, a startup
+        // that fails at rank k (NoSpace) leaks k binary copies — and a
+        // method fallback could never reclaim the space it needs.
+        if let Some(fs_arc) = self.common.env.shared_fs.as_ref() {
+            let mut fs = fs_arc.lock();
+            for path in self.created_paths.drain(..) {
+                let _ = fs.delete_file(&path);
+            }
+        }
     }
 }
 
@@ -97,20 +122,36 @@ impl Privatizer for FsGlobals {
 
         // 1. copy the binary on the shared FS (the expensive part)
         let copy_path = format!("{}.vp{rank}", self.deployed_path);
+        let fs_arc = self.common.env.shared_fs.as_ref().unwrap().clone();
         {
-            let fs_arc = self.common.env.shared_fs.as_ref().unwrap().clone();
             let mut fs = fs_arc.lock();
             self.io_cost += fs
                 .copy_file(&self.deployed_path, &copy_path, clients)
                 .map_err(PrivatizeError::Fs)?;
+            // The copy exists on the FS from here on; track it so it is
+            // cleaned up on any failure below and on drop.
+            self.created_paths.push(copy_path.clone());
             // the loader reads the copy back in
-            let (_, read_cost) = fs.read_file(&copy_path, clients).map_err(PrivatizeError::Fs)?;
-            self.io_cost += read_cost;
+            match fs.read_file(&copy_path, clients) {
+                Ok((_, read_cost)) => self.io_cost += read_cost,
+                Err(e) => {
+                    let _ = fs.delete_file(&copy_path);
+                    self.created_paths.pop();
+                    return Err(PrivatizeError::Fs(e));
+                }
+            }
         }
 
         // 2. dlopen the distinct file: a distinct image, plain POSIX.
         let copy = binary.copy_as(&copy_path);
-        let img = self.common.env.loader.dlopen(&copy)?;
+        let img = match self.common.env.loader.dlopen(&copy) {
+            Ok(img) => img,
+            Err(e) => {
+                let _ = fs_arc.lock().delete_file(&copy_path);
+                self.created_paths.pop();
+                return Err(e.into());
+            }
+        };
 
         let tls: Box<[u8]> = {
             let tpl = img.tls_template();
@@ -138,6 +179,7 @@ impl Privatizer for FsGlobals {
 
         let code_base = img.segment_addrs().code_base;
         self.rank_images.push(img);
+        self.rank_ids.push(rank);
         self.rank_tls.push(tls);
 
         Ok(RankInstance::new(
@@ -167,6 +209,12 @@ impl Privatizer for FsGlobals {
 
     fn per_rank_copied_bytes(&self) -> usize {
         self.copied_bytes
+    }
+
+    fn rank_data_segment(&self, rank: usize) -> Option<(*const u8, usize)> {
+        let i = self.rank_ids.iter().position(|&r| r == rank)?;
+        let seg = self.rank_images[i].segment_addrs();
+        Some((seg.data_base as *const u8, seg.data_len))
     }
 }
 
@@ -241,6 +289,54 @@ mod tests {
             Err(PrivatizeError::Fs(pvr_progimage::FsError::NoSpace { .. })) => {}
             other => panic!("expected NoSpace, got {:?}", other.map(|_| ())),
         }
+    }
+
+    #[test]
+    fn fs_out_of_space_cleans_up_partial_copies() {
+        // Regression: a startup failing at rank k used to leak the k
+        // already-copied binaries (plus the deploy) on the shared FS, so
+        // no later attempt could ever reclaim the space.
+        let file_size = bin().file_size();
+        let fs = Arc::new(Mutex::new(SharedFs::with_capacity(file_size * 3)));
+        {
+            let env = PrivatizeEnv::new(bin()).with_shared_fs(Some(fs.clone()));
+            let mut p = FsGlobals::new(env).unwrap();
+            let mut ok = 0;
+            loop {
+                let mut mem = RankMemory::new();
+                match p.instantiate_rank(ok, &mut mem) {
+                    Ok(_) => ok += 1,
+                    Err(PrivatizeError::Fs(pvr_progimage::FsError::NoSpace { .. })) => break,
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            assert_eq!(ok, 2, "deploy + 2 copies fit in 3x capacity");
+            assert!(fs.lock().bytes_used() > 0);
+        }
+        // Dropping the failed privatizer releases everything it wrote.
+        assert_eq!(fs.lock().bytes_used(), 0, "partial state must be released");
+        assert_eq!(fs.lock().file_count(), 0);
+        // A retry sized within the budget now succeeds.
+        let env = PrivatizeEnv::new(bin()).with_shared_fs(Some(fs));
+        let mut p = FsGlobals::new(env).unwrap();
+        for rank in 0..2 {
+            let mut mem = RankMemory::new();
+            p.instantiate_rank(rank, &mut mem).unwrap();
+        }
+    }
+
+    #[test]
+    fn rank_data_segments_are_distinct_per_rank() {
+        let mut p = FsGlobals::new(PrivatizeEnv::new(bin())).unwrap();
+        let mut m0 = RankMemory::new();
+        let mut m1 = RankMemory::new();
+        p.instantiate_rank(0, &mut m0).unwrap();
+        p.instantiate_rank(1, &mut m1).unwrap();
+        let (b0, l0) = p.rank_data_segment(0).unwrap();
+        let (b1, l1) = p.rank_data_segment(1).unwrap();
+        assert_ne!(b0, b1, "each rank gets its own data segment copy");
+        assert_eq!(l0, l1);
+        assert!(p.rank_data_segment(7).is_none());
     }
 
     #[test]

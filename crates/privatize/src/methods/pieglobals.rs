@@ -381,6 +381,13 @@ impl Privatizer for PieGlobals {
     fn per_rank_copied_bytes(&self) -> usize {
         self.orig.code_len + self.orig.data_len + self.tls_block_size
     }
+
+    fn rank_data_segment(&self, rank: usize) -> Option<(*const u8, usize)> {
+        self.ranks
+            .iter()
+            .find(|rr| rr.rank == rank)
+            .map(|rr| (rr.data_base as *const u8, rr.data_len))
+    }
 }
 
 #[cfg(test)]

@@ -34,6 +34,8 @@ pub struct PipGlobals {
     /// Per-rank namespace images — owned by the *process* (ld.so state),
     /// not by rank memory; this is exactly why migration is impossible.
     rank_images: Vec<Arc<LoadedImage>>,
+    /// Global rank id instantiated at the same index in `rank_images`.
+    rank_ids: Vec<usize>,
     /// Per-rank TLS blocks (each namespace has its own TLS image).
     rank_tls: Vec<Box<[u8]>>,
     copied_bytes: usize,
@@ -53,6 +55,7 @@ impl PipGlobals {
         Ok(PipGlobals {
             common,
             rank_images: Vec::new(),
+            rank_ids: Vec::new(),
             rank_tls: Vec::new(),
             copied_bytes,
         })
@@ -105,6 +108,7 @@ impl Privatizer for PipGlobals {
 
         let code_base = img.segment_addrs().code_base;
         self.rank_images.push(img);
+        self.rank_ids.push(rank);
         self.rank_tls.push(tls);
 
         Ok(RankInstance::new(
@@ -132,6 +136,12 @@ impl Privatizer for PipGlobals {
 
     fn per_rank_copied_bytes(&self) -> usize {
         self.copied_bytes
+    }
+
+    fn rank_data_segment(&self, rank: usize) -> Option<(*const u8, usize)> {
+        let i = self.rank_ids.iter().position(|&r| r == rank)?;
+        let seg = self.rank_images[i].segment_addrs();
+        Some((seg.data_base as *const u8, seg.data_len))
     }
 }
 

@@ -1,0 +1,343 @@
+//! Capability probing: interrogate the environment *before any rank is
+//! created* and predict, per method, whether a run of a given shape can
+//! start at all.
+//!
+//! The paper's Tables 1/3 rate each method's portability qualitatively;
+//! this module turns those rows into an executable check. The runtime
+//! uses the verdicts twice:
+//!
+//! 1. at config-validation time, to reject a fallback chain that names a
+//!    method the environment can *never* support ([`Capability::Unsupported`]);
+//! 2. at startup, to skip methods whose *run-shape* prerequisites fail
+//!    ([`Capability::ResourceLimited`]) — the namespace budget vs. the
+//!    rank count, or filesystem capacity vs. binary size × rank count —
+//!    and degrade to the next method in the chain.
+//!
+//! Probes are conservative predictions, not guarantees: a probe can pass
+//! and rank N's `dlmopen`/`write_file` still fail (another job filled the
+//! FS, say). The runtime therefore also degrades *mid-startup* when a
+//! degradable error surfaces during rank instantiation.
+
+use crate::env::PrivatizeEnv;
+use crate::Method;
+use std::fmt;
+
+/// Three-valued verdict from probing one method against one environment
+/// and run shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Capability {
+    /// All prerequisites hold for this run shape.
+    Feasible,
+    /// The environment supports the method, but this *run shape* exceeds
+    /// a resource budget (namespaces, FS capacity). Degradation to the
+    /// next method in the chain is the intended response.
+    ResourceLimited { reason: String },
+    /// The environment can never run this method (no glibc, no shared
+    /// FS, non-PIE binary, wrong compiler/linker, SMP conflict). Naming
+    /// such a method in a fallback chain is a configuration error.
+    Unsupported { reason: String },
+}
+
+impl Capability {
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, Capability::Feasible)
+    }
+
+    pub fn is_unsupported(&self) -> bool {
+        matches!(self, Capability::Unsupported { .. })
+    }
+}
+
+impl fmt::Display for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Capability::Feasible => write!(f, "feasible"),
+            Capability::ResourceLimited { reason } => {
+                write!(f, "resource-limited: {reason}")
+            }
+            Capability::Unsupported { reason } => write!(f, "unsupported: {reason}"),
+        }
+    }
+}
+
+/// The shape of the run being probed — what the resource checks are
+/// scaled against.
+#[derive(Debug, Clone, Copy)]
+pub struct RunShape {
+    /// Virtual ranks that will be instantiated in ONE OS process (the
+    /// namespace budget is per-process).
+    pub ranks_per_process: usize,
+    /// Virtual ranks across the whole job (the shared FS is job-wide).
+    pub total_ranks: usize,
+}
+
+/// Probe one method against an environment and run shape. Pure
+/// prediction: nothing is loaded, copied, or allocated.
+pub fn probe_method(method: Method, env: &PrivatizeEnv, shape: RunShape) -> Capability {
+    let unsupported = |reason: String| Capability::Unsupported { reason };
+    let limited = |reason: String| Capability::ResourceLimited { reason };
+
+    // The three runtime methods all dlopen the binary; a non-PIE binary
+    // can never have its segments duplicated.
+    let needs_pie = matches!(
+        method,
+        Method::PipGlobals | Method::FsGlobals | Method::PieGlobals
+    );
+    if needs_pie && !env.binary.spec.pie {
+        return unsupported(format!(
+            "binary {} is not a Position Independent Executable",
+            env.binary.spec.name
+        ));
+    }
+
+    match method {
+        Method::Unprivatized | Method::ManualRefactor | Method::Photran => Capability::Feasible,
+        Method::Swapglobals => {
+            if env.smp_mode() {
+                unsupported(
+                    "Swapglobals cannot run in SMP mode (one GOT per process)".to_string(),
+                )
+            } else if !env.toolchain.linker.preserves_got_references() {
+                unsupported(
+                    "linker optimizes out GOT references (needs ld < 2.24 or a GOT patch)"
+                        .to_string(),
+                )
+            } else {
+                Capability::Feasible
+            }
+        }
+        Method::TlsGlobals => {
+            if env.toolchain.compiler.supports_no_tls_direct_seg_refs() {
+                Capability::Feasible
+            } else {
+                unsupported(
+                    "compiler lacks -mno-tls-direct-seg-refs (needs GCC or Clang >= 10)"
+                        .to_string(),
+                )
+            }
+        }
+        Method::MpcPrivatize => {
+            if env.toolchain.compiler.supports_mpc_privatize() {
+                Capability::Feasible
+            } else {
+                unsupported(
+                    "compiler lacks -fmpc-privatize (needs Intel or a patched GCC)".to_string(),
+                )
+            }
+        }
+        Method::PipGlobals => {
+            if !env.toolchain.has_glibc {
+                return unsupported("dlmopen is a glibc extension (GNU/Linux only)".to_string());
+            }
+            let budget = env.loader.namespaces_remaining();
+            if shape.ranks_per_process > budget {
+                limited(format!(
+                    "{} ranks per process exceed the {budget}-namespace dlmopen budget \
+                     (stock glibc; a patched glibc lifts this)",
+                    shape.ranks_per_process
+                ))
+            } else {
+                Capability::Feasible
+            }
+        }
+        Method::FsGlobals => {
+            let Some(fs_arc) = env.shared_fs.as_ref() else {
+                return unsupported("no shared filesystem mounted".to_string());
+            };
+            if env.binary.spec.uses_shared_objects {
+                return unsupported(
+                    "shared objects are not supported by FSglobals".to_string(),
+                );
+            }
+            let fs = fs_arc.lock();
+            let file_size = env.binary.file_size();
+            // One deployed original (unless already there) + one copy per
+            // rank, job-wide.
+            let deployed = format!("/scratch/{}", env.binary.spec.name);
+            let mut needed = file_size.saturating_mul(shape.total_ranks);
+            if !fs.exists(&deployed) {
+                needed = needed.saturating_add(file_size);
+            }
+            let free = fs.bytes_free();
+            if needed > free {
+                limited(format!(
+                    "shared FS has {free} bytes free but {} ranks x {file_size}-byte \
+                     binary needs {needed}",
+                    shape.total_ranks
+                ))
+            } else {
+                Capability::Feasible
+            }
+        }
+        Method::PieGlobals => {
+            if env.toolchain.has_glibc {
+                // Segment copies come from Isomalloc-managed rank memory:
+                // no per-process cap to exhaust at startup.
+                Capability::Feasible
+            } else {
+                unsupported(
+                    "requires glibc extensions (dl_iterate_phdr; stable since 2005)".to_string(),
+                )
+            }
+        }
+    }
+}
+
+/// Verdicts for a set of candidate methods, in probe order.
+#[derive(Debug, Clone)]
+pub struct ProbeReport {
+    pub shape: RunShape,
+    pub entries: Vec<(Method, Capability)>,
+}
+
+impl ProbeReport {
+    /// Probe every method in `candidates` against `env`.
+    pub fn probe(candidates: &[Method], env: &PrivatizeEnv, shape: RunShape) -> ProbeReport {
+        ProbeReport {
+            shape,
+            entries: candidates
+                .iter()
+                .map(|&m| (m, probe_method(m, env, shape)))
+                .collect(),
+        }
+    }
+
+    pub fn verdict(&self, method: Method) -> Option<&Capability> {
+        self.entries.iter().find(|(m, _)| *m == method).map(|(_, c)| c)
+    }
+
+    /// First candidate whose verdict is [`Capability::Feasible`].
+    pub fn first_feasible(&self) -> Option<Method> {
+        self.entries
+            .iter()
+            .find(|(_, c)| c.is_feasible())
+            .map(|(m, _)| *m)
+    }
+}
+
+impl fmt::Display for ProbeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "probed {} ranks/process, {} total:",
+            self.shape.ranks_per_process, self.shape.total_ranks
+        )?;
+        for (m, c) in &self.entries {
+            write!(f, " [{m}: {c}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Toolchain;
+    use parking_lot::Mutex;
+    use pvr_progimage::{link, ImageSpec, SharedFs};
+    use std::sync::Arc;
+
+    fn bin() -> Arc<pvr_progimage::ProgramBinary> {
+        link(
+            ImageSpec::builder("probe-app")
+                .global("g", 8)
+                .code_padding(1 << 20)
+                .build(),
+        )
+    }
+
+    fn shape(per: usize, total: usize) -> RunShape {
+        RunShape {
+            ranks_per_process: per,
+            total_ranks: total,
+        }
+    }
+
+    #[test]
+    fn pip_limited_by_namespace_budget_on_stock_glibc() {
+        let env = PrivatizeEnv::new(bin());
+        assert!(probe_method(Method::PipGlobals, &env, shape(12, 12)).is_feasible());
+        assert!(matches!(
+            probe_method(Method::PipGlobals, &env, shape(16, 16)),
+            Capability::ResourceLimited { .. }
+        ));
+        let patched = PrivatizeEnv::new(bin()).with_toolchain(Toolchain::with_patched_glibc());
+        assert!(probe_method(Method::PipGlobals, &patched, shape(64, 64)).is_feasible());
+    }
+
+    #[test]
+    fn pip_unsupported_without_glibc() {
+        let env = PrivatizeEnv::new(bin()).with_toolchain(Toolchain::macos());
+        assert!(probe_method(Method::PipGlobals, &env, shape(2, 2)).is_unsupported());
+    }
+
+    #[test]
+    fn fs_limited_by_capacity_and_unsupported_without_mount() {
+        let b = bin();
+        let file_size = b.file_size();
+        // Room for the deploy + 4 copies only.
+        let fs = Arc::new(Mutex::new(SharedFs::with_capacity(file_size * 5)));
+        let env = PrivatizeEnv::new(b.clone()).with_shared_fs(Some(fs));
+        assert!(probe_method(Method::FsGlobals, &env, shape(4, 4)).is_feasible());
+        assert!(matches!(
+            probe_method(Method::FsGlobals, &env, shape(8, 8)),
+            Capability::ResourceLimited { .. }
+        ));
+        let unmounted = PrivatizeEnv::new(b).with_shared_fs(None);
+        assert!(probe_method(Method::FsGlobals, &unmounted, shape(1, 1)).is_unsupported());
+    }
+
+    #[test]
+    fn fs_probe_credits_an_existing_deploy() {
+        let b = bin();
+        let file_size = b.file_size();
+        let fs = Arc::new(Mutex::new(SharedFs::with_capacity(file_size * 5)));
+        fs.lock()
+            .write_file("/scratch/probe-app", vec![0u8; file_size], 1)
+            .unwrap();
+        let env = PrivatizeEnv::new(b).with_shared_fs(Some(fs));
+        // 4 copies still fit because the deploy is already paid for.
+        assert!(probe_method(Method::FsGlobals, &env, shape(4, 4)).is_feasible());
+    }
+
+    #[test]
+    fn non_pie_binary_sinks_all_runtime_methods() {
+        let b = link(ImageSpec::builder("old").pie(false).global("g", 8).build());
+        let env = PrivatizeEnv::new(b);
+        for m in [Method::PipGlobals, Method::FsGlobals, Method::PieGlobals] {
+            assert!(
+                probe_method(m, &env, shape(2, 2)).is_unsupported(),
+                "{m} must be unsupported for a non-PIE binary"
+            );
+        }
+    }
+
+    #[test]
+    fn report_finds_first_feasible_in_chain_order() {
+        let env = PrivatizeEnv::new(bin());
+        let chain = [Method::PipGlobals, Method::FsGlobals, Method::PieGlobals];
+        let report = ProbeReport::probe(&chain, &env, shape(16, 16));
+        // 16 > 12 namespaces → PIPglobals out; FSglobals (unbounded FS)
+        // is next.
+        assert_eq!(report.first_feasible(), Some(Method::FsGlobals));
+        assert!(report
+            .verdict(Method::PipGlobals)
+            .is_some_and(|c| !c.is_feasible()));
+        let rendered = format!("{report}");
+        assert!(rendered.contains("pipglobals"));
+        assert!(rendered.contains("resource-limited"));
+    }
+
+    #[test]
+    fn legacy_matrix_methods_probe_by_toolchain() {
+        let env = PrivatizeEnv::new(bin());
+        // bridges2: modern ld breaks Swapglobals, stock gcc lacks MPC.
+        assert!(probe_method(Method::Swapglobals, &env, shape(2, 2)).is_unsupported());
+        assert!(probe_method(Method::MpcPrivatize, &env, shape(2, 2)).is_unsupported());
+        assert!(probe_method(Method::TlsGlobals, &env, shape(2, 2)).is_feasible());
+        let smp = PrivatizeEnv::new(bin())
+            .with_toolchain(Toolchain::legacy_ld())
+            .with_pes(4);
+        assert!(probe_method(Method::Swapglobals, &smp, shape(2, 2)).is_unsupported());
+    }
+}

@@ -87,11 +87,23 @@ pub struct SharedFs {
     /// Total simulated I/O time charged so far (for reports).
     total_cost: Duration,
     ops: u64,
+    /// Fault injection: writes remaining before the next one fails with
+    /// `NoSpace` regardless of real capacity (None = off).
+    fail_writes_after: Option<u64>,
 }
 
 impl SharedFs {
     pub fn new() -> SharedFs {
         SharedFs::with_cost_model(FsCostModel::default())
+    }
+
+    /// A filesystem with a byte-capacity limit from the start — the
+    /// deployment constraint FSglobals runs into (one binary copy per
+    /// rank must fit).
+    pub fn with_capacity(cap: usize) -> SharedFs {
+        let mut fs = SharedFs::new();
+        fs.capacity = Some(cap);
+        fs
     }
 
     pub fn with_cost_model(cost: FsCostModel) -> SharedFs {
@@ -102,12 +114,33 @@ impl SharedFs {
             used: 0,
             total_cost: Duration::ZERO,
             ops: 0,
+            fail_writes_after: None,
         }
     }
 
     /// Impose a capacity limit (failure injection).
     pub fn set_capacity(&mut self, cap: Option<usize>) {
         self.capacity = cap;
+    }
+
+    /// The configured capacity limit, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Free bytes under the capacity limit (`usize::MAX` when unlimited).
+    pub fn bytes_free(&self) -> usize {
+        match self.capacity {
+            Some(cap) => cap.saturating_sub(self.used),
+            None => usize::MAX,
+        }
+    }
+
+    /// Fault injection: let the next `n` writes succeed, then fail every
+    /// subsequent write with `NoSpace` — models a quota or an FS filling
+    /// up *under* a run whose capacity probe had passed.
+    pub fn fail_writes_after(&mut self, n: u64) {
+        self.fail_writes_after = Some(n);
     }
 
     /// Write a file; returns the simulated cost of doing so.
@@ -121,6 +154,15 @@ impl SharedFs {
             return Err(FsError::AlreadyExists {
                 path: path.to_string(),
             });
+        }
+        if let Some(left) = self.fail_writes_after.as_mut() {
+            if *left == 0 {
+                return Err(FsError::NoSpace {
+                    requested: bytes.len(),
+                    available: 0,
+                });
+            }
+            *left -= 1;
         }
         if let Some(cap) = self.capacity {
             let available = cap.saturating_sub(self.used);
@@ -264,6 +306,31 @@ mod tests {
         // deleting frees space
         fs.delete_file("/a").unwrap();
         fs.write_file("/b", vec![0u8; 600], 1).unwrap();
+    }
+
+    #[test]
+    fn with_capacity_reports_free_space() {
+        let mut fs = SharedFs::with_capacity(1000);
+        assert_eq!(fs.capacity(), Some(1000));
+        assert_eq!(fs.bytes_free(), 1000);
+        fs.write_file("/a", vec![0u8; 300], 1).unwrap();
+        assert_eq!(fs.bytes_free(), 700);
+        // unlimited fs reports "infinite" free space
+        assert_eq!(SharedFs::new().bytes_free(), usize::MAX);
+    }
+
+    #[test]
+    fn fail_writes_after_trips_on_the_nth_write() {
+        let mut fs = SharedFs::new();
+        fs.fail_writes_after(2);
+        fs.write_file("/a", vec![1], 1).unwrap();
+        fs.write_file("/b", vec![2], 1).unwrap();
+        match fs.write_file("/c", vec![3], 1) {
+            Err(FsError::NoSpace { available, .. }) => assert_eq!(available, 0),
+            other => panic!("expected injected NoSpace, got {other:?}"),
+        }
+        // reads are unaffected
+        assert!(fs.read_file("/a", 1).is_ok());
     }
 
     #[test]

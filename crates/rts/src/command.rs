@@ -41,6 +41,11 @@ pub enum Command {
     /// Allocate from the rank's Isomalloc heap (so the memory migrates
     /// with the rank).
     AllocHeap { size: usize, align: usize },
+    /// Return an allocation to the rank's Isomalloc heap. With the arena
+    /// guard enabled, an invalid free (double free, foreign pointer) or a
+    /// write through a stale pointer surfaces as a clean rank-attributed
+    /// runtime error instead of undefined behavior.
+    FreeHeap { addr: usize, size: usize },
 }
 
 /// The scheduler's reply.
@@ -247,5 +252,20 @@ impl RankCtx {
     pub fn heap_alloc_f64s(&self, len: usize) -> &'static mut [f64] {
         let p = self.heap_alloc(len * 8, 8) as *mut f64;
         unsafe { std::slice::from_raw_parts_mut(p, len) }
+    }
+
+    /// Free a previous [`RankCtx::heap_alloc`] (`size` must match the
+    /// allocation). With `MachineBuilder::guards(true)` the freed range
+    /// is poisoned and audited: a double free or a later write through
+    /// the stale pointer ends the run with a clean error naming this
+    /// rank rather than corrupting another rank's memory.
+    pub fn heap_free(&self, ptr: *mut u8, size: usize) {
+        match self.call(Command::FreeHeap {
+            addr: ptr as usize,
+            size,
+        }) {
+            Response::Ack => {}
+            r => panic!("unexpected response to FreeHeap: {r:?}"),
+        }
     }
 }

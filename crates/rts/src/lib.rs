@@ -51,7 +51,8 @@ pub mod stats;
 pub use command::{RankCtx, WorkModel};
 pub use lb::{LbStats, LoadBalancer};
 pub use machine::{
-    ClockMode, FaultTallies, Machine, MachineBuilder, MigrationRecord, RtsError, RunReport,
+    ClockMode, FaultTallies, HardeningTallies, Machine, MachineBuilder, MigrationRecord, RtsError,
+    RunReport,
 };
 pub use message::RtsMessage;
 pub use pvr_des::{SimDuration, SimTime, Topology};

@@ -10,17 +10,18 @@ use crate::location::LocationManager;
 use crate::message::RtsMessage;
 use crate::pe::PeState;
 use crate::rank::{RankState, RankStatus};
-pub use crate::stats::{FaultTallies, LbRecord, MigrationRecord, RunReport};
+pub use crate::stats::{FaultTallies, HardeningTallies, LbRecord, MigrationRecord, RunReport};
 use crate::{PeId, RankId};
 use parking_lot::Mutex;
 use pvr_des::{EventQueue, FaultPlan, FaultStream, NetworkModel, SimDuration, SimTime, Topology};
-use pvr_isomalloc::{RankMemory, Region, RegionKind};
+use pvr_isomalloc::{GuardViolation, IsoPtr, RankMemory, Region, RegionKind};
 use pvr_privatize::methods::Options as MethodOptions;
 use pvr_privatize::{
-    create_privatizer, Method, PrivatizeEnv, PrivatizeError, Privatizer, Toolchain,
+    create_privatizer, probe_method, Capability, Method, PrivatizeEnv, PrivatizeError, Privatizer,
+    RunShape, Toolchain,
 };
 use pvr_progimage::{ProgramBinary, SharedFs};
-use pvr_trace::{EventKind, Tracer, NO_RANK};
+use pvr_trace::{ArenaTrip, EventKind, ProbeVerdict, Tracer, NO_RANK};
 use pvr_ult::{Backend, StackMem, Ult};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -62,6 +63,21 @@ pub enum RtsError {
         seq: u64,
         attempts: u32,
     },
+    /// A ULT stack red zone was found clobbered at a guard check: the
+    /// rank overflowed (or scribbled past) its stack. The corrupt stack
+    /// is never resumed or unwound.
+    StackGuard { rank: RankId, detail: String },
+    /// The Isomalloc arena guard caught an invalid free or a write
+    /// through a stale pointer in this rank's heap.
+    ArenaGuard { rank: RankId, detail: String },
+    /// The segment-integrity audit found `rank`'s privatized data
+    /// segment modified outside its owner's execution — a cross-rank
+    /// global bleed, attributed to the rank on the PE when it was
+    /// detected ([`crate::RankId::MAX`] when no rank had run since).
+    SegmentBleed { rank: RankId, writer: RankId },
+    /// Startup exhausted the method fallback chain: every candidate was
+    /// probed infeasible or failed mid-startup.
+    NoFeasibleMethod { detail: String },
 }
 
 impl fmt::Display for RtsError {
@@ -93,6 +109,30 @@ impl fmt::Display for RtsError {
                 f,
                 "message {from}->{to} seq {seq} undeliverable after {attempts} attempts"
             ),
+            RtsError::StackGuard { rank, detail } => {
+                write!(f, "rank {rank} stack guard tripped: {detail}")
+            }
+            RtsError::ArenaGuard { rank, detail } => {
+                write!(f, "rank {rank} heap guard tripped: {detail}")
+            }
+            RtsError::SegmentBleed { rank, writer } => {
+                if *writer == RankId::MAX {
+                    write!(
+                        f,
+                        "rank {rank}'s privatized data segment changed outside any \
+                         rank's execution (cross-rank global bleed, writer unknown)"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "rank {rank}'s privatized data segment was modified while rank \
+                         {writer} was running (cross-rank global bleed)"
+                    )
+                }
+            }
+            RtsError::NoFeasibleMethod { detail } => {
+                write!(f, "no feasible privatization method: {detail}")
+            }
         }
     }
 }
@@ -195,6 +235,52 @@ struct Checkpoint {
     entries: Vec<CheckpointEntry>,
 }
 
+/// Privatizers and rank states produced by one startup attempt.
+type BuiltJob = (Vec<Box<dyn Privatizer>>, Vec<RankState>);
+
+/// Whether a startup error is a capacity/environment failure the
+/// fallback chain may degrade past (vs. a bug that must surface).
+fn degradable(e: &RtsError) -> bool {
+    matches!(
+        e,
+        RtsError::Privatize(PrivatizeError::Unsupported { .. })
+            | RtsError::Privatize(PrivatizeError::Dl(
+                pvr_progimage::DlError::NamespaceExhausted { .. }
+            ))
+            | RtsError::Privatize(PrivatizeError::Fs(pvr_progimage::FsError::NoSpace { .. }))
+    )
+}
+
+/// Map an arena guard violation to its trace-event kind.
+fn arena_trip_kind(v: &GuardViolation) -> ArenaTrip {
+    match v {
+        GuardViolation::DoubleFree { .. } => ArenaTrip::DoubleFree,
+        GuardViolation::UseAfterFree { .. } => ArenaTrip::UseAfterFree,
+        GuardViolation::ForeignPointer { .. } => ArenaTrip::ForeignPointer,
+    }
+}
+
+/// FNV-1a over a byte slice — the segment-audit checksum.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// Checksum `rank`'s privatized data segment, whichever per-process
+/// privatizer owns it (`None` for methods without per-rank segments).
+fn segment_checksum_in(privatizers: &[Box<dyn Privatizer>], rank: usize) -> Option<u64> {
+    privatizers.iter().find_map(|p| {
+        p.rank_data_segment(rank).map(|(base, len)| {
+            let bytes = unsafe { std::slice::from_raw_parts(base, len) };
+            fnv1a(bytes)
+        })
+    })
+}
+
 /// Builder for a [`Machine`].
 pub struct MachineBuilder {
     topology: Topology,
@@ -217,6 +303,9 @@ pub struct MachineBuilder {
     retransmit_base: SimDuration,
     retransmit_max_attempts: u32,
     tracer: Option<Arc<Tracer>>,
+    fallback: bool,
+    fallback_chain: Vec<Method>,
+    guards: bool,
 }
 
 impl MachineBuilder {
@@ -242,6 +331,9 @@ impl MachineBuilder {
             retransmit_base: SimDuration::from_micros(20),
             retransmit_max_attempts: 10,
             tracer: None,
+            fallback: false,
+            fallback_chain: vec![Method::PipGlobals, Method::FsGlobals, Method::PieGlobals],
+            guards: false,
         }
     }
 
@@ -362,6 +454,44 @@ impl MachineBuilder {
         self
     }
 
+    /// Enable graceful degradation: before any rank is created, every
+    /// candidate method (the requested one, then the fallback chain) is
+    /// capability-probed against the environment and run shape, and an
+    /// infeasible method degrades to the next feasible one. Probes are
+    /// conservative predictions, so a candidate that passes its probe but
+    /// fails *mid-startup* (rank N's `dlmopen` or FS copy fails) also
+    /// degrades: already-created ranks are torn down, partially-copied
+    /// FS binaries deleted, and the next candidate is tried.
+    ///
+    /// Off by default: a strict build surfaces the method's own error
+    /// (`NamespaceExhausted`, `NoSpace`, ...) exactly as configured.
+    pub fn fallback(mut self, on: bool) -> Self {
+        self.fallback = on;
+        self
+    }
+
+    /// Set the method fallback chain (and enable degradation). Candidates
+    /// are tried in order after the requested method; the default chain
+    /// is `PIPglobals → FSglobals → PIEglobals`, the paper's methods in
+    /// decreasing startup cost / increasing portability order. A chain
+    /// entry the environment can *never* run is rejected at build time.
+    pub fn fallback_chain(mut self, chain: Vec<Method>) -> Self {
+        self.fallback_chain = chain;
+        self.fallback = true;
+        self
+    }
+
+    /// Enable the memory-safety guards: canary red zones on every ULT
+    /// stack (checked at context switches), Isomalloc arena poisoning
+    /// with double-free/use-after-free detection, and a segment-integrity
+    /// audit that detects cross-rank global bleed. Guard trips end the
+    /// run with clean, rank-attributed errors instead of undefined
+    /// behavior. Off by default (zero overhead).
+    pub fn guards(mut self, on: bool) -> Self {
+        self.guards = on;
+        self
+    }
+
     /// Instantiate the job: one privatizer per OS process, then all
     /// ranks. This is the unit the startup experiment (Fig. 5) times.
     pub fn build(
@@ -420,85 +550,225 @@ impl MachineBuilder {
                 return config_err("retransmit_params: max_attempts must be >= 1".into());
             }
         }
+        if self.guards && self.method == Method::Unprivatized {
+            return config_err(
+                "guards: the stack/arena/segment guards assume privatized per-rank state; \
+                 method `baseline` (Unprivatized) shares every global, so guard trips could \
+                 never be attributed to a rank — pick a privatizing method or disable guards"
+                    .into(),
+            );
+        }
+        if self.fallback && self.fallback_chain.is_empty() {
+            return config_err(
+                "fallback_chain: the fallback chain must name at least one method".into(),
+            );
+        }
 
-        // One privatizer per simulated OS process.
-        let mut privatizers: Vec<Box<dyn Privatizer>> = Vec::new();
-        for _proc in 0..topo.total_processes() {
-            let env = PrivatizeEnv::new(self.binary.clone())
+        let mk_env = || {
+            PrivatizeEnv::new(self.binary.clone())
                 .with_toolchain(self.toolchain)
                 .with_pes(topo.pes_per_process)
                 .with_shared_fs(self.shared_fs.clone())
-                .with_concurrent_processes(topo.total_processes());
-            privatizers.push(create_privatizer(self.method, env, self.options.clone())?);
+                .with_concurrent_processes(topo.total_processes())
+        };
+
+        // Candidate methods, in trial order: the requested method, then
+        // the fallback chain (strict mode: the requested method only).
+        let mut candidates: Vec<Method> = vec![self.method];
+        if self.fallback {
+            for &m in &self.fallback_chain {
+                if !candidates.contains(&m) {
+                    candidates.push(m);
+                }
+            }
         }
-        if self.inject_pe_failure.is_some() && !privatizers[0].supports_migration() {
-            return Err(RtsError::Config {
-                detail: format!(
-                    "inject_pe_failure_at_lb_step: {} does not support migration, so the \
-                     failed PE's ranks cannot be restored onto survivors",
-                    self.method
-                ),
-            });
+
+        // Capability-probe pass (fallback mode): rate every candidate
+        // before any rank exists. A *chain* entry the environment can
+        // never run is a configuration error — the user named a method
+        // that could not possibly back them up; a shape-dependent
+        // ResourceLimited verdict is exactly what the chain is for.
+        let mut hardening = HardeningTallies::default();
+        let mut verdicts: Vec<Capability> = Vec::new();
+        if self.fallback {
+            for &m in &candidates {
+                let cap = probe_method(m, &mk_env(), RunShape {
+                    ranks_per_process: topo.pes_per_process * self.vp_ratio,
+                    total_ranks: n_ranks,
+                });
+                if m != self.method && cap.is_unsupported() {
+                    return config_err(format!(
+                        "fallback_chain: {m} can never start in this environment ({cap})"
+                    ));
+                }
+                if let Some(t) = &self.tracer {
+                    let verdict = match &cap {
+                        Capability::Feasible => ProbeVerdict::Feasible,
+                        Capability::ResourceLimited { .. } => ProbeVerdict::ResourceLimited,
+                        Capability::Unsupported { .. } => ProbeVerdict::Unsupported,
+                    };
+                    t.record(
+                        0,
+                        NO_RANK,
+                        0,
+                        EventKind::MethodProbe {
+                            method: m.name(),
+                            verdict,
+                        },
+                    );
+                }
+                hardening.probes += 1;
+                verdicts.push(cap);
+            }
         }
 
         let location = LocationManager::new_block(n_ranks, n_pes);
-        let mut ranks: Vec<RankState> = Vec::with_capacity(n_ranks);
         // Scope the tracer over instantiation so privatizer startup work
         // (segment copies, GOT fixups) lands in the trace.
         let trace_scope = self
             .tracer
             .as_ref()
             .map(|t| pvr_trace::ThreadScope::install(t.clone()));
-        for r in 0..n_ranks {
-            let pe = location.lookup(r);
-            if trace_scope.is_some() {
-                pvr_trace::set_context(pe, r as u32, 0);
+
+        // Try one candidate end-to-end: one privatizer per simulated OS
+        // process, then every rank. On failure the locals drop right here
+        // — never-started ULTs detach cleanly and FSglobals' Drop deletes
+        // every binary copy it created — so a candidate that dies at rank
+        // N leaves no residue for the next candidate.
+        let attempt = |method: Method| -> Result<BuiltJob, RtsError> {
+            let mut privatizers: Vec<Box<dyn Privatizer>> = Vec::new();
+            for _proc in 0..topo.total_processes() {
+                privatizers.push(create_privatizer(method, mk_env(), self.options.clone())?);
             }
-            let proc = topo.process_of_pe(pe);
-            let mut mem = RankMemory::new();
-            let instance = Arc::new(privatizers[proc].instantiate_rank(r, &mut mem)?);
+            let mut ranks: Vec<RankState> = Vec::with_capacity(n_ranks);
+            for r in 0..n_ranks {
+                let pe = location.lookup(r);
+                if self.tracer.is_some() {
+                    pvr_trace::set_context(pe, r as u32, 0);
+                }
+                let proc = topo.process_of_pe(pe);
+                let mut mem = RankMemory::new();
+                let instance = Arc::new(privatizers[proc].instantiate_rank(r, &mut mem)?);
+                if self.guards {
+                    mem.heap().set_guard(true);
+                }
 
-            // ULT stack inside rank memory → packed on migration.
-            let stack_region = Region::new_zeroed(RegionKind::Stack, self.stack_size);
-            let stack_ptr = stack_region.base_mut();
-            mem.add_region(stack_region);
-            let stack = unsafe { StackMem::from_raw(stack_ptr, self.stack_size) };
+                // ULT stack inside rank memory → packed on migration.
+                let stack_region = Region::new_zeroed(RegionKind::Stack, self.stack_size);
+                let stack_ptr = stack_region.base_mut();
+                mem.add_region(stack_region);
+                let stack = unsafe { StackMem::from_raw(stack_ptr, self.stack_size) };
 
-            let slot = Arc::new(Mutex::new(Slot::default()));
-            let shared = Arc::new(RankShared {
-                current_pe: AtomicUsize::new(pe),
-                now_ns: AtomicU64::new(0),
-            });
-            let ctx = RankCtx {
-                rank: r,
-                n_ranks,
-                slot: slot.clone(),
-                shared: shared.clone(),
-                instance: instance.clone(),
-                work_model: self.work_model,
-                virtual_mode: self.clock == ClockMode::Virtual,
-                binary: self.binary.clone(),
+                let slot = Arc::new(Mutex::new(Slot::default()));
+                let shared = Arc::new(RankShared {
+                    current_pe: AtomicUsize::new(pe),
+                    now_ns: AtomicU64::new(0),
+                });
+                let ctx = RankCtx {
+                    rank: r,
+                    n_ranks,
+                    slot: slot.clone(),
+                    shared: shared.clone(),
+                    instance: instance.clone(),
+                    work_model: self.work_model,
+                    virtual_mode: self.clock == ClockMode::Virtual,
+                    binary: self.binary.clone(),
+                };
+                let body = body.clone();
+                let mut ult = Ult::with_backend(self.ult_backend, stack, move || body(ctx));
+                if self.guards {
+                    ult.install_stack_guard();
+                }
+
+                ranks.push(RankState {
+                    ult: Some(ult),
+                    memory: mem,
+                    instance,
+                    slot,
+                    shared,
+                    status: RankStatus::Ready,
+                    location: pe,
+                    mailbox: Default::default(),
+                    load_since_lb: SimDuration::ZERO,
+                    total_load: SimDuration::ZERO,
+                    messages_sent: 0,
+                    messages_received: 0,
+                    migrations: 0,
+                });
+            }
+            Ok((privatizers, ranks))
+        };
+
+        let mut built: Option<(Method, BuiltJob)> = None;
+        let mut failures: Vec<String> = Vec::new();
+        for (i, &cand) in candidates.iter().enumerate() {
+            // Record a degradation hop (event + tally) from a failed
+            // candidate to the next one in line.
+            let note_fallback = |hardening: &mut HardeningTallies| {
+                if i + 1 < candidates.len() {
+                    if let Some(t) = &self.tracer {
+                        t.record(
+                            0,
+                            NO_RANK,
+                            0,
+                            EventKind::MethodFallback {
+                                from: cand.name(),
+                                to: candidates[i + 1].name(),
+                            },
+                        );
+                    }
+                    hardening.fallbacks += 1;
+                }
             };
-            let body = body.clone();
-            let ult = Ult::with_backend(self.ult_backend, stack, move || body(ctx));
-
-            ranks.push(RankState {
-                ult: Some(ult),
-                memory: mem,
-                instance,
-                slot,
-                shared,
-                status: RankStatus::Ready,
-                location: pe,
-                mailbox: Default::default(),
-                load_since_lb: SimDuration::ZERO,
-                total_load: SimDuration::ZERO,
-                messages_sent: 0,
-                messages_received: 0,
-                migrations: 0,
-            });
+            if let Some(cap) = verdicts.get(i) {
+                if !cap.is_feasible() {
+                    // Probe-predicted infeasibility: skip without paying
+                    // for a doomed startup.
+                    failures.push(format!("{cand}: {cap}"));
+                    note_fallback(&mut hardening);
+                    continue;
+                }
+            }
+            match attempt(cand) {
+                Ok(job) => {
+                    built = Some((cand, job));
+                    break;
+                }
+                Err(e) if self.fallback && degradable(&e) => {
+                    // The probe passed but startup still failed (probes
+                    // are conservative predictions). `attempt` already
+                    // tore everything down; degrade.
+                    failures.push(format!("{cand}: {e}"));
+                    note_fallback(&mut hardening);
+                }
+                Err(e) => return Err(e),
+            }
         }
         drop(trace_scope);
+        let Some((landed, (privatizers, ranks))) = built else {
+            return Err(RtsError::NoFeasibleMethod {
+                detail: failures.join("; "),
+            });
+        };
+
+        if self.inject_pe_failure.is_some() && !privatizers[0].supports_migration() {
+            return Err(RtsError::Config {
+                detail: format!(
+                    "inject_pe_failure_at_lb_step: {landed} does not support migration, so the \
+                     failed PE's ranks cannot be restored onto survivors"
+                ),
+            });
+        }
+
+        // Segment-integrity baseline: one checksum per rank's privatized
+        // data segment (None for methods without per-rank segments).
+        let segment_baseline: Vec<Option<u64>> = if self.guards {
+            (0..n_ranks)
+                .map(|r| segment_checksum_in(&privatizers, r))
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         let mut pes: Vec<PeState> = (0..n_pes).map(|_| PeState::default()).collect();
         for r in 0..n_ranks {
@@ -554,6 +824,11 @@ impl MachineBuilder {
             }),
             tallies: FaultTallies::default(),
             tracer: self.tracer,
+            guards: self.guards,
+            method_requested: self.method,
+            hardening,
+            segment_baseline,
+            last_ran: None,
         })
     }
 }
@@ -603,6 +878,20 @@ pub struct Machine {
     /// Fault/recovery tallies, mirrored into the [`RunReport`].
     tallies: FaultTallies,
     tracer: Option<Arc<Tracer>>,
+    /// Memory-safety guards active (stack red zones, arena poisoning,
+    /// segment audits).
+    guards: bool,
+    /// The method the configuration asked for (`method()` reports what
+    /// actually landed).
+    method_requested: Method,
+    /// Probe/fallback/guard tallies, mirrored into the [`RunReport`].
+    hardening: HardeningTallies,
+    /// Per-rank privatized-data-segment checksums (empty with guards
+    /// off; `None` entries for methods without per-rank segments).
+    segment_baseline: Vec<Option<u64>>,
+    /// The rank most recently resumed — the attributed writer when a
+    /// barrier-time segment audit finds bleed.
+    last_ran: Option<RankId>,
 }
 
 impl Machine {
@@ -616,6 +905,50 @@ impl Machine {
 
     pub fn method(&self) -> Method {
         self.privatizers[0].method()
+    }
+
+    /// The method the configuration asked for; differs from
+    /// [`Machine::method`] exactly when the fallback chain degraded.
+    pub fn method_requested(&self) -> Method {
+        self.method_requested
+    }
+
+    /// Probe/fallback/guard tallies accumulated so far.
+    pub fn hardening_stats(&self) -> HardeningTallies {
+        self.hardening
+    }
+
+    /// Test/experiment hook: scribble over the base of `rank`'s ULT
+    /// stack region — where the red zone canaries live — simulating a
+    /// stack overflow for the guard to catch at the next guard check.
+    pub fn corrupt_rank_stack(&mut self, rank: RankId) {
+        let target: Option<(*mut u8, usize)> = self.ranks[rank]
+            .memory
+            .regions()
+            .find(|reg| reg.kind() == RegionKind::Stack)
+            .map(|reg| (reg.base_mut(), reg.len()));
+        if let Some((base, len)) = target {
+            let n = (pvr_ult::RED_ZONE_WORDS * 8).min(len);
+            unsafe { std::ptr::write_bytes(base, 0xAB, n) };
+        }
+    }
+
+    /// Test/experiment hook: flip one byte inside `rank`'s privatized
+    /// data segment from outside any rank's execution — simulating
+    /// cross-rank global bleed for the segment audit to catch.
+    pub fn corrupt_rank_segment(&mut self, rank: RankId) {
+        if let Some((base, len)) = self
+            .privatizers
+            .iter()
+            .find_map(|p| p.rank_data_segment(rank))
+        {
+            if len > 0 {
+                unsafe {
+                    let p = base as *mut u8;
+                    *p = (*p).wrapping_add(1);
+                }
+            }
+        }
     }
 
     /// The attached event recorder, if any.
@@ -1117,6 +1450,7 @@ impl Machine {
 
             let mut ult = self.ranks[r].ult.take().expect("rank ULT present");
             let t0 = Instant::now();
+            self.last_ran = Some(r);
             let outcome = ult.try_resume();
             let wall = t0.elapsed();
             self.ranks[r].ult = Some(ult);
@@ -1125,6 +1459,11 @@ impl Machine {
                 let d: SimDuration = wall.into();
                 self.ranks[r].load_since_lb += d;
                 self.ranks[r].total_load += d;
+            }
+
+            if self.guards {
+                self.check_stack_guard_of(r, pe)?;
+                self.check_segment_bleed(r, pe)?;
             }
 
             match outcome {
@@ -1229,8 +1568,104 @@ impl Machine {
                         .map_err(|e| RtsError::Privatize(PrivatizeError::Alloc(e)))?;
                     self.respond(r, Response::Addr(ptr.ptr as usize));
                 }
+                Command::FreeHeap { addr, size } => {
+                    let res = self.ranks[r].memory.heap().try_dealloc(IsoPtr {
+                        ptr: addr as *mut u8,
+                        size,
+                    });
+                    match res {
+                        Ok(()) => self.respond(r, Response::Ack),
+                        Err(v) => {
+                            self.trace(
+                                pe,
+                                r as u32,
+                                EventKind::ArenaGuardTrip {
+                                    kind: arena_trip_kind(&v),
+                                },
+                            );
+                            self.hardening.arena_guard_trips += 1;
+                            // No response: the rank's corrupted-heap state
+                            // must not run further; its suspended ULT is
+                            // cancelled at teardown (same as AllocHeap
+                            // failure).
+                            return Err(RtsError::ArenaGuard {
+                                rank: r,
+                                detail: v.to_string(),
+                            });
+                        }
+                    }
+                }
             }
         }
+    }
+
+    /// Verify `r`'s stack red zone after a resume. A clobbered canary
+    /// ends the run with a clean, rank-attributed error; the corrupt
+    /// stack is abandoned, never resumed or unwound.
+    fn check_stack_guard_of(&mut self, r: RankId, pe: PeId) -> Result<(), RtsError> {
+        let trip = match self.ranks[r].ult.as_ref() {
+            Some(u) if u.stack_guarded() => u.check_stack_guard().err(),
+            _ => None,
+        };
+        let Some(e) = trip else {
+            return Ok(());
+        };
+        let pvr_ult::UltError::StackOverflow { stack_size } = &e;
+        self.trace(
+            pe,
+            r as u32,
+            EventKind::StackGuardTrip {
+                stack_size: *stack_size as u64,
+            },
+        );
+        self.hardening.stack_guard_trips += 1;
+        if let Some(u) = self.ranks[r].ult.as_mut() {
+            u.abandon();
+        }
+        self.ranks[r].status = RankStatus::Done;
+        self.done_count += 1;
+        Err(RtsError::StackGuard {
+            rank: r,
+            detail: e.to_string(),
+        })
+    }
+
+    /// After rank `writer` ran, recompute every rank's privatized-data-
+    /// segment checksum. The writer's own segment may legitimately change
+    /// (those are its globals); any *other* rank's segment changing while
+    /// `writer` held the PE is cross-rank global bleed, attributed to
+    /// `writer`.
+    fn check_segment_bleed(&mut self, writer: RankId, pe: PeId) -> Result<(), RtsError> {
+        if self.segment_baseline.is_empty() {
+            return Ok(());
+        }
+        let mut victim: Option<RankId> = None;
+        let mut dirty = 0u32;
+        for q in 0..self.ranks.len() {
+            let Some(sum) = segment_checksum_in(&self.privatizers, q) else {
+                continue;
+            };
+            if q == writer {
+                self.segment_baseline[q] = Some(sum);
+            } else if self.segment_baseline[q] != Some(sum) {
+                self.segment_baseline[q] = Some(sum);
+                dirty += 1;
+                victim.get_or_insert(q);
+            }
+        }
+        if let Some(q) = victim {
+            self.trace(
+                pe,
+                writer as u32,
+                EventKind::SegmentAudit {
+                    ranks: self.ranks.len() as u32,
+                    dirty,
+                },
+            );
+            self.hardening.segment_audits += 1;
+            return Err(RtsError::SegmentBleed { rank: q, writer });
+        }
+        Ok(())
     }
 
     fn live_count(&self) -> usize {
@@ -1440,6 +1875,7 @@ impl Machine {
             self.abandon_ranks(&lost);
             return Err(e);
         }
+        self.reseed_guards_after_restore();
         // Survivors adopt the dead PE's ranks (least-loaded first).
         for r in lost {
             let target = self.least_loaded_alive_pe();
@@ -1489,10 +1925,98 @@ impl Machine {
         }
     }
 
+    /// Barrier-time guard audits, run while every live rank is quiescent:
+    /// sweep each rank's arena quarantine for writes through stale
+    /// pointers, then checksum every privatized data segment and emit the
+    /// summary `SegmentAudit` event.
+    fn audit_guards_at_barrier(&mut self) -> Result<(), RtsError> {
+        for r in 0..self.ranks.len() {
+            if let Err(v) = self.ranks[r].memory.heap_ref().audit_quarantine() {
+                let pe = self.ranks[r].location;
+                self.trace(
+                    pe,
+                    r as u32,
+                    EventKind::ArenaGuardTrip {
+                        kind: arena_trip_kind(&v),
+                    },
+                );
+                self.hardening.arena_guard_trips += 1;
+                return Err(RtsError::ArenaGuard {
+                    rank: r,
+                    detail: v.to_string(),
+                });
+            }
+        }
+        if !self.segment_baseline.is_empty() {
+            let mut audited = 0u32;
+            let mut dirty = 0u32;
+            let mut victim: Option<RankId> = None;
+            for q in 0..self.ranks.len() {
+                let Some(sum) = segment_checksum_in(&self.privatizers, q) else {
+                    continue;
+                };
+                audited += 1;
+                if self.segment_baseline[q] != Some(sum) {
+                    self.segment_baseline[q] = Some(sum);
+                    dirty += 1;
+                    victim.get_or_insert(q);
+                }
+            }
+            self.trace(
+                0,
+                NO_RANK,
+                EventKind::SegmentAudit {
+                    ranks: audited,
+                    dirty,
+                },
+            );
+            self.hardening.segment_audits += 1;
+            if let Some(q) = victim {
+                // The per-slice check clears after every resume, so bleed
+                // surfacing only at the barrier was written outside any
+                // rank's slice; the best attribution is the last resumed
+                // rank.
+                return Err(RtsError::SegmentBleed {
+                    rank: q,
+                    writer: self.last_ran.unwrap_or(RankId::MAX),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Recovery rewrites rank memory wholesale: reseed the segment
+    /// baselines and reset each arena's quarantine so stale poison
+    /// expectations don't fire as false guard trips on restored bytes.
+    fn reseed_guards_after_restore(&mut self) {
+        if !self.guards {
+            return;
+        }
+        for r in 0..self.ranks.len() {
+            let heap = self.ranks[r].memory.heap();
+            if heap.guard_enabled() {
+                heap.set_guard(false);
+                heap.set_guard(true);
+            }
+        }
+        if !self.segment_baseline.is_empty() {
+            self.segment_baseline = (0..self.ranks.len())
+                .map(|q| segment_checksum_in(&self.privatizers, q))
+                .collect();
+        }
+    }
+
     /// Run one LB step: measure, rebalance, migrate, release.
     fn do_lb_step(&mut self) -> Result<(), RtsError> {
         self.lb_steps += 1;
         let migrations_before = self.migrations.len();
+
+        // Guard audits run first, on quiescent pre-checkpoint state, so a
+        // checkpoint can never capture (and later faithfully restore)
+        // corruption the guards would have caught.
+        if self.guards {
+            self.audit_guards_at_barrier()?;
+        }
 
         // Coordinated checkpointing and fault injection happen at the
         // barrier, where every live rank is quiescent.
@@ -1529,6 +2053,7 @@ impl Machine {
                 self.abandon_ranks(&all);
                 return Err(e);
             }
+            self.reseed_guards_after_restore();
             self.inject_fault_at_lb_step = None;
         }
         if let Some((step, pe)) = self.inject_pe_failure {
@@ -1667,6 +2192,9 @@ impl Machine {
             pe_clocks: self.pes.iter().map(|p| p.clock).collect(),
             lb_history: self.lb_history.clone(),
             faults: self.tallies,
+            method_requested: self.method_requested,
+            method_landed: self.method(),
+            hardening: self.hardening,
         })
     }
 
@@ -2490,6 +3018,326 @@ mod tests {
             }
             other => panic!("expected Config error, got {:?}", other.map(|_| ())),
         }
+    }
+
+    #[test]
+    fn fallback_degrades_pip_to_fs_and_matches_direct_run() {
+        // The acceptance scenario: PIPglobals requested with 16 ranks per
+        // process on stock glibc (12-namespace budget). With the fallback
+        // chain on, the probe rates PIPglobals resource-limited, degrades
+        // to FSglobals, and the run completes with results bit-identical
+        // to a direct FSglobals run.
+        let body_for = |sink: Arc<Mutex<Vec<(usize, u64)>>>| -> Arc<dyn Fn(RankCtx) + Send + Sync> {
+            Arc::new(move |ctx: RankCtx| {
+                let me = ctx.rank();
+                let acc = ctx.instance().access("my_rank");
+                acc.write_u64(me as u64 * 3 + 1);
+                ctx.yield_now();
+                sink.lock().push((me, acc.read_u64()));
+            })
+        };
+        let run = |fallback: bool, method: Method| {
+            let out: Arc<Mutex<Vec<(usize, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+            let t = Tracer::new(1);
+            t.enable();
+            let mut b = builder().method(method).vp_ratio(16).tracer(t.clone());
+            if fallback {
+                b = b.fallback(true);
+            }
+            let mut m = b.build(body_for(out.clone())).unwrap();
+            let report = m.run().unwrap();
+            // trace events and RunReport tallies reconcile exactly
+            let c = t.snapshot().counts;
+            assert_eq!(c.method_probes, report.hardening.probes);
+            assert_eq!(c.method_fallbacks, report.hardening.fallbacks);
+            let landed = m.method();
+            let mut v = out.lock().clone();
+            v.sort();
+            (landed, report, v)
+        };
+        let (landed, report, results) = run(true, Method::PipGlobals);
+        assert_eq!(landed, Method::FsGlobals);
+        assert_eq!(report.method_requested, Method::PipGlobals);
+        assert_eq!(report.method_landed, Method::FsGlobals);
+        assert_eq!(report.hardening.probes, 3, "pip, fs, pie each probed");
+        assert_eq!(report.hardening.fallbacks, 1);
+        assert_eq!(results.len(), 16);
+        let (direct_landed, direct_report, direct_results) = run(false, Method::FsGlobals);
+        assert_eq!(direct_landed, Method::FsGlobals);
+        assert!(direct_report.hardening.is_clean(), "strict mode probes nothing");
+        assert_eq!(
+            results, direct_results,
+            "degraded run must be bit-identical to the direct FSglobals run"
+        );
+    }
+
+    #[test]
+    fn midstartup_fs_failure_degrades_and_cleans_up() {
+        // The probe passes (unbounded FS) but the injected write budget
+        // runs dry at rank 2's copy: mid-startup degradation tears the
+        // FSglobals attempt down (no leaked copies), skips the
+        // probe-infeasible PIPglobals, and lands on PIEglobals.
+        let fs = Arc::new(Mutex::new(SharedFs::new()));
+        fs.lock().fail_writes_after(3); // deploy + 2 rank copies, then NoSpace
+        let t = Tracer::new(1);
+        t.enable();
+        let mut m = builder()
+            .method(Method::FsGlobals)
+            .shared_fs(Some(fs.clone()))
+            .vp_ratio(16)
+            .fallback(true)
+            .tracer(t.clone())
+            .build(Arc::new(|_ctx: RankCtx| {}))
+            .unwrap();
+        assert_eq!(m.method_requested(), Method::FsGlobals);
+        assert_eq!(m.method(), Method::PieGlobals);
+        assert_eq!(fs.lock().file_count(), 0, "failed attempt must delete its copies");
+        assert_eq!(fs.lock().bytes_used(), 0);
+        m.run().unwrap();
+        let h = m.hardening_stats();
+        assert_eq!(h.probes, 3);
+        assert_eq!(h.fallbacks, 2, "fs (mid-startup) -> pip (probe) -> pie");
+        let c = t.snapshot().counts;
+        assert_eq!(c.method_fallbacks, h.fallbacks);
+        assert_eq!(c.method_probes, h.probes);
+    }
+
+    #[test]
+    fn fallback_exhaustion_reports_every_failure() {
+        // FS capped so FSglobals can't fit, 16 ranks so PIPglobals can't
+        // either, and a chain without PIEglobals: nothing lands.
+        let fs = Arc::new(Mutex::new(SharedFs::with_capacity(1024)));
+        match builder()
+            .method(Method::PipGlobals)
+            .shared_fs(Some(fs))
+            .vp_ratio(16)
+            .fallback_chain(vec![Method::FsGlobals])
+            .build(Arc::new(|_ctx: RankCtx| {}))
+        {
+            Err(RtsError::NoFeasibleMethod { detail }) => {
+                assert!(detail.contains("pipglobals"), "{detail}");
+                assert!(detail.contains("fsglobals"), "{detail}");
+            }
+            other => panic!("expected NoFeasibleMethod, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn guards_rejected_for_unprivatized_method() {
+        match builder()
+            .method(Method::Unprivatized)
+            .guards(true)
+            .build(Arc::new(|_ctx: RankCtx| {}))
+        {
+            Err(RtsError::Config { detail }) => {
+                assert!(detail.contains("guards"), "{detail}")
+            }
+            other => panic!("expected Config error, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn fallback_chain_rejects_env_unsupported_entry() {
+        // Swapglobals can never run under the default (bridges2)
+        // toolchain: naming it as a backup is a configuration error.
+        match builder()
+            .method(Method::PieGlobals)
+            .fallback_chain(vec![Method::Swapglobals])
+            .build(Arc::new(|_ctx: RankCtx| {}))
+        {
+            Err(RtsError::Config { detail }) => {
+                assert!(detail.contains("fallback_chain"), "{detail}");
+                assert!(detail.contains("swapglobals"), "{detail}");
+            }
+            other => panic!("expected Config error, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn empty_fallback_chain_rejected() {
+        match builder()
+            .fallback_chain(vec![])
+            .build(Arc::new(|_ctx: RankCtx| {}))
+        {
+            Err(RtsError::Config { detail }) => {
+                assert!(detail.contains("fallback_chain"), "{detail}")
+            }
+            other => panic!("expected Config error, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn scribbled_stack_trips_guard_with_clean_error() {
+        let t = Tracer::new(1);
+        t.enable();
+        let mut m = builder()
+            .method(Method::PieGlobals)
+            .guards(true)
+            .tracer(t.clone())
+            .build(Arc::new(|ctx: RankCtx| {
+                ctx.yield_now();
+            }))
+            .unwrap();
+        m.corrupt_rank_stack(0);
+        match m.run() {
+            Err(RtsError::StackGuard { rank, detail }) => {
+                assert_eq!(rank, 0);
+                assert!(detail.contains("red zone"), "{detail}");
+            }
+            other => panic!("expected StackGuard, got {:?}", other.map(|_| ())),
+        }
+        assert_eq!(m.hardening_stats().stack_guard_trips, 1);
+        assert_eq!(t.snapshot().counts.stack_guard_trips, 1);
+    }
+
+    #[test]
+    fn double_free_trips_arena_guard() {
+        let t = Tracer::new(1);
+        t.enable();
+        let mut m = builder()
+            .method(Method::PieGlobals)
+            .guards(true)
+            .tracer(t.clone())
+            .build(Arc::new(|ctx: RankCtx| {
+                let p = ctx.heap_alloc(64, 8);
+                ctx.heap_free(p, 64);
+                ctx.heap_free(p, 64);
+            }))
+            .unwrap();
+        match m.run() {
+            Err(RtsError::ArenaGuard { rank, detail }) => {
+                assert_eq!(rank, 0);
+                assert!(detail.contains("double free"), "{detail}");
+            }
+            other => panic!("expected ArenaGuard, got {:?}", other.map(|_| ())),
+        }
+        assert_eq!(m.hardening_stats().arena_guard_trips, 1);
+        assert_eq!(t.snapshot().counts.arena_guard_trips, 1);
+    }
+
+    #[test]
+    fn valid_free_and_reuse_pass_the_guard() {
+        let mut m = builder()
+            .method(Method::PieGlobals)
+            .guards(true)
+            .build(Arc::new(|ctx: RankCtx| {
+                let p = ctx.heap_alloc(64, 8);
+                unsafe { std::ptr::write_bytes(p, 7, 64) };
+                ctx.heap_free(p, 64);
+                let q = ctx.heap_alloc(64, 8);
+                unsafe { std::ptr::write_bytes(q, 9, 64) };
+                ctx.heap_free(q, 64);
+            }))
+            .unwrap();
+        let report = m.run().unwrap();
+        assert_eq!(report.hardening.arena_guard_trips, 0);
+        assert_eq!(report.hardening.stack_guard_trips, 0);
+    }
+
+    #[test]
+    fn use_after_free_detected_at_the_barrier() {
+        let t = Tracer::new(1);
+        t.enable();
+        let mut m = builder()
+            .method(Method::PieGlobals)
+            .guards(true)
+            .tracer(t.clone())
+            .build(Arc::new(|ctx: RankCtx| {
+                let p = ctx.heap_alloc(64, 8);
+                ctx.heap_free(p, 64);
+                unsafe { *p = 1 }; // write through the stale pointer
+                ctx.at_sync();
+            }))
+            .unwrap();
+        match m.run() {
+            Err(RtsError::ArenaGuard { rank, detail }) => {
+                assert_eq!(rank, 0);
+                assert!(detail.contains("use-after-free"), "{detail}");
+            }
+            other => panic!("expected ArenaGuard, got {:?}", other.map(|_| ())),
+        }
+        assert_eq!(t.snapshot().counts.arena_guard_trips, 1);
+    }
+
+    #[test]
+    fn cross_rank_segment_bleed_is_detected_and_attributed() {
+        let t = Tracer::new(1);
+        t.enable();
+        let mut m = builder()
+            .method(Method::PieGlobals)
+            .vp_ratio(2)
+            .guards(true)
+            .tracer(t.clone())
+            .build(Arc::new(|ctx: RankCtx| {
+                ctx.yield_now();
+            }))
+            .unwrap();
+        m.corrupt_rank_segment(1);
+        match m.run() {
+            Err(RtsError::SegmentBleed { rank, writer }) => {
+                assert_eq!(rank, 1, "rank 1's segment was dirtied");
+                assert_eq!(writer, 0, "rank 0 held the PE when it was detected");
+            }
+            other => panic!("expected SegmentBleed, got {:?}", other.map(|_| ())),
+        }
+        assert_eq!(m.hardening_stats().segment_audits, 1);
+        assert_eq!(t.snapshot().counts.segment_audits, 1);
+    }
+
+    #[test]
+    fn guarded_run_stays_clean_and_audits_at_barriers() {
+        let t = Tracer::new(1);
+        t.enable();
+        let mut m = builder()
+            .method(Method::PieGlobals)
+            .vp_ratio(2)
+            .guards(true)
+            .tracer(t.clone())
+            .build(Arc::new(|ctx: RankCtx| {
+                let me = ctx.rank();
+                let acc = ctx.instance().access("my_rank");
+                for _ in 0..2 {
+                    acc.write_u64(me as u64);
+                    ctx.yield_now();
+                    assert_eq!(acc.read_u64(), me as u64);
+                    ctx.at_sync();
+                }
+            }))
+            .unwrap();
+        let report = m.run().unwrap();
+        assert_eq!(report.lb_steps, 2);
+        assert_eq!(report.hardening.segment_audits, 2, "one audit per barrier");
+        assert_eq!(report.hardening.stack_guard_trips, 0);
+        assert_eq!(report.hardening.arena_guard_trips, 0);
+        assert_eq!(t.snapshot().counts.segment_audits, report.hardening.segment_audits);
+    }
+
+    #[test]
+    fn guards_survive_checkpoint_recovery_without_false_trips() {
+        // A soft fault scribbles all rank memory (segment copies and
+        // poisoned quarantine ranges included); recovery restores the
+        // checkpoint and reseeds the guard state, so no false trips fire.
+        let mut m = builder()
+            .method(Method::PieGlobals)
+            .vp_ratio(2)
+            .guards(true)
+            .checkpoint_period(1)
+            .inject_fault_at_lb_step(2)
+            .build(Arc::new(|ctx: RankCtx| {
+                let p = ctx.heap_alloc(32, 8);
+                ctx.heap_free(p, 32); // leaves a poisoned quarantine range
+                let acc = ctx.instance().access("my_rank");
+                for step in 0..3u64 {
+                    acc.write_u64(ctx.rank() as u64 + step);
+                    ctx.at_sync();
+                    assert_eq!(acc.read_u64(), ctx.rank() as u64 + step);
+                }
+            }))
+            .unwrap();
+        let report = m.run().unwrap();
+        assert_eq!(report.faults.recoveries, 1);
+        assert_eq!(report.hardening.stack_guard_trips, 0);
+        assert_eq!(report.hardening.arena_guard_trips, 0);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Run-level reporting.
 
 use pvr_des::{SimDuration, SimTime};
+use pvr_privatize::Method;
 use std::time::Duration;
 
 /// One load-balancing step's record — the "LB database" entry the
@@ -96,6 +97,38 @@ impl FaultTallies {
     }
 }
 
+/// Exact tallies of privatization-hardening activity: capability probes,
+/// method fallbacks, and memory-safety guard trips.
+///
+/// Like [`FaultTallies`], every field increments at the same site that
+/// emits the corresponding `pvr-trace` event (`MethodProbe`,
+/// `MethodFallback`, `StackGuardTrip`, `ArenaGuardTrip`, `SegmentAudit`),
+/// so the two reconcile exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HardeningTallies {
+    /// Capability probes evaluated at startup (one per candidate method
+    /// when the fallback chain is enabled).
+    pub probes: u64,
+    /// Degradations from one method to the next in the fallback chain
+    /// (probe-predicted or mid-startup).
+    pub fallbacks: u64,
+    /// ULT stack red zones found clobbered.
+    pub stack_guard_trips: u64,
+    /// Isomalloc arena guard violations (double free, use-after-free,
+    /// foreign pointer).
+    pub arena_guard_trips: u64,
+    /// Segment-integrity audits performed (per-slice trips and barrier
+    /// sweeps).
+    pub segment_audits: u64,
+}
+
+impl HardeningTallies {
+    /// True when no probing, degradation, or guard activity occurred.
+    pub fn is_clean(&self) -> bool {
+        *self == HardeningTallies::default()
+    }
+}
+
 /// What a completed run reports.
 #[derive(Debug)]
 pub struct RunReport {
@@ -116,6 +149,13 @@ pub struct RunReport {
     pub lb_history: Vec<LbRecord>,
     /// Fault-injection and recovery activity (all-zero on clean runs).
     pub faults: FaultTallies,
+    /// The privatization method the configuration asked for.
+    pub method_requested: Method,
+    /// The method the job actually started under (differs from
+    /// `method_requested` exactly when the fallback chain degraded).
+    pub method_landed: Method,
+    /// Probe/fallback/guard activity (all-zero without hardening knobs).
+    pub hardening: HardeningTallies,
 }
 
 impl RunReport {
@@ -161,6 +201,21 @@ impl RunReport {
                 out,
                 "recovery: {} checkpoints, {} PE failures, {} rollbacks",
                 f.checkpoints, f.pe_failures, f.recoveries
+            );
+        }
+        if self.method_landed != self.method_requested {
+            let _ = writeln!(
+                out,
+                "method: {} degraded to {} ({} fallbacks)",
+                self.method_requested, self.method_landed, self.hardening.fallbacks
+            );
+        }
+        if !self.hardening.is_clean() {
+            let h = &self.hardening;
+            let _ = writeln!(
+                out,
+                "hardening: {} probes, {} fallbacks, {} stack trips, {} arena trips, {} audits",
+                h.probes, h.fallbacks, h.stack_guard_trips, h.arena_guard_trips, h.segment_audits
             );
         }
         for (pe, (busy, idle)) in self.pe_busy_idle.iter().enumerate() {
@@ -224,10 +279,15 @@ mod tests {
                 comm_bytes: 1024,
             }],
             faults: FaultTallies::default(),
+            method_requested: Method::PieGlobals,
+            method_landed: Method::PieGlobals,
+            hardening: HardeningTallies::default(),
         };
         let s = r.summary();
         assert!(s.contains("context switches: 42"));
         assert!(!s.contains("faults:"), "clean run must omit fault lines");
+        assert!(!s.contains("hardening:"), "clean run must omit hardening lines");
+        assert!(!s.contains("degraded"), "same method must omit the fallback line");
         assert!(s.contains("migrations: 1"));
         assert!(s.contains("PE 1"));
         assert!((r.mean_utilization() - (10.0 / 12.0 + 0.5) / 2.0).abs() < 1e-9);
@@ -258,10 +318,44 @@ mod tests {
                 pe_failures: 1,
                 ..Default::default()
             },
+            method_requested: Method::PieGlobals,
+            method_landed: Method::PieGlobals,
+            hardening: HardeningTallies::default(),
         };
         let s = r.summary();
         assert!(s.contains("faults: 4 drops (1 ack)"), "{s}");
         assert!(s.contains("recovery: 2 checkpoints, 1 PE failures, 1 rollbacks"), "{s}");
+    }
+
+    #[test]
+    fn summary_renders_degradation_and_hardening_lines() {
+        let r = RunReport {
+            sim_elapsed: SimDuration::from_millis(1),
+            real_elapsed: Duration::from_millis(1),
+            pe_busy_idle: vec![],
+            context_switches: 0,
+            messages_delivered: 0,
+            lb_steps: 0,
+            migrations: vec![],
+            pe_clocks: vec![],
+            lb_history: vec![],
+            faults: FaultTallies::default(),
+            method_requested: Method::PipGlobals,
+            method_landed: Method::FsGlobals,
+            hardening: HardeningTallies {
+                probes: 3,
+                fallbacks: 1,
+                segment_audits: 2,
+                ..Default::default()
+            },
+        };
+        let s = r.summary();
+        assert!(s.contains("method: pipglobals degraded to fsglobals (1 fallbacks)"), "{s}");
+        assert!(
+            s.contains("hardening: 3 probes, 1 fallbacks, 0 stack trips, 0 arena trips, 2 audits"),
+            "{s}"
+        );
+        assert!(!r.hardening.is_clean());
     }
 
     #[test]

@@ -60,6 +60,42 @@ impl PrivReg {
     }
 }
 
+/// Verdict of a startup capability probe for one privatization method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeVerdict {
+    Feasible,
+    ResourceLimited,
+    Unsupported,
+}
+
+impl ProbeVerdict {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProbeVerdict::Feasible => "feasible",
+            ProbeVerdict::ResourceLimited => "resource_limited",
+            ProbeVerdict::Unsupported => "unsupported",
+        }
+    }
+}
+
+/// What an isomalloc arena guard caught.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArenaTrip {
+    DoubleFree,
+    UseAfterFree,
+    ForeignPointer,
+}
+
+impl ArenaTrip {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ArenaTrip::DoubleFree => "double_free",
+            ArenaTrip::UseAfterFree => "use_after_free",
+            ArenaTrip::ForeignPointer => "foreign_pointer",
+        }
+    }
+}
+
 /// One traced runtime occurrence.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EventKind {
@@ -127,6 +163,28 @@ pub enum EventKind {
     /// A coordinated rollback restored `ranks` ranks from checkpoint
     /// images.
     Recovery { ranks: u32 },
+    /// A startup capability probe rated one privatization method for the
+    /// requested run shape.
+    MethodProbe {
+        method: &'static str,
+        verdict: ProbeVerdict,
+    },
+    /// Startup degraded from an infeasible (or mid-startup-failing)
+    /// method to the next feasible one in the fallback chain.
+    MethodFallback {
+        from: &'static str,
+        to: &'static str,
+    },
+    /// A ULT stack red zone was found clobbered at a guard check (the
+    /// rank field names the overflowing rank).
+    StackGuardTrip { stack_size: u64 },
+    /// An isomalloc arena guard caught an invalid free or a write to
+    /// quarantined (freed) memory.
+    ArenaGuardTrip { kind: ArenaTrip },
+    /// A segment-integrity audit checksummed `ranks` privatized data
+    /// segments at a barrier; `dirty` of them changed outside their
+    /// owner's execution (cross-rank global bleed).
+    SegmentAudit { ranks: u32, dirty: u32 },
 }
 
 impl EventKind {
@@ -152,6 +210,11 @@ impl EventKind {
             EventKind::PeFail { .. } => "pe_fail",
             EventKind::CheckpointTaken { .. } => "checkpoint_taken",
             EventKind::Recovery { .. } => "recovery",
+            EventKind::MethodProbe { .. } => "method_probe",
+            EventKind::MethodFallback { .. } => "method_fallback",
+            EventKind::StackGuardTrip { .. } => "stack_guard_trip",
+            EventKind::ArenaGuardTrip { .. } => "arena_guard_trip",
+            EventKind::SegmentAudit { .. } => "segment_audit",
         }
     }
 }

@@ -131,6 +131,29 @@ fn event_json(e: &Event) -> String {
         EventKind::Recovery { ranks } => {
             s.push_str(&format!(", \"ranks\": {ranks}"));
         }
+        EventKind::MethodProbe { method, verdict } => {
+            s.push_str(&format!(
+                ", \"method\": \"{}\", \"verdict\": \"{}\"",
+                escape(method),
+                verdict.as_str()
+            ));
+        }
+        EventKind::MethodFallback { from, to } => {
+            s.push_str(&format!(
+                ", \"from_method\": \"{}\", \"to_method\": \"{}\"",
+                escape(from),
+                escape(to)
+            ));
+        }
+        EventKind::StackGuardTrip { stack_size } => {
+            s.push_str(&format!(", \"stack_size\": {stack_size}"));
+        }
+        EventKind::ArenaGuardTrip { kind } => {
+            s.push_str(&format!(", \"trip\": \"{}\"", kind.as_str()));
+        }
+        EventKind::SegmentAudit { ranks, dirty } => {
+            s.push_str(&format!(", \"ranks\": {ranks}, \"dirty\": {dirty}"));
+        }
     }
     s.push('}');
     s
@@ -157,7 +180,9 @@ impl TraceSnapshot {
              \"priv_installs\": {}, \"region_copies\": {}, \"region_copy_bytes\": {}, \
              \"mpi_calls\": {}, \"msg_drops\": {}, \"ack_drops\": {}, \"msg_corrupts\": {}, \
              \"msg_retransmits\": {}, \"dup_suppressed\": {}, \"pe_fails\": {}, \
-             \"checkpoints\": {}, \"checkpoint_bytes\": {}, \"recoveries\": {}}},",
+             \"checkpoints\": {}, \"checkpoint_bytes\": {}, \"recoveries\": {}, \
+             \"method_probes\": {}, \"method_fallbacks\": {}, \"stack_guard_trips\": {}, \
+             \"arena_guard_trips\": {}, \"segment_audits\": {}}},",
             c.ctx_switches,
             c.blocks,
             c.unblocks,
@@ -183,7 +208,12 @@ impl TraceSnapshot {
             c.pe_fails,
             c.checkpoints,
             c.checkpoint_bytes,
-            c.recoveries
+            c.recoveries,
+            c.method_probes,
+            c.method_fallbacks,
+            c.stack_guard_trips,
+            c.arena_guard_trips,
+            c.segment_audits
         );
         out.push_str("  \"pes\": [\n");
         for (i, p) in self.per_pe.iter().enumerate() {
@@ -316,6 +346,63 @@ mod tests {
         assert!(json.contains("\"kind\": \"msg_retransmit\", \"from\": 2, \"to\": 3, \"msg_seq\": 7, \"attempt\": 1"));
         assert!(json.contains("\"kind\": \"pe_fail\", \"failed_pe\": 1, \"ranks_lost\": 3"));
         assert!(json.contains("\"kind\": \"checkpoint_taken\", \"step\": 2, \"bytes\": 1024"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn hardening_events_export() {
+        use crate::event::{ArenaTrip, ProbeVerdict};
+        let t = Tracer::new(1);
+        t.enable();
+        t.record(
+            0,
+            crate::NO_RANK,
+            1,
+            EventKind::MethodProbe {
+                method: "pipglobals",
+                verdict: ProbeVerdict::ResourceLimited,
+            },
+        );
+        t.record(
+            0,
+            crate::NO_RANK,
+            2,
+            EventKind::MethodFallback {
+                from: "pipglobals",
+                to: "fsglobals",
+            },
+        );
+        t.record(0, 3, 3, EventKind::StackGuardTrip { stack_size: 131072 });
+        t.record(
+            0,
+            4,
+            4,
+            EventKind::ArenaGuardTrip {
+                kind: ArenaTrip::DoubleFree,
+            },
+        );
+        t.record(0, crate::NO_RANK, 5, EventKind::SegmentAudit { ranks: 8, dirty: 1 });
+        let c = t.counts();
+        assert_eq!(c.method_probes, 1);
+        assert_eq!(c.method_fallbacks, 1);
+        assert_eq!(c.stack_guard_trips, 1);
+        assert_eq!(c.arena_guard_trips, 1);
+        assert_eq!(c.segment_audits, 1);
+        assert_eq!(c.total_events(), 5);
+        let json = t.snapshot().to_json();
+        assert_eq!(json_u64(&json, "method_probes"), Some(1));
+        assert_eq!(json_u64(&json, "method_fallbacks"), Some(1));
+        assert_eq!(json_u64(&json, "stack_guard_trips"), Some(1));
+        assert_eq!(json_u64(&json, "arena_guard_trips"), Some(1));
+        assert_eq!(json_u64(&json, "segment_audits"), Some(1));
+        assert!(json.contains(
+            "\"kind\": \"method_probe\", \"method\": \"pipglobals\", \"verdict\": \"resource_limited\""
+        ));
+        assert!(json.contains(
+            "\"kind\": \"method_fallback\", \"from_method\": \"pipglobals\", \"to_method\": \"fsglobals\""
+        ));
+        assert!(json.contains("\"kind\": \"arena_guard_trip\", \"trip\": \"double_free\""));
+        assert!(json.contains("\"kind\": \"segment_audit\", \"ranks\": 8, \"dirty\": 1"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

@@ -45,7 +45,7 @@ mod recorder;
 mod report;
 mod scope;
 
-pub use event::{CopyDir, Event, EventKind, PrivReg, Segment, NO_RANK};
+pub use event::{ArenaTrip, CopyDir, Event, EventKind, PrivReg, ProbeVerdict, Segment, NO_RANK};
 pub use json::json_u64;
 pub use recorder::{PeTrace, TraceCounts, TraceSnapshot, Tracer, DEFAULT_PE_CAPACITY};
 pub use scope::{emit, set_context, ThreadScope};

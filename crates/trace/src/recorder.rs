@@ -59,6 +59,16 @@ pub struct TraceCounts {
     pub checkpoint_bytes: u64,
     /// Coordinated rollback/restore operations.
     pub recoveries: u64,
+    /// Capability probes evaluated at startup (one per method rated).
+    pub method_probes: u64,
+    /// Method degradations taken by the fallback chain.
+    pub method_fallbacks: u64,
+    /// ULT stack red-zone violations detected.
+    pub stack_guard_trips: u64,
+    /// Arena guard violations (double free / UAF / foreign pointer).
+    pub arena_guard_trips: u64,
+    /// Segment-integrity audits performed at barriers.
+    pub segment_audits: u64,
 }
 
 impl TraceCounts {
@@ -85,10 +95,15 @@ impl TraceCounts {
             + self.pe_fails
             + self.checkpoints
             + self.recoveries
+            + self.method_probes
+            + self.method_fallbacks
+            + self.stack_guard_trips
+            + self.arena_guard_trips
+            + self.segment_audits
     }
 }
 
-const N_COUNTERS: usize = 26;
+const N_COUNTERS: usize = 31;
 
 // Counter slot indices (mirrors TraceCounts field order).
 const C_CTX: usize = 0;
@@ -117,6 +132,11 @@ const C_PE_FAIL: usize = 22;
 const C_CHECKPOINT: usize = 23;
 const C_CHECKPOINT_BYTES: usize = 24;
 const C_RECOVERY: usize = 25;
+const C_METHOD_PROBE: usize = 26;
+const C_METHOD_FALLBACK: usize = 27;
+const C_STACK_GUARD: usize = 28;
+const C_ARENA_GUARD: usize = 29;
+const C_SEGMENT_AUDIT: usize = 30;
 
 /// Fixed-capacity ring of the most recent events on one PE.
 struct PeRing {
@@ -278,6 +298,11 @@ impl Tracer {
                 bump(C_CHECKPOINT_BYTES, bytes);
             }
             EventKind::Recovery { .. } => bump(C_RECOVERY, 1),
+            EventKind::MethodProbe { .. } => bump(C_METHOD_PROBE, 1),
+            EventKind::MethodFallback { .. } => bump(C_METHOD_FALLBACK, 1),
+            EventKind::StackGuardTrip { .. } => bump(C_STACK_GUARD, 1),
+            EventKind::ArenaGuardTrip { .. } => bump(C_ARENA_GUARD, 1),
+            EventKind::SegmentAudit { .. } => bump(C_SEGMENT_AUDIT, 1),
         }
     }
 
@@ -320,6 +345,11 @@ impl Tracer {
             checkpoints: c(C_CHECKPOINT),
             checkpoint_bytes: c(C_CHECKPOINT_BYTES),
             recoveries: c(C_RECOVERY),
+            method_probes: c(C_METHOD_PROBE),
+            method_fallbacks: c(C_METHOD_FALLBACK),
+            stack_guard_trips: c(C_STACK_GUARD),
+            arena_guard_trips: c(C_ARENA_GUARD),
+            segment_audits: c(C_SEGMENT_AUDIT),
         }
     }
 

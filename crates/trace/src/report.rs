@@ -86,6 +86,22 @@ impl TraceSnapshot {
                 c.recoveries
             );
         }
+        let hardening_total = c.method_probes
+            + c.method_fallbacks
+            + c.stack_guard_trips
+            + c.arena_guard_trips
+            + c.segment_audits;
+        if hardening_total > 0 {
+            let _ = writeln!(
+                out,
+                "  hardening: {} probes, {} fallbacks, {} stack trips, {} arena trips, {} audits",
+                c.method_probes,
+                c.method_fallbacks,
+                c.stack_guard_trips,
+                c.arena_guard_trips,
+                c.segment_audits
+            );
+        }
 
         // per-PE table: switch counts come from retained events so the
         // column stays meaningful even without a RunReport
@@ -191,5 +207,34 @@ mod tests {
         assert!(s.contains("faults: 1 drops (0 ack), 0 corrupt, 1 retransmits"), "{s}");
         assert!(s.contains("recovery: 1 checkpoints"), "{s}");
         assert!(s.contains("1 PE failures, 1 rollbacks"), "{s}");
+        assert!(!s.contains("hardening:"), "unexpected hardening section:\n{s}");
+    }
+
+    #[test]
+    fn summary_renders_hardening_section_when_active() {
+        use crate::event::ProbeVerdict;
+        let t = Tracer::new(1);
+        t.enable();
+        t.record(
+            0,
+            crate::NO_RANK,
+            0,
+            EventKind::MethodProbe {
+                method: "pipglobals",
+                verdict: ProbeVerdict::ResourceLimited,
+            },
+        );
+        t.record(
+            0,
+            crate::NO_RANK,
+            1,
+            EventKind::MethodFallback { from: "pipglobals", to: "fsglobals" },
+        );
+        t.record(0, crate::NO_RANK, 2, EventKind::SegmentAudit { ranks: 4, dirty: 0 });
+        let s = t.snapshot().summary(3);
+        assert!(
+            s.contains("hardening: 1 probes, 1 fallbacks, 0 stack trips, 0 arena trips, 1 audits"),
+            "{s}"
+        );
     }
 }

@@ -160,6 +160,14 @@ impl AsmUlt {
         self.stack.size()
     }
 
+    pub(crate) fn stack(&self) -> &StackMem {
+        &self.stack
+    }
+
+    pub(crate) fn stack_mut(&mut self) -> &mut StackMem {
+        &mut self.stack
+    }
+
     pub(crate) fn abandon(&mut self) {
         // The stack contents are presumed corrupt; unwinding them (what
         // Drop would do) is unsound. Frames and their destructors leak.

@@ -54,7 +54,7 @@ mod asm_backend;
 mod stack;
 mod thread_backend;
 
-pub use stack::StackMem;
+pub use stack::{StackMem, RED_ZONE_WORDS, STACK_CANARY};
 
 use std::any::Any;
 use std::fmt;
@@ -119,6 +119,35 @@ impl fmt::Display for ResumeError {
 }
 
 impl std::error::Error for ResumeError {}
+
+/// Errors detected by the ULT memory-safety guards (see
+/// [`Ult::check_stack_guard`]). Unlike a real overflow — which would be
+/// silent UB — a guard trip is an ordinary value the scheduler can
+/// attribute to a rank and surface cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UltError {
+    /// The red zone at the base of the ULT's stack was clobbered: the
+    /// ULT's frames grew past the bottom of its stack (or something
+    /// scribbled over it). The stack must not be unwound; callers should
+    /// [`Ult::abandon`] the ULT.
+    StackOverflow {
+        /// Size of the overflowed stack in bytes.
+        stack_size: usize,
+    },
+}
+
+impl fmt::Display for UltError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UltError::StackOverflow { stack_size } => write!(
+                f,
+                "ULT stack overflow: red zone clobbered on a {stack_size}-byte stack"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UltError {}
 
 enum Inner {
     Asm(asm_backend::AsmUlt),
@@ -241,6 +270,47 @@ impl Ult {
         match &self.inner {
             Inner::Asm(u) => u.stack_size(),
             Inner::Thread(u) => u.stack_size(),
+        }
+    }
+
+    fn stack(&self) -> &StackMem {
+        match &self.inner {
+            Inner::Asm(u) => u.stack(),
+            Inner::Thread(u) => u.stack(),
+        }
+    }
+
+    /// Install a canary red zone at the base of this ULT's stack memory
+    /// (the overflow target of a downward-growing stack). Checked with
+    /// [`Ult::check_stack_guard`]; idempotent.
+    ///
+    /// Note: the thread backend executes on an OS-managed stack, so its
+    /// guard only detects external scribbles over the `StackMem` region,
+    /// not genuine frame overflow (the OS guard page handles that).
+    pub fn install_stack_guard(&mut self) {
+        match &mut self.inner {
+            Inner::Asm(u) => u.stack_mut().install_red_zone(),
+            Inner::Thread(u) => u.stack_mut().install_red_zone(),
+        }
+    }
+
+    /// Whether a stack guard has been installed.
+    pub fn stack_guarded(&self) -> bool {
+        self.stack().is_guarded()
+    }
+
+    /// Verify the stack red zone. A clobbered canary means the ULT's
+    /// frames reached the base of its stack: report it instead of letting
+    /// the corruption propagate. On `Err`, do not resume or drop-unwind
+    /// the ULT — [`Ult::abandon`] it.
+    pub fn check_stack_guard(&self) -> Result<(), UltError> {
+        let s = self.stack();
+        if s.red_zone_intact() {
+            Ok(())
+        } else {
+            Err(UltError::StackOverflow {
+                stack_size: s.size(),
+            })
         }
     }
 
@@ -469,6 +539,33 @@ mod tests {
             });
             assert_eq!(outer.resume(), UltState::Suspended);
             assert_eq!(outer.resume(), UltState::Complete);
+        }
+    }
+
+    #[test]
+    fn stack_guard_trips_on_scribble_and_stays_clean_otherwise() {
+        for &b in backends() {
+            let mut buf = vec![0u64; 64 * 1024 / 8].into_boxed_slice();
+            let ptr = buf.as_mut_ptr() as *mut u8;
+            let stack = unsafe { StackMem::from_raw(ptr, 64 * 1024) };
+            let mut u = Ult::with_backend(b, stack, || {
+                yield_now();
+            });
+            u.install_stack_guard();
+            assert!(u.stack_guarded());
+            assert!(u.check_stack_guard().is_ok());
+            assert_eq!(u.resume(), UltState::Suspended);
+            assert!(u.check_stack_guard().is_ok(), "normal run keeps canaries");
+            // an overflow would scribble the base words exactly like this
+            unsafe { (ptr as *mut u64).write(0xDEAD_DEAD) };
+            match u.check_stack_guard() {
+                Err(UltError::StackOverflow { stack_size }) => {
+                    assert_eq!(stack_size, 64 * 1024)
+                }
+                other => panic!("expected StackOverflow, got {other:?}"),
+            }
+            // a corrupt stack must never be unwound at drop
+            u.abandon();
         }
     }
 

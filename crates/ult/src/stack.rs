@@ -8,9 +8,19 @@
 //! ULT's frame pointers remain valid after the ULT is handed to another
 //! scheduler.
 
+/// Value written into every red-zone word; chosen so that plain zeroed
+/// or 0xDE-scribbled memory never looks intact by accident.
+pub const STACK_CANARY: u64 = 0xC0DE_CAFE_DEAD_F00D;
+
+/// Red-zone size in 8-byte words (at the *base* — the overflow target of
+/// a downward-growing stack).
+pub const RED_ZONE_WORDS: usize = 8;
+
 /// Owned, pinned stack memory for one ULT.
 pub struct StackMem {
     repr: Repr,
+    /// True once a red zone has been installed at the base.
+    guarded: bool,
 }
 
 enum Repr {
@@ -37,10 +47,13 @@ impl StackMem {
         let words = size.div_ceil(8);
         StackMem {
             repr: Repr::Owned(vec![0u64; words].into_boxed_slice()),
+            guarded: false,
         }
     }
 
-    /// Wrap an externally owned pinned region as stack memory.
+    /// Wrap an externally owned pinned region as stack memory. The usable
+    /// size is `size` rounded *down* to a multiple of 8 (the rounding is
+    /// explicit here, once, so `size()` and `top()` always agree).
     ///
     /// # Safety
     ///
@@ -53,7 +66,11 @@ impl StackMem {
         assert!(size >= 4096, "stack region too small");
         assert_eq!(ptr as usize % 8, 0, "stack region must be 8-byte aligned");
         StackMem {
-            repr: Repr::Raw { ptr, size },
+            repr: Repr::Raw {
+                ptr,
+                size: size & !7,
+            },
+            guarded: false,
         }
     }
 
@@ -74,17 +91,47 @@ impl StackMem {
     pub fn size(&self) -> usize {
         match &self.repr {
             Repr::Owned(buf) => buf.len() * 8,
-            Repr::Raw { size, .. } => *size & !7,
+            Repr::Raw { size, .. } => *size,
         }
+    }
+
+    /// Write canary words over the `RED_ZONE_WORDS` words at the stack
+    /// base — the first memory a downward-growing stack overflows into.
+    /// Idempotent; checked by [`red_zone_intact`](Self::red_zone_intact).
+    pub fn install_red_zone(&mut self) {
+        let base = self.base() as *mut u64;
+        for i in 0..RED_ZONE_WORDS.min(self.size() / 8) {
+            unsafe { base.add(i).write(STACK_CANARY) };
+        }
+        self.guarded = true;
+    }
+
+    /// Whether a red zone has been installed.
+    pub fn is_guarded(&self) -> bool {
+        self.guarded
+    }
+
+    /// True when every canary word is still in place (vacuously true on
+    /// an unguarded stack). A clobbered canary means the ULT's frames
+    /// reached the base of the stack: overflow.
+    pub fn red_zone_intact(&self) -> bool {
+        if !self.guarded {
+            return true;
+        }
+        let base = self.base() as *const u64;
+        (0..RED_ZONE_WORDS.min(self.size() / 8))
+            .all(|i| unsafe { base.add(i).read() } == STACK_CANARY)
     }
 
     /// Bytes of the stack that have ever been written (non-zero high-water
     /// heuristic): used by migration accounting and tests. Scans from the
-    /// low end for the first non-zero word.
+    /// low end for the first non-zero word, skipping the red zone when one
+    /// is installed (canaries are guard metadata, not use).
     pub fn high_water_bytes(&self) -> usize {
         let words = self.size() / 8;
+        let first = if self.guarded { RED_ZONE_WORDS } else { 0 };
         let base = self.base() as *const u64;
-        for i in 0..words {
+        for i in first..words {
             if unsafe { base.add(i).read() } != 0 {
                 return (words - i) * 8;
             }
@@ -128,6 +175,32 @@ mod tests {
     fn high_water_zero_when_untouched() {
         let s = StackMem::new(8192);
         assert_eq!(s.high_water_bytes(), 0);
+    }
+
+    #[test]
+    fn from_raw_rounds_unaligned_sizes_down_consistently() {
+        let mut buf = vec![0u64; 8192 / 8 + 1].into_boxed_slice();
+        // 8195 is not a multiple of 8: usable size must round down to
+        // 8192 and top() must agree with it.
+        let s = unsafe { StackMem::from_raw(buf.as_mut_ptr() as *mut u8, 8195) };
+        assert_eq!(s.size(), 8192);
+        assert_eq!(s.top() as usize, s.base() as usize + 8192);
+        assert_eq!(s.top() as usize % 8, 0);
+    }
+
+    #[test]
+    fn red_zone_detects_overflow_scribble() {
+        let mut s = StackMem::new(8192);
+        assert!(!s.is_guarded());
+        assert!(s.red_zone_intact(), "unguarded stack is vacuously intact");
+        s.install_red_zone();
+        assert!(s.is_guarded());
+        assert!(s.red_zone_intact());
+        // canaries are not "use": high-water must ignore them
+        assert_eq!(s.high_water_bytes(), 0);
+        // simulate a frame running past the base
+        unsafe { (s.base() as *mut u64).add(2).write(0xDEAD) };
+        assert!(!s.red_zone_intact());
     }
 
     #[test]

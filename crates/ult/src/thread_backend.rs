@@ -74,6 +74,10 @@ pub(crate) struct ThreadUlt {
     handle: Option<std::thread::JoinHandle<()>>,
     finished: bool,
     stack_size: usize,
+    /// Not used for execution (the OS manages the carrier thread's
+    /// stack), but retained so stack-guard checks observe the same
+    /// region the asm backend would run on.
+    stack: StackMem,
 }
 
 impl ThreadUlt {
@@ -121,6 +125,7 @@ impl ThreadUlt {
             handle: Some(handle),
             finished: false,
             stack_size,
+            stack,
         }
     }
 
@@ -171,6 +176,14 @@ impl ThreadUlt {
 
     pub(crate) fn stack_size(&self) -> usize {
         self.stack_size
+    }
+
+    pub(crate) fn stack(&self) -> &StackMem {
+        &self.stack
+    }
+
+    pub(crate) fn stack_mut(&mut self) -> &mut StackMem {
+        &mut self.stack
     }
 }
 

@@ -12,6 +12,12 @@ cargo test -q --workspace
 echo "==> seeded fault-sweep smoke (determinism gate)"
 cargo test -q -p pvr-bench --test fault_recovery seeded_fault_sweep_is_deterministic
 
+echo "==> degradation-matrix gate (fallback chain lands + bit-identical)"
+cargo test -q -p pvr-bench --test privatization_matrix fallback_chain_matrix_lands_and_matches_direct_runs
+
+echo "==> guard-trip smoke (stack/arena/segment guards catch seeded corruption)"
+cargo test -q -p pvr-rts guard
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -11,7 +11,7 @@ use pvr_ampi::Ampi;
 use pvr_apps::hello;
 use pvr_privatize::methods::{Options, TagPolicy};
 use pvr_privatize::{Method, Toolchain};
-use pvr_progimage::{link, ImageSpec};
+use pvr_progimage::{link, ImageSpec, SharedFs};
 use pvr_rts::{MachineBuilder, RankCtx, Topology};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -123,6 +123,84 @@ fn tlsglobals_partial_tagging_leaks() {
         v.iter().any(|o| o.printed_rank != o.expected_rank),
         "an untagged mutable global must still exhibit the bug"
     );
+}
+
+/// The fallback-chain matrix: glibc flavor × shared-FS room × rank count,
+/// always *requesting* PIPglobals with the default chain enabled. Each
+/// cell must land on the predicted method and produce hello outputs
+/// identical to a direct (strict-mode) run of that landed method —
+/// degradation changes the mechanism, never the answer.
+#[test]
+fn fallback_chain_matrix_lands_and_matches_direct_runs() {
+    let run = |toolchain: Toolchain, fs_cap: Option<usize>, vps: usize, method: Method, fallback: bool| {
+        let outputs = Arc::new(Mutex::new(Vec::new()));
+        let out = outputs.clone();
+        let fs = Arc::new(Mutex::new(match fs_cap {
+            Some(c) => SharedFs::with_capacity(c),
+            None => SharedFs::new(),
+        }));
+        let mut b = MachineBuilder::new(hello::binary())
+            .method(method)
+            .toolchain(toolchain)
+            .shared_fs(Some(fs))
+            .topology(Topology::smp(1))
+            .vp_ratio(vps);
+        if fallback {
+            b = b.fallback(true);
+        }
+        let mut machine = b
+            .build(Arc::new(move |ctx| {
+                let mpi = Ampi::init(ctx);
+                let o = hello::run(&mpi);
+                out.lock().push(o);
+            }))
+            .unwrap();
+        machine.run().unwrap();
+        let landed = machine.method();
+        let mut v = outputs.lock().clone();
+        v.sort_by_key(|o| o.expected_rank);
+        (landed, v)
+    };
+
+    let stock = Toolchain::bridges2;
+    let patched = Toolchain::with_patched_glibc;
+    let cramped = Some(1usize); // not even the deploy copy fits
+    type Cell = (fn() -> Toolchain, Option<usize>, usize, Method);
+    let cells: Vec<Cell> = vec![
+        // stock glibc, roomy FS: the 12-namespace budget decides
+        (stock, None, 8, Method::PipGlobals),
+        (stock, None, 12, Method::PipGlobals),
+        (stock, None, 16, Method::FsGlobals),
+        (stock, None, 64, Method::FsGlobals),
+        // stock glibc, cramped FS: past the budget it falls through to PIE
+        (stock, cramped, 8, Method::PipGlobals),
+        (stock, cramped, 16, Method::PieGlobals),
+        (stock, cramped, 64, Method::PieGlobals),
+        // patched glibc lifts the namespace cap: PIPglobals as requested
+        (patched, None, 16, Method::PipGlobals),
+        (patched, None, 64, Method::PipGlobals),
+        (patched, cramped, 64, Method::PipGlobals),
+    ];
+    for (tc, fs_cap, vps, expect) in cells {
+        let (landed, outs) = run(tc(), fs_cap, vps, Method::PipGlobals, true);
+        assert_eq!(
+            landed, expect,
+            "requested pipglobals with {vps} ranks (fs cap {fs_cap:?})"
+        );
+        assert_eq!(outs.len(), vps);
+        for o in &outs {
+            assert_eq!(
+                o.printed_rank, o.expected_rank,
+                "{landed} at {vps} ranks must still privatize my_rank"
+            );
+        }
+        let (direct_landed, direct) = run(tc(), fs_cap, vps, expect, false);
+        assert_eq!(direct_landed, expect, "direct run must not degrade");
+        assert_eq!(
+            outs, direct,
+            "degraded run must be bit-identical to a direct {expect} run"
+        );
+    }
 }
 
 #[test]
