@@ -7,7 +7,8 @@
 //! ```
 
 use pvr_bench::{
-    degrade_exp, faults_exp, fig5, fig6, fig7, fig8, icache_exp, scaling, tables, tracing_exp,
+    degrade_exp, faults_exp, fig5, fig6, fig7, fig8, icache_exp, parallel_exp, scaling, tables,
+    tracing_exp,
 };
 
 fn main() {
@@ -53,6 +54,7 @@ fn main() {
             "fig8" => println!("{}\n", fig8::report(if quick { 3 } else { 7 })),
             "icache" => println!("{}\n", icache_exp::report()),
             "trace" => println!("{}\n", tracing_exp::report()),
+            "scaling" => println!("{}\n", parallel_exp::report(quick)),
             "faults" => println!("{}\n", faults_exp::report()),
             "degrade" => println!("{}\n", degrade_exp::report()),
             "table2" => {
@@ -66,7 +68,7 @@ fn main() {
             other => {
                 eprintln!("unknown experiment `{other}`");
                 eprintln!(
-                    "known: table1 table3 fig5 fig6 fig7 fig8 icache trace faults degrade table2 fig9 all"
+                    "known: table1 table3 fig5 fig6 fig7 fig8 icache trace scaling faults degrade table2 fig9 all"
                 );
                 std::process::exit(2);
             }

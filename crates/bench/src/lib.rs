@@ -29,6 +29,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod icache_exp;
+pub mod parallel_exp;
 pub mod scaling;
 pub mod tables;
 pub mod tracing_exp;

@@ -1,0 +1,107 @@
+//! `scaling` — host wall-clock strong scaling of the parallel PE engine.
+//!
+//! The paper's Table 2 / Fig. 9 sweep scales *virtual* time; this
+//! experiment scales *host* time. An 8-PE Jacobi-3D runs in virtual
+//! mode — every rank's stencil math executes for real — once per
+//! `Parallelism` setting. The ranks advance in lock step (halo exchange
+//! every iteration), so each conservative epoch carries one compute
+//! slab per PE and the worker pool converts directly into wall-clock
+//! speedup. The sim digest is asserted identical across settings: the
+//! speedup must come for free, not from divergence.
+
+use crate::render_table;
+use pvr_ampi::Ampi;
+use pvr_apps::jacobi3d::{self, JacobiConfig};
+use pvr_privatize::Method;
+use pvr_rts::{ClockMode, MachineBuilder, Parallelism, RankCtx, Topology};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const PES: usize = 8;
+
+fn run_once(par: Parallelism, cfg: JacobiConfig, rounds: usize) -> (Duration, u64, usize) {
+    let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(move |ctx: RankCtx| {
+        let mpi = Ampi::init(ctx);
+        for _ in 0..rounds {
+            jacobi3d::run(&mpi, cfg);
+            mpi.migrate();
+        }
+    });
+    let mut m = MachineBuilder::new(jacobi3d::binary())
+        .method(Method::PieGlobals)
+        .clock(ClockMode::Virtual)
+        .topology(Topology::non_smp(PES))
+        .vp_ratio(1)
+        .stack_size(512 * 1024)
+        .parallelism(par)
+        .build(body)
+        .unwrap();
+    let t0 = Instant::now();
+    let report = m.run().unwrap();
+    (t0.elapsed(), report.sim_digest(), report.engine.threads)
+}
+
+/// Render the engine-scaling table (and sanity-check determinism).
+pub fn report(quick: bool) -> String {
+    let (cfg, rounds) = if quick {
+        (
+            JacobiConfig {
+                nx: 24,
+                ny: 24,
+                nz: 8,
+                iters: 10,
+            },
+            2,
+        )
+    } else {
+        (
+            JacobiConfig {
+                nx: 48,
+                ny: 48,
+                nz: 12,
+                iters: 20,
+            },
+            3,
+        )
+    };
+    let settings = [
+        ("Serial", Parallelism::Serial),
+        ("Threads(2)", Parallelism::Threads(2)),
+        ("Threads(4)", Parallelism::Threads(4)),
+    ];
+    let mut rows = Vec::new();
+    let mut serial_wall = Duration::ZERO;
+    let mut serial_digest = 0u64;
+    for (name, par) in settings {
+        let (wall, digest, threads) = run_once(par, cfg, rounds);
+        if matches!(par, Parallelism::Serial) {
+            serial_wall = wall;
+            serial_digest = digest;
+        }
+        assert_eq!(
+            digest, serial_digest,
+            "{name}: parallel run diverged from serial (digest mismatch)"
+        );
+        let speedup = serial_wall.as_secs_f64() / wall.as_secs_f64().max(1e-9);
+        rows.push(vec![
+            name.to_string(),
+            threads.to_string(),
+            format!("{:.1}", wall.as_secs_f64() * 1e3),
+            format!("{speedup:.2}x"),
+            "identical".to_string(),
+        ]);
+    }
+    render_table(
+        &format!(
+            "Engine scaling — 8-PE Jacobi-3D ({}x{}x{} per rank, {} iters x {} rounds), virtual time, host cores: {}",
+            cfg.nx,
+            cfg.ny,
+            cfg.nz,
+            cfg.iters,
+            rounds,
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+        ),
+        &["parallelism", "threads", "wall ms", "speedup", "digest"],
+        &rows,
+    )
+}

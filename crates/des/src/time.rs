@@ -14,9 +14,17 @@ pub struct SimDuration(pub u64);
 
 impl SimTime {
     pub const ZERO: SimTime = SimTime(0);
+    /// The end of virtual time — useful as an "unbounded" horizon for
+    /// [`crate::EventQueue::pop_window`].
+    pub const MAX: SimTime = SimTime(u64::MAX);
 
     pub fn nanos(self) -> u64 {
         self.0
+    }
+
+    /// `self + d`, clamped at [`SimTime::MAX`] instead of overflowing.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
     }
 
     pub fn as_secs_f64(self) -> f64 {

@@ -1,0 +1,733 @@
+//! Machine configuration: the plain [`MachineConfig`] struct, its
+//! validation, and the job-startup path ([`MachineConfig::build`]).
+//!
+//! [`MachineBuilder`] survives as a thin chained-setter wrapper over
+//! `MachineConfig`, so existing call sites keep compiling; new code can
+//! fill the struct directly and call [`MachineConfig::validate`] to get
+//! every configuration check in one place before paying for startup.
+
+use crate::command::{RankCtx, RankShared, Slot, WorkModel};
+use crate::lb::LoadBalancer;
+use crate::location::LocationManager;
+use crate::machine::{ClockMode, Machine, ReliableState};
+use crate::pe::PeState;
+use crate::rank::{RankState, RankStatus};
+use crate::stats::{EngineTallies, FaultTallies, HardeningTallies};
+use crate::worker::{HlsBlocks, RankTable};
+use crate::PeId;
+use parking_lot::Mutex;
+use pvr_des::{EventQueue, NetworkModel, SimDuration, Topology};
+use pvr_isomalloc::{RankMemory, Region, RegionKind};
+use pvr_privatize::methods::Options as MethodOptions;
+use pvr_privatize::{
+    create_privatizer, probe_method, Capability, Method, PrivatizeEnv, PrivatizeError, Privatizer,
+    RunShape, Toolchain,
+};
+use pvr_progimage::{ProgramBinary, SharedFs};
+use pvr_trace::{EventKind, ProbeVerdict, Tracer, NO_RANK};
+use pvr_ult::{Backend, StackMem, Ult};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How many OS threads drive the PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One thread drives every PE (the PR-2/3 behavior).
+    Serial,
+    /// A worker pool of `n` threads; clamped to the PE count at run time.
+    Threads(usize),
+    /// Read `PVR_THREADS` from the environment (absent/unparsable/0 means
+    /// serial). Silently degrades to serial when the run needs it
+    /// (guards, an unprivatized method, or a single PE).
+    Auto,
+}
+
+/// Configuration-time rejections, split out of [`crate::RtsError`] so the
+/// runtime error type carries only runtime failures.
+#[derive(Debug)]
+pub enum ConfigError {
+    /// The configuration is internally inconsistent.
+    Invalid { detail: String },
+    /// Startup failed while instantiating privatizers/ranks with the
+    /// configured method (strict mode surfaces the method's own error).
+    Startup(PrivatizeError),
+    /// Startup exhausted the method fallback chain: every candidate was
+    /// probed infeasible or failed mid-startup.
+    NoFeasibleMethod { detail: String },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Invalid { detail } => write!(f, "invalid configuration: {detail}"),
+            ConfigError::Startup(e) => write!(f, "startup failed: {e}"),
+            ConfigError::NoFeasibleMethod { detail } => {
+                write!(f, "no feasible privatization method: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<PrivatizeError> for ConfigError {
+    fn from(e: PrivatizeError) -> Self {
+        ConfigError::Startup(e)
+    }
+}
+
+/// Whether a startup error is a capacity/environment failure the
+/// fallback chain may degrade past (vs. a bug that must surface).
+fn degradable(e: &PrivatizeError) -> bool {
+    matches!(
+        e,
+        PrivatizeError::Unsupported { .. }
+            | PrivatizeError::Dl(pvr_progimage::DlError::NamespaceExhausted { .. })
+            | PrivatizeError::Fs(pvr_progimage::FsError::NoSpace { .. })
+    )
+}
+
+/// Privatizers and rank states produced by one startup attempt.
+type BuiltJob = (Vec<Box<dyn Privatizer>>, Vec<RankState>);
+
+/// Complete description of a job, as plain data. Every knob the old
+/// 20-method builder chain set is a public field here; [`Self::validate`]
+/// gathers all the configuration checks in one place.
+pub struct MachineConfig {
+    pub topology: Topology,
+    pub method: Method,
+    pub options: MethodOptions,
+    pub binary: Arc<ProgramBinary>,
+    pub toolchain: Toolchain,
+    pub shared_fs: Option<Arc<Mutex<SharedFs>>>,
+    /// Virtual ranks per PE (overdecomposition ratio); must be ≥ 1.
+    pub vp_ratio: usize,
+    pub clock: ClockMode,
+    pub network: NetworkModel,
+    pub balancer: Option<Box<dyn LoadBalancer>>,
+    pub stack_size: usize,
+    pub work_model: WorkModel,
+    pub ult_backend: Backend,
+    pub code_dedup_migration: bool,
+    pub checkpoint_period: u32,
+    pub inject_fault_at_lb_step: Option<u32>,
+    pub inject_pe_failure: Option<(u32, PeId)>,
+    pub retransmit_base: SimDuration,
+    pub retransmit_max_attempts: u32,
+    pub tracer: Option<Arc<Tracer>>,
+    pub fallback: bool,
+    pub fallback_chain: Vec<Method>,
+    pub guards: bool,
+    /// Worker-thread policy for [`Machine::run`].
+    pub parallelism: Parallelism,
+}
+
+impl MachineConfig {
+    pub fn new(binary: Arc<ProgramBinary>) -> MachineConfig {
+        MachineConfig {
+            topology: Topology::smp(1),
+            method: Method::PieGlobals,
+            options: MethodOptions::default(),
+            binary,
+            toolchain: Toolchain::default(),
+            shared_fs: Some(Arc::new(Mutex::new(SharedFs::new()))),
+            vp_ratio: 1,
+            clock: ClockMode::RealTime,
+            network: NetworkModel::infiniband(),
+            balancer: None,
+            stack_size: 128 * 1024,
+            work_model: WorkModel::default(),
+            ult_backend: Backend::native(),
+            code_dedup_migration: false,
+            checkpoint_period: 0,
+            inject_fault_at_lb_step: None,
+            inject_pe_failure: None,
+            retransmit_base: SimDuration::from_micros(20),
+            retransmit_max_attempts: 10,
+            tracer: None,
+            fallback: false,
+            fallback_chain: vec![Method::PipGlobals, Method::FsGlobals, Method::PieGlobals],
+            guards: false,
+            parallelism: Parallelism::Auto,
+        }
+    }
+
+    /// Check the whole configuration for internal consistency. Every
+    /// rejection [`Self::build`] can produce without actually starting
+    /// ranks comes from here.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let invalid = |detail: String| Err(ConfigError::Invalid { detail });
+        let n_pes = self.topology.total_pes();
+        if self.vp_ratio == 0 {
+            return invalid("vp_ratio: at least one virtual rank per PE is required".into());
+        }
+        if (self.inject_fault_at_lb_step.is_some() || self.inject_pe_failure.is_some())
+            && self.checkpoint_period == 0
+        {
+            return invalid(
+                "fault injection requires checkpoint_period > 0 (no checkpoint would be \
+                 available to recover from)"
+                    .into(),
+            );
+        }
+        if let Some(k) = self.inject_fault_at_lb_step {
+            if k == 0 {
+                return invalid("inject_fault_at_lb_step: LB steps are 1-based".into());
+            }
+        }
+        if let Some((k, pe)) = self.inject_pe_failure {
+            if k == 0 {
+                return invalid("inject_pe_failure_at_lb_step: LB steps are 1-based".into());
+            }
+            if pe >= n_pes {
+                return invalid(format!(
+                    "inject_pe_failure_at_lb_step: PE {pe} out of range (job has {n_pes} PEs)"
+                ));
+            }
+            if n_pes < 2 {
+                return invalid(
+                    "inject_pe_failure_at_lb_step: surviving on fewer PEs needs at least 2 PEs"
+                        .into(),
+                );
+            }
+        }
+        if let Some(plan) = self.network.fault_plan() {
+            if let Err(e) = plan.validate() {
+                return invalid(format!("network fault plan: {e}"));
+            }
+            if self.clock == ClockMode::RealTime {
+                return invalid(
+                    "a network fault plan requires ClockMode::Virtual (reliable delivery \
+                     is event-driven)"
+                        .into(),
+                );
+            }
+            if self.retransmit_max_attempts == 0 {
+                return invalid("retransmit_params: max_attempts must be >= 1".into());
+            }
+        }
+        if self.guards && self.method == Method::Unprivatized {
+            return invalid(
+                "guards: the stack/arena/segment guards assume privatized per-rank state; \
+                 method `baseline` (Unprivatized) shares every global, so guard trips could \
+                 never be attributed to a rank — pick a privatizing method or disable guards"
+                    .into(),
+            );
+        }
+        if self.fallback && self.fallback_chain.is_empty() {
+            return invalid(
+                "fallback_chain: the fallback chain must name at least one method".into(),
+            );
+        }
+        match self.parallelism {
+            Parallelism::Threads(0) => {
+                return invalid(
+                    "parallelism: Threads(0) is meaningless — use Serial or Threads(n >= 1)"
+                        .into(),
+                );
+            }
+            Parallelism::Threads(n) if n > 1 && self.guards => {
+                return invalid(
+                    "parallelism: the memory-safety guards audit cross-rank state and require \
+                     serial execution — use Parallelism::Serial (or Auto, which degrades)"
+                        .into(),
+                );
+            }
+            Parallelism::Threads(n) if n > 1 && self.method == Method::Unprivatized => {
+                return invalid(
+                    "parallelism: method `baseline` (Unprivatized) shares every global across \
+                     ranks, so concurrent PEs would race on them — use Parallelism::Serial"
+                        .into(),
+                );
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Instantiate the job: one privatizer per OS process, then all
+    /// ranks. This is the unit the startup experiment (Fig. 5) times.
+    pub fn build(
+        self,
+        body: Arc<dyn Fn(RankCtx) + Send + Sync + 'static>,
+    ) -> Result<Machine, ConfigError> {
+        self.validate()?;
+        let topo = self.topology;
+        let n_pes = topo.total_pes();
+        let n_ranks = n_pes * self.vp_ratio;
+
+        let mk_env = || {
+            PrivatizeEnv::new(self.binary.clone())
+                .with_toolchain(self.toolchain)
+                .with_pes(topo.pes_per_process)
+                .with_shared_fs(self.shared_fs.clone())
+                .with_concurrent_processes(topo.total_processes())
+        };
+
+        // Candidate methods, in trial order: the requested method, then
+        // the fallback chain (strict mode: the requested method only).
+        let mut candidates: Vec<Method> = vec![self.method];
+        if self.fallback {
+            for &m in &self.fallback_chain {
+                if !candidates.contains(&m) {
+                    candidates.push(m);
+                }
+            }
+        }
+
+        // Capability-probe pass (fallback mode): rate every candidate
+        // before any rank exists. A *chain* entry the environment can
+        // never run is a configuration error — the user named a method
+        // that could not possibly back them up; a shape-dependent
+        // ResourceLimited verdict is exactly what the chain is for.
+        let mut hardening = HardeningTallies::default();
+        let mut verdicts: Vec<Capability> = Vec::new();
+        if self.fallback {
+            for &m in &candidates {
+                let cap = probe_method(
+                    m,
+                    &mk_env(),
+                    RunShape {
+                        ranks_per_process: topo.pes_per_process * self.vp_ratio,
+                        total_ranks: n_ranks,
+                    },
+                );
+                if m != self.method && cap.is_unsupported() {
+                    return Err(ConfigError::Invalid {
+                        detail: format!(
+                            "fallback_chain: {m} can never start in this environment ({cap})"
+                        ),
+                    });
+                }
+                if let Some(t) = &self.tracer {
+                    let verdict = match &cap {
+                        Capability::Feasible => ProbeVerdict::Feasible,
+                        Capability::ResourceLimited { .. } => ProbeVerdict::ResourceLimited,
+                        Capability::Unsupported { .. } => ProbeVerdict::Unsupported,
+                    };
+                    t.record(
+                        0,
+                        NO_RANK,
+                        0,
+                        EventKind::MethodProbe {
+                            method: m.name(),
+                            verdict,
+                        },
+                    );
+                }
+                hardening.probes += 1;
+                verdicts.push(cap);
+            }
+        }
+
+        let location = LocationManager::new_block(n_ranks, n_pes);
+        // Scope the tracer over instantiation so privatizer startup work
+        // (segment copies, GOT fixups) lands in the trace.
+        let trace_scope = self
+            .tracer
+            .as_ref()
+            .map(|t| pvr_trace::ThreadScope::install(t.clone()));
+
+        // Try one candidate end-to-end: one privatizer per simulated OS
+        // process, then every rank. On failure the locals drop right here
+        // — never-started ULTs detach cleanly and FSglobals' Drop deletes
+        // every binary copy it created — so a candidate that dies at rank
+        // N leaves no residue for the next candidate.
+        let attempt = |method: Method| -> Result<BuiltJob, PrivatizeError> {
+            let mut privatizers: Vec<Box<dyn Privatizer>> = Vec::new();
+            for _proc in 0..topo.total_processes() {
+                privatizers.push(create_privatizer(method, mk_env(), self.options.clone())?);
+            }
+            let mut ranks: Vec<RankState> = Vec::with_capacity(n_ranks);
+            for r in 0..n_ranks {
+                let pe = location.lookup(r);
+                if self.tracer.is_some() {
+                    pvr_trace::set_context(pe, r as u32, 0);
+                }
+                let proc = topo.process_of_pe(pe);
+                let mut mem = RankMemory::new();
+                let instance = Arc::new(privatizers[proc].instantiate_rank(r, &mut mem)?);
+                if self.guards {
+                    mem.heap().set_guard(true);
+                }
+
+                // ULT stack inside rank memory → packed on migration.
+                let stack_region = Region::new_zeroed(RegionKind::Stack, self.stack_size);
+                let stack_ptr = stack_region.base_mut();
+                mem.add_region(stack_region);
+                let stack = unsafe { StackMem::from_raw(stack_ptr, self.stack_size) };
+
+                let slot = Arc::new(Mutex::new(Slot::default()));
+                let shared = Arc::new(RankShared {
+                    current_pe: AtomicUsize::new(pe),
+                    now_ns: AtomicU64::new(0),
+                });
+                let ctx = RankCtx {
+                    rank: r,
+                    n_ranks,
+                    slot: slot.clone(),
+                    shared: shared.clone(),
+                    instance: instance.clone(),
+                    work_model: self.work_model,
+                    virtual_mode: self.clock == ClockMode::Virtual,
+                    binary: self.binary.clone(),
+                };
+                let body = body.clone();
+                let mut ult = Ult::with_backend(self.ult_backend, stack, move || body(ctx));
+                if self.guards {
+                    ult.install_stack_guard();
+                }
+
+                ranks.push(RankState {
+                    ult: Some(ult),
+                    memory: mem,
+                    instance,
+                    slot,
+                    shared,
+                    status: RankStatus::Ready,
+                    location: pe,
+                    mailbox: Default::default(),
+                    load_since_lb: SimDuration::ZERO,
+                    total_load: SimDuration::ZERO,
+                    messages_sent: 0,
+                    messages_received: 0,
+                    migrations: 0,
+                });
+            }
+            Ok((privatizers, ranks))
+        };
+
+        let mut built: Option<(Method, BuiltJob)> = None;
+        let mut failures: Vec<String> = Vec::new();
+        for (i, &cand) in candidates.iter().enumerate() {
+            // Record a degradation hop (event + tally) from a failed
+            // candidate to the next one in line.
+            let note_fallback = |hardening: &mut HardeningTallies| {
+                if i + 1 < candidates.len() {
+                    if let Some(t) = &self.tracer {
+                        t.record(
+                            0,
+                            NO_RANK,
+                            0,
+                            EventKind::MethodFallback {
+                                from: cand.name(),
+                                to: candidates[i + 1].name(),
+                            },
+                        );
+                    }
+                    hardening.fallbacks += 1;
+                }
+            };
+            if let Some(cap) = verdicts.get(i) {
+                if !cap.is_feasible() {
+                    // Probe-predicted infeasibility: skip without paying
+                    // for a doomed startup.
+                    failures.push(format!("{cand}: {cap}"));
+                    note_fallback(&mut hardening);
+                    continue;
+                }
+            }
+            match attempt(cand) {
+                Ok(job) => {
+                    built = Some((cand, job));
+                    break;
+                }
+                Err(e) if self.fallback && degradable(&e) => {
+                    // The probe passed but startup still failed (probes
+                    // are conservative predictions). `attempt` already
+                    // tore everything down; degrade.
+                    failures.push(format!("{cand}: {e}"));
+                    note_fallback(&mut hardening);
+                }
+                Err(e) => return Err(ConfigError::Startup(e)),
+            }
+        }
+        drop(trace_scope);
+        let Some((landed, (privatizers, ranks))) = built else {
+            return Err(ConfigError::NoFeasibleMethod {
+                detail: failures.join("; "),
+            });
+        };
+
+        if self.inject_pe_failure.is_some() && !privatizers[0].supports_migration() {
+            return Err(ConfigError::Invalid {
+                detail: format!(
+                    "inject_pe_failure_at_lb_step: {landed} does not support migration, so the \
+                     failed PE's ranks cannot be restored onto survivors"
+                ),
+            });
+        }
+
+        // Segment-integrity baseline: one checksum per rank's privatized
+        // data segment (None for methods without per-rank segments).
+        let segment_baseline: Vec<Option<u64>> = if self.guards {
+            (0..n_ranks)
+                .map(|r| crate::machine::segment_checksum_in(&privatizers, r))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let mut pes: Vec<PeState> = (0..n_pes).map(|_| PeState::default()).collect();
+        for r in 0..n_ranks {
+            pes[location.lookup(r)].ready.push_back(r);
+        }
+
+        // Per-PE hierarchical-local-storage blocks (MPC HLS): resolved
+        // once so the context-switch path pays a plain load.
+        let pe_hls_blocks: HlsBlocks = HlsBlocks::new(
+            (0..n_pes)
+                .map(|pe| {
+                    let proc = topo.process_of_pe(pe);
+                    let local = pe - topo.pes_of_process(proc).start;
+                    privatizers[proc]
+                        .pe_block(local)
+                        .unwrap_or(std::ptr::null_mut())
+                })
+                .collect(),
+        );
+
+        Ok(Machine {
+            topology: topo,
+            clock: self.clock,
+            network: self.network,
+            balancer: self.balancer,
+            privatizers,
+            location,
+            ranks: RankTable::new(ranks),
+            pes,
+            queue: EventQueue::new(),
+            done_count: 0,
+            at_sync_count: 0,
+            total_switches: 0,
+            messages_delivered: 0,
+            lb_steps: 0,
+            migrations: Vec::new(),
+            epoch: Instant::now(),
+            pe_hls_blocks,
+            lb_history: Vec::new(),
+            comm_bytes: std::collections::BTreeMap::new(),
+            code_dedup_migration: self.code_dedup_migration,
+            checkpoint_period: self.checkpoint_period,
+            inject_fault_at_lb_step: self.inject_fault_at_lb_step,
+            inject_pe_failure: self.inject_pe_failure,
+            last_checkpoint: None,
+            alive: vec![true; n_pes],
+            reliable: self.network.fault_plan().map(|plan| {
+                Mutex::new(ReliableState {
+                    plan: *plan,
+                    base_rto: self.retransmit_base,
+                    max_attempts: self.retransmit_max_attempts,
+                    send_seq: Default::default(),
+                    inflight: Default::default(),
+                    recv: Default::default(),
+                })
+            }),
+            tallies: FaultTallies::default(),
+            tracer: self.tracer,
+            guards: self.guards,
+            method_requested: self.method,
+            hardening,
+            segment_baseline,
+            last_ran: None,
+            parallelism: self.parallelism,
+            engine: EngineTallies::default(),
+        })
+    }
+}
+
+/// Chained-setter facade over [`MachineConfig`]; every method forwards to
+/// the corresponding field.
+pub struct MachineBuilder {
+    cfg: MachineConfig,
+}
+
+impl MachineBuilder {
+    pub fn new(binary: Arc<ProgramBinary>) -> MachineBuilder {
+        MachineBuilder {
+            cfg: MachineConfig::new(binary),
+        }
+    }
+
+    /// The accumulated configuration, for inspection or direct tweaks.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Unwrap into the underlying [`MachineConfig`].
+    pub fn into_config(self) -> MachineConfig {
+        self.cfg
+    }
+
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.cfg.topology = t;
+        self
+    }
+
+    pub fn method(mut self, m: Method) -> Self {
+        self.cfg.method = m;
+        self
+    }
+
+    pub fn method_options(mut self, o: MethodOptions) -> Self {
+        self.cfg.options = o;
+        self
+    }
+
+    pub fn toolchain(mut self, t: Toolchain) -> Self {
+        self.cfg.toolchain = t;
+        self
+    }
+
+    /// Virtual ranks per PE (overdecomposition ratio).
+    pub fn vp_ratio(mut self, r: usize) -> Self {
+        assert!(r > 0);
+        self.cfg.vp_ratio = r;
+        self
+    }
+
+    pub fn clock(mut self, c: ClockMode) -> Self {
+        self.cfg.clock = c;
+        self
+    }
+
+    pub fn network(mut self, n: NetworkModel) -> Self {
+        self.cfg.network = n;
+        self
+    }
+
+    /// Mount (or unmount) a shared filesystem for this job.
+    pub fn shared_fs(mut self, fs: Option<Arc<Mutex<SharedFs>>>) -> Self {
+        self.cfg.shared_fs = fs;
+        self
+    }
+
+    pub fn balancer(mut self, b: Box<dyn LoadBalancer>) -> Self {
+        self.cfg.balancer = Some(b);
+        self
+    }
+
+    pub fn stack_size(mut self, s: usize) -> Self {
+        self.cfg.stack_size = s.max(16 * 1024);
+        self
+    }
+
+    pub fn work_model(mut self, w: WorkModel) -> Self {
+        self.cfg.work_model = w;
+        self
+    }
+
+    pub fn ult_backend(mut self, b: Backend) -> Self {
+        self.cfg.ult_backend = b;
+        self
+    }
+
+    /// The paper's future-work migration optimization: skip the rank's
+    /// code-segment copies when migrating (they are bitwise identical
+    /// across ranks and can be re-duplicated from the local image).
+    pub fn code_dedup_migration(mut self, on: bool) -> Self {
+        self.cfg.code_dedup_migration = on;
+        self
+    }
+
+    /// Take a coordinated checkpoint of every rank's memory at every
+    /// `n`-th load-balancing sync point (0 = off). This is the
+    /// checkpoint/restart fault-tolerance scheme Isomalloc migratability
+    /// enables (§2.1): rank memory is packed exactly like a migration.
+    pub fn checkpoint_period(mut self, n: u32) -> Self {
+        self.cfg.checkpoint_period = n;
+        self
+    }
+
+    /// Failure injection: at LB step `k`, simulate a soft memory fault
+    /// (all rank memories corrupted) and recover from the most recent
+    /// checkpoint. Requires `checkpoint_period > 0`.
+    pub fn inject_fault_at_lb_step(mut self, k: u32) -> Self {
+        self.cfg.inject_fault_at_lb_step = Some(k);
+        self
+    }
+
+    /// Failure injection: at LB step `k`, kill PE `pe` outright. The
+    /// PE's resident ranks lose their memory; buddy checkpointing
+    /// restores them onto surviving PEs and the job shrinks to the
+    /// remaining PEs. Requires `checkpoint_period > 0`, a migratable
+    /// privatization method, and at least two PEs.
+    pub fn inject_pe_failure_at_lb_step(mut self, k: u32, pe: PeId) -> Self {
+        self.cfg.inject_pe_failure = Some((k, pe));
+        self
+    }
+
+    /// Tune the reliable-delivery layer (active when the network model
+    /// carries a fault plan): `base_timeout` is added to the modeled
+    /// round-trip estimate for the first retransmit timer (doubling each
+    /// attempt), and `max_attempts` bounds total transmissions per
+    /// message before the run fails with [`crate::RtsError::DeliveryFailed`].
+    pub fn retransmit_params(mut self, base_timeout: SimDuration, max_attempts: u32) -> Self {
+        self.cfg.retransmit_base = base_timeout;
+        self.cfg.retransmit_max_attempts = max_attempts;
+        self
+    }
+
+    /// Attach an event recorder (see `pvr-trace`). The tracer still has
+    /// to be enabled to record; with no tracer attached — the default —
+    /// every instrumentation hook reduces to a branch on `None`.
+    pub fn tracer(mut self, t: Arc<Tracer>) -> Self {
+        self.cfg.tracer = Some(t);
+        self
+    }
+
+    /// Enable graceful degradation: before any rank is created, every
+    /// candidate method (the requested one, then the fallback chain) is
+    /// capability-probed against the environment and run shape, and an
+    /// infeasible method degrades to the next feasible one. Probes are
+    /// conservative predictions, so a candidate that passes its probe but
+    /// fails *mid-startup* (rank N's `dlmopen` or FS copy fails) also
+    /// degrades: already-created ranks are torn down, partially-copied
+    /// FS binaries deleted, and the next candidate is tried.
+    ///
+    /// Off by default: a strict build surfaces the method's own error
+    /// (`NamespaceExhausted`, `NoSpace`, ...) exactly as configured.
+    pub fn fallback(mut self, on: bool) -> Self {
+        self.cfg.fallback = on;
+        self
+    }
+
+    /// Set the method fallback chain (and enable degradation). Candidates
+    /// are tried in order after the requested method; the default chain
+    /// is `PIPglobals → FSglobals → PIEglobals`, the paper's methods in
+    /// decreasing startup cost / increasing portability order. A chain
+    /// entry the environment can *never* run is rejected at build time.
+    pub fn fallback_chain(mut self, chain: Vec<Method>) -> Self {
+        self.cfg.fallback_chain = chain;
+        self.cfg.fallback = true;
+        self
+    }
+
+    /// Enable the memory-safety guards: canary red zones on every ULT
+    /// stack (checked at context switches), Isomalloc arena poisoning
+    /// with double-free/use-after-free detection, and a segment-integrity
+    /// audit that detects cross-rank global bleed. Guard trips end the
+    /// run with clean, rank-attributed errors instead of undefined
+    /// behavior. Off by default (zero overhead). Forces serial execution.
+    pub fn guards(mut self, on: bool) -> Self {
+        self.cfg.guards = on;
+        self
+    }
+
+    /// Worker-thread policy for [`Machine::run`]; defaults to
+    /// [`Parallelism::Auto`].
+    pub fn parallelism(mut self, p: Parallelism) -> Self {
+        self.cfg.parallelism = p;
+        self
+    }
+
+    /// Instantiate the job (forwards to [`MachineConfig::build`]).
+    pub fn build(
+        self,
+        body: Arc<dyn Fn(RankCtx) + Send + Sync + 'static>,
+    ) -> Result<Machine, ConfigError> {
+        self.cfg.build(body)
+    }
+}

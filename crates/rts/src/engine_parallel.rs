@@ -1,0 +1,208 @@
+//! The multi-threaded engine: drives contiguous lane chunks on a
+//! `std::thread::scope` worker pool.
+//!
+//! Virtual mode is epoch-synchronous: every worker runs its lanes'
+//! share of the window to completion, then joins the barrier (the scope
+//! exit); the machine merges outboxes deterministically afterwards.
+//! Because workers run the *same* lane code as the serial engine and
+//! never touch another worker's lanes, results are bit-identical to
+//! serial runs.
+//!
+//! Real-time mode is message-driven: each worker sweeps its own lanes
+//! and exchanges cross-worker messages through a Mutex+Condvar hub
+//! ([`RealHub`]). A classic all-idle-and-nothing-pending detector
+//! terminates the burst, replacing the serial engine's `progressed`
+//! flag. Real-time parallel runs are *not* deterministic — wall-clock
+//! scheduling never is — which is why the determinism suite pins
+//! virtual mode only.
+
+use crate::message::RtsMessage;
+use crate::worker::{self, EngineShared, ExecCtx, Lane};
+use parking_lot::{Condvar, Mutex};
+use pvr_des::SimTime;
+use std::time::{Duration, Instant};
+
+/// Drive one epoch's lanes across `threads` workers, one contiguous
+/// chunk each. Returns per-worker wall-clock.
+pub(crate) fn run_epoch_lanes(
+    shared: &EngineShared<'_>,
+    lanes: &mut [Lane],
+    threads: usize,
+) -> Vec<Duration> {
+    let chunk = lanes.len().div_ceil(threads);
+    let mut walls = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for slice in lanes.chunks_mut(chunk) {
+            handles.push(s.spawn(move || {
+                let _scope = shared
+                    .tracer
+                    .map(|t| pvr_trace::ThreadScope::install(t.clone()));
+                let t0 = Instant::now();
+                let pe_base = slice[0].pe;
+                for li in 0..slice.len() {
+                    let mut ctx = ExecCtx {
+                        shared,
+                        lanes: &mut *slice,
+                        pe_base,
+                        li,
+                        guard: None,
+                    };
+                    worker::run_epoch_lane(&mut ctx);
+                }
+                t0.elapsed()
+            }));
+        }
+        for h in handles {
+            walls.push(h.join().expect("engine worker panicked"));
+        }
+    });
+    walls
+}
+
+/// Shared coordination state for one real-time burst.
+struct HubState {
+    /// Per-worker mailboxes of cross-worker messages.
+    inboxes: Vec<Vec<RtsMessage>>,
+    /// Messages posted but not yet collected by their target worker.
+    pending: usize,
+    /// Which workers are parked with nothing to run.
+    idle: Vec<bool>,
+    /// Burst termination flag (quiescence detected, or a worker erred).
+    over: bool,
+    /// Total rank slices run this burst.
+    ran_total: u64,
+}
+
+/// Mutex+Condvar message hub and termination detector for parallel
+/// real-time bursts.
+struct RealHub {
+    state: Mutex<HubState>,
+    cv: Condvar,
+}
+
+/// One parallel real-time burst. Returns (slices run, per-worker wall).
+pub(crate) fn real_burst(
+    shared: &EngineShared<'_>,
+    lanes: &mut [Lane],
+    threads: usize,
+) -> (u64, Vec<Duration>) {
+    let chunk = lanes.len().div_ceil(threads);
+    let n_workers = lanes.len().div_ceil(chunk);
+    let hub = RealHub {
+        state: Mutex::new(HubState {
+            inboxes: vec![Vec::new(); n_workers],
+            pending: 0,
+            idle: vec![false; n_workers],
+            over: false,
+            ran_total: 0,
+        }),
+        cv: Condvar::new(),
+    };
+    let mut walls = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (w, slice) in lanes.chunks_mut(chunk).enumerate() {
+            let hub = &hub;
+            handles.push(s.spawn(move || worker_loop(shared, slice, w, chunk, hub)));
+        }
+        for h in handles {
+            walls.push(h.join().expect("engine worker panicked"));
+        }
+    });
+    let ran = hub.state.lock().ran_total;
+    (ran, walls)
+}
+
+/// One worker's life for a real-time burst: drain inbox, sweep own
+/// lanes fairly, flush cross-worker sends, park when idle; terminate on
+/// global quiescence (every worker idle, nothing in flight).
+fn worker_loop(
+    shared: &EngineShared<'_>,
+    slice: &mut [Lane],
+    w: usize,
+    chunk: usize,
+    hub: &RealHub,
+) -> Duration {
+    let _scope = shared
+        .tracer
+        .map(|t| pvr_trace::ThreadScope::install(t.clone()));
+    let t0 = Instant::now();
+    let pe_base = slice[0].pe;
+    loop {
+        let inbound: Vec<RtsMessage> = {
+            let mut st = hub.state.lock();
+            if st.over {
+                break;
+            }
+            let msgs = std::mem::take(&mut st.inboxes[w]);
+            st.pending -= msgs.len();
+            msgs
+        };
+        let mut ctx = ExecCtx {
+            shared,
+            lanes: &mut *slice,
+            pe_base,
+            li: 0,
+            guard: None,
+        };
+        for m in inbound {
+            ctx.deposit_external(m);
+        }
+        let ran = match worker::real_sweep(&mut ctx) {
+            Ok(n) => n,
+            Err(e) => {
+                let li = ctx.li;
+                slice[li].out.error = Some((SimTime::ZERO, 0, e));
+                let mut st = hub.state.lock();
+                st.over = true;
+                hub.cv.notify_all();
+                break;
+            }
+        };
+        let mut outbound = Vec::new();
+        for lane in slice.iter_mut() {
+            outbound.append(&mut lane.out.unrouted);
+        }
+        let mut done = false;
+        {
+            let mut st = hub.state.lock();
+            st.ran_total += ran as u64;
+            let posted = outbound.len();
+            for m in outbound {
+                let dest_w = shared.location.lookup(m.to) / chunk;
+                st.inboxes[dest_w].push(m);
+                st.pending += 1;
+            }
+            if posted > 0 {
+                hub.cv.notify_all();
+            }
+            if ran == 0 && st.inboxes[w].is_empty() {
+                st.idle[w] = true;
+                loop {
+                    if st.over {
+                        done = true;
+                        break;
+                    }
+                    if !st.inboxes[w].is_empty() {
+                        st.idle[w] = false;
+                        break;
+                    }
+                    if st.pending == 0 && st.idle.iter().all(|&i| i) {
+                        // Global quiescence: no runnable rank anywhere
+                        // and no message in flight — the burst is over.
+                        st.over = true;
+                        hub.cv.notify_all();
+                        done = true;
+                        break;
+                    }
+                    hub.cv.wait(&mut st);
+                }
+            }
+        }
+        if done {
+            break;
+        }
+    }
+    t0.elapsed()
+}

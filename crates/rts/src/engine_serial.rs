@@ -1,0 +1,66 @@
+//! The single-threaded engine: drives every lane on the calling thread.
+//!
+//! This is not a separate code path for the simulation logic — it runs
+//! the exact same lane code ([`worker::run_epoch_lane`] /
+//! [`worker::real_sweep`]) as the parallel engine, one lane at a time.
+//! That shared-code property is what lets the machine pick serial or
+//! parallel per epoch without affecting results. It is also the only
+//! engine that can carry a [`GuardCtx`]: memory-safety guards scan all
+//! ranks after every resume and therefore force `threads == 1`.
+
+use crate::worker::{self, EngineShared, ExecCtx, GuardCtx, Lane};
+use pvr_des::SimTime;
+use std::time::{Duration, Instant};
+
+/// Drive every lane through its share of one virtual-mode epoch.
+/// Returns the (single) worker's wall-clock.
+pub(crate) fn run_epoch_lanes(
+    shared: &EngineShared<'_>,
+    lanes: &mut [Lane],
+    mut guard: Option<&mut GuardCtx<'_>>,
+) -> Vec<Duration> {
+    let t0 = Instant::now();
+    let pe_base = lanes[0].pe;
+    for li in 0..lanes.len() {
+        let mut ctx = ExecCtx {
+            shared,
+            lanes: &mut *lanes,
+            pe_base,
+            li,
+            guard: guard.as_deref_mut(),
+        };
+        worker::run_epoch_lane(&mut ctx);
+    }
+    vec![t0.elapsed()]
+}
+
+/// One real-time burst: fair round-robin sweeps across all lanes until
+/// no PE can make progress. Returns (slices run, worker wall-clock).
+pub(crate) fn real_burst(
+    shared: &EngineShared<'_>,
+    lanes: &mut [Lane],
+    mut guard: Option<&mut GuardCtx<'_>>,
+) -> (u64, Vec<Duration>) {
+    let t0 = Instant::now();
+    let pe_base = lanes[0].pe;
+    let mut total = 0u64;
+    loop {
+        let mut ctx = ExecCtx {
+            shared,
+            lanes: &mut *lanes,
+            pe_base,
+            li: 0,
+            guard: guard.as_deref_mut(),
+        };
+        match worker::real_sweep(&mut ctx) {
+            Ok(0) => break,
+            Ok(n) => total += n as u64,
+            Err(e) => {
+                let li = ctx.li;
+                lanes[li].out.error = Some((SimTime::ZERO, 0, e));
+                break;
+            }
+        }
+    }
+    (total, vec![t0.elapsed()])
+}

@@ -15,31 +15,49 @@
 //!   discrete-event loop advances per-PE clocks by declared work
 //!   ([`RankCtx::compute`]) and delivers messages through the
 //!   [`pvr_des::NetworkModel`]. This is how the 64-core strong-scaling
-//!   experiments (Fig. 9 / Table 2) run on one physical core: all code,
-//!   messages, LB decisions and migrations are real; only *time* is
-//!   modeled.
+//!   experiments (Fig. 9 / Table 2) run: all code, messages, LB
+//!   decisions and migrations are real; only *time* is modeled.
 //!
-//! In both modes the entire machine is driven by one OS thread: with a
-//! single physical core, true thread-parallelism buys nothing, and
-//! cooperative single-threading makes runs deterministic. SMP mode
-//! (multiple PEs per process) retains its *semantic* consequences —
-//! shared address space, privatizer constraints, intra-process message
-//! costs — through the topology and the privatization layer.
+//! ## Parallel execution
+//!
+//! The machine can drive its PEs on a pool of OS worker threads
+//! ([`Parallelism`]): each worker owns a contiguous block of PEs and
+//! runs their schedulers. In virtual time the engine is *conservative* —
+//! the event queue is drained in lookahead-bounded epochs, each epoch's
+//! per-PE events run concurrently, and cross-PE sends are buffered in
+//! per-worker outboxes that the barrier merges in deterministic
+//! `(time, pe, seq)` order. Result: `Threads(n)` runs are bit-identical
+//! to `Serial` runs, for every `n`. In real time, workers exchange
+//! messages through a mutex+condvar hub with an all-idle termination
+//! detector; wall-clock scheduling makes those runs inherently
+//! nondeterministic, as on any real SMP machine. Memory-safety guards
+//! ([`MachineConfig`]'s `guards`) scan every rank after every resume and
+//! therefore force serial execution.
 //!
 //! ## Structure
 //!
 //! * [`machine::Machine`] — the whole simulated job: topology, PEs,
 //!   ranks, scheduler, migration, LB.
+//! * [`config`] — [`MachineConfig`] / [`MachineBuilder`]: validated
+//!   job configuration, startup (binary load, privatizer selection,
+//!   fallback chain), and [`ConfigError`].
 //! * [`command`] — the rank ⇄ scheduler protocol: a rank performs
 //!   communication by writing a [`command::Command`] into its slot and
 //!   yielding; the scheduler responds and resumes it. This mirrors how
 //!   blocking MPI calls trap into AMPI's scheduler.
+//! * `worker` / `engine_serial` / `engine_parallel` (private) — the
+//!   execution engine: per-PE lane state, the shared engine view, and
+//!   the serial and thread-pool drivers that both run the same lane
+//!   code.
 //! * [`lb`] — load balancing strategies (GreedyLB, RefineLB,
 //!   GreedyRefineLB — the paper's choice for ADCIRC — RotateLB, RandomLB).
 //! * [`location`] — rank → PE directory (Charm++'s distributed location
 //!   manager, centralized here).
 
 pub mod command;
+pub mod config;
+mod engine_parallel;
+mod engine_serial;
 pub mod lb;
 pub mod location;
 pub mod machine;
@@ -47,15 +65,17 @@ pub mod message;
 pub mod pe;
 pub mod rank;
 pub mod stats;
+mod worker;
 
 pub use command::{RankCtx, WorkModel};
+pub use config::{ConfigError, MachineBuilder, MachineConfig, Parallelism};
 pub use lb::{LbStats, LoadBalancer};
 pub use machine::{
-    ClockMode, FaultTallies, HardeningTallies, Machine, MachineBuilder, MigrationRecord, RtsError,
-    RunReport,
+    ClockMode, FaultTallies, HardeningTallies, Machine, MigrationRecord, RtsError, RunReport,
 };
 pub use message::RtsMessage;
 pub use pvr_des::{SimDuration, SimTime, Topology};
+pub use stats::EngineTallies;
 
 /// Global index of a virtual rank.
 pub type RankId = usize;

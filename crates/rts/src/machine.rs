@@ -4,27 +4,26 @@
 //! PEs), driven deterministically by one OS thread. See the crate docs
 //! for the real-time vs virtual-time distinction.
 
-use crate::command::{Command, RankCtx, RankShared, Response, Slot, WorkModel};
+use crate::command::Response;
+use crate::config::Parallelism;
 use crate::lb::{LbStats, LoadBalancer};
 use crate::location::LocationManager;
 use crate::message::RtsMessage;
 use crate::pe::PeState;
-use crate::rank::{RankState, RankStatus};
+use crate::rank::RankStatus;
+use crate::stats::EngineTallies;
 pub use crate::stats::{FaultTallies, HardeningTallies, LbRecord, MigrationRecord, RunReport};
-use crate::{PeId, RankId};
-use parking_lot::Mutex;
-use pvr_des::{EventQueue, FaultPlan, FaultStream, NetworkModel, SimDuration, SimTime, Topology};
-use pvr_isomalloc::{GuardViolation, IsoPtr, RankMemory, Region, RegionKind};
-use pvr_privatize::methods::Options as MethodOptions;
-use pvr_privatize::{
-    create_privatizer, probe_method, Capability, Method, PrivatizeEnv, PrivatizeError, Privatizer,
-    RunShape, Toolchain,
+use crate::worker::{
+    self, EngineShared, GuardCtx, HlsBlocks, Lane, Outbox, RankTable, StopReason,
 };
-use pvr_progimage::{ProgramBinary, SharedFs};
-use pvr_trace::{ArenaTrip, EventKind, ProbeVerdict, Tracer, NO_RANK};
-use pvr_ult::{Backend, StackMem, Ult};
+use crate::{engine_parallel, engine_serial, PeId, RankId};
+use parking_lot::Mutex;
+use pvr_des::{EventQueue, FaultPlan, NetworkModel, SimDuration, SimTime, Topology};
+use pvr_isomalloc::{GuardViolation, RegionKind};
+use pvr_privatize::{Method, PrivatizeError, Privatizer};
+use pvr_trace::{ArenaTrip, EventKind, Tracer, NO_RANK};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -53,8 +52,6 @@ pub enum RtsError {
     /// virtual ranks — under PIEglobals there is no image base to anchor
     /// the function-pointer offset (§3.3's documented runtime error).
     EmptyPeReduction { pe: PeId },
-    /// Invalid machine configuration, caught at build time.
-    Config { detail: String },
     /// The reliable-delivery layer exhausted its retransmit budget for a
     /// message that was never delivered.
     DeliveryFailed {
@@ -75,9 +72,6 @@ pub enum RtsError {
     /// global bleed, attributed to the rank on the PE when it was
     /// detected ([`crate::RankId::MAX`] when no rank had run since).
     SegmentBleed { rank: RankId, writer: RankId },
-    /// Startup exhausted the method fallback chain: every candidate was
-    /// probed infeasible or failed mid-startup.
-    NoFeasibleMethod { detail: String },
 }
 
 impl fmt::Display for RtsError {
@@ -99,7 +93,6 @@ impl fmt::Display for RtsError {
                 "PE {pe} has no resident virtual ranks: cannot translate a user \
                  reduction operator's offset to an address under PIEglobals"
             ),
-            RtsError::Config { detail } => write!(f, "invalid configuration: {detail}"),
             RtsError::DeliveryFailed {
                 from,
                 to,
@@ -130,9 +123,6 @@ impl fmt::Display for RtsError {
                     )
                 }
             }
-            RtsError::NoFeasibleMethod { detail } => {
-                write!(f, "no feasible privatization method: {detail}")
-            }
         }
     }
 }
@@ -146,7 +136,7 @@ impl From<PrivatizeError> for RtsError {
 }
 
 /// Virtual-mode events.
-enum Event {
+pub(crate) enum Event {
     Deliver {
         msg: RtsMessage,
         dest_pe: PeId,
@@ -174,12 +164,16 @@ enum Event {
 
 /// Per-(src,dst) receive state of the reliable-delivery layer: in-order
 /// exactly-once delivery via a reorder buffer keyed by sequence number.
-struct PairRecv {
+pub(crate) struct PairRecv {
     /// Next sequence number to release to the application (seqs are
     /// assigned from 1).
-    next_expected: u64,
+    pub(crate) next_expected: u64,
     /// Out-of-order arrivals awaiting the gap to fill.
-    pending: std::collections::BTreeMap<u64, RtsMessage>,
+    pub(crate) pending: std::collections::BTreeMap<u64, RtsMessage>,
+    /// Monotonic ack instance counter for this pair (keys ack fault
+    /// decisions; per-pair so decisions are independent of cross-pair
+    /// event interleaving and thus identical across engine parallelism).
+    pub(crate) ack_seq: u64,
 }
 
 impl Default for PairRecv {
@@ -187,6 +181,7 @@ impl Default for PairRecv {
         PairRecv {
             next_expected: 1,
             pending: Default::default(),
+            ack_seq: 0,
         }
     }
 }
@@ -197,21 +192,19 @@ impl Default for PairRecv {
 /// This state intentionally lives *outside* rank memory: it rolls
 /// forward across checkpoint rollback, so replayed application sends get
 /// fresh sequence numbers and both endpoints stay consistent.
-struct ReliableState {
-    plan: FaultPlan,
+pub(crate) struct ReliableState {
+    pub(crate) plan: FaultPlan,
     /// Base retransmission timeout added on top of the modeled path cost.
-    base_rto: SimDuration,
+    pub(crate) base_rto: SimDuration,
     /// Total transmission attempts allowed per message (1 original +
     /// `max_attempts - 1` retransmits).
-    max_attempts: u32,
+    pub(crate) max_attempts: u32,
     /// Next sequence number per (src, dst) pair.
-    send_seq: std::collections::HashMap<(RankId, RankId), u64>,
+    pub(crate) send_seq: std::collections::HashMap<(RankId, RankId), u64>,
     /// Unacknowledged messages by (src, dst, seq).
-    inflight: std::collections::HashMap<(RankId, RankId, u64), RtsMessage>,
+    pub(crate) inflight: std::collections::HashMap<(RankId, RankId, u64), RtsMessage>,
     /// Receive-side dedup/reorder state per (src, dst) pair.
-    recv: std::collections::HashMap<(RankId, RankId), PairRecv>,
-    /// Monotonic ack instance counter (keys ack fault decisions).
-    ack_counter: u64,
+    pub(crate) recv: std::collections::HashMap<(RankId, RankId), PairRecv>,
 }
 
 /// One rank's entry in a coordinated checkpoint. The image is held
@@ -231,28 +224,12 @@ struct CheckpointEntry {
 }
 
 /// A coordinated checkpoint: one entry per rank, taken at an LB barrier.
-struct Checkpoint {
+pub(crate) struct Checkpoint {
     entries: Vec<CheckpointEntry>,
 }
 
-/// Privatizers and rank states produced by one startup attempt.
-type BuiltJob = (Vec<Box<dyn Privatizer>>, Vec<RankState>);
-
-/// Whether a startup error is a capacity/environment failure the
-/// fallback chain may degrade past (vs. a bug that must surface).
-fn degradable(e: &RtsError) -> bool {
-    matches!(
-        e,
-        RtsError::Privatize(PrivatizeError::Unsupported { .. })
-            | RtsError::Privatize(PrivatizeError::Dl(
-                pvr_progimage::DlError::NamespaceExhausted { .. }
-            ))
-            | RtsError::Privatize(PrivatizeError::Fs(pvr_progimage::FsError::NoSpace { .. }))
-    )
-}
-
 /// Map an arena guard violation to its trace-event kind.
-fn arena_trip_kind(v: &GuardViolation) -> ArenaTrip {
+pub(crate) fn arena_trip_kind(v: &GuardViolation) -> ArenaTrip {
     match v {
         GuardViolation::DoubleFree { .. } => ArenaTrip::DoubleFree,
         GuardViolation::UseAfterFree { .. } => ArenaTrip::UseAfterFree,
@@ -272,7 +249,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 
 /// Checksum `rank`'s privatized data segment, whichever per-process
 /// privatizer owns it (`None` for methods without per-rank segments).
-fn segment_checksum_in(privatizers: &[Box<dyn Privatizer>], rank: usize) -> Option<u64> {
+pub(crate) fn segment_checksum_in(privatizers: &[Box<dyn Privatizer>], rank: usize) -> Option<u64> {
     privatizers.iter().find_map(|p| {
         p.rank_data_segment(rank).map(|(base, len)| {
             let bytes = unsafe { std::slice::from_raw_parts(base, len) };
@@ -281,617 +258,66 @@ fn segment_checksum_in(privatizers: &[Box<dyn Privatizer>], rank: usize) -> Opti
     })
 }
 
-/// Builder for a [`Machine`].
-pub struct MachineBuilder {
-    topology: Topology,
-    method: Method,
-    options: MethodOptions,
-    binary: Arc<ProgramBinary>,
-    toolchain: Toolchain,
-    shared_fs: Option<Arc<Mutex<SharedFs>>>,
-    vp_ratio: usize,
-    clock: ClockMode,
-    network: NetworkModel,
-    balancer: Option<Box<dyn LoadBalancer>>,
-    stack_size: usize,
-    work_model: WorkModel,
-    ult_backend: Backend,
-    code_dedup_migration: bool,
-    checkpoint_period: u32,
-    inject_fault_at_lb_step: Option<u32>,
-    inject_pe_failure: Option<(u32, PeId)>,
-    retransmit_base: SimDuration,
-    retransmit_max_attempts: u32,
-    tracer: Option<Arc<Tracer>>,
-    fallback: bool,
-    fallback_chain: Vec<Method>,
-    guards: bool,
-}
-
-impl MachineBuilder {
-    pub fn new(binary: Arc<ProgramBinary>) -> MachineBuilder {
-        MachineBuilder {
-            topology: Topology::smp(1),
-            method: Method::PieGlobals,
-            options: MethodOptions::default(),
-            binary,
-            toolchain: Toolchain::default(),
-            shared_fs: Some(Arc::new(Mutex::new(SharedFs::new()))),
-            vp_ratio: 1,
-            clock: ClockMode::RealTime,
-            network: NetworkModel::infiniband(),
-            balancer: None,
-            stack_size: 128 * 1024,
-            work_model: WorkModel::default(),
-            ult_backend: Backend::native(),
-            code_dedup_migration: false,
-            checkpoint_period: 0,
-            inject_fault_at_lb_step: None,
-            inject_pe_failure: None,
-            retransmit_base: SimDuration::from_micros(20),
-            retransmit_max_attempts: 10,
-            tracer: None,
-            fallback: false,
-            fallback_chain: vec![Method::PipGlobals, Method::FsGlobals, Method::PieGlobals],
-            guards: false,
-        }
-    }
-
-    pub fn topology(mut self, t: Topology) -> Self {
-        self.topology = t;
-        self
-    }
-
-    pub fn method(mut self, m: Method) -> Self {
-        self.method = m;
-        self
-    }
-
-    pub fn method_options(mut self, o: MethodOptions) -> Self {
-        self.options = o;
-        self
-    }
-
-    pub fn toolchain(mut self, t: Toolchain) -> Self {
-        self.toolchain = t;
-        self
-    }
-
-    /// Virtual ranks per PE (overdecomposition ratio).
-    pub fn vp_ratio(mut self, r: usize) -> Self {
-        assert!(r > 0);
-        self.vp_ratio = r;
-        self
-    }
-
-    pub fn clock(mut self, c: ClockMode) -> Self {
-        self.clock = c;
-        self
-    }
-
-    pub fn network(mut self, n: NetworkModel) -> Self {
-        self.network = n;
-        self
-    }
-
-    /// Mount (or unmount) a shared filesystem for this job.
-    pub fn shared_fs(mut self, fs: Option<Arc<Mutex<SharedFs>>>) -> Self {
-        self.shared_fs = fs;
-        self
-    }
-
-    pub fn balancer(mut self, b: Box<dyn LoadBalancer>) -> Self {
-        self.balancer = Some(b);
-        self
-    }
-
-    pub fn stack_size(mut self, s: usize) -> Self {
-        self.stack_size = s.max(16 * 1024);
-        self
-    }
-
-    pub fn work_model(mut self, w: WorkModel) -> Self {
-        self.work_model = w;
-        self
-    }
-
-    pub fn ult_backend(mut self, b: Backend) -> Self {
-        self.ult_backend = b;
-        self
-    }
-
-    /// The paper's future-work migration optimization: skip the rank's
-    /// code-segment copies when migrating (they are bitwise identical
-    /// across ranks and can be re-duplicated from the local image).
-    pub fn code_dedup_migration(mut self, on: bool) -> Self {
-        self.code_dedup_migration = on;
-        self
-    }
-
-    /// Take a coordinated checkpoint of every rank's memory at every
-    /// `n`-th load-balancing sync point (0 = off). This is the
-    /// checkpoint/restart fault-tolerance scheme Isomalloc migratability
-    /// enables (§2.1): rank memory is packed exactly like a migration.
-    pub fn checkpoint_period(mut self, n: u32) -> Self {
-        self.checkpoint_period = n;
-        self
-    }
-
-    /// Failure injection: at LB step `k`, simulate a soft memory fault
-    /// (all rank memories corrupted) and recover from the most recent
-    /// checkpoint. Requires `checkpoint_period > 0`.
-    pub fn inject_fault_at_lb_step(mut self, k: u32) -> Self {
-        self.inject_fault_at_lb_step = Some(k);
-        self
-    }
-
-    /// Failure injection: at LB step `k`, kill PE `pe` outright. The
-    /// PE's resident ranks lose their memory; buddy checkpointing
-    /// restores them onto surviving PEs and the job shrinks to the
-    /// remaining PEs. Requires `checkpoint_period > 0`, a migratable
-    /// privatization method, and at least two PEs.
-    pub fn inject_pe_failure_at_lb_step(mut self, k: u32, pe: PeId) -> Self {
-        self.inject_pe_failure = Some((k, pe));
-        self
-    }
-
-    /// Tune the reliable-delivery layer (active when the network model
-    /// carries a fault plan): `base_timeout` is added to the modeled
-    /// round-trip estimate for the first retransmit timer (doubling each
-    /// attempt), and `max_attempts` bounds total transmissions per
-    /// message before the run fails with [`RtsError::DeliveryFailed`].
-    pub fn retransmit_params(mut self, base_timeout: SimDuration, max_attempts: u32) -> Self {
-        self.retransmit_base = base_timeout;
-        self.retransmit_max_attempts = max_attempts;
-        self
-    }
-
-    /// Attach an event recorder (see `pvr-trace`). The tracer still has
-    /// to be enabled to record; with no tracer attached — the default —
-    /// every instrumentation hook reduces to a branch on `None`.
-    pub fn tracer(mut self, t: Arc<Tracer>) -> Self {
-        self.tracer = Some(t);
-        self
-    }
-
-    /// Enable graceful degradation: before any rank is created, every
-    /// candidate method (the requested one, then the fallback chain) is
-    /// capability-probed against the environment and run shape, and an
-    /// infeasible method degrades to the next feasible one. Probes are
-    /// conservative predictions, so a candidate that passes its probe but
-    /// fails *mid-startup* (rank N's `dlmopen` or FS copy fails) also
-    /// degrades: already-created ranks are torn down, partially-copied
-    /// FS binaries deleted, and the next candidate is tried.
-    ///
-    /// Off by default: a strict build surfaces the method's own error
-    /// (`NamespaceExhausted`, `NoSpace`, ...) exactly as configured.
-    pub fn fallback(mut self, on: bool) -> Self {
-        self.fallback = on;
-        self
-    }
-
-    /// Set the method fallback chain (and enable degradation). Candidates
-    /// are tried in order after the requested method; the default chain
-    /// is `PIPglobals → FSglobals → PIEglobals`, the paper's methods in
-    /// decreasing startup cost / increasing portability order. A chain
-    /// entry the environment can *never* run is rejected at build time.
-    pub fn fallback_chain(mut self, chain: Vec<Method>) -> Self {
-        self.fallback_chain = chain;
-        self.fallback = true;
-        self
-    }
-
-    /// Enable the memory-safety guards: canary red zones on every ULT
-    /// stack (checked at context switches), Isomalloc arena poisoning
-    /// with double-free/use-after-free detection, and a segment-integrity
-    /// audit that detects cross-rank global bleed. Guard trips end the
-    /// run with clean, rank-attributed errors instead of undefined
-    /// behavior. Off by default (zero overhead).
-    pub fn guards(mut self, on: bool) -> Self {
-        self.guards = on;
-        self
-    }
-
-    /// Instantiate the job: one privatizer per OS process, then all
-    /// ranks. This is the unit the startup experiment (Fig. 5) times.
-    pub fn build(
-        self,
-        body: Arc<dyn Fn(RankCtx) + Send + Sync + 'static>,
-    ) -> Result<Machine, RtsError> {
-        let topo = self.topology;
-        let n_pes = topo.total_pes();
-        let n_ranks = n_pes * self.vp_ratio;
-
-        // Fault-injection configuration is rejected here, at build time,
-        // instead of surfacing as a mid-run failure.
-        let config_err = |detail: String| Err(RtsError::Config { detail });
-        if (self.inject_fault_at_lb_step.is_some() || self.inject_pe_failure.is_some())
-            && self.checkpoint_period == 0
-        {
-            return config_err(
-                "fault injection requires checkpoint_period > 0 (no checkpoint would be \
-                 available to recover from)"
-                    .into(),
-            );
-        }
-        if let Some(k) = self.inject_fault_at_lb_step {
-            if k == 0 {
-                return config_err("inject_fault_at_lb_step: LB steps are 1-based".into());
-            }
-        }
-        if let Some((k, pe)) = self.inject_pe_failure {
-            if k == 0 {
-                return config_err("inject_pe_failure_at_lb_step: LB steps are 1-based".into());
-            }
-            if pe >= n_pes {
-                return config_err(format!(
-                    "inject_pe_failure_at_lb_step: PE {pe} out of range (job has {n_pes} PEs)"
-                ));
-            }
-            if n_pes < 2 {
-                return config_err(
-                    "inject_pe_failure_at_lb_step: surviving on fewer PEs needs at least 2 PEs"
-                        .into(),
-                );
-            }
-        }
-        if let Some(plan) = self.network.fault_plan() {
-            if let Err(e) = plan.validate() {
-                return config_err(format!("network fault plan: {e}"));
-            }
-            if self.clock == ClockMode::RealTime {
-                return config_err(
-                    "a network fault plan requires ClockMode::Virtual (reliable delivery \
-                     is event-driven)"
-                        .into(),
-                );
-            }
-            if self.retransmit_max_attempts == 0 {
-                return config_err("retransmit_params: max_attempts must be >= 1".into());
-            }
-        }
-        if self.guards && self.method == Method::Unprivatized {
-            return config_err(
-                "guards: the stack/arena/segment guards assume privatized per-rank state; \
-                 method `baseline` (Unprivatized) shares every global, so guard trips could \
-                 never be attributed to a rank — pick a privatizing method or disable guards"
-                    .into(),
-            );
-        }
-        if self.fallback && self.fallback_chain.is_empty() {
-            return config_err(
-                "fallback_chain: the fallback chain must name at least one method".into(),
-            );
-        }
-
-        let mk_env = || {
-            PrivatizeEnv::new(self.binary.clone())
-                .with_toolchain(self.toolchain)
-                .with_pes(topo.pes_per_process)
-                .with_shared_fs(self.shared_fs.clone())
-                .with_concurrent_processes(topo.total_processes())
-        };
-
-        // Candidate methods, in trial order: the requested method, then
-        // the fallback chain (strict mode: the requested method only).
-        let mut candidates: Vec<Method> = vec![self.method];
-        if self.fallback {
-            for &m in &self.fallback_chain {
-                if !candidates.contains(&m) {
-                    candidates.push(m);
-                }
-            }
-        }
-
-        // Capability-probe pass (fallback mode): rate every candidate
-        // before any rank exists. A *chain* entry the environment can
-        // never run is a configuration error — the user named a method
-        // that could not possibly back them up; a shape-dependent
-        // ResourceLimited verdict is exactly what the chain is for.
-        let mut hardening = HardeningTallies::default();
-        let mut verdicts: Vec<Capability> = Vec::new();
-        if self.fallback {
-            for &m in &candidates {
-                let cap = probe_method(m, &mk_env(), RunShape {
-                    ranks_per_process: topo.pes_per_process * self.vp_ratio,
-                    total_ranks: n_ranks,
-                });
-                if m != self.method && cap.is_unsupported() {
-                    return config_err(format!(
-                        "fallback_chain: {m} can never start in this environment ({cap})"
-                    ));
-                }
-                if let Some(t) = &self.tracer {
-                    let verdict = match &cap {
-                        Capability::Feasible => ProbeVerdict::Feasible,
-                        Capability::ResourceLimited { .. } => ProbeVerdict::ResourceLimited,
-                        Capability::Unsupported { .. } => ProbeVerdict::Unsupported,
-                    };
-                    t.record(
-                        0,
-                        NO_RANK,
-                        0,
-                        EventKind::MethodProbe {
-                            method: m.name(),
-                            verdict,
-                        },
-                    );
-                }
-                hardening.probes += 1;
-                verdicts.push(cap);
-            }
-        }
-
-        let location = LocationManager::new_block(n_ranks, n_pes);
-        // Scope the tracer over instantiation so privatizer startup work
-        // (segment copies, GOT fixups) lands in the trace.
-        let trace_scope = self
-            .tracer
-            .as_ref()
-            .map(|t| pvr_trace::ThreadScope::install(t.clone()));
-
-        // Try one candidate end-to-end: one privatizer per simulated OS
-        // process, then every rank. On failure the locals drop right here
-        // — never-started ULTs detach cleanly and FSglobals' Drop deletes
-        // every binary copy it created — so a candidate that dies at rank
-        // N leaves no residue for the next candidate.
-        let attempt = |method: Method| -> Result<BuiltJob, RtsError> {
-            let mut privatizers: Vec<Box<dyn Privatizer>> = Vec::new();
-            for _proc in 0..topo.total_processes() {
-                privatizers.push(create_privatizer(method, mk_env(), self.options.clone())?);
-            }
-            let mut ranks: Vec<RankState> = Vec::with_capacity(n_ranks);
-            for r in 0..n_ranks {
-                let pe = location.lookup(r);
-                if self.tracer.is_some() {
-                    pvr_trace::set_context(pe, r as u32, 0);
-                }
-                let proc = topo.process_of_pe(pe);
-                let mut mem = RankMemory::new();
-                let instance = Arc::new(privatizers[proc].instantiate_rank(r, &mut mem)?);
-                if self.guards {
-                    mem.heap().set_guard(true);
-                }
-
-                // ULT stack inside rank memory → packed on migration.
-                let stack_region = Region::new_zeroed(RegionKind::Stack, self.stack_size);
-                let stack_ptr = stack_region.base_mut();
-                mem.add_region(stack_region);
-                let stack = unsafe { StackMem::from_raw(stack_ptr, self.stack_size) };
-
-                let slot = Arc::new(Mutex::new(Slot::default()));
-                let shared = Arc::new(RankShared {
-                    current_pe: AtomicUsize::new(pe),
-                    now_ns: AtomicU64::new(0),
-                });
-                let ctx = RankCtx {
-                    rank: r,
-                    n_ranks,
-                    slot: slot.clone(),
-                    shared: shared.clone(),
-                    instance: instance.clone(),
-                    work_model: self.work_model,
-                    virtual_mode: self.clock == ClockMode::Virtual,
-                    binary: self.binary.clone(),
-                };
-                let body = body.clone();
-                let mut ult = Ult::with_backend(self.ult_backend, stack, move || body(ctx));
-                if self.guards {
-                    ult.install_stack_guard();
-                }
-
-                ranks.push(RankState {
-                    ult: Some(ult),
-                    memory: mem,
-                    instance,
-                    slot,
-                    shared,
-                    status: RankStatus::Ready,
-                    location: pe,
-                    mailbox: Default::default(),
-                    load_since_lb: SimDuration::ZERO,
-                    total_load: SimDuration::ZERO,
-                    messages_sent: 0,
-                    messages_received: 0,
-                    migrations: 0,
-                });
-            }
-            Ok((privatizers, ranks))
-        };
-
-        let mut built: Option<(Method, BuiltJob)> = None;
-        let mut failures: Vec<String> = Vec::new();
-        for (i, &cand) in candidates.iter().enumerate() {
-            // Record a degradation hop (event + tally) from a failed
-            // candidate to the next one in line.
-            let note_fallback = |hardening: &mut HardeningTallies| {
-                if i + 1 < candidates.len() {
-                    if let Some(t) = &self.tracer {
-                        t.record(
-                            0,
-                            NO_RANK,
-                            0,
-                            EventKind::MethodFallback {
-                                from: cand.name(),
-                                to: candidates[i + 1].name(),
-                            },
-                        );
-                    }
-                    hardening.fallbacks += 1;
-                }
-            };
-            if let Some(cap) = verdicts.get(i) {
-                if !cap.is_feasible() {
-                    // Probe-predicted infeasibility: skip without paying
-                    // for a doomed startup.
-                    failures.push(format!("{cand}: {cap}"));
-                    note_fallback(&mut hardening);
-                    continue;
-                }
-            }
-            match attempt(cand) {
-                Ok(job) => {
-                    built = Some((cand, job));
-                    break;
-                }
-                Err(e) if self.fallback && degradable(&e) => {
-                    // The probe passed but startup still failed (probes
-                    // are conservative predictions). `attempt` already
-                    // tore everything down; degrade.
-                    failures.push(format!("{cand}: {e}"));
-                    note_fallback(&mut hardening);
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        drop(trace_scope);
-        let Some((landed, (privatizers, ranks))) = built else {
-            return Err(RtsError::NoFeasibleMethod {
-                detail: failures.join("; "),
-            });
-        };
-
-        if self.inject_pe_failure.is_some() && !privatizers[0].supports_migration() {
-            return Err(RtsError::Config {
-                detail: format!(
-                    "inject_pe_failure_at_lb_step: {landed} does not support migration, so the \
-                     failed PE's ranks cannot be restored onto survivors"
-                ),
-            });
-        }
-
-        // Segment-integrity baseline: one checksum per rank's privatized
-        // data segment (None for methods without per-rank segments).
-        let segment_baseline: Vec<Option<u64>> = if self.guards {
-            (0..n_ranks)
-                .map(|r| segment_checksum_in(&privatizers, r))
-                .collect()
-        } else {
-            Vec::new()
-        };
-
-        let mut pes: Vec<PeState> = (0..n_pes).map(|_| PeState::default()).collect();
-        for r in 0..n_ranks {
-            pes[location.lookup(r)].ready.push_back(r);
-        }
-
-        // Per-PE hierarchical-local-storage blocks (MPC HLS): resolved
-        // once so the context-switch path pays a plain load.
-        let pe_hls_blocks: Vec<*mut u8> = (0..n_pes)
-            .map(|pe| {
-                let proc = topo.process_of_pe(pe);
-                let local = pe - topo.pes_of_process(proc).start;
-                privatizers[proc]
-                    .pe_block(local)
-                    .unwrap_or(std::ptr::null_mut())
-            })
-            .collect();
-
-        Ok(Machine {
-            topology: topo,
-            clock: self.clock,
-            network: self.network,
-            balancer: self.balancer,
-            privatizers,
-            location,
-            ranks,
-            pes,
-            queue: EventQueue::new(),
-            done_count: 0,
-            at_sync_count: 0,
-            total_switches: 0,
-            messages_delivered: 0,
-            lb_steps: 0,
-            migrations: Vec::new(),
-            epoch: Instant::now(),
-            pe_hls_blocks,
-            lb_history: Vec::new(),
-            comm_bytes: std::collections::HashMap::new(),
-            code_dedup_migration: self.code_dedup_migration,
-            checkpoint_period: self.checkpoint_period,
-            inject_fault_at_lb_step: self.inject_fault_at_lb_step,
-            inject_pe_failure: self.inject_pe_failure,
-            last_checkpoint: None,
-            alive: vec![true; n_pes],
-            reliable: self.network.fault_plan().map(|plan| ReliableState {
-                plan: *plan,
-                base_rto: self.retransmit_base,
-                max_attempts: self.retransmit_max_attempts,
-                send_seq: Default::default(),
-                inflight: Default::default(),
-                recv: Default::default(),
-                ack_counter: 0,
-            }),
-            tallies: FaultTallies::default(),
-            tracer: self.tracer,
-            guards: self.guards,
-            method_requested: self.method,
-            hardening,
-            segment_baseline,
-            last_ran: None,
-        })
-    }
-}
-
-enum StopReason {
-    BlockedRecv,
-    AtSync,
-    Yielded,
-    Done,
-}
-
-/// A running (or runnable) job.
+/// A running (or runnable) job. Built by
+/// [`MachineConfig::build`](crate::config::MachineConfig::build) (or the
+/// [`MachineBuilder`](crate::config::MachineBuilder) facade).
 pub struct Machine {
     pub topology: Topology,
-    clock: ClockMode,
-    network: NetworkModel,
-    balancer: Option<Box<dyn LoadBalancer>>,
-    privatizers: Vec<Box<dyn Privatizer>>,
-    location: LocationManager,
-    ranks: Vec<RankState>,
-    pes: Vec<PeState>,
-    queue: EventQueue<Event>,
-    done_count: usize,
-    at_sync_count: usize,
-    total_switches: u64,
-    messages_delivered: u64,
-    lb_steps: u32,
-    migrations: Vec<MigrationRecord>,
-    epoch: Instant,
+    pub(crate) clock: ClockMode,
+    pub(crate) network: NetworkModel,
+    pub(crate) balancer: Option<Box<dyn LoadBalancer>>,
+    pub(crate) privatizers: Vec<Box<dyn Privatizer>>,
+    pub(crate) location: LocationManager,
+    pub(crate) ranks: RankTable,
+    pub(crate) pes: Vec<PeState>,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) done_count: usize,
+    pub(crate) at_sync_count: usize,
+    pub(crate) total_switches: u64,
+    pub(crate) messages_delivered: u64,
+    pub(crate) lb_steps: u32,
+    pub(crate) migrations: Vec<MigrationRecord>,
+    pub(crate) epoch: Instant,
     /// Per-PE HLS block (null when the method has none); installed at
     /// each context switch alongside the rank's registers.
-    pe_hls_blocks: Vec<*mut u8>,
-    code_dedup_migration: bool,
-    checkpoint_period: u32,
-    inject_fault_at_lb_step: Option<u32>,
-    inject_pe_failure: Option<(u32, PeId)>,
-    /// Bytes exchanged per (from, to) rank pair since the last LB step.
-    comm_bytes: std::collections::HashMap<(RankId, RankId), u64>,
-    lb_history: Vec<LbRecord>,
+    pub(crate) pe_hls_blocks: HlsBlocks,
+    pub(crate) code_dedup_migration: bool,
+    pub(crate) checkpoint_period: u32,
+    pub(crate) inject_fault_at_lb_step: Option<u32>,
+    pub(crate) inject_pe_failure: Option<(u32, PeId)>,
+    /// Bytes exchanged per (from, to) rank pair since the last LB step
+    /// (ordered so LB inputs are independent of merge order).
+    pub(crate) comm_bytes: std::collections::BTreeMap<(RankId, RankId), u64>,
+    pub(crate) lb_history: Vec<LbRecord>,
     /// Most recent coordinated checkpoint (buddy-replicated per rank).
-    last_checkpoint: Option<Checkpoint>,
+    pub(crate) last_checkpoint: Option<Checkpoint>,
     /// Liveness per PE; a failed PE stays dead for the rest of the run.
-    alive: Vec<bool>,
+    pub(crate) alive: Vec<bool>,
     /// Reliable-delivery state, present when the network carries a
-    /// fault plan.
-    reliable: Option<ReliableState>,
+    /// fault plan. Behind a mutex so concurrent lanes can share it; the
+    /// per-pair keying keeps its evolution deterministic regardless.
+    pub(crate) reliable: Option<Mutex<ReliableState>>,
     /// Fault/recovery tallies, mirrored into the [`RunReport`].
-    tallies: FaultTallies,
-    tracer: Option<Arc<Tracer>>,
+    pub(crate) tallies: FaultTallies,
+    pub(crate) tracer: Option<Arc<Tracer>>,
     /// Memory-safety guards active (stack red zones, arena poisoning,
     /// segment audits).
-    guards: bool,
+    pub(crate) guards: bool,
     /// The method the configuration asked for (`method()` reports what
     /// actually landed).
-    method_requested: Method,
+    pub(crate) method_requested: Method,
     /// Probe/fallback/guard tallies, mirrored into the [`RunReport`].
-    hardening: HardeningTallies,
+    pub(crate) hardening: HardeningTallies,
     /// Per-rank privatized-data-segment checksums (empty with guards
     /// off; `None` entries for methods without per-rank segments).
-    segment_baseline: Vec<Option<u64>>,
+    pub(crate) segment_baseline: Vec<Option<u64>>,
     /// The rank most recently resumed — the attributed writer when a
     /// barrier-time segment audit finds bleed.
-    last_ran: Option<RankId>,
+    pub(crate) last_ran: Option<RankId>,
+    /// How `run` drives the PEs (serial, fixed thread count, or auto).
+    pub(crate) parallelism: Parallelism,
+    /// Engine activity counters for the [`RunReport`].
+    pub(crate) engine: EngineTallies,
 }
 
 impl Machine {
@@ -1159,254 +585,29 @@ impl Machine {
         self.ranks[rank].slot.lock().resp = Some(resp);
     }
 
-    /// Route a message (immediately in real time; as an event in virtual
-    /// time, through the reliable-delivery layer when the network is
-    /// lossy).
-    fn route(&mut self, from_pe: PeId, msg: RtsMessage) {
-        match self.clock {
-            ClockMode::RealTime => self.deposit(msg),
-            ClockMode::Virtual if self.reliable.is_some() => self.send_reliable(from_pe, msg),
-            ClockMode::Virtual => {
-                let dest_pe = self.location.lookup(msg.to);
-                let cost = self
-                    .network
-                    .cost(&self.topology, from_pe, dest_pe, msg.wire_bytes());
-                let at = self.pes[from_pe].clock + cost;
-                self.queue.schedule(
-                    at.max_of(self.queue.now()),
-                    Event::Deliver {
-                        msg,
-                        dest_pe,
-                        forwarded: false,
-                    },
-                );
-            }
-        }
-    }
-
-    /// Assign a per-(src,dst) sequence number, stamp the checksum,
-    /// record the message in-flight, and transmit attempt 0.
-    fn send_reliable(&mut self, from_pe: PeId, mut msg: RtsMessage) {
-        let rel = self.reliable.as_mut().expect("reliable layer active");
-        let counter = rel.send_seq.entry((msg.from, msg.to)).or_insert(0);
-        *counter += 1;
-        msg.seq = *counter;
-        msg.seal();
-        rel.inflight
-            .insert((msg.from, msg.to, msg.seq), msg.clone());
-        let t_send = self.pes[from_pe].clock.max_of(self.queue.now());
-        self.transmit(t_send, msg, 0);
-    }
-
-    /// Transmit one attempt of an in-flight message: apply the fault
-    /// plan per copy (drop/duplicate/corrupt/jitter), schedule surviving
-    /// copies for delivery, and arm the retransmit timer.
-    fn transmit(&mut self, t_send: SimTime, msg: RtsMessage, attempt: u32) {
-        let (from, to, seq) = (msg.from, msg.to, msg.seq);
-        let from_pe = self.ranks[from].location;
-        let dest_pe = self.location.lookup(to);
-        let class = NetworkModel::classify(&self.topology, from_pe, dest_pe);
-        let cost = self
-            .network
-            .cost(&self.topology, from_pe, dest_pe, msg.wire_bytes());
-        let rel = self.reliable.as_ref().expect("reliable layer active");
-        let plan = rel.plan;
-        let base_rto = rel.base_rto;
-
-        let primary =
-            plan.decide(class, FaultPlan::message_key(from as u64, to as u64, seq, attempt, 0, FaultStream::Data));
-        let mut copies = vec![primary];
-        if primary.duplicate {
-            self.tallies.duplicates_injected += 1;
-            // The duplicate's own fate is decided independently; its
-            // `duplicate` flag is ignored to prevent cascades.
-            copies.push(plan.decide(
-                class,
-                FaultPlan::message_key(from as u64, to as u64, seq, attempt, 1, FaultStream::Data),
-            ));
-        }
-        for d in copies {
-            if d.drop {
-                self.tallies.msgs_dropped += 1;
-                self.trace(
-                    from_pe,
-                    from as u32,
-                    EventKind::MsgDrop {
-                        from: from as u32,
-                        to: to as u32,
-                        seq,
-                        ack: false,
-                    },
-                );
-                continue;
-            }
-            let mut copy = msg.clone();
-            if d.corrupt {
-                Self::corrupt_in_flight(&mut copy);
-            }
-            let at = (t_send + cost + d.jitter).max_of(self.queue.now());
-            self.queue.schedule(
-                at,
-                Event::Deliver {
-                    msg: copy,
-                    dest_pe,
-                    forwarded: false,
-                },
-            );
-        }
-
-        // Retransmit timer: a generous multiple of the modeled round
-        // trip plus the configured base, doubling per attempt.
-        let rtt_estimate = SimDuration::from_nanos(cost.nanos().saturating_mul(4));
-        let rto = SimDuration::from_nanos(
-            (base_rto.nanos() + rtt_estimate.nanos()) << attempt.min(20),
-        );
-        self.queue.schedule(
-            (t_send + rto).max_of(self.queue.now()),
-            Event::Retransmit {
-                from,
-                to,
-                seq,
-                attempt,
-            },
-        );
-    }
-
-    /// Flip one payload bit (or a checksum bit for empty payloads) —
-    /// the receiver's integrity check is what detects this.
-    fn corrupt_in_flight(msg: &mut RtsMessage) {
-        if msg.payload.is_empty() {
-            msg.checksum ^= 1;
-        } else {
-            let mut bytes = msg.payload.as_ref().to_vec();
-            let mid = bytes.len() / 2;
-            bytes[mid] ^= 0x01;
-            msg.payload = bytes::Bytes::from(bytes);
-        }
-    }
-
-    /// Receive one arriving copy under reliable delivery: verify
-    /// integrity, acknowledge, dedup/reorder, and deposit newly in-order
-    /// messages to the application.
-    fn receive_transport(&mut self, msg: RtsMessage, t: SimTime) {
-        let (from, to, seq) = (msg.from, msg.to, msg.seq);
-        let recv_pe = self.ranks[to].location;
-        if !msg.intact() {
-            self.tallies.msgs_corrupted += 1;
-            self.trace(
-                recv_pe,
-                to as u32,
-                EventKind::MsgCorrupt {
-                    from: from as u32,
-                    to: to as u32,
-                    seq,
-                },
-            );
-            // no ack: the sender's retransmit timer recovers the message
-            return;
-        }
-        // Ack every intact arrival (duplicates re-ack so a sender whose
-        // earlier ack was dropped stops retransmitting).
-        self.send_ack(from, to, seq, t);
-
-        let (is_dup, ready) = {
-            let rel = self.reliable.as_mut().expect("reliable layer active");
-            let pair = rel.recv.entry((from, to)).or_default();
-            if seq < pair.next_expected || pair.pending.contains_key(&seq) {
-                (true, Vec::new())
-            } else {
-                pair.pending.insert(seq, msg);
-                let mut ready = Vec::new();
-                while let Some(m) = pair.pending.remove(&pair.next_expected) {
-                    pair.next_expected += 1;
-                    ready.push(m);
-                }
-                (false, ready)
-            }
-        };
-        if is_dup {
-            self.tallies.duplicates_suppressed += 1;
-            self.trace(
-                recv_pe,
-                to as u32,
-                EventKind::MsgDupSuppressed {
-                    from: from as u32,
-                    to: to as u32,
-                    seq,
-                },
-            );
-            return;
-        }
-        for m in ready {
-            self.deposit(m);
-        }
-    }
-
-    /// Send an acknowledgement back to the sender's PE, itself subject
-    /// to the fault plan's drop and jitter on the reverse path.
-    fn send_ack(&mut self, from: RankId, to: RankId, seq: u64, t: SimTime) {
-        let recv_pe = self.ranks[to].location;
-        let send_pe = self.ranks[from].location;
-        let class = NetworkModel::classify(&self.topology, recv_pe, send_pe);
-        let cost = self.network.cost(&self.topology, recv_pe, send_pe, 32);
-        let rel = self.reliable.as_mut().expect("reliable layer active");
-        rel.ack_counter += 1;
-        let instance = rel.ack_counter;
-        let plan = rel.plan;
-        let d = plan.decide(
-            class,
-            FaultPlan::message_key(
-                from as u64,
-                to as u64,
-                seq,
-                instance as u32,
-                0,
-                FaultStream::Ack,
-            ),
-        );
-        if d.drop {
-            self.tallies.acks_dropped += 1;
-            self.trace(
-                recv_pe,
-                NO_RANK,
-                EventKind::MsgDrop {
-                    from: from as u32,
-                    to: to as u32,
-                    seq,
-                    ack: true,
-                },
-            );
-            return;
-        }
-        let at = (t + cost + d.jitter).max_of(self.queue.now());
-        self.queue.schedule(at, Event::Ack { from, to, seq });
-    }
-
-    /// Put a message in its target's mailbox, waking the target. A rank
-    /// parked in `Recv` gets its pending command answered right here, so
-    /// it can be resumed directly.
-    fn deposit(&mut self, msg: RtsMessage) {
+    /// Put a message in its target's mailbox, waking the target — the
+    /// barrier-time path (harness injection, real-time hub spill-over);
+    /// lanes use their own copy of this logic during epochs.
+    pub(crate) fn deposit(&mut self, msg: RtsMessage) {
         let to = msg.to;
         self.messages_delivered += 1;
         self.ranks[to].messages_received += 1;
         if self.tracer.is_some() {
             let pe = self.ranks[to].location;
+            let (from, tag, bytes) = (msg.from, msg.tag, msg.wire_bytes());
             self.trace(
                 pe,
                 to as u32,
                 EventKind::MsgRecv {
-                    from: msg.from as u32,
-                    tag: msg.tag,
-                    bytes: msg.wire_bytes() as u32,
+                    from: from as u32,
+                    tag,
+                    bytes: bytes as u32,
                 },
             );
         }
         self.ranks[to].mailbox.push_back(msg);
         if self.ranks[to].status == RankStatus::Waiting {
-            let m = self.ranks[to]
-                .mailbox
-                .pop_front()
-                .expect("just deposited");
+            let m = self.ranks[to].mailbox.pop_front().expect("just deposited");
             self.respond(to, Response::Message(m));
             self.ranks[to].status = RankStatus::Ready;
             let pe = self.ranks[to].location;
@@ -1419,253 +620,61 @@ impl Machine {
         }
     }
 
-    /// Drive one rank until it blocks, parks, yields, or completes.
-    fn run_rank_slice(&mut self, r: RankId) -> Result<StopReason, RtsError> {
-        loop {
-            let pe = self.ranks[r].location;
-            // Context switch: install the rank's privatization registers
-            // and this PE's hierarchical-local-storage block.
-            self.ranks[r].instance.activate();
-            let hls = self.pe_hls_blocks[pe];
-            if !hls.is_null() {
-                pvr_privatize::regs::set_pe_base(hls);
-            }
-            let now_ns = match self.clock {
-                ClockMode::Virtual => self.pes[pe].clock.nanos(),
-                ClockMode::RealTime => self.epoch.elapsed().as_nanos() as u64,
-            };
-            self.ranks[r].shared.now_ns.store(now_ns, Ordering::Relaxed);
-            self.pes[pe].switches += 1;
-            self.total_switches += 1;
-            if self.tracer.is_some() {
-                pvr_trace::set_context(pe, r as u32, now_ns);
-                self.trace(
-                    pe,
-                    r as u32,
-                    EventKind::CtxSwitchIn {
-                        ctx_work: self.ranks[r].instance.has_ctx_work(),
-                    },
-                );
-            }
-
-            let mut ult = self.ranks[r].ult.take().expect("rank ULT present");
-            let t0 = Instant::now();
-            self.last_ran = Some(r);
-            let outcome = ult.try_resume();
-            let wall = t0.elapsed();
-            self.ranks[r].ult = Some(ult);
-
-            if self.clock == ClockMode::RealTime {
-                let d: SimDuration = wall.into();
-                self.ranks[r].load_since_lb += d;
-                self.ranks[r].total_load += d;
-            }
-
-            if self.guards {
-                self.check_stack_guard_of(r, pe)?;
-                self.check_segment_bleed(r, pe)?;
-            }
-
-            match outcome {
-                Ok(pvr_ult::UltState::Complete) => {
-                    self.ranks[r].status = RankStatus::Done;
-                    self.done_count += 1;
-                    return Ok(StopReason::Done);
-                }
-                Err(e) => {
-                    self.ranks[r].status = RankStatus::Done;
-                    self.done_count += 1;
-                    let message = match e {
-                        pvr_ult::ResumeError::Panicked(p) => p
-                            .downcast_ref::<&str>()
-                            .map(|s| s.to_string())
-                            .or_else(|| p.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "<non-string panic>".into()),
-                        pvr_ult::ResumeError::Completed => "resume after completion".into(),
-                    };
-                    return Err(RtsError::RankPanicked { rank: r, message });
-                }
-                Ok(pvr_ult::UltState::Suspended) => {}
-            }
-
-            let cmd = self.ranks[r].slot.lock().cmd.take();
-            let Some(cmd) = cmd else {
-                return Err(RtsError::Protocol {
-                    rank: r,
-                    detail: "rank yielded without issuing a command".into(),
-                });
-            };
-
-            match cmd {
-                Command::Send { to, tag, payload } => {
-                    if to >= self.ranks.len() {
-                        return Err(RtsError::Protocol {
-                            rank: r,
-                            detail: format!("send to nonexistent rank {to}"),
-                        });
-                    }
-                    self.ranks[r].messages_sent += 1;
-                    let msg = RtsMessage::new(r, to, tag, payload);
-                    *self.comm_bytes.entry((r, to)).or_default() += msg.wire_bytes() as u64;
-                    self.trace(
-                        pe,
-                        r as u32,
-                        EventKind::MsgSend {
-                            to: to as u32,
-                            tag,
-                            bytes: msg.wire_bytes() as u32,
-                        },
-                    );
-                    self.respond(r, Response::Ack);
-                    self.route(pe, msg);
-                }
-                Command::Recv => {
-                    if let Some(m) = self.ranks[r].mailbox.pop_front() {
-                        self.respond(r, Response::Message(m));
-                    } else {
-                        self.ranks[r].status = RankStatus::Waiting;
-                        self.trace(pe, r as u32, EventKind::Block);
-                        // response delivered when a message arrives and
-                        // the rank is rescheduled
-                        return Ok(StopReason::BlockedRecv);
-                    }
-                }
-                Command::TryRecv => {
-                    let resp = match self.ranks[r].mailbox.pop_front() {
-                        Some(m) => Response::Message(m),
-                        None => Response::NoMessage,
-                    };
-                    self.respond(r, resp);
-                }
-                Command::Compute(d) => {
-                    if self.clock == ClockMode::Virtual {
-                        self.pes[pe].work(d);
-                        self.ranks[r].load_since_lb += d;
-                        self.ranks[r].total_load += d;
-                        self.ranks[r]
-                            .shared
-                            .now_ns
-                            .store(self.pes[pe].clock.nanos(), Ordering::Relaxed);
-                    }
-                    self.respond(r, Response::Ack);
-                }
-                Command::Yield => {
-                    self.respond(r, Response::Ack);
-                    self.pes[pe].ready.push_back(r);
-                    return Ok(StopReason::Yielded);
-                }
-                Command::AtSync => {
-                    self.respond(r, Response::Ack);
-                    self.ranks[r].status = RankStatus::AtSync;
-                    self.at_sync_count += 1;
-                    return Ok(StopReason::AtSync);
-                }
-                Command::AllocHeap { size, align } => {
-                    let ptr = self.ranks[r]
-                        .memory
-                        .heap()
-                        .alloc(size, align)
-                        .map_err(|e| RtsError::Privatize(PrivatizeError::Alloc(e)))?;
-                    self.respond(r, Response::Addr(ptr.ptr as usize));
-                }
-                Command::FreeHeap { addr, size } => {
-                    let res = self.ranks[r].memory.heap().try_dealloc(IsoPtr {
-                        ptr: addr as *mut u8,
-                        size,
-                    });
-                    match res {
-                        Ok(()) => self.respond(r, Response::Ack),
-                        Err(v) => {
-                            self.trace(
-                                pe,
-                                r as u32,
-                                EventKind::ArenaGuardTrip {
-                                    kind: arena_trip_kind(&v),
-                                },
-                            );
-                            self.hardening.arena_guard_trips += 1;
-                            // No response: the rank's corrupted-heap state
-                            // must not run further; its suspended ULT is
-                            // cancelled at teardown (same as AllocHeap
-                            // failure).
-                            return Err(RtsError::ArenaGuard {
-                                rank: r,
-                                detail: v.to_string(),
-                            });
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Verify `r`'s stack red zone after a resume. A clobbered canary
-    /// ends the run with a clean, rank-attributed error; the corrupt
-    /// stack is abandoned, never resumed or unwound.
-    fn check_stack_guard_of(&mut self, r: RankId, pe: PeId) -> Result<(), RtsError> {
-        let trip = match self.ranks[r].ult.as_ref() {
-            Some(u) if u.stack_guarded() => u.check_stack_guard().err(),
-            _ => None,
-        };
-        let Some(e) = trip else {
-            return Ok(());
-        };
-        let pvr_ult::UltError::StackOverflow { stack_size } = &e;
-        self.trace(
+    /// Drive one rank until it blocks, parks, yields, or completes — a
+    /// one-rank, one-lane engine invocation (harness/test entry point).
+    pub(crate) fn run_rank_slice(&mut self, r: RankId) -> Result<StopReason, RtsError> {
+        let pe = self.location.lookup(r);
+        // Horizon ZERO: every emission crosses the barrier, exactly
+        // reproducing global-queue scheduling.
+        let mut lanes = vec![Lane {
             pe,
-            r as u32,
-            EventKind::StackGuardTrip {
-                stack_size: *stack_size as u64,
-            },
-        );
-        self.hardening.stack_guard_trips += 1;
-        if let Some(u) = self.ranks[r].ult.as_mut() {
-            u.abandon();
-        }
-        self.ranks[r].status = RankStatus::Done;
-        self.done_count += 1;
-        Err(RtsError::StackGuard {
-            rank: r,
-            detail: e.to_string(),
-        })
-    }
-
-    /// After rank `writer` ran, recompute every rank's privatized-data-
-    /// segment checksum. The writer's own segment may legitimately change
-    /// (those are its globals); any *other* rank's segment changing while
-    /// `writer` held the PE is cross-rank global bleed, attributed to
-    /// `writer`.
-    fn check_segment_bleed(&mut self, writer: RankId, pe: PeId) -> Result<(), RtsError> {
-        if self.segment_baseline.is_empty() {
-            return Ok(());
-        }
-        let mut victim: Option<RankId> = None;
-        let mut dirty = 0u32;
-        for q in 0..self.ranks.len() {
-            let Some(sum) = segment_checksum_in(&self.privatizers, q) else {
-                continue;
+            state: std::mem::take(&mut self.pes[pe]),
+            queue: EventQueue::new(),
+            horizon: SimTime::ZERO,
+            out: Outbox::default(),
+        }];
+        let res;
+        {
+            let shared = EngineShared {
+                clock: self.clock,
+                topology: &self.topology,
+                network: &self.network,
+                location: &self.location,
+                ranks: &self.ranks,
+                hls: &self.pe_hls_blocks,
+                alive: &self.alive,
+                tracer: self.tracer.as_ref(),
+                reliable: self.reliable.as_ref(),
+                epoch_start: self.epoch,
+                n_ranks: self.ranks.len(),
             };
-            if q == writer {
-                self.segment_baseline[q] = Some(sum);
-            } else if self.segment_baseline[q] != Some(sum) {
-                self.segment_baseline[q] = Some(sum);
-                dirty += 1;
-                victim.get_or_insert(q);
+            let mut guard_ctx;
+            let guard = if self.guards {
+                guard_ctx = GuardCtx {
+                    privatizers: &self.privatizers,
+                    baseline: &mut self.segment_baseline,
+                };
+                Some(&mut guard_ctx)
+            } else {
+                None
+            };
+            let mut ctx = worker::ExecCtx {
+                shared: &shared,
+                lanes: &mut lanes,
+                pe_base: pe,
+                li: 0,
+                guard,
+            };
+            res = ctx.run_rank_slice(r);
+        }
+        let merged = self.merge_lanes(lanes);
+        match res {
+            Err(e) => Err(e),
+            Ok(stop) => {
+                merged?;
+                Ok(stop)
             }
         }
-        if let Some(q) = victim {
-            self.trace(
-                pe,
-                writer as u32,
-                EventKind::SegmentAudit {
-                    ranks: self.ranks.len() as u32,
-                    dirty,
-                },
-            );
-            self.hardening.segment_audits += 1;
-            return Err(RtsError::SegmentBleed { rank: q, writer });
-        }
-        Ok(())
     }
 
     fn live_count(&self) -> usize {
@@ -2161,13 +1170,308 @@ impl Machine {
         Ok(())
     }
 
+    /// Worker threads `run` will actually use: the configured
+    /// [`Parallelism`] (with `Auto` reading `PVR_THREADS`), clamped to
+    /// the PE count, and forced to 1 when guards or an unprivatized
+    /// method require the single-threaded engine.
+    pub(crate) fn effective_threads(&self) -> usize {
+        let requested = match self.parallelism {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => std::env::var("PVR_THREADS")
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(1),
+        };
+        let capped = requested.min(self.pes.len().max(1));
+        if self.guards || self.method() == Method::Unprivatized {
+            1
+        } else {
+            capped
+        }
+    }
+
+    /// Conservative lookahead for epoch formation: the minimum cost any
+    /// cross-PE event can incur. Events popped within one window can
+    /// only schedule onto *other* lanes at or beyond the horizon, which
+    /// is what makes concurrent lane execution safe.
+    fn lookahead(&self) -> Lookahead {
+        if self.pes.len() <= 1 {
+            return Lookahead::Unbounded;
+        }
+        let mut min_cost: Option<SimDuration> = None;
+        for a in 0..self.pes.len() {
+            for b in 0..self.pes.len() {
+                if a == b {
+                    continue;
+                }
+                let c = self.network.cost(&self.topology, a, b, 0);
+                min_cost = Some(match min_cost {
+                    Some(m) if m <= c => m,
+                    _ => c,
+                });
+            }
+        }
+        match min_cost {
+            None => Lookahead::Unbounded,
+            // An ideal network gives zero lookahead: fall back to
+            // one-event epochs (still parallel-safe; rarely parallel-
+            // profitable, which the dynamic engine choice handles).
+            Some(c) if c.nanos() == 0 => Lookahead::SingleEvent,
+            Some(c) => Lookahead::Window(c),
+        }
+    }
+
+    /// Which lane an event belongs to. `Deliver` follows the target's
+    /// *current* placement (stale `dest_pe` stamps still pay the forward
+    /// hop); reliable-layer timers run on the sender's lane.
+    fn event_pe(&self, ev: &Event) -> PeId {
+        match ev {
+            Event::Deliver { msg, .. } => self.location.lookup(msg.to),
+            Event::PeWake { pe } => *pe,
+            Event::Ack { from, .. } | Event::Retransmit { from, .. } => {
+                self.location.lookup(*from)
+            }
+        }
+    }
+
+    /// Split an epoch's event batch into per-PE lanes, moving each PE's
+    /// scheduler state into its lane. Batch order (time, global seq) is
+    /// preserved within each lane.
+    fn make_lanes(&mut self, batch: Vec<(SimTime, Event)>, horizon: SimTime) -> Vec<Lane> {
+        let mut lanes: Vec<Lane> = (0..self.pes.len())
+            .map(|pe| Lane {
+                pe,
+                state: std::mem::take(&mut self.pes[pe]),
+                queue: EventQueue::new(),
+                horizon,
+                out: Outbox::default(),
+            })
+            .collect();
+        for (t, ev) in batch {
+            let pe = self.event_pe(&ev);
+            lanes[pe].queue.schedule(t, ev);
+        }
+        lanes
+    }
+
+    /// Fold completed lanes back into the machine at the barrier:
+    /// restore PE state, absorb counter deltas in PE order, merge
+    /// cross-lane events into the global queue in deterministic
+    /// (time, source PE, emission index) order, resolve deferred
+    /// retransmit-exhaustion verdicts, and surface the canonical
+    /// (earliest) error if any lane failed.
+    fn merge_lanes(&mut self, lanes: Vec<Lane>) -> Result<(), RtsError> {
+        let mut merged: Vec<(SimTime, PeId, Event)> = Vec::new();
+        let mut exhausted: Vec<(PeId, worker::Exhausted)> = Vec::new();
+        let mut errors: Vec<(SimTime, PeId, u8, RtsError)> = Vec::new();
+        for lane in lanes {
+            let pe = lane.pe;
+            self.pes[pe] = lane.state;
+            // A lane that errored stops mid-window; reinstate its
+            // unprocessed events so machine state stays coherent.
+            let mut q = lane.queue;
+            while let Some((t, ev)) = q.pop() {
+                merged.push((t, pe, ev));
+            }
+            let out = lane.out;
+            self.total_switches += out.switches;
+            self.messages_delivered += out.delivered;
+            self.done_count += out.done;
+            self.at_sync_count += out.at_sync;
+            for ((a, b), v) in out.comm_bytes {
+                *self.comm_bytes.entry((a, b)).or_default() += v;
+            }
+            for _ in 0..out.forwards {
+                self.location.note_forward();
+            }
+            self.tallies.absorb(&out.faults);
+            self.hardening.absorb(&out.hardening);
+            if let Some(lr) = out.last_ran {
+                self.last_ran = Some(lr);
+            }
+            for (t, ev) in out.events {
+                merged.push((t, pe, ev));
+            }
+            for ex in out.exhausted {
+                exhausted.push((pe, ex));
+            }
+            if let Some((t, class, e)) = out.error {
+                errors.push((t, pe, class, e));
+            }
+            for msg in out.unrouted {
+                self.deposit(msg);
+            }
+        }
+        // Stable sort on (time, source PE); the per-lane emission index
+        // is the push order the sort preserves, and the global queue's
+        // sequence number is the final tie-break.
+        merged.sort_by_key(|e| (e.0, e.1));
+        for (t, _, ev) in merged {
+            let at = t.max_of(self.queue.now());
+            self.queue.schedule(at, ev);
+        }
+        // Deferred retransmit exhaustions, judged against post-epoch
+        // receive state in deterministic (time, sender PE) order.
+        exhausted.sort_by_key(|&(pe, ref ex)| (ex.at, pe));
+        for (pe, ex) in exhausted {
+            let verdict = {
+                let mut rel = self
+                    .reliable
+                    .as_ref()
+                    .expect("reliable layer active")
+                    .lock();
+                if !rel.inflight.contains_key(&(ex.from, ex.to, ex.seq)) {
+                    continue;
+                }
+                let delivered = rel
+                    .recv
+                    .get(&(ex.from, ex.to))
+                    .is_some_and(|p| p.next_expected > ex.seq);
+                if delivered {
+                    // Receiver released it; only the acks were lost.
+                    rel.inflight.remove(&(ex.from, ex.to, ex.seq));
+                    None
+                } else {
+                    Some(RtsError::DeliveryFailed {
+                        from: ex.from,
+                        to: ex.to,
+                        seq: ex.seq,
+                        attempts: ex.attempts,
+                    })
+                }
+            };
+            if let Some(e) = verdict {
+                errors.push((ex.at, pe, 1, e));
+            }
+        }
+        errors.sort_by_key(|&(t, pe, class, _)| (t, pe, class));
+        match errors.into_iter().next() {
+            Some((_, _, _, e)) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Shared state handle for one epoch/burst. Borrows are per-field so
+    /// engines can hold it alongside `&mut` lanes and guard state.
+    fn engine_shared(&self) -> EngineShared<'_> {
+        EngineShared {
+            clock: self.clock,
+            topology: &self.topology,
+            network: &self.network,
+            location: &self.location,
+            ranks: &self.ranks,
+            hls: &self.pe_hls_blocks,
+            alive: &self.alive,
+            tracer: self.tracer.as_ref(),
+            reliable: self.reliable.as_ref(),
+            epoch_start: self.epoch,
+            n_ranks: self.ranks.len(),
+        }
+    }
+
+    fn record_worker_walls(&mut self, walls: Vec<Duration>) {
+        if self.engine.worker_wall.len() < walls.len() {
+            self.engine.worker_wall.resize(walls.len(), Duration::ZERO);
+        }
+        for (i, w) in walls.into_iter().enumerate() {
+            self.engine.worker_wall[i] += w;
+        }
+    }
+
+    /// Execute one epoch: split the batch into lanes, drive them (in
+    /// parallel when profitable), and merge at the barrier. Serial and
+    /// parallel paths run the *same* lane code, so the per-epoch engine
+    /// choice cannot change results.
+    fn run_epoch(
+        &mut self,
+        batch: Vec<(SimTime, Event)>,
+        horizon: SimTime,
+        threads: usize,
+    ) -> Result<(), RtsError> {
+        self.engine.epochs += 1;
+        let mut lanes = self.make_lanes(batch, horizon);
+        let active = lanes.iter().filter(|l| !l.queue.is_empty()).count();
+        let parallel = threads > 1 && active > 1;
+        let walls;
+        // Moved out so the guard context's `&mut` doesn't alias the
+        // shared engine view's borrow of `self`.
+        let mut baseline = std::mem::take(&mut self.segment_baseline);
+        {
+            let shared = self.engine_shared();
+            if parallel {
+                walls = engine_parallel::run_epoch_lanes(&shared, &mut lanes, threads);
+            } else {
+                let mut guard_ctx;
+                let guard = if self.guards {
+                    guard_ctx = GuardCtx {
+                        privatizers: &self.privatizers,
+                        baseline: &mut baseline,
+                    };
+                    Some(&mut guard_ctx)
+                } else {
+                    None
+                };
+                walls = engine_serial::run_epoch_lanes(&shared, &mut lanes, guard);
+            }
+        }
+        self.segment_baseline = baseline;
+        if parallel {
+            self.engine.barriers += 1;
+        }
+        self.record_worker_walls(walls);
+        self.merge_lanes(lanes)
+    }
+
+    /// One real-time scheduler burst: round-robin fair sweeps until no
+    /// PE can make progress. Returns whether any slice ran.
+    fn run_real_burst(&mut self, threads: usize) -> Result<bool, RtsError> {
+        self.engine.epochs += 1;
+        let mut lanes = self.make_lanes(Vec::new(), SimTime::ZERO);
+        let ran;
+        let walls;
+        let mut baseline = std::mem::take(&mut self.segment_baseline);
+        {
+            let shared = self.engine_shared();
+            if threads > 1 {
+                let (r, w) = engine_parallel::real_burst(&shared, &mut lanes, threads);
+                ran = r;
+                walls = w;
+            } else {
+                let mut guard_ctx;
+                let guard = if self.guards {
+                    guard_ctx = GuardCtx {
+                        privatizers: &self.privatizers,
+                        baseline: &mut baseline,
+                    };
+                    Some(&mut guard_ctx)
+                } else {
+                    None
+                };
+                let (r, w) = engine_serial::real_burst(&shared, &mut lanes, guard);
+                ran = r;
+                walls = w;
+            }
+        }
+        self.segment_baseline = baseline;
+        if threads > 1 {
+            self.engine.barriers += 1;
+        }
+        self.record_worker_walls(walls);
+        self.merge_lanes(lanes)?;
+        Ok(ran > 0)
+    }
+
     /// Run the job to completion.
     pub fn run(&mut self) -> Result<RunReport, RtsError> {
         let _scope = self.trace_scope();
+        let threads = self.effective_threads();
+        self.engine.threads = threads;
         let t0 = Instant::now();
         match self.clock {
-            ClockMode::RealTime => self.run_real()?,
-            ClockMode::Virtual => self.run_virtual()?,
+            ClockMode::RealTime => self.run_real(threads)?,
+            ClockMode::Virtual => self.run_virtual(threads)?,
         }
         let real_elapsed = t0.elapsed();
         if let Some(t) = &self.tracer {
@@ -2195,29 +1499,18 @@ impl Machine {
             method_requested: self.method_requested,
             method_landed: self.method(),
             hardening: self.hardening,
+            engine: self.engine.clone(),
         })
     }
 
-    fn run_real(&mut self) -> Result<(), RtsError> {
+    fn run_real(&mut self, threads: usize) -> Result<(), RtsError> {
         while self.done_count < self.ranks.len() {
-            let mut progressed = false;
-            for pe in 0..self.pes.len() {
-                while let Some(r) = self.pes[pe].ready.pop_front() {
-                    if self.ranks[r].status == RankStatus::Done {
-                        continue;
-                    }
-                    progressed = true;
-                    self.run_rank_slice(r)?;
-                    if self.lb_due() {
-                        self.do_lb_step()?;
-                    }
-                }
+            let progressed = self.run_real_burst(threads)?;
+            if self.lb_due() {
+                self.do_lb_step()?;
+                continue;
             }
             if !progressed {
-                if self.lb_due() {
-                    self.do_lb_step()?;
-                    continue;
-                }
                 let waiting: Vec<RankId> = self
                     .ranks
                     .iter()
@@ -2234,13 +1527,28 @@ impl Machine {
         Ok(())
     }
 
-    fn run_virtual(&mut self) -> Result<(), RtsError> {
+    fn run_virtual(&mut self, threads: usize) -> Result<(), RtsError> {
         // all PEs start at t=0
         for pe in 0..self.pes.len() {
             self.queue.schedule(SimTime::ZERO, Event::PeWake { pe });
         }
+        let lookahead = self.lookahead();
         while self.done_count < self.ranks.len() {
-            let Some((t, ev)) = self.queue.pop() else {
+            let batch: Vec<(SimTime, Event)> = match lookahead {
+                Lookahead::Unbounded => {
+                    let mut b = Vec::new();
+                    while let Some(e) = self.queue.pop() {
+                        b.push(e);
+                    }
+                    b
+                }
+                Lookahead::SingleEvent => self.queue.pop().into_iter().collect(),
+                Lookahead::Window(l) => match self.queue.peek_time() {
+                    None => Vec::new(),
+                    Some(t0) => self.queue.pop_window(t0.saturating_add(l)),
+                },
+            };
+            if batch.is_empty() {
                 if self.lb_due() {
                     self.do_lb_step()?;
                     continue;
@@ -2256,129 +1564,33 @@ impl Machine {
                     break;
                 }
                 return Err(RtsError::Deadlock { waiting });
+            }
+            let horizon = match lookahead {
+                Lookahead::Unbounded => SimTime::MAX,
+                // Horizon at the event's own time: every emission
+                // crosses the barrier, replicating global-queue order.
+                Lookahead::SingleEvent => batch[0].0,
+                Lookahead::Window(l) => batch[0].0.saturating_add(l),
             };
-            match ev {
-                Event::Deliver {
-                    msg,
-                    dest_pe,
-                    forwarded,
-                } => {
-                    let actual_pe = self.location.lookup(msg.to);
-                    if actual_pe != dest_pe && !forwarded {
-                        // stale location: forward one extra hop
-                        self.location.note_forward();
-                        let cost = self.network.cost(
-                            &self.topology,
-                            dest_pe,
-                            actual_pe,
-                            msg.wire_bytes(),
-                        );
-                        self.queue.schedule(
-                            t + cost,
-                            Event::Deliver {
-                                msg,
-                                dest_pe: actual_pe,
-                                forwarded: true,
-                            },
-                        );
-                    } else if self.reliable.is_some() {
-                        self.receive_transport(msg, t);
-                    } else {
-                        self.deposit(msg);
-                    }
-                }
-                Event::Ack { from, to, seq } => {
-                    if let Some(rel) = self.reliable.as_mut() {
-                        rel.inflight.remove(&(from, to, seq));
-                    }
-                }
-                Event::Retransmit {
-                    from,
-                    to,
-                    seq,
-                    attempt,
-                } => {
-                    let key = (from, to, seq);
-                    let in_flight = self
-                        .reliable
-                        .as_ref()
-                        .is_some_and(|rel| rel.inflight.contains_key(&key));
-                    if !in_flight {
-                        continue; // acked since the timer was armed
-                    }
-                    let next = attempt + 1;
-                    let (max_attempts, delivered) = {
-                        let rel = self.reliable.as_ref().expect("reliable layer active");
-                        let delivered = rel
-                            .recv
-                            .get(&(from, to))
-                            .is_some_and(|p| p.next_expected > seq);
-                        (rel.max_attempts, delivered)
-                    };
-                    if next >= max_attempts {
-                        if delivered {
-                            // The receiver released it; only the acks
-                            // were lost. Stop retransmitting quietly.
-                            self.reliable
-                                .as_mut()
-                                .expect("reliable layer active")
-                                .inflight
-                                .remove(&key);
-                        } else {
-                            return Err(RtsError::DeliveryFailed {
-                                from,
-                                to,
-                                seq,
-                                attempts: next,
-                            });
-                        }
-                    } else {
-                        let msg = self
-                            .reliable
-                            .as_ref()
-                            .expect("reliable layer active")
-                            .inflight
-                            .get(&key)
-                            .expect("checked in_flight")
-                            .clone();
-                        self.tallies.retransmits += 1;
-                        let pe = self.ranks[from].location;
-                        self.trace(
-                            pe,
-                            from as u32,
-                            EventKind::MsgRetransmit {
-                                from: from as u32,
-                                to: to as u32,
-                                seq,
-                                attempt: next,
-                            },
-                        );
-                        self.transmit(t, msg, next);
-                    }
-                }
-                Event::PeWake { pe } => {
-                    if !self.alive[pe] {
-                        continue;
-                    }
-                    self.pes[pe].advance_to(t);
-                    while let Some(r) = self.pes[pe].ready.pop_front() {
-                        if self.ranks[r].status == RankStatus::Done {
-                            continue;
-                        }
-                        if self.ranks[r].location != pe {
-                            // migrated while queued; its new PE owns it
-                            continue;
-                        }
-                        self.run_rank_slice(r)?;
-                        if self.lb_due() {
-                            self.do_lb_step()?;
-                        }
-                    }
-                }
+            self.run_epoch(batch, horizon, threads)?;
+            if self.lb_due() {
+                self.do_lb_step()?;
             }
         }
         Ok(())
     }
+}
+
+/// Epoch-window policy derived from the network model (see
+/// [`Machine::lookahead`]).
+#[derive(Debug, Clone, Copy)]
+enum Lookahead {
+    /// One PE (or no cross-PE pairs): a single epoch covers everything.
+    Unbounded,
+    /// Zero minimum cross-PE cost: one event per epoch.
+    SingleEvent,
+    /// Minimum cross-PE cost `L`: epochs are `[t0, t0 + L)` windows.
+    Window(SimDuration),
 }
 
 impl fmt::Debug for Machine {
@@ -2395,8 +1607,10 @@ impl fmt::Debug for Machine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::command::RankCtx;
+    use crate::config::{ConfigError, MachineBuilder};
     use bytes::Bytes;
-    use pvr_progimage::{link, ImageSpec};
+    use pvr_progimage::{link, ImageSpec, ProgramBinary, SharedFs};
 
     fn test_binary() -> Arc<ProgramBinary> {
         link(
@@ -2787,7 +2001,7 @@ mod tests {
             .vp_ratio(16)
             .build(Arc::new(|_ctx: RankCtx| {}));
         match err {
-            Err(RtsError::Privatize(PrivatizeError::Dl(
+            Err(ConfigError::Startup(PrivatizeError::Dl(
                 pvr_progimage::DlError::NamespaceExhausted { .. },
             ))) => {}
             other => panic!("expected namespace exhaustion, got {:?}", other.map(|_| ())),
@@ -2965,10 +2179,10 @@ mod tests {
             .build(Arc::new(|ctx: RankCtx| {
                 ctx.at_sync();
             })) {
-            Err(RtsError::Config { detail }) => {
+            Err(ConfigError::Invalid { detail }) => {
                 assert!(detail.contains("checkpoint_period"), "{detail}")
             }
-            other => panic!("expected Config error, got {:?}", other.map(|_| ())),
+            other => panic!("expected Invalid error, got {:?}", other.map(|_| ())),
         }
     }
 
@@ -2981,10 +2195,10 @@ mod tests {
             .build(Arc::new(|ctx: RankCtx| {
                 ctx.at_sync();
             })) {
-            Err(RtsError::Config { detail }) => {
+            Err(ConfigError::Invalid { detail }) => {
                 assert!(detail.contains("checkpoint_period"), "{detail}")
             }
-            other => panic!("expected Config error, got {:?}", other.map(|_| ())),
+            other => panic!("expected Invalid error, got {:?}", other.map(|_| ())),
         }
     }
 
@@ -2998,10 +2212,10 @@ mod tests {
             .build(Arc::new(|ctx: RankCtx| {
                 ctx.at_sync();
             })) {
-            Err(RtsError::Config { detail }) => {
+            Err(ConfigError::Invalid { detail }) => {
                 assert!(detail.contains("out of range"), "{detail}")
             }
-            other => panic!("expected Config error, got {:?}", other.map(|_| ())),
+            other => panic!("expected Invalid error, got {:?}", other.map(|_| ())),
         }
     }
 
@@ -3013,10 +2227,10 @@ mod tests {
             .network(net)
             .checkpoint_period(1)
             .build(Arc::new(|_ctx: RankCtx| {})) {
-            Err(RtsError::Config { detail }) => {
+            Err(ConfigError::Invalid { detail }) => {
                 assert!(detail.contains("Virtual"), "{detail}")
             }
-            other => panic!("expected Config error, got {:?}", other.map(|_| ())),
+            other => panic!("expected Invalid error, got {:?}", other.map(|_| ())),
         }
     }
 
@@ -3114,7 +2328,7 @@ mod tests {
             .fallback_chain(vec![Method::FsGlobals])
             .build(Arc::new(|_ctx: RankCtx| {}))
         {
-            Err(RtsError::NoFeasibleMethod { detail }) => {
+            Err(ConfigError::NoFeasibleMethod { detail }) => {
                 assert!(detail.contains("pipglobals"), "{detail}");
                 assert!(detail.contains("fsglobals"), "{detail}");
             }
@@ -3129,10 +2343,10 @@ mod tests {
             .guards(true)
             .build(Arc::new(|_ctx: RankCtx| {}))
         {
-            Err(RtsError::Config { detail }) => {
+            Err(ConfigError::Invalid { detail }) => {
                 assert!(detail.contains("guards"), "{detail}")
             }
-            other => panic!("expected Config error, got {:?}", other.map(|_| ())),
+            other => panic!("expected Invalid error, got {:?}", other.map(|_| ())),
         }
     }
 
@@ -3145,11 +2359,11 @@ mod tests {
             .fallback_chain(vec![Method::Swapglobals])
             .build(Arc::new(|_ctx: RankCtx| {}))
         {
-            Err(RtsError::Config { detail }) => {
+            Err(ConfigError::Invalid { detail }) => {
                 assert!(detail.contains("fallback_chain"), "{detail}");
                 assert!(detail.contains("swapglobals"), "{detail}");
             }
-            other => panic!("expected Config error, got {:?}", other.map(|_| ())),
+            other => panic!("expected Invalid error, got {:?}", other.map(|_| ())),
         }
     }
 
@@ -3159,10 +2373,10 @@ mod tests {
             .fallback_chain(vec![])
             .build(Arc::new(|_ctx: RankCtx| {}))
         {
-            Err(RtsError::Config { detail }) => {
+            Err(ConfigError::Invalid { detail }) => {
                 assert!(detail.contains("fallback_chain"), "{detail}")
             }
-            other => panic!("expected Config error, got {:?}", other.map(|_| ())),
+            other => panic!("expected Invalid error, got {:?}", other.map(|_| ())),
         }
     }
 
@@ -3362,6 +2576,35 @@ mod tests {
         assert!(
             smp < non_smp,
             "SMP-mode shared-memory path must be cheaper: {smp} vs {non_smp}"
+        );
+    }
+
+    /// Regression: the real-time scheduler must round-robin PEs — one
+    /// rank slice per PE per sweep — rather than draining one PE to
+    /// exhaustion before looking at the next. The old loop produced
+    /// `0,0,0,0,1,1,1,1`; the fair sweep interleaves `0,1,0,1,...`.
+    #[test]
+    fn real_time_scheduler_is_fair_across_pes() {
+        let order: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = order.clone();
+        let mut m = builder()
+            .clock(ClockMode::RealTime)
+            .parallelism(Parallelism::Serial) // interleave assert needs one thread
+            .topology(Topology::non_smp(2))
+            .vp_ratio(1)
+            .build(Arc::new(move |ctx: RankCtx| {
+                for _ in 0..4 {
+                    sink.lock().push(ctx.rank());
+                    ctx.yield_now();
+                }
+            }))
+            .unwrap();
+        m.run().unwrap();
+        let got = order.lock().clone();
+        assert_eq!(
+            got,
+            vec![0, 1, 0, 1, 0, 1, 0, 1],
+            "PE slices must interleave round-robin"
         );
     }
 }

@@ -95,6 +95,19 @@ impl FaultTallies {
     pub fn is_clean(&self) -> bool {
         *self == FaultTallies::default()
     }
+
+    /// Fold another tally into this one (epoch-barrier merge).
+    pub(crate) fn absorb(&mut self, o: &FaultTallies) {
+        self.msgs_dropped += o.msgs_dropped;
+        self.acks_dropped += o.acks_dropped;
+        self.msgs_corrupted += o.msgs_corrupted;
+        self.duplicates_injected += o.duplicates_injected;
+        self.duplicates_suppressed += o.duplicates_suppressed;
+        self.retransmits += o.retransmits;
+        self.checkpoints += o.checkpoints;
+        self.recoveries += o.recoveries;
+        self.pe_failures += o.pe_failures;
+    }
 }
 
 /// Exact tallies of privatization-hardening activity: capability probes,
@@ -127,6 +140,34 @@ impl HardeningTallies {
     pub fn is_clean(&self) -> bool {
         *self == HardeningTallies::default()
     }
+
+    /// Fold another tally into this one (epoch-barrier merge).
+    pub(crate) fn absorb(&mut self, o: &HardeningTallies) {
+        self.probes += o.probes;
+        self.fallbacks += o.fallbacks;
+        self.stack_guard_trips += o.stack_guard_trips;
+        self.arena_guard_trips += o.arena_guard_trips;
+        self.segment_audits += o.segment_audits;
+    }
+}
+
+/// Execution-engine counters: how the run was actually driven.
+///
+/// Unlike the rest of [`RunReport`], these are *not* part of the
+/// deterministic simulation result — worker wall-clocks vary run to run
+/// and the epoch/barrier split depends only on the engine, so
+/// [`RunReport::sim_digest`] deliberately excludes this block.
+#[derive(Debug, Clone, Default)]
+pub struct EngineTallies {
+    /// Worker threads the engine actually used (1 = serial path).
+    pub threads: usize,
+    /// Epochs (virtual mode) or scheduler bursts (real-time mode) driven.
+    pub epochs: u64,
+    /// Epoch barriers crossed by the parallel engine (0 on serial runs).
+    pub barriers: u64,
+    /// Wall-clock each worker spent executing lane events, indexed by
+    /// worker id.
+    pub worker_wall: Vec<Duration>,
 }
 
 /// What a completed run reports.
@@ -156,11 +197,93 @@ pub struct RunReport {
     pub method_landed: Method,
     /// Probe/fallback/guard activity (all-zero without hardening knobs).
     pub hardening: HardeningTallies,
+    /// How the run was driven (threads, epochs, barriers, worker wall).
+    /// Excluded from [`RunReport::sim_digest`].
+    pub engine: EngineTallies,
 }
 
 impl RunReport {
     pub fn total_migration_bytes(&self) -> usize {
         self.migrations.iter().map(|m| m.bytes).sum()
+    }
+
+    /// FNV-1a digest of every *deterministic* field of the report.
+    ///
+    /// Two runs of the same configuration must produce the same digest
+    /// regardless of [`Parallelism`](crate::Parallelism) — this is the
+    /// bit-identity check the parallel-determinism suite pins. Wall-clock
+    /// fields (`real_elapsed`, per-migration `real_time`, the whole
+    /// `engine` block) are excluded because they legitimately vary.
+    pub fn sim_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(h: &mut u64, bytes: impl IntoIterator<Item = u8>) {
+            for b in bytes {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(PRIME);
+            }
+        }
+        let mut digest = OFFSET;
+        let mut put = |v: u64| mix(&mut digest, v.to_le_bytes());
+        put(self.sim_elapsed.nanos());
+        put(self.pe_busy_idle.len() as u64);
+        for (b, i) in &self.pe_busy_idle {
+            put(b.nanos());
+            put(i.nanos());
+        }
+        put(self.context_switches);
+        put(self.messages_delivered);
+        put(self.lb_steps as u64);
+        put(self.migrations.len() as u64);
+        for m in &self.migrations {
+            put(m.rank as u64);
+            put(m.from_pe as u64);
+            put(m.to_pe as u64);
+            put(m.bytes as u64);
+            put(m.sim_cost.nanos());
+        }
+        put(self.pe_clocks.len() as u64);
+        for c in &self.pe_clocks {
+            put(c.nanos());
+        }
+        put(self.lb_history.len() as u64);
+        for r in &self.lb_history {
+            put(r.step as u64);
+            put(r.at.nanos());
+            for l in r.pe_loads_before.iter().chain(&r.pe_loads_after) {
+                put(l.to_bits());
+            }
+            put(r.migrations as u64);
+            put(r.comm_bytes);
+        }
+        let f = &self.faults;
+        for v in [
+            f.msgs_dropped,
+            f.acks_dropped,
+            f.msgs_corrupted,
+            f.duplicates_injected,
+            f.duplicates_suppressed,
+            f.retransmits,
+            f.checkpoints as u64,
+            f.recoveries as u64,
+            f.pe_failures as u64,
+        ] {
+            put(v);
+        }
+        let hd = &self.hardening;
+        for v in [
+            hd.probes,
+            hd.fallbacks,
+            hd.stack_guard_trips,
+            hd.arena_guard_trips,
+            hd.segment_audits,
+        ] {
+            put(v);
+        }
+        for name in [self.method_requested, self.method_landed] {
+            mix(&mut digest, name.to_string().bytes());
+        }
+        digest
     }
 
     /// Human-readable run summary (examples and demos).
@@ -216,6 +339,13 @@ impl RunReport {
                 out,
                 "hardening: {} probes, {} fallbacks, {} stack trips, {} arena trips, {} audits",
                 h.probes, h.fallbacks, h.stack_guard_trips, h.arena_guard_trips, h.segment_audits
+            );
+        }
+        if self.engine.threads > 1 {
+            let _ = writeln!(
+                out,
+                "engine: {} threads, {} epochs, {} barriers",
+                self.engine.threads, self.engine.epochs, self.engine.barriers
             );
         }
         for (pe, (busy, idle)) in self.pe_busy_idle.iter().enumerate() {
@@ -282,6 +412,7 @@ mod tests {
             method_requested: Method::PieGlobals,
             method_landed: Method::PieGlobals,
             hardening: HardeningTallies::default(),
+            engine: EngineTallies::default(),
         };
         let s = r.summary();
         assert!(s.contains("context switches: 42"));
@@ -321,6 +452,7 @@ mod tests {
             method_requested: Method::PieGlobals,
             method_landed: Method::PieGlobals,
             hardening: HardeningTallies::default(),
+            engine: EngineTallies::default(),
         };
         let s = r.summary();
         assert!(s.contains("faults: 4 drops (1 ack)"), "{s}");
@@ -348,6 +480,7 @@ mod tests {
                 segment_audits: 2,
                 ..Default::default()
             },
+            engine: EngineTallies::default(),
         };
         let s = r.summary();
         assert!(s.contains("method: pipglobals degraded to fsglobals (1 fallbacks)"), "{s}");

@@ -6,17 +6,40 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> cargo test -q"
-cargo test -q --workspace
+echo "==> cargo test -q (PVR_THREADS=1: every Auto-parallelism run serial)"
+PVR_THREADS=1 cargo test -q --workspace
+
+echo "==> cargo test -q (PVR_THREADS=4: every Auto-parallelism run threaded)"
+PVR_THREADS=4 cargo test -q --workspace
 
 echo "==> seeded fault-sweep smoke (determinism gate)"
 cargo test -q -p pvr-bench --test fault_recovery seeded_fault_sweep_is_deterministic
+
+echo "==> parallel-engine determinism gate (Serial == Threads(n), bit-identical)"
+cargo test -q -p pvr-bench --test parallel_determinism
 
 echo "==> degradation-matrix gate (fallback chain lands + bit-identical)"
 cargo test -q -p pvr-bench --test privatization_matrix fallback_chain_matrix_lands_and_matches_direct_runs
 
 echo "==> guard-trip smoke (stack/arena/segment guards catch seeded corruption)"
 cargo test -q -p pvr-rts guard
+
+cores=$(nproc 2>/dev/null || echo 1)
+if [ "$cores" -ge 4 ]; then
+    echo "==> engine-scaling smoke ($cores cores: parallel Jacobi must not lose to serial)"
+    out=$(cargo run --release -q -p pvr-bench --bin repro -- scaling --quick)
+    echo "$out"
+    # The Threads(4) row's speedup column must be >= 1.00x on a 4+ core
+    # host — the thread pool may never make the deterministic engine
+    # slower than serial where real parallelism is available.
+    speedup=$(echo "$out" | awk -F'|' '/Threads\(4\)/ {gsub(/[ x]/, "", $5); print $5}')
+    awk -v s="$speedup" 'BEGIN { exit !(s >= 1.0) }' || {
+        echo "FAIL: Threads(4) slower than serial on a $cores-core host (speedup ${speedup}x)"
+        exit 1
+    }
+else
+    echo "==> engine-scaling smoke skipped ($cores core(s): no real parallelism available)"
+fi
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -7,7 +7,7 @@ use pvr_ampi::{Ampi, COMM_WORLD};
 use pvr_apps::hello;
 use pvr_privatize::{Method, PrivatizeError};
 use pvr_progimage::{DlError, FsError, SharedFs};
-use pvr_rts::{MachineBuilder, RankCtx, RtsError, Topology};
+use pvr_rts::{ConfigError, MachineBuilder, RankCtx, RtsError, Topology};
 use std::sync::Arc;
 
 #[test]
@@ -19,7 +19,7 @@ fn pip_namespace_exhaustion_is_a_clean_startup_error() {
         .build(body)
         .unwrap_err();
     match err {
-        RtsError::Privatize(PrivatizeError::Dl(DlError::NamespaceExhausted { limit })) => {
+        ConfigError::Startup(PrivatizeError::Dl(DlError::NamespaceExhausted { limit })) => {
             assert_eq!(limit, 12)
         }
         other => panic!("expected namespace exhaustion, got {other}"),
@@ -51,7 +51,7 @@ fn fsglobals_out_of_quota_fails_startup() {
         .build(body)
         .unwrap_err();
     match err {
-        RtsError::Privatize(PrivatizeError::Fs(FsError::NoSpace { .. })) => {}
+        ConfigError::Startup(PrivatizeError::Fs(FsError::NoSpace { .. })) => {}
         other => panic!("expected FS quota failure, got {other}"),
     }
 }
@@ -176,10 +176,10 @@ fn fault_injection_without_checkpoints_rejected_at_build_time() {
             .inject_pe_failure_at_lb_step(2, 1),
     ] {
         match build.build(body.clone()) {
-            Err(RtsError::Config { detail }) => {
+            Err(ConfigError::Invalid { detail }) => {
                 assert!(detail.contains("checkpoint_period"), "{detail}")
             }
-            other => panic!("expected Config error, got {:?}", other.map(|_| ())),
+            other => panic!("expected Invalid error, got {:?}", other.map(|_| ())),
         }
     }
 }
@@ -283,7 +283,7 @@ fn non_pie_binary_rejected_by_runtime_methods() {
             .build(body.clone())
             .unwrap_err();
         match err {
-            RtsError::Privatize(PrivatizeError::Dl(DlError::NotPie { .. })) => {}
+            ConfigError::Startup(PrivatizeError::Dl(DlError::NotPie { .. })) => {}
             other => panic!("{method}: expected NotPie, got {other}"),
         }
     }

@@ -1,0 +1,152 @@
+//! Acceptance: parallel execution is bit-identical to serial.
+//!
+//! The conservative epoch engine's whole claim is that `Threads(n)` is
+//! an implementation detail: same virtual-time results, same digest,
+//! same trace event counts as `Serial`, for every `n` — including under
+//! a lossy network with retransmissions, duplicate suppression, and a
+//! mid-run PE failure with checkpoint rollback, across the migratable
+//! privatization methods.
+
+use parking_lot::Mutex;
+use pvr_ampi::Ampi;
+use pvr_apps::jacobi3d::{self, JacobiConfig};
+use pvr_des::{FaultParams, FaultPlan, HopClass, NetworkModel, SimDuration, Topology};
+use pvr_privatize::{Method, Toolchain};
+use pvr_rts::{ClockMode, MachineBuilder, Parallelism, RankCtx};
+use pvr_trace::{TraceCounts, Tracer};
+use std::sync::Arc;
+
+const ROUNDS: usize = 3;
+const METHODS: [Method; 3] = [Method::PieGlobals, Method::TlsGlobals, Method::Swapglobals];
+
+fn jacobi_cfg() -> JacobiConfig {
+    JacobiConfig {
+        nx: 8,
+        ny: 8,
+        nz: 4,
+        iters: 4,
+    }
+}
+
+/// Per-rank residual history: one entry per round, per rank.
+type Residuals = Vec<(usize, Vec<f64>)>;
+
+fn jacobi_body(out: Arc<Mutex<Residuals>>) -> Arc<dyn Fn(RankCtx) + Send + Sync> {
+    Arc::new(move |ctx: RankCtx| {
+        let mpi = Ampi::init(ctx);
+        let mut history = Vec::with_capacity(ROUNDS);
+        for _round in 0..ROUNDS {
+            let stats = jacobi3d::run(&mpi, jacobi_cfg());
+            history.push(stats.residual);
+            mpi.migrate(); // AMPI_Migrate: the LB/checkpoint sync point
+        }
+        out.lock().push((mpi.rank(), history));
+    })
+}
+
+fn lossy_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed).with_class(
+        HopClass::InterNode,
+        FaultParams {
+            drop_p: 0.05,
+            dup_p: 0.05,
+            corrupt_p: 0.02,
+            jitter_max: SimDuration::from_nanos(500),
+        },
+    )
+}
+
+struct Outcome {
+    digest: u64,
+    residuals: Residuals,
+    counts: TraceCounts,
+    threads: usize,
+    epochs: u64,
+}
+
+fn run_one(method: Method, par: Parallelism, faults: bool) -> Outcome {
+    let out: Arc<Mutex<Residuals>> = Arc::new(Mutex::new(Vec::new()));
+    let tracer = Tracer::new(3);
+    tracer.enable();
+    let mut network = NetworkModel::ideal();
+    let toolchain = if method == Method::Swapglobals {
+        Toolchain::legacy_ld() // stock ld optimizes out the GOT hooks
+    } else {
+        Toolchain::bridges2()
+    };
+    let mut b = MachineBuilder::new(jacobi3d::binary())
+        .method(method)
+        .toolchain(toolchain)
+        .clock(ClockMode::Virtual)
+        .parallelism(par)
+        .topology(Topology::non_smp(3))
+        .vp_ratio(2)
+        .stack_size(256 * 1024)
+        .tracer(tracer.clone());
+    if faults {
+        network = network.with_faults(lossy_plan(42));
+        b = b.checkpoint_period(1).inject_pe_failure_at_lb_step(2, 2);
+    }
+    let mut m = b.network(network).build(jacobi_body(out.clone())).unwrap();
+    let report = m.run().unwrap();
+    let mut residuals = out.lock().clone();
+    residuals.sort_by_key(|r| r.0);
+    Outcome {
+        digest: report.sim_digest(),
+        residuals,
+        counts: tracer.counts(),
+        threads: report.engine.threads,
+        epochs: report.engine.epochs,
+    }
+}
+
+fn assert_identical(method: Method, faults: bool) {
+    let serial = run_one(method, Parallelism::Serial, faults);
+    assert!(!serial.residuals.is_empty(), "{method}: no results");
+    for n in [2usize, 8] {
+        let par = run_one(method, Parallelism::Threads(n), faults);
+        assert_eq!(
+            par.digest, serial.digest,
+            "{method} Threads({n}): sim digest diverged from serial"
+        );
+        assert_eq!(
+            par.residuals, serial.residuals,
+            "{method} Threads({n}): residuals diverged from serial"
+        );
+        assert_eq!(
+            par.counts, serial.counts,
+            "{method} Threads({n}): trace event counts diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn jacobi_bit_identical_across_thread_counts() {
+    for method in METHODS {
+        assert_identical(method, false);
+    }
+}
+
+#[test]
+fn fault_sweep_bit_identical_across_thread_counts() {
+    // Lossy inter-node network (drops, dups, corruption, jitter) plus a
+    // PE failure at the second LB barrier: the hardest determinism case,
+    // because retransmission timers, ack fates, and rollback all have to
+    // land in the same virtual-time order regardless of thread count.
+    for method in METHODS {
+        assert_identical(method, true);
+    }
+}
+
+#[test]
+fn engine_tallies_report_parallel_shape() {
+    let par = run_one(Method::PieGlobals, Parallelism::Threads(8), false);
+    assert_eq!(par.threads, 3, "thread count must be clamped to the PE count");
+    assert!(par.epochs > 0, "virtual runs are epoch-counted");
+    let serial = run_one(Method::PieGlobals, Parallelism::Serial, false);
+    assert_eq!(serial.threads, 1);
+    assert_eq!(
+        par.epochs, serial.epochs,
+        "epoch structure is engine-independent"
+    );
+}
