@@ -4,47 +4,100 @@
 //! be fetched. This shim implements the (small) subset of the `bytes` API
 //! the workspace actually uses, with the same semantics:
 //!
-//! - [`Bytes`]: cheaply clonable, immutable byte buffer (`Arc<[u8]>`).
+//! - [`Bytes`]: cheaply clonable, immutable byte buffer. Small payloads
+//!   (≤ [`Bytes::INLINE_CAP`] bytes) are stored inline with no heap
+//!   allocation; larger ones are refcounted (`Arc<[u8]>`), so cloning
+//!   never copies the heap buffer.
 //! - [`BytesMut`]: growable byte buffer (`Vec<u8>` underneath).
 //! - [`Buf`] / [`BufMut`]: cursor-style read/write traits; big-endian
 //!   `get_u32`/`put_u32` etc. plus `_le` variants, exactly like upstream.
 
 use std::borrow::Borrow;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
+#[derive(Clone)]
+enum Repr {
+    /// Small-payload storage: the bytes live inside the `Bytes` value
+    /// itself. Clones are a plain memcpy — no allocation, no refcount.
+    Inline { len: u8, buf: [u8; Bytes::INLINE_CAP] },
+    /// Spilled storage: refcounted, clones bump the count.
+    Shared(Arc<[u8]>),
+}
+
 /// Cheaply clonable immutable contiguous byte buffer.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    repr: Repr,
 }
 
 impl Bytes {
+    /// Payloads at or below this many bytes are stored inline (no heap
+    /// allocation anywhere in their lifecycle).
+    pub const INLINE_CAP: usize = 64;
+
     /// Creates a new empty `Bytes`.
     pub fn new() -> Bytes {
         Bytes {
-            data: Arc::from(&[][..]),
+            repr: Repr::Inline {
+                len: 0,
+                buf: [0; Bytes::INLINE_CAP],
+            },
         }
     }
 
     /// Creates `Bytes` from a static slice (no copy in upstream; we copy
-    /// once into an `Arc`, which preserves semantics).
+    /// once, which preserves semantics).
     pub fn from_static(s: &'static [u8]) -> Bytes {
-        Bytes { data: Arc::from(s) }
+        Bytes::copy_from_slice(s)
     }
 
-    /// Copies `s` into a new `Bytes`.
+    /// Copies `s` into a new `Bytes` (inline when it fits).
     pub fn copy_from_slice(s: &[u8]) -> Bytes {
-        Bytes { data: Arc::from(s) }
+        if s.len() <= Bytes::INLINE_CAP {
+            let mut buf = [0; Bytes::INLINE_CAP];
+            buf[..s.len()].copy_from_slice(s);
+            Bytes {
+                repr: Repr::Inline {
+                    len: s.len() as u8,
+                    buf,
+                },
+            }
+        } else {
+            Bytes {
+                repr: Repr::Shared(Arc::from(s)),
+            }
+        }
     }
 
     pub fn len(&self) -> usize {
-        self.data.len()
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Shared(a) => a.len(),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
+    }
+
+    /// Whether this buffer uses the inline small-payload storage (its
+    /// whole lifecycle is allocation-free).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline { .. })
+    }
+
+    /// Mutable view of an inline buffer's bytes; `None` when the bytes
+    /// are spilled to (potentially shared) heap storage. Compat
+    /// extension — inline bytes are uniquely owned by value, so
+    /// in-place mutation is safe and allocation-free.
+    pub fn inline_mut(&mut self) -> Option<&mut [u8]> {
+        match &mut self.repr {
+            Repr::Inline { len, buf } => Some(&mut buf[..*len as usize]),
+            Repr::Shared(_) => None,
+        }
     }
 
     /// Returns a new `Bytes` covering `range` of this one.
@@ -60,26 +113,61 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => self.len(),
         };
-        Bytes::copy_from_slice(&self.data[start..end])
+        Bytes::copy_from_slice(&self.as_ref()[start..end])
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_ref()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        match &self.repr {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Shared(a) => a,
+        }
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_ref()
     }
 }
 
@@ -97,7 +185,13 @@ impl fmt::Debug for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes { data: v.into() }
+        if v.len() <= Bytes::INLINE_CAP {
+            Bytes::copy_from_slice(&v)
+        } else {
+            Bytes {
+                repr: Repr::Shared(v.into()),
+            }
+        }
     }
 }
 
@@ -441,6 +535,27 @@ mod tests {
         assert_eq!(Bytes::new().len(), 0);
         let m = BytesMut::from(&b"hello"[..]);
         assert_eq!(m.freeze(), *b"hello");
+    }
+
+    #[test]
+    fn inline_small_payloads() {
+        let small = Bytes::copy_from_slice(&[7u8; 64]);
+        assert!(small.is_inline(), "64 B must fit the inline storage");
+        let big = Bytes::copy_from_slice(&[7u8; 65]);
+        assert!(!big.is_inline(), "65 B must spill to shared storage");
+        assert_eq!(small.as_ref(), &[7u8; 64][..]);
+        assert_eq!(big.len(), 65);
+        // Clones of inline buffers are independent copies.
+        let mut a = Bytes::copy_from_slice(b"abc");
+        let b = a.clone();
+        a.inline_mut().unwrap()[0] ^= 0xFF;
+        assert_eq!(b.as_ref(), b"abc");
+        assert_ne!(a, b);
+        // Spilled buffers refuse in-place mutation (shared storage).
+        let mut big = Bytes::copy_from_slice(&[0u8; 100]);
+        assert!(big.inline_mut().is_none());
+        // Content-based equality/ordering across representations.
+        assert_eq!(Bytes::from(vec![1, 2, 3]), Bytes::copy_from_slice(&[1, 2, 3]));
     }
 
     #[test]

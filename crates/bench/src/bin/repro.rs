@@ -7,8 +7,8 @@
 //! ```
 
 use pvr_bench::{
-    degrade_exp, faults_exp, fig5, fig6, fig7, fig8, icache_exp, parallel_exp, scaling, tables,
-    tracing_exp,
+    degrade_exp, faults_exp, fig5, fig6, fig7, fig8, icache_exp, parallel_exp, perf_exp, scaling,
+    tables, tracing_exp,
 };
 
 fn main() {
@@ -56,6 +56,7 @@ fn main() {
             "trace" => println!("{}\n", tracing_exp::report()),
             "scaling" => println!("{}\n", parallel_exp::report(quick)),
             "faults" => println!("{}\n", faults_exp::report()),
+            "perf" => println!("{}\n", perf_exp::report(quick)),
             "degrade" => println!("{}\n", degrade_exp::report()),
             "table2" => {
                 let (res, cfg) = scaling_result.as_ref().unwrap();
@@ -68,7 +69,7 @@ fn main() {
             other => {
                 eprintln!("unknown experiment `{other}`");
                 eprintln!(
-                    "known: table1 table3 fig5 fig6 fig7 fig8 icache trace scaling faults degrade table2 fig9 all"
+                    "known: table1 table3 fig5 fig6 fig7 fig8 icache trace scaling faults degrade perf table2 fig9 all"
                 );
                 std::process::exit(2);
             }

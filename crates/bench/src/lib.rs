@@ -18,9 +18,10 @@
 //!
 //! Beyond the paper's artifacts, [`tracing_exp`] demonstrates the
 //! `pvr-trace` observability layer (`repro -- trace`), [`faults_exp`]
-//! the fault-injection/recovery stack (`repro -- faults`), and
+//! the fault-injection/recovery stack (`repro -- faults`),
 //! [`degrade_exp`] the capability-probe fallback chain and memory-safety
-//! guards (`repro -- degrade`).
+//! guards (`repro -- degrade`), and [`perf_exp`] the hot-path
+//! before/after baseline (`repro -- perf`, writes `BENCH_perf.json`).
 
 pub mod degrade_exp;
 pub mod faults_exp;
@@ -30,6 +31,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod icache_exp;
 pub mod parallel_exp;
+pub mod perf_exp;
 pub mod scaling;
 pub mod tables;
 pub mod tracing_exp;

@@ -201,6 +201,16 @@ pub trait Privatizer: Send {
     /// address spaces (Table 3's "Migration Support" column).
     fn supports_migration(&self) -> bool;
 
+    /// Whether [`Self::instantiate_rank`] touches only this privatizer's
+    /// own state plus freshly allocated rank memory — no shared
+    /// filesystem writes, no process-shared loader mutation — so
+    /// *different processes'* startups may run concurrently. The runtime
+    /// uses this to parallelize per-rank segment copies across simulated
+    /// OS processes. Conservative default: `false`.
+    fn parallel_startup_safe(&self) -> bool {
+        false
+    }
+
     /// Simulated I/O time accrued during startup (FSglobals); zero for
     /// in-memory methods. Real (measured) time is the caller's job.
     fn simulated_startup_cost(&self) -> Duration {

@@ -36,7 +36,7 @@ use crate::rank::{CtxAction, RankInstance};
 use crate::{FindResult, Method, PrivatizeError, Privatizer};
 use pvr_isomalloc::{RankMemory, Region, RegionKind};
 use pvr_progimage::spec::Callable;
-use pvr_progimage::{Mutability, SegmentAddrs, VarClass};
+use pvr_progimage::{LoadedImage, Mutability, SegmentAddrs, VarClass};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -71,6 +71,40 @@ struct RankRanges {
     data_len: usize,
 }
 
+/// Where one memoized fixup points, as an offset into a per-rank copy.
+/// Resolving a target for a rank is one add — the expensive part
+/// (scanning/classifying against the original segment ranges) happened
+/// once, when the template was built.
+#[derive(Debug, Clone, Copy)]
+enum PatchTarget {
+    Code { off: usize },
+    Data { off: usize },
+    CtorHeap { alloc: usize, off: usize },
+}
+
+/// Memoized startup work, computed once per privatizer at the FIRST
+/// `instantiate_rank` and replayed for every subsequent rank as
+/// memcpy + patch list.
+///
+/// Snapshotted at first instantiation — not at construction — because a
+/// program (and our false-positive regression test) may write to the
+/// original image between `dlopen` and privatization, and the reference
+/// scan sees those writes.
+struct StartupTemplate {
+    /// Data-segment bytes to memcpy per rank.
+    data: Vec<u8>,
+    /// (byte offset into the data copy, target) for every pointer the
+    /// scan policy would rebase.
+    data_patches: Vec<(usize, PatchTarget)>,
+    /// Ctor heap allocation bytes to replicate per rank.
+    ctor_data: Vec<Vec<u8>>,
+    /// (allocation index, byte offset, target) fixups inside the clones.
+    ctor_patches: Vec<(usize, usize, PatchTarget)>,
+    /// Per-GOT-entry rebase classification (`None` = keep the original
+    /// value).
+    got_plan: Vec<Option<PatchTarget>>,
+}
+
 pub struct PieGlobals {
     common: Common,
     opts: PieOptions,
@@ -82,6 +116,9 @@ pub struct PieGlobals {
     /// Bytes of fixups applied, by strategy, for reporting/tests.
     pub fixups_applied: usize,
     pub false_positive_candidates: usize,
+    /// Memoized startup template (fast path; built lazily).
+    template: Option<StartupTemplate>,
+    fast: bool,
 }
 
 impl PieGlobals {
@@ -93,6 +130,7 @@ impl PieGlobals {
                     .to_string(),
             });
         }
+        let fast = env.perf_fast;
         let mut env = env;
         // Steps 1-2: phdr snapshot before, dlopen once, snapshot after,
         // diff to find our binary's segments.
@@ -132,6 +170,8 @@ impl PieGlobals {
             ranks: Vec::new(),
             fixups_applied: 0,
             false_positive_candidates: 0,
+            template: None,
+            fast,
         })
     }
 
@@ -158,22 +198,198 @@ impl PieGlobals {
         }
         None
     }
-}
 
-impl Privatizer for PieGlobals {
-    fn method(&self) -> Method {
-        Method::PieGlobals
+    /// Classify one scanned value against the ORIGINAL segment/ctor-heap
+    /// ranges — the memoizable half of [`Self::rebase_value`]: ranges
+    /// never change across ranks, only the per-rank bases do.
+    fn classify(&self, v: u64, ctor_ranges: &[(usize, usize)]) -> Option<PatchTarget> {
+        let addr = v as usize;
+        if self.orig.contains_code(addr) {
+            return Some(PatchTarget::Code {
+                off: addr - self.orig.code_base,
+            });
+        }
+        if self.orig.contains_data(addr) {
+            return Some(PatchTarget::Data {
+                off: addr - self.orig.data_base,
+            });
+        }
+        for (i, &(base, len)) in ctor_ranges.iter().enumerate() {
+            if addr >= base && addr < base + len {
+                return Some(PatchTarget::CtorHeap {
+                    alloc: i,
+                    off: addr - base,
+                });
+            }
+        }
+        None
     }
 
-    fn instantiate_rank(
-        &mut self,
-        rank: usize,
-        mem: &mut RankMemory,
-    ) -> Result<RankInstance, PrivatizeError> {
-        let binary = self.common.env.binary.clone();
-        let layout = &binary.layout;
-        let image = self.common.base_image.clone();
+    /// Run the scan policy ONCE over a snapshot of the image and record
+    /// every fixup as (offset, target). `instantiate_rank` then replays
+    /// the list per rank without rescanning a single word.
+    fn build_template(&self, image: &LoadedImage) -> StartupTemplate {
+        let data = image.data_region().as_slice().to_vec();
+        let ctor_ranges: Vec<(usize, usize)> = image
+            .ctor_heap()
+            .iter()
+            .map(|a| (a.base(), a.len()))
+            .collect();
+        let ctor_data: Vec<Vec<u8>> = image
+            .ctor_heap()
+            .iter()
+            .map(|a| a.as_slice().to_vec())
+            .collect();
+        let mut data_patches = Vec::new();
+        let mut ctor_patches = Vec::new();
+        match self.opts.scan {
+            ScanPolicy::ConservativeScan => {
+                for i in 0..data.len() / 8 {
+                    let v = u64::from_ne_bytes(data[i * 8..i * 8 + 8].try_into().unwrap());
+                    if v == 0 {
+                        continue;
+                    }
+                    if let Some(t) = self.classify(v, &ctor_ranges) {
+                        data_patches.push((i * 8, t));
+                    }
+                }
+                for (ai, bytes) in ctor_data.iter().enumerate() {
+                    for i in 0..bytes.len() / 8 {
+                        let v =
+                            u64::from_ne_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap());
+                        if v == 0 {
+                            continue;
+                        }
+                        if let Some(t) = self.classify(v, &ctor_ranges) {
+                            ctor_patches.push((ai, i * 8, t));
+                        }
+                    }
+                }
+            }
+            ScanPolicy::Relocations => {
+                for r in image.relocs() {
+                    let t = match r.target {
+                        pvr_progimage::RelocTarget::Code { offset } => {
+                            PatchTarget::Code { off: offset }
+                        }
+                        pvr_progimage::RelocTarget::Data { offset } => {
+                            PatchTarget::Data { off: offset }
+                        }
+                        pvr_progimage::RelocTarget::CtorHeap { alloc, offset } => {
+                            PatchTarget::CtorHeap { alloc, off: offset }
+                        }
+                    };
+                    data_patches.push((r.data_offset, t));
+                }
+            }
+        }
+        let got_plan = image
+            .got()
+            .iter()
+            .map(|&e| self.classify(e, &ctor_ranges))
+            .collect();
+        StartupTemplate {
+            data,
+            data_patches,
+            ctor_data,
+            ctor_patches,
+            got_plan,
+        }
+    }
 
+    /// Fast startup: memcpy the memoized template into rank memory and
+    /// apply the patch list. Produces bit-identical segments, fixup
+    /// counts, and trace events to [`Self::instantiate_segments_reference`].
+    fn instantiate_segments_fast(
+        &mut self,
+        image: &LoadedImage,
+        mem: &mut RankMemory,
+    ) -> Result<(usize, usize, usize), PrivatizeError> {
+        if self.template.is_none() {
+            self.template = Some(self.build_template(image));
+        }
+        let tpl = self.template.take().expect("template just built");
+        let result = self.apply_template(&tpl, image, mem);
+        self.template = Some(tpl);
+        result
+    }
+
+    fn apply_template(
+        &mut self,
+        tpl: &StartupTemplate,
+        image: &LoadedImage,
+        mem: &mut RankMemory,
+    ) -> Result<(usize, usize, usize), PrivatizeError> {
+        // Step 3 (fast): code straight from the image, data from the
+        // snapshot — both one memcpy.
+        let code_copy = Region::from_bytes(RegionKind::CodeSegment, image.code_region().as_slice());
+        let data_copy = Region::from_bytes(RegionKind::DataSegment, &tpl.data);
+        let new_code = code_copy.base() as usize;
+        let new_data = data_copy.base() as usize;
+        let data_ptr = data_copy.base_mut();
+        let data_len = data_copy.len();
+        pvr_trace::emit(pvr_trace::EventKind::SegmentCopy {
+            segment: pvr_trace::Segment::Code,
+            bytes: code_copy.len() as u64,
+        });
+        pvr_trace::emit(pvr_trace::EventKind::SegmentCopy {
+            segment: pvr_trace::Segment::Data,
+            bytes: data_len as u64,
+        });
+        mem.add_region(code_copy);
+        mem.add_region(data_copy);
+
+        let mut clone_bases: Vec<usize> = Vec::with_capacity(tpl.ctor_data.len());
+        for bytes in &tpl.ctor_data {
+            let clone = mem.heap().alloc(bytes.len().max(1), 8)?;
+            unsafe {
+                std::ptr::copy_nonoverlapping(bytes.as_ptr(), clone.ptr, bytes.len());
+            }
+            clone_bases.push(clone.ptr as usize);
+        }
+
+        // Step 4 (fast): patch-list replay — no scanning, one add and
+        // one write per recorded fixup.
+        let resolve = |t: PatchTarget| -> u64 {
+            match t {
+                PatchTarget::Code { off } => (new_code + off) as u64,
+                PatchTarget::Data { off } => (new_data + off) as u64,
+                PatchTarget::CtorHeap { alloc, off } => (clone_bases[alloc] + off) as u64,
+            }
+        };
+        for &(off, t) in &tpl.data_patches {
+            unsafe { (data_ptr.add(off) as *mut u64).write_unaligned(resolve(t)) };
+            self.fixups_applied += 1;
+        }
+        for &(alloc, off, t) in &tpl.ctor_patches {
+            unsafe { ((clone_bases[alloc] + off) as *mut u64).write_unaligned(resolve(t)) };
+            self.fixups_applied += 1;
+        }
+
+        // GOT from the memoized plan.
+        let got_len = image.got().len().max(1);
+        let got_alloc = mem.heap().alloc(got_len * 8, 8)?;
+        {
+            let got_slice =
+                unsafe { std::slice::from_raw_parts_mut(got_alloc.ptr as *mut u64, got_len) };
+            for (i, &entry) in image.got().iter().enumerate() {
+                got_slice[i] = tpl.got_plan[i].map(&resolve).unwrap_or(entry);
+            }
+        }
+        pvr_trace::emit(pvr_trace::EventKind::GotFixup {
+            entries: got_len as u32,
+        });
+        Ok((new_code, new_data, data_len))
+    }
+
+    /// Reference startup (steps 3-4): full per-rank scan and fixup —
+    /// kept verbatim as the oracle the template path must match; do not
+    /// optimize.
+    fn instantiate_segments_reference(
+        &mut self,
+        image: &LoadedImage,
+        mem: &mut RankMemory,
+    ) -> Result<(usize, usize, usize), PrivatizeError> {
         // Step 3: copy segments into Isomalloc-managed rank memory.
         let code_copy = Region::from_bytes(RegionKind::CodeSegment, image.code_region().as_slice());
         let data_copy = Region::from_bytes(RegionKind::DataSegment, image.data_region().as_slice());
@@ -271,6 +487,29 @@ impl Privatizer for PieGlobals {
         pvr_trace::emit(pvr_trace::EventKind::GotFixup {
             entries: got_len as u32,
         });
+        Ok((new_code, new_data, data_len))
+    }
+}
+
+impl Privatizer for PieGlobals {
+    fn method(&self) -> Method {
+        Method::PieGlobals
+    }
+
+    fn instantiate_rank(
+        &mut self,
+        rank: usize,
+        mem: &mut RankMemory,
+    ) -> Result<RankInstance, PrivatizeError> {
+        let binary = self.common.env.binary.clone();
+        let layout = &binary.layout;
+        let image = self.common.base_image.clone();
+
+        let (new_code, new_data, data_len) = if self.fast {
+            self.instantiate_segments_fast(&image, mem)?
+        } else {
+            self.instantiate_segments_reference(&image, mem)?
+        };
 
         // Step 5: per-rank TLS block (TLSglobals combination).
         let mut tls_block = Region::new_zeroed(RegionKind::TlsSegment, self.tls_block_size);
@@ -322,6 +561,13 @@ impl Privatizer for PieGlobals {
 
     fn supports_migration(&self) -> bool {
         // The whole point: segments were allocated via Isomalloc.
+        true
+    }
+
+    fn parallel_startup_safe(&self) -> bool {
+        // instantiate_rank only reads the (immutable once running) base
+        // image and this privatizer's own template; all writes target
+        // freshly allocated rank memory.
         true
     }
 
@@ -499,13 +745,18 @@ mod tests {
     #[test]
     fn conservative_scan_corrupts_false_positive_but_relocations_do_not() {
         // An integer that happens to equal an address inside the original
-        // code segment — the paper's acknowledged hazard.
-        for (scan, expect_corruption) in [
-            (ScanPolicy::ConservativeScan, true),
-            (ScanPolicy::Relocations, false),
+        // code segment — the paper's acknowledged hazard. Swept over both
+        // startup paths: the template snapshot happens at the first
+        // instantiation, so the fast path must see pre-privatization
+        // writes to the image exactly like the reference scan does.
+        for (scan, expect_corruption, fast) in [
+            (ScanPolicy::ConservativeScan, true, true),
+            (ScanPolicy::ConservativeScan, true, false),
+            (ScanPolicy::Relocations, false, true),
+            (ScanPolicy::Relocations, false, false),
         ] {
             let binary = bin();
-            let env = PrivatizeEnv::new(binary);
+            let env = PrivatizeEnv::new(binary).with_perf_fast(fast);
             let mut p = PieGlobals::new(
                 env,
                 PieOptions {
@@ -528,6 +779,46 @@ mod tests {
             } else {
                 assert_eq!(got, fake, "relocation records leave the integer alone");
             }
+        }
+    }
+
+    #[test]
+    fn fast_template_path_matches_reference_scan() {
+        for scan in [ScanPolicy::ConservativeScan, ScanPolicy::Relocations] {
+            let opts = PieOptions {
+                scan,
+                dedup_readonly: false,
+            };
+            let mut fast = PieGlobals::new(PrivatizeEnv::new(bin()), opts).unwrap();
+            let mut reference =
+                PieGlobals::new(PrivatizeEnv::new(bin()).with_perf_fast(false), opts).unwrap();
+            assert!(fast.fast && !reference.fast);
+            for rank in 0..3 {
+                let mut mf = RankMemory::new();
+                let mut mr = RankMemory::new();
+                for (p, mem) in [(&mut fast, &mut mf), (&mut reference, &mut mr)] {
+                    let r = p.instantiate_rank(rank, mem).unwrap();
+                    r.activate();
+                    // vtable → rank's own code copy, resolving to the
+                    // same symbol
+                    let vt = r.access("vt").read_u64() as usize;
+                    let found = p.find_original(vt).expect("vt resolves");
+                    assert_eq!(found.symbol.as_ref().unwrap().0, "combine");
+                    // ctor heap pointer → this rank's clone
+                    let hp = r.access("hp").read_u64() as usize;
+                    assert!(mem.heap_ref().contains(hp));
+                    // data-to-data pointer → this rank's own `g`
+                    let lp = r.access("lp").read_u64() as usize;
+                    assert_eq!(lp, r.access("g").ptr() as usize);
+                }
+            }
+            // identical fixup work per rank on both paths, template
+            // reused across ranks (same count every rank)
+            assert_eq!(
+                fast.fixups_applied, reference.fixups_applied,
+                "{scan:?}: fast path must apply exactly the reference fixups"
+            );
+            regs::clear();
         }
     }
 

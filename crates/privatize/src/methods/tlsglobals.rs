@@ -88,6 +88,11 @@ pub struct TlsGlobals {
     pe_blocks: Vec<Box<[u8]>>,
     /// Process-level HLS variables (shared in the base image).
     process_level: Vec<String>,
+    /// Fully initialized per-rank TLS block, prebuilt once: zeroes with
+    /// every entry's init bytes laid in at its offset. Per-rank startup
+    /// is then a single memcpy instead of a per-entry copy loop.
+    block_template: Box<[u8]>,
+    fast: bool,
 }
 
 impl TlsGlobals {
@@ -140,6 +145,7 @@ impl TlsGlobals {
         }
 
         let pes = env.pes_per_process;
+        let fast = env.perf_fast;
         let common = Common::new(env)?;
         let spec = common.env.binary.spec.clone();
         let layout = &common.env.binary.layout;
@@ -209,17 +215,26 @@ impl TlsGlobals {
             })
             .collect();
 
+        let block_size = off.max(8);
+        let mut block_template = vec![0u8; block_size].into_boxed_slice();
+        for e in &entries {
+            let len = e.init.len().min(e.size);
+            block_template[e.offset..e.offset + len].copy_from_slice(&e.init[..len]);
+        }
+
         Ok(TlsGlobals {
             common,
             method,
             entries,
             untagged,
-            block_size: off.max(8),
+            block_size,
             mpc,
             pe_entries,
             pe_block_size,
             pe_blocks,
             process_level,
+            block_template,
+            fast,
         })
     }
 
@@ -260,11 +275,19 @@ impl Privatizer for TlsGlobals {
         // Per-rank TLS segment copy, in rank memory (migratable: Table 1
         // says TLSglobals supports migration; the per-rank TLS block is
         // exactly "the TLS segment copied once per virtual rank").
-        let mut block = Region::new_zeroed(RegionKind::TlsSegment, self.block_size);
-        for e in &self.entries {
-            let len = e.init.len().min(e.size);
-            block.as_mut_slice()[e.offset..e.offset + len].copy_from_slice(&e.init[..len]);
-        }
+        let block = if self.fast {
+            // one memcpy from the prebuilt template
+            Region::from_bytes(RegionKind::TlsSegment, &self.block_template)
+        } else {
+            // reference path: zeroed block + per-entry init copies —
+            // kept verbatim as the oracle the template must match.
+            let mut block = Region::new_zeroed(RegionKind::TlsSegment, self.block_size);
+            for e in &self.entries {
+                let len = e.init.len().min(e.size);
+                block.as_mut_slice()[e.offset..e.offset + len].copy_from_slice(&e.init[..len]);
+            }
+            block
+        };
         let base = block.base_mut();
         pvr_trace::emit(pvr_trace::EventKind::SegmentCopy {
             segment: pvr_trace::Segment::Tls,
@@ -303,6 +326,13 @@ impl Privatizer for TlsGlobals {
     fn supports_migration(&self) -> bool {
         // Table 1: TLSglobals yes; -fmpc-privatize "Not implemented".
         !self.mpc
+    }
+
+    fn parallel_startup_safe(&self) -> bool {
+        // instantiate_rank reads only this privatizer's prebuilt state
+        // and the (immutable) base image; all writes go to fresh rank
+        // memory.
+        true
     }
 
     fn pe_block(&self, local_pe: usize) -> Option<*mut u8> {
@@ -406,6 +436,37 @@ mod tests {
         let p = TlsGlobals::new(env, TagPolicy::All, true).unwrap();
         assert_eq!(p.method(), Method::MpcPrivatize);
         assert!(!p.supports_migration(), "Table 1: not implemented");
+    }
+
+    #[test]
+    fn template_block_bit_identical_to_reference_init() {
+        let mk = |fast: bool| {
+            TlsGlobals::new(
+                PrivatizeEnv::new(bin()).with_perf_fast(fast),
+                TagPolicy::All,
+                false,
+            )
+            .unwrap()
+        };
+        let mut fast = mk(true);
+        let mut reference = mk(false);
+        let mut mf = RankMemory::new();
+        let mut mr = RankMemory::new();
+        let inst_f = fast.instantiate_rank(0, &mut mf).unwrap();
+        let inst_r = reference.instantiate_rank(0, &mut mr).unwrap();
+        assert_eq!(fast.block_size, reference.block_size);
+        let (CtxAction::SetTls(bf), CtxAction::SetTls(br)) =
+            (inst_f.ctx_action(), inst_r.ctx_action())
+        else {
+            panic!("expected SetTls on both paths");
+        };
+        let (sf, sr) = unsafe {
+            (
+                std::slice::from_raw_parts(bf, fast.block_size),
+                std::slice::from_raw_parts(br, reference.block_size),
+            )
+        };
+        assert_eq!(sf, sr, "template memcpy must equal per-entry init");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Cost parameters; defaults approximate a busy Lustre-like parallel FS.
@@ -75,7 +76,12 @@ impl std::error::Error for FsError {}
 
 #[derive(Debug)]
 struct FileEntry {
-    bytes: Vec<u8>,
+    /// Refcounted so [`SharedFs::link_file`] can share one allocation
+    /// across many paths (hardlink/reflink semantics).
+    bytes: Arc<[u8]>,
+    /// Whether this entry owns a distinct physical allocation
+    /// (write/copy) or shares another entry's ([`SharedFs::link_file`]).
+    physical: bool,
 }
 
 /// The shared filesystem visible to all simulated nodes.
@@ -84,6 +90,9 @@ pub struct SharedFs {
     cost: FsCostModel,
     capacity: Option<usize>,
     used: usize,
+    /// Bytes backed by distinct allocations (links excluded) — the
+    /// host-side memory the model actually committed.
+    physical_used: usize,
     /// Total simulated I/O time charged so far (for reports).
     total_cost: Duration,
     ops: u64,
@@ -112,6 +121,7 @@ impl SharedFs {
             cost,
             capacity: None,
             used: 0,
+            physical_used: 0,
             total_cost: Duration::ZERO,
             ops: 0,
             fail_writes_after: None,
@@ -143,13 +153,11 @@ impl SharedFs {
         self.fail_writes_after = Some(n);
     }
 
-    /// Write a file; returns the simulated cost of doing so.
-    pub fn write_file(
-        &mut self,
-        path: &str,
-        bytes: Vec<u8>,
-        clients: usize,
-    ) -> Result<Duration, FsError> {
+    /// Admission control for any operation that creates a file of `len`
+    /// bytes at `path`: duplicate paths, injected write failures, and
+    /// the capacity limit — shared by writes, copies, and links so every
+    /// creation charges capacity identically.
+    fn admit(&mut self, path: &str, len: usize) -> Result<(), FsError> {
         if self.files.contains_key(path) {
             return Err(FsError::AlreadyExists {
                 path: path.to_string(),
@@ -158,7 +166,7 @@ impl SharedFs {
         if let Some(left) = self.fail_writes_after.as_mut() {
             if *left == 0 {
                 return Err(FsError::NoSpace {
-                    requested: bytes.len(),
+                    requested: len,
                     available: 0,
                 });
             }
@@ -166,16 +174,34 @@ impl SharedFs {
         }
         if let Some(cap) = self.capacity {
             let available = cap.saturating_sub(self.used);
-            if bytes.len() > available {
+            if len > available {
                 return Err(FsError::NoSpace {
-                    requested: bytes.len(),
+                    requested: len,
                     available,
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Write a file; returns the simulated cost of doing so.
+    pub fn write_file(
+        &mut self,
+        path: &str,
+        bytes: Vec<u8>,
+        clients: usize,
+    ) -> Result<Duration, FsError> {
+        self.admit(path, bytes.len())?;
         let cost = self.cost.transfer_cost(bytes.len(), clients);
         self.used += bytes.len();
-        self.files.insert(path.to_string(), FileEntry { bytes });
+        self.physical_used += bytes.len();
+        self.files.insert(
+            path.to_string(),
+            FileEntry {
+                bytes: bytes.into(),
+                physical: true,
+            },
+        );
         self.total_cost += cost;
         self.ops += 1;
         Ok(cost)
@@ -201,14 +227,14 @@ impl SharedFs {
         dst: &str,
         clients: usize,
     ) -> Result<Duration, FsError> {
-        let bytes = self
+        let bytes: Vec<u8> = self
             .files
             .get(src)
             .ok_or_else(|| FsError::NotFound {
                 path: src.to_string(),
             })?
             .bytes
-            .clone();
+            .to_vec();
         let read_cost = self.cost.transfer_cost(bytes.len(), clients);
         self.total_cost += read_cost;
         self.ops += 1;
@@ -216,10 +242,51 @@ impl SharedFs {
         Ok(read_cost + write_cost)
     }
 
+    /// Link a file (hardlink/reflink): the new path shares `src`'s byte
+    /// allocation instead of duplicating it. Deliberately charges the
+    /// SAME simulated cost, capacity, and injected-failure budget as
+    /// [`Self::copy_file`] — FSglobals still models one binary copy per
+    /// rank on a space-limited shared FS, so every capacity probe,
+    /// `NoSpace` failure, and reported I/O duration is bit-identical to
+    /// the copy path. What a link saves is the *host-side* memcpy (see
+    /// [`Self::physical_bytes_used`]), which is pure wall-clock.
+    pub fn link_file(
+        &mut self,
+        src: &str,
+        dst: &str,
+        clients: usize,
+    ) -> Result<Duration, FsError> {
+        let (len, shared) = {
+            let e = self.files.get(src).ok_or_else(|| FsError::NotFound {
+                path: src.to_string(),
+            })?;
+            (e.bytes.len(), e.bytes.clone())
+        };
+        let read_cost = self.cost.transfer_cost(len, clients);
+        self.total_cost += read_cost;
+        self.ops += 1;
+        self.admit(dst, len)?;
+        let write_cost = self.cost.transfer_cost(len, clients);
+        self.used += len;
+        self.files.insert(
+            dst.to_string(),
+            FileEntry {
+                bytes: shared,
+                physical: false,
+            },
+        );
+        self.total_cost += write_cost;
+        self.ops += 1;
+        Ok(read_cost + write_cost)
+    }
+
     pub fn delete_file(&mut self, path: &str) -> Result<(), FsError> {
         match self.files.remove(path) {
             Some(e) => {
                 self.used -= e.bytes.len();
+                if e.physical {
+                    self.physical_used -= e.bytes.len();
+                }
                 Ok(())
             }
             None => Err(FsError::NotFound {
@@ -238,6 +305,13 @@ impl SharedFs {
 
     pub fn bytes_used(&self) -> usize {
         self.used
+    }
+
+    /// Bytes backed by distinct allocations — excludes
+    /// [`Self::link_file`] entries, which share their source's storage.
+    /// Always ≤ [`Self::bytes_used`] (the capacity-charged figure).
+    pub fn physical_bytes_used(&self) -> usize {
+        self.physical_used
     }
 
     /// Total simulated I/O time charged so far.
@@ -351,6 +425,58 @@ mod tests {
         assert!(cost > Duration::ZERO);
         assert!(fs.exists("/bin.rank0"));
         assert_eq!(fs.bytes_used(), 8192);
+    }
+
+    #[test]
+    fn link_file_charges_like_copy_but_shares_bytes() {
+        let mut copied = SharedFs::new();
+        let mut linked = SharedFs::new();
+        for fs in [&mut copied, &mut linked] {
+            fs.write_file("/bin", vec![7u8; 4096], 1).unwrap();
+        }
+        let c = copied.copy_file("/bin", "/bin.rank0", 8).unwrap();
+        let l = linked.link_file("/bin", "/bin.rank0", 8).unwrap();
+        // Identical observable accounting: simulated cost, logical
+        // bytes, op count — the model's behavior cannot depend on which
+        // path ran.
+        assert_eq!(c, l);
+        assert_eq!(copied.bytes_used(), linked.bytes_used());
+        assert_eq!(copied.op_count(), linked.op_count());
+        assert_eq!(copied.total_cost(), linked.total_cost());
+        // ...but only the copy committed a second allocation.
+        assert_eq!(copied.physical_bytes_used(), 8192);
+        assert_eq!(linked.physical_bytes_used(), 4096);
+        // link contents read back identically and deletes free capacity
+        let (size, _) = linked.read_file("/bin.rank0", 1).unwrap();
+        assert_eq!(size, 4096);
+        linked.delete_file("/bin.rank0").unwrap();
+        assert_eq!(linked.bytes_used(), 4096);
+        assert_eq!(linked.physical_bytes_used(), 4096);
+    }
+
+    #[test]
+    fn link_file_respects_capacity_and_injected_failures() {
+        // capacity: a link still needs the same space as a copy
+        let mut fs = SharedFs::with_capacity(6000);
+        fs.write_file("/bin", vec![1u8; 4096], 1).unwrap();
+        match fs.link_file("/bin", "/bin.rank0", 1) {
+            Err(FsError::NoSpace { available, .. }) => assert_eq!(available, 6000 - 4096),
+            other => panic!("expected NoSpace, got {other:?}"),
+        }
+        // injected write failures trip links exactly like writes
+        let mut fs = SharedFs::new();
+        fs.write_file("/bin", vec![1u8; 64], 1).unwrap();
+        fs.fail_writes_after(1);
+        fs.link_file("/bin", "/l1", 1).unwrap();
+        assert!(matches!(
+            fs.link_file("/bin", "/l2", 1),
+            Err(FsError::NoSpace { .. })
+        ));
+        // duplicate destinations rejected
+        assert!(matches!(
+            fs.link_file("/bin", "/l1", 1),
+            Err(FsError::AlreadyExists { .. })
+        ));
     }
 
     #[test]

@@ -31,6 +31,17 @@ use std::sync::atomic::{AtomicU64, AtomicUsize};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Moves a value across the startup builder threads unconditionally.
+///
+/// Safety: used only inside `MachineConfig::build`'s scoped parallel
+/// startup, mirroring `RankTable`'s reasoning — each builder thread
+/// works on disjoint processes and freshly allocated rank memory, the
+/// wrapped closure reference touches only `Send + Sync` captures, and
+/// every produced `RankState` is handed back to the single building
+/// thread before anything runs on it.
+struct SendCell<T>(T);
+unsafe impl<T> Send for SendCell<T> {}
+
 /// How many OS threads drive the PEs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Parallelism {
@@ -122,6 +133,12 @@ pub struct MachineConfig {
     pub guards: bool,
     /// Worker-thread policy for [`Machine::run`].
     pub parallelism: Parallelism,
+    /// Hot-path fast paths: bulk epoch extraction (`drain_until`),
+    /// recycled lane queues/outboxes, zero-copy corruption injection,
+    /// and memoized privatization startup. Defaults to on; turning it
+    /// off selects the reference oracle paths, which produce
+    /// bit-identical results (asserted by `tests/perf_equivalence.rs`).
+    pub perf_fast_paths: bool,
 }
 
 impl MachineConfig {
@@ -151,6 +168,7 @@ impl MachineConfig {
             fallback_chain: vec![Method::PipGlobals, Method::FsGlobals, Method::PieGlobals],
             guards: false,
             parallelism: Parallelism::Auto,
+            perf_fast_paths: true,
         }
     }
 
@@ -264,6 +282,7 @@ impl MachineConfig {
                 .with_pes(topo.pes_per_process)
                 .with_shared_fs(self.shared_fs.clone())
                 .with_concurrent_processes(topo.total_processes())
+                .with_perf_fast(self.perf_fast_paths)
         };
 
         // Candidate methods, in trial order: the requested method, then
@@ -330,6 +349,74 @@ impl MachineConfig {
             .as_ref()
             .map(|t| pvr_trace::ThreadScope::install(t.clone()));
 
+        // Per-rank instantiation body, shared by the sequential reference
+        // path and the parallel per-process fast path. Captures only
+        // values that are safe to share across the builder threads.
+        let tracer_on = self.tracer.is_some();
+        let guards = self.guards;
+        let stack_size = self.stack_size;
+        let work_model = self.work_model;
+        let virtual_mode = self.clock == ClockMode::Virtual;
+        let ult_backend = self.ult_backend;
+        let binary = self.binary.clone();
+        let rank_body = body.clone();
+        let build_rank = move |privatizer: &mut Box<dyn Privatizer>,
+                               r: usize,
+                               pe: usize|
+              -> Result<RankState, PrivatizeError> {
+            if tracer_on {
+                pvr_trace::set_context(pe, r as u32, 0);
+            }
+            let mut mem = RankMemory::new();
+            let instance = Arc::new(privatizer.instantiate_rank(r, &mut mem)?);
+            if guards {
+                mem.heap().set_guard(true);
+            }
+
+            // ULT stack inside rank memory → packed on migration.
+            let stack_region = Region::new_zeroed(RegionKind::Stack, stack_size);
+            let stack_ptr = stack_region.base_mut();
+            mem.add_region(stack_region);
+            let stack = unsafe { StackMem::from_raw(stack_ptr, stack_size) };
+
+            let slot = Arc::new(Mutex::new(Slot::default()));
+            let shared = Arc::new(RankShared {
+                current_pe: AtomicUsize::new(pe),
+                now_ns: AtomicU64::new(0),
+            });
+            let ctx = RankCtx {
+                rank: r,
+                n_ranks,
+                slot: slot.clone(),
+                shared: shared.clone(),
+                instance: instance.clone(),
+                work_model,
+                virtual_mode,
+                binary: binary.clone(),
+            };
+            let body = rank_body.clone();
+            let mut ult = Ult::with_backend(ult_backend, stack, move || body(ctx));
+            if guards {
+                ult.install_stack_guard();
+            }
+
+            Ok(RankState {
+                ult: Some(ult),
+                memory: mem,
+                instance,
+                slot,
+                shared,
+                status: RankStatus::Ready,
+                location: pe,
+                mailbox: Default::default(),
+                load_since_lb: SimDuration::ZERO,
+                total_load: SimDuration::ZERO,
+                messages_sent: 0,
+                messages_received: 0,
+                migrations: 0,
+            })
+        };
+
         // Try one candidate end-to-end: one privatizer per simulated OS
         // process, then every rank. On failure the locals drop right here
         // — never-started ULTs detach cleanly and FSglobals' Drop deletes
@@ -340,61 +427,65 @@ impl MachineConfig {
             for _proc in 0..topo.total_processes() {
                 privatizers.push(create_privatizer(method, mk_env(), self.options.clone())?);
             }
+            // Parallel startup (tentpole 3): when every privatizer's
+            // instantiate path is process-local, one builder thread per
+            // simulated OS process performs its ranks' segment copies
+            // concurrently. Rank state is identical to the sequential
+            // path; only wall-clock startup changes.
+            let par_startup = self.perf_fast_paths
+                && topo.total_processes() > 1
+                && privatizers.iter().all(|p| p.parallel_startup_safe());
             let mut ranks: Vec<RankState> = Vec::with_capacity(n_ranks);
-            for r in 0..n_ranks {
-                let pe = location.lookup(r);
-                if self.tracer.is_some() {
-                    pvr_trace::set_context(pe, r as u32, 0);
+            if par_startup {
+                let rank_pes: Vec<usize> = (0..n_ranks).map(|r| location.lookup(r)).collect();
+                let results: Vec<Result<Vec<(usize, RankState)>, PrivatizeError>> =
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = privatizers
+                            .iter_mut()
+                            .enumerate()
+                            .map(|(proc, p)| {
+                                let plan: Vec<(usize, usize)> = rank_pes
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|&(_, &pe)| topo.process_of_pe(pe) == proc)
+                                    .map(|(r, &pe)| (r, pe))
+                                    .collect();
+                                let tracer = self.tracer.clone();
+                                let br = SendCell(&build_rank);
+                                s.spawn(move || {
+                                    let _scope =
+                                        tracer.map(pvr_trace::ThreadScope::install);
+                                    let mut out = Vec::with_capacity(plan.len());
+                                    for (r, pe) in plan {
+                                        match (br.0)(p, r, pe) {
+                                            Ok(state) => out.push((r, state)),
+                                            Err(e) => return SendCell(Err(e)),
+                                        }
+                                    }
+                                    SendCell(Ok(out))
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("startup builder thread panicked").0)
+                            .collect()
+                    });
+                // Merge in process order; the first failing process (the
+                // lowest-ranked failure under block placement) surfaces,
+                // matching the sequential path's error.
+                let mut pairs: Vec<(usize, RankState)> = Vec::with_capacity(n_ranks);
+                for res in results {
+                    pairs.extend(res?);
                 }
-                let proc = topo.process_of_pe(pe);
-                let mut mem = RankMemory::new();
-                let instance = Arc::new(privatizers[proc].instantiate_rank(r, &mut mem)?);
-                if self.guards {
-                    mem.heap().set_guard(true);
+                pairs.sort_by_key(|(r, _)| *r);
+                ranks.extend(pairs.into_iter().map(|(_, state)| state));
+            } else {
+                for r in 0..n_ranks {
+                    let pe = location.lookup(r);
+                    let proc = topo.process_of_pe(pe);
+                    ranks.push(build_rank(&mut privatizers[proc], r, pe)?);
                 }
-
-                // ULT stack inside rank memory → packed on migration.
-                let stack_region = Region::new_zeroed(RegionKind::Stack, self.stack_size);
-                let stack_ptr = stack_region.base_mut();
-                mem.add_region(stack_region);
-                let stack = unsafe { StackMem::from_raw(stack_ptr, self.stack_size) };
-
-                let slot = Arc::new(Mutex::new(Slot::default()));
-                let shared = Arc::new(RankShared {
-                    current_pe: AtomicUsize::new(pe),
-                    now_ns: AtomicU64::new(0),
-                });
-                let ctx = RankCtx {
-                    rank: r,
-                    n_ranks,
-                    slot: slot.clone(),
-                    shared: shared.clone(),
-                    instance: instance.clone(),
-                    work_model: self.work_model,
-                    virtual_mode: self.clock == ClockMode::Virtual,
-                    binary: self.binary.clone(),
-                };
-                let body = body.clone();
-                let mut ult = Ult::with_backend(self.ult_backend, stack, move || body(ctx));
-                if self.guards {
-                    ult.install_stack_guard();
-                }
-
-                ranks.push(RankState {
-                    ult: Some(ult),
-                    memory: mem,
-                    instance,
-                    slot,
-                    shared,
-                    status: RankStatus::Ready,
-                    location: pe,
-                    mailbox: Default::default(),
-                    load_since_lb: SimDuration::ZERO,
-                    total_load: SimDuration::ZERO,
-                    messages_sent: 0,
-                    messages_received: 0,
-                    migrations: 0,
-                });
             }
             Ok((privatizers, ranks))
         };
@@ -498,7 +589,10 @@ impl MachineConfig {
             location,
             ranks: RankTable::new(ranks),
             pes,
-            queue: EventQueue::new(),
+            // Pre-sized from the run shape: PeWakes per PE plus a few
+            // in-flight deliveries/acks/timers per rank covers the
+            // steady state, so scheduling never reallocates.
+            queue: EventQueue::with_capacity((n_ranks * 8 + n_pes).max(64)),
             done_count: 0,
             at_sync_count: 0,
             total_switches: 0,
@@ -534,6 +628,9 @@ impl MachineConfig {
             last_ran: None,
             parallelism: self.parallelism,
             engine: EngineTallies::default(),
+            perf_fast: self.perf_fast_paths,
+            lane_slots: Vec::new(),
+            merge_buf: Vec::new(),
         })
     }
 }
@@ -720,6 +817,14 @@ impl MachineBuilder {
     /// [`Parallelism::Auto`].
     pub fn parallelism(mut self, p: Parallelism) -> Self {
         self.cfg.parallelism = p;
+        self
+    }
+
+    /// Hot-path fast paths (bulk epoch extraction, recycled lane state,
+    /// zero-copy corruption injection, memoized startup); defaults to
+    /// on. Off selects the bit-identical reference oracle paths.
+    pub fn perf_fast_paths(mut self, on: bool) -> Self {
+        self.cfg.perf_fast_paths = on;
         self
     }
 

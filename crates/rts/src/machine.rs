@@ -318,6 +318,16 @@ pub struct Machine {
     pub(crate) parallelism: Parallelism,
     /// Engine activity counters for the [`RunReport`].
     pub(crate) engine: EngineTallies,
+    /// Hot-path fast paths enabled (bulk epoch extraction, lane slot
+    /// reuse, zero-copy corruption injection). Off = reference oracle
+    /// paths; both produce bit-identical results.
+    pub(crate) perf_fast: bool,
+    /// Recycled per-PE lane scheduler state (event queue + outbox),
+    /// indexed by PE — with `perf_fast`, steady-state epochs allocate
+    /// no fresh lane structures.
+    pub(crate) lane_slots: Vec<(EventQueue<Event>, Outbox)>,
+    /// Recycled barrier-merge staging buffer.
+    pub(crate) merge_buf: Vec<(SimTime, PeId, Event)>,
 }
 
 impl Machine {
@@ -647,6 +657,7 @@ impl Machine {
                 reliable: self.reliable.as_ref(),
                 epoch_start: self.epoch,
                 n_ranks: self.ranks.len(),
+                perf_fast: self.perf_fast,
             };
             let mut guard_ctx;
             let guard = if self.guards {
@@ -1238,18 +1249,42 @@ impl Machine {
 
     /// Split an epoch's event batch into per-PE lanes, moving each PE's
     /// scheduler state into its lane. Batch order (time, global seq) is
-    /// preserved within each lane.
-    fn make_lanes(&mut self, batch: Vec<(SimTime, Event)>, horizon: SimTime) -> Vec<Lane> {
-        let mut lanes: Vec<Lane> = (0..self.pes.len())
-            .map(|pe| Lane {
-                pe,
-                state: std::mem::take(&mut self.pes[pe]),
-                queue: EventQueue::new(),
-                horizon,
-                out: Outbox::default(),
+    /// preserved within each lane. Drains `batch` so the caller can
+    /// reuse the buffer.
+    ///
+    /// With `perf_fast`, lane queues and outboxes are recycled from
+    /// `lane_slots` (returned by [`Self::merge_lanes`]) so steady-state
+    /// epochs allocate nothing. Recycling is safe for the queue's
+    /// monotonic `now`: every event in the next epoch's batch is at or
+    /// beyond the previous horizon, which bounds every lane's `now`.
+    fn make_lanes(&mut self, batch: &mut Vec<(SimTime, Event)>, horizon: SimTime) -> Vec<Lane> {
+        let n = self.pes.len();
+        if self.perf_fast && self.lane_slots.len() != n {
+            // First epoch (or the PE count changed): pre-size each
+            // lane's queue and outbox from the run shape so the
+            // steady state never reallocates.
+            let cap = (self.ranks.len() * 4 / n.max(1)).max(16);
+            self.lane_slots = (0..n)
+                .map(|_| (EventQueue::with_capacity(cap), Outbox::with_capacity(cap)))
+                .collect();
+        }
+        let mut lanes: Vec<Lane> = (0..n)
+            .map(|pe| {
+                let (queue, out) = if self.perf_fast {
+                    std::mem::take(&mut self.lane_slots[pe])
+                } else {
+                    (EventQueue::new(), Outbox::default())
+                };
+                Lane {
+                    pe,
+                    state: std::mem::take(&mut self.pes[pe]),
+                    queue,
+                    horizon,
+                    out,
+                }
             })
             .collect();
-        for (t, ev) in batch {
+        for (t, ev) in batch.drain(..) {
             let pe = self.event_pe(&ev);
             lanes[pe].queue.schedule(t, ev);
         }
@@ -1263,24 +1298,23 @@ impl Machine {
     /// retransmit-exhaustion verdicts, and surface the canonical
     /// (earliest) error if any lane failed.
     fn merge_lanes(&mut self, lanes: Vec<Lane>) -> Result<(), RtsError> {
-        let mut merged: Vec<(SimTime, PeId, Event)> = Vec::new();
+        let mut merged: Vec<(SimTime, PeId, Event)> = std::mem::take(&mut self.merge_buf);
         let mut exhausted: Vec<(PeId, worker::Exhausted)> = Vec::new();
         let mut errors: Vec<(SimTime, PeId, u8, RtsError)> = Vec::new();
-        for lane in lanes {
+        for mut lane in lanes {
             let pe = lane.pe;
-            self.pes[pe] = lane.state;
+            self.pes[pe] = std::mem::take(&mut lane.state);
             // A lane that errored stops mid-window; reinstate its
             // unprocessed events so machine state stays coherent.
-            let mut q = lane.queue;
-            while let Some((t, ev)) = q.pop() {
+            while let Some((t, ev)) = lane.queue.pop() {
                 merged.push((t, pe, ev));
             }
-            let out = lane.out;
+            let out = &mut lane.out;
             self.total_switches += out.switches;
             self.messages_delivered += out.delivered;
             self.done_count += out.done;
             self.at_sync_count += out.at_sync;
-            for ((a, b), v) in out.comm_bytes {
+            for ((a, b), v) in std::mem::take(&mut out.comm_bytes) {
                 *self.comm_bytes.entry((a, b)).or_default() += v;
             }
             for _ in 0..out.forwards {
@@ -1288,30 +1322,40 @@ impl Machine {
             }
             self.tallies.absorb(&out.faults);
             self.hardening.absorb(&out.hardening);
+            self.engine.pool_hits += out.pool_hits;
+            self.engine.pool_misses += out.pool_misses;
             if let Some(lr) = out.last_ran {
                 self.last_ran = Some(lr);
             }
-            for (t, ev) in out.events {
+            for (t, ev) in out.events.drain(..) {
                 merged.push((t, pe, ev));
             }
-            for ex in out.exhausted {
+            for ex in out.exhausted.drain(..) {
                 exhausted.push((pe, ex));
             }
-            if let Some((t, class, e)) = out.error {
+            if let Some((t, class, e)) = out.error.take() {
                 errors.push((t, pe, class, e));
             }
-            for msg in out.unrouted {
+            let unrouted = std::mem::take(&mut out.unrouted);
+            for msg in unrouted {
                 self.deposit(msg);
+            }
+            // Recycle the lane's (now empty) queue and outbox so the
+            // next epoch's `make_lanes` allocates nothing.
+            if self.perf_fast && pe < self.lane_slots.len() {
+                lane.out.reset();
+                self.lane_slots[pe] = (lane.queue, lane.out);
             }
         }
         // Stable sort on (time, source PE); the per-lane emission index
         // is the push order the sort preserves, and the global queue's
         // sequence number is the final tie-break.
         merged.sort_by_key(|e| (e.0, e.1));
-        for (t, _, ev) in merged {
+        for (t, _, ev) in merged.drain(..) {
             let at = t.max_of(self.queue.now());
             self.queue.schedule(at, ev);
         }
+        self.merge_buf = merged;
         // Deferred retransmit exhaustions, judged against post-epoch
         // receive state in deterministic (time, sender PE) order.
         exhausted.sort_by_key(|&(pe, ref ex)| (ex.at, pe));
@@ -1368,6 +1412,7 @@ impl Machine {
             reliable: self.reliable.as_ref(),
             epoch_start: self.epoch,
             n_ranks: self.ranks.len(),
+            perf_fast: self.perf_fast,
         }
     }
 
@@ -1386,7 +1431,7 @@ impl Machine {
     /// choice cannot change results.
     fn run_epoch(
         &mut self,
-        batch: Vec<(SimTime, Event)>,
+        batch: &mut Vec<(SimTime, Event)>,
         horizon: SimTime,
         threads: usize,
     ) -> Result<(), RtsError> {
@@ -1428,7 +1473,7 @@ impl Machine {
     /// PE can make progress. Returns whether any slice ran.
     fn run_real_burst(&mut self, threads: usize) -> Result<bool, RtsError> {
         self.engine.epochs += 1;
-        let mut lanes = self.make_lanes(Vec::new(), SimTime::ZERO);
+        let mut lanes = self.make_lanes(&mut Vec::new(), SimTime::ZERO);
         let ran;
         let walls;
         let mut baseline = std::mem::take(&mut self.segment_baseline);
@@ -1533,21 +1578,40 @@ impl Machine {
             self.queue.schedule(SimTime::ZERO, Event::PeWake { pe });
         }
         let lookahead = self.lookahead();
+        // Reused across epochs: `drain_until` and `make_lanes` both
+        // drain it, so one warm buffer serves the whole run.
+        let mut batch: Vec<(SimTime, Event)> = Vec::new();
         while self.done_count < self.ranks.len() {
-            let batch: Vec<(SimTime, Event)> = match lookahead {
-                Lookahead::Unbounded => {
-                    let mut b = Vec::new();
-                    while let Some(e) = self.queue.pop() {
-                        b.push(e);
+            debug_assert!(batch.is_empty());
+            if self.perf_fast {
+                // Fast path: bulk epoch extraction in one pass.
+                match lookahead {
+                    Lookahead::Unbounded => self.queue.drain_until(SimTime::MAX, &mut batch),
+                    Lookahead::SingleEvent => batch.extend(self.queue.pop()),
+                    Lookahead::Window(l) => {
+                        if let Some(t0) = self.queue.peek_time() {
+                            self.queue.drain_until(t0.saturating_add(l), &mut batch);
+                        }
                     }
-                    b
                 }
-                Lookahead::SingleEvent => self.queue.pop().into_iter().collect(),
-                Lookahead::Window(l) => match self.queue.peek_time() {
-                    None => Vec::new(),
-                    Some(t0) => self.queue.pop_window(t0.saturating_add(l)),
-                },
-            };
+            } else {
+                // Reference path: one heap pop per event (the oracle the
+                // fast path is checked against).
+                batch = match lookahead {
+                    Lookahead::Unbounded => {
+                        let mut b = Vec::new();
+                        while let Some(e) = self.queue.pop() {
+                            b.push(e);
+                        }
+                        b
+                    }
+                    Lookahead::SingleEvent => self.queue.pop().into_iter().collect(),
+                    Lookahead::Window(l) => match self.queue.peek_time() {
+                        None => Vec::new(),
+                        Some(t0) => self.queue.pop_window(t0.saturating_add(l)),
+                    },
+                };
+            }
             if batch.is_empty() {
                 if self.lb_due() {
                     self.do_lb_step()?;
@@ -1572,7 +1636,7 @@ impl Machine {
                 Lookahead::SingleEvent => batch[0].0,
                 Lookahead::Window(l) => batch[0].0.saturating_add(l),
             };
-            self.run_epoch(batch, horizon, threads)?;
+            self.run_epoch(&mut batch, horizon, threads)?;
             if self.lb_due() {
                 self.do_lb_step()?;
             }

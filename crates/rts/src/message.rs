@@ -44,21 +44,50 @@ impl RtsMessage {
 
     /// FNV-1a over (from, to, tag, seq, payload) — what `checksum`
     /// should hold for an uncorrupted message.
+    ///
+    /// Runs directly over the payload view — no `to_vec()` staging copy
+    /// — and walks it in 8-byte chunks (same byte-serial FNV-1a value,
+    /// one bounds check per chunk instead of per byte).
     pub fn integrity(&self) -> u64 {
-        let mut h: u64 = 0xcbf29ce484222325;
-        let mut eat = |b: u8| {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        };
-        for word in [self.from as u64, self.to as u64, self.tag, self.seq] {
-            for b in word.to_le_bytes() {
-                eat(b);
+        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+        const FNV_PRIME: u64 = 0x100000001b3;
+        #[inline]
+        fn eat8(mut h: u64, chunk: &[u8; 8]) -> u64 {
+            for &b in chunk {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
             }
+            h
         }
-        for &b in self.payload.as_ref() {
-            eat(b);
+        let mut h = FNV_OFFSET;
+        for word in [self.from as u64, self.to as u64, self.tag, self.seq] {
+            h = eat8(h, &word.to_le_bytes());
+        }
+        let payload = self.payload.as_ref();
+        let mut chunks = payload.chunks_exact(8);
+        for chunk in &mut chunks {
+            h = eat8(h, chunk.try_into().expect("exact 8-byte chunk"));
+        }
+        for &b in chunks.remainder() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
         }
         h
+    }
+
+    /// Flip one payload bit in place (or a checksum bit when the
+    /// payload's storage is shared or empty) — either way the receiver's
+    /// [`Self::intact`] check fails, which is the entire observable
+    /// effect of in-flight corruption. Never allocates: inline payloads
+    /// are uniquely owned by value and mutated directly; spilled
+    /// payloads share their buffer with the sender's retransmit copy, so
+    /// the damage is recorded in the seal instead of the bytes.
+    pub fn corrupt_payload(&mut self) {
+        let mid = self.payload.len() / 2;
+        match self.payload.inline_mut() {
+            Some(bytes) if !bytes.is_empty() => bytes[mid] ^= 0x01,
+            _ => self.checksum ^= 1 << (mid % 64),
+        }
     }
 
     /// Stamp `checksum` from the current contents.
@@ -89,9 +118,7 @@ mod tests {
         m.seq = 9;
         m.seal();
         assert!(m.intact());
-        let mut bytes = m.payload.as_ref().to_vec();
-        bytes[2] ^= 0x10; // single bit flip
-        m.payload = Bytes::from(bytes);
+        m.payload.inline_mut().expect("small payload is inline")[2] ^= 0x10; // single bit flip
         assert!(!m.intact());
     }
 
@@ -101,5 +128,53 @@ mod tests {
         m.seal();
         m.seq = 1;
         assert!(!m.intact());
+    }
+
+    #[test]
+    fn chunked_integrity_matches_byte_serial_fnv() {
+        // The 8-byte-chunk walk must compute the identical byte-serial
+        // FNV-1a value for every payload length (incl. non-multiples of
+        // 8 and spilled > 64 B buffers).
+        for n in [0usize, 1, 7, 8, 9, 63, 64, 65, 100, 1024] {
+            let payload: Vec<u8> = (0..n).map(|i| (i * 31 + 7) as u8).collect();
+            let mut m = RtsMessage::new(3, 5, 11, Bytes::from(payload.clone()));
+            m.seq = 42;
+            let mut h: u64 = 0xcbf29ce484222325;
+            let mut eat = |b: u8| {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            };
+            for word in [3u64, 5, 11, 42] {
+                for b in word.to_le_bytes() {
+                    eat(b);
+                }
+            }
+            for &b in &payload {
+                eat(b);
+            }
+            assert_eq!(m.integrity(), h, "payload len {n}");
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_never_allocates_and_always_detected() {
+        // Inline payload: real bit flip in place.
+        let mut m = RtsMessage::new(0, 1, 7, Bytes::from(vec![1, 2, 3, 4]));
+        m.seal();
+        m.corrupt_payload();
+        assert!(!m.intact());
+        assert_eq!(m.payload.as_ref(), &[1, 2, 0x02, 4], "mid bit flipped");
+        // Empty payload: seal bit flip.
+        let mut m = RtsMessage::new(0, 1, 7, Bytes::new());
+        m.seal();
+        m.corrupt_payload();
+        assert!(!m.intact());
+        // Spilled (shared) payload: seal bit flip, shared bytes intact.
+        let big = Bytes::from(vec![9u8; 128]);
+        let mut m = RtsMessage::new(0, 1, 7, big.clone());
+        m.seal();
+        m.corrupt_payload();
+        assert!(!m.intact());
+        assert_eq!(m.payload, big, "shared buffer must not be scribbled");
     }
 }

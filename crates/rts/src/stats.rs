@@ -165,6 +165,13 @@ pub struct EngineTallies {
     pub epochs: u64,
     /// Epoch barriers crossed by the parallel engine (0 on serial runs).
     pub barriers: u64,
+    /// Message sends whose payload fit the envelope pool's inline
+    /// small-payload storage (≤ 64 B: no heap allocation on the send
+    /// path). Counted identically on fast and reference paths — the
+    /// classification depends only on the message stream.
+    pub pool_hits: u64,
+    /// Message sends whose payload spilled to a refcounted heap buffer.
+    pub pool_misses: u64,
     /// Wall-clock each worker spent executing lane events, indexed by
     /// worker id.
     pub worker_wall: Vec<Duration>,

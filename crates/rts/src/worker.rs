@@ -198,6 +198,59 @@ pub(crate) struct Outbox {
     /// runs surface the same failure as serial ones.
     pub error: Option<(SimTime, u8, RtsError)>,
     pub last_ran: Option<RankId>,
+    /// Message sends whose payload fit the envelope pool's inline
+    /// small-payload storage (no heap allocation on the send path).
+    pub pool_hits: u64,
+    /// Message sends whose payload spilled to a heap buffer.
+    pub pool_misses: u64,
+}
+
+impl Outbox {
+    /// An outbox whose event buffer is pre-sized for `cap` cross-barrier
+    /// emissions per epoch.
+    pub fn with_capacity(cap: usize) -> Outbox {
+        Outbox {
+            events: Vec::with_capacity(cap),
+            ..Default::default()
+        }
+    }
+
+    /// Clear every field for reuse in a later epoch, keeping buffer
+    /// capacity.
+    pub fn reset(&mut self) {
+        let Outbox {
+            events,
+            switches,
+            delivered,
+            done,
+            at_sync,
+            comm_bytes,
+            forwards,
+            faults,
+            hardening,
+            exhausted,
+            unrouted,
+            error,
+            last_ran,
+            pool_hits,
+            pool_misses,
+        } = self;
+        events.clear();
+        *switches = 0;
+        *delivered = 0;
+        *done = 0;
+        *at_sync = 0;
+        comm_bytes.clear();
+        *forwards = 0;
+        *faults = FaultTallies::default();
+        *hardening = HardeningTallies::default();
+        exhausted.clear();
+        unrouted.clear();
+        *error = None;
+        *last_ran = None;
+        *pool_hits = 0;
+        *pool_misses = 0;
+    }
 }
 
 /// One PE's share of an epoch: its scheduler state, its slice of the
@@ -233,6 +286,9 @@ pub(crate) struct EngineShared<'e> {
     pub reliable: Option<&'e Mutex<ReliableState>>,
     pub epoch_start: Instant,
     pub n_ranks: usize,
+    /// Hot-path fast paths enabled (zero-copy corruption injection);
+    /// off = reference oracle behavior, bit-identical results.
+    pub perf_fast: bool,
 }
 
 /// The execution context a worker drives: shared machine state plus the
@@ -255,8 +311,16 @@ fn respond(rs: &RankState, resp: Response) {
 
 /// Flip one payload bit (or a checksum bit for empty payloads) — the
 /// receiver's integrity check is what detects this.
-fn corrupt_in_flight(msg: &mut RtsMessage) {
-    if msg.payload.is_empty() {
+///
+/// `fast` selects [`RtsMessage::corrupt_payload`], which never
+/// allocates; the reference path keeps the historical full-payload copy
+/// as the oracle. Both fail `intact()` identically, and a corrupted
+/// copy's payload bytes are never otherwise observed, so the two are
+/// bit-identical at the run level.
+fn corrupt_in_flight(msg: &mut RtsMessage, fast: bool) {
+    if fast {
+        msg.corrupt_payload();
+    } else if msg.payload.is_empty() {
         msg.checksum ^= 1;
     } else {
         let mut bytes = msg.payload.as_ref().to_vec();
@@ -398,17 +462,19 @@ impl<'a, 'e, 'g> ExecCtx<'a, 'e, 'g> {
             class,
             FaultPlan::message_key(from as u64, to as u64, seq, attempt, 0, FaultStream::Data),
         );
-        let mut copies = vec![primary];
+        // At most two copies (primary + one duplicate) — a fixed array,
+        // not a heap vector, so the per-transmit path allocates nothing.
+        let mut copies = [Some(primary), None];
         if primary.duplicate {
             self.lane().out.faults.duplicates_injected += 1;
             // The duplicate's own fate is decided independently; its
             // `duplicate` flag is ignored to prevent cascades.
-            copies.push(plan.decide(
+            copies[1] = Some(plan.decide(
                 class,
                 FaultPlan::message_key(from as u64, to as u64, seq, attempt, 1, FaultStream::Data),
             ));
         }
-        for d in copies {
+        for d in copies.into_iter().flatten() {
             if d.drop {
                 self.lane().out.faults.msgs_dropped += 1;
                 self.trace(
@@ -422,9 +488,11 @@ impl<'a, 'e, 'g> ExecCtx<'a, 'e, 'g> {
                 );
                 continue;
             }
+            // Refcounted (or inline) payload share: cloning the message
+            // never copies a heap buffer.
             let mut copy = msg.clone();
             if d.corrupt {
-                corrupt_in_flight(&mut copy);
+                corrupt_in_flight(&mut copy, self.shared.perf_fast);
             }
             let at = (t_send + cost + d.jitter).max_of(self.lanes[self.li].queue.now());
             self.emit(
@@ -709,11 +777,22 @@ impl<'a, 'e, 'g> ExecCtx<'a, 'e, 'g> {
                     }
                     rs.messages_sent += 1;
                     let msg = RtsMessage::new(r, to, tag, payload);
-                    *self.lanes[self.li]
-                        .out
-                        .comm_bytes
-                        .entry((r, to))
-                        .or_default() += msg.wire_bytes() as u64;
+                    // Envelope-pool accounting: an inline payload's whole
+                    // lifecycle (send, retransmit copies, delivery) is
+                    // allocation-free. The classification depends only
+                    // on the message stream, so fast and reference
+                    // paths tally identically.
+                    let inline = msg.payload.is_inline();
+                    {
+                        let out = &mut self.lanes[self.li].out;
+                        if inline {
+                            out.pool_hits += 1;
+                        } else {
+                            out.pool_misses += 1;
+                        }
+                        *out.comm_bytes.entry((r, to)).or_default() += msg.wire_bytes() as u64;
+                    }
+                    self.trace(r as u32, EventKind::MsgPool { inline });
                     self.trace(
                         r as u32,
                         EventKind::MsgSend {

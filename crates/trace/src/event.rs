@@ -185,6 +185,11 @@ pub enum EventKind {
     /// segments at a barrier; `dirty` of them changed outside their
     /// owner's execution (cross-rank global bleed).
     SegmentAudit { ranks: u32, dirty: u32 },
+    /// Envelope-pool classification of one message send: `inline` means
+    /// the payload fit the pool's inline small-payload storage (≤ 64 B)
+    /// and its whole send/retransmit/delivery lifecycle allocates
+    /// nothing; otherwise it spilled to a refcounted heap buffer.
+    MsgPool { inline: bool },
 }
 
 impl EventKind {
@@ -215,6 +220,7 @@ impl EventKind {
             EventKind::StackGuardTrip { .. } => "stack_guard_trip",
             EventKind::ArenaGuardTrip { .. } => "arena_guard_trip",
             EventKind::SegmentAudit { .. } => "segment_audit",
+            EventKind::MsgPool { .. } => "msg_pool",
         }
     }
 }

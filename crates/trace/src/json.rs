@@ -154,6 +154,9 @@ fn event_json(e: &Event) -> String {
         EventKind::SegmentAudit { ranks, dirty } => {
             s.push_str(&format!(", \"ranks\": {ranks}, \"dirty\": {dirty}"));
         }
+        EventKind::MsgPool { inline } => {
+            s.push_str(&format!(", \"inline\": {inline}"));
+        }
     }
     s.push('}');
     s
@@ -182,7 +185,8 @@ impl TraceSnapshot {
              \"msg_retransmits\": {}, \"dup_suppressed\": {}, \"pe_fails\": {}, \
              \"checkpoints\": {}, \"checkpoint_bytes\": {}, \"recoveries\": {}, \
              \"method_probes\": {}, \"method_fallbacks\": {}, \"stack_guard_trips\": {}, \
-             \"arena_guard_trips\": {}, \"segment_audits\": {}}},",
+             \"arena_guard_trips\": {}, \"segment_audits\": {}, \"pool_hits\": {}, \
+             \"pool_misses\": {}}},",
             c.ctx_switches,
             c.blocks,
             c.unblocks,
@@ -213,7 +217,9 @@ impl TraceSnapshot {
             c.method_fallbacks,
             c.stack_guard_trips,
             c.arena_guard_trips,
-            c.segment_audits
+            c.segment_audits,
+            c.pool_hits,
+            c.pool_misses
         );
         out.push_str("  \"pes\": [\n");
         for (i, p) in self.per_pe.iter().enumerate() {

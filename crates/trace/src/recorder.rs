@@ -69,6 +69,11 @@ pub struct TraceCounts {
     pub arena_guard_trips: u64,
     /// Segment-integrity audits performed at barriers.
     pub segment_audits: u64,
+    /// Message sends whose payload fit the envelope pool's inline
+    /// storage (allocation-free lifecycle).
+    pub pool_hits: u64,
+    /// Message sends whose payload spilled to a refcounted heap buffer.
+    pub pool_misses: u64,
 }
 
 impl TraceCounts {
@@ -100,10 +105,12 @@ impl TraceCounts {
             + self.stack_guard_trips
             + self.arena_guard_trips
             + self.segment_audits
+            + self.pool_hits
+            + self.pool_misses
     }
 }
 
-const N_COUNTERS: usize = 31;
+const N_COUNTERS: usize = 33;
 
 // Counter slot indices (mirrors TraceCounts field order).
 const C_CTX: usize = 0;
@@ -137,6 +144,8 @@ const C_METHOD_FALLBACK: usize = 27;
 const C_STACK_GUARD: usize = 28;
 const C_ARENA_GUARD: usize = 29;
 const C_SEGMENT_AUDIT: usize = 30;
+const C_POOL_HIT: usize = 31;
+const C_POOL_MISS: usize = 32;
 
 /// Fixed-capacity ring of the most recent events on one PE.
 struct PeRing {
@@ -303,6 +312,9 @@ impl Tracer {
             EventKind::StackGuardTrip { .. } => bump(C_STACK_GUARD, 1),
             EventKind::ArenaGuardTrip { .. } => bump(C_ARENA_GUARD, 1),
             EventKind::SegmentAudit { .. } => bump(C_SEGMENT_AUDIT, 1),
+            EventKind::MsgPool { inline } => {
+                bump(if inline { C_POOL_HIT } else { C_POOL_MISS }, 1)
+            }
         }
     }
 
@@ -350,6 +362,8 @@ impl Tracer {
             stack_guard_trips: c(C_STACK_GUARD),
             arena_guard_trips: c(C_ARENA_GUARD),
             segment_audits: c(C_SEGMENT_AUDIT),
+            pool_hits: c(C_POOL_HIT),
+            pool_misses: c(C_POOL_MISS),
         }
     }
 

@@ -41,6 +41,18 @@ else
     echo "==> engine-scaling smoke skipped ($cores core(s): no real parallelism available)"
 fi
 
+echo "==> perf-smoke (fast-path baseline must produce BENCH_perf.json)"
+cargo run --release -q -p pvr-bench --bin repro -- perf --quick
+[ -s BENCH_perf.json ] || {
+    echo "FAIL: repro -- perf did not write BENCH_perf.json"
+    exit 1
+}
+# Bit-identity of fast vs reference paths is gated separately by
+# tests/perf_equivalence.rs in the workspace test sweeps above.
+
+echo "==> fast-path equivalence gate (perf_fast_paths on == off, bit-identical)"
+cargo test -q -p pvr-bench --test perf_equivalence
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,153 @@
+//! Acceptance: the hot-path fast paths are bit-identical to the
+//! reference paths they replace.
+//!
+//! PR 5's optimizations (inline message payloads, bulk epoch
+//! extraction, memoized privatization startup, parallel per-process
+//! instantiation) all sit behind `perf_fast_paths`, default on. This
+//! suite runs the same Jacobi job with the knob on and off — across
+//! engines, privatization methods, a lossy network, and a mid-run PE
+//! failure — and requires identical digests, residual histories, and
+//! trace event counts. Any divergence means a fast path changed
+//! simulation behavior, which is a bug by definition.
+
+use parking_lot::Mutex;
+use pvr_ampi::Ampi;
+use pvr_apps::jacobi3d::{self, JacobiConfig};
+use pvr_des::{FaultParams, FaultPlan, HopClass, NetworkModel, SimDuration, Topology};
+use pvr_privatize::{Method, Toolchain};
+use pvr_rts::{ClockMode, MachineBuilder, Parallelism, RankCtx};
+use pvr_trace::{TraceCounts, Tracer};
+use std::sync::Arc;
+
+const ROUNDS: usize = 3;
+const METHODS: [Method; 3] = [Method::PieGlobals, Method::TlsGlobals, Method::Swapglobals];
+
+fn jacobi_cfg() -> JacobiConfig {
+    JacobiConfig {
+        nx: 8,
+        ny: 8,
+        nz: 4,
+        iters: 4,
+    }
+}
+
+type Residuals = Vec<(usize, Vec<f64>)>;
+
+fn jacobi_body(out: Arc<Mutex<Residuals>>) -> Arc<dyn Fn(RankCtx) + Send + Sync> {
+    Arc::new(move |ctx: RankCtx| {
+        let mpi = Ampi::init(ctx);
+        let mut history = Vec::with_capacity(ROUNDS);
+        for _round in 0..ROUNDS {
+            let stats = jacobi3d::run(&mpi, jacobi_cfg());
+            history.push(stats.residual);
+            mpi.migrate();
+        }
+        out.lock().push((mpi.rank(), history));
+    })
+}
+
+fn lossy_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed).with_class(
+        HopClass::InterNode,
+        FaultParams {
+            drop_p: 0.05,
+            dup_p: 0.05,
+            corrupt_p: 0.02,
+            jitter_max: SimDuration::from_nanos(500),
+        },
+    )
+}
+
+struct Outcome {
+    digest: u64,
+    residuals: Residuals,
+    counts: TraceCounts,
+}
+
+fn run_one(method: Method, par: Parallelism, faults: bool, fast: bool) -> Outcome {
+    let out: Arc<Mutex<Residuals>> = Arc::new(Mutex::new(Vec::new()));
+    let tracer = Tracer::new(3);
+    tracer.enable();
+    let mut network = NetworkModel::ideal();
+    let toolchain = if method == Method::Swapglobals {
+        Toolchain::legacy_ld()
+    } else {
+        Toolchain::bridges2()
+    };
+    let mut b = MachineBuilder::new(jacobi3d::binary())
+        .method(method)
+        .toolchain(toolchain)
+        .clock(ClockMode::Virtual)
+        .parallelism(par)
+        .topology(Topology::non_smp(3))
+        .vp_ratio(2)
+        .stack_size(256 * 1024)
+        .perf_fast_paths(fast)
+        .tracer(tracer.clone());
+    if faults {
+        network = network.with_faults(lossy_plan(42));
+        b = b.checkpoint_period(1).inject_pe_failure_at_lb_step(2, 2);
+    }
+    let mut m = b.network(network).build(jacobi_body(out.clone())).unwrap();
+    let report = m.run().unwrap();
+    let mut residuals = out.lock().clone();
+    residuals.sort_by_key(|r| r.0);
+    Outcome {
+        digest: report.sim_digest(),
+        residuals,
+        counts: tracer.counts(),
+    }
+}
+
+fn assert_fast_matches_reference(method: Method, par: Parallelism, faults: bool) {
+    let label = format!("{method} {par:?} faults={faults}");
+    let reference = run_one(method, par, faults, false);
+    assert!(!reference.residuals.is_empty(), "{label}: no results");
+    let fast = run_one(method, par, faults, true);
+    assert_eq!(
+        fast.digest, reference.digest,
+        "{label}: fast-path sim digest diverged from reference"
+    );
+    assert_eq!(
+        fast.residuals, reference.residuals,
+        "{label}: fast-path residuals diverged from reference"
+    );
+    assert_eq!(
+        fast.counts, reference.counts,
+        "{label}: fast-path trace event counts diverged from reference"
+    );
+}
+
+#[test]
+fn fast_paths_bit_identical_serial() {
+    for method in METHODS {
+        assert_fast_matches_reference(method, Parallelism::Serial, false);
+    }
+}
+
+#[test]
+fn fast_paths_bit_identical_threads() {
+    for method in METHODS {
+        assert_fast_matches_reference(method, Parallelism::Threads(4), false);
+    }
+}
+
+#[test]
+fn fast_paths_bit_identical_under_faults() {
+    // Lossy inter-node network plus a PE failure at the second LB
+    // barrier: retransmission timers, ack fates, corruption draws, and
+    // checkpoint rollback must all be untouched by the fast paths.
+    for method in METHODS {
+        for par in [Parallelism::Serial, Parallelism::Threads(4)] {
+            assert_fast_matches_reference(method, par, true);
+        }
+    }
+}
+
+#[test]
+fn fsglobals_fast_startup_matches_reference_accounting() {
+    // FSglobals' fast path links instead of copying; simulated I/O cost
+    // and the digest must not notice.
+    assert_fast_matches_reference(Method::FsGlobals, Parallelism::Serial, false);
+    assert_fast_matches_reference(Method::FsGlobals, Parallelism::Threads(4), false);
+}
