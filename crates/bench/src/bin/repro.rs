@@ -7,8 +7,8 @@
 //! ```
 
 use pvr_bench::{
-    degrade_exp, faults_exp, fig5, fig6, fig7, fig8, icache_exp, parallel_exp, perf_exp, scaling,
-    tables, tracing_exp,
+    cow_exp, degrade_exp, faults_exp, fig5, fig6, fig7, fig8, icache_exp, parallel_exp, perf_exp,
+    scaling, tables, tracing_exp,
 };
 
 fn main() {
@@ -57,6 +57,7 @@ fn main() {
             "scaling" => println!("{}\n", parallel_exp::report(quick)),
             "faults" => println!("{}\n", faults_exp::report()),
             "perf" => println!("{}\n", perf_exp::report(quick)),
+            "cow" => println!("{}\n", cow_exp::report(quick)),
             "degrade" => println!("{}\n", degrade_exp::report()),
             "table2" => {
                 let (res, cfg) = scaling_result.as_ref().unwrap();
@@ -69,7 +70,7 @@ fn main() {
             other => {
                 eprintln!("unknown experiment `{other}`");
                 eprintln!(
-                    "known: table1 table3 fig5 fig6 fig7 fig8 icache trace scaling faults degrade perf table2 fig9 all"
+                    "known: table1 table3 fig5 fig6 fig7 fig8 icache trace scaling faults degrade perf cow table2 fig9 all"
                 );
                 std::process::exit(2);
             }

@@ -20,9 +20,12 @@
 //! `pvr-trace` observability layer (`repro -- trace`), [`faults_exp`]
 //! the fault-injection/recovery stack (`repro -- faults`),
 //! [`degrade_exp`] the capability-probe fallback chain and memory-safety
-//! guards (`repro -- degrade`), and [`perf_exp`] the hot-path
-//! before/after baseline (`repro -- perf`, writes `BENCH_perf.json`).
+//! guards (`repro -- degrade`), [`perf_exp`] the hot-path before/after
+//! baseline (`repro -- perf`, writes `BENCH_perf.json`), and
+//! [`cow_exp`] the COWglobals dedup/startup sweep (`repro -- cow`,
+//! merged into the same JSON).
 
+pub mod cow_exp;
 pub mod degrade_exp;
 pub mod faults_exp;
 pub mod fig5;
@@ -35,6 +38,81 @@ pub mod perf_exp;
 pub mod scaling;
 pub mod tables;
 pub mod tracing_exp;
+
+/// One row of `BENCH_perf.json`. `unit` documents what `before`/`after`
+/// measure (e.g. `"ns/rank"`, `"bytes/rank"`, `"ranks/GB"`); `ratio` is
+/// in the row's better-is-bigger direction, supplied by the caller.
+pub struct JsonRow {
+    pub section: &'static str,
+    pub name: String,
+    pub ranks: usize,
+    pub method: String,
+    pub unit: &'static str,
+    pub quick: bool,
+    pub before: f64,
+    pub after: f64,
+    pub ratio: f64,
+}
+
+impl JsonRow {
+    fn render(&self) -> String {
+        format!(
+            "{{\"section\": \"{}\", \"name\": \"{}\", \"ranks\": {}, \"method\": \"{}\", \
+             \"unit\": \"{}\", \"quick\": {}, \"before\": {:.1}, \"after\": {:.1}, \
+             \"ratio\": {:.2}}}",
+            self.section,
+            self.name,
+            self.ranks,
+            self.method,
+            self.unit,
+            self.quick,
+            self.before,
+            self.after,
+            self.ratio,
+        )
+    }
+}
+
+/// Merge `rows` into the JSON file at `path`, replacing only the rows
+/// owned by `section` and preserving every other experiment's rows.
+/// `repro -- perf` and `repro -- cow` both write `BENCH_perf.json`;
+/// regenerating one must not discard the other's numbers. Rows from the
+/// pre-section file format (no `"section"` key) are adopted by `perf`.
+pub fn merge_bench_json(path: &str, section: &str, rows: &[JsonRow]) -> std::io::Result<()> {
+    fn row_section(line: &str) -> Option<String> {
+        let t = line.trim();
+        if !t.starts_with('{') || !t.contains("\"name\"") {
+            return None;
+        }
+        let sect = t
+            .split("\"section\": \"")
+            .nth(1)
+            .and_then(|r| r.split('"').next())
+            .unwrap_or("perf");
+        Some(sect.to_string())
+    }
+    let mut kept: Vec<String> = Vec::new();
+    if let Ok(old) = std::fs::read_to_string(path) {
+        for line in old.lines() {
+            if let Some(owner) = row_section(line) {
+                if owner != section {
+                    kept.push(line.trim().trim_end_matches(',').to_string());
+                }
+            }
+        }
+    }
+    let mut all = kept;
+    all.extend(rows.iter().map(|r| r.render()));
+    let mut s = String::new();
+    s.push_str("{\n  \"generated_by\": \"repro -- perf | cow\",\n  \"benches\": [\n");
+    for (i, line) in all.iter().enumerate() {
+        s.push_str("    ");
+        s.push_str(line);
+        s.push_str(if i + 1 < all.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
 
 /// Render a simple aligned text table.
 pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {

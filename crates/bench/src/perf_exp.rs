@@ -227,8 +227,9 @@ fn bench_epoch_extract(quick: bool) -> BenchRow {
 /// A data-heavy program image, the shape where startup cost lives: the
 /// PIEglobals conservative scan walks every (nonzero) data word per
 /// rank, the FSglobals deploy copies the whole binary per rank, and the
-/// TLS block carries a large initialized variable.
-fn startup_binary() -> Arc<ProgramBinary> {
+/// TLS block carries a large initialized variable. Shared with the COW
+/// sweep (`cow_exp`) so its before/after is against the same image.
+pub(crate) fn startup_binary() -> Arc<ProgramBinary> {
     let big = vec![0x5Au8; 1 << 20]; // nonzero: every word reaches classify()
     let mut b = ImageSpec::builder("perf_startup")
         .var(GlobalSpec::new("big_state", big.len(), VarClass::Global).with_init(&big))
@@ -248,12 +249,31 @@ fn startup_binary() -> Arc<ProgramBinary> {
     link(b.ctor(ctor).build())
 }
 
-fn startup_ns_per_rank(
+/// Steady-state startup cost in **ns per rank, median over ranks
+/// `1..n`**.
+///
+/// Two normalization bugs made the seed's ranks axis non-monotone
+/// (BENCH_perf.json reported tlsglobals at 256 ranks *cheaper* than at
+/// 64):
+///
+/// 1. Rank 0's one-time per-process work (dlopen + phdr diff, the
+///    memoized template/patch-list build, the TLS block prototype) was
+///    timed along with the per-rank work and divided by `n_ranks`, so
+///    larger sweeps amortized the fixed cost over more ranks. Rank 0 is
+///    now instantiated *outside* the timed window.
+/// 2. The mean over the remaining ranks is skewed by allocator/page-
+///    fault outliers concentrated in the first few ranks, which a large
+///    sweep dilutes and a small one does not. The *median* per-rank
+///    time is robust to those outliers, making the number comparable
+///    across sweep sizes: for a method with constant marginal cost the
+///    ranks axis is flat up to noise, never systematically decreasing.
+pub(crate) fn startup_ns_per_rank(
     binary: &Arc<ProgramBinary>,
     method: Method,
     n_ranks: usize,
     fast: bool,
 ) -> f64 {
+    assert!(n_ranks >= 2, "need at least one rank past the warmup rank");
     let mut env = PrivatizeEnv::new(binary.clone()).with_perf_fast(fast);
     if method == Method::FsGlobals {
         env = env.with_shared_fs(Some(Arc::new(parking_lot::Mutex::new(SharedFs::new()))));
@@ -264,12 +284,17 @@ fn startup_ns_per_rank(
     let mut mems: Vec<pvr_isomalloc::RankMemory> = (0..n_ranks)
         .map(|_| pvr_isomalloc::RankMemory::new())
         .collect();
-    let t0 = Instant::now();
-    for (r, mem) in mems.iter_mut().enumerate() {
+    let warm = p.instantiate_rank(0, &mut mems[0]).unwrap();
+    drop(warm);
+    let mut per_rank: Vec<u128> = Vec::with_capacity(n_ranks - 1);
+    for (r, mem) in mems.iter_mut().enumerate().skip(1) {
+        let t0 = Instant::now();
         let inst = p.instantiate_rank(r, mem).unwrap();
+        per_rank.push(t0.elapsed().as_nanos());
         drop(inst);
     }
-    let ns = t0.elapsed().as_nanos() as f64 / n_ranks as f64;
+    per_rank.sort_unstable();
+    let ns = per_rank[per_rank.len() / 2] as f64;
     drop(mems);
     regs::clear();
     ns
@@ -338,26 +363,23 @@ fn bench_pack_unpack(quick: bool) -> BenchRow {
 // ---------------------------------------------------------------------
 
 fn write_json(path: &str, quick: bool, rows: &[BenchRow]) -> std::io::Result<()> {
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"generated_by\": \"repro -- perf\",\n");
-    s.push_str(&format!("  \"quick\": {quick},\n"));
-    s.push_str("  \"benches\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"ranks\": {}, \"method\": \"{}\", \
-             \"before_ns_per_op\": {:.1}, \"after_ns_per_op\": {:.1}, \"speedup\": {:.2}}}{}\n",
-            r.name,
-            r.ranks,
-            r.method,
-            r.before_ns,
-            r.after_ns,
-            r.speedup(),
-            if i + 1 < rows.len() { "," } else { "" },
-        ));
-    }
-    s.push_str("  ]\n}\n");
-    std::fs::write(path, s)
+    let json: Vec<crate::JsonRow> = rows
+        .iter()
+        .map(|r| crate::JsonRow {
+            section: "perf",
+            name: r.name.to_string(),
+            ranks: r.ranks,
+            method: r.method.clone(),
+            // Startup rows report the median marginal rank cost (see
+            // `startup_ns_per_rank`); the rest are best-of-reps ns/op.
+            unit: if r.name == "startup" { "ns/rank (median)" } else { "ns/op" },
+            quick,
+            before: r.before_ns,
+            after: r.after_ns,
+            ratio: r.speedup(),
+        })
+        .collect();
+    crate::merge_bench_json(path, "perf", &json)
 }
 
 /// Run the full suite, write `BENCH_perf.json`, render the table.

@@ -13,8 +13,13 @@
 //!   (the `-mno-tls-direct-seg-refs` access path of TLSglobals).
 //! * [`VarAccess::Got`] — load the GOT slot, then the variable: the
 //!   Swapglobals path (and classic `-fPIC` global addressing).
+//! * [`VarAccess::Cow`] — page-table indirection into a copy-on-write
+//!   segment (CowGlobals): reads never fault (shared pages resolve to
+//!   the template); the first write to a page takes a simulated fault
+//!   that privatizes it into the rank's backing store.
 
 use crate::regs;
+use pvr_progimage::pages::CowCell;
 
 /// A resolved access path for one variable, for one rank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +34,14 @@ pub enum VarAccess {
     /// (MPC's HLS \[21\]): one copy per scheduler core, shared by the
     /// ranks co-resident on it.
     PeLevel { offset: usize },
+    /// `offset` into the owning rank's copy-on-write data segment
+    /// (CowGlobals). `len` is the variable's extent, so taking a raw
+    /// pointer can privatize every page the variable may touch.
+    Cow {
+        cell: *const CowCell,
+        offset: usize,
+        len: usize,
+    },
 }
 
 // SAFETY: VarAccess is a capability handed to the rank that owns the
@@ -58,47 +71,110 @@ impl VarAccess {
                 debug_assert!(!base.is_null(), "PE-level access with no PE base installed");
                 unsafe { base.add(offset) }
             }
+            VarAccess::Cow { cell, offset, len } => {
+                // Handing out a raw pointer implies the caller may write
+                // anywhere in the variable: privatize its whole extent.
+                // SAFETY: rank-exclusive execution (CowCell contract).
+                let seg = unsafe { (*cell).segment() };
+                let (p, faulted) = seg.writable_ptr(offset, len);
+                emit_faults(&faulted, seg.page_size());
+                p
+            }
+        }
+    }
+
+    /// Copy-on-write fast read: shared pages resolve to the template
+    /// without faulting. `None` for non-COW accesses.
+    #[inline(always)]
+    fn cow_read(&self, out: &mut [u8]) -> bool {
+        if let VarAccess::Cow { cell, offset, .. } = *self {
+            // SAFETY: rank-exclusive execution (CowCell contract).
+            unsafe { (*cell).segment() }.read(offset, out);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Copy-on-write write through the simulated fault handler.
+    #[inline(always)]
+    fn cow_write(&self, bytes: &[u8]) -> bool {
+        if let VarAccess::Cow { cell, offset, .. } = *self {
+            // SAFETY: rank-exclusive execution (CowCell contract).
+            let seg = unsafe { (*cell).segment() };
+            let faulted = seg.write(offset, bytes);
+            emit_faults(&faulted, seg.page_size());
+            true
+        } else {
+            false
         }
     }
 
     #[inline(always)]
     pub fn read_u64(&self) -> u64 {
+        let mut buf = [0u8; 8];
+        if self.cow_read(&mut buf) {
+            return u64::from_ne_bytes(buf);
+        }
         unsafe { (self.ptr() as *const u64).read() }
     }
 
     #[inline(always)]
     pub fn write_u64(&self, v: u64) {
+        if self.cow_write(&v.to_ne_bytes()) {
+            return;
+        }
         unsafe { (self.ptr() as *mut u64).write(v) }
     }
 
     #[inline(always)]
     pub fn read_i32(&self) -> i32 {
+        let mut buf = [0u8; 4];
+        if self.cow_read(&mut buf) {
+            return i32::from_ne_bytes(buf);
+        }
         unsafe { (self.ptr() as *const i32).read() }
     }
 
     #[inline(always)]
     pub fn write_i32(&self, v: i32) {
+        if self.cow_write(&v.to_ne_bytes()) {
+            return;
+        }
         unsafe { (self.ptr() as *mut i32).write(v) }
     }
 
     #[inline(always)]
     pub fn read_f64(&self) -> f64 {
+        let mut buf = [0u8; 8];
+        if self.cow_read(&mut buf) {
+            return f64::from_ne_bytes(buf);
+        }
         unsafe { (self.ptr() as *const f64).read() }
     }
 
     #[inline(always)]
     pub fn write_f64(&self, v: f64) {
+        if self.cow_write(&v.to_ne_bytes()) {
+            return;
+        }
         unsafe { (self.ptr() as *mut f64).write(v) }
     }
 
     /// Read `len` bytes starting at the variable.
     pub fn read_bytes(&self, len: usize) -> Vec<u8> {
         let mut out = vec![0u8; len];
+        if self.cow_read(&mut out) {
+            return out;
+        }
         unsafe { std::ptr::copy_nonoverlapping(self.ptr(), out.as_mut_ptr(), len) };
         out
     }
 
     pub fn write_bytes(&self, bytes: &[u8]) {
+        if self.cow_write(bytes) {
+            return;
+        }
         unsafe { std::ptr::copy_nonoverlapping(bytes.as_ptr(), self.ptr(), bytes.len()) };
     }
 
@@ -106,7 +182,21 @@ impl VarAccess {
     /// correct (i.e. would read the wrong rank's data if the scheduler
     /// forgot to install registers).
     pub fn needs_register(&self) -> bool {
-        !matches!(self, VarAccess::Direct(_))
+        !matches!(self, VarAccess::Direct(_) | VarAccess::Cow { .. })
+    }
+}
+
+/// Trace the simulated faults a COW write took: one `PageFault` (the
+/// write trapped) plus one `PagePrivatized` (copy + patch of that page)
+/// per newly diverged page.
+#[inline]
+pub(crate) fn emit_faults(faulted: &[u32], page_size: usize) {
+    for &page in faulted {
+        pvr_trace::emit(pvr_trace::EventKind::PageFault { page });
+        pvr_trace::emit(pvr_trace::EventKind::PagePrivatized {
+            page,
+            bytes: page_size as u64,
+        });
     }
 }
 

@@ -75,6 +75,11 @@ pub enum Method {
     /// up pointers; combined with TLSglobals for TLS variables (§3.3,
     /// third contribution — the production-worthy method).
     PieGlobals,
+    /// PIEglobals' segment model made page-granular and copy-on-write
+    /// (§6 future work): ranks share the template data segment read-only
+    /// and a simulated fault handler privatizes a page into rank memory
+    /// on first write, deduplicating never-written state across ranks.
+    CowGlobals,
 }
 
 impl Method {
@@ -90,6 +95,7 @@ impl Method {
         Method::PipGlobals,
         Method::FsGlobals,
         Method::PieGlobals,
+        Method::CowGlobals,
     ];
 
     /// The methods compared in the paper's performance evaluation
@@ -113,6 +119,7 @@ impl Method {
             Method::PipGlobals => "pipglobals",
             Method::FsGlobals => "fsglobals",
             Method::PieGlobals => "pieglobals",
+            Method::CowGlobals => "cowglobals",
         }
     }
 }
@@ -184,6 +191,27 @@ pub struct FindResult {
     pub segment: &'static str,
 }
 
+/// Copy-on-write accounting for one privatizer (one simulated OS
+/// process), reported by [`Privatizer::cow_stats`]. The runtime sums
+/// these across processes into its run-level tallies and dedup audit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CowStats {
+    /// Ranks instantiated by this privatizer.
+    pub ranks: u64,
+    /// Pages per rank data segment (identical for every rank).
+    pub total_pages: u64,
+    /// Simulated page size in bytes.
+    pub page_size: u64,
+    /// Simulated page faults taken across this process's ranks.
+    pub page_faults: u64,
+    /// Privatized (diverged) pages across this process's ranks.
+    pub pages_privatized: u64,
+    /// Bitmask over page indices: bit `i` of word `i / 64` is set when
+    /// *any* rank in this process faulted page `i`. Unioning the masks
+    /// across processes yields the dedup audit's diverged-page set.
+    pub faulted_page_union: Vec<u64>,
+}
+
 /// One privatization strategy instantiated for one (simulated) OS process.
 pub trait Privatizer: Send {
     fn method(&self) -> Method;
@@ -251,6 +279,18 @@ pub trait Privatizer: Send {
     /// cross-rank global bleed. `None` for methods without a per-rank
     /// segment copy (or an unknown rank).
     fn rank_data_segment(&self, _rank: usize) -> Option<(*const u8, usize)> {
+        None
+    }
+
+    /// Called by the runtime immediately before `rank`'s memory is packed
+    /// (migration or checkpoint). Methods whose rank regions are lazily
+    /// populated (CowGlobals) materialize a complete view here so the
+    /// packed image is bit-exact; a no-op for eager methods.
+    fn prepare_pack(&mut self, _rank: usize) {}
+
+    /// Copy-on-write accounting for the dedup audit and RunReport
+    /// tallies. `None` for methods without a page-granular segment model.
+    fn cow_stats(&self) -> Option<CowStats> {
         None
     }
 }

@@ -151,7 +151,8 @@ pub fn migration_claim(method: Method) -> Option<bool> {
         | Method::Photran
         | Method::Swapglobals
         | Method::TlsGlobals
-        | Method::PieGlobals => Some(true),
+        | Method::PieGlobals
+        | Method::CowGlobals => Some(true),
         Method::MpcPrivatize | Method::PipGlobals | Method::FsGlobals => Some(false),
         Method::Unprivatized => None,
     }

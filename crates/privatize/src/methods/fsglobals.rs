@@ -70,7 +70,15 @@ impl FsGlobals {
         let mut io_cost = Duration::ZERO;
         let mut created_paths = Vec::new();
         {
-            let fs_arc = common.env.shared_fs.as_ref().unwrap().clone();
+            // Checked above, but never panic on a missing mount: an FS
+            // that disappears between the guard and here must surface as
+            // the same degradable error the probe/fallback chain handles.
+            let Some(fs_arc) = common.env.shared_fs.as_ref().cloned() else {
+                return Err(PrivatizeError::Unsupported {
+                    method: Method::FsGlobals,
+                    reason: "no shared filesystem mounted".to_string(),
+                });
+            };
             let mut fs = fs_arc.lock();
             if !fs.exists(&deployed_path) {
                 io_cost += fs
@@ -129,7 +137,14 @@ impl Privatizer for FsGlobals {
 
         // 1. copy the binary on the shared FS (the expensive part)
         let copy_path = format!("{}.vp{rank}", self.deployed_path);
-        let fs_arc = self.common.env.shared_fs.as_ref().unwrap().clone();
+        let Some(fs_arc) = self.common.env.shared_fs.as_ref().cloned() else {
+            // An unmounted FS mid-startup degrades like any other FS
+            // failure instead of panicking the whole runtime.
+            return Err(PrivatizeError::Unsupported {
+                method: Method::FsGlobals,
+                reason: "no shared filesystem mounted".to_string(),
+            });
+        };
         {
             let mut fs = fs_arc.lock();
             // Fast path: link instead of copy — same capacity and

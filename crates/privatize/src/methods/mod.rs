@@ -1,13 +1,15 @@
 //! The privatization method implementations.
 
+mod cowglobals;
 mod fsglobals;
 mod manual;
-mod pieglobals;
+pub(crate) mod pieglobals;
 mod pipglobals;
 mod swapglobals;
 mod tlsglobals;
 mod unprivatized;
 
+pub use cowglobals::CowGlobals;
 pub use fsglobals::FsGlobals;
 pub use tlsglobals::HlsLevel;
 pub use manual::ManualRefactor;
@@ -67,6 +69,7 @@ pub fn create_privatizer(
         Method::PipGlobals => Ok(Box::new(PipGlobals::new(env)?)),
         Method::FsGlobals => Ok(Box::new(FsGlobals::new(env)?)),
         Method::PieGlobals => Ok(Box::new(PieGlobals::new(env, opts.pie)?)),
+        Method::CowGlobals => Ok(Box::new(CowGlobals::new(env, opts.pie)?)),
     }
 }
 

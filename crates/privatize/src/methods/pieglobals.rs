@@ -76,7 +76,7 @@ struct RankRanges {
 /// (scanning/classifying against the original segment ranges) happened
 /// once, when the template was built.
 #[derive(Debug, Clone, Copy)]
-enum PatchTarget {
+pub(crate) enum PatchTarget {
     Code { off: usize },
     Data { off: usize },
     CtorHeap { alloc: usize, off: usize },
@@ -84,25 +84,162 @@ enum PatchTarget {
 
 /// Memoized startup work, computed once per privatizer at the FIRST
 /// `instantiate_rank` and replayed for every subsequent rank as
-/// memcpy + patch list.
+/// memcpy + patch list. Shared with CowGlobals, whose page-granular
+/// fault handler replays only the patches landing on a faulted page.
 ///
 /// Snapshotted at first instantiation — not at construction — because a
 /// program (and our false-positive regression test) may write to the
 /// original image between `dlopen` and privatization, and the reference
 /// scan sees those writes.
-struct StartupTemplate {
+pub(crate) struct StartupTemplate {
     /// Data-segment bytes to memcpy per rank.
-    data: Vec<u8>,
+    pub(crate) data: Vec<u8>,
     /// (byte offset into the data copy, target) for every pointer the
     /// scan policy would rebase.
-    data_patches: Vec<(usize, PatchTarget)>,
+    pub(crate) data_patches: Vec<(usize, PatchTarget)>,
     /// Ctor heap allocation bytes to replicate per rank.
-    ctor_data: Vec<Vec<u8>>,
+    pub(crate) ctor_data: Vec<Vec<u8>>,
     /// (allocation index, byte offset, target) fixups inside the clones.
-    ctor_patches: Vec<(usize, usize, PatchTarget)>,
+    pub(crate) ctor_patches: Vec<(usize, usize, PatchTarget)>,
     /// Per-GOT-entry rebase classification (`None` = keep the original
     /// value).
-    got_plan: Vec<Option<PatchTarget>>,
+    pub(crate) got_plan: Vec<Option<PatchTarget>>,
+}
+
+/// Steps 1-2, shared by every PIE-segment-copy method (PIE/COWglobals):
+/// `dlopen` the binary **once per OS process**, then locate its code and
+/// data segments by diffing `dl_iterate_phdr` listings taken before and
+/// after the open.
+pub(crate) fn dlopen_and_locate(
+    env: &mut PrivatizeEnv,
+) -> Result<(std::sync::Arc<LoadedImage>, SegmentAddrs), PrivatizeError> {
+    let before = env.loader.phdr_snapshot();
+    let binary = env.binary.clone();
+    let image = env.loader.dlopen(&binary)?;
+    let after = env.loader.phdr_snapshot();
+    let new_entries: Vec<_> = after.iter().filter(|e| !before.contains(e)).collect();
+    let orig = if new_entries.is_empty() {
+        // binary already loaded (e.g. a second privatizer in this
+        // process) — find it in the listing instead.
+        let mut found = None;
+        env.loader.dl_iterate_phdr(|info| {
+            if info.file_id == binary.file_id() {
+                found = Some(info.segments);
+            }
+        });
+        found.expect("loaded binary must appear in phdr iteration")
+    } else {
+        let mut found = None;
+        env.loader.dl_iterate_phdr(|info| {
+            if (info.file_id, info.namespace) == *new_entries[0] {
+                found = Some(info.segments);
+            }
+        });
+        found.expect("diffed entry must appear in phdr iteration")
+    };
+    debug_assert_eq!(orig, image.segment_addrs());
+    Ok((image, orig))
+}
+
+/// Classify one scanned value against the ORIGINAL segment/ctor-heap
+/// ranges — the memoizable half of pointer rebasing: ranges never change
+/// across ranks, only the per-rank bases do.
+pub(crate) fn classify_value(
+    orig: &SegmentAddrs,
+    v: u64,
+    ctor_ranges: &[(usize, usize)],
+) -> Option<PatchTarget> {
+    let addr = v as usize;
+    if orig.contains_code(addr) {
+        return Some(PatchTarget::Code {
+            off: addr - orig.code_base,
+        });
+    }
+    if orig.contains_data(addr) {
+        return Some(PatchTarget::Data {
+            off: addr - orig.data_base,
+        });
+    }
+    for (i, &(base, len)) in ctor_ranges.iter().enumerate() {
+        if addr >= base && addr < base + len {
+            return Some(PatchTarget::CtorHeap {
+                alloc: i,
+                off: addr - base,
+            });
+        }
+    }
+    None
+}
+
+/// Run the scan policy ONCE over a snapshot of the image and record every
+/// fixup as (offset, target); replaying the list per rank (PIEglobals) or
+/// per faulted page (CowGlobals) never rescans a single word.
+pub(crate) fn build_startup_template(
+    orig: &SegmentAddrs,
+    scan: ScanPolicy,
+    image: &LoadedImage,
+) -> StartupTemplate {
+    let data = image.data_region().as_slice().to_vec();
+    let ctor_ranges: Vec<(usize, usize)> = image
+        .ctor_heap()
+        .iter()
+        .map(|a| (a.base(), a.len()))
+        .collect();
+    let ctor_data: Vec<Vec<u8>> = image
+        .ctor_heap()
+        .iter()
+        .map(|a| a.as_slice().to_vec())
+        .collect();
+    let mut data_patches = Vec::new();
+    let mut ctor_patches = Vec::new();
+    match scan {
+        ScanPolicy::ConservativeScan => {
+            for i in 0..data.len() / 8 {
+                let v = u64::from_ne_bytes(data[i * 8..i * 8 + 8].try_into().unwrap());
+                if v == 0 {
+                    continue;
+                }
+                if let Some(t) = classify_value(orig, v, &ctor_ranges) {
+                    data_patches.push((i * 8, t));
+                }
+            }
+            for (ai, bytes) in ctor_data.iter().enumerate() {
+                for i in 0..bytes.len() / 8 {
+                    let v = u64::from_ne_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap());
+                    if v == 0 {
+                        continue;
+                    }
+                    if let Some(t) = classify_value(orig, v, &ctor_ranges) {
+                        ctor_patches.push((ai, i * 8, t));
+                    }
+                }
+            }
+        }
+        ScanPolicy::Relocations => {
+            for r in image.relocs() {
+                let t = match r.target {
+                    pvr_progimage::RelocTarget::Code { offset } => PatchTarget::Code { off: offset },
+                    pvr_progimage::RelocTarget::Data { offset } => PatchTarget::Data { off: offset },
+                    pvr_progimage::RelocTarget::CtorHeap { alloc, offset } => {
+                        PatchTarget::CtorHeap { alloc, off: offset }
+                    }
+                };
+                data_patches.push((r.data_offset, t));
+            }
+        }
+    }
+    let got_plan = image
+        .got()
+        .iter()
+        .map(|&e| classify_value(orig, e, &ctor_ranges))
+        .collect();
+    StartupTemplate {
+        data,
+        data_patches,
+        ctor_data,
+        ctor_patches,
+        got_plan,
+    }
 }
 
 pub struct PieGlobals {
@@ -132,35 +269,8 @@ impl PieGlobals {
         }
         let fast = env.perf_fast;
         let mut env = env;
-        // Steps 1-2: phdr snapshot before, dlopen once, snapshot after,
-        // diff to find our binary's segments.
-        let before = env.loader.phdr_snapshot();
-        let binary = env.binary.clone();
-        let image = env.loader.dlopen(&binary)?;
-        let after = env.loader.phdr_snapshot();
-        let new_entries: Vec<_> = after.iter().filter(|e| !before.contains(e)).collect();
-        let orig = if new_entries.is_empty() {
-            // binary already loaded (e.g. a second PieGlobals in this
-            // process) — find it in the listing instead.
-            let mut found = None;
-            env.loader.dl_iterate_phdr(|info| {
-                if info.file_id == binary.file_id() {
-                    found = Some(info.segments);
-                }
-            });
-            found.expect("loaded binary must appear in phdr iteration")
-        } else {
-            let mut found = None;
-            env.loader.dl_iterate_phdr(|info| {
-                if (info.file_id, info.namespace) == *new_entries[0] {
-                    found = Some(info.segments);
-                }
-            });
-            found.expect("diffed entry must appear in phdr iteration")
-        };
-        debug_assert_eq!(orig, image.segment_addrs());
-
-        let tls_block_size = binary.layout.tls_size.max(8);
+        let (image, orig) = dlopen_and_locate(&mut env)?;
+        let tls_block_size = env.binary.layout.tls_size.max(8);
         let common = Common { env, base_image: image };
         Ok(PieGlobals {
             common,
@@ -199,104 +309,6 @@ impl PieGlobals {
         None
     }
 
-    /// Classify one scanned value against the ORIGINAL segment/ctor-heap
-    /// ranges — the memoizable half of [`Self::rebase_value`]: ranges
-    /// never change across ranks, only the per-rank bases do.
-    fn classify(&self, v: u64, ctor_ranges: &[(usize, usize)]) -> Option<PatchTarget> {
-        let addr = v as usize;
-        if self.orig.contains_code(addr) {
-            return Some(PatchTarget::Code {
-                off: addr - self.orig.code_base,
-            });
-        }
-        if self.orig.contains_data(addr) {
-            return Some(PatchTarget::Data {
-                off: addr - self.orig.data_base,
-            });
-        }
-        for (i, &(base, len)) in ctor_ranges.iter().enumerate() {
-            if addr >= base && addr < base + len {
-                return Some(PatchTarget::CtorHeap {
-                    alloc: i,
-                    off: addr - base,
-                });
-            }
-        }
-        None
-    }
-
-    /// Run the scan policy ONCE over a snapshot of the image and record
-    /// every fixup as (offset, target). `instantiate_rank` then replays
-    /// the list per rank without rescanning a single word.
-    fn build_template(&self, image: &LoadedImage) -> StartupTemplate {
-        let data = image.data_region().as_slice().to_vec();
-        let ctor_ranges: Vec<(usize, usize)> = image
-            .ctor_heap()
-            .iter()
-            .map(|a| (a.base(), a.len()))
-            .collect();
-        let ctor_data: Vec<Vec<u8>> = image
-            .ctor_heap()
-            .iter()
-            .map(|a| a.as_slice().to_vec())
-            .collect();
-        let mut data_patches = Vec::new();
-        let mut ctor_patches = Vec::new();
-        match self.opts.scan {
-            ScanPolicy::ConservativeScan => {
-                for i in 0..data.len() / 8 {
-                    let v = u64::from_ne_bytes(data[i * 8..i * 8 + 8].try_into().unwrap());
-                    if v == 0 {
-                        continue;
-                    }
-                    if let Some(t) = self.classify(v, &ctor_ranges) {
-                        data_patches.push((i * 8, t));
-                    }
-                }
-                for (ai, bytes) in ctor_data.iter().enumerate() {
-                    for i in 0..bytes.len() / 8 {
-                        let v =
-                            u64::from_ne_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap());
-                        if v == 0 {
-                            continue;
-                        }
-                        if let Some(t) = self.classify(v, &ctor_ranges) {
-                            ctor_patches.push((ai, i * 8, t));
-                        }
-                    }
-                }
-            }
-            ScanPolicy::Relocations => {
-                for r in image.relocs() {
-                    let t = match r.target {
-                        pvr_progimage::RelocTarget::Code { offset } => {
-                            PatchTarget::Code { off: offset }
-                        }
-                        pvr_progimage::RelocTarget::Data { offset } => {
-                            PatchTarget::Data { off: offset }
-                        }
-                        pvr_progimage::RelocTarget::CtorHeap { alloc, offset } => {
-                            PatchTarget::CtorHeap { alloc, off: offset }
-                        }
-                    };
-                    data_patches.push((r.data_offset, t));
-                }
-            }
-        }
-        let got_plan = image
-            .got()
-            .iter()
-            .map(|&e| self.classify(e, &ctor_ranges))
-            .collect();
-        StartupTemplate {
-            data,
-            data_patches,
-            ctor_data,
-            ctor_patches,
-            got_plan,
-        }
-    }
-
     /// Fast startup: memcpy the memoized template into rank memory and
     /// apply the patch list. Produces bit-identical segments, fixup
     /// counts, and trace events to [`Self::instantiate_segments_reference`].
@@ -306,7 +318,7 @@ impl PieGlobals {
         mem: &mut RankMemory,
     ) -> Result<(usize, usize, usize), PrivatizeError> {
         if self.template.is_none() {
-            self.template = Some(self.build_template(image));
+            self.template = Some(build_startup_template(&self.orig, self.opts.scan, image));
         }
         let tpl = self.template.take().expect("template just built");
         let result = self.apply_template(&tpl, image, mem);

@@ -81,7 +81,7 @@ pub fn probe_method(method: Method, env: &PrivatizeEnv, shape: RunShape) -> Capa
     // can never have its segments duplicated.
     let needs_pie = matches!(
         method,
-        Method::PipGlobals | Method::FsGlobals | Method::PieGlobals
+        Method::PipGlobals | Method::FsGlobals | Method::PieGlobals | Method::CowGlobals
     );
     if needs_pie && !env.binary.spec.pie {
         return unsupported(format!(
@@ -169,10 +169,11 @@ pub fn probe_method(method: Method, env: &PrivatizeEnv, shape: RunShape) -> Capa
                 Capability::Feasible
             }
         }
-        Method::PieGlobals => {
+        Method::PieGlobals | Method::CowGlobals => {
             if env.toolchain.has_glibc {
-                // Segment copies come from Isomalloc-managed rank memory:
-                // no per-process cap to exhaust at startup.
+                // Segment copies (eager or page-granular) come from
+                // Isomalloc-managed rank memory: no per-process cap to
+                // exhaust at startup.
                 Capability::Feasible
             } else {
                 unsupported(

@@ -38,12 +38,14 @@
 pub mod binary;
 pub mod image;
 pub mod loader;
+pub mod pages;
 pub mod sharedfs;
 pub mod spec;
 
 pub use binary::{link, ProgramBinary, SegmentLayout, SymbolOffset};
 pub use image::{CtorHeapAlloc, LoadedImage, Reloc, RelocTarget, SegmentAddrs};
 pub use loader::{DlAddrInfo, DlError, DynLoader, Namespace, NamespaceId, PhdrInfo};
+pub use pages::{CowCell, CowSegment, DirtyTracker, PageTemplate, DEFAULT_PAGE_SIZE};
 pub use sharedfs::{FsError, FsCostModel, SharedFs};
 pub use spec::{
     CtorSpec, FunctionSpec, GlobalSpec, ImageSpec, ImageSpecBuilder, Language, Mutability,

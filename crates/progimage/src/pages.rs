@@ -1,0 +1,519 @@
+//! Page-granular copy-on-write image model (the "COWglobals" substrate).
+//!
+//! The paper's §6 future work proposes deduplicating identical privatized
+//! state across ranks instead of eagerly copying O(ranks × segment)
+//! bytes. This module provides the mechanism:
+//!
+//! * [`PageTemplate`] — an immutable snapshot of a segment, chopped into
+//!   fixed-size pages held behind `Arc`s. Every rank shares the same
+//!   template read-only; a read of a never-written page costs one page
+//!   table lookup and touches no per-rank memory.
+//! * [`CowSegment`] — one rank's view of the template: a page table
+//!   mapping each page to either the shared template page or a private
+//!   copy inside the rank's backing store (Isomalloc-managed, so private
+//!   pages migrate and checkpoint with the rank). The first write to a
+//!   shared page takes a *simulated fault*: the page is copied into the
+//!   backing store, marked private, and the write applied there.
+//! * [`DirtyTracker`] — the per-rank dirty-page set and fault counter,
+//!   exposed as an API so incremental checkpointing (ROADMAP item 5) can
+//!   pack only diverged pages, and so the dedup audit can report pages
+//!   that never diverged on any rank.
+//! * [`CowCell`] — an interior-mutable wrapper letting a rank's
+//!   `VarAccess` handles fault pages through a shared reference; sound
+//!   because a rank's accesses only execute while the rank is active on
+//!   exactly one scheduler lane.
+//!
+//! The privatization method built on this model lives in
+//! `pvr-privatize::methods::CowGlobals`; this module is pure mechanism.
+
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+/// Default simulated page size: the x86-64 base page.
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+/// An immutable segment snapshot as a table of `Arc`'d pages, shared
+/// read-only by every rank. The final page is zero-padded to `page_size`
+/// so page-wise copies never need a length special case.
+#[derive(Debug, Clone)]
+pub struct PageTemplate {
+    page_size: usize,
+    len: usize,
+    pages: Vec<Arc<[u8]>>,
+}
+
+impl PageTemplate {
+    /// Snapshot `bytes` into pages of `page_size` (must be a power of
+    /// two).
+    pub fn new(bytes: &[u8], page_size: usize) -> PageTemplate {
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        let pages = bytes
+            .chunks(page_size)
+            .map(|chunk| {
+                let mut page = vec![0u8; page_size];
+                page[..chunk.len()].copy_from_slice(chunk);
+                Arc::from(page.into_boxed_slice())
+            })
+            .collect();
+        PageTemplate {
+            page_size,
+            len: bytes.len(),
+            pages,
+        }
+    }
+
+    /// Snapshot with the default page size.
+    pub fn from_bytes(bytes: &[u8]) -> PageTemplate {
+        PageTemplate::new(bytes, DEFAULT_PAGE_SIZE)
+    }
+
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Length of the snapshotted segment (excludes final-page padding).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn n_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The page index covering byte `offset`.
+    pub fn page_of(&self, offset: usize) -> usize {
+        offset / self.page_size
+    }
+
+    /// One shared page, padded to `page_size`.
+    pub fn page(&self, index: usize) -> &Arc<[u8]> {
+        &self.pages[index]
+    }
+
+    /// Copy `out.len()` bytes starting at `offset`, walking pages.
+    pub fn read(&self, mut offset: usize, out: &mut [u8]) {
+        let mut done = 0;
+        while done < out.len() {
+            let page = &self.pages[offset / self.page_size];
+            let in_page = offset % self.page_size;
+            let n = (self.page_size - in_page).min(out.len() - done);
+            out[done..done + n].copy_from_slice(&page[in_page..in_page + n]);
+            done += n;
+            offset += n;
+        }
+    }
+}
+
+/// Per-rank dirty-page set plus fault accounting — the substrate for
+/// incremental checkpointing and the dedup audit.
+#[derive(Debug, Clone)]
+pub struct DirtyTracker {
+    dirty: Vec<bool>,
+    faults: u64,
+}
+
+impl DirtyTracker {
+    fn new(n_pages: usize) -> DirtyTracker {
+        DirtyTracker {
+            dirty: vec![false; n_pages],
+            faults: 0,
+        }
+    }
+
+    pub fn n_pages(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Whether page `index` has been privatized (written at least once).
+    pub fn is_dirty(&self, index: usize) -> bool {
+        self.dirty[index]
+    }
+
+    /// Number of privatized pages.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.iter().filter(|&&d| d).count()
+    }
+
+    /// Indices of privatized pages, ascending.
+    pub fn dirty_pages(&self) -> impl Iterator<Item = usize> + '_ {
+        self.dirty
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(i, _)| i)
+    }
+
+    /// Total simulated page faults taken (equals [`Self::dirty_count`]
+    /// in this model: one fault privatizes one page, forever).
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+}
+
+/// One rank's copy-on-write view of a [`PageTemplate`].
+///
+/// `base..base+len` is the rank-owned backing store (an Isomalloc data
+/// region, zero-filled at creation). A page table entry is either
+/// *shared* (reads come from the template) or *private* (the page slot in
+/// the backing store holds the authoritative bytes). The backing store
+/// uses natural page offsets, so a fully materialized segment is
+/// byte-identical to an eager whole-segment copy.
+#[derive(Debug)]
+pub struct CowSegment {
+    template: Arc<PageTemplate>,
+    base: *mut u8,
+    len: usize,
+    tracker: DirtyTracker,
+    /// Whether the still-shared pages were copied into the backing store
+    /// for an external whole-segment view (audit/pack). Sticky: the copy
+    /// happens at most once so audit checksums stay stable.
+    materialized: bool,
+}
+
+impl CowSegment {
+    /// Wrap rank-owned backing memory of the template's length.
+    ///
+    /// # Safety
+    /// `base` must point to at least `template.len()` writable bytes that
+    /// outlive this segment and are not accessed through other aliases
+    /// while the segment is live (the Isomalloc region discipline).
+    pub unsafe fn new(template: Arc<PageTemplate>, base: *mut u8) -> CowSegment {
+        let n_pages = template.n_pages();
+        let len = template.len();
+        CowSegment {
+            template,
+            base,
+            len,
+            tracker: DirtyTracker::new(n_pages),
+            materialized: false,
+        }
+    }
+
+    pub fn template(&self) -> &Arc<PageTemplate> {
+        &self.template
+    }
+
+    pub fn base(&self) -> *mut u8 {
+        self.base
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn page_size(&self) -> usize {
+        self.template.page_size()
+    }
+
+    pub fn tracker(&self) -> &DirtyTracker {
+        &self.tracker
+    }
+
+    /// Bytes of per-rank memory actually holding private page copies.
+    pub fn resident_private_bytes(&self) -> usize {
+        self.tracker.dirty_count() * self.page_size()
+    }
+
+    /// Usable length of page `index` (the final page may be partial).
+    fn page_extent(&self, index: usize) -> usize {
+        let start = index * self.page_size();
+        (self.len - start).min(self.page_size())
+    }
+
+    /// Take the simulated fault for page `index` if it is still shared:
+    /// copy the template page into the backing slot and mark it private.
+    /// Returns `true` when this call privatized the page.
+    pub fn privatize_page(&mut self, index: usize) -> bool {
+        if self.tracker.dirty[index] {
+            return false;
+        }
+        let n = self.page_extent(index);
+        let src = self.template.page(index);
+        // SAFETY: the backing store spans `len` bytes (CowSegment::new
+        // contract) and this page slot lies inside it.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                src.as_ptr(),
+                self.base.add(index * self.page_size()),
+                n,
+            );
+        }
+        self.tracker.dirty[index] = true;
+        self.tracker.faults += 1;
+        true
+    }
+
+    /// Non-faulting read: private pages from the backing store, shared
+    /// pages from the template.
+    pub fn read(&self, offset: usize, out: &mut [u8]) {
+        debug_assert!(offset + out.len() <= self.len, "read past segment end");
+        let ps = self.page_size();
+        let mut done = 0;
+        while done < out.len() {
+            let at = offset + done;
+            let page = at / ps;
+            let in_page = at % ps;
+            let n = (ps - in_page).min(out.len() - done);
+            if self.tracker.dirty[page] {
+                // SAFETY: in-bounds per the debug_assert above and the
+                // backing-store contract.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        self.base.add(at),
+                        out[done..].as_mut_ptr(),
+                        n,
+                    );
+                }
+            } else {
+                out[done..done + n].copy_from_slice(&self.template.page(page)[in_page..in_page + n]);
+            }
+            done += n;
+        }
+    }
+
+    /// Write through the fault handler: every touched page that is still
+    /// shared is privatized first. Returns the indices of pages this
+    /// write privatized (empty for warm writes), so the caller can emit
+    /// trace events.
+    pub fn write(&mut self, offset: usize, bytes: &[u8]) -> Vec<u32> {
+        debug_assert!(offset + bytes.len() <= self.len, "write past segment end");
+        let first = offset / self.page_size();
+        let last = (offset + bytes.len().max(1) - 1) / self.page_size();
+        let mut faulted = Vec::new();
+        for page in first..=last {
+            if self.privatize_page(page) {
+                faulted.push(page as u32);
+            }
+        }
+        // SAFETY: in-bounds; all covered pages are now private, so the
+        // backing store is authoritative for this range.
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), self.base.add(offset), bytes.len());
+        }
+        faulted
+    }
+
+    /// Privatize every page covering `offset..offset+len` and return a
+    /// raw pointer into the backing store — the escape hatch for code
+    /// that needs a stable address (pointer identity, FFI-style access).
+    /// Returns the newly privatized pages like [`Self::write`].
+    pub fn writable_ptr(&mut self, offset: usize, len: usize) -> (*mut u8, Vec<u32>) {
+        debug_assert!(offset + len <= self.len, "pointer range past segment end");
+        let first = offset / self.page_size();
+        let last = (offset + len.max(1) - 1) / self.page_size();
+        let mut faulted = Vec::new();
+        for page in first..=last {
+            if self.privatize_page(page) {
+                faulted.push(page as u32);
+            }
+        }
+        // SAFETY: offset is in-bounds per the debug_assert.
+        (unsafe { self.base.add(offset) }, faulted)
+    }
+
+    /// Make the backing store a complete whole-segment view by copying
+    /// every still-shared template page into its slot — *without* marking
+    /// pages dirty or counting faults (materialization is bookkeeping,
+    /// not divergence). Sticky: only the first call copies, so external
+    /// mutations of the backing store (e.g. injected corruption that the
+    /// segment-bleed audit must catch) are never papered over.
+    pub fn materialize(&mut self) {
+        if self.materialized {
+            return;
+        }
+        for page in 0..self.template.n_pages() {
+            if self.tracker.dirty[page] {
+                continue;
+            }
+            let n = self.page_extent(page);
+            // SAFETY: page slot is inside the backing store.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    self.template.page(page).as_ptr(),
+                    self.base.add(page * self.page_size()),
+                    n,
+                );
+            }
+        }
+        self.materialized = true;
+    }
+
+    /// Whether [`Self::materialize`] has run.
+    pub fn is_materialized(&self) -> bool {
+        self.materialized
+    }
+}
+
+// SAFETY: a CowSegment is owned by one rank's privatizer; the scheduler
+// guarantees the rank's accesses execute on exactly one lane at a time
+// (the same discipline VarAccess already relies on).
+unsafe impl Send for CowSegment {}
+
+/// Interior-mutable cell around one rank's [`CowSegment`], so `Copy`able
+/// access handles can fault pages through a shared pointer.
+#[derive(Debug)]
+pub struct CowCell(UnsafeCell<CowSegment>);
+
+// SAFETY: see CowSegment — rank-exclusive execution means no concurrent
+// access through the cell.
+unsafe impl Send for CowCell {}
+unsafe impl Sync for CowCell {}
+
+impl CowCell {
+    pub fn new(segment: CowSegment) -> CowCell {
+        CowCell(UnsafeCell::new(segment))
+    }
+
+    /// The wrapped segment.
+    ///
+    /// # Safety
+    /// Caller must guarantee rank-exclusive access: only the owning
+    /// rank's lane (or single-threaded runtime bookkeeping like audits
+    /// and checkpoint preparation) may hold the reference, and never two
+    /// at once.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn segment(&self) -> &mut CowSegment {
+        &mut *self.0.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn template(len: usize, ps: usize) -> Arc<PageTemplate> {
+        let bytes: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        Arc::new(PageTemplate::new(&bytes, ps))
+    }
+
+    struct Backing {
+        buf: Box<[u8]>,
+    }
+
+    fn segment(tpl: &Arc<PageTemplate>) -> (CowSegment, Backing) {
+        let mut backing = Backing {
+            buf: vec![0u8; tpl.len().max(1)].into_boxed_slice(),
+        };
+        let seg = unsafe { CowSegment::new(tpl.clone(), backing.buf.as_mut_ptr()) };
+        (seg, backing)
+    }
+
+    #[test]
+    fn template_pads_final_page_and_reads_across_pages() {
+        let tpl = template(100, 64);
+        assert_eq!(tpl.n_pages(), 2);
+        assert_eq!(tpl.len(), 100);
+        assert_eq!(tpl.page(1).len(), 64, "pages padded to page_size");
+        let mut out = vec![0u8; 40];
+        tpl.read(50, &mut out); // spans the page boundary at 64
+        let expect: Vec<u8> = (50..90).map(|i| (i % 251) as u8).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn reads_come_from_template_until_first_write() {
+        let tpl = template(256, 64);
+        let (seg, _b) = segment(&tpl);
+        let mut out = vec![0u8; 256];
+        seg.read(0, &mut out);
+        let expect: Vec<u8> = (0..256).map(|i| (i % 251) as u8).collect();
+        assert_eq!(out, expect);
+        assert_eq!(seg.tracker().faults(), 0, "reads never fault");
+        assert_eq!(seg.resident_private_bytes(), 0);
+    }
+
+    #[test]
+    fn first_write_faults_the_page_and_preserves_surrounding_bytes() {
+        let tpl = template(256, 64);
+        let (mut seg, _b) = segment(&tpl);
+        let faulted = seg.write(70, &[0xAA, 0xBB]);
+        assert_eq!(faulted, vec![1], "write inside page 1 privatizes it");
+        assert_eq!(seg.tracker().faults(), 1);
+        assert!(seg.tracker().is_dirty(1) && !seg.tracker().is_dirty(0));
+        let mut out = vec![0u8; 4];
+        seg.read(69, &mut out);
+        // byte 69 from the copied template; 70/71 the written values; 72 template
+        // bytes 69 and 72 hold the template pattern `i % 251` (= 69, 72 here)
+        assert_eq!(out, vec![69u8, 0xAA, 0xBB, 72u8]);
+    }
+
+    #[test]
+    fn warm_writes_do_not_refault() {
+        let tpl = template(256, 64);
+        let (mut seg, _b) = segment(&tpl);
+        assert_eq!(seg.write(0, &[1]), vec![0]);
+        assert_eq!(seg.write(1, &[2]), Vec::<u32>::new());
+        assert_eq!(seg.tracker().faults(), 1);
+    }
+
+    #[test]
+    fn spanning_write_faults_every_covered_page() {
+        let tpl = template(256, 64);
+        let (mut seg, _b) = segment(&tpl);
+        let faulted = seg.write(60, &[7u8; 140]); // pages 0,1,2,3 partially
+        assert_eq!(faulted, vec![0, 1, 2, 3]);
+        let mut out = vec![0u8; 140];
+        seg.read(60, &mut out);
+        assert_eq!(out, vec![7u8; 140]);
+    }
+
+    #[test]
+    fn writable_ptr_faults_covering_pages_and_is_stable() {
+        let tpl = template(256, 64);
+        let (mut seg, _b) = segment(&tpl);
+        let (p, faulted) = seg.writable_ptr(100, 8);
+        assert_eq!(faulted, vec![1]);
+        unsafe { p.write(0xCD) };
+        let mut out = [0u8; 1];
+        seg.read(100, &mut out);
+        assert_eq!(out[0], 0xCD);
+        let (p2, faulted2) = seg.writable_ptr(100, 8);
+        assert_eq!(p, p2);
+        assert!(faulted2.is_empty());
+    }
+
+    #[test]
+    fn materialize_is_sticky_and_matches_eager_copy() {
+        let tpl = template(300, 64);
+        let (mut seg, b) = segment(&tpl);
+        seg.write(10, &[9, 9, 9]);
+        seg.materialize();
+        assert!(seg.is_materialized());
+        // The backing store now equals an eager copy with the write applied.
+        let mut eager: Vec<u8> = (0..300).map(|i| (i % 251) as u8).collect();
+        eager[10..13].copy_from_slice(&[9, 9, 9]);
+        assert_eq!(&b.buf[..300], &eager[..]);
+        // Sticky: external mutation of a shared page survives a re-call.
+        let corrupted = b.buf[200];
+        unsafe { seg.base().add(200).write(corrupted.wrapping_add(1)) };
+        seg.materialize();
+        assert_eq!(b.buf[200], corrupted.wrapping_add(1));
+        // Materialization is not divergence.
+        assert_eq!(seg.tracker().dirty_count(), 1);
+        assert_eq!(seg.tracker().faults(), 1);
+    }
+
+    #[test]
+    fn dirty_tracker_enumerates_pages() {
+        let tpl = template(512, 64);
+        let (mut seg, _b) = segment(&tpl);
+        seg.write(0, &[1]);
+        seg.write(130, &[1]);
+        seg.write(500, &[1]);
+        let dirty: Vec<usize> = seg.tracker().dirty_pages().collect();
+        assert_eq!(dirty, vec![0, 2, 7]);
+        assert_eq!(seg.tracker().dirty_count(), 3);
+        assert_eq!(seg.resident_private_bytes(), 3 * 64);
+    }
+}

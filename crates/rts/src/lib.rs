@@ -75,7 +75,7 @@ pub use machine::{
 };
 pub use message::RtsMessage;
 pub use pvr_des::{SimDuration, SimTime, Topology};
-pub use stats::EngineTallies;
+pub use stats::{CowTallies, EngineTallies};
 
 /// Global index of a virtual rank.
 pub type RankId = usize;

@@ -11,7 +11,7 @@ use crate::location::LocationManager;
 use crate::message::RtsMessage;
 use crate::pe::PeState;
 use crate::rank::RankStatus;
-use crate::stats::EngineTallies;
+use crate::stats::{CowTallies, EngineTallies};
 pub use crate::stats::{FaultTallies, HardeningTallies, LbRecord, MigrationRecord, RunReport};
 use crate::worker::{
     self, EngineShared, GuardCtx, HlsBlocks, Lane, Outbox, RankTable, StopReason,
@@ -541,6 +541,11 @@ impl Machine {
             !(dedup && k == pvr_isomalloc::RegionKind::CodeSegment)
         };
         let t0 = Instant::now();
+        // COW methods must materialize the rank's lazily-shared pages
+        // before the byte-level pack below reads the raw segment.
+        for p in self.privatizers.iter_mut() {
+            p.prepare_pack(rank);
+        }
         let buf = self.ranks[rank].memory.pack_with(include);
         let bytes = buf.len();
         self.ranks[rank]
@@ -712,6 +717,13 @@ impl Machine {
     /// `AtSync` with drained mailboxes). Each image is replicated to the
     /// home PE's buddy so one PE failure cannot lose it.
     fn take_checkpoint(&mut self) {
+        // COW methods must materialize every rank's lazily-shared pages
+        // before the byte-level packs below read the raw segments.
+        for r in 0..self.ranks.len() {
+            for p in self.privatizers.iter_mut() {
+                p.prepare_pack(r);
+            }
+        }
         let entries: Vec<CheckpointEntry> = (0..self.ranks.len())
             .map(|r| {
                 let rank = &self.ranks[r];
@@ -1524,6 +1536,7 @@ impl Machine {
                 t.set_pe_clock(pe, p.busy.nanos(), p.idle.nanos());
             }
         }
+        let cow = self.collect_cow_tallies();
         Ok(RunReport {
             sim_elapsed: self
                 .pes
@@ -1544,8 +1557,48 @@ impl Machine {
             method_requested: self.method_requested,
             method_landed: self.method(),
             hardening: self.hardening,
+            cow,
             engine: self.engine.clone(),
         })
+    }
+
+    /// Sum copy-on-write accounting across the per-process privatizers
+    /// and run the end-of-run dedup audit: union the per-process
+    /// faulted-page masks, count the pages that never diverged on any
+    /// rank, and emit one `DedupAudit` trace event. All-zero (and no
+    /// event) for eager methods.
+    fn collect_cow_tallies(&mut self) -> CowTallies {
+        let mut cow = CowTallies::default();
+        let mut ranks: u64 = 0;
+        let mut union: Vec<u64> = Vec::new();
+        for p in &self.privatizers {
+            let Some(s) = p.cow_stats() else { continue };
+            cow.page_faults += s.page_faults;
+            cow.pages_privatized += s.pages_privatized;
+            cow.total_pages = cow.total_pages.max(s.total_pages);
+            ranks += s.ranks;
+            if union.len() < s.faulted_page_union.len() {
+                union.resize(s.faulted_page_union.len(), 0);
+            }
+            for (w, &m) in union.iter_mut().zip(&s.faulted_page_union) {
+                *w |= m;
+            }
+        }
+        if ranks == 0 && cow.total_pages == 0 {
+            return cow;
+        }
+        let diverged: u64 = union.iter().map(|w| w.count_ones() as u64).sum();
+        cow.shared_pages = cow.total_pages.saturating_sub(diverged);
+        self.trace(
+            0,
+            pvr_trace::NO_RANK,
+            pvr_trace::EventKind::DedupAudit {
+                ranks: ranks as u32,
+                shared_pages: cow.shared_pages,
+                total_pages: cow.total_pages,
+            },
+        );
+        cow
     }
 
     fn run_real(&mut self, threads: usize) -> Result<(), RtsError> {

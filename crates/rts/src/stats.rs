@@ -151,6 +151,32 @@ impl HardeningTallies {
     }
 }
 
+/// Exact tallies of copy-on-write privatization activity (CowGlobals).
+///
+/// Like [`FaultTallies`], every fault/privatization increment happens at
+/// the same site that emits the corresponding `pvr-trace` event
+/// (`PageFault`, `PagePrivatized`, `DedupAudit`), so integration tests
+/// can reconcile the two exactly. All-zero for eager methods.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CowTallies {
+    /// Simulated page faults taken (first write to a shared page).
+    pub page_faults: u64,
+    /// Pages privatized (equals `page_faults` in this model).
+    pub pages_privatized: u64,
+    /// Pages of the per-rank data segment that never diverged on any
+    /// rank — the dedup audit's shared-page count.
+    pub shared_pages: u64,
+    /// Pages per rank data segment.
+    pub total_pages: u64,
+}
+
+impl CowTallies {
+    /// True when the run had no page-granular privatization activity.
+    pub fn is_clean(&self) -> bool {
+        *self == CowTallies::default()
+    }
+}
+
 /// Execution-engine counters: how the run was actually driven.
 ///
 /// Unlike the rest of [`RunReport`], these are *not* part of the
@@ -204,9 +230,21 @@ pub struct RunReport {
     pub method_landed: Method,
     /// Probe/fallback/guard activity (all-zero without hardening knobs).
     pub hardening: HardeningTallies,
+    /// Copy-on-write privatization activity plus the end-of-run dedup
+    /// audit (all-zero for eager methods).
+    pub cow: CowTallies,
     /// How the run was driven (threads, epochs, barriers, worker wall).
     /// Excluded from [`RunReport::sim_digest`].
     pub engine: EngineTallies,
+}
+
+/// FNV-1a accumulation step shared by the digest methods.
+fn fnv_mix(h: &mut u64, bytes: impl IntoIterator<Item = u8>) {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    for b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(PRIME);
+    }
 }
 
 impl RunReport {
@@ -222,16 +260,28 @@ impl RunReport {
     /// fields (`real_elapsed`, per-migration `real_time`, the whole
     /// `engine` block) are excluded because they legitimately vary.
     pub fn sim_digest(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        fn mix(h: &mut u64, bytes: impl IntoIterator<Item = u8>) {
-            for b in bytes {
-                *h ^= b as u64;
-                *h = h.wrapping_mul(PRIME);
-            }
+        let mut digest = self.sim_digest_core();
+        let mut put = |v: u64| fnv_mix(&mut digest, v.to_le_bytes());
+        put(self.cow.page_faults);
+        put(self.cow.pages_privatized);
+        put(self.cow.shared_pages);
+        put(self.cow.total_pages);
+        for name in [self.method_requested, self.method_landed] {
+            fnv_mix(&mut digest, name.to_string().bytes());
         }
+        digest
+    }
+
+    /// The method-agnostic prefix of [`Self::sim_digest`]: every
+    /// deterministic *simulation* field, excluding the method names and
+    /// the COW tallies. Two privatization methods that promise identical
+    /// execution (eager PIEglobals vs. page-granular CowGlobals) must
+    /// produce identical core digests for the same configuration — the
+    /// cross-method bit-identity check.
+    pub fn sim_digest_core(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         let mut digest = OFFSET;
-        let mut put = |v: u64| mix(&mut digest, v.to_le_bytes());
+        let mut put = |v: u64| fnv_mix(&mut digest, v.to_le_bytes());
         put(self.sim_elapsed.nanos());
         put(self.pe_busy_idle.len() as u64);
         for (b, i) in &self.pe_busy_idle {
@@ -286,9 +336,6 @@ impl RunReport {
             hd.segment_audits,
         ] {
             put(v);
-        }
-        for name in [self.method_requested, self.method_landed] {
-            mix(&mut digest, name.to_string().bytes());
         }
         digest
     }
@@ -346,6 +393,14 @@ impl RunReport {
                 out,
                 "hardening: {} probes, {} fallbacks, {} stack trips, {} arena trips, {} audits",
                 h.probes, h.fallbacks, h.stack_guard_trips, h.arena_guard_trips, h.segment_audits
+            );
+        }
+        if !self.cow.is_clean() {
+            let c = &self.cow;
+            let _ = writeln!(
+                out,
+                "cow: {} page faults, {} pages privatized, {}/{} pages shared across ranks",
+                c.page_faults, c.pages_privatized, c.shared_pages, c.total_pages
             );
         }
         if self.engine.threads > 1 {
@@ -419,6 +474,7 @@ mod tests {
             method_requested: Method::PieGlobals,
             method_landed: Method::PieGlobals,
             hardening: HardeningTallies::default(),
+            cow: CowTallies::default(),
             engine: EngineTallies::default(),
         };
         let s = r.summary();
@@ -459,6 +515,7 @@ mod tests {
             method_requested: Method::PieGlobals,
             method_landed: Method::PieGlobals,
             hardening: HardeningTallies::default(),
+            cow: CowTallies::default(),
             engine: EngineTallies::default(),
         };
         let s = r.summary();
@@ -487,6 +544,7 @@ mod tests {
                 segment_audits: 2,
                 ..Default::default()
             },
+            cow: CowTallies::default(),
             engine: EngineTallies::default(),
         };
         let s = r.summary();

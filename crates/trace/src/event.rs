@@ -190,6 +190,21 @@ pub enum EventKind {
     /// and its whole send/retransmit/delivery lifecycle allocates
     /// nothing; otherwise it spilled to a refcounted heap buffer.
     MsgPool { inline: bool },
+    /// A write trapped on a still-shared copy-on-write page (CowGlobals'
+    /// simulated fault handler; the rank field names the writer).
+    PageFault { page: u32 },
+    /// The fault handler privatized the page: copied `bytes` from the
+    /// shared template into the rank's backing store (plus any memoized
+    /// patches for that page).
+    PagePrivatized { page: u32, bytes: u64 },
+    /// End-of-run deduplication audit over all copy-on-write ranks:
+    /// `shared_pages` of the `total_pages` per-rank data-segment pages
+    /// never diverged on any of the `ranks` ranks.
+    DedupAudit {
+        ranks: u32,
+        shared_pages: u64,
+        total_pages: u64,
+    },
 }
 
 impl EventKind {
@@ -221,6 +236,9 @@ impl EventKind {
             EventKind::ArenaGuardTrip { .. } => "arena_guard_trip",
             EventKind::SegmentAudit { .. } => "segment_audit",
             EventKind::MsgPool { .. } => "msg_pool",
+            EventKind::PageFault { .. } => "page_fault",
+            EventKind::PagePrivatized { .. } => "page_privatized",
+            EventKind::DedupAudit { .. } => "dedup_audit",
         }
     }
 }

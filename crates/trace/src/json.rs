@@ -157,6 +157,21 @@ fn event_json(e: &Event) -> String {
         EventKind::MsgPool { inline } => {
             s.push_str(&format!(", \"inline\": {inline}"));
         }
+        EventKind::PageFault { page } => {
+            s.push_str(&format!(", \"page\": {page}"));
+        }
+        EventKind::PagePrivatized { page, bytes } => {
+            s.push_str(&format!(", \"page\": {page}, \"bytes\": {bytes}"));
+        }
+        EventKind::DedupAudit {
+            ranks,
+            shared_pages,
+            total_pages,
+        } => {
+            s.push_str(&format!(
+                ", \"ranks\": {ranks}, \"shared_pages\": {shared_pages}, \"total_pages\": {total_pages}"
+            ));
+        }
     }
     s.push('}');
     s
@@ -186,7 +201,8 @@ impl TraceSnapshot {
              \"checkpoints\": {}, \"checkpoint_bytes\": {}, \"recoveries\": {}, \
              \"method_probes\": {}, \"method_fallbacks\": {}, \"stack_guard_trips\": {}, \
              \"arena_guard_trips\": {}, \"segment_audits\": {}, \"pool_hits\": {}, \
-             \"pool_misses\": {}}},",
+             \"pool_misses\": {}, \"page_faults\": {}, \"pages_privatized\": {}, \
+             \"page_copy_bytes\": {}, \"dedup_audits\": {}}},",
             c.ctx_switches,
             c.blocks,
             c.unblocks,
@@ -219,7 +235,11 @@ impl TraceSnapshot {
             c.arena_guard_trips,
             c.segment_audits,
             c.pool_hits,
-            c.pool_misses
+            c.pool_misses,
+            c.page_faults,
+            c.pages_privatized,
+            c.page_copy_bytes,
+            c.dedup_audits
         );
         out.push_str("  \"pes\": [\n");
         for (i, p) in self.per_pe.iter().enumerate() {

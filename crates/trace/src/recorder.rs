@@ -74,6 +74,14 @@ pub struct TraceCounts {
     pub pool_hits: u64,
     /// Message sends whose payload spilled to a refcounted heap buffer.
     pub pool_misses: u64,
+    /// Simulated copy-on-write faults (writes trapping on shared pages).
+    pub page_faults: u64,
+    /// Pages privatized by the COW fault handler.
+    pub pages_privatized: u64,
+    /// Bytes copied template → backing store by page privatizations.
+    pub page_copy_bytes: u64,
+    /// End-of-run COW deduplication audits.
+    pub dedup_audits: u64,
 }
 
 impl TraceCounts {
@@ -107,10 +115,13 @@ impl TraceCounts {
             + self.segment_audits
             + self.pool_hits
             + self.pool_misses
+            + self.page_faults
+            + self.pages_privatized
+            + self.dedup_audits
     }
 }
 
-const N_COUNTERS: usize = 33;
+const N_COUNTERS: usize = 37;
 
 // Counter slot indices (mirrors TraceCounts field order).
 const C_CTX: usize = 0;
@@ -146,6 +157,10 @@ const C_ARENA_GUARD: usize = 29;
 const C_SEGMENT_AUDIT: usize = 30;
 const C_POOL_HIT: usize = 31;
 const C_POOL_MISS: usize = 32;
+const C_PAGE_FAULT: usize = 33;
+const C_PAGE_PRIV: usize = 34;
+const C_PAGE_COPY_BYTES: usize = 35;
+const C_DEDUP_AUDIT: usize = 36;
 
 /// Fixed-capacity ring of the most recent events on one PE.
 struct PeRing {
@@ -315,6 +330,12 @@ impl Tracer {
             EventKind::MsgPool { inline } => {
                 bump(if inline { C_POOL_HIT } else { C_POOL_MISS }, 1)
             }
+            EventKind::PageFault { .. } => bump(C_PAGE_FAULT, 1),
+            EventKind::PagePrivatized { bytes, .. } => {
+                bump(C_PAGE_PRIV, 1);
+                bump(C_PAGE_COPY_BYTES, bytes);
+            }
+            EventKind::DedupAudit { .. } => bump(C_DEDUP_AUDIT, 1),
         }
     }
 
@@ -364,6 +385,10 @@ impl Tracer {
             segment_audits: c(C_SEGMENT_AUDIT),
             pool_hits: c(C_POOL_HIT),
             pool_misses: c(C_POOL_MISS),
+            page_faults: c(C_PAGE_FAULT),
+            pages_privatized: c(C_PAGE_PRIV),
+            page_copy_bytes: c(C_PAGE_COPY_BYTES),
+            dedup_audits: c(C_DEDUP_AUDIT),
         }
     }
 

@@ -102,6 +102,17 @@ impl TraceSnapshot {
                 c.segment_audits
             );
         }
+        let cow_total = c.page_faults + c.pages_privatized + c.dedup_audits;
+        if cow_total > 0 {
+            let _ = writeln!(
+                out,
+                "  cow: {} page faults, {} pages privatized ({}), {} dedup audits",
+                c.page_faults,
+                c.pages_privatized,
+                fmt_bytes(c.page_copy_bytes),
+                c.dedup_audits
+            );
+        }
 
         // per-PE table: switch counts come from retained events so the
         // column stays meaningful even without a RunReport
@@ -234,6 +245,30 @@ mod tests {
         let s = t.snapshot().summary(3);
         assert!(
             s.contains("hardening: 1 probes, 1 fallbacks, 0 stack trips, 0 arena trips, 1 audits"),
+            "{s}"
+        );
+        assert!(!s.contains("cow:"), "unexpected cow section:\n{s}");
+    }
+
+    #[test]
+    fn summary_renders_cow_section_when_active() {
+        let t = Tracer::new(1);
+        t.enable();
+        t.record(0, 2, 0, EventKind::PageFault { page: 7 });
+        t.record(0, 2, 1, EventKind::PagePrivatized { page: 7, bytes: 4096 });
+        t.record(
+            0,
+            crate::NO_RANK,
+            2,
+            EventKind::DedupAudit {
+                ranks: 4,
+                shared_pages: 250,
+                total_pages: 256,
+            },
+        );
+        let s = t.snapshot().summary(3);
+        assert!(
+            s.contains("cow: 1 page faults, 1 pages privatized (4096 B), 1 dedup audits"),
             "{s}"
         );
     }

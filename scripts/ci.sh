@@ -53,6 +53,20 @@ cargo run --release -q -p pvr-bench --bin repro -- perf --quick
 echo "==> fast-path equivalence gate (perf_fast_paths on == off, bit-identical)"
 cargo test -q -p pvr-bench --test perf_equivalence
 
+echo "==> cow-smoke (COWglobals dedup sweep: read-mostly must share pages)"
+out=$(cargo run --release -q -p pvr-bench --bin repro -- cow --quick)
+echo "$out"
+# Every read-mostly dedup row must report >0 never-diverged pages —
+# a zero means the fault handler privatized pages nobody wrote.
+shared=$(echo "$out" | awk -F'|' '/dedup/ && /read-mostly/ {gsub(/[^0-9]/, "", $6); print $6}' | sort -n | head -1)
+awk -v s="$shared" 'BEGIN { exit !(s + 0 > 0) }' || {
+    echo "FAIL: COW read-mostly workload shared no pages (dedup broken)"
+    exit 1
+}
+
+echo "==> COW equivalence gate (COWglobals == eager PIEglobals, bit-identical)"
+cargo test -q -p pvr-bench --test cow_equivalence
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

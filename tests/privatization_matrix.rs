@@ -203,6 +203,56 @@ fn fallback_chain_matrix_lands_and_matches_direct_runs() {
     }
 }
 
+/// Regression: requesting FSglobals on a node with *no* shared
+/// filesystem mounted used to panic (`.unwrap()` on the absent mount
+/// inside the privatizer) instead of degrading. With the fallback chain
+/// enabled it must fall through to another method and run to
+/// completion; in strict mode it must surface a configuration error —
+/// never a panic.
+#[test]
+fn fsglobals_without_shared_fs_degrades_cleanly() {
+    let outputs = Arc::new(Mutex::new(Vec::new()));
+    let out = outputs.clone();
+    let vps = 8; // within PIPglobals' 12-namespace budget
+    let mut machine = MachineBuilder::new(hello::binary())
+        .method(Method::FsGlobals)
+        .toolchain(Toolchain::bridges2())
+        .shared_fs(None)
+        .fallback(true)
+        .topology(Topology::smp(1))
+        .vp_ratio(vps)
+        .build(Arc::new(move |ctx| {
+            let mpi = Ampi::init(ctx);
+            let o = hello::run(&mpi);
+            out.lock().push(o);
+        }))
+        .unwrap();
+    machine.run().unwrap();
+    assert_eq!(
+        machine.method(),
+        Method::PipGlobals,
+        "default chain must land on PIPglobals when the FS is missing"
+    );
+    let v = outputs.lock().clone();
+    assert_eq!(v.len(), vps);
+    for o in &v {
+        assert_eq!(o.printed_rank, o.expected_rank);
+    }
+
+    // Strict mode: a clean error, not a panic.
+    let err = MachineBuilder::new(hello::binary())
+        .method(Method::FsGlobals)
+        .toolchain(Toolchain::bridges2())
+        .shared_fs(None)
+        .topology(Topology::smp(1))
+        .vp_ratio(2)
+        .build(Arc::new(|_ctx| {}));
+    assert!(
+        err.is_err(),
+        "strict FSglobals without a shared FS must be a config error"
+    );
+}
+
 #[test]
 fn environment_gates_enforced_end_to_end() {
     let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(|_ctx| {});
