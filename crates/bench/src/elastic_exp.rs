@@ -1,0 +1,212 @@
+//! `elastic` — elastic rescale experiment (`repro -- elastic`).
+//!
+//! Drives a ramping, imbalanced workload (per-rank compute grows every
+//! step) through three geometries of the same 8-rank job:
+//!
+//! - **fixed-small** — 2 of 4 PEs active for the whole run: cheap in
+//!   PE-time, slow once the ramp gets steep;
+//! - **elastic** — starts at 2 active PEs under the stock
+//!   [`UtilizationRescale`] policy, which grows the active set one PE
+//!   per LB barrier as the observed per-PE window load crosses the
+//!   threshold;
+//! - **fixed-large** — all 4 PEs active from the start: the makespan
+//!   floor the elastic run should approach.
+//!
+//! All three must produce bit-identical residuals (placement never
+//! changes results). The table reports makespan, aggregate busy
+//! PE-time, and the rescale activity; two rows are merged into
+//! `BENCH_perf.json` under the `elastic` section: the makespan win over
+//! fixed-small and the closeness to the fixed-large floor.
+
+use crate::{merge_bench_json, render_table, JsonRow};
+use parking_lot::Mutex;
+use pvr_des::{SimDuration, Topology};
+use pvr_privatize::Method;
+use pvr_rts::lb::GreedyRefineLb;
+use pvr_rts::{ClockMode, MachineBuilder, RankCtx, RunReport, UtilizationRescale};
+use std::sync::Arc;
+
+const CAPACITY: usize = 4;
+const SMALL: usize = 2;
+const VP_RATIO: usize = 2; // 8 ranks total
+
+type Residuals = Vec<(usize, f64)>;
+
+/// Ring exchange whose per-step compute ramps linearly: step `s` costs
+/// `(s + 1) * grain` per rank, so the job starts light and ends heavy —
+/// the shape elastic growth exists for.
+fn ramp_body(
+    steps: u64,
+    grain: SimDuration,
+    out: Arc<Mutex<Residuals>>,
+) -> Arc<dyn Fn(RankCtx) + Send + Sync> {
+    Arc::new(move |ctx: RankCtx| {
+        let mut acc = ctx.rank() as f64 + 1.0;
+        for step in 0..steps {
+            ctx.compute(SimDuration::from_nanos(grain.nanos() * (step + 1)));
+            let partner = (ctx.rank() + 1) % ctx.n_ranks();
+            ctx.send(partner, step, bytes::Bytes::copy_from_slice(&acc.to_le_bytes()));
+            let m = ctx.recv();
+            acc = acc * 1.25 + f64::from_le_bytes(m.payload[..8].try_into().unwrap());
+            ctx.at_sync();
+        }
+        out.lock().push((ctx.rank(), acc));
+    })
+}
+
+/// The three geometries of the sweep.
+#[derive(Clone, Copy, PartialEq)]
+enum Geometry {
+    FixedSmall,
+    Elastic,
+    FixedLarge,
+}
+
+impl Geometry {
+    fn name(self) -> &'static str {
+        match self {
+            Geometry::FixedSmall => "fixed-small",
+            Geometry::Elastic => "elastic",
+            Geometry::FixedLarge => "fixed-large",
+        }
+    }
+}
+
+struct Cell {
+    report: RunReport,
+    residuals: Residuals,
+    final_active: usize,
+}
+
+fn run_one(geometry: Geometry, steps: u64, grain: SimDuration) -> Cell {
+    let out: Arc<Mutex<Residuals>> = Arc::new(Mutex::new(Vec::new()));
+    let mut b = MachineBuilder::new(pvr_apps::hello::binary())
+        .method(Method::PieGlobals)
+        .clock(ClockMode::Virtual)
+        .topology(Topology::non_smp(CAPACITY))
+        .vp_ratio(VP_RATIO)
+        .checkpoint_period(1)
+        // the balancer is what puts ranks onto freshly-activated PEs
+        .balancer(Box::new(GreedyRefineLb::default()));
+    match geometry {
+        Geometry::FixedSmall => b = b.active_pes(SMALL),
+        Geometry::FixedLarge => {}
+        Geometry::Elastic => {
+            // grow once the mean per-PE window load clears ~1.5 ranks'
+            // worth of the first step's grain; never shrink mid-ramp
+            b = b.active_pes(SMALL).rescale_policy(Box::new(UtilizationRescale {
+                grow_above: grain.as_secs_f64() * 1.5,
+                shrink_below: 0.0,
+                min_pes: SMALL,
+                max_pes: CAPACITY,
+            }));
+        }
+    }
+    let mut m = b.build(ramp_body(steps, grain, out.clone())).expect("machine builds");
+    let report = m.run().expect("elastic sweep run");
+    let final_active = m.active_pes();
+    let mut residuals = out.lock().clone();
+    residuals.sort_by_key(|r| r.0);
+    Cell { report, residuals, final_active }
+}
+
+fn busy_ms(report: &RunReport) -> f64 {
+    report.pe_busy_idle.iter().map(|(b, _)| b.as_secs_f64()).sum::<f64>() * 1e3
+}
+
+/// Run the sweep, merge rows into `BENCH_perf.json`, render the table.
+pub fn report(quick: bool) -> String {
+    let steps: u64 = if quick { 4 } else { 8 };
+    let grain = SimDuration::from_micros(100);
+
+    let mut cells = Vec::new();
+    for geometry in [Geometry::FixedSmall, Geometry::Elastic, Geometry::FixedLarge] {
+        eprintln!("[elastic] {} ...", geometry.name());
+        cells.push((geometry, run_one(geometry, steps, grain)));
+    }
+    let small = &cells[0].1;
+    let elastic = &cells[1].1;
+    let large = &cells[2].1;
+    assert_eq!(small.residuals, elastic.residuals, "geometry changed results");
+    assert_eq!(small.residuals, large.residuals, "geometry changed results");
+    assert!(elastic.report.elastic.rescales > 0, "the policy never grew the job");
+
+    let ms = |c: &Cell| c.report.sim_elapsed.as_secs_f64() * 1e3;
+    let json = vec![
+        JsonRow {
+            section: "elastic",
+            name: "elastic_makespan_vs_small".into(),
+            ranks: CAPACITY * VP_RATIO,
+            method: "utilization-policy".into(),
+            unit: "sim-ms",
+            quick,
+            before: ms(small),
+            after: ms(elastic),
+            ratio: ms(small) / ms(elastic).max(1e-9),
+        },
+        JsonRow {
+            section: "elastic",
+            name: "elastic_makespan_vs_large".into(),
+            ranks: CAPACITY * VP_RATIO,
+            method: "utilization-policy".into(),
+            unit: "sim-ms",
+            quick,
+            before: ms(large),
+            after: ms(elastic),
+            // closeness to the all-PEs floor, 1.0 = as fast as fixed-large
+            ratio: ms(large) / ms(elastic).max(1e-9),
+        },
+    ];
+    let json_path = "BENCH_perf.json";
+    if let Err(e) = merge_bench_json(json_path, "elastic", &json) {
+        eprintln!("[elastic] warning: could not write {json_path}: {e}");
+    }
+
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|(g, c)| {
+            let e = &c.report.elastic;
+            vec![
+                g.name().into(),
+                format!("{} -> {}", if *g == Geometry::FixedLarge { CAPACITY } else { SMALL }, c.final_active),
+                format!("{:.3} ms", c.report.sim_elapsed.as_secs_f64() * 1e3),
+                format!("{:.3} ms", busy_ms(&c.report)),
+                format!("{}", e.rescales),
+                format!("{}", e.re_replications),
+            ]
+        })
+        .collect();
+    render_table(
+        &format!(
+            "Elastic rescale sweep — ramping ring, {} ranks on {} PE capacity, \
+             {steps} steps x {} us grain; rows merged into {json_path}",
+            CAPACITY * VP_RATIO,
+            CAPACITY,
+            grain.nanos() / 1_000,
+        ),
+        &["geometry", "active PEs", "makespan", "busy PE-time", "rescales", "re-repl"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elastic_beats_small_and_matches_results() {
+        let steps = 4;
+        let grain = SimDuration::from_micros(100);
+        let small = run_one(Geometry::FixedSmall, steps, grain);
+        let elastic = run_one(Geometry::Elastic, steps, grain);
+        let large = run_one(Geometry::FixedLarge, steps, grain);
+        assert_eq!(small.residuals, elastic.residuals);
+        assert_eq!(small.residuals, large.residuals);
+        assert!(elastic.report.elastic.rescales > 0, "{:?}", elastic.report.elastic);
+        assert!(elastic.final_active > SMALL, "the policy must grow the active set");
+        // growing mid-run lands the makespan strictly between the fixed
+        // geometries
+        assert!(elastic.report.sim_elapsed < small.report.sim_elapsed);
+        assert!(elastic.report.sim_elapsed >= large.report.sim_elapsed);
+    }
+}

@@ -21,12 +21,14 @@
 //! the fault-injection/recovery stack (`repro -- faults`),
 //! [`degrade_exp`] the capability-probe fallback chain and memory-safety
 //! guards (`repro -- degrade`), [`perf_exp`] the hot-path before/after
-//! baseline (`repro -- perf`, writes `BENCH_perf.json`), and
+//! baseline (`repro -- perf`, writes `BENCH_perf.json`),
 //! [`cow_exp`] the COWglobals dedup/startup sweep (`repro -- cow`,
-//! merged into the same JSON).
+//! merged into the same JSON), and [`elastic_exp`] the elastic rescale
+//! sweep (`repro -- elastic`, also merged there).
 
 pub mod cow_exp;
 pub mod degrade_exp;
+pub mod elastic_exp;
 pub mod faults_exp;
 pub mod fig5;
 pub mod fig6;

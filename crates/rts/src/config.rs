@@ -124,7 +124,20 @@ pub struct MachineConfig {
     pub code_dedup_migration: bool,
     pub checkpoint_period: u32,
     pub inject_fault_at_lb_step: Option<u32>,
-    pub inject_pe_failure: Option<(u32, PeId)>,
+    /// PE-failure injection schedule `(lb_step, pe)`; multiple entries
+    /// (including at the same step) cascade.
+    pub inject_pe_failures: Vec<(u32, PeId)>,
+    /// Start with this many active PEs (default: all). The build-time PE
+    /// count stays the capacity; the rest sit deactivated until an
+    /// elastic grow brings them up.
+    pub active_pes: Option<usize>,
+    /// Elastic rescale schedule `(lb_step, target_active_pes)`.
+    pub rescale_at: Vec<(u32, usize)>,
+    /// Automatic rescale policy, consulted at every LB barrier.
+    pub rescale_policy: Option<Box<dyn crate::rescale::RescalePolicy>>,
+    /// At LB step `k`, restore the last checkpoint onto `n` active PEs
+    /// (restart-on-different-geometry). Requires `checkpoint_period > 0`.
+    pub restore_geometry_at: Option<(u32, usize)>,
     pub retransmit_base: SimDuration,
     pub retransmit_max_attempts: u32,
     pub tracer: Option<Arc<Tracer>>,
@@ -160,7 +173,11 @@ impl MachineConfig {
             code_dedup_migration: false,
             checkpoint_period: 0,
             inject_fault_at_lb_step: None,
-            inject_pe_failure: None,
+            inject_pe_failures: Vec::new(),
+            active_pes: None,
+            rescale_at: Vec::new(),
+            rescale_policy: None,
+            restore_geometry_at: None,
             retransmit_base: SimDuration::from_micros(20),
             retransmit_max_attempts: 10,
             tracer: None,
@@ -181,7 +198,7 @@ impl MachineConfig {
         if self.vp_ratio == 0 {
             return invalid("vp_ratio: at least one virtual rank per PE is required".into());
         }
-        if (self.inject_fault_at_lb_step.is_some() || self.inject_pe_failure.is_some())
+        if (self.inject_fault_at_lb_step.is_some() || !self.inject_pe_failures.is_empty())
             && self.checkpoint_period == 0
         {
             return invalid(
@@ -195,7 +212,7 @@ impl MachineConfig {
                 return invalid("inject_fault_at_lb_step: LB steps are 1-based".into());
             }
         }
-        if let Some((k, pe)) = self.inject_pe_failure {
+        for &(k, pe) in &self.inject_pe_failures {
             if k == 0 {
                 return invalid("inject_pe_failure_at_lb_step: LB steps are 1-based".into());
             }
@@ -209,6 +226,41 @@ impl MachineConfig {
                     "inject_pe_failure_at_lb_step: surviving on fewer PEs needs at least 2 PEs"
                         .into(),
                 );
+            }
+        }
+        if let Some(a) = self.active_pes {
+            if a == 0 || a > n_pes {
+                return invalid(format!(
+                    "active_pes: {a} out of range (the build-time capacity is {n_pes} PEs)"
+                ));
+            }
+        }
+        for &(k, n) in &self.rescale_at {
+            if k == 0 {
+                return invalid("rescale_at_lb_step: LB steps are 1-based".into());
+            }
+            if n == 0 || n > n_pes {
+                return invalid(format!(
+                    "rescale_at_lb_step: target {n} out of range (capacity is {n_pes} PEs)"
+                ));
+            }
+        }
+        if let Some((k, n)) = self.restore_geometry_at {
+            if self.checkpoint_period == 0 {
+                return invalid(
+                    "restore_geometry_at_lb_step requires checkpoint_period > 0 (no \
+                     checkpoint would be available to restore)"
+                        .into(),
+                );
+            }
+            if k == 0 {
+                return invalid("restore_geometry_at_lb_step: LB steps are 1-based".into());
+            }
+            if n == 0 || n > n_pes {
+                return invalid(format!(
+                    "restore_geometry_at_lb_step: target {n} out of range (capacity is \
+                     {n_pes} PEs)"
+                ));
             }
         }
         if let Some(plan) = self.network.fault_plan() {
@@ -341,7 +393,10 @@ impl MachineConfig {
             }
         }
 
-        let location = LocationManager::new_block(n_ranks, n_pes);
+        // Initial placement covers only the *active* PEs; the rest of
+        // the capacity sits idle until an elastic grow brings it up.
+        let n_active = self.active_pes.unwrap_or(n_pes);
+        let location = LocationManager::new_block(n_ranks, n_active);
         // Scope the tracer over instantiation so privatizer startup work
         // (segment copies, GOT fixups) lands in the trace.
         let trace_scope = self
@@ -542,11 +597,15 @@ impl MachineConfig {
             });
         };
 
-        if self.inject_pe_failure.is_some() && !privatizers[0].supports_migration() {
+        let needs_rank_movement = !self.inject_pe_failures.is_empty()
+            || !self.rescale_at.is_empty()
+            || self.rescale_policy.is_some()
+            || self.restore_geometry_at.is_some();
+        if needs_rank_movement && !privatizers[0].supports_migration() {
             return Err(ConfigError::Invalid {
                 detail: format!(
-                    "inject_pe_failure_at_lb_step: {landed} does not support migration, so the \
-                     failed PE's ranks cannot be restored onto survivors"
+                    "PE failure injection and elastic rescaling move ranks between PEs, but \
+                     {landed} does not support migration"
                 ),
             });
         }
@@ -606,9 +665,16 @@ impl MachineConfig {
             code_dedup_migration: self.code_dedup_migration,
             checkpoint_period: self.checkpoint_period,
             inject_fault_at_lb_step: self.inject_fault_at_lb_step,
-            inject_pe_failure: self.inject_pe_failure,
+            inject_pe_failures: self.inject_pe_failures,
             last_checkpoint: None,
-            alive: vec![true; n_pes],
+            alive: (0..n_pes).map(|p| p < n_active).collect(),
+            failed: vec![false; n_pes],
+            rescale_at: self.rescale_at,
+            rescale_policy: self.rescale_policy,
+            pending_rescale: None,
+            restore_geometry_at: self.restore_geometry_at,
+            geometry_dirty: false,
+            elastic: Default::default(),
             reliable: self.network.fault_plan().map(|plan| {
                 Mutex::new(ReliableState {
                     plan: *plan,
@@ -750,9 +816,44 @@ impl MachineBuilder {
     /// PE's resident ranks lose their memory; buddy checkpointing
     /// restores them onto surviving PEs and the job shrinks to the
     /// remaining PEs. Requires `checkpoint_period > 0`, a migratable
-    /// privatization method, and at least two PEs.
+    /// privatization method, and at least two PEs. Call repeatedly to
+    /// schedule cascading failures (including several at one step).
     pub fn inject_pe_failure_at_lb_step(mut self, k: u32, pe: PeId) -> Self {
-        self.cfg.inject_pe_failure = Some((k, pe));
+        self.cfg.inject_pe_failures.push((k, pe));
+        self
+    }
+
+    /// Start the run with only `n` of the build-time PEs active; the
+    /// rest sit deactivated until an elastic grow
+    /// ([`Machine::rescale`](crate::Machine::rescale), a scheduled
+    /// [`Self::rescale_at_lb_step`], or a [`Self::rescale_policy`])
+    /// brings them up.
+    pub fn active_pes(mut self, n: usize) -> Self {
+        self.cfg.active_pes = Some(n);
+        self
+    }
+
+    /// Elastic rescale schedule: at LB step `k`, rescale the active set
+    /// to `n` PEs (grow or shrink; clamped to the usable capacity).
+    pub fn rescale_at_lb_step(mut self, k: u32, n: usize) -> Self {
+        self.cfg.rescale_at.push((k, n));
+        self
+    }
+
+    /// Automatic elastic rescaling: consult `p` at every LB barrier with
+    /// the observed per-active-PE window loads.
+    pub fn rescale_policy(mut self, p: Box<dyn crate::rescale::RescalePolicy>) -> Self {
+        self.cfg.rescale_policy = Some(p);
+        self
+    }
+
+    /// Restart-on-different-geometry injection: at LB step `k`, restore
+    /// the most recent coordinated checkpoint onto `n` active PEs —
+    /// rollback on the current geometry, then canonical block
+    /// re-placement across the target active set, then re-replication.
+    /// Requires `checkpoint_period > 0` and a migratable method.
+    pub fn restore_geometry_at_lb_step(mut self, k: u32, n: usize) -> Self {
+        self.cfg.restore_geometry_at = Some((k, n));
         self
     }
 

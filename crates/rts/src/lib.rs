@@ -64,6 +64,7 @@ pub mod machine;
 pub mod message;
 pub mod pe;
 pub mod rank;
+pub mod rescale;
 pub mod stats;
 mod worker;
 
@@ -75,7 +76,8 @@ pub use machine::{
 };
 pub use message::RtsMessage;
 pub use pvr_des::{SimDuration, SimTime, Topology};
-pub use stats::{CowTallies, EngineTallies};
+pub use rescale::{RescalePolicy, RescaleStats, UtilizationRescale};
+pub use stats::{CowTallies, ElasticTallies, EngineTallies};
 
 /// Global index of a virtual rank.
 pub type RankId = usize;

@@ -72,6 +72,14 @@ pub enum RtsError {
     /// global bleed, attributed to the rank on the PE when it was
     /// detected ([`crate::RankId::MAX`] when no rank had run since).
     SegmentBleed { rank: RankId, writer: RankId },
+    /// Recovery found a rank whose checkpoint image is unreachable: both
+    /// the primary holder and the buddy holder are dead (a cascading
+    /// double loss that outran the buddy scheme's redundancy).
+    CheckpointLost {
+        rank: RankId,
+        primary_pe: PeId,
+        buddy_pe: PeId,
+    },
 }
 
 impl fmt::Display for RtsError {
@@ -123,6 +131,15 @@ impl fmt::Display for RtsError {
                     )
                 }
             }
+            RtsError::CheckpointLost {
+                rank,
+                primary_pe,
+                buddy_pe,
+            } => write!(
+                f,
+                "rank {rank}'s checkpoint is lost: both holders (PE {primary_pe} \
+                 and buddy PE {buddy_pe}) are dead"
+            ),
         }
     }
 }
@@ -284,15 +301,38 @@ pub struct Machine {
     pub(crate) code_dedup_migration: bool,
     pub(crate) checkpoint_period: u32,
     pub(crate) inject_fault_at_lb_step: Option<u32>,
-    pub(crate) inject_pe_failure: Option<(u32, PeId)>,
+    /// PE-failure injection schedule `(lb_step, pe)`, drained in order;
+    /// multiple entries at the same step cascade within one barrier.
+    pub(crate) inject_pe_failures: Vec<(u32, PeId)>,
     /// Bytes exchanged per (from, to) rank pair since the last LB step
     /// (ordered so LB inputs are independent of merge order).
     pub(crate) comm_bytes: std::collections::BTreeMap<(RankId, RankId), u64>,
     pub(crate) lb_history: Vec<LbRecord>,
     /// Most recent coordinated checkpoint (buddy-replicated per rank).
     pub(crate) last_checkpoint: Option<Checkpoint>,
-    /// Liveness per PE; a failed PE stays dead for the rest of the run.
+    /// Liveness per PE: the *active set*. A PE leaves it by failing
+    /// (permanently) or by an elastic shrink (re-activatable by a grow).
     pub(crate) alive: Vec<bool>,
+    /// PEs killed by fault injection — permanently unusable; an elastic
+    /// grow only reactivates PEs that are `!failed`.
+    pub(crate) failed: Vec<bool>,
+    /// Rescale schedule `(lb_step, target_active_pes)` from the config,
+    /// drained in order at LB barriers.
+    pub(crate) rescale_at: Vec<(u32, usize)>,
+    /// Automatic rescale policy, consulted at every LB barrier after the
+    /// schedule.
+    pub(crate) rescale_policy: Option<Box<dyn crate::rescale::RescalePolicy>>,
+    /// A rescale requested via [`Machine::rescale`] before/between runs,
+    /// applied at the next LB barrier.
+    pub(crate) pending_rescale: Option<usize>,
+    /// Restore the last checkpoint onto a different geometry at this LB
+    /// step `(lb_step, target_active_pes)`.
+    pub(crate) restore_geometry_at: Option<(u32, usize)>,
+    /// Set whenever the active set changes mid-run so `run_virtual`
+    /// recomputes its lookahead window.
+    pub(crate) geometry_dirty: bool,
+    /// Elastic tallies, mirrored into the [`RunReport`].
+    pub(crate) elastic: crate::stats::ElasticTallies,
     /// Reliable-delivery state, present when the network carries a
     /// fault plan. Behind a mutex so concurrent lanes can share it; the
     /// per-pair keying keeps its evolution deterministic regardless.
@@ -742,6 +782,19 @@ impl Machine {
             })
             .collect();
         let bytes: u64 = entries.iter().map(|e| e.image.len() as u64).sum();
+        // Degenerate-redundancy audit: with a single alive PE the buddy
+        // *is* the primary, so those images exist only once — warn
+        // loudly instead of silently halving the fault tolerance.
+        let degenerate: Vec<&CheckpointEntry> = entries
+            .iter()
+            .filter(|e| e.buddy_pe == e.primary_pe)
+            .collect();
+        if let Some(first) = degenerate.first() {
+            let pe = first.primary_pe as u32;
+            let ranks = degenerate.len() as u32;
+            self.tallies.degenerate_buddies += ranks;
+            self.trace(0, NO_RANK, EventKind::BuddyDegenerate { pe, ranks });
+        }
         self.last_checkpoint = Some(Checkpoint { entries });
         self.tallies.checkpoints += 1;
         self.trace(
@@ -779,12 +832,10 @@ impl Machine {
                 } else if self.alive[e.buddy_pe] {
                     true
                 } else {
-                    return Err(RtsError::Protocol {
+                    return Err(RtsError::CheckpointLost {
                         rank,
-                        detail: format!(
-                            "checkpoint lost: both holders (PE {} and buddy PE {}) are dead",
-                            e.primary_pe, e.buddy_pe
-                        ),
+                        primary_pe: e.primary_pe,
+                        buddy_pe: e.buddy_pe,
                     });
                 };
                 let img = if from_buddy { &e.buddy_image } else { &e.image };
@@ -887,6 +938,8 @@ impl Machine {
             },
         );
         self.alive[pe] = false;
+        self.failed[pe] = true;
+        self.geometry_dirty = true;
         self.pes[pe].ready.clear();
         // The dead PE's rank images are gone: scribble them so any read
         // of un-restored state is loud.
@@ -944,6 +997,203 @@ impl Machine {
             .map(|off| (p + off) % n)
             .find(|&q| self.alive[q])
             .expect("at least one alive PE")
+    }
+
+    /// PEs currently in the active set.
+    pub fn active_pes(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    /// Request an elastic rescale of the active set to `n` PEs, applied
+    /// at the next LB barrier (clamped to `1..=usable` where usable
+    /// excludes permanently-failed PEs). The build-time PE count is the
+    /// capacity: `n` beyond it is clamped down.
+    pub fn rescale(&mut self, n: usize) {
+        self.pending_rescale = Some(n);
+    }
+
+    /// Elastic tallies accumulated so far.
+    pub fn elastic_stats(&self) -> crate::stats::ElasticTallies {
+        self.elastic
+    }
+
+    /// The canonical active set for `target` PEs: the lowest-indexed
+    /// `target` non-failed PEs. Canonicalizing makes a rescale's outcome
+    /// a pure function of (failed set, target), independent of the
+    /// rescale history — the determinism bar's foundation.
+    fn canonical_active(&self, target: usize) -> Vec<PeId> {
+        let usable: Vec<PeId> = (0..self.pes.len()).filter(|&p| !self.failed[p]).collect();
+        let target = target.clamp(1, usable.len());
+        usable[..target].to_vec()
+    }
+
+    /// What a [`crate::rescale::RescalePolicy`] sees at this barrier:
+    /// per-active-PE window loads (resident ranks' load since the last
+    /// LB step), in active-PE order.
+    fn rescale_stats(&self) -> crate::rescale::RescaleStats {
+        let active: Vec<PeId> = (0..self.pes.len()).filter(|&p| self.alive[p]).collect();
+        let pe_loads = active
+            .iter()
+            .map(|&p| {
+                self.location
+                    .residents(p)
+                    .map(|r| self.ranks[r].load_since_lb.as_secs_f64())
+                    .sum()
+            })
+            .collect();
+        crate::rescale::RescaleStats {
+            active_pes: active.len(),
+            capacity: self.pes.len(),
+            usable_pes: self.failed.iter().filter(|f| !**f).count(),
+            pe_loads,
+            step: self.lb_steps,
+        }
+    }
+
+    /// Commit an elastic rescale at an LB barrier (every live rank is
+    /// parked at `AtSync`, ready queues are empty). Grown PEs rejoin the
+    /// active set (their lanes and event-queue slices already exist at
+    /// capacity; the barrier's clock advance below brings their stale
+    /// clocks up). Shrunk PEs are drained by migrating their residents
+    /// to the least-loaded surviving PEs. Afterwards the buddy
+    /// checkpoints are re-replicated onto the new geometry so no rank
+    /// has fewer than two live copies.
+    fn do_rescale(&mut self, target: usize) -> Result<(), RtsError> {
+        let new_active = self.canonical_active(target);
+        let old_count = self.active_pes();
+        let is_active = |p: PeId| new_active.contains(&p);
+        let activated: Vec<PeId> = (0..self.pes.len())
+            .filter(|&p| is_active(p) && !self.alive[p])
+            .collect();
+        let deactivated: Vec<PeId> = (0..self.pes.len())
+            .filter(|&p| !is_active(p) && self.alive[p])
+            .collect();
+        if activated.is_empty() && deactivated.is_empty() {
+            return Ok(());
+        }
+        for &p in &activated {
+            self.alive[p] = true;
+        }
+        for &d in &deactivated {
+            self.alive[d] = false;
+            debug_assert!(self.pes[d].ready.is_empty(), "barrier ready queue not empty");
+        }
+        // Drain the shrunk PEs: at the barrier their residents are all
+        // AtSync (or Done, which never runs again and needs no move).
+        let mut drained = 0u32;
+        for &d in &deactivated {
+            let residents: Vec<RankId> = self.location.residents(d).collect();
+            for r in residents {
+                if self.ranks[r].status == RankStatus::Done {
+                    continue;
+                }
+                let to = self.least_loaded_alive_pe();
+                let rec = self.migrate_now(r, to)?;
+                if self.clock == ClockMode::Virtual {
+                    // both endpoints pay the transfer, as in LB moves
+                    self.pes[d].work(rec.sim_cost);
+                    self.pes[to].work(rec.sim_cost);
+                }
+                drained += 1;
+            }
+        }
+        self.geometry_dirty = true;
+        self.elastic.rescales += 1;
+        self.elastic.pes_activated += activated.len() as u32;
+        self.elastic.pes_deactivated += deactivated.len() as u32;
+        self.elastic.ranks_drained += drained;
+        self.trace(
+            0,
+            NO_RANK,
+            EventKind::Rescale {
+                from_pes: old_count as u32,
+                to_pes: new_active.len() as u32,
+                moved_ranks: drained,
+            },
+        );
+        self.re_replicate();
+        Ok(())
+    }
+
+    /// Re-replicate the checkpoint images onto the current geometry: a
+    /// fresh coordinated checkpoint whose primary/buddy assignment is
+    /// computed over the new active set. Gated like the periodic
+    /// checkpoint (completed ranks cannot be re-captured).
+    fn re_replicate(&mut self) {
+        if self.checkpoint_period == 0 || self.done_count > 0 {
+            return;
+        }
+        self.take_checkpoint();
+        let (ranks, bytes) = self
+            .last_checkpoint
+            .as_ref()
+            .map(|c| {
+                (
+                    c.entries.len() as u32,
+                    c.entries.iter().map(|e| e.image.len() as u64).sum(),
+                )
+            })
+            .unwrap_or((0, 0));
+        self.elastic.re_replications += 1;
+        self.trace(0, NO_RANK, EventKind::ReReplicate { ranks, bytes });
+    }
+
+    /// Restore the last checkpoint onto a different geometry: coordinated
+    /// rollback (holders selected on the *current* active set — the
+    /// checkpoint predates the geometry change), then switch the active
+    /// set to the canonical `target` PEs and re-place every live rank in
+    /// block order across them, exactly as a restart at that geometry
+    /// would. Placement is a directory update, not a migration: the rank
+    /// images were just restored, so there is no memory to move and no
+    /// transfer to charge. Finishes by re-replicating the checkpoint on
+    /// the new geometry.
+    fn do_geometry_restore(&mut self, target: usize) -> Result<(), RtsError> {
+        if self.done_count > 0 {
+            return Err(RtsError::Protocol {
+                rank: usize::MAX,
+                detail: "geometry restore after rank completion is unsupported \
+                         (completed ranks cannot roll back)"
+                    .into(),
+            });
+        }
+        self.restore_checkpoint()?;
+        self.reseed_guards_after_restore();
+        let new_active = self.canonical_active(target);
+        let old_count = self.active_pes();
+        for p in 0..self.pes.len() {
+            self.alive[p] = new_active.contains(&p);
+        }
+        match new_active.len().cmp(&old_count) {
+            std::cmp::Ordering::Greater => {
+                self.elastic.pes_activated += (new_active.len() - old_count) as u32
+            }
+            std::cmp::Ordering::Less => {
+                self.elastic.pes_deactivated += (old_count - new_active.len()) as u32
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+        // Restart-style block placement over the new active list — the
+        // same mapping `LocationManager::new_block` would produce for a
+        // fresh machine with this many PEs.
+        let n_ranks = self.ranks.len();
+        let ratio = n_ranks.div_ceil(new_active.len());
+        for r in 0..n_ranks {
+            let pe = new_active[(r / ratio).min(new_active.len() - 1)];
+            self.location.update(r, pe);
+            self.ranks[r].location = pe;
+        }
+        self.geometry_dirty = true;
+        self.elastic.geometry_restores += 1;
+        self.trace(
+            0,
+            NO_RANK,
+            EventKind::GeometryRestore {
+                ranks: n_ranks as u32,
+                to_pes: new_active.len() as u32,
+            },
+        );
+        self.re_replicate();
+        Ok(())
     }
 
     /// Write off ranks whose memory was scribbled by an injected fault and
@@ -1088,10 +1338,69 @@ impl Machine {
             self.reseed_guards_after_restore();
             self.inject_fault_at_lb_step = None;
         }
-        if let Some((step, pe)) = self.inject_pe_failure {
+        // Drain this step's PE-failure schedule in order; entries at the
+        // same step cascade within one barrier (each runs its own
+        // rollback, so the second failure exercises the buddy copies the
+        // first one left behind).
+        let mut failed_this_step = false;
+        while let Some(idx) = self
+            .inject_pe_failures
+            .iter()
+            .position(|&(step, _)| step == self.lb_steps)
+        {
+            let (_, pe) = self.inject_pe_failures.remove(idx);
+            self.fail_pe(pe)?;
+            failed_this_step = true;
+        }
+
+        // Restart-on-different-geometry injection: roll back to the last
+        // checkpoint, then re-place every rank onto the target active
+        // set as a restart would (no migration traffic — the images were
+        // just restored, placement is free).
+        if let Some((step, target)) = self.restore_geometry_at {
             if step == self.lb_steps {
-                self.fail_pe(pe)?;
-                self.inject_pe_failure = None;
+                self.restore_geometry_at = None;
+                self.do_geometry_restore(target)?;
+            }
+        }
+
+        // Elastic rescale decision: an explicit `Machine::rescale`
+        // request wins, then the config schedule, then the policy.
+        // Failure-atomicity: if a PE failure struck this same barrier,
+        // the planned rescale is abandoned and the pre-failure recovery
+        // path keeps the (shrunken) pre-rescale geometry.
+        let requested = if let Some(n) = self.pending_rescale.take() {
+            Some(n)
+        } else {
+            let mut scheduled = None;
+            while let Some(idx) = self
+                .rescale_at
+                .iter()
+                .position(|&(step, _)| step == self.lb_steps)
+            {
+                scheduled = Some(self.rescale_at.remove(idx).1);
+            }
+            if scheduled.is_some() {
+                scheduled
+            } else if let Some(policy) = &self.rescale_policy {
+                policy.decide(&self.rescale_stats())
+            } else {
+                None
+            }
+        };
+        if let Some(target) = requested {
+            if failed_this_step {
+                self.elastic.rescales_aborted += 1;
+                self.trace(
+                    0,
+                    NO_RANK,
+                    EventKind::RescaleAborted {
+                        from_pes: self.active_pes() as u32,
+                        to_pes: target as u32,
+                    },
+                );
+            } else {
+                self.do_rescale(target)?;
             }
         }
 
@@ -1114,14 +1423,30 @@ impl Machine {
         }
 
         if let Some(balancer) = self.balancer.take() {
+            // Balancers see the *active* geometry: dead and deactivated
+            // PEs are compacted out, so `n_pes` is the live count and
+            // placements are dense indices into the active list. With
+            // every PE alive this is the identity mapping; after a
+            // failure or rescale it keeps strategies spreading load over
+            // exactly the PEs that can run ranks.
+            let active: Vec<PeId> = (0..self.pes.len()).filter(|&p| self.alive[p]).collect();
+            let mut dense = vec![0usize; self.pes.len()];
+            for (i, &p) in active.iter().enumerate() {
+                dense[p] = i;
+            }
             let stats = LbStats {
                 loads: self
                     .ranks
                     .iter()
                     .map(|r| r.load_since_lb.as_secs_f64())
                     .collect(),
-                placement: self.location.placements(),
-                n_pes: self.pes.len(),
+                placement: self
+                    .location
+                    .placements()
+                    .iter()
+                    .map(|&p| dense[p])
+                    .collect(),
+                n_pes: active.len(),
                 migration_bytes: self.ranks.iter().map(|r| r.migration_bytes()).collect(),
                 comm_bytes: self
                     .comm_bytes
@@ -1132,15 +1457,9 @@ impl Machine {
             let mut new_placement = balancer.rebalance(&stats);
             self.balancer = Some(balancer);
             assert_eq!(new_placement.len(), self.ranks.len());
-            // A balancer unaware of PE deaths may target a dead PE;
-            // repair by shifting such ranks to the next alive PE.
-            for p in new_placement.iter_mut() {
-                if !self.alive[*p] {
-                    *p = self.first_alive_from(*p);
-                }
-            }
 
-            // LB database entry
+            // LB database entry (in the dense active-PE view, matching
+            // what the strategy was shown)
             self.lb_history.push(LbRecord {
                 step: self.lb_steps,
                 at: self.pes.iter().map(|p| p.clock).max().unwrap_or(SimTime::ZERO),
@@ -1149,6 +1468,16 @@ impl Machine {
                 migrations: stats.migration_count(&new_placement),
                 comm_bytes: stats.comm_bytes.iter().map(|&(_, _, b)| b).sum(),
             });
+
+            // Map dense indices back to real PEs. A buggy strategy may
+            // return an out-of-range slot; repair it to an alive PE
+            // instead of panicking — LB output is advisory.
+            for p in new_placement.iter_mut() {
+                *p = match active.get(*p) {
+                    Some(&pe) => pe,
+                    None => self.first_alive_from((*p).min(self.pes.len() - 1)),
+                };
+            }
 
             for (r, &new_pe) in new_placement.iter().enumerate() {
                 if self.ranks[r].status == RankStatus::Done {
@@ -1219,13 +1548,19 @@ impl Machine {
     /// cross-PE event can incur. Events popped within one window can
     /// only schedule onto *other* lanes at or beyond the horizon, which
     /// is what makes concurrent lane execution safe.
+    /// Only *active* PE pairs count: dead and deactivated PEs source no
+    /// events, so links touching them cannot constrain the window. The
+    /// machine recomputes this whenever the active set changes
+    /// (`geometry_dirty`) — epoch partitioning does not affect merged
+    /// results, so a mid-run window change preserves bit-identity.
     fn lookahead(&self) -> Lookahead {
-        if self.pes.len() <= 1 {
+        let active: Vec<PeId> = (0..self.pes.len()).filter(|&p| self.alive[p]).collect();
+        if active.len() <= 1 {
             return Lookahead::Unbounded;
         }
         let mut min_cost: Option<SimDuration> = None;
-        for a in 0..self.pes.len() {
-            for b in 0..self.pes.len() {
+        for &a in &active {
+            for &b in &active {
                 if a == b {
                     continue;
                 }
@@ -1558,6 +1893,7 @@ impl Machine {
             method_landed: self.method(),
             hardening: self.hardening,
             cow,
+            elastic: self.elastic,
             engine: self.engine.clone(),
         })
     }
@@ -1630,7 +1966,7 @@ impl Machine {
         for pe in 0..self.pes.len() {
             self.queue.schedule(SimTime::ZERO, Event::PeWake { pe });
         }
-        let lookahead = self.lookahead();
+        let mut lookahead = self.lookahead();
         // Reused across epochs: `drain_until` and `make_lanes` both
         // drain it, so one warm buffer serves the whole run.
         let mut batch: Vec<(SimTime, Event)> = Vec::new();
@@ -1668,6 +2004,10 @@ impl Machine {
             if batch.is_empty() {
                 if self.lb_due() {
                     self.do_lb_step()?;
+                    if self.geometry_dirty {
+                        lookahead = self.lookahead();
+                        self.geometry_dirty = false;
+                    }
                     continue;
                 }
                 let waiting: Vec<RankId> = self
@@ -1692,6 +2032,10 @@ impl Machine {
             self.run_epoch(&mut batch, horizon, threads)?;
             if self.lb_due() {
                 self.do_lb_step()?;
+                if self.geometry_dirty {
+                    lookahead = self.lookahead();
+                    self.geometry_dirty = false;
+                }
             }
         }
         Ok(())

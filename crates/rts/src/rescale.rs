@@ -1,0 +1,135 @@
+//! Rescale policies: automatic elastic geometry decisions.
+//!
+//! A [`RescalePolicy`] is consulted at every LB barrier (after failure
+//! injection and before the balancer runs) with the machine's observed
+//! per-PE utilization window. Returning `Some(n)` requests a rescale of
+//! the active set to `n` PEs, committed at that same barrier through the
+//! normal drain/re-replicate protocol; returning `None` keeps the
+//! current geometry. Decisions must be pure functions of the offered
+//! [`RescaleStats`] so `Serial` and `Threads(n)` runs rescale at the
+//! same barriers to the same targets — the determinism bar.
+
+/// What a policy sees at an LB barrier.
+#[derive(Debug, Clone)]
+pub struct RescaleStats {
+    /// PEs currently in the active set.
+    pub active_pes: usize,
+    /// Build-time PE capacity (the hard upper bound for growth).
+    pub capacity: usize,
+    /// PEs that could be active: capacity minus permanently-failed PEs.
+    pub usable_pes: usize,
+    /// Per-active-PE load (seconds of virtual busy time) accumulated
+    /// since the previous LB barrier, in active-PE order.
+    pub pe_loads: Vec<f64>,
+    /// 1-based LB step number of this barrier.
+    pub step: u32,
+}
+
+impl RescaleStats {
+    /// Mean per-active-PE load over the window (seconds).
+    pub fn mean_load(&self) -> f64 {
+        if self.pe_loads.is_empty() {
+            0.0
+        } else {
+            self.pe_loads.iter().sum::<f64>() / self.pe_loads.len() as f64
+        }
+    }
+}
+
+/// Decides whether to change the active PE count at an LB barrier.
+///
+/// Implementations must be deterministic: the same [`RescaleStats`] must
+/// always produce the same decision, with no wall-clock, RNG, or
+/// environment input.
+pub trait RescalePolicy: Send {
+    fn name(&self) -> &'static str;
+
+    /// `Some(target)` to rescale the active set to `target` PEs (clamped
+    /// by the machine to `1..=usable_pes`), `None` to keep the current
+    /// geometry.
+    fn decide(&self, stats: &RescaleStats) -> Option<usize>;
+}
+
+/// Stock utilization-driven policy: grow by one PE when the mean
+/// per-active-PE window load exceeds `grow_above` seconds, shrink by one
+/// when it falls below `shrink_below`, within `[min_pes, max_pes]`.
+///
+/// Thresholds are on the *mean* load rather than the max so one
+/// straggler (the balancer's job) doesn't masquerade as global pressure.
+#[derive(Debug, Clone)]
+pub struct UtilizationRescale {
+    /// Grow when mean window load per active PE exceeds this (seconds).
+    pub grow_above: f64,
+    /// Shrink when mean window load per active PE falls below this
+    /// (seconds).
+    pub shrink_below: f64,
+    /// Never shrink below this many active PEs.
+    pub min_pes: usize,
+    /// Never grow beyond this many active PEs (further clamped by the
+    /// machine to the usable capacity).
+    pub max_pes: usize,
+}
+
+impl RescalePolicy for UtilizationRescale {
+    fn name(&self) -> &'static str {
+        "utilization"
+    }
+
+    fn decide(&self, stats: &RescaleStats) -> Option<usize> {
+        let mean = stats.mean_load();
+        if mean > self.grow_above && stats.active_pes < self.max_pes.min(stats.usable_pes) {
+            Some(stats.active_pes + 1)
+        } else if mean < self.shrink_below && stats.active_pes > self.min_pes.max(1) {
+            Some(stats.active_pes - 1)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(active: usize, usable: usize, loads: Vec<f64>) -> RescaleStats {
+        RescaleStats { active_pes: active, capacity: usable, usable_pes: usable, pe_loads: loads, step: 1 }
+    }
+
+    #[test]
+    fn grows_under_pressure_and_shrinks_when_idle() {
+        let p = UtilizationRescale {
+            grow_above: 0.010,
+            shrink_below: 0.001,
+            min_pes: 1,
+            max_pes: 4,
+        };
+        assert_eq!(p.decide(&stats(2, 4, vec![0.020, 0.015])), Some(3));
+        assert_eq!(p.decide(&stats(3, 4, vec![0.0, 0.0005, 0.0])), Some(2));
+        assert_eq!(p.decide(&stats(2, 4, vec![0.005, 0.005])), None, "in-band load holds");
+    }
+
+    #[test]
+    fn respects_bounds_and_usable_capacity() {
+        let p = UtilizationRescale {
+            grow_above: 0.010,
+            shrink_below: 0.001,
+            min_pes: 2,
+            max_pes: 8,
+        };
+        // usable capacity (failed PEs excluded) caps growth below max_pes
+        assert_eq!(p.decide(&stats(3, 3, vec![1.0, 1.0, 1.0])), None);
+        // min_pes floors shrink even when fully idle
+        assert_eq!(p.decide(&stats(2, 4, vec![0.0, 0.0])), None);
+    }
+
+    #[test]
+    fn empty_window_means_idle() {
+        let p = UtilizationRescale {
+            grow_above: 0.010,
+            shrink_below: 0.001,
+            min_pes: 1,
+            max_pes: 4,
+        };
+        assert_eq!(p.decide(&stats(2, 4, vec![])), Some(1));
+    }
+}

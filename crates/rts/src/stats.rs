@@ -88,6 +88,10 @@ pub struct FaultTallies {
     pub recoveries: u32,
     /// PEs killed by fault injection.
     pub pe_failures: u32,
+    /// Checkpoint entries whose buddy degenerated to the primary itself
+    /// (single alive PE): the image exists only once, so one more PE
+    /// loss is unrecoverable.
+    pub degenerate_buddies: u32,
 }
 
 impl FaultTallies {
@@ -107,6 +111,43 @@ impl FaultTallies {
         self.checkpoints += o.checkpoints;
         self.recoveries += o.recoveries;
         self.pe_failures += o.pe_failures;
+        self.degenerate_buddies += o.degenerate_buddies;
+    }
+}
+
+/// Exact tallies of elastic (dynamic PE set) activity during a run.
+///
+/// Every field increments at the same site that emits the corresponding
+/// `pvr-trace` event (`Rescale`, `RescaleAborted`, `ReReplicate`,
+/// `GeometryRestore`), so integration tests can reconcile the two
+/// exactly. All-zero on fixed-geometry runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ElasticTallies {
+    /// Rescales committed at LB barriers (grow or shrink).
+    pub rescales: u32,
+    /// Planned rescales abandoned because a PE failure struck the same
+    /// barrier (failure-atomicity: geometry kept, work rolled back by
+    /// the normal recovery path).
+    pub rescales_aborted: u32,
+    /// PEs brought into the active set by committed rescales.
+    pub pes_activated: u32,
+    /// PEs drained and removed from the active set by committed
+    /// rescales.
+    pub pes_deactivated: u32,
+    /// Ranks migrated off deactivated PEs during rescale drains.
+    pub ranks_drained: u32,
+    /// Fresh buddy checkpoints taken on a new geometry after a rescale
+    /// or geometry restore committed.
+    pub re_replications: u32,
+    /// Checkpoints restored onto a geometry different from the one that
+    /// took them.
+    pub geometry_restores: u32,
+}
+
+impl ElasticTallies {
+    /// True when the run never changed its PE geometry.
+    pub fn is_clean(&self) -> bool {
+        *self == ElasticTallies::default()
     }
 }
 
@@ -233,6 +274,9 @@ pub struct RunReport {
     /// Copy-on-write privatization activity plus the end-of-run dedup
     /// audit (all-zero for eager methods).
     pub cow: CowTallies,
+    /// Elastic rescale/re-replication activity (all-zero on
+    /// fixed-geometry runs).
+    pub elastic: ElasticTallies,
     /// How the run was driven (threads, epochs, barriers, worker wall).
     /// Excluded from [`RunReport::sim_digest`].
     pub engine: EngineTallies,
@@ -266,6 +310,18 @@ impl RunReport {
         put(self.cow.pages_privatized);
         put(self.cow.shared_pages);
         put(self.cow.total_pages);
+        let e = &self.elastic;
+        for v in [
+            e.rescales,
+            e.rescales_aborted,
+            e.pes_activated,
+            e.pes_deactivated,
+            e.ranks_drained,
+            e.re_replications,
+            e.geometry_restores,
+        ] {
+            put(v as u64);
+        }
         for name in [self.method_requested, self.method_landed] {
             fnv_mix(&mut digest, name.to_string().bytes());
         }
@@ -324,6 +380,7 @@ impl RunReport {
             f.checkpoints as u64,
             f.recoveries as u64,
             f.pe_failures as u64,
+            f.degenerate_buddies as u64,
         ] {
             put(v);
         }
@@ -403,6 +460,20 @@ impl RunReport {
                 c.page_faults, c.pages_privatized, c.shared_pages, c.total_pages
             );
         }
+        if !self.elastic.is_clean() {
+            let e = &self.elastic;
+            let _ = writeln!(
+                out,
+                "elastic: {} rescales ({} aborted), +{} / -{} PEs, {} ranks drained, {} re-replications, {} geometry restores",
+                e.rescales,
+                e.rescales_aborted,
+                e.pes_activated,
+                e.pes_deactivated,
+                e.ranks_drained,
+                e.re_replications,
+                e.geometry_restores
+            );
+        }
         if self.engine.threads > 1 {
             let _ = writeln!(
                 out,
@@ -475,6 +546,7 @@ mod tests {
             method_landed: Method::PieGlobals,
             hardening: HardeningTallies::default(),
             cow: CowTallies::default(),
+            elastic: ElasticTallies::default(),
             engine: EngineTallies::default(),
         };
         let s = r.summary();
@@ -516,6 +588,7 @@ mod tests {
             method_landed: Method::PieGlobals,
             hardening: HardeningTallies::default(),
             cow: CowTallies::default(),
+            elastic: ElasticTallies::default(),
             engine: EngineTallies::default(),
         };
         let s = r.summary();
@@ -545,6 +618,7 @@ mod tests {
                 ..Default::default()
             },
             cow: CowTallies::default(),
+            elastic: ElasticTallies::default(),
             engine: EngineTallies::default(),
         };
         let s = r.summary();

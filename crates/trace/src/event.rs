@@ -205,6 +205,29 @@ pub enum EventKind {
         shared_pages: u64,
         total_pages: u64,
     },
+    /// The machine committed an elastic rescale at an LB barrier: the
+    /// active-PE set changed from `from_pes` to `to_pes`, draining
+    /// `moved_ranks` ranks off the deactivated PEs.
+    Rescale {
+        from_pes: u32,
+        to_pes: u32,
+        moved_ranks: u32,
+    },
+    /// A planned rescale was abandoned because a PE failure struck the
+    /// same barrier; the machine kept the pre-rescale geometry.
+    RescaleAborted { from_pes: u32, to_pes: u32 },
+    /// Buddy checkpoints were re-replicated onto a new geometry after a
+    /// rescale or geometry restore committed (`bytes` is the total
+    /// primary image size of the fresh checkpoint).
+    ReReplicate { ranks: u32, bytes: u64 },
+    /// A coordinated checkpoint taken on one geometry was restored onto
+    /// a different one: `ranks` ranks were re-placed across `to_pes`
+    /// active PEs.
+    GeometryRestore { ranks: u32, to_pes: u32 },
+    /// Warning: checkpoint redundancy degenerated — with a single alive
+    /// PE the buddy is the primary itself, so `ranks` images exist only
+    /// once and one more PE loss is unrecoverable.
+    BuddyDegenerate { pe: u32, ranks: u32 },
 }
 
 impl EventKind {
@@ -239,6 +262,11 @@ impl EventKind {
             EventKind::PageFault { .. } => "page_fault",
             EventKind::PagePrivatized { .. } => "page_privatized",
             EventKind::DedupAudit { .. } => "dedup_audit",
+            EventKind::Rescale { .. } => "rescale",
+            EventKind::RescaleAborted { .. } => "rescale_aborted",
+            EventKind::ReReplicate { .. } => "re_replicate",
+            EventKind::GeometryRestore { .. } => "geometry_restore",
+            EventKind::BuddyDegenerate { .. } => "buddy_degenerate",
         }
     }
 }

@@ -172,6 +172,27 @@ fn event_json(e: &Event) -> String {
                 ", \"ranks\": {ranks}, \"shared_pages\": {shared_pages}, \"total_pages\": {total_pages}"
             ));
         }
+        EventKind::Rescale {
+            from_pes,
+            to_pes,
+            moved_ranks,
+        } => {
+            s.push_str(&format!(
+                ", \"from_pes\": {from_pes}, \"to_pes\": {to_pes}, \"moved_ranks\": {moved_ranks}"
+            ));
+        }
+        EventKind::RescaleAborted { from_pes, to_pes } => {
+            s.push_str(&format!(", \"from_pes\": {from_pes}, \"to_pes\": {to_pes}"));
+        }
+        EventKind::ReReplicate { ranks, bytes } => {
+            s.push_str(&format!(", \"ranks\": {ranks}, \"bytes\": {bytes}"));
+        }
+        EventKind::GeometryRestore { ranks, to_pes } => {
+            s.push_str(&format!(", \"ranks\": {ranks}, \"to_pes\": {to_pes}"));
+        }
+        EventKind::BuddyDegenerate { pe, ranks } => {
+            s.push_str(&format!(", \"degenerate_pe\": {pe}, \"ranks\": {ranks}"));
+        }
     }
     s.push('}');
     s
@@ -202,7 +223,9 @@ impl TraceSnapshot {
              \"method_probes\": {}, \"method_fallbacks\": {}, \"stack_guard_trips\": {}, \
              \"arena_guard_trips\": {}, \"segment_audits\": {}, \"pool_hits\": {}, \
              \"pool_misses\": {}, \"page_faults\": {}, \"pages_privatized\": {}, \
-             \"page_copy_bytes\": {}, \"dedup_audits\": {}}},",
+             \"page_copy_bytes\": {}, \"dedup_audits\": {}, \"rescales\": {}, \
+             \"rescale_aborts\": {}, \"re_replications\": {}, \"re_replication_bytes\": {}, \
+             \"geometry_restores\": {}, \"buddy_degenerates\": {}}},",
             c.ctx_switches,
             c.blocks,
             c.unblocks,
@@ -239,7 +262,13 @@ impl TraceSnapshot {
             c.page_faults,
             c.pages_privatized,
             c.page_copy_bytes,
-            c.dedup_audits
+            c.dedup_audits,
+            c.rescales,
+            c.rescale_aborts,
+            c.re_replications,
+            c.re_replication_bytes,
+            c.geometry_restores,
+            c.buddy_degenerates
         );
         out.push_str("  \"pes\": [\n");
         for (i, p) in self.per_pe.iter().enumerate() {
@@ -429,6 +458,56 @@ mod tests {
         ));
         assert!(json.contains("\"kind\": \"arena_guard_trip\", \"trip\": \"double_free\""));
         assert!(json.contains("\"kind\": \"segment_audit\", \"ranks\": 8, \"dirty\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn elastic_events_export() {
+        let t = Tracer::new(2);
+        t.enable();
+        t.record(
+            0,
+            crate::NO_RANK,
+            1,
+            EventKind::Rescale { from_pes: 4, to_pes: 2, moved_ranks: 5 },
+        );
+        t.record(
+            0,
+            crate::NO_RANK,
+            2,
+            EventKind::RescaleAborted { from_pes: 2, to_pes: 4 },
+        );
+        t.record(
+            0,
+            crate::NO_RANK,
+            3,
+            EventKind::ReReplicate { ranks: 8, bytes: 2048 },
+        );
+        t.record(
+            0,
+            crate::NO_RANK,
+            4,
+            EventKind::GeometryRestore { ranks: 8, to_pes: 3 },
+        );
+        t.record(1, crate::NO_RANK, 5, EventKind::BuddyDegenerate { pe: 1, ranks: 8 });
+        let c = t.counts();
+        assert_eq!(c.rescales, 1);
+        assert_eq!(c.rescale_aborts, 1);
+        assert_eq!(c.re_replications, 1);
+        assert_eq!(c.re_replication_bytes, 2048);
+        assert_eq!(c.geometry_restores, 1);
+        assert_eq!(c.buddy_degenerates, 1);
+        assert_eq!(c.total_events(), 5);
+        let json = t.snapshot().to_json();
+        assert_eq!(json_u64(&json, "rescales"), Some(1));
+        assert_eq!(json_u64(&json, "rescale_aborts"), Some(1));
+        assert_eq!(json_u64(&json, "re_replications"), Some(1));
+        assert_eq!(json_u64(&json, "re_replication_bytes"), Some(2048));
+        assert_eq!(json_u64(&json, "geometry_restores"), Some(1));
+        assert_eq!(json_u64(&json, "buddy_degenerates"), Some(1));
+        assert!(json.contains("\"kind\": \"rescale\", \"from_pes\": 4, \"to_pes\": 2, \"moved_ranks\": 5"));
+        assert!(json.contains("\"kind\": \"re_replicate\", \"ranks\": 8, \"bytes\": 2048"));
+        assert!(json.contains("\"kind\": \"buddy_degenerate\", \"degenerate_pe\": 1, \"ranks\": 8"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

@@ -82,6 +82,18 @@ pub struct TraceCounts {
     pub page_copy_bytes: u64,
     /// End-of-run COW deduplication audits.
     pub dedup_audits: u64,
+    /// Elastic rescales committed (active-PE set changed at a barrier).
+    pub rescales: u64,
+    /// Rescales abandoned because a PE failure struck the same barrier.
+    pub rescale_aborts: u64,
+    /// Buddy-checkpoint re-replications onto a new geometry.
+    pub re_replications: u64,
+    /// Total bytes of primary images in re-replicated checkpoints.
+    pub re_replication_bytes: u64,
+    /// Checkpoints restored onto a different geometry than taken.
+    pub geometry_restores: u64,
+    /// Degenerate-buddy warnings (buddy == primary: single alive PE).
+    pub buddy_degenerates: u64,
 }
 
 impl TraceCounts {
@@ -118,10 +130,15 @@ impl TraceCounts {
             + self.page_faults
             + self.pages_privatized
             + self.dedup_audits
+            + self.rescales
+            + self.rescale_aborts
+            + self.re_replications
+            + self.geometry_restores
+            + self.buddy_degenerates
     }
 }
 
-const N_COUNTERS: usize = 37;
+const N_COUNTERS: usize = 43;
 
 // Counter slot indices (mirrors TraceCounts field order).
 const C_CTX: usize = 0;
@@ -161,6 +178,12 @@ const C_PAGE_FAULT: usize = 33;
 const C_PAGE_PRIV: usize = 34;
 const C_PAGE_COPY_BYTES: usize = 35;
 const C_DEDUP_AUDIT: usize = 36;
+const C_RESCALE: usize = 37;
+const C_RESCALE_ABORT: usize = 38;
+const C_REREPLICATE: usize = 39;
+const C_REREPLICATE_BYTES: usize = 40;
+const C_GEOM_RESTORE: usize = 41;
+const C_BUDDY_DEGEN: usize = 42;
 
 /// Fixed-capacity ring of the most recent events on one PE.
 struct PeRing {
@@ -336,6 +359,14 @@ impl Tracer {
                 bump(C_PAGE_COPY_BYTES, bytes);
             }
             EventKind::DedupAudit { .. } => bump(C_DEDUP_AUDIT, 1),
+            EventKind::Rescale { .. } => bump(C_RESCALE, 1),
+            EventKind::RescaleAborted { .. } => bump(C_RESCALE_ABORT, 1),
+            EventKind::ReReplicate { bytes, .. } => {
+                bump(C_REREPLICATE, 1);
+                bump(C_REREPLICATE_BYTES, bytes);
+            }
+            EventKind::GeometryRestore { .. } => bump(C_GEOM_RESTORE, 1),
+            EventKind::BuddyDegenerate { .. } => bump(C_BUDDY_DEGEN, 1),
         }
     }
 
@@ -389,6 +420,12 @@ impl Tracer {
             pages_privatized: c(C_PAGE_PRIV),
             page_copy_bytes: c(C_PAGE_COPY_BYTES),
             dedup_audits: c(C_DEDUP_AUDIT),
+            rescales: c(C_RESCALE),
+            rescale_aborts: c(C_RESCALE_ABORT),
+            re_replications: c(C_REREPLICATE),
+            re_replication_bytes: c(C_REREPLICATE_BYTES),
+            geometry_restores: c(C_GEOM_RESTORE),
+            buddy_degenerates: c(C_BUDDY_DEGEN),
         }
     }
 

@@ -113,6 +113,24 @@ impl TraceSnapshot {
                 c.dedup_audits
             );
         }
+        let elastic_total = c.rescales
+            + c.rescale_aborts
+            + c.re_replications
+            + c.geometry_restores
+            + c.buddy_degenerates;
+        if elastic_total > 0 {
+            let _ = writeln!(
+                out,
+                "  elastic: {} rescales ({} aborted), {} re-replications ({}), \
+                 {} geometry restores, {} degenerate buddies",
+                c.rescales,
+                c.rescale_aborts,
+                c.re_replications,
+                fmt_bytes(c.re_replication_bytes),
+                c.geometry_restores,
+                c.buddy_degenerates
+            );
+        }
 
         // per-PE table: switch counts come from retained events so the
         // column stays meaningful even without a RunReport
@@ -248,6 +266,45 @@ mod tests {
             "{s}"
         );
         assert!(!s.contains("cow:"), "unexpected cow section:\n{s}");
+    }
+
+    #[test]
+    fn summary_renders_elastic_section_when_active() {
+        let t = Tracer::new(2);
+        t.enable();
+        t.record(
+            0,
+            crate::NO_RANK,
+            0,
+            EventKind::Rescale { from_pes: 4, to_pes: 2, moved_ranks: 3 },
+        );
+        t.record(
+            0,
+            crate::NO_RANK,
+            1,
+            EventKind::ReReplicate { ranks: 8, bytes: 4096 },
+        );
+        t.record(
+            0,
+            crate::NO_RANK,
+            2,
+            EventKind::RescaleAborted { from_pes: 2, to_pes: 4 },
+        );
+        t.record(
+            0,
+            crate::NO_RANK,
+            3,
+            EventKind::GeometryRestore { ranks: 8, to_pes: 3 },
+        );
+        t.record(1, crate::NO_RANK, 4, EventKind::BuddyDegenerate { pe: 1, ranks: 8 });
+        let s = t.snapshot().summary(3);
+        assert!(
+            s.contains(
+                "elastic: 1 rescales (1 aborted), 1 re-replications (4096 B), \
+                 1 geometry restores, 1 degenerate buddies"
+            ),
+            "{s}"
+        );
     }
 
     #[test]

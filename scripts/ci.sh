@@ -67,6 +67,13 @@ awk -v s="$shared" 'BEGIN { exit !(s + 0 > 0) }' || {
 echo "==> COW equivalence gate (COWglobals == eager PIEglobals, bit-identical)"
 cargo test -q -p pvr-bench --test cow_equivalence
 
+echo "==> elastic-smoke (rescale sweep: policy growth must beat fixed-small)"
+cargo run --release -q -p pvr-bench --bin repro -- elastic --quick
+
+echo "==> elastic determinism gate (rescale under faults, Serial == Threads(n))"
+PVR_THREADS=1 cargo test -q -p pvr-bench --test elastic
+PVR_THREADS=4 cargo test -q -p pvr-bench --test elastic
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
