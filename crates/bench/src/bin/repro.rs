@@ -7,7 +7,7 @@
 //! ```
 
 use pvr_bench::{
-    cow_exp, degrade_exp, elastic_exp, faults_exp, fig5, fig6, fig7, fig8, icache_exp,
+    ckpt_exp, cow_exp, degrade_exp, elastic_exp, faults_exp, fig5, fig6, fig7, fig8, icache_exp,
     parallel_exp, perf_exp, scaling, tables, tracing_exp,
 };
 
@@ -58,6 +58,7 @@ fn main() {
             "faults" => println!("{}\n", faults_exp::report()),
             "perf" => println!("{}\n", perf_exp::report(quick)),
             "cow" => println!("{}\n", cow_exp::report(quick)),
+            "ckpt" => println!("{}\n", ckpt_exp::report(quick)),
             "elastic" => println!("{}\n", elastic_exp::report(quick)),
             "degrade" => println!("{}\n", degrade_exp::report()),
             "table2" => {
@@ -71,7 +72,7 @@ fn main() {
             other => {
                 eprintln!("unknown experiment `{other}`");
                 eprintln!(
-                    "known: table1 table3 fig5 fig6 fig7 fig8 icache trace scaling faults degrade perf cow elastic table2 fig9 all"
+                    "known: table1 table3 fig5 fig6 fig7 fig8 icache trace scaling faults degrade perf cow ckpt elastic table2 fig9 all"
                 );
                 std::process::exit(2);
             }

@@ -26,6 +26,7 @@
 //! merged into the same JSON), and [`elastic_exp`] the elastic rescale
 //! sweep (`repro -- elastic`, also merged there).
 
+pub mod ckpt_exp;
 pub mod cow_exp;
 pub mod degrade_exp;
 pub mod elastic_exp;

@@ -39,5 +39,5 @@ pub mod region;
 
 pub use arena::{AllocError, Arena, ArenaStats, GuardViolation, IsoPtr, POISON};
 pub use pup::{PupError, Puppable, Sizer, Unpacker, Packer};
-pub use rank_memory::{MigrationBuffer, RankMemory, RankMemoryStats};
+pub use rank_memory::{ImageDelta, MigrationBuffer, RankMemory, RankMemoryStats, RegionDiffPlan};
 pub use region::{Region, RegionKind};

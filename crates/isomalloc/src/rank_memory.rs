@@ -70,6 +70,105 @@ impl MigrationBuffer {
     }
 }
 
+/// How [`RankMemory::diff_pages_against`] should treat one region.
+pub enum RegionDiffPlan {
+    /// Page-chunk memcmp of the region's live bytes against the previous
+    /// image — for regions with no dirty tracking (heap chunks, stacks,
+    /// TLS, eager segment copies).
+    Scan,
+    /// The caller already knows which pages diverged (a COW page table's
+    /// epoch dirty set): emit exactly these page payloads, still skipping
+    /// any whose bytes equal the previous image.
+    Pages {
+        /// Page size the `pages` indices are expressed in.
+        page_size: usize,
+        /// `(page index, page bytes)` — the final page may be partial.
+        pages: Vec<(u32, Vec<u8>)>,
+    },
+}
+
+/// A sparse byte patch against a packed [`MigrationBuffer`] image — the
+/// incremental-checkpoint delta. Offsets index the *packed image* (the
+/// same coordinate space [`RankMemory::pack`] writes, headers included),
+/// so applying a delta chain in order to a copy of the base image
+/// reconstructs the newest full image byte-identically.
+#[derive(Debug, Clone, Default)]
+pub struct ImageDelta {
+    /// `(image offset, payload)` per dirty page-chunk, ascending.
+    ranges: Vec<(u64, Vec<u8>)>,
+}
+
+impl ImageDelta {
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Number of dirty page-chunks carried.
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total payload bytes carried (what an async drain must ship).
+    pub fn bytes(&self) -> usize {
+        self.ranges.iter().map(|(_, b)| b.len()).sum()
+    }
+
+    /// FNV-1a over every range's offset, length, and payload — integrity
+    /// seal for the delta's trip to the buddy PE.
+    pub fn checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for (off, bytes) in &self.ranges {
+            mix(&off.to_le_bytes());
+            mix(&(bytes.len() as u64).to_le_bytes());
+            mix(bytes);
+        }
+        h
+    }
+
+    /// Whether every range lies inside an image of `image_len` bytes —
+    /// checked before [`Self::apply_to`] so a bad delta can never write
+    /// out of bounds.
+    pub fn verify_bounds(&self, image_len: usize) -> bool {
+        self.ranges
+            .iter()
+            .all(|(off, b)| (*off as usize).checked_add(b.len()).is_some_and(|end| end <= image_len))
+    }
+
+    /// Patch `img` in place. Caller must have checked
+    /// [`Self::verify_bounds`] against `img.len()`.
+    pub fn apply_to(&self, img: &mut MigrationBuffer) {
+        for (off, bytes) in &self.ranges {
+            let off = *off as usize;
+            img.buf[off..off + bytes.len()].copy_from_slice(bytes);
+        }
+    }
+
+    /// Fault-injection hook: flip one payload byte (index `at`, wrapped
+    /// over the concatenated payloads). Returns `false` when the delta
+    /// carries no bytes to corrupt.
+    pub fn corrupt_byte(&mut self, at: usize) -> bool {
+        let total = self.bytes();
+        if total == 0 {
+            return false;
+        }
+        let mut at = at % total;
+        for (_, b) in &mut self.ranges {
+            if at < b.len() {
+                b[at] ^= 0xFF;
+                return true;
+            }
+            at -= b.len();
+        }
+        false
+    }
+}
+
 pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for &b in bytes {
@@ -196,6 +295,20 @@ impl RankMemory {
     /// can skip `CodeSegment` regions and rebuild them from the local
     /// image at the destination.
     pub fn pack_with(&self, include: impl Fn(RegionKind) -> bool) -> MigrationBuffer {
+        self.pack_with_sources(include, |_| None)
+    }
+
+    /// [`Self::pack_with`], but a region for which `source` returns
+    /// `Some(bytes)` packs those bytes instead of its live memory (padded
+    /// or truncated to the region's length). This lets a COW privatizer
+    /// supply a *read-through* view of its page table — template bytes
+    /// for shared pages, backing bytes for private ones — so checkpoint
+    /// packing never has to materialize the backing store.
+    pub fn pack_with_sources(
+        &self,
+        include: impl Fn(RegionKind) -> bool,
+        mut source: impl FnMut(&Region) -> Option<Vec<u8>>,
+    ) -> MigrationBuffer {
         let total = self.migration_bytes_with(&include);
         let mut buf = BytesMut::with_capacity(total + 64 + self.region_count() * 16);
         buf.put_u32(MAGIC);
@@ -207,7 +320,13 @@ impl RankMemory {
             }
             buf.put_u8(kind_tag(r.kind()));
             buf.put_u64(r.len() as u64);
-            buf.put_slice(r.as_slice());
+            match source(r) {
+                Some(mut bytes) => {
+                    bytes.resize(r.len(), 0);
+                    buf.put_slice(&bytes);
+                }
+                None => buf.put_slice(r.as_slice()),
+            }
         }
         pvr_trace::emit(pvr_trace::EventKind::RegionCopy {
             dir: pvr_trace::CopyDir::Pack,
@@ -215,6 +334,84 @@ impl RankMemory {
             bytes: buf.len() as u64,
         });
         MigrationBuffer { buf }
+    }
+
+    /// Diff this rank's live memory against a previously packed image,
+    /// producing the sparse [`ImageDelta`] that turns `prev` into the
+    /// image [`Self::pack`] would produce now.
+    ///
+    /// `plan_for` chooses per region: [`RegionDiffPlan::Scan`] memcmps
+    /// the live bytes in `page_size` chunks; [`RegionDiffPlan::Pages`]
+    /// supplies an explicit dirty-page list (with read-through payloads),
+    /// so the region's live memory is never touched. Either way, chunks
+    /// byte-equal to `prev` are skipped — stale dirty stamps cost compare
+    /// time, never delta bytes.
+    ///
+    /// Returns `None` when `prev`'s layout no longer matches this rank's
+    /// regions (the heap grew or shrank a chunk, a region resized): the
+    /// caller must fall back to a fresh base image.
+    pub fn diff_pages_against(
+        &self,
+        prev: &MigrationBuffer,
+        page_size: usize,
+        mut plan_for: impl FnMut(&Region) -> RegionDiffPlan,
+    ) -> Option<ImageDelta> {
+        assert!(page_size > 0, "diff page size must be positive");
+        let b: &[u8] = &prev.buf;
+        if b.len() < 12 {
+            return None;
+        }
+        let mut hdr = b;
+        if hdr.get_u32() != MAGIC {
+            return None;
+        }
+        if hdr.get_u64() as usize != self.all_regions().count() {
+            return None;
+        }
+        let mut off = 12usize;
+        let mut ranges: Vec<(u64, Vec<u8>)> = Vec::new();
+        for r in self.all_regions() {
+            if b.len() < off + 9 {
+                return None;
+            }
+            let mut rh = &b[off..off + 9];
+            let tag = rh.get_u8();
+            let len = rh.get_u64() as usize;
+            if tag != kind_tag(r.kind()) || len != r.len() {
+                return None;
+            }
+            let body = off + 9;
+            if b.len() < body + len {
+                return None;
+            }
+            let prev_bytes = &b[body..body + len];
+            match plan_for(r) {
+                RegionDiffPlan::Scan => {
+                    let cur = r.as_slice();
+                    let mut p = 0usize;
+                    while p < len {
+                        let n = page_size.min(len - p);
+                        if cur[p..p + n] != prev_bytes[p..p + n] {
+                            ranges.push(((body + p) as u64, cur[p..p + n].to_vec()));
+                        }
+                        p += n;
+                    }
+                }
+                RegionDiffPlan::Pages { page_size: ps, pages } => {
+                    for (page, bytes) in pages {
+                        let p = (page as usize).checked_mul(ps)?;
+                        if p.checked_add(bytes.len())? > len {
+                            return None;
+                        }
+                        if bytes[..] != prev_bytes[p..p + bytes.len()] {
+                            ranges.push(((body + p) as u64, bytes));
+                        }
+                    }
+                }
+            }
+            off = body + len;
+        }
+        Some(ImageDelta { ranges })
     }
 
     /// Check that `buf` can be unpacked into this rank's regions
@@ -486,6 +683,118 @@ mod tests {
         let copy = img.clone();
         assert_eq!(copy.len(), img.len());
         assert_eq!(copy.checksum(), img.checksum());
+    }
+
+    #[test]
+    fn diff_apply_reconstructs_new_image_bit_identically() {
+        let mut rm = sample_rank();
+        let base = rm.pack();
+        // mutate two spots: one in the stack region, one in the heap chunk
+        rm.region_mut(RegionId(0)).as_mut_slice()[300] = 0x77;
+        let heap_base = rm.heap_ref().regions().next().unwrap().base_mut();
+        unsafe { heap_base.add(17).write(0x99) };
+        let delta = rm
+            .diff_pages_against(&base, 256, |_| RegionDiffPlan::Scan)
+            .expect("layout unchanged");
+        assert!(delta.range_count() >= 2, "both dirty chunks found");
+        assert!(delta.bytes() < base.len(), "delta is sparse");
+        assert!(delta.verify_bounds(base.len()));
+        let mut rebuilt = base.clone();
+        delta.apply_to(&mut rebuilt);
+        let now = rm.pack();
+        assert_eq!(rebuilt.checksum(), now.checksum(), "base + delta == fresh pack");
+        assert_eq!(rebuilt.as_slice(), now.as_slice());
+    }
+
+    #[test]
+    fn diff_of_unchanged_memory_is_empty() {
+        let rm = sample_rank();
+        let base = rm.pack();
+        let delta = rm
+            .diff_pages_against(&base, 128, |_| RegionDiffPlan::Scan)
+            .unwrap();
+        assert!(delta.is_empty());
+        assert_eq!(delta.bytes(), 0);
+    }
+
+    #[test]
+    fn diff_detects_layout_change() {
+        let mut rm = sample_rank();
+        let base = rm.pack();
+        rm.add_region(Region::from_bytes(RegionKind::TlsSegment, &[9, 9]));
+        assert!(
+            rm.diff_pages_against(&base, 128, |_| RegionDiffPlan::Scan).is_none(),
+            "grown layout must force a fresh base"
+        );
+    }
+
+    #[test]
+    fn diff_pages_plan_skips_byte_equal_pages() {
+        let mut rm = sample_rank();
+        let base = rm.pack();
+        rm.region_mut(RegionId(0)).as_mut_slice()[0] = 0xEE;
+        let stack_base = rm.region(RegionId(0)).base() as usize;
+        let delta = rm
+            .diff_pages_against(&base, 64, |r| {
+                if r.base() as usize == stack_base {
+                    // page 0 really changed; page 1 is listed but equal
+                    let p0 = r.as_slice()[..64].to_vec();
+                    let p1 = r.as_slice()[64..128].to_vec();
+                    RegionDiffPlan::Pages { page_size: 64, pages: vec![(0, p0), (1, p1)] }
+                } else {
+                    RegionDiffPlan::Scan
+                }
+            })
+            .unwrap();
+        assert_eq!(delta.range_count(), 1, "byte-equal listed page skipped");
+        let mut rebuilt = base.clone();
+        delta.apply_to(&mut rebuilt);
+        assert_eq!(rebuilt.checksum(), rm.pack().checksum());
+    }
+
+    #[test]
+    fn delta_checksum_and_corruption_hook() {
+        let mut rm = sample_rank();
+        let base = rm.pack();
+        rm.region_mut(RegionId(0)).as_mut_slice()[10] = 0xAB;
+        let mut delta = rm
+            .diff_pages_against(&base, 256, |_| RegionDiffPlan::Scan)
+            .unwrap();
+        let sum = delta.checksum();
+        assert!(delta.corrupt_byte(3));
+        assert_ne!(delta.checksum(), sum, "one flipped byte must change the seal");
+        let mut empty = ImageDelta::default();
+        assert!(!empty.corrupt_byte(0), "nothing to corrupt in an empty delta");
+        assert!(empty.verify_bounds(0));
+    }
+
+    #[test]
+    fn delta_out_of_bounds_detected() {
+        let mut rm = sample_rank();
+        let base = rm.pack();
+        rm.region_mut(RegionId(0)).as_mut_slice()[10] = 0xAB;
+        let delta = rm
+            .diff_pages_against(&base, 256, |_| RegionDiffPlan::Scan)
+            .unwrap();
+        assert!(delta.verify_bounds(base.len()));
+        assert!(!delta.verify_bounds(12), "truncated image must fail bounds");
+    }
+
+    #[test]
+    fn pack_with_sources_overrides_region_bytes() {
+        let rm = sample_rank();
+        let tls_base = rm.region(RegionId(1)).base() as usize;
+        let packed = rm.pack_with_sources(
+            |_| true,
+            |r| (r.base() as usize == tls_base).then(|| vec![0xFE]),
+        );
+        // override is padded to the region's length and lands in place of
+        // the live bytes; everything else packs as usual
+        let normal = rm.pack();
+        assert_eq!(packed.len(), normal.len());
+        assert_ne!(packed.checksum(), normal.checksum());
+        let tail = &packed.as_slice()[packed.len() - 4..];
+        assert_eq!(tail, &[0xFE, 0, 0, 0], "override padded with zeros");
     }
 
     #[test]

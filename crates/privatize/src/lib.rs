@@ -210,6 +210,30 @@ pub struct CowStats {
     /// *any* rank in this process faulted page `i`. Unioning the masks
     /// across processes yields the dedup audit's diverged-page set.
     pub faulted_page_union: Vec<u64>,
+    /// Ranks whose COW backing store was materialized into a full
+    /// segment copy. Materialization permanently defeats page sharing,
+    /// so checkpoint packing must keep this at zero (it reads through
+    /// the page table instead) — the dedup-audit regression guard.
+    pub materialized_ranks: u64,
+}
+
+/// Read-through dirty-page extraction from one rank's COW page table,
+/// returned by [`Privatizer::cow_delta_pages`]. The page payloads come
+/// straight from the page table (backing store for private pages), so
+/// collecting a delta never materializes the segment.
+#[derive(Debug, Clone)]
+pub struct CowDeltaPages {
+    /// Base address of the rank's COW backing region — identifies which
+    /// region of the rank's packed image these pages patch.
+    pub seg_base: usize,
+    /// Simulated page size the indices are expressed in.
+    pub page_size: usize,
+    /// `(page index, page bytes)` for every page written since the
+    /// requested epoch floor; the final page may be partial.
+    pub pages: Vec<(u32, Vec<u8>)>,
+    /// The epoch floor the *next* delta capture over this rank should
+    /// use (the epoch was advanced by this call).
+    pub next_since: u64,
 }
 
 /// One privatization strategy instantiated for one (simulated) OS process.
@@ -283,14 +307,41 @@ pub trait Privatizer: Send {
     }
 
     /// Called by the runtime immediately before `rank`'s memory is packed
-    /// (migration or checkpoint). Methods whose rank regions are lazily
-    /// populated (CowGlobals) materialize a complete view here so the
-    /// packed image is bit-exact; a no-op for eager methods.
+    /// (migration or checkpoint). A no-op for every current method:
+    /// lazily populated regions (CowGlobals) are packed through
+    /// [`Self::cow_segment_snapshot`] read-through overrides instead of
+    /// being materialized, so COW page sharing survives packing.
     fn prepare_pack(&mut self, _rank: usize) {}
 
     /// Copy-on-write accounting for the dedup audit and RunReport
     /// tallies. `None` for methods without a page-granular segment model.
     fn cow_stats(&self) -> Option<CowStats> {
         None
+    }
+
+    /// Read-through whole-segment view of `rank`'s COW data segment:
+    /// `(backing region base address, segment bytes)` — template bytes
+    /// for shared pages, backing bytes for private ones. The runtime
+    /// packs these bytes *in place of* the backing region's live memory,
+    /// so packing never materializes the segment. `None` for methods
+    /// without a COW segment (pack live memory as usual).
+    fn cow_segment_snapshot(&self, _rank: usize) -> Option<(usize, Vec<u8>)> {
+        None
+    }
+
+    /// Extract `rank`'s COW pages written in epoch `since` or later and
+    /// advance the write epoch (the extraction *is* the capture — the
+    /// returned `next_since` floors the next one). `None` for methods
+    /// without a COW segment: the runtime falls back to scanning.
+    fn cow_delta_pages(&mut self, _rank: usize, _since: u64) -> Option<CowDeltaPages> {
+        None
+    }
+
+    /// Advance `rank`'s COW write epoch without extracting pages — used
+    /// when a *base* (full) checkpoint image captures everything anyway.
+    /// Returns the new current epoch, or 0 when the method has no COW
+    /// segment for `rank`.
+    fn cow_advance_epoch(&mut self, _rank: usize) -> u64 {
+        0
     }
 }

@@ -19,9 +19,14 @@
 //!    list) necessarily diverge, so they are privatized and patched at
 //!    instantiation — a page never faulted is bit-identical across ranks
 //!    by construction;
-//! 5. before a rank's memory is packed (migration/checkpoint) the runtime
-//!    calls [`Privatizer::prepare_pack`], which materializes the full
-//!    segment view so packed images are bit-exact with eager PIEglobals;
+//! 5. when a rank's memory is packed (migration/checkpoint) the runtime
+//!    asks [`Privatizer::cow_segment_snapshot`] for a *read-through*
+//!    whole-segment view (template bytes for shared pages, backing bytes
+//!    for private ones) and packs that in place of the backing region,
+//!    so packed images are bit-exact with eager PIEglobals while COW
+//!    page sharing — and the dedup audit built on it — survives
+//!    checkpointing; incremental checkpoints pull epoch dirty pages via
+//!    [`Privatizer::cow_delta_pages`] the same read-through way;
 //! 6. per-rank dirty-page sets ([`DirtyTracker`]) feed the end-of-run
 //!    dedup audit: pages that never diverged on *any* rank are reported
 //!    as shared ([`pvr_trace::EventKind::DedupAudit`]).
@@ -244,8 +249,8 @@ impl Privatizer for CowGlobals {
     }
 
     fn supports_migration(&self) -> bool {
-        // Private pages live in Isomalloc rank memory; prepare_pack
-        // materializes the rest before any pack.
+        // Private pages live in Isomalloc rank memory; packing reads the
+        // rest through the page table (cow_segment_snapshot).
         true
     }
 
@@ -287,12 +292,38 @@ impl Privatizer for CowGlobals {
         })
     }
 
-    fn prepare_pack(&mut self, rank: usize) {
-        if let Some(r) = self.ranks.iter().find(|r| r.rank == rank) {
-            // SAFETY: pack runs from runtime bookkeeping while the rank is
-            // not executing (CowCell contract).
-            unsafe { r.cell.segment() }.materialize();
-        }
+    fn cow_segment_snapshot(&self, rank: usize) -> Option<(usize, Vec<u8>)> {
+        self.ranks.iter().find(|r| r.rank == rank).map(|r| {
+            // SAFETY: pack runs from runtime bookkeeping while the rank
+            // is not executing (CowCell contract).
+            let seg = unsafe { r.cell.segment() };
+            (seg.base() as usize, seg.snapshot())
+        })
+    }
+
+    fn cow_delta_pages(&mut self, rank: usize, since: u64) -> Option<crate::CowDeltaPages> {
+        self.ranks.iter().find(|r| r.rank == rank).map(|r| {
+            // SAFETY: capture runs from runtime bookkeeping while the
+            // rank is not executing (CowCell contract).
+            let seg = unsafe { r.cell.segment() };
+            let pages = seg.delta_pages_since(since);
+            let next_since = seg.advance_epoch();
+            crate::CowDeltaPages {
+                seg_base: seg.base() as usize,
+                page_size: seg.page_size(),
+                pages,
+                next_since,
+            }
+        })
+    }
+
+    fn cow_advance_epoch(&mut self, rank: usize) -> u64 {
+        self.ranks
+            .iter()
+            .find(|r| r.rank == rank)
+            // SAFETY: as above — runtime bookkeeping, rank not executing.
+            .map(|r| unsafe { r.cell.segment() }.advance_epoch())
+            .unwrap_or(0)
     }
 
     fn cow_stats(&self) -> Option<CowStats> {
@@ -314,6 +345,9 @@ impl Privatizer for CowGlobals {
             let seg = unsafe { r.cell.segment() };
             stats.page_faults += seg.tracker().faults();
             stats.pages_privatized += seg.tracker().dirty_count() as u64;
+            if seg.is_materialized() {
+                stats.materialized_ranks += 1;
+            }
             for page in seg.tracker().dirty_pages() {
                 stats.faulted_page_union[page / 64] |= 1u64 << (page % 64);
             }
@@ -501,6 +535,54 @@ mod tests {
             }
             assert_eq!(cs[i], ps[i], "byte {i} diverges from eager PIEglobals");
         }
+        regs::clear();
+    }
+
+    #[test]
+    fn pack_snapshot_reads_through_without_materializing() {
+        let mut p = make();
+        let mut m = RankMemory::new();
+        let r = p.instantiate_rank(0, &mut m).unwrap();
+        r.access("g").write_u64(42);
+        let (base, snap) = p.cow_segment_snapshot(0).unwrap();
+        assert_eq!(
+            p.cow_stats().unwrap().materialized_ranks,
+            0,
+            "snapshot must not materialize"
+        );
+        // The snapshot matches the audit's materialized view byte-for-byte.
+        let (sb, sl) = p.rank_data_segment(0).unwrap();
+        assert_eq!(sb as usize, base);
+        let mat = unsafe { std::slice::from_raw_parts(sb, sl) };
+        assert_eq!(&snap[..], mat);
+        assert_eq!(
+            p.cow_stats().unwrap().materialized_ranks,
+            1,
+            "the audit path still materializes"
+        );
+        regs::clear();
+    }
+
+    #[test]
+    fn delta_pages_capture_epoch_dirty_pages_read_through() {
+        let mut p = make();
+        let mut m = RankMemory::new();
+        let r = p.instantiate_rank(0, &mut m).unwrap();
+        let d1 = p.cow_delta_pages(0, 1).unwrap();
+        assert!(!d1.pages.is_empty(), "startup patch pages dirty in epoch 1");
+        assert_eq!(d1.next_since, 2);
+        // nothing written since: the next capture is empty
+        let d2 = p.cow_delta_pages(0, d1.next_since).unwrap();
+        assert!(d2.pages.is_empty());
+        r.access("tail").write_u64(77);
+        let d3 = p.cow_delta_pages(0, d2.next_since).unwrap();
+        assert_eq!(d3.pages.len(), 1, "only tail's page is dirty this epoch");
+        assert_eq!(d3.page_size, DEFAULT_PAGE_SIZE);
+        assert_eq!(
+            p.cow_stats().unwrap().materialized_ranks,
+            0,
+            "delta capture must not materialize"
+        );
         regs::clear();
     }
 

@@ -113,10 +113,21 @@ impl PageTemplate {
 
 /// Per-rank dirty-page set plus fault accounting — the substrate for
 /// incremental checkpointing and the dedup audit.
+///
+/// Beyond the ever-privatized set, the tracker stamps every written page
+/// with the *epoch* it was last written in. Incremental checkpointing
+/// advances the epoch at each capture and asks for
+/// [`Self::pages_dirty_since`] a floor epoch — pages written since the
+/// last checkpoint, a strict subset of the ever-privatized set.
 #[derive(Debug, Clone)]
 pub struct DirtyTracker {
     dirty: Vec<bool>,
     faults: u64,
+    /// Current write epoch. Starts at 1 so an epoch stamp of 0 always
+    /// means "never written".
+    epoch: u64,
+    /// Epoch each page was last written in (0 = never).
+    page_epoch: Vec<u64>,
 }
 
 impl DirtyTracker {
@@ -124,7 +135,14 @@ impl DirtyTracker {
         DirtyTracker {
             dirty: vec![false; n_pages],
             faults: 0,
+            epoch: 1,
+            page_epoch: vec![0; n_pages],
         }
+    }
+
+    /// Stamp page `index` as written in the current epoch.
+    fn stamp(&mut self, index: usize) {
+        self.page_epoch[index] = self.epoch;
     }
 
     pub fn n_pages(&self) -> usize {
@@ -154,6 +172,34 @@ impl DirtyTracker {
     /// in this model: one fault privatizes one page, forever).
     pub fn faults(&self) -> u64 {
         self.faults
+    }
+
+    /// The current write epoch (starts at 1).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Close the current epoch and open the next: pages written from now
+    /// on stamp the new epoch. Returns the new current epoch.
+    pub fn advance_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// The epoch page `index` was last written in (0 = never written).
+    pub fn page_epoch(&self, index: usize) -> u64 {
+        self.page_epoch[index]
+    }
+
+    /// Indices of pages written in epoch `since` or later, ascending —
+    /// the incremental-checkpoint dirty set for a capture whose floor is
+    /// `since`. Pages never written are excluded regardless of `since`.
+    pub fn pages_dirty_since(&self, since: u64) -> impl Iterator<Item = usize> + '_ {
+        self.page_epoch
+            .iter()
+            .enumerate()
+            .filter(move |(_, &e)| e > 0 && e >= since)
+            .map(|(i, _)| i)
     }
 }
 
@@ -251,6 +297,7 @@ impl CowSegment {
         }
         self.tracker.dirty[index] = true;
         self.tracker.faults += 1;
+        self.tracker.stamp(index);
         true
     }
 
@@ -295,6 +342,9 @@ impl CowSegment {
             if self.privatize_page(page) {
                 faulted.push(page as u32);
             }
+            // warm writes re-stamp too: the page is dirty again in the
+            // current checkpoint epoch even though it faulted long ago
+            self.tracker.stamp(page);
         }
         // SAFETY: in-bounds; all covered pages are now private, so the
         // backing store is authoritative for this range.
@@ -317,6 +367,9 @@ impl CowSegment {
             if self.privatize_page(page) {
                 faulted.push(page as u32);
             }
+            // the caller holds a raw pointer it may write through later;
+            // conservatively treat the whole range as written now
+            self.tracker.stamp(page);
         }
         // SAFETY: offset is in-bounds per the debug_assert.
         (unsafe { self.base.add(offset) }, faulted)
@@ -352,6 +405,40 @@ impl CowSegment {
     /// Whether [`Self::materialize`] has run.
     pub fn is_materialized(&self) -> bool {
         self.materialized
+    }
+
+    /// A complete whole-segment byte view assembled *read-through*:
+    /// private pages from the backing store, shared pages from the
+    /// template — without materializing, so COW page sharing (and the
+    /// dedup audit built on it) survives checkpoint packing.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.len];
+        if self.len > 0 {
+            self.read(0, &mut out);
+        }
+        out
+    }
+
+    /// Read-through bytes of every page written in epoch `since` or
+    /// later, as `(page index, page bytes)` pairs (the final page may be
+    /// shorter than `page_size`). Mutates nothing — callers advance the
+    /// epoch themselves once the capture is durable.
+    pub fn delta_pages_since(&self, since: u64) -> Vec<(u32, Vec<u8>)> {
+        self.tracker
+            .pages_dirty_since(since)
+            .map(|page| {
+                let n = self.page_extent(page);
+                let mut buf = vec![0u8; n];
+                self.read(page * self.page_size(), &mut buf);
+                (page as u32, buf)
+            })
+            .collect()
+    }
+
+    /// Close the tracker's current write epoch (see
+    /// [`DirtyTracker::advance_epoch`]).
+    pub fn advance_epoch(&mut self) -> u64 {
+        self.tracker.advance_epoch()
     }
 }
 
@@ -502,6 +589,76 @@ mod tests {
         // Materialization is not divergence.
         assert_eq!(seg.tracker().dirty_count(), 1);
         assert_eq!(seg.tracker().faults(), 1);
+    }
+
+    #[test]
+    fn epoch_stamps_track_writes_per_checkpoint_epoch() {
+        let tpl = template(512, 64);
+        let (mut seg, _b) = segment(&tpl);
+        assert_eq!(seg.tracker().epoch(), 1);
+        seg.write(0, &[1]); // page 0, epoch 1
+        seg.write(130, &[1]); // page 2, epoch 1
+        let e1: Vec<usize> = seg.tracker().pages_dirty_since(1).collect();
+        assert_eq!(e1, vec![0, 2]);
+        assert_eq!(seg.advance_epoch(), 2);
+        // nothing written in epoch 2 yet
+        assert_eq!(seg.tracker().pages_dirty_since(2).count(), 0);
+        // a warm write to an already-private page re-stamps it
+        seg.write(1, &[9]);
+        let e2: Vec<usize> = seg.tracker().pages_dirty_since(2).collect();
+        assert_eq!(e2, vec![0], "warm write must dirty the page in the new epoch");
+        // the ever-dirty floor still sees both pages
+        let all: Vec<usize> = seg.tracker().pages_dirty_since(1).collect();
+        assert_eq!(all, vec![0, 2]);
+        assert_eq!(seg.tracker().page_epoch(2), 1);
+        assert_eq!(seg.tracker().page_epoch(0), 2);
+        assert_eq!(seg.tracker().page_epoch(7), 0, "never-written page has epoch 0");
+    }
+
+    #[test]
+    fn writable_ptr_stamps_covered_pages() {
+        let tpl = template(256, 64);
+        let (mut seg, _b) = segment(&tpl);
+        seg.write(0, &[1]);
+        seg.advance_epoch();
+        let (_p, faulted) = seg.writable_ptr(0, 8);
+        assert!(faulted.is_empty(), "warm pointer grant must not refault");
+        let e2: Vec<usize> = seg.tracker().pages_dirty_since(2).collect();
+        assert_eq!(e2, vec![0], "pointer grant conservatively re-stamps");
+    }
+
+    #[test]
+    fn snapshot_reads_through_without_materializing() {
+        let tpl = template(300, 64);
+        let (mut seg, b) = segment(&tpl);
+        seg.write(10, &[9, 9, 9]);
+        let snap = seg.snapshot();
+        let mut eager: Vec<u8> = (0..300).map(|i| (i % 251) as u8).collect();
+        eager[10..13].copy_from_slice(&[9, 9, 9]);
+        assert_eq!(snap, eager, "snapshot == eager copy with writes applied");
+        assert!(!seg.is_materialized(), "snapshot must not materialize");
+        // shared pages of the backing store stay untouched (still zero)
+        assert_eq!(b.buf[128], 0, "shared page slots must stay untouched");
+        assert_eq!(seg.tracker().dirty_count(), 1);
+    }
+
+    #[test]
+    fn delta_pages_since_returns_read_through_page_bytes() {
+        let tpl = template(300, 64); // 5 pages, last extent 44
+        let (mut seg, _b) = segment(&tpl);
+        seg.write(290, &[5, 5]); // page 4 (partial extent)
+        seg.advance_epoch();
+        seg.write(70, &[7]); // page 1, epoch 2
+        let delta = seg.delta_pages_since(2);
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].0, 1);
+        assert_eq!(delta[0].1.len(), 64);
+        assert_eq!(delta[0].1[6], 7);
+        let full = seg.delta_pages_since(1);
+        assert_eq!(full.len(), 2);
+        assert_eq!(full[1].0, 4);
+        assert_eq!(full[1].1.len(), 44, "final page trimmed to extent");
+        assert_eq!(full[1].1[34..36], [5, 5]);
     }
 
     #[test]

@@ -123,6 +123,20 @@ pub struct MachineConfig {
     pub ult_backend: Backend,
     pub code_dedup_migration: bool,
     pub checkpoint_period: u32,
+    /// Incremental checkpointing: after a full base capture, subsequent
+    /// periodic checkpoints capture only pages/bytes dirtied since the
+    /// previous capture, stored as a bounded delta chain on top of the
+    /// base and streamed to the buddy asynchronously between barriers.
+    /// Requires `checkpoint_period > 0`.
+    pub ckpt_incremental: bool,
+    /// Maximum delta-chain length before the next periodic checkpoint
+    /// compacts the chain into a fresh full base; must be ≥ 1.
+    pub ckpt_max_chain: u32,
+    /// Fault injection: corrupt one payload byte (index = second element,
+    /// wrapped) of the delta captured at LB step `k` (first element)
+    /// after it is taken, exercising the failure-atomic restore abort.
+    /// Requires `ckpt_incremental`.
+    pub corrupt_ckpt_delta_at: Option<(u32, usize)>,
     pub inject_fault_at_lb_step: Option<u32>,
     /// PE-failure injection schedule `(lb_step, pe)`; multiple entries
     /// (including at the same step) cascade.
@@ -172,6 +186,9 @@ impl MachineConfig {
             ult_backend: Backend::native(),
             code_dedup_migration: false,
             checkpoint_period: 0,
+            ckpt_incremental: false,
+            ckpt_max_chain: 8,
+            corrupt_ckpt_delta_at: None,
             inject_fault_at_lb_step: None,
             inject_pe_failures: Vec::new(),
             active_pes: None,
@@ -210,6 +227,32 @@ impl MachineConfig {
         if let Some(k) = self.inject_fault_at_lb_step {
             if k == 0 {
                 return invalid("inject_fault_at_lb_step: LB steps are 1-based".into());
+            }
+        }
+        if self.ckpt_incremental && self.checkpoint_period == 0 {
+            return invalid(
+                "ckpt_incremental requires checkpoint_period > 0 (there would be no \
+                 periodic captures to take deltas at)"
+                    .into(),
+            );
+        }
+        if self.ckpt_max_chain == 0 {
+            return invalid(
+                "ckpt_max_chain: the delta chain must allow at least one delta before \
+                 compaction (use ckpt_incremental = false for full checkpoints)"
+                    .into(),
+            );
+        }
+        if let Some((k, _)) = self.corrupt_ckpt_delta_at {
+            if !self.ckpt_incremental {
+                return invalid(
+                    "corrupt_ckpt_delta_at targets incremental delta captures; it requires \
+                     ckpt_incremental"
+                        .into(),
+                );
+            }
+            if k == 0 {
+                return invalid("corrupt_ckpt_delta_at: LB steps are 1-based".into());
             }
         }
         for &(k, pe) in &self.inject_pe_failures {
@@ -664,6 +707,10 @@ impl MachineConfig {
             comm_bytes: std::collections::BTreeMap::new(),
             code_dedup_migration: self.code_dedup_migration,
             checkpoint_period: self.checkpoint_period,
+            ckpt_incremental: self.ckpt_incremental,
+            ckpt_max_chain: self.ckpt_max_chain,
+            corrupt_ckpt_delta_at: self.corrupt_ckpt_delta_at,
+            ckpt_tallies: Default::default(),
             inject_fault_at_lb_step: self.inject_fault_at_lb_step,
             inject_pe_failures: self.inject_pe_failures,
             last_checkpoint: None,
@@ -801,6 +848,34 @@ impl MachineBuilder {
     /// enables (§2.1): rank memory is packed exactly like a migration.
     pub fn checkpoint_period(mut self, n: u32) -> Self {
         self.cfg.checkpoint_period = n;
+        self
+    }
+
+    /// Incremental checkpointing: the first periodic capture (and any
+    /// capture after a layout change or a full delta chain) packs the
+    /// complete rank image as before; every other periodic capture packs
+    /// only the pages/bytes dirtied since the previous capture, appends
+    /// them to a bounded delta chain, and streams the sealed delta to the
+    /// buddy PE asynchronously between barriers. Restore reconstructs
+    /// base + deltas byte-identically. Requires `checkpoint_period > 0`.
+    pub fn ckpt_incremental(mut self, on: bool) -> Self {
+        self.cfg.ckpt_incremental = on;
+        self
+    }
+
+    /// Maximum delta-chain length before the next periodic checkpoint
+    /// compacts the chain into a fresh full base (default 8; must be ≥ 1).
+    pub fn ckpt_max_chain(mut self, n: u32) -> Self {
+        self.cfg.ckpt_max_chain = n;
+        self
+    }
+
+    /// Fault injection: corrupt one payload byte of the incremental delta
+    /// captured at LB step `k` (byte index `at`, wrapped over the patch
+    /// payload). A later restore must detect the checksum mismatch and
+    /// abort failure-atomically. Requires [`Self::ckpt_incremental`].
+    pub fn corrupt_ckpt_delta_at(mut self, k: u32, at: usize) -> Self {
+        self.cfg.corrupt_ckpt_delta_at = Some((k, at));
         self
     }
 

@@ -77,7 +77,7 @@ pub use machine::{
 pub use message::RtsMessage;
 pub use pvr_des::{SimDuration, SimTime, Topology};
 pub use rescale::{RescalePolicy, RescaleStats, UtilizationRescale};
-pub use stats::{CowTallies, ElasticTallies, EngineTallies};
+pub use stats::{CkptTallies, CowTallies, ElasticTallies, EngineTallies};
 
 /// Global index of a virtual rank.
 pub type RankId = usize;

@@ -224,9 +224,33 @@ pub(crate) struct ReliableState {
     pub(crate) recv: std::collections::HashMap<(RankId, RankId), PairRecv>,
 }
 
+/// One incremental checkpoint delta for one rank: the sparse patch that
+/// turns the previous capture's image into this capture's image.
+///
+/// The primary copy (`patch`) exists as soon as the delta is captured;
+/// the buddy copy (`buddy_patch`) appears only when the delta is
+/// *sealed* at the next LB barrier — modeling the asynchronous stream to
+/// the buddy PE completing between barriers. A restore that must fall
+/// back to the buddy can therefore only use the sealed prefix of the
+/// chain (the consistent cut).
+struct RankDelta {
+    /// Primary copy of the sparse patch (home PE).
+    patch: pvr_isomalloc::ImageDelta,
+    /// Buddy copy; `Some` once the async stream sealed at a barrier.
+    buddy_patch: Option<pvr_isomalloc::ImageDelta>,
+    /// Checksum of `patch` at capture time, verified before restore.
+    checksum: u64,
+    /// Suspended stack pointer observed together with this capture.
+    sp: Option<usize>,
+    /// Dirty-epoch floor for the *next* delta capture of this rank's COW
+    /// segment (0 when the rank has no COW segment).
+    cow_since: u64,
+}
+
 /// One rank's entry in a coordinated checkpoint. The image is held
 /// twice — at the rank's home PE and at that PE's buddy — so a single
-/// PE failure cannot lose it.
+/// PE failure cannot lose it. In incremental mode a bounded chain of
+/// [`RankDelta`]s rides on top of the base image.
 struct CheckpointEntry {
     image: pvr_isomalloc::MigrationBuffer,
     buddy_image: pvr_isomalloc::MigrationBuffer,
@@ -238,11 +262,30 @@ struct CheckpointEntry {
     primary_pe: PeId,
     /// PE holding `buddy_image`.
     buddy_pe: PeId,
+    /// Incremental delta chain on top of `image`, oldest first.
+    deltas: Vec<RankDelta>,
+    /// `image` with every chained delta applied — the diff target for
+    /// the next capture. `None` while the chain is empty (the base
+    /// itself is the target).
+    accum: Option<pvr_isomalloc::MigrationBuffer>,
+    /// Dirty-epoch floor for the first delta after the base capture.
+    base_cow_since: u64,
+}
+
+impl CheckpointEntry {
+    /// The image the next incremental capture diffs against.
+    fn diff_target(&self) -> &pvr_isomalloc::MigrationBuffer {
+        self.accum.as_ref().unwrap_or(&self.image)
+    }
 }
 
 /// A coordinated checkpoint: one entry per rank, taken at an LB barrier.
 pub(crate) struct Checkpoint {
     entries: Vec<CheckpointEntry>,
+    /// True while the most recent delta capture has not yet been sealed
+    /// to the buddies (its async stream is still in flight). At most the
+    /// last delta of each entry's chain can be unsealed.
+    unsealed: bool,
 }
 
 /// Map an arena guard violation to its trace-event kind.
@@ -300,6 +343,17 @@ pub struct Machine {
     pub(crate) pe_hls_blocks: HlsBlocks,
     pub(crate) code_dedup_migration: bool,
     pub(crate) checkpoint_period: u32,
+    /// Incremental checkpointing: periodic captures between base images
+    /// take dirty-page deltas chained on the base.
+    pub(crate) ckpt_incremental: bool,
+    /// Delta-chain length bound; a due capture at the bound compacts
+    /// into a fresh base.
+    pub(crate) ckpt_max_chain: u32,
+    /// Fault injection `(lb_step, byte)`: corrupt one payload byte of
+    /// the delta captured at that step (failure-atomic-abort exercise).
+    pub(crate) corrupt_ckpt_delta_at: Option<(u32, usize)>,
+    /// Incremental-checkpoint tallies, mirrored into the [`RunReport`].
+    pub(crate) ckpt_tallies: crate::stats::CkptTallies,
     pub(crate) inject_fault_at_lb_step: Option<u32>,
     /// PE-failure injection schedule `(lb_step, pe)`, drained in order;
     /// multiple entries at the same step cascade within one barrier.
@@ -581,12 +635,10 @@ impl Machine {
             !(dedup && k == pvr_isomalloc::RegionKind::CodeSegment)
         };
         let t0 = Instant::now();
-        // COW methods must materialize the rank's lazily-shared pages
-        // before the byte-level pack below reads the raw segment.
-        for p in self.privatizers.iter_mut() {
-            p.prepare_pack(rank);
-        }
-        let buf = self.ranks[rank].memory.pack_with(include);
+        // COW methods supply a read-through view of their page table, so
+        // the byte-level pack below never materializes the backing store
+        // (cross-rank page sharing survives the migration round-trip).
+        let buf = self.pack_rank_read_through(rank, include);
         let bytes = buf.len();
         self.ranks[rank]
             .memory
@@ -752,35 +804,238 @@ impl Machine {
             .unwrap_or(pe)
     }
 
+    /// Pack `rank`'s memory, sourcing a COW data segment through its
+    /// page table instead of its backing store. The produced bytes are
+    /// identical to a materialize-then-pack (shared pages read the
+    /// template, which the backing region mirrors on unpack), but the
+    /// segment's page sharing — and hence the dedup audit's numbers —
+    /// survive the pack.
+    fn pack_rank_read_through(
+        &self,
+        rank: RankId,
+        include: impl Fn(pvr_isomalloc::RegionKind) -> bool,
+    ) -> pvr_isomalloc::MigrationBuffer {
+        let snap = self
+            .privatizers
+            .iter()
+            .find_map(|p| p.cow_segment_snapshot(rank));
+        match snap {
+            Some((seg_base, bytes)) => {
+                let mut payload = Some(bytes);
+                self.ranks[rank].memory.pack_with_sources(include, |reg| {
+                    if reg.base() as usize == seg_base {
+                        payload.take()
+                    } else {
+                        None
+                    }
+                })
+            }
+            None => self.ranks[rank].memory.pack_with(include),
+        }
+    }
+
+    /// Current maximum delta-chain length across the checkpoint's ranks.
+    fn chain_len(ckpt: &Checkpoint) -> usize {
+        ckpt.entries.iter().map(|e| e.deltas.len()).max().unwrap_or(0)
+    }
+
+    /// Seal the in-flight delta capture, if any: the asynchronous stream
+    /// to each buddy PE completes, so every rank's latest delta gains its
+    /// buddy copy and the chain's sealed prefix (what a buddy-side
+    /// restore may use) extends to the full chain. Called at the top of
+    /// every LB barrier — the consistent-cut marker.
+    fn seal_pending_delta(&mut self) {
+        let Some(ckpt) = self.last_checkpoint.as_mut() else {
+            return;
+        };
+        if !ckpt.unsealed {
+            return;
+        }
+        let mut bytes = 0u64;
+        for e in ckpt.entries.iter_mut() {
+            if let Some(d) = e.deltas.last_mut() {
+                if d.buddy_patch.is_none() {
+                    bytes += d.patch.bytes() as u64;
+                    d.buddy_patch = Some(d.patch.clone());
+                }
+            }
+        }
+        ckpt.unsealed = false;
+        let epoch = Self::chain_len(self.last_checkpoint.as_ref().expect("just sealed")) as u32;
+        self.ckpt_tallies.seals += 1;
+        self.ckpt_tallies.async_drains += 1;
+        self.ckpt_tallies.async_bytes += bytes;
+        self.trace(0, NO_RANK, EventKind::CkptAsyncDrain { bytes });
+        self.trace(
+            0,
+            NO_RANK,
+            EventKind::CkptSeal {
+                step: self.lb_steps,
+                epoch,
+            },
+        );
+    }
+
+    /// Take one periodic capture in incremental mode: a fresh base when
+    /// no usable chain exists (first capture, a rank's layout drifted
+    /// from the previous image, or the chain hit `ckpt_max_chain` —
+    /// compaction), otherwise a dirty-page delta appended to the chain.
+    fn take_incremental_checkpoint(&mut self) {
+        let need_base = match &self.last_checkpoint {
+            None => true,
+            Some(c) => {
+                c.entries.len() != self.ranks.len()
+                    || Self::chain_len(c) as u32 >= self.ckpt_max_chain
+                    // A dead holder degrades the chain to (at most) one
+                    // live copy; re-establish two-copy redundancy with a
+                    // fresh base, exactly as full mode does each barrier.
+                    || c.entries
+                        .iter()
+                        .any(|e| !self.alive[e.primary_pe] || !self.alive[e.buddy_pe])
+                    || c.entries.iter().enumerate().any(|(r, e)| {
+                        self.ranks[r].memory.verify_layout(e.diff_target()).is_err()
+                    })
+            }
+        };
+        if need_base {
+            let prior_chain = self.last_checkpoint.as_ref().map(Self::chain_len).unwrap_or(0);
+            self.take_checkpoint();
+            if prior_chain > 0 {
+                // The fresh base replaced a delta chain: compaction.
+                let bytes = self
+                    .last_checkpoint
+                    .as_ref()
+                    .map(|c| c.entries.iter().map(|e| e.image.len() as u64).sum())
+                    .unwrap_or(0);
+                self.ckpt_tallies.compactions += 1;
+                self.trace(
+                    0,
+                    NO_RANK,
+                    EventKind::CkptCompact {
+                        chain: prior_chain as u32,
+                        bytes,
+                    },
+                );
+            }
+            return;
+        }
+
+        let mut ckpt = self.last_checkpoint.take().expect("chain checked above");
+        let mut total_pages = 0u64;
+        let mut total_bytes = 0u64;
+        let mut dirty_ranks = 0u32;
+        for (r, e) in ckpt.entries.iter_mut().enumerate() {
+            let since = e
+                .deltas
+                .last()
+                .map(|d| d.cow_since)
+                .unwrap_or(e.base_cow_since);
+            // COW segments hand over their epoch-stamped dirty pages
+            // (read through the page table) and advance their epoch;
+            // every other region is scanned against the previous image.
+            let cow = self
+                .privatizers
+                .iter_mut()
+                .find_map(|p| p.cow_delta_pages(r, since));
+            let patch = self.ranks[r].memory.diff_pages_against(
+                e.diff_target(),
+                pvr_progimage::DEFAULT_PAGE_SIZE,
+                |reg| match &cow {
+                    Some(c) if reg.base() as usize == c.seg_base => {
+                        pvr_isomalloc::RegionDiffPlan::Pages {
+                            page_size: c.page_size,
+                            pages: c.pages.clone(),
+                        }
+                    }
+                    _ => pvr_isomalloc::RegionDiffPlan::Scan,
+                },
+            );
+            let Some(patch) = patch else {
+                // Layout drifted between the verify above and the diff
+                // (cannot happen at a quiescent barrier; defensive):
+                // discard the partial delta pass and take a fresh base.
+                self.last_checkpoint = Some(ckpt);
+                self.take_checkpoint();
+                return;
+            };
+            let cow_since = cow.map(|c| c.next_since).unwrap_or(0);
+            let mut accum = e.accum.take().unwrap_or_else(|| e.image.clone());
+            patch.apply_to(&mut accum);
+            e.accum = Some(accum);
+            if !patch.is_empty() {
+                dirty_ranks += 1;
+            }
+            total_pages += patch.range_count() as u64;
+            total_bytes += patch.bytes() as u64;
+            let checksum = patch.checksum();
+            let sp = self.ranks[r].ult.as_ref().and_then(|u| u.suspended_sp());
+            e.deltas.push(RankDelta {
+                patch,
+                buddy_patch: None,
+                checksum,
+                sp,
+                cow_since,
+            });
+        }
+        ckpt.unsealed = true;
+        let chain = Self::chain_len(&ckpt) as u32;
+        self.last_checkpoint = Some(ckpt);
+        self.ckpt_tallies.deltas += 1;
+        self.ckpt_tallies.pages_delta += total_pages;
+        self.ckpt_tallies.delta_bytes += total_bytes;
+        self.ckpt_tallies.max_in_flight_bytes =
+            self.ckpt_tallies.max_in_flight_bytes.max(total_bytes);
+        self.ckpt_tallies.max_chain_len = self.ckpt_tallies.max_chain_len.max(chain);
+        self.trace(
+            0,
+            NO_RANK,
+            EventKind::CkptDelta {
+                step: self.lb_steps,
+                ranks: dirty_ranks,
+                pages: total_pages,
+                bytes: total_bytes,
+            },
+        );
+    }
+
     /// Take a coordinated checkpoint: pack every live rank's memory
     /// (valid at an LB barrier, where all live ranks are parked at
     /// `AtSync` with drained mailboxes). Each image is replicated to the
     /// home PE's buddy so one PE failure cannot lose it.
     fn take_checkpoint(&mut self) {
-        // COW methods must materialize every rank's lazily-shared pages
-        // before the byte-level packs below read the raw segments.
+        let mut entries: Vec<CheckpointEntry> = Vec::with_capacity(self.ranks.len());
         for r in 0..self.ranks.len() {
-            for p in self.privatizers.iter_mut() {
-                p.prepare_pack(r);
-            }
+            // COW methods supply a read-through view of their page table
+            // (template bytes for shared pages, backing bytes for private
+            // ones), so packing never materializes the backing store and
+            // cross-rank page sharing survives every checkpoint.
+            let image = self.pack_rank_read_through(r, |_| true);
+            let sp = self.ranks[r].ult.as_ref().and_then(|u| u.suspended_sp());
+            let checksum = image.checksum();
+            let primary_pe = self.ranks[r].location;
+            // Epoch floor for the first delta on top of this base: pages
+            // dirtied from here on belong to the next capture.
+            let base_cow_since = if self.ckpt_incremental {
+                self.privatizers
+                    .iter_mut()
+                    .map(|p| p.cow_advance_epoch(r))
+                    .find(|&e| e > 0)
+                    .unwrap_or(0)
+            } else {
+                0
+            };
+            entries.push(CheckpointEntry {
+                buddy_image: image.clone(),
+                image,
+                sp,
+                checksum,
+                primary_pe,
+                buddy_pe: self.buddy_of(primary_pe),
+                deltas: Vec::new(),
+                accum: None,
+                base_cow_since,
+            });
         }
-        let entries: Vec<CheckpointEntry> = (0..self.ranks.len())
-            .map(|r| {
-                let rank = &self.ranks[r];
-                let sp = rank.ult.as_ref().and_then(|u| u.suspended_sp());
-                let image = rank.memory.pack();
-                let checksum = image.checksum();
-                let primary_pe = rank.location;
-                CheckpointEntry {
-                    buddy_image: image.clone(),
-                    image,
-                    sp,
-                    checksum,
-                    primary_pe,
-                    buddy_pe: self.buddy_of(primary_pe),
-                }
-            })
-            .collect();
         let bytes: u64 = entries.iter().map(|e| e.image.len() as u64).sum();
         // Degenerate-redundancy audit: with a single alive PE the buddy
         // *is* the primary, so those images exist only once — warn
@@ -795,7 +1050,10 @@ impl Machine {
             self.tallies.degenerate_buddies += ranks;
             self.trace(0, NO_RANK, EventKind::BuddyDegenerate { pe, ranks });
         }
-        self.last_checkpoint = Some(Checkpoint { entries });
+        self.last_checkpoint = Some(Checkpoint {
+            entries,
+            unsealed: false,
+        });
         self.tallies.checkpoints += 1;
         self.trace(
             0,
@@ -811,12 +1069,22 @@ impl Machine {
     /// resume from the sync point at which the checkpoint was taken and
     /// recompute forward — classic coordinated rollback.
     ///
-    /// Failure-atomic: every image is selected (from a live holder),
-    /// checksummed, and layout-verified before any rank is mutated, so a
-    /// restore that cannot succeed leaves all rank memory untouched and
-    /// the checkpoint still in place.
+    /// With a delta chain, the restored state is the *consistent cut*:
+    /// the longest chain prefix available on a live holder for every
+    /// rank. A rank whose primary PE is alive offers its whole chain; a
+    /// rank falling back to its buddy offers only the sealed prefix (the
+    /// async stream never delivered the unsealed tail). The minimum over
+    /// all ranks is applied everywhere, so the job resumes from one
+    /// coordinated barrier — possibly an earlier one than the latest
+    /// delta capture.
+    ///
+    /// Failure-atomic: every base image and every chained delta up to
+    /// the cut is selected (from a live holder), checksummed,
+    /// layout/bounds-verified before any rank is mutated, so a restore
+    /// that cannot succeed leaves all rank memory untouched and the
+    /// checkpoint still in place.
     fn restore_checkpoint(&mut self) -> Result<(), RtsError> {
-        let Some(ckpt) = self.last_checkpoint.take() else {
+        let Some(mut ckpt) = self.last_checkpoint.take() else {
             return Err(RtsError::Protocol {
                 rank: usize::MAX,
                 detail: "fault injected with no checkpoint available".into(),
@@ -824,7 +1092,10 @@ impl Machine {
         };
 
         // Phase 1: verify everything, mutating nothing.
-        let verify = || -> Result<Vec<bool>, RtsError> {
+        let verify = || -> Result<(usize, Vec<bool>), RtsError> {
+            // 1a: pick a live holder per rank and find the consistent
+            // cut — the longest chain prefix every holder can supply.
+            let mut cut = usize::MAX;
             let mut use_buddy = Vec::with_capacity(ckpt.entries.len());
             for (rank, e) in ckpt.entries.iter().enumerate() {
                 let from_buddy = if self.alive[e.primary_pe] {
@@ -838,6 +1109,21 @@ impl Machine {
                         buddy_pe: e.buddy_pe,
                     });
                 };
+                let avail = if from_buddy {
+                    e.deltas
+                        .iter()
+                        .take_while(|d| d.buddy_patch.is_some())
+                        .count()
+                } else {
+                    e.deltas.len()
+                };
+                cut = cut.min(avail);
+                use_buddy.push(from_buddy);
+            }
+            let cut = if ckpt.entries.is_empty() { 0 } else { cut };
+            // 1b: verify base checksums, layouts, and every delta up to
+            // the cut (checksum + patch bounds) for the chosen holders.
+            for (rank, (e, &from_buddy)) in ckpt.entries.iter().zip(&use_buddy).enumerate() {
                 let img = if from_buddy { &e.buddy_image } else { &e.image };
                 if img.checksum() != e.checksum {
                     return Err(RtsError::Protocol {
@@ -852,11 +1138,29 @@ impl Machine {
                         rank,
                         detail: format!("checkpoint restore failed: {e}"),
                     })?;
-                use_buddy.push(from_buddy);
+                for d in &e.deltas[..cut] {
+                    let patch = if from_buddy {
+                        d.buddy_patch.as_ref().expect("cut within sealed prefix")
+                    } else {
+                        &d.patch
+                    };
+                    if patch.checksum() != d.checksum {
+                        return Err(RtsError::Protocol {
+                            rank,
+                            detail: "checkpoint delta checksum mismatch".into(),
+                        });
+                    }
+                    if !patch.verify_bounds(img.len()) {
+                        return Err(RtsError::Protocol {
+                            rank,
+                            detail: "checkpoint delta patch out of bounds".into(),
+                        });
+                    }
+                }
             }
-            Ok(use_buddy)
+            Ok((cut, use_buddy))
         };
-        let use_buddy = match verify() {
+        let (cut, use_buddy) = match verify() {
             Ok(v) => v,
             Err(e) => {
                 // nothing was touched; keep the checkpoint for later
@@ -865,16 +1169,34 @@ impl Machine {
             }
         };
 
-        // Phase 2: restore is two-phase per rank — stack/heap/segment
-        // bytes, then the suspension point (stack pointer) those bytes
-        // belong to.
-        for (rank, (e, &from_buddy)) in ckpt.entries.iter().zip(&use_buddy).enumerate() {
-            let img = if from_buddy { &e.buddy_image } else { &e.image };
+        // Phase 2: restore is two-phase per rank — reconstruct
+        // base + deltas up to the cut and unpack the bytes, then the
+        // suspension point (stack pointer) those bytes belong to. The
+        // chain is truncated to the cut: deltas past it (an unsealed
+        // tail whose primary died) are gone for every rank alike.
+        for (rank, e) in ckpt.entries.iter_mut().enumerate() {
+            let from_buddy = use_buddy[rank];
+            let base = if from_buddy { &e.buddy_image } else { &e.image };
+            let mut img = base.clone();
+            let mut sp = e.sp;
+            for d in &e.deltas[..cut] {
+                let patch = if from_buddy {
+                    d.buddy_patch.as_ref().expect("verified above")
+                } else {
+                    &d.patch
+                };
+                patch.apply_to(&mut img);
+                if d.sp.is_some() {
+                    sp = d.sp;
+                }
+            }
             self.ranks[rank]
                 .memory
-                .unpack_into(img)
+                .unpack_into(&img)
                 .expect("layout verified before unpack");
-            if let Some(sp) = e.sp {
+            e.deltas.truncate(cut);
+            e.accum = if cut == 0 { None } else { Some(img) };
+            if let Some(sp) = sp {
                 // SAFETY: the stack bytes were just restored to exactly
                 // the state observed together with this sp.
                 unsafe {
@@ -886,8 +1208,17 @@ impl Machine {
                 }
             }
         }
+        ckpt.unsealed = ckpt
+            .entries
+            .iter()
+            .any(|e| e.deltas.last().is_some_and(|d| d.buddy_patch.is_none()));
         let ranks = ckpt.entries.len() as u32;
         self.last_checkpoint = Some(ckpt);
+        self.ckpt_tallies.chain_len = self
+            .last_checkpoint
+            .as_ref()
+            .map(|c| Self::chain_len(c) as u32)
+            .unwrap_or(0);
         self.tallies.recoveries += 1;
         self.trace(0, NO_RANK, EventKind::Recovery { ranks });
         Ok(())
@@ -1115,12 +1446,64 @@ impl Machine {
         Ok(())
     }
 
-    /// Re-replicate the checkpoint images onto the current geometry: a
-    /// fresh coordinated checkpoint whose primary/buddy assignment is
-    /// computed over the new active set. Gated like the periodic
-    /// checkpoint (completed ranks cannot be re-captured).
+    /// Re-replicate the checkpoint images onto the current geometry.
+    ///
+    /// Full mode: a fresh coordinated checkpoint whose primary/buddy
+    /// assignment is computed over the new active set. Incremental mode
+    /// with a live chain: the chain itself is re-homed — any in-flight
+    /// delta is sealed first, then every entry's primary/buddy move to
+    /// the rank's current PE and its buddy, and the re-replication
+    /// traffic is the base plus the sealed chain (not a flattened copy,
+    /// and not a fresh capture — no `CheckpointTaken` is emitted). Gated
+    /// like the periodic checkpoint (completed ranks cannot be
+    /// re-captured).
     fn re_replicate(&mut self) {
         if self.checkpoint_period == 0 || self.done_count > 0 {
+            return;
+        }
+        if self.ckpt_incremental && self.last_checkpoint.is_some() {
+            // Chain re-homing: complete the async stream, then move the
+            // copies (the byte movement is the re-replication traffic).
+            self.seal_pending_delta();
+            let mut ckpt = self.last_checkpoint.take().expect("checked above");
+            let mut bytes = 0u64;
+            for (r, e) in ckpt.entries.iter_mut().enumerate() {
+                let primary = self.ranks[r].location;
+                e.primary_pe = primary;
+                e.buddy_pe = self.buddy_of(primary);
+                bytes += e.image.len() as u64;
+                bytes += e
+                    .deltas
+                    .iter()
+                    .filter(|d| d.buddy_patch.is_some())
+                    .map(|d| d.patch.bytes() as u64)
+                    .sum::<u64>();
+            }
+            let ranks = ckpt.entries.len() as u32;
+            let degenerate = ckpt
+                .entries
+                .iter()
+                .filter(|e| e.buddy_pe == e.primary_pe)
+                .count() as u32;
+            let degenerate_pe = ckpt
+                .entries
+                .iter()
+                .find(|e| e.buddy_pe == e.primary_pe)
+                .map(|e| e.primary_pe as u32);
+            self.last_checkpoint = Some(ckpt);
+            if let Some(pe) = degenerate_pe {
+                self.tallies.degenerate_buddies += degenerate;
+                self.trace(
+                    0,
+                    NO_RANK,
+                    EventKind::BuddyDegenerate {
+                        pe,
+                        ranks: degenerate,
+                    },
+                );
+            }
+            self.elastic.re_replications += 1;
+            self.trace(0, NO_RANK, EventKind::ReReplicate { ranks, bytes });
             return;
         }
         self.take_checkpoint();
@@ -1293,6 +1676,13 @@ impl Machine {
         self.lb_steps += 1;
         let migrations_before = self.migrations.len();
 
+        // The previous barrier's delta capture finished streaming to the
+        // buddies somewhere between the barriers; reaching this barrier
+        // seals it — the consistent-cut marker.
+        if self.ckpt_incremental {
+            self.seal_pending_delta();
+        }
+
         // Guard audits run first, on quiescent pre-checkpoint state, so a
         // checkpoint can never capture (and later faithfully restore)
         // corruption the guards would have caught.
@@ -1306,7 +1696,34 @@ impl Machine {
             && self.done_count == 0
             && self.lb_steps % self.checkpoint_period == 1 % self.checkpoint_period.max(1)
         {
-            self.take_checkpoint();
+            // The capture *is* the application pause (the async buddy
+            // stream is not): wall-clock it in both modes.
+            let t0 = Instant::now();
+            if self.ckpt_incremental {
+                self.take_incremental_checkpoint();
+            } else {
+                self.take_checkpoint();
+            }
+            self.ckpt_tallies.pause_ns += t0.elapsed().as_nanos() as u64;
+        }
+        // Fault injection: flip one payload byte of this step's delta
+        // capture (its checksum was recorded pre-flip, so a restore from
+        // this chain must detect the mismatch and abort atomically).
+        if let Some((step, at)) = self.corrupt_ckpt_delta_at {
+            if step == self.lb_steps {
+                self.corrupt_ckpt_delta_at = None;
+                if let Some(ckpt) = self.last_checkpoint.as_mut() {
+                    for e in ckpt.entries.iter_mut() {
+                        let corrupted = e
+                            .deltas
+                            .last_mut()
+                            .is_some_and(|d| d.patch.corrupt_byte(at));
+                        if corrupted {
+                            break;
+                        }
+                    }
+                }
+            }
         }
         if self.inject_fault_at_lb_step == Some(self.lb_steps) {
             // refuse before destroying anything if recovery is impossible
@@ -1872,6 +2289,11 @@ impl Machine {
             }
         }
         let cow = self.collect_cow_tallies();
+        self.ckpt_tallies.chain_len = self
+            .last_checkpoint
+            .as_ref()
+            .map(|c| Self::chain_len(c) as u32)
+            .unwrap_or(0);
         Ok(RunReport {
             sim_elapsed: self
                 .pes
@@ -1894,6 +2316,7 @@ impl Machine {
             hardening: self.hardening,
             cow,
             elastic: self.elastic,
+            ckpt: self.ckpt_tallies,
             engine: self.engine.clone(),
         })
     }
@@ -1911,6 +2334,7 @@ impl Machine {
             let Some(s) = p.cow_stats() else { continue };
             cow.page_faults += s.page_faults;
             cow.pages_privatized += s.pages_privatized;
+            cow.materialized_ranks += s.materialized_ranks;
             cow.total_pages = cow.total_pages.max(s.total_pages);
             ranks += s.ranks;
             if union.len() < s.faulted_page_union.len() {

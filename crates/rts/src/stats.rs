@@ -209,12 +209,63 @@ pub struct CowTallies {
     pub shared_pages: u64,
     /// Pages per rank data segment.
     pub total_pages: u64,
+    /// Ranks whose COW segment was force-materialized (private copy of
+    /// every page). Checkpoint packing must keep this zero — a nonzero
+    /// count under checkpointing is the dedup-defeat regression.
+    pub materialized_ranks: u64,
 }
 
 impl CowTallies {
     /// True when the run had no page-granular privatization activity.
     pub fn is_clean(&self) -> bool {
         *self == CowTallies::default()
+    }
+}
+
+/// Exact tallies of incremental/asynchronous checkpoint activity.
+///
+/// Like [`FaultTallies`], every field increments at the same site that
+/// emits the corresponding `pvr-trace` event (`CkptDelta`, `CkptSeal`,
+/// `CkptAsyncDrain`, `CkptCompact`), so integration tests can reconcile
+/// the two exactly. All-zero when `ckpt_incremental` is off — except
+/// `pause_ns`, which measures checkpoint capture pause in both modes
+/// and is wall-clock (excluded from the digests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CkptTallies {
+    /// Incremental delta captures taken at LB barriers.
+    pub deltas: u32,
+    /// Dirty page-chunks captured across all delta captures.
+    pub pages_delta: u64,
+    /// Sparse patch payload bytes across all delta captures.
+    pub delta_bytes: u64,
+    /// Consistent-cut seals of in-flight deltas at the following barrier.
+    pub seals: u32,
+    /// Asynchronous drains of sealed deltas to buddy PEs.
+    pub async_drains: u32,
+    /// Delta payload bytes streamed to buddies asynchronously.
+    pub async_bytes: u64,
+    /// Peak unsealed (in-flight) delta bytes observed between barriers.
+    pub max_in_flight_bytes: u64,
+    /// Delta-chain compactions (fresh base capture replacing a chain).
+    pub compactions: u32,
+    /// Delta-chain length at end of run (0 when the last capture was a
+    /// base, or in full mode).
+    pub chain_len: u32,
+    /// Longest delta chain observed during the run.
+    pub max_chain_len: u32,
+    /// Wall-clock nanoseconds spent inside checkpoint captures (the
+    /// application pause). Measured in both full and incremental modes;
+    /// excluded from the digests because wall-clock varies run to run.
+    pub pause_ns: u64,
+}
+
+impl CkptTallies {
+    /// True when the run saw no incremental-checkpoint activity (a full
+    /// checkpoint pause alone does not count as activity).
+    pub fn is_clean(&self) -> bool {
+        let mut z = *self;
+        z.pause_ns = 0;
+        z == CkptTallies::default()
     }
 }
 
@@ -277,6 +328,9 @@ pub struct RunReport {
     /// Elastic rescale/re-replication activity (all-zero on
     /// fixed-geometry runs).
     pub elastic: ElasticTallies,
+    /// Incremental/asynchronous checkpoint activity (all-zero in full
+    /// mode except the wall-clock `pause_ns`).
+    pub ckpt: CkptTallies,
     /// How the run was driven (threads, epochs, barriers, worker wall).
     /// Excluded from [`RunReport::sim_digest`].
     pub engine: EngineTallies,
@@ -310,6 +364,23 @@ impl RunReport {
         put(self.cow.pages_privatized);
         put(self.cow.shared_pages);
         put(self.cow.total_pages);
+        put(self.cow.materialized_ranks);
+        let k = &self.ckpt;
+        for v in [
+            k.deltas as u64,
+            k.pages_delta,
+            k.delta_bytes,
+            k.seals as u64,
+            k.async_drains as u64,
+            k.async_bytes,
+            k.max_in_flight_bytes,
+            k.compactions as u64,
+            k.chain_len as u64,
+            k.max_chain_len as u64,
+            // pause_ns deliberately excluded: wall-clock.
+        ] {
+            put(v);
+        }
         let e = &self.elastic;
         for v in [
             e.rescales,
@@ -474,6 +545,23 @@ impl RunReport {
                 e.geometry_restores
             );
         }
+        if !self.ckpt.is_clean() {
+            let k = &self.ckpt;
+            let _ = writeln!(
+                out,
+                "ckpt: {} deltas ({} pages, {} B), {} seals, {} async drains ({} B), {} compactions, chain {}/{} max, pause {} ns",
+                k.deltas,
+                k.pages_delta,
+                k.delta_bytes,
+                k.seals,
+                k.async_drains,
+                k.async_bytes,
+                k.compactions,
+                k.chain_len,
+                k.max_chain_len,
+                k.pause_ns
+            );
+        }
         if self.engine.threads > 1 {
             let _ = writeln!(
                 out,
@@ -547,6 +635,7 @@ mod tests {
             hardening: HardeningTallies::default(),
             cow: CowTallies::default(),
             elastic: ElasticTallies::default(),
+            ckpt: CkptTallies::default(),
             engine: EngineTallies::default(),
         };
         let s = r.summary();
@@ -589,6 +678,7 @@ mod tests {
             hardening: HardeningTallies::default(),
             cow: CowTallies::default(),
             elastic: ElasticTallies::default(),
+            ckpt: CkptTallies::default(),
             engine: EngineTallies::default(),
         };
         let s = r.summary();
@@ -619,6 +709,7 @@ mod tests {
             },
             cow: CowTallies::default(),
             elastic: ElasticTallies::default(),
+            ckpt: CkptTallies::default(),
             engine: EngineTallies::default(),
         };
         let s = r.summary();

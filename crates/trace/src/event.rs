@@ -228,6 +228,26 @@ pub enum EventKind {
     /// PE the buddy is the primary itself, so `ranks` images exist only
     /// once and one more PE loss is unrecoverable.
     BuddyDegenerate { pe: u32, ranks: u32 },
+    /// An incremental checkpoint captured a delta at an LB barrier:
+    /// `pages` dirty page-chunks across `ranks` ranks, `bytes` of sparse
+    /// patch payload (vs. a full image repack).
+    CkptDelta {
+        step: u32,
+        ranks: u32,
+        pages: u64,
+        bytes: u64,
+    },
+    /// The consistent-cut marker at an LB barrier sealed every in-flight
+    /// delta: the buddy's sealed chain prefix now extends to `epoch`
+    /// deltas past the base image.
+    CkptSeal { step: u32, epoch: u32 },
+    /// Asynchronously drained `bytes` of delta payload to the buddy PE
+    /// between barriers (rides the reliable-delivery machinery, so drops
+    /// and corruption are retransmitted/discarded as usual).
+    CkptAsyncDrain { bytes: u64 },
+    /// Delta-chain compaction: a fresh base image replaced a chain of
+    /// `chain` deltas (`bytes` of patch payload folded away).
+    CkptCompact { chain: u32, bytes: u64 },
 }
 
 impl EventKind {
@@ -267,6 +287,10 @@ impl EventKind {
             EventKind::ReReplicate { .. } => "re_replicate",
             EventKind::GeometryRestore { .. } => "geometry_restore",
             EventKind::BuddyDegenerate { .. } => "buddy_degenerate",
+            EventKind::CkptDelta { .. } => "ckpt_delta",
+            EventKind::CkptSeal { .. } => "ckpt_seal",
+            EventKind::CkptAsyncDrain { .. } => "ckpt_async_drain",
+            EventKind::CkptCompact { .. } => "ckpt_compact",
         }
     }
 }

@@ -193,6 +193,25 @@ fn event_json(e: &Event) -> String {
         EventKind::BuddyDegenerate { pe, ranks } => {
             s.push_str(&format!(", \"degenerate_pe\": {pe}, \"ranks\": {ranks}"));
         }
+        EventKind::CkptDelta {
+            step,
+            ranks,
+            pages,
+            bytes,
+        } => {
+            s.push_str(&format!(
+                ", \"step\": {step}, \"ranks\": {ranks}, \"pages\": {pages}, \"bytes\": {bytes}"
+            ));
+        }
+        EventKind::CkptSeal { step, epoch } => {
+            s.push_str(&format!(", \"step\": {step}, \"epoch\": {epoch}"));
+        }
+        EventKind::CkptAsyncDrain { bytes } => {
+            s.push_str(&format!(", \"bytes\": {bytes}"));
+        }
+        EventKind::CkptCompact { chain, bytes } => {
+            s.push_str(&format!(", \"chain\": {chain}, \"bytes\": {bytes}"));
+        }
     }
     s.push('}');
     s
@@ -225,7 +244,10 @@ impl TraceSnapshot {
              \"pool_misses\": {}, \"page_faults\": {}, \"pages_privatized\": {}, \
              \"page_copy_bytes\": {}, \"dedup_audits\": {}, \"rescales\": {}, \
              \"rescale_aborts\": {}, \"re_replications\": {}, \"re_replication_bytes\": {}, \
-             \"geometry_restores\": {}, \"buddy_degenerates\": {}}},",
+             \"geometry_restores\": {}, \"buddy_degenerates\": {}, \
+             \"ckpt_deltas\": {}, \"ckpt_delta_pages\": {}, \"ckpt_delta_bytes\": {}, \
+             \"ckpt_seals\": {}, \"ckpt_async_drains\": {}, \"ckpt_async_bytes\": {}, \
+             \"ckpt_compacts\": {}}},",
             c.ctx_switches,
             c.blocks,
             c.unblocks,
@@ -268,7 +290,14 @@ impl TraceSnapshot {
             c.re_replications,
             c.re_replication_bytes,
             c.geometry_restores,
-            c.buddy_degenerates
+            c.buddy_degenerates,
+            c.ckpt_deltas,
+            c.ckpt_delta_pages,
+            c.ckpt_delta_bytes,
+            c.ckpt_seals,
+            c.ckpt_async_drains,
+            c.ckpt_async_bytes,
+            c.ckpt_compacts
         );
         out.push_str("  \"pes\": [\n");
         for (i, p) in self.per_pe.iter().enumerate() {
@@ -508,6 +537,45 @@ mod tests {
         assert!(json.contains("\"kind\": \"rescale\", \"from_pes\": 4, \"to_pes\": 2, \"moved_ranks\": 5"));
         assert!(json.contains("\"kind\": \"re_replicate\", \"ranks\": 8, \"bytes\": 2048"));
         assert!(json.contains("\"kind\": \"buddy_degenerate\", \"degenerate_pe\": 1, \"ranks\": 8"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn ckpt_events_export() {
+        let t = Tracer::new(1);
+        t.enable();
+        t.record(
+            0,
+            crate::NO_RANK,
+            1,
+            EventKind::CkptDelta { step: 3, ranks: 4, pages: 9, bytes: 4096 },
+        );
+        t.record(0, crate::NO_RANK, 2, EventKind::CkptSeal { step: 4, epoch: 2 });
+        t.record(0, crate::NO_RANK, 3, EventKind::CkptAsyncDrain { bytes: 4096 });
+        t.record(0, crate::NO_RANK, 4, EventKind::CkptCompact { chain: 5, bytes: 8192 });
+        let c = t.counts();
+        assert_eq!(c.ckpt_deltas, 1);
+        assert_eq!(c.ckpt_delta_pages, 9);
+        assert_eq!(c.ckpt_delta_bytes, 4096);
+        assert_eq!(c.ckpt_seals, 1);
+        assert_eq!(c.ckpt_async_drains, 1);
+        assert_eq!(c.ckpt_async_bytes, 4096);
+        assert_eq!(c.ckpt_compacts, 1);
+        assert_eq!(c.total_events(), 4);
+        let json = t.snapshot().to_json();
+        assert_eq!(json_u64(&json, "ckpt_deltas"), Some(1));
+        assert_eq!(json_u64(&json, "ckpt_delta_pages"), Some(9));
+        assert_eq!(json_u64(&json, "ckpt_delta_bytes"), Some(4096));
+        assert_eq!(json_u64(&json, "ckpt_seals"), Some(1));
+        assert_eq!(json_u64(&json, "ckpt_async_drains"), Some(1));
+        assert_eq!(json_u64(&json, "ckpt_async_bytes"), Some(4096));
+        assert_eq!(json_u64(&json, "ckpt_compacts"), Some(1));
+        assert!(json.contains(
+            "\"kind\": \"ckpt_delta\", \"step\": 3, \"ranks\": 4, \"pages\": 9, \"bytes\": 4096"
+        ));
+        assert!(json.contains("\"kind\": \"ckpt_seal\", \"step\": 4, \"epoch\": 2"));
+        assert!(json.contains("\"kind\": \"ckpt_async_drain\", \"bytes\": 4096"));
+        assert!(json.contains("\"kind\": \"ckpt_compact\", \"chain\": 5, \"bytes\": 8192"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

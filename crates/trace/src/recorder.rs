@@ -94,6 +94,20 @@ pub struct TraceCounts {
     pub geometry_restores: u64,
     /// Degenerate-buddy warnings (buddy == primary: single alive PE).
     pub buddy_degenerates: u64,
+    /// Incremental checkpoint delta captures at LB barriers.
+    pub ckpt_deltas: u64,
+    /// Dirty page-chunks captured across all delta captures.
+    pub ckpt_delta_pages: u64,
+    /// Sparse patch payload bytes across all delta captures.
+    pub ckpt_delta_bytes: u64,
+    /// Consistent-cut seals of in-flight deltas at LB barriers.
+    pub ckpt_seals: u64,
+    /// Asynchronous delta drains to buddy PEs.
+    pub ckpt_async_drains: u64,
+    /// Delta payload bytes drained asynchronously to buddy PEs.
+    pub ckpt_async_bytes: u64,
+    /// Delta-chain compactions (fresh base replacing a chain).
+    pub ckpt_compacts: u64,
 }
 
 impl TraceCounts {
@@ -135,10 +149,14 @@ impl TraceCounts {
             + self.re_replications
             + self.geometry_restores
             + self.buddy_degenerates
+            + self.ckpt_deltas
+            + self.ckpt_seals
+            + self.ckpt_async_drains
+            + self.ckpt_compacts
     }
 }
 
-const N_COUNTERS: usize = 43;
+const N_COUNTERS: usize = 50;
 
 // Counter slot indices (mirrors TraceCounts field order).
 const C_CTX: usize = 0;
@@ -184,6 +202,13 @@ const C_REREPLICATE: usize = 39;
 const C_REREPLICATE_BYTES: usize = 40;
 const C_GEOM_RESTORE: usize = 41;
 const C_BUDDY_DEGEN: usize = 42;
+const C_CKPT_DELTA: usize = 43;
+const C_CKPT_DELTA_PAGES: usize = 44;
+const C_CKPT_DELTA_BYTES: usize = 45;
+const C_CKPT_SEAL: usize = 46;
+const C_CKPT_ASYNC_DRAIN: usize = 47;
+const C_CKPT_ASYNC_BYTES: usize = 48;
+const C_CKPT_COMPACT: usize = 49;
 
 /// Fixed-capacity ring of the most recent events on one PE.
 struct PeRing {
@@ -367,6 +392,17 @@ impl Tracer {
             }
             EventKind::GeometryRestore { .. } => bump(C_GEOM_RESTORE, 1),
             EventKind::BuddyDegenerate { .. } => bump(C_BUDDY_DEGEN, 1),
+            EventKind::CkptDelta { pages, bytes, .. } => {
+                bump(C_CKPT_DELTA, 1);
+                bump(C_CKPT_DELTA_PAGES, pages);
+                bump(C_CKPT_DELTA_BYTES, bytes);
+            }
+            EventKind::CkptSeal { .. } => bump(C_CKPT_SEAL, 1),
+            EventKind::CkptAsyncDrain { bytes } => {
+                bump(C_CKPT_ASYNC_DRAIN, 1);
+                bump(C_CKPT_ASYNC_BYTES, bytes);
+            }
+            EventKind::CkptCompact { .. } => bump(C_CKPT_COMPACT, 1),
         }
     }
 
@@ -426,6 +462,13 @@ impl Tracer {
             re_replication_bytes: c(C_REREPLICATE_BYTES),
             geometry_restores: c(C_GEOM_RESTORE),
             buddy_degenerates: c(C_BUDDY_DEGEN),
+            ckpt_deltas: c(C_CKPT_DELTA),
+            ckpt_delta_pages: c(C_CKPT_DELTA_PAGES),
+            ckpt_delta_bytes: c(C_CKPT_DELTA_BYTES),
+            ckpt_seals: c(C_CKPT_SEAL),
+            ckpt_async_drains: c(C_CKPT_ASYNC_DRAIN),
+            ckpt_async_bytes: c(C_CKPT_ASYNC_BYTES),
+            ckpt_compacts: c(C_CKPT_COMPACT),
         }
     }
 

@@ -132,6 +132,21 @@ impl TraceSnapshot {
             );
         }
 
+        let ckpt_total = c.ckpt_deltas + c.ckpt_seals + c.ckpt_async_drains + c.ckpt_compacts;
+        if ckpt_total > 0 {
+            let _ = writeln!(
+                out,
+                "  ckpt: {} deltas ({} pages, {}), {} seals, {} async drains ({}), {} compactions",
+                c.ckpt_deltas,
+                c.ckpt_delta_pages,
+                fmt_bytes(c.ckpt_delta_bytes),
+                c.ckpt_seals,
+                c.ckpt_async_drains,
+                fmt_bytes(c.ckpt_async_bytes),
+                c.ckpt_compacts
+            );
+        }
+
         // per-PE table: switch counts come from retained events so the
         // column stays meaningful even without a RunReport
         let _ = writeln!(out, "   PE   util%   idle%   switches   events");
@@ -303,6 +318,26 @@ mod tests {
                 "elastic: 1 rescales (1 aborted), 1 re-replications (4096 B), \
                  1 geometry restores, 1 degenerate buddies"
             ),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn summary_renders_ckpt_section_when_active() {
+        let t = Tracer::new(1);
+        t.enable();
+        t.record(
+            0,
+            crate::NO_RANK,
+            0,
+            EventKind::CkptDelta { step: 2, ranks: 4, pages: 6, bytes: 2048 },
+        );
+        t.record(0, crate::NO_RANK, 1, EventKind::CkptSeal { step: 3, epoch: 2 });
+        t.record(0, crate::NO_RANK, 2, EventKind::CkptAsyncDrain { bytes: 2048 });
+        t.record(0, crate::NO_RANK, 3, EventKind::CkptCompact { chain: 4, bytes: 8192 });
+        let s = t.snapshot().summary(3);
+        assert!(
+            s.contains("ckpt: 1 deltas (6 pages, 2048 B), 1 seals, 1 async drains (2048 B), 1 compactions"),
             "{s}"
         );
     }

@@ -74,6 +74,22 @@ echo "==> elastic determinism gate (rescale under faults, Serial == Threads(n))"
 PVR_THREADS=1 cargo test -q -p pvr-bench --test elastic
 PVR_THREADS=4 cargo test -q -p pvr-bench --test elastic
 
+echo "==> ckpt-smoke (incremental checkpoint sweep: read-mostly pause >= 5x cheaper)"
+out=$(cargo run --release -q -p pvr-bench --bin repro -- ckpt --quick)
+echo "$out"
+# The read-mostly pause row's ratio column is full/incremental: the
+# delta chain must cut the barrier pause at least 5x where writes are
+# page-local — the tentpole claim of the incremental protocol.
+ratio=$(echo "$out" | awk -F'|' '/pause/ && /read-mostly/ {gsub(/[ x]/, "", $7); print $7}' | sort -n | head -1)
+awk -v r="$ratio" 'BEGIN { exit !(r + 0 >= 5.0) }' || {
+    echo "FAIL: incremental checkpoint pause reduction ${ratio}x < 5x at read-mostly locality"
+    exit 1
+}
+
+echo "==> incremental-ckpt determinism gate (delta chain, Serial == Threads(n))"
+PVR_THREADS=1 cargo test -q -p pvr-bench --test incremental_ckpt
+PVR_THREADS=4 cargo test -q -p pvr-bench --test incremental_ckpt
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

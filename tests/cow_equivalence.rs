@@ -156,6 +156,33 @@ fn cow_engines_bit_identical() {
     }
 }
 
+/// Regression: checkpoint packing must read *through* the COW page
+/// table, never materialize it. Before the read-through pack, the first
+/// periodic checkpoint forced every rank's segment to privatize all of
+/// its pages (a sticky `materialized` flag), permanently defeating
+/// dedup; with it, checkpointed runs keep exactly the sharing a
+/// checkpoint-free run has.
+#[test]
+fn checkpointing_does_not_defeat_cow_dedup() {
+    // faults=true runs checkpoint_period(1) plus a rollback: the
+    // heaviest pack/unpack traffic the runtime can throw at a segment.
+    for faults in [false, true] {
+        let o = run_one(Method::CowGlobals, Parallelism::Serial, faults);
+        assert_eq!(
+            o.cow.materialized_ranks, 0,
+            "faults={faults}: checkpoint packing materialized COW segments: {:?}",
+            o.cow
+        );
+        // Every fault-driven privatization is still page-granular: no
+        // wholesale copies beyond what the application actually wrote.
+        assert_eq!(
+            o.cow.pages_privatized, o.cow.page_faults,
+            "faults={faults}: non-fault-driven page copies: {:?}",
+            o.cow
+        );
+    }
+}
+
 #[test]
 fn cow_tallies_reconcile_with_trace_events() {
     let o = run_one(Method::CowGlobals, Parallelism::Serial, false);

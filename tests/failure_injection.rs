@@ -272,6 +272,77 @@ fn unrestorable_checkpoint_fails_atomically() {
     assert_eq!(recov, 0, "failed restore must not count as a recovery");
 }
 
+/// Failure atomicity for the incremental protocol: a corrupted delta in
+/// the chain must be caught by checksum verification *before* any rank
+/// memory is touched — the restore aborts cleanly, names the cause, and
+/// counts no recovery.
+#[test]
+fn corrupted_delta_chain_aborts_restore_atomically() {
+    let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(|ctx| {
+        let data = ctx.heap_alloc_f64s(16);
+        for step in 0..4u64 {
+            data[(step as usize) % 16] += ctx.rank() as f64 + 1.0;
+            ctx.at_sync();
+        }
+    });
+    let mut m = MachineBuilder::new(hello::binary())
+        .vp_ratio(2)
+        .checkpoint_period(1)
+        .ckpt_incremental(true)
+        .corrupt_ckpt_delta_at(2, 5) // flip a byte in the step-2 delta
+        .inject_fault_at_lb_step(3) // ...then force a rollback through it
+        .build(body)
+        .unwrap();
+    match m.run() {
+        Err(RtsError::Protocol { detail, .. }) => {
+            assert!(detail.contains("checksum mismatch"), "{detail}")
+        }
+        other => panic!("expected Protocol error, got {:?}", other.map(|_| ())),
+    }
+    let (_, recov) = m.fault_tolerance_stats();
+    assert_eq!(recov, 0, "failed restore must not count as a recovery");
+}
+
+/// The incremental-checkpoint knobs must reject meaningless combinations
+/// at build time, before any rank exists.
+#[test]
+fn incremental_ckpt_bad_configs_rejected_at_build_time() {
+    let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(|_ctx| {});
+    for (build, needle) in [
+        (
+            MachineBuilder::new(hello::binary()).ckpt_incremental(true),
+            "checkpoint_period",
+        ),
+        (
+            MachineBuilder::new(hello::binary())
+                .checkpoint_period(1)
+                .ckpt_incremental(true)
+                .ckpt_max_chain(0),
+            "ckpt_max_chain",
+        ),
+        (
+            MachineBuilder::new(hello::binary())
+                .checkpoint_period(1)
+                .corrupt_ckpt_delta_at(2, 0),
+            "requires ckpt_incremental",
+        ),
+        (
+            MachineBuilder::new(hello::binary())
+                .checkpoint_period(1)
+                .ckpt_incremental(true)
+                .corrupt_ckpt_delta_at(0, 0),
+            "1-based",
+        ),
+    ] {
+        match build.build(body.clone()) {
+            Err(ConfigError::Invalid { detail }) => {
+                assert!(detail.contains(needle), "expected {needle:?} in: {detail}")
+            }
+            other => panic!("expected Invalid for {needle:?}, got {:?}", other.map(|_| ())),
+        }
+    }
+}
+
 #[test]
 fn non_pie_binary_rejected_by_runtime_methods() {
     use pvr_progimage::{link, ImageSpec};

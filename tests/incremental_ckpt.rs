@@ -1,0 +1,321 @@
+//! Acceptance: incremental, asynchronous buddy checkpointing.
+//!
+//! The protocol bar: incremental mode (base image + bounded delta chain,
+//! deltas streamed to the buddy between barriers and sealed at the next
+//! one) must be *observationally identical* to full per-barrier
+//! checkpoints — same application residuals on clean runs, after soft
+//! faults, under lossy networks, across cascading PE failures, and
+//! through a restore onto a different PE geometry. It must also stay
+//! bit-identical across `Serial`/`Threads(4)`, reconcile its
+//! `CkptTallies` exactly with the trace events, and compact the chain
+//! once it reaches `ckpt_max_chain`.
+
+use parking_lot::Mutex;
+use pvr_ampi::Ampi;
+use pvr_apps::jacobi3d::{self, JacobiConfig};
+use pvr_des::{FaultParams, FaultPlan, HopClass, NetworkModel, SimDuration, Topology};
+use pvr_privatize::Method;
+use pvr_rts::{ClockMode, MachineBuilder, Parallelism, RankCtx, RunReport};
+use pvr_trace::{TraceCounts, Tracer};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Jacobi harness (CowGlobals): exercises the COW dirty-page fast path
+// for the data segment plus pack-time diffing for heap and stacks.
+// ---------------------------------------------------------------------
+
+const ROUNDS: usize = 3;
+
+fn jacobi_cfg() -> JacobiConfig {
+    JacobiConfig { nx: 8, ny: 8, nz: 4, iters: 4 }
+}
+
+type Residuals = Vec<(usize, Vec<f64>)>;
+
+fn jacobi_body(out: Arc<Mutex<Residuals>>) -> Arc<dyn Fn(RankCtx) + Send + Sync> {
+    Arc::new(move |ctx: RankCtx| {
+        let mpi = Ampi::init(ctx);
+        let mut history = Vec::with_capacity(ROUNDS);
+        for _round in 0..ROUNDS {
+            let stats = jacobi3d::run(&mpi, jacobi_cfg());
+            history.push(stats.residual);
+            mpi.migrate();
+        }
+        out.lock().push((mpi.rank(), history));
+    })
+}
+
+fn lossy_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed).with_class(
+        HopClass::InterNode,
+        FaultParams {
+            drop_p: 0.05,
+            dup_p: 0.05,
+            corrupt_p: 0.02,
+            jitter_max: SimDuration::from_nanos(500),
+        },
+    )
+}
+
+struct Outcome {
+    report: RunReport,
+    residuals: Residuals,
+    counts: TraceCounts,
+}
+
+fn jacobi_run(incremental: bool, par: Parallelism, faults: bool) -> Outcome {
+    let out: Arc<Mutex<Residuals>> = Arc::new(Mutex::new(Vec::new()));
+    let tracer = Tracer::new(3);
+    tracer.enable();
+    let mut network = NetworkModel::ideal();
+    let mut b = MachineBuilder::new(jacobi3d::binary())
+        .method(Method::CowGlobals)
+        .clock(ClockMode::Virtual)
+        .parallelism(par)
+        .topology(Topology::non_smp(3))
+        .vp_ratio(2)
+        .stack_size(256 * 1024)
+        .checkpoint_period(1)
+        .ckpt_incremental(incremental)
+        .tracer(tracer.clone());
+    if faults {
+        network = network.with_faults(lossy_plan(42));
+        b = b.inject_pe_failure_at_lb_step(2, 2);
+    }
+    let mut m = b.network(network).build(jacobi_body(out.clone())).unwrap();
+    let report = m.run().unwrap();
+    let mut residuals = out.lock().clone();
+    residuals.sort_by_key(|r| r.0);
+    Outcome { report, residuals, counts: tracer.counts() }
+}
+
+/// Clean runs: incremental mode must leave the application's numerical
+/// history untouched, while actually running the delta protocol (base at
+/// step 1, deltas after, seals at the following barriers).
+#[test]
+fn incremental_clean_matches_full() {
+    for par in [Parallelism::Serial, Parallelism::Threads(4)] {
+        let full = jacobi_run(false, par, false);
+        assert!(!full.residuals.is_empty(), "{par:?}: no results");
+        assert!(
+            full.report.ckpt.is_clean(),
+            "{par:?}: full mode must report no incremental activity: {:?}",
+            full.report.ckpt
+        );
+        let incr = jacobi_run(true, par, false);
+        assert_eq!(
+            incr.residuals, full.residuals,
+            "{par:?}: incremental residuals diverged from full checkpoints"
+        );
+        let ck = &incr.report.ckpt;
+        assert!(ck.deltas > 0, "{par:?}: no delta captures: {ck:?}");
+        assert!(ck.seals > 0, "{par:?}: no consistent-cut seals: {ck:?}");
+        assert_eq!(
+            ck.async_drains, ck.seals,
+            "{par:?}: every seal drains exactly one in-flight delta set"
+        );
+        // Incremental mode takes exactly one base (step 1); the rest of
+        // the barriers produce deltas.
+        assert_eq!(incr.report.faults.checkpoints, 1, "{par:?}: {:?}", incr.report.faults);
+        assert!(
+            ck.delta_bytes < full.report.faults.checkpoints as u64 * 1024 * 1024,
+            "{par:?}: sparse deltas should be far smaller than full images"
+        );
+    }
+}
+
+/// Engine determinism: the incremental protocol — clean and under a
+/// lossy network plus a PE failure — must be bit-identical between
+/// `Serial` and `Threads(4)`: full digest, residuals, trace counts.
+#[test]
+fn incremental_engine_deterministic() {
+    for faults in [false, true] {
+        let serial = jacobi_run(true, Parallelism::Serial, faults);
+        let threads = jacobi_run(true, Parallelism::Threads(4), faults);
+        assert_eq!(
+            serial.report.sim_digest(),
+            threads.report.sim_digest(),
+            "faults={faults}: Serial vs Threads(4) digest diverged"
+        );
+        assert_eq!(
+            serial.residuals, threads.residuals,
+            "faults={faults}: Serial vs Threads(4) residuals diverged"
+        );
+        assert_eq!(
+            serial.counts, threads.counts,
+            "faults={faults}: Serial vs Threads(4) trace counts diverged"
+        );
+        if faults {
+            assert_eq!(serial.report.faults.pe_failures, 1);
+            assert!(serial.report.faults.recoveries >= 1, "{:?}", serial.report.faults);
+        }
+    }
+}
+
+/// PE failure: restore reconstructs base + sealed deltas from the buddy.
+/// Recovery replays deterministically, so the recovered run's residual
+/// history must equal the clean run's — in both modes, even though the
+/// incremental restore may cut to an earlier barrier (the buddy only
+/// holds the sealed prefix of the chain).
+#[test]
+fn incremental_recovers_from_pe_failure_bit_identically() {
+    let clean = jacobi_run(true, Parallelism::Serial, false);
+    let faulty = jacobi_run(true, Parallelism::Serial, true);
+    assert_eq!(
+        faulty.residuals, clean.residuals,
+        "recovered incremental run diverged from the clean run"
+    );
+    assert_eq!(faulty.report.faults.pe_failures, 1);
+    assert!(faulty.report.faults.recoveries >= 1);
+    // cross-mode: the full-checkpoint recovery lands on the same history
+    let full_faulty = jacobi_run(false, Parallelism::Serial, true);
+    assert_eq!(
+        faulty.residuals, full_faulty.residuals,
+        "incremental recovery diverged from full-checkpoint recovery"
+    );
+}
+
+/// Exact reconciliation (PR 1 convention): every `CkptTallies` field has
+/// a trace event emitted at the same site; the counts must agree to the
+/// unit, and `CheckpointTaken` counts bases only.
+#[test]
+fn ckpt_tallies_reconcile_with_trace_events() {
+    let o = jacobi_run(true, Parallelism::Serial, false);
+    let ck = &o.report.ckpt;
+    let c = &o.counts;
+    assert_eq!(c.ckpt_deltas, ck.deltas as u64, "CkptDelta events vs tally");
+    assert_eq!(c.ckpt_delta_pages, ck.pages_delta, "delta pages vs tally");
+    assert_eq!(c.ckpt_delta_bytes, ck.delta_bytes, "delta bytes vs tally");
+    assert_eq!(c.ckpt_seals, ck.seals as u64, "CkptSeal events vs tally");
+    assert_eq!(c.ckpt_async_drains, ck.async_drains as u64, "CkptAsyncDrain events vs tally");
+    assert_eq!(c.ckpt_async_bytes, ck.async_bytes, "async bytes vs tally");
+    assert_eq!(c.ckpt_compacts, ck.compactions as u64, "CkptCompact events vs tally");
+    assert_eq!(
+        c.checkpoints, o.report.faults.checkpoints as u64,
+        "CheckpointTaken must fire for base captures only"
+    );
+    assert!(ck.max_chain_len >= ck.chain_len, "{ck:?}");
+    assert!(o.report.summary().contains("ckpt:"), "{}", o.report.summary());
+}
+
+// ---------------------------------------------------------------------
+// Ring harness (PieGlobals, more barriers): chain compaction, soft
+// faults, cascading failures, restore onto a different geometry.
+// ---------------------------------------------------------------------
+
+const STEPS: u64 = 6;
+
+type RingResiduals = Vec<(usize, f64)>;
+
+fn ring_body(out: Arc<Mutex<RingResiduals>>) -> Arc<dyn Fn(RankCtx) + Send + Sync> {
+    Arc::new(move |ctx: RankCtx| {
+        let data = ctx.heap_alloc_f64s(32);
+        let mut acc = ctx.rank() as f64 + 1.0;
+        for step in 0..STEPS {
+            for v in data.iter_mut() {
+                *v += acc * 0.5;
+            }
+            let partner = (ctx.rank() + 1) % ctx.n_ranks();
+            ctx.send(partner, step, bytes::Bytes::copy_from_slice(&acc.to_le_bytes()));
+            let m = ctx.recv();
+            acc = acc * 1.25 + f64::from_le_bytes(m.payload[..8].try_into().unwrap());
+            ctx.at_sync();
+        }
+        out.lock().push((ctx.rank(), acc + data.iter().sum::<f64>()));
+    })
+}
+
+fn ring_base(pes: usize, vp: usize) -> MachineBuilder {
+    MachineBuilder::new(pvr_apps::hello::binary())
+        .method(Method::PieGlobals)
+        .clock(ClockMode::Virtual)
+        .topology(Topology::non_smp(pes))
+        .vp_ratio(vp)
+        .checkpoint_period(1)
+        .ckpt_incremental(true)
+}
+
+fn ring_run(b: MachineBuilder) -> (RunReport, RingResiduals) {
+    let out: Arc<Mutex<RingResiduals>> = Arc::new(Mutex::new(Vec::new()));
+    let mut m = b.build(ring_body(out.clone())).unwrap();
+    let report = m.run().unwrap();
+    let mut v = out.lock().clone();
+    v.sort_by_key(|r| r.0);
+    (report, v)
+}
+
+/// Bounded chains: with `ckpt_max_chain = 2` and six barriers, the chain
+/// must compact (fresh base) at least once and never exceed the bound.
+#[test]
+fn chain_compacts_at_max_length() {
+    let (report, _) = ring_run(ring_base(4, 2).ckpt_max_chain(2));
+    let ck = &report.ckpt;
+    assert!(ck.compactions >= 1, "chain never compacted: {ck:?}");
+    assert!(ck.max_chain_len <= 2, "chain exceeded ckpt_max_chain: {ck:?}");
+    // bases = first capture + one per compaction
+    assert_eq!(report.faults.checkpoints, 1 + ck.compactions, "{:?} / {ck:?}", report.faults);
+    // a generous bound keeps every barrier checkpointed one way or the other
+    assert_eq!(ck.deltas + report.faults.checkpoints, STEPS as u32, "{ck:?}");
+}
+
+/// Soft fault (all PEs alive): the full chain — including the unsealed
+/// tail — is available, so the rollback must replay to the same results
+/// as a clean run and as full-checkpoint recovery.
+#[test]
+fn soft_fault_rollback_matches_full_mode() {
+    let (_, clean) = ring_run(ring_base(4, 2));
+    let (report, faulty) = ring_run(ring_base(4, 2).inject_fault_at_lb_step(3));
+    assert_eq!(faulty, clean, "incremental soft-fault rollback diverged");
+    assert_eq!(report.faults.recoveries, 1);
+    let (full_report, full_faulty) =
+        ring_run(ring_base(4, 2).ckpt_incremental(false).inject_fault_at_lb_step(3));
+    assert_eq!(faulty, full_faulty, "incremental vs full soft-fault recovery diverged");
+    assert_eq!(full_report.faults.recoveries, 1);
+}
+
+/// Cascading PE failures at successive barriers: both recoveries must
+/// succeed off the re-homed chain and land on the clean results.
+#[test]
+fn cascading_pe_failures_recover_incrementally() {
+    let (_, clean) = ring_run(ring_base(4, 2));
+    let (report, faulty) = ring_run(
+        ring_base(4, 2)
+            .inject_pe_failure_at_lb_step(2, 3)
+            .inject_pe_failure_at_lb_step(4, 2),
+    );
+    assert_eq!(faulty, clean, "cascading incremental recovery diverged");
+    assert_eq!(report.faults.pe_failures, 2);
+    assert_eq!(report.faults.recoveries, 2);
+}
+
+/// Restore onto a different geometry: the chain (not a flattened copy)
+/// is re-replicated onto the new buddy map, and the geometry-restored
+/// run must match the clean fixed-size results in both directions.
+#[test]
+fn geometry_restore_replays_the_chain() {
+    let (_, clean) = ring_run(ring_base(4, 2));
+    for target in [3usize, 4] {
+        let (report, restored) =
+            ring_run(ring_base(4, 2).active_pes(3).restore_geometry_at_lb_step(2, target));
+        assert_eq!(restored, clean, "restore at {target} PEs diverged");
+        assert_eq!(report.elastic.geometry_restores, 1, "target {target}");
+        assert_eq!(report.elastic.re_replications, 1, "target {target}");
+        assert_eq!(report.faults.recoveries, 1, "target {target}");
+        assert!(!report.ckpt.is_clean(), "target {target}: no incremental activity");
+    }
+}
+
+/// A planned shrink re-replicates the chain without taking a fresh base:
+/// the base-capture count must not grow at the rescale barrier.
+#[test]
+fn rescale_re_replicates_the_chain_not_a_flat_copy() {
+    let (_, fixed) = ring_run(ring_base(2, 4));
+    let (report, rescaled) = ring_run(ring_base(4, 2).rescale_at_lb_step(2, 2));
+    assert_eq!(rescaled, fixed, "rescaled incremental run diverged from fixed 2-PE run");
+    assert_eq!(report.elastic.rescales, 1);
+    assert_eq!(report.elastic.re_replications, 1);
+    // one base at step 1; re-replication moves base + sealed deltas and
+    // must NOT count as a new coordinated checkpoint
+    assert_eq!(report.faults.checkpoints, 1, "{:?}", report.faults);
+    assert!(report.ckpt.deltas > 0, "{:?}", report.ckpt);
+}
