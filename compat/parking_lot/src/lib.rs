@@ -128,6 +128,35 @@ impl Condvar {
                 .unwrap_or_else(sync::PoisonError::into_inner)
         });
     }
+
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        take_mut(guard, |g| {
+            let (g, r) = self
+                .inner
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(sync::PoisonError::into_inner);
+            timed_out = r.timed_out();
+            g
+        });
+        WaitTimeoutResult { timed_out }
+    }
+}
+
+/// Result of [`Condvar::wait_for`], mirroring parking_lot's.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
 }
 
 fn take_mut<T, F: FnOnce(T) -> T>(slot: &mut T, f: F) {

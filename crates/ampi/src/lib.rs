@@ -54,12 +54,13 @@ pub mod util;
 pub use comm::{CommId, COMM_WORLD};
 pub use datatype::Datatype;
 pub use op::{Op, OpHandle};
-pub use p2p::{Request, Status, ANY_SOURCE, ANY_TAG};
+pub use p2p::{RecvReq, ReqId, SendReq, Status, ANY_SOURCE, ANY_TAG};
 
 use bytes::Bytes;
 use envelope::{Envelope, Kind};
 use pvr_rts::RankCtx;
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 
 /// A decoded message held in the unexpected queue.
 #[derive(Debug, Clone)]
@@ -70,11 +71,34 @@ pub(crate) struct Incoming {
     pub payload: Bytes,
 }
 
+/// A `recv_then` continuation closure.
+pub(crate) type ContFn = Box<dyn FnOnce(&Ampi, Bytes, p2p::Status)>;
+
+/// A registered `recv_then` continuation: the closure to run when the
+/// matching message arrives, plus the communicator for status decoding.
+pub(crate) struct ContEntry {
+    pub comm: CommId,
+    pub f: ContFn,
+}
+
 pub(crate) struct State {
     pub comms: Vec<comm::Comm>,
     pub unexpected: Vec<Incoming>,
     /// Per-communicator collective sequence numbers.
     pub coll_seq: Vec<u32>,
+    /// Payloads claimed from the unexpected queue when a nonblocking
+    /// receive was posted (the runtime entry is a born-complete local
+    /// post), keyed by request id until the wait family collects them.
+    pub prematched: BTreeMap<u64, (Bytes, p2p::Status)>,
+    /// Outcomes reaped from the runtime completion queue but not yet
+    /// handed to the caller (`test` stashes; `waitany`/`waitsome` reap
+    /// whole completed subsets). `None` marks a completed send.
+    pub reaped: BTreeMap<u64, Option<(Bytes, p2p::Status)>>,
+    /// Pending `recv_then` continuations by request id.
+    pub continuations: BTreeMap<u64, ContEntry>,
+    /// Live continuation nesting depth (capped by
+    /// `MachineConfig::continuation_depth`).
+    pub cont_depth: u32,
 }
 
 /// The per-rank MPI library handle (`MPI_Init` .. `MPI_Finalize`).
@@ -93,6 +117,10 @@ impl Ampi {
                 comms: vec![world],
                 unexpected: Vec::new(),
                 coll_seq: vec![0],
+                prematched: BTreeMap::new(),
+                reaped: BTreeMap::new(),
+                continuations: BTreeMap::new(),
+                cont_depth: 0,
             }),
         };
         ampi.fixup_world();

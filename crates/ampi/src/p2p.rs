@@ -1,19 +1,43 @@
 //! Point-to-point communication: blocking and non-blocking sends and
 //! receives with MPI tag/source matching, including wildcards.
 //!
-//! Matching runs inside the receiving rank against its unexpected-message
-//! queue in arrival order, which gives MPI's non-overtaking guarantee for
-//! any fixed `(source, tag, comm)` triple.
+//! Blocking matching runs inside the receiving rank against its
+//! unexpected-message queue in arrival order, which gives MPI's
+//! non-overtaking guarantee for any fixed `(source, tag, comm)` triple.
+//!
+//! Nonblocking operations are real requests in the runtime's per-rank
+//! request table: [`Ampi::irecv`] posts a delivery-time matching
+//! predicate (a [`MatchSpec`] over the encoded envelope), so an arriving
+//! message completes the receive the moment it is deposited — not when
+//! the rank later waits — and [`Ampi::isend_bytes`] completes when the
+//! reliable-delivery layer acks (or at post under unconditional
+//! delivery). The wait family ([`Ampi::wait`], [`Ampi::waitall`],
+//! [`Ampi::waitany`], [`Ampi::waitsome`], [`Ampi::test`]) reaps
+//! completions from the per-rank completion queue; posted-then-matched
+//! order is preserved because a posted receive claims messages in post
+//! order and the unexpected queue is checked before posting.
+//!
+//! [`Ampi::recv_then`] registers a completion *continuation*: a closure
+//! the library runs from [`Ampi::progress`] / [`Ampi::progress_wait`]
+//! when the matching message arrives, without suspending the rank.
+//!
+//! [`MatchSpec`]: pvr_rts::MatchSpec
 
 use crate::comm::CommId;
 use crate::envelope::{Envelope, Kind};
-use crate::{Ampi, Incoming};
+use crate::{Ampi, ContEntry, Incoming};
 use bytes::Bytes;
+use pvr_rts::{MatchSpec, RtsMessage};
 
 /// `MPI_ANY_SOURCE`.
 pub const ANY_SOURCE: Option<usize> = None;
 /// `MPI_ANY_TAG`.
 pub const ANY_TAG: Option<u32> = None;
+
+/// Envelope bits that always participate in nonblocking matching:
+/// communicator and message kind (`[comm:16][kind:8]`, the top 24 bits
+/// of the encoded tag word).
+const ENVELOPE_MASK: u64 = 0xFFFF_FF00_0000_0000;
 
 /// Completed-receive metadata (`MPI_Status`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,26 +48,50 @@ pub struct Status {
     pub bytes: usize,
 }
 
-/// A non-blocking operation handle (`MPI_Request`).
-#[derive(Debug)]
-pub enum Request {
-    /// Buffered sends complete at post time.
-    SendDone,
-    /// A pending receive.
-    Recv {
-        comm: CommId,
-        src: Option<usize>,
-        tag: Option<u32>,
-        done: Option<(Bytes, Status)>,
-    },
+/// Opaque id of a request in the runtime's per-rank request table.
+///
+/// Obtained from [`SendReq::id`]/[`RecvReq::id`] or returned by
+/// [`Ampi::recv_then`]; useful for logging and for correlating with
+/// `ReqPost`/`ReqComplete` trace events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReqId(pub(crate) u64);
+
+impl ReqId {
+    /// The raw table index (as it appears in trace events).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
 }
 
-impl Request {
-    pub fn is_complete(&self) -> bool {
-        match self {
-            Request::SendDone => true,
-            Request::Recv { done, .. } => done.is_some(),
-        }
+/// Handle for a nonblocking send (`MPI_Isend`). Completed — and
+/// consumed — by [`Ampi::wait_send`]/[`Ampi::waitall_sends`]; dropping
+/// it without waiting leaks the request (tallied at finalize, cleaned
+/// up by the runtime).
+#[derive(Debug)]
+#[must_use = "nonblocking sends must be completed with wait_send/waitall_sends"]
+pub struct SendReq {
+    pub(crate) id: u64,
+}
+
+impl SendReq {
+    pub fn id(&self) -> ReqId {
+        ReqId(self.id)
+    }
+}
+
+/// Handle for a nonblocking receive (`MPI_Irecv`). Completed — and
+/// consumed — by the wait family; dropping it without waiting leaks the
+/// request (tallied at finalize, cleaned up by the runtime).
+#[derive(Debug)]
+#[must_use = "nonblocking receives must be completed with wait/waitall/waitany/waitsome"]
+pub struct RecvReq {
+    pub(crate) id: u64,
+    pub(crate) comm: CommId,
+}
+
+impl RecvReq {
+    pub fn id(&self) -> ReqId {
+        ReqId(self.id)
     }
 }
 
@@ -70,6 +118,84 @@ impl Ampi {
                 .expect("sender must be a communicator member"),
             tag: m.env.tag,
             bytes: m.payload.len(),
+        }
+    }
+
+    /// Delivery-time matching predicate for the runtime: the envelope
+    /// header bits (communicator, kind) always participate; a concrete
+    /// tag pins the low 32 bits too, and a concrete source pins the
+    /// sender. Wildcards simply drop their term.
+    fn match_spec(&self, comm: CommId, src: Option<usize>, tag: Option<u32>) -> MatchSpec {
+        let mut mask = ENVELOPE_MASK;
+        let mut value = Envelope::p2p(comm.0, 0).encode() & ENVELOPE_MASK;
+        if let Some(t) = tag {
+            mask |= u32::MAX as u64;
+            value |= t as u64;
+        }
+        MatchSpec {
+            src: src.map(|local| self.to_global(comm, local)),
+            tag_mask: mask,
+            tag_value: value,
+        }
+    }
+
+    /// Status for a receive the *runtime* matched (the message never
+    /// entered the unexpected queue).
+    fn status_from_msg(&self, comm: CommId, m: &RtsMessage) -> Status {
+        Status {
+            source: self
+                .to_local(comm, m.from)
+                .expect("sender must be a communicator member"),
+            tag: Envelope::decode(m.tag).tag,
+            bytes: m.payload.len(),
+        }
+    }
+
+    /// Turn a reaped receive outcome into payload + status: a message
+    /// for runtime-matched receives, the prematched stash for receives
+    /// claimed from the unexpected queue at post time.
+    fn recv_outcome(&self, comm: CommId, id: u64, msg: Option<RtsMessage>) -> (Bytes, Status) {
+        match msg {
+            Some(m) => {
+                let status = self.status_from_msg(comm, &m);
+                (m.payload, status)
+            }
+            None => self
+                .state
+                .borrow_mut()
+                .prematched
+                .remove(&id)
+                .expect("local receive must carry a prematched payload"),
+        }
+    }
+
+    /// Post a nonblocking receive without emitting a trace call (shared
+    /// by `irecv` and `recv_then`): claim from the unexpected queue
+    /// first — earlier arrivals must win over anything still in the
+    /// runtime mailbox — else hand the runtime a delivery-time predicate.
+    fn post_recv(&self, comm: CommId, src: Option<usize>, tag: Option<u32>) -> RecvReq {
+        let mut pred = self.p2p_pred(comm, src, tag);
+        let claimed = {
+            let mut st = self.state.borrow_mut();
+            st.unexpected
+                .iter()
+                .position(&mut pred)
+                .map(|pos| st.unexpected.remove(pos))
+        };
+        drop(pred);
+        if let Some(m) = claimed {
+            let status = self.status_of(comm, &m);
+            let id = self.ctx.req_post_local();
+            self.state
+                .borrow_mut()
+                .prematched
+                .insert(id, (m.payload, status));
+            return RecvReq { id, comm };
+        }
+        let spec = self.match_spec(comm, src, tag);
+        RecvReq {
+            id: self.ctx.req_post_recv(spec),
+            comm,
         }
     }
 
@@ -111,79 +237,291 @@ impl Ampi {
         Some((m.payload, status))
     }
 
-    /// `MPI_Isend` — buffered, so complete at post time.
-    pub fn isend_bytes(&self, comm: CommId, dest: usize, tag: u32, payload: Bytes) -> Request {
+    /// `MPI_Isend`: posts into the runtime request table and returns a
+    /// typed handle. The request completes when the reliable-delivery
+    /// layer acks the payload (lossy virtual-time runs) or at post time
+    /// (unconditional delivery) — either way, completion is observed
+    /// through [`Ampi::wait_send`]/[`Ampi::waitall_sends`]/[`Ampi::test_send`].
+    pub fn isend_bytes(&self, comm: CommId, dest: usize, tag: u32, payload: Bytes) -> SendReq {
         pvr_trace::emit(pvr_trace::EventKind::MpiCall { name: "MPI_Isend" });
-        self.send_bytes(comm, dest, tag, payload);
-        Request::SendDone
+        let to_global = self.to_global(comm, dest);
+        SendReq {
+            id: self
+                .ctx
+                .req_post_send(to_global, Envelope::p2p(comm.0, tag).encode(), payload),
+        }
     }
 
-    /// `MPI_Irecv`: matching is deferred to `wait`/`test`.
-    pub fn irecv(&self, comm: CommId, src: Option<usize>, tag: Option<u32>) -> Request {
+    /// `MPI_Irecv`: posts a delivery-time matching predicate into the
+    /// runtime request table. An arriving message completes the request
+    /// when it is deposited, so communication overlaps whatever the rank
+    /// does between post and wait.
+    pub fn irecv(&self, comm: CommId, src: Option<usize>, tag: Option<u32>) -> RecvReq {
         pvr_trace::emit(pvr_trace::EventKind::MpiCall { name: "MPI_Irecv" });
-        Request::Recv {
-            comm,
-            src,
-            tag,
-            done: None,
-        }
+        self.post_recv(comm, src, tag)
     }
 
-    /// `MPI_Test`.
-    pub fn test(&self, req: &mut Request) -> bool {
-        match req {
-            Request::SendDone => true,
-            Request::Recv {
-                comm,
-                src,
-                tag,
-                done,
-            } => {
-                if done.is_some() {
-                    return true;
-                }
-                let (comm, src, tag) = (*comm, *src, *tag);
-                let mut pred = self.p2p_pred(comm, src, tag);
-                if let Some(m) = self.try_recv_matching(&mut pred) {
-                    drop(pred);
-                    let status = self.status_of(comm, &m);
-                    *done = Some((m.payload, status));
-                    true
-                } else {
-                    false
-                }
-            }
+    /// `MPI_Test` on a receive: true once the matching message has been
+    /// delivered. Reaped outcomes are stashed, so a `test`-then-`wait`
+    /// sequence observes the completion exactly once.
+    pub fn test(&self, req: &RecvReq) -> bool {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall { name: "MPI_Test" });
+        if self.state.borrow().reaped.contains_key(&req.id) {
+            return true;
         }
+        let outcomes = self.ctx.req_test(vec![req.id], false);
+        self.stash_recv_outcomes(&[(req.id, req.comm)], outcomes);
+        self.state.borrow().reaped.contains_key(&req.id)
     }
 
-    /// `MPI_Wait`: blocks until the request completes; returns receive
-    /// data for receive requests.
-    pub fn wait(&self, req: &mut Request) -> Option<(Bytes, Status)> {
+    /// `MPI_Test` on a send.
+    pub fn test_send(&self, req: &SendReq) -> bool {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall { name: "MPI_Test" });
+        if self.state.borrow().reaped.contains_key(&req.id) {
+            return true;
+        }
+        for (id, _) in self.ctx.req_test(vec![req.id], false) {
+            self.state.borrow_mut().reaped.insert(id, None);
+        }
+        self.state.borrow().reaped.contains_key(&req.id)
+    }
+
+    /// `MPI_Wait` on a receive: suspends until the matching message has
+    /// been delivered, then returns it.
+    pub fn wait(&self, req: RecvReq) -> (Bytes, Status) {
         pvr_trace::emit(pvr_trace::EventKind::MpiCall { name: "MPI_Wait" });
-        match req {
-            Request::SendDone => None,
-            Request::Recv {
+        if let Some(done) = self.state.borrow_mut().reaped.remove(&req.id) {
+            return done.expect("receive outcome stashed for a recv id");
+        }
+        let outcomes = self.ctx.req_wait(vec![req.id], false, false);
+        let (_, msg) = outcomes
+            .into_iter()
+            .next()
+            .expect("wait returns the named request");
+        self.recv_outcome(req.comm, req.id, msg)
+    }
+
+    /// `MPI_Wait` on a send: suspends until the delivery layer acks.
+    pub fn wait_send(&self, req: SendReq) {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall { name: "MPI_Wait" });
+        if self.state.borrow_mut().reaped.remove(&req.id).is_some() {
+            return;
+        }
+        self.ctx.req_wait(vec![req.id], false, false);
+    }
+
+    /// `MPI_Waitall` over receives: one suspension for the whole set,
+    /// results in request order.
+    pub fn waitall(&self, reqs: Vec<RecvReq>) -> Vec<(Bytes, Status)> {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall {
+            name: "MPI_Waitall",
+        });
+        let todo: Vec<u64> = {
+            let st = self.state.borrow();
+            reqs.iter()
+                .map(|r| r.id)
+                .filter(|id| !st.reaped.contains_key(id))
+                .collect()
+        };
+        let outcomes = self.ctx.req_wait(todo, false, false);
+        let key: Vec<(u64, CommId)> = reqs.iter().map(|r| (r.id, r.comm)).collect();
+        self.stash_recv_outcomes(&key, outcomes);
+        reqs.into_iter()
+            .map(|r| {
+                self.state
+                    .borrow_mut()
+                    .reaped
+                    .remove(&r.id)
+                    .expect("waitall reaps every named request")
+                    .expect("receive outcome stashed for a recv id")
+            })
+            .collect()
+    }
+
+    /// `MPI_Waitall` over sends: one suspension for the whole set.
+    pub fn waitall_sends(&self, reqs: Vec<SendReq>) {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall {
+            name: "MPI_Waitall",
+        });
+        let todo: Vec<u64> = {
+            let mut st = self.state.borrow_mut();
+            reqs.iter()
+                .map(|r| r.id)
+                .filter(|id| st.reaped.remove(id).is_none())
+                .collect()
+        };
+        self.ctx.req_wait(todo, false, false);
+    }
+
+    /// `MPI_Waitany`: suspends until at least one of `reqs` completes,
+    /// removes that request from the vector, and returns its original
+    /// index with the received payload. Other completions observed along
+    /// the way are stashed for later waits.
+    pub fn waitany(&self, reqs: &mut Vec<RecvReq>) -> (usize, Bytes, Status) {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall {
+            name: "MPI_Waitany",
+        });
+        assert!(!reqs.is_empty(), "waitany over an empty request set");
+        if let Some(idx) = self.first_reaped_index(reqs) {
+            return self.take_at(reqs, idx);
+        }
+        let ids: Vec<u64> = reqs.iter().map(|r| r.id).collect();
+        let outcomes = self.ctx.req_wait(ids, true, false);
+        let first = outcomes.first().map(|&(id, _)| id);
+        let key: Vec<(u64, CommId)> = reqs.iter().map(|r| (r.id, r.comm)).collect();
+        self.stash_recv_outcomes(&key, outcomes);
+        let first = first.expect("waitany must deliver at least one completion");
+        let idx = reqs
+            .iter()
+            .position(|r| r.id == first)
+            .expect("completed id names a posted request");
+        self.take_at(reqs, idx)
+    }
+
+    /// `MPI_Waitsome`: suspends until at least one of `reqs` completes,
+    /// then removes and returns *every* currently-completed request as
+    /// `(original_index, payload, status)` triples in index order.
+    pub fn waitsome(&self, reqs: &mut Vec<RecvReq>) -> Vec<(usize, Bytes, Status)> {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall {
+            name: "MPI_Waitsome",
+        });
+        assert!(!reqs.is_empty(), "waitsome over an empty request set");
+        if self.first_reaped_index(reqs).is_none() {
+            let ids: Vec<u64> = reqs.iter().map(|r| r.id).collect();
+            let key: Vec<(u64, CommId)> = reqs.iter().map(|r| (r.id, r.comm)).collect();
+            let outcomes = self.ctx.req_wait(ids, true, false);
+            self.stash_recv_outcomes(&key, outcomes);
+        }
+        let done: Vec<usize> = {
+            let st = self.state.borrow();
+            (0..reqs.len())
+                .filter(|&i| st.reaped.contains_key(&reqs[i].id))
+                .collect()
+        };
+        let mut out = Vec::with_capacity(done.len());
+        for (removed, idx) in done.into_iter().enumerate() {
+            let (_, b, s) = self.take_at(reqs, idx - removed);
+            out.push((idx, b, s));
+        }
+        out
+    }
+
+    /// Register a completion continuation (AMPI extension): when a
+    /// message matching `(comm, src, tag)` arrives, the library runs `f`
+    /// from the next [`Ampi::progress`]/[`Ampi::progress_wait`] call —
+    /// the rank never suspends in a wait for it. Nesting (a continuation
+    /// driving progress that runs further continuations) is capped by
+    /// `MachineConfig::continuation_depth`.
+    pub fn recv_then(
+        &self,
+        comm: CommId,
+        src: Option<usize>,
+        tag: Option<u32>,
+        f: impl FnOnce(&Ampi, Bytes, Status) + 'static,
+    ) -> ReqId {
+        pvr_trace::emit(pvr_trace::EventKind::MpiCall {
+            name: "AMPI_Recv_then",
+        });
+        let req = self.post_recv(comm, src, tag);
+        self.state.borrow_mut().continuations.insert(
+            req.id,
+            ContEntry {
                 comm,
-                src,
-                tag,
-                done,
-            } => {
-                if let Some(d) = done.take() {
-                    return Some(d);
-                }
-                let (comm, src, tag) = (*comm, *src, *tag);
-                let mut pred = self.p2p_pred(comm, src, tag);
-                let m = self.recv_matching(&mut pred);
-                drop(pred);
-                let status = self.status_of(comm, &m);
-                Some((m.payload, status))
+                f: Box::new(f),
+            },
+        );
+        ReqId(req.id)
+    }
+
+    /// Poll the completion queue and run every continuation whose
+    /// message has arrived. Never suspends. Returns how many ran.
+    pub fn progress(&self) -> usize {
+        let ids: Vec<u64> = self.state.borrow().continuations.keys().copied().collect();
+        if ids.is_empty() {
+            return 0;
+        }
+        let outcomes = self.ctx.req_test(ids, true);
+        self.run_continuations(outcomes)
+    }
+
+    /// Suspend until at least one registered continuation's message
+    /// arrives, then run every continuation that has completed. Returns
+    /// how many ran (0 if none are registered).
+    pub fn progress_wait(&self) -> usize {
+        let ids: Vec<u64> = self.state.borrow().continuations.keys().copied().collect();
+        if ids.is_empty() {
+            return 0;
+        }
+        let outcomes = self.ctx.req_wait(ids, true, true);
+        self.run_continuations(outcomes)
+    }
+
+    /// Outstanding `recv_then` continuations not yet delivered.
+    pub fn pending_continuations(&self) -> usize {
+        self.state.borrow().continuations.len()
+    }
+
+    /// Run delivered continuations under the configured nesting cap.
+    fn run_continuations(&self, outcomes: Vec<(u64, Option<RtsMessage>)>) -> usize {
+        let n = outcomes.len();
+        let cap = self.ctx.continuation_depth();
+        for (id, msg) in outcomes {
+            let entry = self
+                .state
+                .borrow_mut()
+                .continuations
+                .remove(&id)
+                .expect("completion delivered for an unknown continuation");
+            let (payload, status) = self.recv_outcome(entry.comm, id, msg);
+            {
+                let mut st = self.state.borrow_mut();
+                st.cont_depth += 1;
+                assert!(
+                    st.cont_depth <= cap,
+                    "continuation depth cap ({cap}) exceeded: a recv_then closure is \
+                     recursively driving progress (MachineConfig::continuation_depth)"
+                );
             }
+            (entry.f)(self, payload, status);
+            self.state.borrow_mut().cont_depth -= 1;
+        }
+        n
+    }
+
+    /// Decode reaped outcomes into the stash. `key` maps request ids to
+    /// their communicators; send ids may appear in `outcomes` without a
+    /// key entry and stash as `None`.
+    fn stash_recv_outcomes(
+        &self,
+        key: &[(u64, CommId)],
+        outcomes: Vec<(u64, Option<RtsMessage>)>,
+    ) {
+        for (id, msg) in outcomes {
+            let done = key
+                .iter()
+                .find(|&&(k, _)| k == id)
+                .map(|&(_, comm)| self.recv_outcome(comm, id, msg));
+            self.state.borrow_mut().reaped.insert(id, done);
         }
     }
 
-    /// `MPI_Waitall`: receive results in request order.
-    pub fn waitall(&self, reqs: &mut [Request]) -> Vec<Option<(Bytes, Status)>> {
-        reqs.iter_mut().map(|r| self.wait(r)).collect()
+    /// Lowest index in `reqs` whose outcome is already stashed.
+    fn first_reaped_index(&self, reqs: &[RecvReq]) -> Option<usize> {
+        let st = self.state.borrow();
+        (0..reqs.len()).find(|&i| st.reaped.contains_key(&reqs[i].id))
+    }
+
+    /// Remove `reqs[idx]` and return its stashed outcome.
+    fn take_at(&self, reqs: &mut Vec<RecvReq>, idx: usize) -> (usize, Bytes, Status) {
+        let req = reqs.remove(idx);
+        let (b, s) = self
+            .state
+            .borrow_mut()
+            .reaped
+            .remove(&req.id)
+            .expect("outcome stashed before take_at")
+            .expect("receive outcome stashed for a recv id");
+        (idx, b, s)
     }
 
     /// `MPI_Sendrecv` — the halo-exchange workhorse; deadlock-free
@@ -219,6 +557,11 @@ impl Ampi {
         let (b, s) = self.recv_bytes(comm, src, tag);
         (crate::util::bytes_to_f64s(&b), s)
     }
+
+    /// Nonblocking typed send.
+    pub fn isend_f64s(&self, comm: CommId, dest: usize, tag: u32, data: &[f64]) -> SendReq {
+        self.isend_bytes(comm, dest, tag, crate::util::f64s_to_bytes(data))
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +569,8 @@ mod tests {
     use super::*;
     use crate::testutil::run_spmd;
     use crate::COMM_WORLD;
+    use std::cell::Cell;
+    use std::rc::Rc;
 
     #[test]
     fn tagged_send_recv() {
@@ -299,18 +644,19 @@ mod tests {
         run_spmd(2, 1, |mpi| {
             if mpi.rank() == 0 {
                 // request posted before the message exists
-                let mut req = mpi.irecv(COMM_WORLD, Some(1), Some(3));
-                assert!(!mpi.test(&mut req));
+                let req = mpi.irecv(COMM_WORLD, Some(1), Some(3));
+                assert!(!mpi.test(&req));
                 mpi.send_bytes(COMM_WORLD, 1, 2, Bytes::from_static(b"go"));
-                let (b, s) = mpi.wait(&mut req).unwrap();
+                let (b, s) = mpi.wait(req);
                 assert_eq!(&b[..], b"answer");
                 assert_eq!(s.tag, 3);
             } else {
                 let (b, _) = mpi.recv_bytes(COMM_WORLD, Some(0), Some(2));
                 assert_eq!(&b[..], b"go");
-                let mut sreq = mpi.isend_bytes(COMM_WORLD, 0, 3, Bytes::from_static(b"answer"));
-                assert!(sreq.is_complete());
-                assert!(mpi.wait(&mut sreq).is_none());
+                let sreq = mpi.isend_bytes(COMM_WORLD, 0, 3, Bytes::from_static(b"answer"));
+                // unconditional delivery: sends complete at post
+                assert!(mpi.test_send(&sreq));
+                mpi.wait_send(sreq);
             }
         });
     }
@@ -319,17 +665,114 @@ mod tests {
     fn waitall_multiple_receives() {
         run_spmd(3, 1, |mpi| {
             if mpi.rank() == 0 {
-                let mut reqs = vec![
+                let reqs = vec![
                     mpi.irecv(COMM_WORLD, Some(1), ANY_TAG),
                     mpi.irecv(COMM_WORLD, Some(2), ANY_TAG),
                 ];
-                let results = mpi.waitall(&mut reqs);
-                let (b1, _) = results[0].as_ref().unwrap();
-                let (b2, _) = results[1].as_ref().unwrap();
-                assert_eq!(&b1[..], &[1]);
-                assert_eq!(&b2[..], &[2]);
+                let results = mpi.waitall(reqs);
+                assert_eq!(&results[0].0[..], &[1]);
+                assert_eq!(&results[1].0[..], &[2]);
             } else {
                 mpi.send_bytes(COMM_WORLD, 0, 0, Bytes::from(vec![mpi.rank() as u8]));
+            }
+        });
+    }
+
+    #[test]
+    fn waitany_returns_completions_as_they_land() {
+        run_spmd(3, 1, |mpi| {
+            if mpi.rank() == 0 {
+                let mut reqs = vec![
+                    mpi.irecv(COMM_WORLD, Some(1), Some(10)),
+                    mpi.irecv(COMM_WORLD, Some(2), Some(20)),
+                ];
+                let mut seen = Vec::new();
+                while !reqs.is_empty() {
+                    let (_, b, s) = mpi.waitany(&mut reqs);
+                    seen.push((s.source, b[0]));
+                }
+                seen.sort_unstable();
+                assert_eq!(seen, vec![(1, 1), (2, 2)]);
+            } else {
+                let me = mpi.rank();
+                mpi.send_bytes(
+                    COMM_WORLD,
+                    0,
+                    me as u32 * 10,
+                    Bytes::from(vec![me as u8]),
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn waitsome_drains_ready_subset() {
+        run_spmd(2, 1, |mpi| {
+            if mpi.rank() == 0 {
+                let mut reqs = vec![
+                    mpi.irecv(COMM_WORLD, Some(1), Some(1)),
+                    mpi.irecv(COMM_WORLD, Some(1), Some(2)),
+                    mpi.irecv(COMM_WORLD, Some(1), Some(3)),
+                ];
+                let mut got = 0;
+                while !reqs.is_empty() {
+                    for (_, b, s) in mpi.waitsome(&mut reqs) {
+                        assert_eq!(b[0] as u32, s.tag);
+                        got += 1;
+                    }
+                }
+                assert_eq!(got, 3);
+            } else {
+                for t in 1..=3u32 {
+                    mpi.send_bytes(COMM_WORLD, 0, t, Bytes::from(vec![t as u8]));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn recv_then_continuation_fires_on_progress() {
+        run_spmd(2, 1, |mpi| {
+            if mpi.rank() == 0 {
+                let fired = Rc::new(Cell::new(0u32));
+                let f = fired.clone();
+                mpi.recv_then(COMM_WORLD, Some(1), Some(42), move |mpi, b, s| {
+                    assert_eq!(&b[..], b"cont");
+                    assert_eq!(s.tag, 42);
+                    f.set(f.get() + 1);
+                    // a continuation may itself communicate
+                    mpi.send_bytes(COMM_WORLD, 1, 43, Bytes::from_static(b"done"));
+                });
+                assert_eq!(mpi.pending_continuations(), 1);
+                while mpi.progress_wait() == 0 {}
+                assert_eq!(fired.get(), 1);
+                assert_eq!(mpi.pending_continuations(), 0);
+            } else {
+                mpi.send_bytes(COMM_WORLD, 0, 42, Bytes::from_static(b"cont"));
+                let (b, _) = mpi.recv_bytes(COMM_WORLD, Some(0), Some(43));
+                assert_eq!(&b[..], b"done");
+            }
+        });
+    }
+
+    #[test]
+    fn irecv_prematches_unexpected_queue() {
+        run_spmd(2, 1, |mpi| {
+            if mpi.rank() == 0 {
+                // Pull the tag-2 message into the unexpected queue by
+                // receiving tag 1 posted after it.
+                let (b1, _) = mpi.recv_bytes(COMM_WORLD, Some(1), Some(1));
+                assert_eq!(&b1[..], b"one");
+                // Now an irecv for tag 2 must claim the queued message,
+                // not wait for a new one.
+                let req = mpi.irecv(COMM_WORLD, Some(1), Some(2));
+                assert!(mpi.test(&req));
+                let (b2, s2) = mpi.wait(req);
+                assert_eq!(&b2[..], b"two");
+                assert_eq!(s2.tag, 2);
+            } else {
+                mpi.send_bytes(COMM_WORLD, 0, 2, Bytes::from_static(b"two"));
+                mpi.send_bytes(COMM_WORLD, 0, 1, Bytes::from_static(b"one"));
             }
         });
     }

@@ -89,15 +89,14 @@ fn many_outstanding_irecvs() {
     run_spmd(2, 1, |mpi| {
         const N: usize = 30;
         if mpi.rank() == 0 {
-            let mut reqs: Vec<_> = (0..N)
+            let reqs: Vec<_> = (0..N)
                 .map(|i| mpi.irecv(COMM_WORLD, Some(1), Some(i as u32)))
                 .collect();
             // nothing has arrived yet
-            assert!(reqs.iter_mut().all(|r| !r.is_complete()));
+            assert!(reqs.iter().all(|r| !mpi.test(r)));
             mpi.send_bytes(COMM_WORLD, 1, 999, Bytes::new()); // go signal
-            let results = mpi.waitall(&mut reqs);
-            for (i, r) in results.iter().enumerate() {
-                let (b, s) = r.as_ref().unwrap();
+            let results = mpi.waitall(reqs);
+            for (i, (b, s)) in results.iter().enumerate() {
                 assert_eq!(s.tag, i as u32);
                 assert_eq!(b.len(), i % 7);
             }

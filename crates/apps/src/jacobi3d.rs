@@ -116,23 +116,31 @@ pub fn run(mpi: &Ampi, cfg: JacobiConfig) -> JacobiStats {
         g_iter.write_u64(iter as u64);
 
         // halo exchange: ghost plane k=0 from rank below, k=nz+1 above
+        // — nonblocking overlap idiom: post receives first, then sends,
+        // then wait; delivery-time matching fills the requests while the
+        // sends are still being posted.
         let below = if me > 0 { Some(me - 1) } else { None };
         let above = if me + 1 < p { Some(me + 1) } else { None };
-        // send my lowest interior plane down, receive my upper ghost
+        let r_above = above.map(|a| mpi.irecv(COMM_WORLD, Some(a), Some(100)));
+        let r_below = below.map(|b| mpi.irecv(COMM_WORLD, Some(b), Some(101)));
+        // send my lowest interior plane down, my highest up
+        let mut sends = Vec::new();
         if let Some(b) = below {
-            mpi.send_f64s(COMM_WORLD, b, 100, &old[plane..2 * plane]);
+            sends.push(mpi.isend_f64s(COMM_WORLD, b, 100, &old[plane..2 * plane]));
         }
         if let Some(a) = above {
-            mpi.send_f64s(COMM_WORLD, a, 101, &old[nz * plane..(nz + 1) * plane]);
+            sends.push(mpi.isend_f64s(COMM_WORLD, a, 101, &old[nz * plane..(nz + 1) * plane]));
         }
-        if let Some(a) = above {
-            let (data, _) = mpi.recv_f64s(COMM_WORLD, Some(a), Some(100));
-            old[(nz + 1) * plane..(nz + 2) * plane].copy_from_slice(&data);
+        if let Some(req) = r_above {
+            let (data, _) = mpi.wait(req);
+            old[(nz + 1) * plane..(nz + 2) * plane]
+                .copy_from_slice(&util::bytes_to_f64s(&data));
         }
-        if let Some(b) = below {
-            let (data, _) = mpi.recv_f64s(COMM_WORLD, Some(b), Some(101));
-            old[0..plane].copy_from_slice(&data);
+        if let Some(req) = r_below {
+            let (data, _) = mpi.wait(req);
+            old[0..plane].copy_from_slice(&util::bytes_to_f64s(&data));
         }
+        mpi.waitall_sends(sends);
 
         // the sweep — every scalar read through the privatization path
         let mut local_res = 0.0f64;

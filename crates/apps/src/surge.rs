@@ -20,7 +20,7 @@
 //! Decomposition: 1-D row slabs along y (inland direction), ghost rows
 //! exchanged each step; `AMPI_Migrate` (at_sync) every `lb_period` steps.
 
-use pvr_ampi::{Ampi, Op, COMM_WORLD};
+use pvr_ampi::{util, Ampi, Op, COMM_WORLD};
 use pvr_progimage::{link, FunctionSpec, GlobalSpec, ImageSpec, ProgramBinary, VarClass};
 use std::sync::Arc;
 
@@ -181,23 +181,29 @@ pub fn run(mpi: &Ampi, cfg: SurgeConfig) -> SurgeStats {
     for step in 0..cfg.steps {
         g_step.write_u64(step as u64);
 
-        // halo exchange of depth rows
+        // halo exchange of depth rows — nonblocking overlap idiom:
+        // receives posted before the sends, completion at delivery time
         let below = if me > 0 { Some(me - 1) } else { None };
         let above = if me + 1 < p { Some(me + 1) } else { None };
+        let r_above = above.map(|a| mpi.irecv(COMM_WORLD, Some(a), Some(200)));
+        let r_below = below.map(|b| mpi.irecv(COMM_WORLD, Some(b), Some(201)));
+        let mut sends = Vec::new();
         if let Some(b) = below {
-            mpi.send_f64s(COMM_WORLD, b, 200, &h[stride..2 * stride]);
+            sends.push(mpi.isend_f64s(COMM_WORLD, b, 200, &h[stride..2 * stride]));
         }
         if let Some(a) = above {
-            mpi.send_f64s(COMM_WORLD, a, 201, &h[rows * stride..(rows + 1) * stride]);
+            sends.push(mpi.isend_f64s(COMM_WORLD, a, 201, &h[rows * stride..(rows + 1) * stride]));
         }
-        if let Some(a) = above {
-            let (d, _) = mpi.recv_f64s(COMM_WORLD, Some(a), Some(200));
-            h[(rows + 1) * stride..(rows + 2) * stride].copy_from_slice(&d);
+        if let Some(req) = r_above {
+            let (d, _) = mpi.wait(req);
+            h[(rows + 1) * stride..(rows + 2) * stride]
+                .copy_from_slice(&util::bytes_to_f64s(&d));
         }
-        if let Some(b) = below {
-            let (d, _) = mpi.recv_f64s(COMM_WORLD, Some(b), Some(201));
-            h[0..stride].copy_from_slice(&d);
+        if let Some(req) = r_below {
+            let (d, _) = mpi.wait(req);
+            h[0..stride].copy_from_slice(&util::bytes_to_f64s(&d));
         }
+        mpi.waitall_sends(sends);
 
         // storm forcing: a surge source sweeping inland along the bay
         let storm_y = (step as f64 * cfg.storm_speed) as usize;

@@ -8,6 +8,7 @@
 
 use pvr_bench::{
     ckpt_exp, cow_exp, degrade_exp, elastic_exp, faults_exp, fig5, fig6, fig7, fig8, icache_exp,
+    overlap_exp,
     parallel_exp, perf_exp, scaling, tables, tracing_exp,
 };
 
@@ -60,6 +61,7 @@ fn main() {
             "cow" => println!("{}\n", cow_exp::report(quick)),
             "ckpt" => println!("{}\n", ckpt_exp::report(quick)),
             "elastic" => println!("{}\n", elastic_exp::report(quick)),
+            "overlap" => println!("{}\n", overlap_exp::report(quick)),
             "degrade" => println!("{}\n", degrade_exp::report()),
             "table2" => {
                 let (res, cfg) = scaling_result.as_ref().unwrap();
@@ -72,7 +74,7 @@ fn main() {
             other => {
                 eprintln!("unknown experiment `{other}`");
                 eprintln!(
-                    "known: table1 table3 fig5 fig6 fig7 fig8 icache trace scaling faults degrade perf cow ckpt elastic table2 fig9 all"
+                    "known: table1 table3 fig5 fig6 fig7 fig8 icache trace scaling faults degrade perf cow ckpt elastic overlap table2 fig9 all"
                 );
                 std::process::exit(2);
             }

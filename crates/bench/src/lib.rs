@@ -23,8 +23,10 @@
 //! guards (`repro -- degrade`), [`perf_exp`] the hot-path before/after
 //! baseline (`repro -- perf`, writes `BENCH_perf.json`),
 //! [`cow_exp`] the COWglobals dedup/startup sweep (`repro -- cow`,
-//! merged into the same JSON), and [`elastic_exp`] the elastic rescale
-//! sweep (`repro -- elastic`, also merged there).
+//! merged into the same JSON), [`elastic_exp`] the elastic rescale
+//! sweep (`repro -- elastic`, also merged there), and [`overlap_exp`]
+//! the Isend/Irecv latency-hiding sweep (`repro -- overlap`, also
+//! merged there).
 
 pub mod ckpt_exp;
 pub mod cow_exp;
@@ -36,6 +38,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod icache_exp;
+pub mod overlap_exp;
 pub mod parallel_exp;
 pub mod perf_exp;
 pub mod scaling;

@@ -16,6 +16,30 @@ use pvr_privatize::RankInstance;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+/// Delivery-time matching predicate for a posted nonblocking receive.
+///
+/// The runtime stays MPI-agnostic: `pvr-ampi` encodes its envelope
+/// (communicator, message kind, MPI tag) into the rts-level `tag` word,
+/// and a posted receive matches a message when the masked tag bits agree
+/// and the source filter (if any) matches. `src: None` is a wildcard
+/// source; masking out the low tag bits is a wildcard tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchSpec {
+    /// Required sender, or `None` for any source.
+    pub src: Option<RankId>,
+    /// Which bits of the rts tag participate in matching.
+    pub tag_mask: u64,
+    /// Required value of the masked bits.
+    pub tag_value: u64,
+}
+
+impl MatchSpec {
+    /// Does `msg` satisfy this predicate?
+    pub fn matches(&self, msg: &RtsMessage) -> bool {
+        self.src.is_none_or(|s| s == msg.from) && (msg.tag & self.tag_mask) == self.tag_value
+    }
+}
+
 /// What a rank asks of its scheduler.
 #[derive(Debug)]
 pub enum Command {
@@ -46,6 +70,39 @@ pub enum Command {
     /// write through a stale pointer surfaces as a clean rank-attributed
     /// runtime error instead of undefined behavior.
     FreeHeap { addr: usize, size: usize },
+    /// Post a nonblocking send into the rank's request table; returns a
+    /// request id immediately. Under reliable delivery the request
+    /// completes when the payload's ack arrives; otherwise it completes
+    /// at post (buffered semantics).
+    ReqPostSend {
+        to: RankId,
+        tag: u64,
+        payload: Bytes,
+    },
+    /// Post a nonblocking receive with a delivery-time matching
+    /// predicate. If a matching message is already buffered in the
+    /// rank's mailbox it is claimed now; otherwise the request stays
+    /// pending and the *deposit path* completes it when a matching
+    /// message arrives — not when the rank later waits.
+    ReqPostRecv { spec: MatchSpec },
+    /// Post an already-satisfied receive: the caller (pvr-ampi) matched
+    /// the message against its own unexpected-message queue before the
+    /// runtime ever saw a posted receive. The table entry is born
+    /// complete so the wait-family calls observe uniform semantics.
+    ReqPostLocal,
+    /// Wait until the identified requests complete: all of them
+    /// (`any == false`) or at least one (`any == true`). Completed
+    /// requests are reaped from the table and returned. `cont` marks a
+    /// continuation-style wait — the scheduler tallies completions
+    /// delivered this way as continuations rather than suspensions.
+    ReqWait {
+        ids: Vec<u64>,
+        any: bool,
+        cont: bool,
+    },
+    /// Nonblocking completion probe: reap and return whichever of the
+    /// identified requests have completed; never suspends.
+    ReqTest { ids: Vec<u64>, cont: bool },
 }
 
 /// The scheduler's reply.
@@ -56,6 +113,12 @@ pub enum Response {
     NoMessage,
     /// Address of a fresh heap allocation.
     Addr(usize),
+    /// Id of a freshly posted nonblocking request.
+    ReqId(u64),
+    /// Completed requests reaped by `ReqWait`/`ReqTest`: `(id, message)`
+    /// pairs in completion order. Send completions and prematched local
+    /// posts carry `None`.
+    ReqOutcomes(Vec<(u64, Option<RtsMessage>)>),
 }
 
 /// Mailbox-sized shared cell between one rank and the scheduler. The two
@@ -127,6 +190,9 @@ pub struct RankCtx {
     pub(crate) work_model: WorkModel,
     pub(crate) virtual_mode: bool,
     pub(crate) binary: std::sync::Arc<pvr_progimage::ProgramBinary>,
+    /// Configured nesting cap for completion continuations
+    /// (`MachineConfig::continuation_depth`), enforced by `pvr-ampi`.
+    pub(crate) continuation_depth: u32,
 }
 
 impl RankCtx {
@@ -252,6 +318,58 @@ impl RankCtx {
     pub fn heap_alloc_f64s(&self, len: usize) -> &'static mut [f64] {
         let p = self.heap_alloc(len * 8, 8) as *mut f64;
         unsafe { std::slice::from_raw_parts_mut(p, len) }
+    }
+
+    /// The configured continuation nesting cap (how deep completion
+    /// closures may recursively trigger further completion closures).
+    pub fn continuation_depth(&self) -> u32 {
+        self.continuation_depth
+    }
+
+    /// Post a nonblocking send. Returns the request id; completion is
+    /// observed via [`RankCtx::req_wait`] / [`RankCtx::req_test`].
+    pub fn req_post_send(&self, to: RankId, tag: u64, payload: Bytes) -> u64 {
+        match self.call(Command::ReqPostSend { to, tag, payload }) {
+            Response::ReqId(id) => id,
+            r => panic!("unexpected response to ReqPostSend: {r:?}"),
+        }
+    }
+
+    /// Post a nonblocking receive matched at delivery time by `spec`.
+    pub fn req_post_recv(&self, spec: MatchSpec) -> u64 {
+        match self.call(Command::ReqPostRecv { spec }) {
+            Response::ReqId(id) => id,
+            r => panic!("unexpected response to ReqPostRecv: {r:?}"),
+        }
+    }
+
+    /// Post an already-complete table entry for a receive the caller
+    /// matched against its own unexpected queue (see
+    /// [`Command::ReqPostLocal`]).
+    pub fn req_post_local(&self) -> u64 {
+        match self.call(Command::ReqPostLocal) {
+            Response::ReqId(id) => id,
+            r => panic!("unexpected response to ReqPostLocal: {r:?}"),
+        }
+    }
+
+    /// Block until the identified requests complete (all, or any one if
+    /// `any`), reaping and returning the completed subset. `cont` tags
+    /// the completions as continuation-delivered for the tallies.
+    pub fn req_wait(&self, ids: Vec<u64>, any: bool, cont: bool) -> Vec<(u64, Option<RtsMessage>)> {
+        match self.call(Command::ReqWait { ids, any, cont }) {
+            Response::ReqOutcomes(v) => v,
+            r => panic!("unexpected response to ReqWait: {r:?}"),
+        }
+    }
+
+    /// Reap whichever of the identified requests have already completed;
+    /// never blocks.
+    pub fn req_test(&self, ids: Vec<u64>, cont: bool) -> Vec<(u64, Option<RtsMessage>)> {
+        match self.call(Command::ReqTest { ids, cont }) {
+            Response::ReqOutcomes(v) => v,
+            r => panic!("unexpected response to ReqTest: {r:?}"),
+        }
     }
 
     /// Free a previous [`RankCtx::heap_alloc`] (`size` must match the

@@ -154,6 +154,14 @@ pub struct MachineConfig {
     pub restore_geometry_at: Option<(u32, usize)>,
     pub retransmit_base: SimDuration,
     pub retransmit_max_attempts: u32,
+    /// Cap on open nonblocking requests per rank (posted, not yet
+    /// reaped by a wait/test). Exceeding it fails the run with
+    /// [`crate::RtsError::RequestOverflow`] — a leak detector, not a
+    /// flow-control valve. Must be ≥ 1.
+    pub max_outstanding_reqs: usize,
+    /// Cap on nested continuation depth in the AMPI layer
+    /// (`recv_then` closures posting further `recv_then`s). Must be ≥ 1.
+    pub continuation_depth: u32,
     pub tracer: Option<Arc<Tracer>>,
     pub fallback: bool,
     pub fallback_chain: Vec<Method>,
@@ -197,6 +205,8 @@ impl MachineConfig {
             restore_geometry_at: None,
             retransmit_base: SimDuration::from_micros(20),
             retransmit_max_attempts: 10,
+            max_outstanding_reqs: 1024,
+            continuation_depth: 8,
             tracer: None,
             fallback: false,
             fallback_chain: vec![Method::PipGlobals, Method::FsGlobals, Method::PieGlobals],
@@ -320,6 +330,20 @@ impl MachineConfig {
             if self.retransmit_max_attempts == 0 {
                 return invalid("retransmit_params: max_attempts must be >= 1".into());
             }
+        }
+        if self.max_outstanding_reqs == 0 {
+            return invalid(
+                "max_outstanding_reqs: at least one open nonblocking request per rank must \
+                 be allowed (the cap is a leak detector, not a way to disable requests)"
+                    .into(),
+            );
+        }
+        if self.continuation_depth == 0 {
+            return invalid(
+                "continuation_depth: recv_then needs at least one level of continuation \
+                 nesting (use plain recv if continuations are unwanted)"
+                    .into(),
+            );
         }
         if self.guards && self.method == Method::Unprivatized {
             return invalid(
@@ -455,6 +479,7 @@ impl MachineConfig {
         let stack_size = self.stack_size;
         let work_model = self.work_model;
         let virtual_mode = self.clock == ClockMode::Virtual;
+        let continuation_depth = self.continuation_depth;
         let ult_backend = self.ult_backend;
         let binary = self.binary.clone();
         let rank_body = body.clone();
@@ -490,6 +515,7 @@ impl MachineConfig {
                 instance: instance.clone(),
                 work_model,
                 virtual_mode,
+                continuation_depth,
                 binary: binary.clone(),
             };
             let body = rank_body.clone();
@@ -512,6 +538,11 @@ impl MachineConfig {
                 messages_sent: 0,
                 messages_received: 0,
                 migrations: 0,
+                req_seq: 0,
+                reqs: Default::default(),
+                completions: Default::default(),
+                wait_set: None,
+                pending_sends: Default::default(),
             })
         };
 
@@ -737,6 +768,8 @@ impl MachineConfig {
             guards: self.guards,
             method_requested: self.method,
             hardening,
+            req: Default::default(),
+            max_outstanding_reqs: self.max_outstanding_reqs,
             segment_baseline,
             last_ran: None,
             parallelism: self.parallelism,
@@ -940,6 +973,20 @@ impl MachineBuilder {
     pub fn retransmit_params(mut self, base_timeout: SimDuration, max_attempts: u32) -> Self {
         self.cfg.retransmit_base = base_timeout;
         self.cfg.retransmit_max_attempts = max_attempts;
+        self
+    }
+
+    /// Cap on open nonblocking requests per rank before the run fails
+    /// with [`crate::RtsError::RequestOverflow`] (default 1024; ≥ 1).
+    pub fn max_outstanding_reqs(mut self, n: usize) -> Self {
+        self.cfg.max_outstanding_reqs = n;
+        self
+    }
+
+    /// Cap on nested `recv_then` continuation depth in the AMPI layer
+    /// (default 8; ≥ 1).
+    pub fn continuation_depth(mut self, n: u32) -> Self {
+        self.cfg.continuation_depth = n;
         self
     }
 

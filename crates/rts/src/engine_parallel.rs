@@ -9,17 +9,22 @@
 //! serial runs.
 //!
 //! Real-time mode is message-driven: each worker sweeps its own lanes
-//! and exchanges cross-worker messages through a Mutex+Condvar hub
-//! ([`RealHub`]). A classic all-idle-and-nothing-pending detector
-//! terminates the burst, replacing the serial engine's `progressed`
-//! flag. Real-time parallel runs are *not* deterministic — wall-clock
-//! scheduling never is — which is why the determinism suite pins
-//! virtual mode only.
+//! and exchanges cross-worker messages through sharded per-worker
+//! inboxes ([`RealHub`]) — a sender locks only its target's shard, so
+//! two workers exchanging messages with two *other* workers never
+//! contend. A lock-free pending counter (incremented before the shard
+//! push, decremented after the take) plus per-worker idle flags give
+//! the classic all-idle-and-nothing-pending termination detector; the
+//! one remaining mutex+condvar pair exists purely to park idle workers
+//! (with a timeout backstop against lost wakeups). Real-time parallel
+//! runs are *not* deterministic — wall-clock scheduling never is —
+//! which is why the determinism suite pins virtual mode only.
 
 use crate::message::RtsMessage;
 use crate::worker::{self, EngineShared, ExecCtx, Lane};
 use parking_lot::{Condvar, Mutex};
 use pvr_des::SimTime;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::time::{Duration, Instant};
 
 /// Drive one epoch's lanes across `threads` workers, one contiguous
@@ -60,25 +65,47 @@ pub(crate) fn run_epoch_lanes(
     walls
 }
 
-/// Shared coordination state for one real-time burst.
-struct HubState {
-    /// Per-worker mailboxes of cross-worker messages.
-    inboxes: Vec<Vec<RtsMessage>>,
+/// How long a parked worker sleeps before re-checking on its own — the
+/// backstop that turns any lost-wakeup race into bounded latency
+/// instead of a hang.
+const PARK_BACKSTOP: Duration = Duration::from_millis(1);
+
+/// Sharded message hub and termination detector for parallel real-time
+/// bursts. Delivery state is per-worker; only idle parking takes the
+/// shared lock.
+struct RealHub {
+    /// Per-worker inbox shards. A sender locks exactly one — its
+    /// target's — so disjoint worker pairs never serialize on the hub.
+    shards: Vec<Mutex<Vec<RtsMessage>>>,
     /// Messages posted but not yet collected by their target worker.
-    pending: usize,
+    /// Incremented *before* the shard push and decremented *after* the
+    /// take, so `pending == 0` proves no message is in flight.
+    pending: AtomicUsize,
     /// Which workers are parked with nothing to run.
-    idle: Vec<bool>,
+    idle: Vec<AtomicBool>,
     /// Burst termination flag (quiescence detected, or a worker erred).
-    over: bool,
+    over: AtomicBool,
     /// Total rank slices run this burst.
-    ran_total: u64,
+    ran_total: AtomicU64,
+    /// Idle parking lot: the mutex guards nothing but the park itself;
+    /// senders grab it momentarily when notifying so a wakeup cannot
+    /// slip between a parker's re-check and its wait.
+    park: Mutex<()>,
+    cv: Condvar,
 }
 
-/// Mutex+Condvar message hub and termination detector for parallel
-/// real-time bursts.
-struct RealHub {
-    state: Mutex<HubState>,
-    cv: Condvar,
+impl RealHub {
+    /// Wake every parked worker (new messages, or termination).
+    fn notify(&self) {
+        let _guard = self.park.lock();
+        self.cv.notify_all();
+    }
+
+    /// End the burst and release every parked worker.
+    fn finish(&self) {
+        self.over.store(true, SeqCst);
+        self.notify();
+    }
 }
 
 /// One parallel real-time burst. Returns (slices run, per-worker wall).
@@ -90,13 +117,12 @@ pub(crate) fn real_burst(
     let chunk = lanes.len().div_ceil(threads);
     let n_workers = lanes.len().div_ceil(chunk);
     let hub = RealHub {
-        state: Mutex::new(HubState {
-            inboxes: vec![Vec::new(); n_workers],
-            pending: 0,
-            idle: vec![false; n_workers],
-            over: false,
-            ran_total: 0,
-        }),
+        shards: (0..n_workers).map(|_| Mutex::new(Vec::new())).collect(),
+        pending: AtomicUsize::new(0),
+        idle: (0..n_workers).map(|_| AtomicBool::new(false)).collect(),
+        over: AtomicBool::new(false),
+        ran_total: AtomicU64::new(0),
+        park: Mutex::new(()),
         cv: Condvar::new(),
     };
     let mut walls = Vec::new();
@@ -110,13 +136,13 @@ pub(crate) fn real_burst(
             walls.push(h.join().expect("engine worker panicked"));
         }
     });
-    let ran = hub.state.lock().ran_total;
-    (ran, walls)
+    (hub.ran_total.load(SeqCst), walls)
 }
 
-/// One worker's life for a real-time burst: drain inbox, sweep own
-/// lanes fairly, flush cross-worker sends, park when idle; terminate on
-/// global quiescence (every worker idle, nothing in flight).
+/// One worker's life for a real-time burst: drain own shard, sweep own
+/// lanes fairly, push cross-worker sends into their targets' shards,
+/// park when idle; terminate on global quiescence (every worker idle,
+/// nothing in flight).
 fn worker_loop(
     shared: &EngineShared<'_>,
     slice: &mut [Lane],
@@ -130,15 +156,11 @@ fn worker_loop(
     let t0 = Instant::now();
     let pe_base = slice[0].pe;
     loop {
-        let inbound: Vec<RtsMessage> = {
-            let mut st = hub.state.lock();
-            if st.over {
-                break;
-            }
-            let msgs = std::mem::take(&mut st.inboxes[w]);
-            st.pending -= msgs.len();
-            msgs
-        };
+        if hub.over.load(SeqCst) {
+            break;
+        }
+        let inbound: Vec<RtsMessage> = std::mem::take(&mut *hub.shards[w].lock());
+        hub.pending.fetch_sub(inbound.len(), SeqCst);
         let mut ctx = ExecCtx {
             shared,
             lanes: &mut *slice,
@@ -154,50 +176,57 @@ fn worker_loop(
             Err(e) => {
                 let li = ctx.li;
                 slice[li].out.error = Some((SimTime::ZERO, 0, e));
-                let mut st = hub.state.lock();
-                st.over = true;
-                hub.cv.notify_all();
+                hub.finish();
                 break;
             }
         };
+        hub.ran_total.fetch_add(ran as u64, SeqCst);
         let mut outbound = Vec::new();
         for lane in slice.iter_mut() {
             outbound.append(&mut lane.out.unrouted);
         }
+        let posted = outbound.len();
+        for m in outbound {
+            let dest_w = shared.location.lookup(m.to) / chunk;
+            // Count the message in flight before it becomes visible, so
+            // a `pending == 0` read can never miss a published message.
+            hub.pending.fetch_add(1, SeqCst);
+            hub.shards[dest_w].lock().push(m);
+        }
+        if posted > 0 {
+            hub.notify();
+        }
+        if ran > 0 || !hub.shards[w].lock().is_empty() {
+            continue;
+        }
+        // Publish idleness, then re-check the shard: a sender that
+        // pushed after the emptiness check above will either see the
+        // idle flag (and notify) or be caught by this re-check.
+        hub.idle[w].store(true, SeqCst);
         let mut done = false;
         {
-            let mut st = hub.state.lock();
-            st.ran_total += ran as u64;
-            let posted = outbound.len();
-            for m in outbound {
-                let dest_w = shared.location.lookup(m.to) / chunk;
-                st.inboxes[dest_w].push(m);
-                st.pending += 1;
-            }
-            if posted > 0 {
-                hub.cv.notify_all();
-            }
-            if ran == 0 && st.inboxes[w].is_empty() {
-                st.idle[w] = true;
-                loop {
-                    if st.over {
-                        done = true;
-                        break;
-                    }
-                    if !st.inboxes[w].is_empty() {
-                        st.idle[w] = false;
-                        break;
-                    }
-                    if st.pending == 0 && st.idle.iter().all(|&i| i) {
-                        // Global quiescence: no runnable rank anywhere
-                        // and no message in flight — the burst is over.
-                        st.over = true;
-                        hub.cv.notify_all();
-                        done = true;
-                        break;
-                    }
-                    hub.cv.wait(&mut st);
+            let mut guard = hub.park.lock();
+            loop {
+                if hub.over.load(SeqCst) {
+                    done = true;
+                    break;
                 }
+                if !hub.shards[w].lock().is_empty() {
+                    hub.idle[w].store(false, SeqCst);
+                    break;
+                }
+                if hub.pending.load(SeqCst) == 0 && hub.idle.iter().all(|i| i.load(SeqCst)) {
+                    // Global quiescence: no runnable rank anywhere and
+                    // no message in flight — the burst is over. (Any
+                    // collected-but-unprocessed message belongs to a
+                    // worker that has not declared idle, so all-idle
+                    // plus pending == 0 really is quiescence.)
+                    hub.over.store(true, SeqCst);
+                    hub.cv.notify_all();
+                    done = true;
+                    break;
+                }
+                hub.cv.wait_for(&mut guard, PARK_BACKSTOP);
             }
         }
         if done {

@@ -68,7 +68,7 @@ pub mod rescale;
 pub mod stats;
 mod worker;
 
-pub use command::{RankCtx, WorkModel};
+pub use command::{MatchSpec, RankCtx, WorkModel};
 pub use config::{ConfigError, MachineBuilder, MachineConfig, Parallelism};
 pub use lb::{LbStats, LoadBalancer};
 pub use machine::{
@@ -77,7 +77,7 @@ pub use machine::{
 pub use message::RtsMessage;
 pub use pvr_des::{SimDuration, SimTime, Topology};
 pub use rescale::{RescalePolicy, RescaleStats, UtilizationRescale};
-pub use stats::{CkptTallies, CowTallies, ElasticTallies, EngineTallies};
+pub use stats::{CkptTallies, CowTallies, ElasticTallies, EngineTallies, ReqTallies};
 
 /// Global index of a virtual rank.
 pub type RankId = usize;

@@ -80,6 +80,14 @@ pub enum RtsError {
         primary_pe: PeId,
         buddy_pe: PeId,
     },
+    /// A rank posted a nonblocking request past the configured
+    /// per-rank cap (`MachineConfig::max_outstanding_reqs`) — requests
+    /// are leaking (posted but never waited on or reaped).
+    RequestOverflow {
+        rank: RankId,
+        outstanding: usize,
+        limit: usize,
+    },
 }
 
 impl fmt::Display for RtsError {
@@ -139,6 +147,15 @@ impl fmt::Display for RtsError {
                 f,
                 "rank {rank}'s checkpoint is lost: both holders (PE {primary_pe} \
                  and buddy PE {buddy_pe}) are dead"
+            ),
+            RtsError::RequestOverflow {
+                rank,
+                outstanding,
+                limit,
+            } => write!(
+                f,
+                "rank {rank} has {outstanding} outstanding nonblocking requests \
+                 (cap {limit}): requests are being posted without being waited on"
             ),
         }
     }
@@ -242,6 +259,8 @@ struct RankDelta {
     checksum: u64,
     /// Suspended stack pointer observed together with this capture.
     sp: Option<usize>,
+    /// Request-engine state observed together with this capture.
+    req: crate::rank::ReqSnapshot,
     /// Dirty-epoch floor for the *next* delta capture of this rank's COW
     /// segment (0 when the rank has no COW segment).
     cow_since: u64,
@@ -256,6 +275,9 @@ struct CheckpointEntry {
     buddy_image: pvr_isomalloc::MigrationBuffer,
     /// Suspended stack pointer observed together with the image.
     sp: Option<usize>,
+    /// Request-engine state observed together with the image, restored
+    /// with it so rolled-back ranks see the barrier's request table.
+    req: crate::rank::ReqSnapshot,
     /// Checksum of the image at pack time, verified before restore.
     checksum: u64,
     /// PE holding `image`.
@@ -402,6 +424,10 @@ pub struct Machine {
     pub(crate) method_requested: Method,
     /// Probe/fallback/guard tallies, mirrored into the [`RunReport`].
     pub(crate) hardening: HardeningTallies,
+    /// Nonblocking-request tallies, mirrored into the [`RunReport`].
+    pub(crate) req: crate::stats::ReqTallies,
+    /// Request-table size cap per rank (`MachineConfig` knob).
+    pub(crate) max_outstanding_reqs: usize,
     /// Per-rank privatized-data-segment checksums (empty with guards
     /// off; `None` entries for methods without per-rank segments).
     pub(crate) segment_baseline: Vec<Option<u64>>,
@@ -712,19 +738,89 @@ impl Machine {
                 },
             );
         }
+        // Delivery-time matching: a posted nonblocking receive whose
+        // predicate covers this message consumes it before it ever
+        // reaches the mailbox (mirrors the lane-side path).
+        let posted = self.ranks[to].reqs.iter().find_map(|(&id, e)| {
+            match (&e.kind, &e.state) {
+                (crate::rank::ReqKind::Recv(spec), crate::rank::ReqState::Pending)
+                    if spec.matches(&msg) =>
+                {
+                    Some(id)
+                }
+                _ => None,
+            }
+        });
+        if let Some(id) = posted {
+            self.complete_req(to, id, Some(msg));
+            return;
+        }
         self.ranks[to].mailbox.push_back(msg);
-        if self.ranks[to].status == RankStatus::Waiting {
+        if self.ranks[to].status == RankStatus::Waiting && self.ranks[to].wait_set.is_none() {
             let m = self.ranks[to].mailbox.pop_front().expect("just deposited");
             self.respond(to, Response::Message(m));
             self.ranks[to].status = RankStatus::Ready;
-            let pe = self.ranks[to].location;
-            self.trace(pe, to as u32, EventKind::Unblock);
-            self.pes[pe].ready.push_back(to);
-            if self.clock == ClockMode::Virtual {
-                let at = self.queue.now().max_of(self.pes[pe].clock);
-                self.queue.schedule(at, Event::PeWake { pe });
+            self.trace(self.ranks[to].location, to as u32, EventKind::Unblock);
+            self.make_ready(to);
+        }
+    }
+
+    /// Requeue `rank` on its PE, scheduling a wake event in virtual mode
+    /// (barrier-time counterpart of the lane-side helper).
+    fn make_ready(&mut self, rank: RankId) {
+        let pe = self.ranks[rank].location;
+        self.pes[pe].ready.push_back(rank);
+        if self.clock == ClockMode::Virtual {
+            let at = self.queue.now().max_of(self.pes[pe].clock);
+            self.queue.schedule(at, Event::PeWake { pe });
+        }
+    }
+
+    /// Mark request `id` on `rank` complete and run the completion
+    /// protocol: completion-queue push, tallies, trace, waiter wake —
+    /// the barrier-time mirror of the lane-side `complete_req`.
+    fn complete_req(&mut self, rank: RankId, id: u64, msg: Option<RtsMessage>) {
+        let rs = &mut self.ranks[rank];
+        let e = rs.reqs.get_mut(&id).expect("completing unknown request");
+        let send = e.is_send();
+        e.state = crate::rank::ReqState::Done(msg);
+        rs.completions.push_back(id);
+        if send {
+            self.req.send_completes += 1;
+        } else {
+            self.req.recv_completes += 1;
+        }
+        let pe = rs.location;
+        self.trace(pe, rank as u32, EventKind::ReqComplete { req: id, send });
+        self.try_wake_waiter(rank);
+    }
+
+    /// If `rank` is suspended in a wait-family call whose set is now
+    /// satisfied, reap the outcomes, respond, and requeue it.
+    fn try_wake_waiter(&mut self, rank: RankId) {
+        let rs = &mut self.ranks[rank];
+        if rs.status != RankStatus::Waiting {
+            return;
+        }
+        if !rs.wait_set.as_ref().is_some_and(|ws| ws.satisfied(&rs.reqs)) {
+            return;
+        }
+        let ws = rs.wait_set.take().expect("checked above");
+        let outcomes = worker::reap_outcomes(rs, &ws.ids);
+        if ws.cont {
+            self.req.continuations += outcomes.len() as u64;
+            let pe = self.ranks[rank].location;
+            if self.tracer.is_some() {
+                for (id, _) in &outcomes {
+                    self.trace(pe, rank as u32, EventKind::ReqContinuation { req: *id });
+                }
             }
         }
+        self.respond(rank, Response::ReqOutcomes(outcomes));
+        self.ranks[rank].status = RankStatus::Ready;
+        let pe = self.ranks[rank].location;
+        self.trace(pe, rank as u32, EventKind::Unblock);
+        self.make_ready(rank);
     }
 
     /// Drive one rank until it blocks, parks, yields, or completes — a
@@ -754,6 +850,7 @@ impl Machine {
                 reliable: self.reliable.as_ref(),
                 epoch_start: self.epoch,
                 n_ranks: self.ranks.len(),
+                max_outstanding_reqs: self.max_outstanding_reqs,
                 perf_fast: self.perf_fast,
             };
             let mut guard_ctx;
@@ -974,6 +1071,7 @@ impl Machine {
                 buddy_patch: None,
                 checksum,
                 sp,
+                req: crate::rank::ReqSnapshot::capture(&self.ranks[r]),
                 cow_since,
             });
         }
@@ -1028,6 +1126,7 @@ impl Machine {
                 buddy_image: image.clone(),
                 image,
                 sp,
+                req: crate::rank::ReqSnapshot::capture(&self.ranks[r]),
                 checksum,
                 primary_pe,
                 buddy_pe: self.buddy_of(primary_pe),
@@ -1179,6 +1278,7 @@ impl Machine {
             let base = if from_buddy { &e.buddy_image } else { &e.image };
             let mut img = base.clone();
             let mut sp = e.sp;
+            let mut req = &e.req;
             for d in &e.deltas[..cut] {
                 let patch = if from_buddy {
                     d.buddy_patch.as_ref().expect("verified above")
@@ -1189,11 +1289,15 @@ impl Machine {
                 if d.sp.is_some() {
                     sp = d.sp;
                 }
+                req = &d.req;
             }
             self.ranks[rank]
                 .memory
                 .unpack_into(&img)
                 .expect("layout verified before unpack");
+            // The request table rolls back with the memory it belongs
+            // to — the cut's barrier state.
+            req.apply(&mut self.ranks[rank]);
             e.deltas.truncate(cut);
             e.accum = if cut == 0 { None } else { Some(img) };
             if let Some(sp) = sp {
@@ -2086,6 +2190,7 @@ impl Machine {
             }
             self.tallies.absorb(&out.faults);
             self.hardening.absorb(&out.hardening);
+            self.req.absorb(&out.req);
             self.engine.pool_hits += out.pool_hits;
             self.engine.pool_misses += out.pool_misses;
             if let Some(lr) = out.last_ran {
@@ -2176,6 +2281,7 @@ impl Machine {
             reliable: self.reliable.as_ref(),
             epoch_start: self.epoch,
             n_ranks: self.ranks.len(),
+            max_outstanding_reqs: self.max_outstanding_reqs,
             perf_fast: self.perf_fast,
         }
     }
@@ -2317,6 +2423,7 @@ impl Machine {
             cow,
             elastic: self.elastic,
             ckpt: self.ckpt_tallies,
+            req: self.req,
             engine: self.engine.clone(),
         })
     }

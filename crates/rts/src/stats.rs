@@ -269,6 +269,54 @@ impl CkptTallies {
     }
 }
 
+/// Exact tallies of nonblocking-request activity during a run.
+///
+/// Like [`FaultTallies`], every field increments at the same site that
+/// emits the corresponding `pvr-trace` event (`ReqPost`, `ReqComplete`,
+/// `ReqContinuation`, `ReqWaitBlock`), so integration tests can
+/// reconcile the two exactly. All-zero on blocking-only runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReqTallies {
+    /// Isend requests posted into rank request tables.
+    pub send_posts: u64,
+    /// Irecv requests posted into rank request tables (including posts
+    /// prematched against already-arrived unexpected messages).
+    pub recv_posts: u64,
+    /// Isend requests completed (payload handed to the runtime, or the
+    /// reliable-delivery ack arrived).
+    pub send_completes: u64,
+    /// Irecv requests completed (matched against an arriving or already
+    /// buffered message).
+    pub recv_completes: u64,
+    /// Completions delivered through a registered continuation closure
+    /// instead of resuming a suspended ULT.
+    pub continuations: u64,
+    /// Wait-family suspensions taken because at least one awaited
+    /// request was still pending.
+    pub wait_blocks: u64,
+    /// Requests still open (never completed or never reaped) when their
+    /// rank finished — the leaked-request count cleaned up at finalize.
+    pub leaked: u64,
+}
+
+impl ReqTallies {
+    /// True when the run used no nonblocking-request machinery.
+    pub fn is_clean(&self) -> bool {
+        *self == ReqTallies::default()
+    }
+
+    /// Fold another tally into this one (epoch-barrier merge).
+    pub(crate) fn absorb(&mut self, o: &ReqTallies) {
+        self.send_posts += o.send_posts;
+        self.recv_posts += o.recv_posts;
+        self.send_completes += o.send_completes;
+        self.recv_completes += o.recv_completes;
+        self.continuations += o.continuations;
+        self.wait_blocks += o.wait_blocks;
+        self.leaked += o.leaked;
+    }
+}
+
 /// Execution-engine counters: how the run was actually driven.
 ///
 /// Unlike the rest of [`RunReport`], these are *not* part of the
@@ -331,6 +379,11 @@ pub struct RunReport {
     /// Incremental/asynchronous checkpoint activity (all-zero in full
     /// mode except the wall-clock `pause_ns`).
     pub ckpt: CkptTallies,
+    /// Nonblocking-request activity (all-zero on blocking-only runs).
+    /// Part of [`RunReport::sim_digest`] but not
+    /// [`RunReport::sim_digest_core`], so continuation-vs-suspension
+    /// equivalence can be checked on the core digest alone.
+    pub req: ReqTallies,
     /// How the run was driven (threads, epochs, barriers, worker wall).
     /// Excluded from [`RunReport::sim_digest`].
     pub engine: EngineTallies,
@@ -392,6 +445,18 @@ impl RunReport {
             e.geometry_restores,
         ] {
             put(v as u64);
+        }
+        let q = &self.req;
+        for v in [
+            q.send_posts,
+            q.recv_posts,
+            q.send_completes,
+            q.recv_completes,
+            q.continuations,
+            q.wait_blocks,
+            q.leaked,
+        ] {
+            put(v);
         }
         for name in [self.method_requested, self.method_landed] {
             fnv_mix(&mut digest, name.to_string().bytes());
@@ -562,6 +627,20 @@ impl RunReport {
                 k.pause_ns
             );
         }
+        if !self.req.is_clean() {
+            let q = &self.req;
+            let _ = writeln!(
+                out,
+                "requests: {}+{} posted (send+recv), {}+{} completed, {} continuations, {} wait blocks, {} leaked",
+                q.send_posts,
+                q.recv_posts,
+                q.send_completes,
+                q.recv_completes,
+                q.continuations,
+                q.wait_blocks,
+                q.leaked
+            );
+        }
         if self.engine.threads > 1 {
             let _ = writeln!(
                 out,
@@ -636,6 +715,7 @@ mod tests {
             cow: CowTallies::default(),
             elastic: ElasticTallies::default(),
             ckpt: CkptTallies::default(),
+            req: ReqTallies::default(),
             engine: EngineTallies::default(),
         };
         let s = r.summary();
@@ -679,6 +759,7 @@ mod tests {
             cow: CowTallies::default(),
             elastic: ElasticTallies::default(),
             ckpt: CkptTallies::default(),
+            req: ReqTallies::default(),
             engine: EngineTallies::default(),
         };
         let s = r.summary();
@@ -710,6 +791,7 @@ mod tests {
             cow: CowTallies::default(),
             elastic: ElasticTallies::default(),
             ckpt: CkptTallies::default(),
+            req: ReqTallies::default(),
             engine: EngineTallies::default(),
         };
         let s = r.summary();

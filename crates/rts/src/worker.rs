@@ -37,8 +37,8 @@ use crate::machine::{
 };
 use crate::message::RtsMessage;
 use crate::pe::PeState;
-use crate::rank::{RankState, RankStatus};
-use crate::stats::{FaultTallies, HardeningTallies};
+use crate::rank::{RankState, RankStatus, ReqEntry, ReqKind, ReqState, WaitSet};
+use crate::stats::{FaultTallies, HardeningTallies, ReqTallies};
 use crate::{PeId, RankId};
 use parking_lot::Mutex;
 use pvr_des::{EventQueue, FaultPlan, FaultStream, NetworkModel, SimDuration, SimTime, Topology};
@@ -188,6 +188,8 @@ pub(crate) struct Outbox {
     pub forwards: u64,
     pub faults: FaultTallies,
     pub hardening: HardeningTallies,
+    /// Nonblocking-request activity on this lane's ranks.
+    pub req: ReqTallies,
     /// Deferred retransmit-exhaustion verdicts (see [`Exhausted`]).
     pub exhausted: Vec<Exhausted>,
     /// Real-time mode: messages for PEs outside this worker's lane set.
@@ -228,6 +230,7 @@ impl Outbox {
             forwards,
             faults,
             hardening,
+            req,
             exhausted,
             unrouted,
             error,
@@ -244,6 +247,7 @@ impl Outbox {
         *forwards = 0;
         *faults = FaultTallies::default();
         *hardening = HardeningTallies::default();
+        *req = ReqTallies::default();
         exhausted.clear();
         unrouted.clear();
         *error = None;
@@ -286,6 +290,9 @@ pub(crate) struct EngineShared<'e> {
     pub reliable: Option<&'e Mutex<ReliableState>>,
     pub epoch_start: Instant,
     pub n_ranks: usize,
+    /// Request-table size cap per rank (open entries, pending or
+    /// unreaped); exceeding it is a protocol error.
+    pub max_outstanding_reqs: usize,
     /// Hot-path fast paths enabled (zero-copy corruption injection);
     /// off = reference oracle behavior, bit-identical results.
     pub perf_fast: bool,
@@ -307,6 +314,28 @@ pub(crate) struct ExecCtx<'a, 'e, 'g> {
 /// Answer a rank's pending command.
 fn respond(rs: &RankState, resp: Response) {
     rs.slot.lock().resp = Some(resp);
+}
+
+/// Reap completed requests among `ids` from `rs`'s table, in completion
+/// order: each reaped id leaves both the completion queue and the table,
+/// and a receive hands over its matched message.
+pub(crate) fn reap_outcomes(rs: &mut RankState, ids: &[u64]) -> Vec<(u64, Option<RtsMessage>)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < rs.completions.len() {
+        let id = rs.completions[i];
+        if ids.contains(&id) {
+            rs.completions.remove(i);
+            let e = rs.reqs.remove(&id).expect("completed request in table");
+            let ReqState::Done(msg) = e.state else {
+                unreachable!("queued completion must be done")
+            };
+            out.push((id, msg));
+        } else {
+            i += 1;
+        }
+    }
+    out
 }
 
 /// Flip one payload bit (or a checksum bit for empty payloads) — the
@@ -388,7 +417,9 @@ impl<'a, 'e, 'g> ExecCtx<'a, 'e, 'g> {
                     None => self.lane().out.unrouted.push(msg),
                 }
             }
-            ClockMode::Virtual if self.shared.reliable.is_some() => self.send_reliable(msg),
+            ClockMode::Virtual if self.shared.reliable.is_some() => {
+                self.send_reliable(msg);
+            }
             ClockMode::Virtual => {
                 let from_pe = self.pe();
                 let dest_pe = self.shared.location.lookup(msg.to);
@@ -414,8 +445,11 @@ impl<'a, 'e, 'g> ExecCtx<'a, 'e, 'g> {
     }
 
     /// Assign a per-(src,dst) sequence number, stamp the checksum,
-    /// record the message in-flight, and transmit attempt 0.
-    fn send_reliable(&mut self, mut msg: RtsMessage) {
+    /// record the message in-flight, and transmit attempt 0. Returns the
+    /// assigned sequence number so a nonblocking send can key its
+    /// completion on the matching ack.
+    fn send_reliable(&mut self, mut msg: RtsMessage) -> u64 {
+        let seq;
         {
             let mut rel = self
                 .shared
@@ -425,12 +459,14 @@ impl<'a, 'e, 'g> ExecCtx<'a, 'e, 'g> {
             let counter = rel.send_seq.entry((msg.from, msg.to)).or_insert(0);
             *counter += 1;
             msg.seq = *counter;
+            seq = msg.seq;
             msg.seal();
             rel.inflight.insert((msg.from, msg.to, msg.seq), msg.clone());
         }
         let lane = &self.lanes[self.li];
         let t_send = lane.state.clock.max_of(lane.queue.now());
         self.transmit(t_send, msg, 0);
+        seq
     }
 
     /// Transmit one attempt of an in-flight message: apply the fault
@@ -635,8 +671,10 @@ impl<'a, 'e, 'g> ExecCtx<'a, 'e, 'g> {
     }
 
     /// Put a message in its target's mailbox, waking the target. A rank
-    /// parked in `Recv` gets its pending command answered right here, so
-    /// it can be resumed directly. `tl` must be a lane this worker owns.
+    /// parked in `Recv` gets its pending command answered right here, and
+    /// a message matching a posted nonblocking receive completes that
+    /// request at delivery time — it never reaches the mailbox. `tl`
+    /// must be a lane this worker owns.
     fn deposit(&mut self, tl: usize, msg: RtsMessage) {
         let to = msg.to;
         self.lanes[tl].out.delivered += 1;
@@ -654,23 +692,124 @@ impl<'a, 'e, 'g> ExecCtx<'a, 'e, 'g> {
                 },
             );
         }
+        // Delivery-time matching: scan pending posted receives in post
+        // order and complete the first match. Posted receives claim
+        // messages before the mailbox sees them, so the mailbox never
+        // buffers a message a posted receive is waiting for.
+        let posted = rs
+            .reqs
+            .iter()
+            .find(|(_, e)| match (&e.kind, &e.state) {
+                (ReqKind::Recv(spec), ReqState::Pending) => spec.matches(&msg),
+                _ => false,
+            })
+            .map(|(id, _)| *id);
+        if let Some(id) = posted {
+            self.complete_req(tl, to, id, Some(msg));
+            return;
+        }
         rs.mailbox.push_back(msg);
-        if rs.status == RankStatus::Waiting {
+        if rs.status == RankStatus::Waiting && rs.wait_set.is_none() {
             let m = rs.mailbox.pop_front().expect("just deposited");
             respond(rs, Response::Message(m));
             rs.status = RankStatus::Ready;
             self.trace_at(tl, to as u32, EventKind::Unblock);
-            let lane = &mut self.lanes[tl];
-            lane.state.ready.push_back(to);
-            if self.shared.clock == ClockMode::Virtual {
-                let at = lane.queue.now().max_of(lane.state.clock);
-                if at < lane.horizon {
-                    let at = at.max_of(lane.queue.now());
-                    lane.queue.schedule(at, Event::PeWake { pe: lane.pe });
-                } else {
-                    lane.out.events.push((at, Event::PeWake { pe: lane.pe }));
-                }
+            self.make_ready(tl, to);
+        }
+    }
+
+    /// Make a previously waiting rank runnable on lane `tl` again,
+    /// scheduling a `PeWake` in virtual mode so the lane's queue drives
+    /// it (routed through the outbox past the epoch horizon).
+    fn make_ready(&mut self, tl: usize, r: RankId) {
+        let lane = &mut self.lanes[tl];
+        lane.state.ready.push_back(r);
+        if self.shared.clock == ClockMode::Virtual {
+            let at = lane.queue.now().max_of(lane.state.clock);
+            if at < lane.horizon {
+                let at = at.max_of(lane.queue.now());
+                lane.queue.schedule(at, Event::PeWake { pe: lane.pe });
+            } else {
+                lane.out.events.push((at, Event::PeWake { pe: lane.pe }));
             }
+        }
+    }
+
+    /// Mark request `id` on rank `owner` complete: transition the table
+    /// entry, append to the per-rank completion queue, emit/tally the
+    /// completion, and wake the owner if it is suspended in a wait whose
+    /// set is now satisfied. `tl` must be the lane owning `owner`.
+    fn complete_req(&mut self, tl: usize, owner: RankId, id: u64, msg: Option<RtsMessage>) {
+        // SAFETY: the rank lives on lanes[tl].pe, owned by this worker.
+        let rs = unsafe { self.shared.ranks.resident_mut(owner) };
+        let send = {
+            let e = rs.reqs.get_mut(&id).expect("completing unknown request");
+            e.state = ReqState::Done(msg);
+            e.is_send()
+        };
+        rs.completions.push_back(id);
+        {
+            let out = &mut self.lanes[tl].out;
+            if send {
+                out.req.send_completes += 1;
+            } else {
+                out.req.recv_completes += 1;
+            }
+        }
+        self.trace_at(tl, owner as u32, EventKind::ReqComplete { req: id, send });
+        self.try_wake_waiter(tl, owner);
+    }
+
+    /// If `owner` is suspended in a wait-family call whose wait set is
+    /// now satisfied, reap the outcomes, answer the pending command, and
+    /// make the rank runnable again.
+    fn try_wake_waiter(&mut self, tl: usize, owner: RankId) {
+        // SAFETY: the rank lives on lanes[tl].pe, owned by this worker.
+        let rs = unsafe { self.shared.ranks.resident_mut(owner) };
+        if rs.status != RankStatus::Waiting {
+            return;
+        }
+        let satisfied = rs.wait_set.as_ref().is_some_and(|ws| ws.satisfied(&rs.reqs));
+        if !satisfied {
+            return;
+        }
+        let ws = rs.wait_set.take().expect("checked above");
+        let outcomes = reap_outcomes(rs, &ws.ids);
+        self.tally_continuations(tl, owner, ws.cont, &outcomes);
+        respond(rs, Response::ReqOutcomes(outcomes));
+        rs.status = RankStatus::Ready;
+        self.trace_at(tl, owner as u32, EventKind::Unblock);
+        self.make_ready(tl, owner);
+    }
+
+    /// Enforce the per-rank request-table cap before a new post.
+    fn check_req_capacity(&self, rank: RankId, outstanding: usize) -> Result<(), RtsError> {
+        if outstanding >= self.shared.max_outstanding_reqs {
+            return Err(RtsError::RequestOverflow {
+                rank,
+                outstanding,
+                limit: self.shared.max_outstanding_reqs,
+            });
+        }
+        Ok(())
+    }
+
+    /// Tag reaped completions as continuation-delivered: one
+    /// `ReqContinuation` per outcome handed to a continuation-style
+    /// wait or test.
+    fn tally_continuations(
+        &mut self,
+        tl: usize,
+        owner: RankId,
+        cont: bool,
+        outcomes: &[(u64, Option<RtsMessage>)],
+    ) {
+        if !cont {
+            return;
+        }
+        self.lanes[tl].out.req.continuations += outcomes.len() as u64;
+        for (id, _) in outcomes {
+            self.trace_at(tl, owner as u32, EventKind::ReqContinuation { req: *id });
         }
     }
 
@@ -740,6 +879,16 @@ impl<'a, 'e, 'g> ExecCtx<'a, 'e, 'g> {
             match outcome {
                 Ok(pvr_ult::UltState::Complete) => {
                     rs.status = RankStatus::Done;
+                    // Leaked requests (never waited on, or completed but
+                    // never reaped) are cleaned up here so a finished
+                    // rank's table cannot pin messages or wake logic.
+                    let open = rs.reqs.len() as u64;
+                    if open > 0 {
+                        self.lanes[self.li].out.req.leaked += open;
+                        rs.reqs.clear();
+                        rs.completions.clear();
+                        rs.pending_sends.clear();
+                    }
                     self.lanes[self.li].out.done += 1;
                     return Ok(StopReason::Done);
                 }
@@ -880,6 +1029,126 @@ impl<'a, 'e, 'g> ExecCtx<'a, 'e, 'g> {
                         }
                     }
                 }
+                Command::ReqPostSend { to, tag, payload } => {
+                    if to >= self.shared.n_ranks {
+                        return Err(RtsError::Protocol {
+                            rank: r,
+                            detail: format!("isend to nonexistent rank {to}"),
+                        });
+                    }
+                    self.check_req_capacity(r, rs.reqs.len())?;
+                    rs.messages_sent += 1;
+                    let id = rs.req_seq;
+                    rs.req_seq += 1;
+                    let msg = RtsMessage::new(r, to, tag, payload);
+                    let inline = msg.payload.is_inline();
+                    {
+                        let out = &mut self.lanes[self.li].out;
+                        if inline {
+                            out.pool_hits += 1;
+                        } else {
+                            out.pool_misses += 1;
+                        }
+                        *out.comm_bytes.entry((r, to)).or_default() += msg.wire_bytes() as u64;
+                        out.req.send_posts += 1;
+                    }
+                    self.trace(r as u32, EventKind::MsgPool { inline });
+                    self.trace(
+                        r as u32,
+                        EventKind::MsgSend {
+                            to: to as u32,
+                            tag,
+                            bytes: msg.wire_bytes() as u32,
+                        },
+                    );
+                    self.trace(r as u32, EventKind::ReqPost { req: id, send: true });
+                    rs.reqs.insert(
+                        id,
+                        ReqEntry {
+                            kind: ReqKind::Send,
+                            state: ReqState::Pending,
+                        },
+                    );
+                    respond(rs, Response::ReqId(id));
+                    // `rs` must not be used past here: a send-to-self
+                    // re-derives the same rank inside `route`/`deposit`.
+                    if self.shared.clock == ClockMode::Virtual && self.shared.reliable.is_some() {
+                        // completes when the payload's ack arrives back
+                        // on this (the sender's) lane
+                        let seq = self.send_reliable(msg);
+                        let rs = unsafe { self.shared.ranks.resident_mut(r) };
+                        rs.pending_sends.insert((to, seq), id);
+                    } else {
+                        // unconditional delivery: buffered-send
+                        // semantics, complete at post
+                        self.route(msg);
+                        self.complete_req(self.li, r, id, None);
+                    }
+                }
+                Command::ReqPostRecv { spec } => {
+                    self.check_req_capacity(r, rs.reqs.len())?;
+                    let id = rs.req_seq;
+                    rs.req_seq += 1;
+                    self.lanes[self.li].out.req.recv_posts += 1;
+                    self.trace(r as u32, EventKind::ReqPost { req: id, send: false });
+                    rs.reqs.insert(
+                        id,
+                        ReqEntry {
+                            kind: ReqKind::Recv(spec),
+                            state: ReqState::Pending,
+                        },
+                    );
+                    respond(rs, Response::ReqId(id));
+                    // Claim an already-buffered match now, front to back:
+                    // the mailbox is in delivery order, so taking the
+                    // first hit preserves non-overtaking.
+                    if let Some(i) = rs.mailbox.iter().position(|m| spec.matches(m)) {
+                        let m = rs.mailbox.remove(i).expect("position just found");
+                        self.complete_req(self.li, r, id, Some(m));
+                    }
+                }
+                Command::ReqPostLocal => {
+                    self.check_req_capacity(r, rs.reqs.len())?;
+                    let id = rs.req_seq;
+                    rs.req_seq += 1;
+                    self.lanes[self.li].out.req.recv_posts += 1;
+                    self.trace(r as u32, EventKind::ReqPost { req: id, send: false });
+                    rs.reqs.insert(
+                        id,
+                        ReqEntry {
+                            kind: ReqKind::Local,
+                            state: ReqState::Pending,
+                        },
+                    );
+                    respond(rs, Response::ReqId(id));
+                    self.complete_req(self.li, r, id, None);
+                }
+                Command::ReqWait { ids, any, cont } => {
+                    let pending = ids
+                        .iter()
+                        .filter(|id| rs.reqs.get(id).is_some_and(|e| !e.is_done()))
+                        .count() as u32;
+                    let ws = WaitSet { ids, any, cont };
+                    if ws.ids.is_empty() || ws.satisfied(&rs.reqs) {
+                        let outcomes = reap_outcomes(rs, &ws.ids);
+                        self.tally_continuations(self.li, r, cont, &outcomes);
+                        respond(rs, Response::ReqOutcomes(outcomes));
+                    } else {
+                        rs.status = RankStatus::Waiting;
+                        rs.wait_set = Some(ws);
+                        self.lanes[self.li].out.req.wait_blocks += 1;
+                        self.trace(r as u32, EventKind::Block);
+                        self.trace(r as u32, EventKind::ReqWaitBlock { waiting: pending });
+                        // response delivered by `try_wake_waiter` when
+                        // the wait set is satisfied
+                        return Ok(StopReason::BlockedRecv);
+                    }
+                }
+                Command::ReqTest { ids, cont } => {
+                    let outcomes = reap_outcomes(rs, &ids);
+                    self.tally_continuations(self.li, r, cont, &outcomes);
+                    respond(rs, Response::ReqOutcomes(outcomes));
+                }
             }
         }
     }
@@ -1004,6 +1273,13 @@ impl<'a, 'e, 'g> ExecCtx<'a, 'e, 'g> {
             Event::Ack { from, to, seq } => {
                 if let Some(rel) = self.shared.reliable {
                     rel.lock().inflight.remove(&(from, to, seq));
+                }
+                // Ack events are partitioned to the sender's lane, so a
+                // nonblocking send waiting on this ack completes here.
+                // SAFETY: `from` is resident on this lane's PE.
+                let rs = unsafe { self.shared.ranks.resident_mut(from) };
+                if let Some(id) = rs.pending_sends.remove(&(to, seq)) {
+                    self.complete_req(self.li, from, id, None);
                 }
             }
             Event::Retransmit {

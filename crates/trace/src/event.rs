@@ -248,6 +248,18 @@ pub enum EventKind {
     /// Delta-chain compaction: a fresh base image replaced a chain of
     /// `chain` deltas (`bytes` of patch payload folded away).
     CkptCompact { chain: u32, bytes: u64 },
+    /// A nonblocking request entered the rank's request table (`send`
+    /// distinguishes Isend from Irecv posts).
+    ReqPost { req: u64, send: bool },
+    /// A posted request completed: an Irecv matched an arriving message
+    /// at delivery time, or an Isend's payload was acknowledged.
+    ReqComplete { req: u64, send: bool },
+    /// A completion ran a registered continuation closure instead of
+    /// resuming a suspended ULT.
+    ReqContinuation { req: u64 },
+    /// A rank suspended inside `MPI_Wait`-family calls on `waiting`
+    /// still-pending requests.
+    ReqWaitBlock { waiting: u32 },
 }
 
 impl EventKind {
@@ -291,6 +303,10 @@ impl EventKind {
             EventKind::CkptSeal { .. } => "ckpt_seal",
             EventKind::CkptAsyncDrain { .. } => "ckpt_async_drain",
             EventKind::CkptCompact { .. } => "ckpt_compact",
+            EventKind::ReqPost { .. } => "req_post",
+            EventKind::ReqComplete { .. } => "req_complete",
+            EventKind::ReqContinuation { .. } => "req_continuation",
+            EventKind::ReqWaitBlock { .. } => "req_wait_block",
         }
     }
 }

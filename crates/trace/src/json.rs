@@ -212,6 +212,18 @@ fn event_json(e: &Event) -> String {
         EventKind::CkptCompact { chain, bytes } => {
             s.push_str(&format!(", \"chain\": {chain}, \"bytes\": {bytes}"));
         }
+        EventKind::ReqPost { req, send } => {
+            s.push_str(&format!(", \"req\": {req}, \"send\": {send}"));
+        }
+        EventKind::ReqComplete { req, send } => {
+            s.push_str(&format!(", \"req\": {req}, \"send\": {send}"));
+        }
+        EventKind::ReqContinuation { req } => {
+            s.push_str(&format!(", \"req\": {req}"));
+        }
+        EventKind::ReqWaitBlock { waiting } => {
+            s.push_str(&format!(", \"waiting\": {waiting}"));
+        }
     }
     s.push('}');
     s
@@ -247,7 +259,8 @@ impl TraceSnapshot {
              \"geometry_restores\": {}, \"buddy_degenerates\": {}, \
              \"ckpt_deltas\": {}, \"ckpt_delta_pages\": {}, \"ckpt_delta_bytes\": {}, \
              \"ckpt_seals\": {}, \"ckpt_async_drains\": {}, \"ckpt_async_bytes\": {}, \
-             \"ckpt_compacts\": {}}},",
+             \"ckpt_compacts\": {}, \"req_posts\": {}, \"req_completes\": {}, \
+             \"req_continuations\": {}, \"req_wait_blocks\": {}}},",
             c.ctx_switches,
             c.blocks,
             c.unblocks,
@@ -297,7 +310,11 @@ impl TraceSnapshot {
             c.ckpt_seals,
             c.ckpt_async_drains,
             c.ckpt_async_bytes,
-            c.ckpt_compacts
+            c.ckpt_compacts,
+            c.req_posts,
+            c.req_completes,
+            c.req_continuations,
+            c.req_wait_blocks
         );
         out.push_str("  \"pes\": [\n");
         for (i, p) in self.per_pe.iter().enumerate() {
@@ -576,6 +593,33 @@ mod tests {
         assert!(json.contains("\"kind\": \"ckpt_seal\", \"step\": 4, \"epoch\": 2"));
         assert!(json.contains("\"kind\": \"ckpt_async_drain\", \"bytes\": 4096"));
         assert!(json.contains("\"kind\": \"ckpt_compact\", \"chain\": 5, \"bytes\": 8192"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn req_events_export() {
+        let t = Tracer::new(1);
+        t.enable();
+        t.record(0, 0, 1, EventKind::ReqPost { req: 7, send: true });
+        t.record(0, 0, 2, EventKind::ReqPost { req: 8, send: false });
+        t.record(0, 0, 3, EventKind::ReqWaitBlock { waiting: 2 });
+        t.record(0, 0, 4, EventKind::ReqComplete { req: 8, send: false });
+        t.record(0, 0, 5, EventKind::ReqContinuation { req: 8 });
+        let c = t.counts();
+        assert_eq!(c.req_posts, 2);
+        assert_eq!(c.req_completes, 1);
+        assert_eq!(c.req_continuations, 1);
+        assert_eq!(c.req_wait_blocks, 1);
+        assert_eq!(c.total_events(), 5);
+        let json = t.snapshot().to_json();
+        assert_eq!(json_u64(&json, "req_posts"), Some(2));
+        assert_eq!(json_u64(&json, "req_completes"), Some(1));
+        assert_eq!(json_u64(&json, "req_continuations"), Some(1));
+        assert_eq!(json_u64(&json, "req_wait_blocks"), Some(1));
+        assert!(json.contains("\"kind\": \"req_post\", \"req\": 7, \"send\": true"));
+        assert!(json.contains("\"kind\": \"req_complete\", \"req\": 8, \"send\": false"));
+        assert!(json.contains("\"kind\": \"req_continuation\", \"req\": 8"));
+        assert!(json.contains("\"kind\": \"req_wait_block\", \"waiting\": 2"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

@@ -108,6 +108,14 @@ pub struct TraceCounts {
     pub ckpt_async_bytes: u64,
     /// Delta-chain compactions (fresh base replacing a chain).
     pub ckpt_compacts: u64,
+    /// Nonblocking requests posted (`ReqPost`).
+    pub req_posts: u64,
+    /// Nonblocking requests completed (`ReqComplete`).
+    pub req_completes: u64,
+    /// Completions that ran a continuation closure (`ReqContinuation`).
+    pub req_continuations: u64,
+    /// Wait-family suspensions on pending requests (`ReqWaitBlock`).
+    pub req_wait_blocks: u64,
 }
 
 impl TraceCounts {
@@ -153,10 +161,14 @@ impl TraceCounts {
             + self.ckpt_seals
             + self.ckpt_async_drains
             + self.ckpt_compacts
+            + self.req_posts
+            + self.req_completes
+            + self.req_continuations
+            + self.req_wait_blocks
     }
 }
 
-const N_COUNTERS: usize = 50;
+const N_COUNTERS: usize = 54;
 
 // Counter slot indices (mirrors TraceCounts field order).
 const C_CTX: usize = 0;
@@ -209,6 +221,10 @@ const C_CKPT_SEAL: usize = 46;
 const C_CKPT_ASYNC_DRAIN: usize = 47;
 const C_CKPT_ASYNC_BYTES: usize = 48;
 const C_CKPT_COMPACT: usize = 49;
+const C_REQ_POST: usize = 50;
+const C_REQ_COMPLETE: usize = 51;
+const C_REQ_CONT: usize = 52;
+const C_REQ_WAIT: usize = 53;
 
 /// Fixed-capacity ring of the most recent events on one PE.
 struct PeRing {
@@ -403,6 +419,10 @@ impl Tracer {
                 bump(C_CKPT_ASYNC_BYTES, bytes);
             }
             EventKind::CkptCompact { .. } => bump(C_CKPT_COMPACT, 1),
+            EventKind::ReqPost { .. } => bump(C_REQ_POST, 1),
+            EventKind::ReqComplete { .. } => bump(C_REQ_COMPLETE, 1),
+            EventKind::ReqContinuation { .. } => bump(C_REQ_CONT, 1),
+            EventKind::ReqWaitBlock { .. } => bump(C_REQ_WAIT, 1),
         }
     }
 
@@ -469,6 +489,10 @@ impl Tracer {
             ckpt_async_drains: c(C_CKPT_ASYNC_DRAIN),
             ckpt_async_bytes: c(C_CKPT_ASYNC_BYTES),
             ckpt_compacts: c(C_CKPT_COMPACT),
+            req_posts: c(C_REQ_POST),
+            req_completes: c(C_REQ_COMPLETE),
+            req_continuations: c(C_REQ_CONT),
+            req_wait_blocks: c(C_REQ_WAIT),
         }
     }
 

@@ -90,6 +90,22 @@ echo "==> incremental-ckpt determinism gate (delta chain, Serial == Threads(n))"
 PVR_THREADS=1 cargo test -q -p pvr-bench --test incremental_ckpt
 PVR_THREADS=4 cargo test -q -p pvr-bench --test incremental_ckpt
 
+echo "==> overlap-smoke (Isend/Irecv halo must beat blocking by >= 1.3x)"
+out=$(cargo run --release -q -p pvr-bench --bin repro -- overlap --quick)
+echo "$out"
+# The nonblocking halo's makespan speedup over blocking: an iteration
+# should cost max(latency, compute) instead of latency + compute, so
+# anything under 1.3x means delivery-time matching is not overlapping.
+speedup=$(echo "$out" | awk '/^speedup/ {gsub(/[x,]/, "", $2); print $2}')
+awk -v s="$speedup" 'BEGIN { exit !(s + 0 >= 1.3) }' || {
+    echo "FAIL: nonblocking halo speedup ${speedup}x < 1.3x (overlap broken)"
+    exit 1
+}
+
+echo "==> request-engine determinism gate (async_comm, Serial == Threads(n))"
+PVR_THREADS=1 cargo test -q -p pvr-bench --test async_comm
+PVR_THREADS=4 cargo test -q -p pvr-bench --test async_comm
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

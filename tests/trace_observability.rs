@@ -83,6 +83,129 @@ fn trace_is_deterministic_in_virtual_time() {
 }
 
 #[test]
+fn nonblocking_call_names_traced_correctly() {
+    // Regression for two p2p tracing bugs: `test()` emitted no MpiCall
+    // event at all, and `waitall()` recorded one "MPI_Wait" per request
+    // instead of a single "MPI_Waitall".
+    use bytes::Bytes;
+    use pvr_ampi::{Ampi, COMM_WORLD};
+    use pvr_privatize::Method;
+    use pvr_rts::{ClockMode, MachineBuilder, RankCtx, Topology};
+    use pvr_trace::EventKind;
+    use std::sync::Arc;
+
+    const N: usize = 6;
+    const TESTS: usize = 3;
+    let tracer = Tracer::with_capacity(2, 64 * 1024);
+    tracer.enable();
+    let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(|ctx: RankCtx| {
+        let mpi = Ampi::init(ctx);
+        if mpi.rank() == 0 {
+            let reqs: Vec<_> = (0..N)
+                .map(|t| mpi.irecv(COMM_WORLD, Some(1), Some(t as u32)))
+                .collect();
+            for r in reqs.iter().take(TESTS) {
+                let _ = mpi.test(r);
+            }
+            mpi.send_bytes(COMM_WORLD, 1, 99, Bytes::new()); // go signal
+            let _ = mpi.waitall(reqs);
+        } else {
+            let _ = mpi.recv_bytes(COMM_WORLD, Some(0), Some(99));
+            for t in 0..N {
+                mpi.send_bytes(COMM_WORLD, 0, t as u32, Bytes::from(vec![t as u8]));
+            }
+        }
+        mpi.finalize();
+    });
+    let mut machine = MachineBuilder::new(pvr_apps::jacobi3d::binary())
+        .method(Method::PieGlobals)
+        .topology(Topology::non_smp(2))
+        .vp_ratio(1)
+        .clock(ClockMode::Virtual)
+        .stack_size(256 * 1024)
+        .tracer(tracer.clone())
+        .build(body)
+        .expect("machine builds");
+    machine.run().expect("run succeeds");
+
+    let snap = tracer.snapshot();
+    assert_eq!(snap.dropped, 0, "ring must hold the whole run");
+    let calls = |wanted: &str| -> usize {
+        snap.per_pe
+            .iter()
+            .flat_map(|p| &p.events)
+            .filter(|e| matches!(e.kind, EventKind::MpiCall { name } if name == wanted))
+            .count()
+    };
+    assert_eq!(calls("MPI_Test"), TESTS, "each test() is one MPI_Test");
+    assert_eq!(calls("MPI_Waitall"), 1, "waitall() is ONE MPI_Waitall");
+    assert_eq!(calls("MPI_Wait"), 0, "waitall() must not masquerade as waits");
+    assert_eq!(calls("MPI_Irecv"), N);
+}
+
+#[test]
+fn req_tallies_reconcile_with_trace_counts() {
+    // The PR 1 convention: every RunReport tally that has a trace event
+    // kind must reconcile exactly with the recorded counts. `leaked` is
+    // the one exemption — it is tallied at rank completion, after the
+    // request's own events, and emits no event of its own.
+    use bytes::Bytes;
+    use pvr_ampi::{util, Ampi, COMM_WORLD};
+    use pvr_privatize::Method;
+    use pvr_rts::{ClockMode, MachineBuilder, RankCtx, Topology};
+    use std::sync::Arc;
+
+    let tracer = Tracer::new(2);
+    tracer.enable();
+    let body: Arc<dyn Fn(RankCtx) + Send + Sync> = Arc::new(|ctx: RankCtx| {
+        let mpi = Ampi::init(ctx);
+        if mpi.rank() == 0 {
+            // one suspension wait, one continuation, one leaked request
+            let r = mpi.irecv(COMM_WORLD, Some(1), Some(1));
+            let _ = mpi.wait(r);
+            mpi.recv_then(COMM_WORLD, Some(1), Some(2), |_mpi, b, _st| {
+                assert_eq!(util::bytes_to_f64s(&b), vec![2.0]);
+            });
+            while mpi.pending_continuations() > 0 {
+                mpi.progress_wait();
+            }
+            // tag 998 is never sent: this request stays pending forever
+            let _leaked = mpi.irecv(COMM_WORLD, Some(1), Some(998));
+        } else {
+            mpi.send_f64s(COMM_WORLD, 0, 1, &[1.0]);
+            mpi.send_f64s(COMM_WORLD, 0, 2, &[2.0]);
+            let s = mpi.isend_bytes(COMM_WORLD, 0, 999, Bytes::new());
+            // the payload for tag 999 is never received — but the send
+            // itself completes, so waiting on it must not hang
+            mpi.wait_send(s);
+        }
+        mpi.finalize();
+    });
+    let mut machine = MachineBuilder::new(pvr_apps::jacobi3d::binary())
+        .method(Method::PieGlobals)
+        .topology(Topology::non_smp(2))
+        .vp_ratio(1)
+        .clock(ClockMode::Virtual)
+        .stack_size(256 * 1024)
+        .tracer(tracer.clone())
+        .build(body)
+        .expect("machine builds");
+    let report = machine.run().expect("run succeeds");
+
+    let c = tracer.counts();
+    let r = &report.req;
+    assert_eq!(c.req_posts, r.send_posts + r.recv_posts, "posts");
+    assert_eq!(c.req_completes, r.send_completes + r.recv_completes, "completes");
+    assert_eq!(c.req_continuations, r.continuations, "continuations");
+    assert_eq!(c.req_wait_blocks, r.wait_blocks, "wait blocks");
+    assert_eq!(r.continuations, 1);
+    assert!(r.wait_blocks >= 1, "the suspension wait must block");
+    assert_eq!(r.leaked, 1, "the abandoned irecv is tallied at finalize");
+    // leaked requests post but never complete
+    assert_eq!(c.req_posts, c.req_completes + r.leaked);
+}
+
+#[test]
 fn disabled_tracer_records_nothing() {
     // attached but never enabled: hooks must stay silent
     use pvr_ampi::Ampi;
